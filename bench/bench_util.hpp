@@ -1,0 +1,79 @@
+// Shared helpers for the figure/table reproduction binaries.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_circuits/qv.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+#include "circuit/circuit.hpp"
+#include "noise/devices.hpp"
+#include "sched/runner.hpp"
+#include "transpile/decompose.hpp"
+
+namespace rqsim::bench {
+
+/// Read a positive integer from an environment variable, with default.
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') {
+    return fallback;
+  }
+  const long long parsed = std::atoll(value);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+/// The scalability workload grid of Section V.B (Figs. 7 and 8).
+struct ScalePoint {
+  unsigned qubits;
+  unsigned depth;
+};
+
+inline std::vector<ScalePoint> scalability_grid() {
+  return {{10, 5}, {10, 10}, {10, 15}, {10, 20}, {20, 20}, {30, 20}, {40, 20}};
+}
+
+/// The four error-rate settings of Figs. 7/8: single-qubit rate; two-qubit
+/// and measurement rates are 10x (artificial_device()).
+inline std::vector<double> scalability_rates() {
+  return {1e-3, 5e-4, 2e-4, 1e-4};
+}
+
+inline std::string rate_label(double single_rate) {
+  return std::to_string(single_rate) + "/" + std::to_string(10 * single_rate);
+}
+
+/// Build the decomposed QV circuit for a scalability grid point
+/// (deterministic seed derived from the grid coordinates).
+inline Circuit scalability_circuit(ScalePoint point) {
+  return decompose_to_cx_basis(
+      make_qv(point.qubits, point.depth,
+              /*seed=*/1000 + point.qubits * 100 + point.depth));
+}
+
+/// Run the accounting-only analysis for one scalability cell.
+inline NoisyRunResult analyze_cell(const Circuit& circuit, double single_rate,
+                                   std::size_t trials, ExecutionMode mode) {
+  const DeviceModel dev = artificial_device(circuit.num_qubits(), single_rate);
+  NoisyRunConfig config;
+  config.num_trials = trials;
+  config.seed = 20200704;
+  config.mode = mode;
+  return analyze_noisy(circuit, dev.noise, config);
+}
+
+/// If RQSIM_CSV_DIR is set, also write the table as <dir>/<name>.csv.
+inline void maybe_write_csv(const TextTable& table, const std::string& name) {
+  const char* dir = std::getenv("RQSIM_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') {
+    return;
+  }
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  write_csv_file(path, table.header(), table.rows());
+  std::cerr << "csv written: " << path << "\n";
+}
+
+}  // namespace rqsim::bench

@@ -1,0 +1,43 @@
+// Reproduces paper Fig. 8: memory consumption (Maintained State Vectors)
+// over the same scalability grid as Fig. 7.
+//
+// Paper shape to match: ~6 MSVs on average, growing slowly with circuit
+// depth and *decreasing* as the qubit count grows (more error positions
+// make shared injected errors rarer).
+//
+// Set RQSIM_TRIALS to override the trial count (default 1000000).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace rqsim;
+  using namespace rqsim::bench;
+  const std::size_t trials = env_size("RQSIM_TRIALS", 1000000);
+
+  std::cout << "=== Fig. 8: memory consumption (MSVs), scalability (" << trials
+            << " trials) ===\n";
+  std::vector<std::string> header = {"Workload"};
+  for (double rate : scalability_rates()) {
+    header.push_back(rate_label(rate));
+  }
+  TextTable table(std::move(header));
+  for (const ScalePoint point : scalability_grid()) {
+    const Circuit circuit = scalability_circuit(point);
+    std::vector<std::string> row = {"n" + std::to_string(point.qubits) + ",d" +
+                                    std::to_string(point.depth)};
+    for (double rate : scalability_rates()) {
+      const NoisyRunResult result =
+          analyze_cell(circuit, rate, trials, ExecutionMode::kCachedReordered);
+      row.push_back(std::to_string(result.max_live_states));
+      std::cerr << "done: " << row.front() << " @ " << rate_label(rate) << "\n";
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << table.render();
+  rqsim::bench::maybe_write_csv(table, "fig8_scalability_msv");
+  std::cout << "\n(paper: ~6 MSVs average; grows slowly with depth, shrinks with qubits)\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Gate-kernel microbenchmarks: throughput of the statevector update
+// primitives that dominate simulation time, across register sizes and
+// target-qubit positions (low qubits are cache-friendly, high qubits
+// stride across the vector).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "sim/kernels.hpp"
+#include "sim/statevector.hpp"
+
+namespace {
+
+using namespace rqsim;
+
+StateVector random_state(unsigned n, std::uint64_t seed) {
+  Rng rng(seed);
+  StateVector s(n);
+  for (std::size_t i = 0; i < s.dim(); ++i) {
+    s[i] = cplx(rng.normal(), rng.normal());
+  }
+  return s;
+}
+
+void BM_ApplyH(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const auto target = static_cast<qubit_t>(state.range(1));
+  StateVector s = random_state(n, 1);
+  for (auto _ : state) {
+    apply_h(s, target);
+    benchmark::DoNotOptimize(s.amplitudes().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.dim()));
+}
+
+void BM_ApplyMat2(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const auto target = static_cast<qubit_t>(state.range(1));
+  Rng rng(2);
+  const Mat2 u = random_unitary2(rng);
+  StateVector s = random_state(n, 3);
+  for (auto _ : state) {
+    apply_mat2(s, u, target);
+    benchmark::DoNotOptimize(s.amplitudes().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.dim()));
+}
+
+void BM_ApplyCX(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  StateVector s = random_state(n, 4);
+  for (auto _ : state) {
+    apply_cx(s, 0, n - 1);
+    benchmark::DoNotOptimize(s.amplitudes().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.dim()));
+}
+
+void BM_ApplyMat4(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  Rng rng(5);
+  const Mat4 u = random_unitary4(rng);
+  StateVector s = random_state(n, 6);
+  for (auto _ : state) {
+    apply_mat4(s, u, 0, n - 1);
+    benchmark::DoNotOptimize(s.amplitudes().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.dim()));
+}
+
+BENCHMARK(BM_ApplyH)->Args({16, 0})->Args({16, 15})->Args({20, 0})->Args({20, 19});
+BENCHMARK(BM_ApplyMat2)->Args({16, 0})->Args({16, 15})->Args({20, 0})->Args({20, 19});
+BENCHMARK(BM_ApplyCX)->Arg(16)->Arg(20);
+BENCHMARK(BM_ApplyMat4)->Arg(16)->Arg(20);
+
+}  // namespace

@@ -1,0 +1,65 @@
+// Wall-clock validation (beyond the paper's op-count metric): baseline vs
+// reordered+cached statevector execution of the same noisy workloads. The
+// measured speedup should track 1 / normalized-computation to within the
+// overhead of state copies.
+#include <benchmark/benchmark.h>
+
+#include "bench_circuits/suite.hpp"
+#include "noise/devices.hpp"
+#include "sched/parallel.hpp"
+#include "sched/runner.hpp"
+
+namespace {
+
+using namespace rqsim;
+
+const BenchmarkEntry& suite_entry(std::size_t index) {
+  static const auto suite = make_table1_suite(yorktown_device());
+  return suite[index];
+}
+
+void run_mode(benchmark::State& state, ExecutionMode mode) {
+  const auto& entry = suite_entry(static_cast<std::size_t>(state.range(0)));
+  const DeviceModel dev = yorktown_device();
+  NoisyRunConfig config;
+  config.num_trials = 512;
+  config.seed = 7;
+  config.mode = mode;
+  opcount_t ops = 0;
+  for (auto _ : state) {
+    const NoisyRunResult result = run_noisy(entry.compiled, dev.noise, config);
+    ops = result.ops;
+    benchmark::DoNotOptimize(result.histogram);
+  }
+  state.SetLabel(entry.name);
+  state.counters["matvec_ops"] = static_cast<double>(ops);
+}
+
+void BM_Baseline(benchmark::State& state) {
+  run_mode(state, ExecutionMode::kBaseline);
+}
+
+void BM_CachedReordered(benchmark::State& state) {
+  run_mode(state, ExecutionMode::kCachedReordered);
+}
+
+void BM_CachedParallel(benchmark::State& state) {
+  const auto& entry = suite_entry(static_cast<std::size_t>(state.range(0)));
+  const DeviceModel dev = yorktown_device();
+  ParallelRunConfig config;
+  config.num_trials = 512;
+  config.seed = 7;
+  config.num_threads = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    const NoisyRunResult result = run_noisy_parallel(entry.compiled, dev.noise, config);
+    benchmark::DoNotOptimize(result.histogram);
+  }
+  state.SetLabel(entry.name);
+}
+
+// Index into the Table I suite: 1=grover, 7=qft5, 11=qv_n5d5.
+BENCHMARK(BM_Baseline)->Arg(1)->Arg(7)->Arg(11)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CachedReordered)->Arg(1)->Arg(7)->Arg(11)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CachedParallel)->Args({11, 2})->Args({11, 4})->Unit(benchmark::kMillisecond);
+
+}  // namespace

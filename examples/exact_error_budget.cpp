@@ -1,0 +1,63 @@
+// Domain example: deterministic error budgeting without Monte Carlo.
+//
+// Enumerates every 0-, 1- and 2-error configuration of a compiled circuit,
+// computes the exact truncated outcome distribution with a rigorous
+// total-variation bound, and compares it against a Monte Carlo run of the
+// same workload. Useful when a hard error bound matters more than raw
+// sampling speed (e.g. verifying an error-mitigation claim).
+//
+//   ./build/examples/exact_error_budget [circuit-spec] [k]
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_circuits/factory.hpp"
+#include "common/bits.hpp"
+#include "common/strings.hpp"
+#include "noise/devices.hpp"
+#include "report/table.hpp"
+#include "sched/enumerate.hpp"
+#include "sched/runner.hpp"
+#include "transpile/transpiler.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rqsim;
+  const std::string spec = argc > 1 ? argv[1] : "grover";
+  const std::size_t k = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 2;
+
+  const DeviceModel dev = yorktown_device();
+  const TranspileResult compiled = transpile(make_named_circuit(spec), dev.coupling);
+  const Circuit& circuit = compiled.circuit;
+  std::cout << "circuit '" << spec << "' on " << dev.name << ": "
+            << circuit.num_gates() << " gates\n\n";
+
+  const TruncatedDistribution exact = truncated_exact_distribution(circuit, dev.noise, k);
+  std::cout << "enumerated " << exact.num_configurations
+            << " configurations with <= " << k << " errors\n";
+  std::cout << "covered probability mass: " << format_double(exact.covered_mass, 6)
+            << "  (TVD error bound " << format_double(1.0 - exact.covered_mass, 6)
+            << ")\n";
+  std::cout << "prefix sharing: " << exact.ops << " ops vs " << exact.baseline_ops
+            << " unshared (" << format_double(100.0 * (1.0 - static_cast<double>(exact.ops) /
+                                                                 static_cast<double>(exact.baseline_ops)),
+                                              1)
+            << "% saved), " << exact.max_live_states << " states held\n\n";
+
+  NoisyRunConfig config;
+  config.num_trials = 50000;
+  config.seed = 11;
+  const NoisyRunResult mc = run_noisy(circuit, dev.noise, config);
+
+  TextTable table({"outcome", "exact (truncated, renorm.)", "Monte Carlo"});
+  for (std::uint64_t outcome = 0; outcome < exact.probabilities.size(); ++outcome) {
+    const auto it = mc.histogram.find(outcome);
+    const double sampled =
+        it == mc.histogram.end()
+            ? 0.0
+            : static_cast<double>(it->second) / static_cast<double>(config.num_trials);
+    table.add_row({"|" + to_bitstring(outcome, circuit.num_measured()) + ">",
+                   format_double(exact.probabilities[outcome] / exact.covered_mass, 5),
+                   format_double(sampled, 5)});
+  }
+  std::cout << table.render();
+  return 0;
+}

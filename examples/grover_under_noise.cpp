@@ -1,0 +1,57 @@
+// Domain example: how does hardware noise degrade Grover search, and what
+// does the accelerated simulator save while answering that question?
+//
+// Sweeps a scaling factor over the Yorktown error model, runs the compiled
+// 3-qubit Grover circuit at each noise level, and reports the success
+// probability of the marked state together with the simulation savings.
+//
+//   ./build/examples/grover_under_noise [marked (0..7), default 5]
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_circuits/grover.hpp"
+#include "common/bits.hpp"
+#include "common/strings.hpp"
+#include "noise/devices.hpp"
+#include "report/table.hpp"
+#include "sched/runner.hpp"
+#include "transpile/transpiler.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rqsim;
+  const std::uint64_t marked = argc > 1 ? std::strtoull(argv[1], nullptr, 10) % 8 : 5;
+
+  const DeviceModel dev = yorktown_device();
+  const TranspileResult compiled = transpile(make_grover3(marked, 2), dev.coupling);
+  std::cout << "3-qubit Grover, marked state |" << to_bitstring(marked, 3)
+            << ">, compiled to Yorktown: " << compiled.circuit.num_gates()
+            << " gates (" << compiled.swaps_inserted << " SWAPs inserted)\n\n";
+
+  TextTable table({"noise scale", "P(success)", "norm. computation", "MSV"});
+  for (double scale : {0.0, 0.25, 0.5, 1.0, 2.0, 4.0}) {
+    const NoiseModel noise = dev.noise.scaled(scale);
+    NoisyRunConfig config;
+    config.num_trials = 4096;
+    config.seed = 99;
+    config.mode = ExecutionMode::kCachedReordered;
+    const NoisyRunResult result = run_noisy(compiled.circuit, noise, config);
+
+    std::uint64_t hits = 0;
+    std::uint64_t total = 0;
+    for (const auto& [outcome, count] : result.histogram) {
+      total += count;
+      if (outcome == marked) {
+        hits += count;
+      }
+    }
+    table.add_row({format_double(scale, 2),
+                   format_double(static_cast<double>(hits) / static_cast<double>(total), 4),
+                   format_double(result.normalized_computation, 4),
+                   std::to_string(result.max_live_states)});
+  }
+  std::cout << table.render();
+  std::cout << "\nNote how the success probability decays with noise while the\n"
+               "optimization saves *less* at higher noise (fewer shared prefixes) —\n"
+               "the scalability trend of the paper's Section V.B in miniature.\n";
+  return 0;
+}

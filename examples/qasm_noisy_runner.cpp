@@ -1,0 +1,79 @@
+// Domain example: the full pipeline on user-supplied code. Reads an
+// OpenQASM 2.0 file (or an embedded demo program if no path is given),
+// transpiles it onto the Yorktown device, runs the optimized noisy
+// simulation, and prints the outcome distribution.
+//
+//   ./build/examples/qasm_noisy_runner [program.qasm] [trials]
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "circuit/qasm.hpp"
+#include "common/bits.hpp"
+#include "common/strings.hpp"
+#include "noise/devices.hpp"
+#include "sched/runner.hpp"
+#include "transpile/transpiler.hpp"
+
+namespace {
+
+constexpr const char* kDemoProgram = R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+// 3-qubit GHZ with a phase kick
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0],q[1];
+cx q[1],q[2];
+u1(pi/4) q[2];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+measure q[2] -> c[2];
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rqsim;
+  std::string source = kDemoProgram;
+  if (argc > 1) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::cerr << "cannot open " << argv[1] << "\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    source = buffer.str();
+  }
+  const std::size_t trials =
+      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 8192;
+
+  const Circuit logical = from_qasm(source);
+  std::cout << "parsed: " << logical.num_qubits() << " qubits, "
+            << logical.num_gates() << " gates, " << logical.num_measured()
+            << " measured\n";
+
+  const DeviceModel dev = yorktown_device();
+  const TranspileResult compiled = transpile(logical, dev.coupling);
+  std::cout << "compiled to " << dev.name << ": " << compiled.circuit.num_gates()
+            << " gates (" << compiled.swaps_inserted << " SWAPs)\n\n";
+
+  NoisyRunConfig config;
+  config.num_trials = trials;
+  config.seed = 11;
+  config.mode = ExecutionMode::kCachedReordered;
+  const NoisyRunResult result = run_noisy(compiled.circuit, dev.noise, config);
+
+  std::cout << "noisy outcome distribution (" << trials << " trials):\n";
+  for (const auto& [outcome, count] : result.histogram) {
+    const double p = static_cast<double>(count) / static_cast<double>(trials);
+    std::cout << "  |" << to_bitstring(outcome, compiled.circuit.num_measured())
+              << ">  " << format_double(p, 4) << "\n";
+  }
+  std::cout << "\ncomputation saved vs baseline: "
+            << format_double(100.0 * (1.0 - result.normalized_computation), 1)
+            << "%  with " << result.max_live_states << " maintained state vectors\n";
+  return 0;
+}

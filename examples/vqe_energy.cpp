@@ -1,0 +1,113 @@
+// Domain example: variational-algorithm evaluation under noise — the
+// molecule-simulation use case the paper's introduction motivates.
+//
+// Builds a transverse-field Ising Hamiltonian
+//     H = -J Σ Z_i Z_{i+1} - h Σ X_i
+// on a line of qubits, optimizes a hardware-efficient ansatz noiselessly
+// with a simple random search, then estimates the energy under increasing
+// hardware noise using the accelerated Monte Carlo pipeline with
+// Pauli-string observables. Shows how noise biases the energy estimate and
+// what the reorder+caching optimization saves while computing it.
+//
+//   ./build/examples/vqe_energy [qubits] [layers] [search_iters]
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "bench_circuits/ansatz.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "noise/devices.hpp"
+#include "obs/pauli_string.hpp"
+#include "report/table.hpp"
+#include "sched/runner.hpp"
+#include "sim/kernels.hpp"
+
+namespace {
+
+using namespace rqsim;
+
+struct Hamiltonian {
+  std::vector<PauliString> terms;
+  std::vector<double> coefficients;
+};
+
+Hamiltonian make_tfim(unsigned n, double coupling, double field) {
+  Hamiltonian h;
+  for (qubit_t q = 0; q + 1 < n; ++q) {
+    h.terms.push_back(PauliString({{q, Pauli::Z}, {q + 1, Pauli::Z}}));
+    h.coefficients.push_back(-coupling);
+  }
+  for (qubit_t q = 0; q < n; ++q) {
+    h.terms.push_back(PauliString({{q, Pauli::X}}));
+    h.coefficients.push_back(-field);
+  }
+  return h;
+}
+
+double noiseless_energy(const Circuit& ansatz, const Hamiltonian& h) {
+  StateVector state(ansatz.num_qubits());
+  for (const Gate& g : ansatz.gates()) {
+    apply_gate(state, g);
+  }
+  double energy = 0.0;
+  for (std::size_t k = 0; k < h.terms.size(); ++k) {
+    energy += h.coefficients[k] * expectation(state, h.terms[k]);
+  }
+  return energy;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned qubits = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 4;
+  const unsigned layers = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 2;
+  const int iters = argc > 3 ? std::atoi(argv[3]) : 300;
+
+  const Hamiltonian h = make_tfim(qubits, /*coupling=*/1.0, /*field=*/0.7);
+
+  // Noiseless random-search "optimization" (good enough for a demo).
+  Rng rng(2026);
+  std::vector<double> best(ansatz_num_parameters(qubits, layers), 0.0);
+  double best_energy = noiseless_energy(make_hw_efficient_ansatz(qubits, layers, best), h);
+  for (int it = 0; it < iters; ++it) {
+    std::vector<double> candidate = best;
+    for (double& angle : candidate) {
+      angle += rng.normal() * 0.3;
+    }
+    const double e =
+        noiseless_energy(make_hw_efficient_ansatz(qubits, layers, candidate), h);
+    if (e < best_energy) {
+      best_energy = e;
+      best = std::move(candidate);
+    }
+  }
+  std::cout << "TFIM on " << qubits << " qubits, " << layers
+            << "-layer hardware-efficient ansatz\n";
+  std::cout << "noiseless optimized energy: " << format_double(best_energy, 5)
+            << "\n\n";
+
+  const Circuit ansatz = make_hw_efficient_ansatz(qubits, layers, best);
+  const DeviceModel dev = artificial_device(qubits, 1e-3);
+
+  TextTable table({"noise scale", "noisy energy", "bias", "norm. computation", "MSV"});
+  for (double scale : {0.0, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    NoisyRunConfig config;
+    config.num_trials = 20000;
+    config.seed = 7;
+    config.observables = h.terms;
+    const NoisyRunResult result = run_noisy(ansatz, dev.noise.scaled(scale), config);
+    double energy = 0.0;
+    for (std::size_t k = 0; k < h.terms.size(); ++k) {
+      energy += h.coefficients[k] * result.observable_means[k];
+    }
+    table.add_row({format_double(scale, 1), format_double(energy, 5),
+                   format_double(energy - best_energy, 5),
+                   format_double(result.normalized_computation, 4),
+                   std::to_string(result.max_live_states)});
+  }
+  std::cout << table.render();
+  std::cout << "\nDepolarizing noise pulls every Pauli expectation toward zero, so\n"
+               "the estimated energy drifts toward 0 as the noise scale grows.\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+#include "bench_circuits/adder.hpp"
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace rqsim {
+
+// Layout (Cuccaro et al. 2004): ancilla at 0, then interleaved b_i, a_i
+// pairs, carry-out on top: [anc, b0, a0, b1, a1, …, b_{n-1}, a_{n-1}, cout].
+qubit_t adder_b_qubit(unsigned i) { return 1 + 2 * i; }
+qubit_t adder_a_qubit(unsigned i) { return 2 + 2 * i; }
+qubit_t adder_carry_qubit(unsigned bits) { return 1 + 2 * bits; }
+
+namespace {
+
+void maj(Circuit& c, qubit_t x, qubit_t y, qubit_t z) {
+  c.cx(z, y);
+  c.cx(z, x);
+  c.ccx(x, y, z);
+}
+
+void uma(Circuit& c, qubit_t x, qubit_t y, qubit_t z) {
+  c.ccx(x, y, z);
+  c.cx(z, x);
+  c.cx(x, y);
+}
+
+}  // namespace
+
+Circuit make_cuccaro_adder(unsigned bits, std::uint64_t a, std::uint64_t b) {
+  RQSIM_CHECK(bits >= 1 && bits <= 8, "make_cuccaro_adder: bits must be in [1, 8]");
+  RQSIM_CHECK(a < pow2(bits) && b < pow2(bits), "make_cuccaro_adder: inputs too wide");
+  const unsigned num_qubits = 2 * bits + 2;
+  Circuit c(num_qubits, "cuccaro" + std::to_string(bits));
+
+  for (unsigned i = 0; i < bits; ++i) {
+    if (get_bit(a, i)) {
+      c.x(adder_a_qubit(i));
+    }
+    if (get_bit(b, i)) {
+      c.x(adder_b_qubit(i));
+    }
+  }
+
+  // Forward MAJ ladder.
+  maj(c, 0, adder_b_qubit(0), adder_a_qubit(0));
+  for (unsigned i = 1; i < bits; ++i) {
+    maj(c, adder_a_qubit(i - 1), adder_b_qubit(i), adder_a_qubit(i));
+  }
+  // Carry out.
+  c.cx(adder_a_qubit(bits - 1), adder_carry_qubit(bits));
+  // Backward UMA ladder.
+  for (unsigned i = bits; i-- > 1;) {
+    uma(c, adder_a_qubit(i - 1), adder_b_qubit(i), adder_a_qubit(i));
+  }
+  uma(c, 0, adder_b_qubit(0), adder_a_qubit(0));
+
+  // Measure the sum: b register then carry (bit `bits`).
+  for (unsigned i = 0; i < bits; ++i) {
+    c.measure(adder_b_qubit(i));
+  }
+  c.measure(adder_carry_qubit(bits));
+  return c;
+}
+
+}  // namespace rqsim

@@ -1,0 +1,24 @@
+// Cuccaro ripple-carry adder: |a⟩|b⟩ -> |a⟩|a+b⟩ with one ancilla and one
+// carry-out qubit, built from MAJ/UMA blocks (CX + CCX). An arithmetic
+// workload with deep CCX chains — a stress test for the transpiler and a
+// deterministic oracle for end-to-end correctness.
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/circuit.hpp"
+
+namespace rqsim {
+
+/// Adder over two `bits`-wide registers. Layout: qubit 0 = ancilla (carry
+/// in), qubits 1..bits = register b (least-significant first, interleaved
+/// as b_i at 1+2i... see implementation), top qubit = carry out. Inputs
+/// `a` and `b` are prepared with X gates; the sum (with carry) is measured.
+Circuit make_cuccaro_adder(unsigned bits, std::uint64_t a, std::uint64_t b);
+
+/// Qubit index helpers used by the construction and its tests.
+qubit_t adder_b_qubit(unsigned i);
+qubit_t adder_a_qubit(unsigned i);
+qubit_t adder_carry_qubit(unsigned bits);
+
+}  // namespace rqsim

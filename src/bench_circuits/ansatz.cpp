@@ -1,0 +1,30 @@
+#include "bench_circuits/ansatz.hpp"
+
+#include "common/error.hpp"
+
+namespace rqsim {
+
+std::size_t ansatz_num_parameters(unsigned num_qubits, unsigned layers) {
+  return static_cast<std::size_t>(2) * num_qubits * layers;
+}
+
+Circuit make_hw_efficient_ansatz(unsigned num_qubits, unsigned layers,
+                                 const std::vector<double>& parameters) {
+  RQSIM_CHECK(num_qubits >= 2, "make_hw_efficient_ansatz: need at least two qubits");
+  RQSIM_CHECK(parameters.size() == ansatz_num_parameters(num_qubits, layers),
+              "make_hw_efficient_ansatz: wrong parameter count");
+  Circuit c(num_qubits, "hwe_ansatz");
+  std::size_t next = 0;
+  for (unsigned layer = 0; layer < layers; ++layer) {
+    for (qubit_t q = 0; q < num_qubits; ++q) {
+      c.ry(q, parameters[next++]);
+      c.rz(q, parameters[next++]);
+    }
+    for (qubit_t q = 0; q + 1 < num_qubits; ++q) {
+      c.cx(q, q + 1);
+    }
+  }
+  return c;
+}
+
+}  // namespace rqsim

@@ -1,0 +1,21 @@
+// Hardware-efficient variational ansatz (the VQE workload family the
+// paper's introduction motivates via molecule simulation): alternating
+// layers of parameterized single-qubit rotations and a CX entangler chain.
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace rqsim {
+
+/// `parameters` must hold 2 * num_qubits * layers angles (ry, rz per qubit
+/// per layer). No terminal measurement is added: VQE estimates Pauli
+/// observables on the final state instead of sampling bitstrings.
+Circuit make_hw_efficient_ansatz(unsigned num_qubits, unsigned layers,
+                                 const std::vector<double>& parameters);
+
+/// Number of parameters the ansatz consumes.
+std::size_t ansatz_num_parameters(unsigned num_qubits, unsigned layers);
+
+}  // namespace rqsim

@@ -1,0 +1,33 @@
+#include "bench_circuits/bv.hpp"
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace rqsim {
+
+Circuit make_bv(unsigned num_data_qubits, std::uint64_t secret) {
+  RQSIM_CHECK(num_data_qubits >= 1 && num_data_qubits <= 62, "make_bv: bad size");
+  RQSIM_CHECK(secret < pow2(num_data_qubits), "make_bv: secret out of range");
+  Circuit c(num_data_qubits + 1, "bv" + std::to_string(num_data_qubits + 1));
+  const qubit_t ancilla = num_data_qubits;
+  // Prepare the ancilla in |−⟩.
+  c.x(ancilla);
+  c.h(ancilla);
+  for (qubit_t q = 0; q < num_data_qubits; ++q) {
+    c.h(q);
+  }
+  for (qubit_t q = 0; q < num_data_qubits; ++q) {
+    if (get_bit(secret, q)) {
+      c.cx(q, ancilla);
+    }
+  }
+  for (qubit_t q = 0; q < num_data_qubits; ++q) {
+    c.h(q);
+  }
+  for (qubit_t q = 0; q < num_data_qubits; ++q) {
+    c.measure(q);
+  }
+  return c;
+}
+
+}  // namespace rqsim

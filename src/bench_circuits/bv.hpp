@@ -1,0 +1,17 @@
+// Bernstein-Vazirani: recover a hidden bitstring s with one oracle query.
+// Circuit: H on all, oracle (CX from each data qubit with s_k = 1 into the
+// ancilla prepared in |−⟩), H on data qubits, measure data qubits.
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/circuit.hpp"
+
+namespace rqsim {
+
+/// `num_data_qubits` data qubits plus one ancilla; `secret` uses the low
+/// `num_data_qubits` bits. The paper's bv4 = make_bv(3, s), bv5 = make_bv(4, s)
+/// (qubit counts in Table I include the ancilla).
+Circuit make_bv(unsigned num_data_qubits, std::uint64_t secret);
+
+}  // namespace rqsim

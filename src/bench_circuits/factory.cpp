@@ -1,0 +1,108 @@
+#include "bench_circuits/factory.hpp"
+
+#include <cstdlib>
+
+#include "bench_circuits/adder.hpp"
+#include "bench_circuits/bv.hpp"
+#include "bench_circuits/ghz.hpp"
+#include "bench_circuits/grover.hpp"
+#include "bench_circuits/mod15.hpp"
+#include "bench_circuits/qft.hpp"
+#include "bench_circuits/qv.hpp"
+#include "bench_circuits/rb.hpp"
+#include "bench_circuits/wstate.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace rqsim {
+
+namespace {
+
+std::uint64_t parse_u64(const std::string& text, const std::string& spec) {
+  RQSIM_CHECK(!text.empty(), "make_named_circuit: empty parameter in '" + spec + "'");
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  RQSIM_CHECK(end != nullptr && *end == '\0',
+              "make_named_circuit: bad number '" + text + "' in '" + spec + "'");
+  return value;
+}
+
+}  // namespace
+
+Circuit make_named_circuit(const std::string& spec) {
+  const std::vector<std::string> parts = split(spec, ':');
+  const std::string& name = parts[0];
+  const std::size_t argc = parts.size() - 1;
+  auto arg = [&](std::size_t i, std::uint64_t fallback) {
+    return argc > i ? parse_u64(parts[i + 1], spec) : fallback;
+  };
+
+  if (name == "qft") {
+    return make_qft(static_cast<unsigned>(arg(0, 4)));
+  }
+  if (name == "ghz") {
+    return make_ghz(static_cast<unsigned>(arg(0, 3)));
+  }
+  if (name == "qv") {
+    return make_qv(static_cast<unsigned>(arg(0, 5)), static_cast<unsigned>(arg(1, 5)),
+                   arg(2, 11));
+  }
+  if (name == "bv") {
+    const auto data_bits = static_cast<unsigned>(arg(0, 3));
+    const std::uint64_t default_secret = (1ULL << data_bits) - 1;
+    return make_bv(data_bits, arg(1, default_secret));
+  }
+  if (name == "adder") {
+    return make_cuccaro_adder(static_cast<unsigned>(arg(0, 2)), arg(1, 1), arg(2, 2));
+  }
+  if (name == "grover") {
+    return make_grover3(arg(0, 5), static_cast<unsigned>(arg(1, 2)));
+  }
+  if (name == "rb") {
+    return make_rb(static_cast<unsigned>(arg(0, 2)), static_cast<unsigned>(arg(1, 4)),
+                   arg(2, 7));
+  }
+  if (name == "wstate") {
+    return make_wstate3();
+  }
+  if (name == "7x1mod15" || name == "mod15") {
+    return make_7x_mod15(arg(0, 1));
+  }
+  // Table I shorthands.
+  if (name == "bv4") {
+    return make_bv(3, 0b101);
+  }
+  if (name == "bv5") {
+    return make_bv(4, 0b1101);
+  }
+  if (name == "qft4") {
+    return make_qft(4);
+  }
+  if (name == "qft5") {
+    return make_qft(5);
+  }
+  if (starts_with(name, "qv_n5d") && name.size() == 7) {
+    const unsigned depth = static_cast<unsigned>(name[6] - '0');
+    RQSIM_CHECK(depth >= 1 && depth <= 9, "make_named_circuit: bad qv depth in " + name);
+    return make_qv(5, depth, 10 + depth);
+  }
+  RQSIM_CHECK(false, "make_named_circuit: unknown circuit '" + spec + "'");
+  return Circuit();
+}
+
+std::vector<std::string> named_circuit_help() {
+  return {
+      "qft:<n>                  quantum Fourier transform",
+      "ghz:<n>                  GHZ state preparation",
+      "qv:<n>:<depth>[:seed]    quantum-volume random circuit",
+      "bv:<data_bits>[:secret]  Bernstein-Vazirani (+1 ancilla qubit)",
+      "adder:<bits>[:a[:b]]     Cuccaro ripple-carry adder",
+      "grover[:marked[:iters]]  3-qubit Grover search",
+      "rb[:n[:len[:seed]]]      randomized-benchmarking identity sequence",
+      "wstate                   3-qubit W state",
+      "7x1mod15[:x]             modular multiplication by 7 mod 15",
+      "rb grover wstate 7x1mod15 bv4 bv5 qft4 qft5 qv_n5d2..qv_n5d5 (Table I names)",
+  };
+}
+
+}  // namespace rqsim

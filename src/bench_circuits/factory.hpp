@@ -1,0 +1,21 @@
+// Named circuit factory: build any benchmark from a textual spec, e.g.
+// "qft:5", "qv:10:5", "ghz:4", "bv:4:5", "adder:3:2:3", "grover",
+// "wstate", "rb", "7x1mod15" — plus the Table I shorthand names ("qft5",
+// "bv4", "qv_n5d3", …). Used by the CLI and handy for scripting sweeps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace rqsim {
+
+/// Build a circuit from its spec. Throws rqsim::Error on unknown names or
+/// malformed parameters.
+Circuit make_named_circuit(const std::string& spec);
+
+/// All supported spec forms, for help text.
+std::vector<std::string> named_circuit_help();
+
+}  // namespace rqsim

@@ -1,0 +1,18 @@
+#include "bench_circuits/ghz.hpp"
+
+#include "common/error.hpp"
+
+namespace rqsim {
+
+Circuit make_ghz(unsigned num_qubits) {
+  RQSIM_CHECK(num_qubits >= 2, "make_ghz: need at least two qubits");
+  Circuit c(num_qubits, "ghz" + std::to_string(num_qubits));
+  c.h(0);
+  for (qubit_t q = 0; q + 1 < num_qubits; ++q) {
+    c.cx(q, q + 1);
+  }
+  c.measure_all();
+  return c;
+}
+
+}  // namespace rqsim

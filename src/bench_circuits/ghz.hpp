@@ -1,0 +1,11 @@
+// GHZ state preparation: (|0…0⟩ + |1…1⟩)/√2 via H + CX chain — the
+// standard entanglement witness workload for noisy-device studies.
+#pragma once
+
+#include "circuit/circuit.hpp"
+
+namespace rqsim {
+
+Circuit make_ghz(unsigned num_qubits);
+
+}  // namespace rqsim

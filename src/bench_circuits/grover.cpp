@@ -1,0 +1,55 @@
+#include "bench_circuits/grover.hpp"
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace rqsim {
+
+namespace {
+
+// Phase flip of |111⟩ via CCZ = H(target) CCX H(target).
+void add_ccz(Circuit& c) {
+  c.h(2);
+  c.ccx(0, 1, 2);
+  c.h(2);
+}
+
+// Flip the zero-bits of `pattern` so the CCZ marks exactly |pattern⟩.
+void add_pattern_frame(Circuit& c, std::uint64_t pattern) {
+  for (qubit_t q = 0; q < 3; ++q) {
+    if (!get_bit(pattern, q)) {
+      c.x(q);
+    }
+  }
+}
+
+}  // namespace
+
+Circuit make_grover3(std::uint64_t marked, unsigned iterations) {
+  RQSIM_CHECK(marked < 8, "make_grover3: marked state must be in [0, 8)");
+  RQSIM_CHECK(iterations >= 1, "make_grover3: need at least one iteration");
+  Circuit c(3, "grover");
+  for (qubit_t q = 0; q < 3; ++q) {
+    c.h(q);
+  }
+  for (unsigned it = 0; it < iterations; ++it) {
+    // Oracle: flip the phase of |marked⟩.
+    add_pattern_frame(c, marked);
+    add_ccz(c);
+    add_pattern_frame(c, marked);
+    // Diffusion: 2|s⟩⟨s| − I = H⊗3 · (phase flip of |000⟩) · H⊗3.
+    for (qubit_t q = 0; q < 3; ++q) {
+      c.h(q);
+    }
+    add_pattern_frame(c, 0);
+    add_ccz(c);
+    add_pattern_frame(c, 0);
+    for (qubit_t q = 0; q < 3; ++q) {
+      c.h(q);
+    }
+  }
+  c.measure_all();
+  return c;
+}
+
+}  // namespace rqsim

@@ -1,0 +1,15 @@
+// Grover search on 3 qubits: phase oracle marking one basis state plus the
+// standard diffusion operator, iterated (2 iterations are optimal for 8
+// entries, matching the paper's grover benchmark scale).
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/circuit.hpp"
+
+namespace rqsim {
+
+/// 3-qubit Grover searching for `marked` (0..7) with `iterations` rounds.
+Circuit make_grover3(std::uint64_t marked, unsigned iterations = 2);
+
+}  // namespace rqsim

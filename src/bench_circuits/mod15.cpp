@@ -1,0 +1,30 @@
+#include "bench_circuits/mod15.hpp"
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace rqsim {
+
+Circuit make_7x_mod15(std::uint64_t x) {
+  RQSIM_CHECK(x < 16, "make_7x_mod15: x must fit in 4 bits");
+  Circuit c(4, "7x1mod15");
+  // Prepare |x⟩.
+  for (qubit_t q = 0; q < 4; ++q) {
+    if (get_bit(x, q)) {
+      c.x(q);
+    }
+  }
+  // Multiplication by 7 mod 15: since 7 ≡ 8·14 (mod 15), ×7 is ×8 (a cyclic
+  // bit rotation, realized by a swap cascade) followed by ×14 ≡ −1 (the
+  // 4-bit complement, realized by X on every qubit).
+  c.swap(0, 1);
+  c.swap(1, 2);
+  c.swap(2, 3);
+  for (qubit_t q = 0; q < 4; ++q) {
+    c.x(q);
+  }
+  c.measure_all();
+  return c;
+}
+
+}  // namespace rqsim

@@ -1,0 +1,15 @@
+// Modular multiplication 7·x mod 15 on a 4-qubit register (the "7x1mod15"
+// benchmark): the permutation y -> 7y mod 15 realized with three SWAPs and
+// a layer of X gates, applied to the input |x⟩.
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/circuit.hpp"
+
+namespace rqsim {
+
+/// Prepare |x⟩, apply the ×7 (mod 15) permutation, measure. x in [0, 16).
+Circuit make_7x_mod15(std::uint64_t x = 1);
+
+}  // namespace rqsim

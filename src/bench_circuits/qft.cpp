@@ -1,0 +1,28 @@
+#include "bench_circuits/qft.hpp"
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace rqsim {
+
+Circuit make_qft(unsigned num_qubits, bool with_swaps) {
+  RQSIM_CHECK(num_qubits >= 1, "make_qft: need at least one qubit");
+  Circuit c(num_qubits, "qft" + std::to_string(num_qubits));
+  for (unsigned target = num_qubits; target-- > 0;) {
+    c.h(target);
+    for (unsigned k = target; k-- > 0;) {
+      // Controlled phase by pi / 2^(target - k).
+      const double angle = kPi / static_cast<double>(std::uint64_t{1} << (target - k));
+      c.cp(k, target, angle);
+    }
+  }
+  if (with_swaps) {
+    for (unsigned q = 0; q < num_qubits / 2; ++q) {
+      c.swap(q, num_qubits - 1 - q);
+    }
+  }
+  c.measure_all();
+  return c;
+}
+
+}  // namespace rqsim

@@ -1,0 +1,13 @@
+// Quantum Fourier Transform on n qubits: H + controlled-phase ladder +
+// terminal SWAP reversal (Nielsen & Chuang Fig. 5.1).
+#pragma once
+
+#include "circuit/circuit.hpp"
+
+namespace rqsim {
+
+/// QFT circuit; with `with_swaps` the terminal bit-reversal SWAPs are
+/// emitted (the convention the paper's qft4/qft5 gate counts imply).
+Circuit make_qft(unsigned num_qubits, bool with_swaps = true);
+
+}  // namespace rqsim

@@ -1,0 +1,53 @@
+#include "bench_circuits/qv.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace rqsim {
+
+namespace {
+
+void add_random_u3(Circuit& c, qubit_t q, Rng& rng) {
+  c.u3(q, rng.uniform(0.0, 2.0 * kPi), rng.uniform(0.0, 2.0 * kPi),
+       rng.uniform(0.0, 2.0 * kPi));
+}
+
+// Generic two-qubit block: the 3-CX universal template.
+void add_su4_block(Circuit& c, qubit_t a, qubit_t b, Rng& rng) {
+  add_random_u3(c, a, rng);
+  add_random_u3(c, b, rng);
+  c.cx(b, a);
+  c.rz(a, rng.uniform(0.0, 2.0 * kPi));
+  c.ry(b, rng.uniform(0.0, 2.0 * kPi));
+  c.cx(a, b);
+  c.ry(b, rng.uniform(0.0, 2.0 * kPi));
+  c.cx(b, a);
+  add_random_u3(c, a, rng);
+  add_random_u3(c, b, rng);
+}
+
+}  // namespace
+
+Circuit make_qv(unsigned num_qubits, unsigned depth, std::uint64_t seed) {
+  RQSIM_CHECK(num_qubits >= 2, "make_qv: need at least two qubits");
+  Circuit c(num_qubits,
+            "qv_n" + std::to_string(num_qubits) + "d" + std::to_string(depth));
+  Rng rng(seed);
+  std::vector<qubit_t> perm(num_qubits);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (unsigned layer = 0; layer < depth; ++layer) {
+    std::shuffle(perm.begin(), perm.end(), rng);
+    for (unsigned pair = 0; pair + 1 < num_qubits; pair += 2) {
+      add_su4_block(c, perm[pair], perm[pair + 1], rng);
+    }
+  }
+  c.measure_all();
+  return c;
+}
+
+}  // namespace rqsim

@@ -1,0 +1,15 @@
+// Quantum-volume-style random circuits (IBM's benchmark family): `depth`
+// layers, each pairing the qubits under a fresh random permutation and
+// applying a generic two-qubit block (3 CX + 7 parameterized single-qubit
+// gates — the universal KAK template shape) to every pair.
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/circuit.hpp"
+
+namespace rqsim {
+
+Circuit make_qv(unsigned num_qubits, unsigned depth, std::uint64_t seed);
+
+}  // namespace rqsim

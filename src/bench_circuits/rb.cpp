@@ -1,0 +1,49 @@
+#include "bench_circuits/rb.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace rqsim {
+
+Circuit make_rb(unsigned num_qubits, unsigned length, std::uint64_t seed) {
+  RQSIM_CHECK(num_qubits >= 2, "make_rb: need at least two qubits");
+  Circuit c(num_qubits, "rb");
+  Rng rng(seed);
+  std::vector<Gate> word;
+  word.reserve(length);
+  for (unsigned i = 0; i < length; ++i) {
+    // Generators: H(q), S(q), CX(a, b).
+    const std::uint64_t pick = rng.uniform_int(3);
+    if (pick == 0) {
+      word.push_back(Gate::make1(GateKind::H,
+                                 static_cast<qubit_t>(rng.uniform_int(num_qubits))));
+    } else if (pick == 1) {
+      word.push_back(Gate::make1(GateKind::S,
+                                 static_cast<qubit_t>(rng.uniform_int(num_qubits))));
+    } else {
+      const auto a = static_cast<qubit_t>(rng.uniform_int(num_qubits));
+      auto b = static_cast<qubit_t>(rng.uniform_int(num_qubits - 1));
+      if (b >= a) {
+        ++b;
+      }
+      word.push_back(Gate::make2(GateKind::CX, a, b));
+    }
+  }
+  for (const Gate& g : word) {
+    c.add(g);
+  }
+  // Inverse word: reverse order, S -> Sdg, H and CX self-inverse.
+  for (auto it = word.rbegin(); it != word.rend(); ++it) {
+    Gate inv = *it;
+    if (inv.kind == GateKind::S) {
+      inv.kind = GateKind::Sdg;
+    }
+    c.add(inv);
+  }
+  c.measure_all();
+  return c;
+}
+
+}  // namespace rqsim

@@ -1,0 +1,15 @@
+// Randomized-benchmarking-style sequence: a random word over the Clifford
+// generators {H, S, CX} followed by its inverse, so the net operation is
+// the identity (a noiseless run must return |0…0⟩ with certainty).
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/circuit.hpp"
+
+namespace rqsim {
+
+/// `length` random generators + their inverses on `num_qubits` qubits.
+Circuit make_rb(unsigned num_qubits, unsigned length, std::uint64_t seed);
+
+}  // namespace rqsim

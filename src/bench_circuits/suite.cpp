@@ -1,0 +1,56 @@
+#include "bench_circuits/suite.hpp"
+
+#include "bench_circuits/bv.hpp"
+#include "bench_circuits/grover.hpp"
+#include "bench_circuits/mod15.hpp"
+#include "bench_circuits/qft.hpp"
+#include "bench_circuits/qv.hpp"
+#include "bench_circuits/rb.hpp"
+#include "bench_circuits/wstate.hpp"
+#include "transpile/transpiler.hpp"
+
+namespace rqsim {
+
+std::vector<BenchmarkEntry> make_table1_suite(const DeviceModel& device) {
+  struct Spec {
+    Circuit circuit;
+    std::size_t qubits, single, cnot, measure;
+  };
+  // Paper Table I reference counts (post-Enfield) alongside our circuits.
+  const Spec specs[] = {
+      {make_rb(2, 4, /*seed=*/7), 2, 9, 2, 2},
+      {make_grover3(/*marked=*/5, /*iterations=*/2), 3, 87, 25, 3},
+      {make_wstate3(), 3, 21, 9, 3},
+      {make_7x_mod15(1), 4, 17, 9, 4},
+      {make_bv(3, 0b101), 4, 8, 3, 3},
+      {make_bv(4, 0b1101), 5, 10, 4, 4},
+      {make_qft(4), 4, 42, 15, 4},
+      {make_qft(5), 5, 83, 26, 5},
+      {make_qv(5, 2, /*seed=*/11), 5, 44, 12, 5},
+      {make_qv(5, 3, /*seed=*/12), 5, 74, 21, 5},
+      {make_qv(5, 4, /*seed=*/13), 5, 100, 30, 5},
+      {make_qv(5, 5, /*seed=*/14), 5, 130, 36, 5},
+  };
+  const char* names[] = {"rb",   "grover", "wstate",  "7x1mod15", "bv4",     "bv5",
+                         "qft4", "qft5",   "qv_n5d2", "qv_n5d3",  "qv_n5d4", "qv_n5d5"};
+
+  std::vector<BenchmarkEntry> out;
+  std::size_t i = 0;
+  for (const Spec& spec : specs) {
+    BenchmarkEntry entry;
+    entry.name = names[i++];
+    entry.logical = spec.circuit;
+    entry.logical.set_name(entry.name);
+    TranspileResult compiled = transpile(spec.circuit, device.coupling);
+    entry.compiled = std::move(compiled.circuit);
+    entry.compiled.set_name(entry.name);
+    entry.paper_qubits = spec.qubits;
+    entry.paper_single = spec.single;
+    entry.paper_cnot = spec.cnot;
+    entry.paper_measure = spec.measure;
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace rqsim

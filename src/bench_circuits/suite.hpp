@@ -1,0 +1,29 @@
+// The Table I benchmark suite: the 12 programs of the paper's realistic
+// experiments, each compiled onto the IBM Yorktown device.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "noise/devices.hpp"
+
+namespace rqsim {
+
+struct BenchmarkEntry {
+  std::string name;
+  Circuit logical;   // algorithm-level circuit
+  Circuit compiled;  // transpiled onto the Yorktown coupling map
+
+  /// Paper's Table I post-Enfield gate counts, for side-by-side reporting.
+  std::size_t paper_qubits = 0;
+  std::size_t paper_single = 0;
+  std::size_t paper_cnot = 0;
+  std::size_t paper_measure = 0;
+};
+
+/// Build all 12 Table I benchmarks compiled to `device` (defaults used by
+/// callers: yorktown_device()). Deterministic (fixed internal seeds).
+std::vector<BenchmarkEntry> make_table1_suite(const DeviceModel& device);
+
+}  // namespace rqsim

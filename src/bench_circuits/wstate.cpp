@@ -1,0 +1,39 @@
+#include "bench_circuits/wstate.hpp"
+
+#include <cmath>
+
+#include "common/types.hpp"
+
+namespace rqsim {
+
+namespace {
+
+// Controlled-Ry(theta) on `target` with `control`, decomposed into the real
+// rotation sandwich ry(θ/2)·CX·ry(−θ/2)·CX.
+void add_cry(Circuit& c, qubit_t control, qubit_t target, double theta) {
+  c.ry(target, theta / 2.0);
+  c.cx(control, target);
+  c.ry(target, -theta / 2.0);
+  c.cx(control, target);
+}
+
+}  // namespace
+
+Circuit make_wstate3() {
+  Circuit c(3, "wstate");
+  // Qiskit-textbook construction:
+  //   ry(θ) q0 with cos(θ/2) = 1/√3        -> √(1/3)|0⟩ + √(2/3)|1⟩
+  //   controlled-Ry(π/2) (≡ CH on a |0⟩ target) q0 -> q1
+  //   cx q1 -> q2 ; cx q0 -> q1 ; x q0
+  // yields (|001⟩ + |010⟩ + |100⟩)/√3.
+  const double theta = 2.0 * std::acos(1.0 / std::sqrt(3.0));
+  c.ry(0, theta);
+  add_cry(c, 0, 1, kPi / 2.0);
+  c.cx(1, 2);
+  c.cx(0, 1);
+  c.x(0);
+  c.measure_all();
+  return c;
+}
+
+}  // namespace rqsim

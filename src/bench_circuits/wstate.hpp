@@ -1,0 +1,12 @@
+// W-state preparation: (|100⟩ + |010⟩ + |001⟩) / sqrt(3) on 3 qubits,
+// built from the cascade of controlled rotations used in the teleportation
+// benchmark the paper cites.
+#pragma once
+
+#include "circuit/circuit.hpp"
+
+namespace rqsim {
+
+Circuit make_wstate3();
+
+}  // namespace rqsim

@@ -1,0 +1,80 @@
+#include "circuit/circuit.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rqsim {
+
+Circuit::Circuit(unsigned num_qubits, std::string name)
+    : num_qubits_(num_qubits), name_(std::move(name)) {
+  RQSIM_CHECK(num_qubits >= 1 && num_qubits <= 63,
+              "Circuit: num_qubits must be in [1, 63]");
+}
+
+void Circuit::add(const Gate& gate) {
+  const int arity = gate.arity();
+  for (int i = 0; i < arity; ++i) {
+    RQSIM_CHECK(gate.qubits[static_cast<std::size_t>(i)] < num_qubits_,
+                "Circuit::add: operand out of range for " + gate_name(gate.kind));
+  }
+  gates_.push_back(gate);
+}
+
+std::size_t Circuit::measure(qubit_t q) {
+  RQSIM_CHECK(q < num_qubits_, "Circuit::measure: qubit out of range");
+  RQSIM_CHECK(std::find(measured_.begin(), measured_.end(), q) == measured_.end(),
+              "Circuit::measure: qubit already measured");
+  measured_.push_back(q);
+  return measured_.size() - 1;
+}
+
+void Circuit::measure_all() {
+  for (qubit_t q = 0; q < num_qubits_; ++q) {
+    measure(q);
+  }
+}
+
+std::size_t Circuit::count_single_qubit_gates() const {
+  return static_cast<std::size_t>(
+      std::count_if(gates_.begin(), gates_.end(),
+                    [](const Gate& g) { return g.arity() == 1; }));
+}
+
+std::size_t Circuit::count_kind(GateKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(gates_.begin(), gates_.end(),
+                    [kind](const Gate& g) { return g.kind == kind; }));
+}
+
+std::size_t Circuit::count_multi_qubit_gates() const {
+  return static_cast<std::size_t>(
+      std::count_if(gates_.begin(), gates_.end(),
+                    [](const Gate& g) { return g.arity() >= 2; }));
+}
+
+void Circuit::validate() const {
+  for (const Gate& g : gates_) {
+    const int arity = g.arity();
+    for (int i = 0; i < arity; ++i) {
+      RQSIM_CHECK(g.qubits[static_cast<std::size_t>(i)] < num_qubits_,
+                  "Circuit::validate: operand out of range");
+    }
+    for (int i = 0; i < arity; ++i) {
+      for (int j = i + 1; j < arity; ++j) {
+        RQSIM_CHECK(g.qubits[static_cast<std::size_t>(i)] !=
+                        g.qubits[static_cast<std::size_t>(j)],
+                    "Circuit::validate: duplicate operand");
+      }
+    }
+  }
+  std::vector<qubit_t> sorted = measured_;
+  std::sort(sorted.begin(), sorted.end());
+  RQSIM_CHECK(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+              "Circuit::validate: qubit measured twice");
+  for (qubit_t q : measured_) {
+    RQSIM_CHECK(q < num_qubits_, "Circuit::validate: measured qubit out of range");
+  }
+}
+
+}  // namespace rqsim

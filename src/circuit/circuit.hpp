@@ -1,0 +1,99 @@
+// Circuit container: an ordered gate list over n qubits plus a terminal
+// measurement of a subset of qubits into classical bits.
+//
+// The noisy-simulation pipeline in this library (and the paper it
+// reproduces) treats measurement as *terminal*: all measurements happen
+// after the last gate, and measurement noise is a classical bit flip on the
+// sampled outcome. Mid-circuit measurement is deliberately not modeled.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "circuit/gate.hpp"
+#include "common/types.hpp"
+
+namespace rqsim {
+
+class Circuit {
+ public:
+  Circuit() = default;
+  explicit Circuit(unsigned num_qubits, std::string name = "circuit");
+
+  unsigned num_qubits() const { return num_qubits_; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::vector<Gate>& gates() const { return gates_; }
+  std::size_t num_gates() const { return gates_.size(); }
+
+  /// Append a gate (operands validated against num_qubits()).
+  void add(const Gate& gate);
+
+  // Convenience builders ----------------------------------------------------
+  void x(qubit_t q) { add(Gate::make1(GateKind::X, q)); }
+  void y(qubit_t q) { add(Gate::make1(GateKind::Y, q)); }
+  void z(qubit_t q) { add(Gate::make1(GateKind::Z, q)); }
+  void h(qubit_t q) { add(Gate::make1(GateKind::H, q)); }
+  void s(qubit_t q) { add(Gate::make1(GateKind::S, q)); }
+  void sdg(qubit_t q) { add(Gate::make1(GateKind::Sdg, q)); }
+  void t(qubit_t q) { add(Gate::make1(GateKind::T, q)); }
+  void tdg(qubit_t q) { add(Gate::make1(GateKind::Tdg, q)); }
+  void rx(qubit_t q, double theta) { add(Gate::make1(GateKind::RX, q, theta)); }
+  void ry(qubit_t q, double theta) { add(Gate::make1(GateKind::RY, q, theta)); }
+  void rz(qubit_t q, double lambda) { add(Gate::make1(GateKind::RZ, q, lambda)); }
+  void p(qubit_t q, double lambda) { add(Gate::make1(GateKind::P, q, lambda)); }
+  void u2(qubit_t q, double phi, double lambda) {
+    add(Gate::make1(GateKind::U2, q, phi, lambda));
+  }
+  void u3(qubit_t q, double theta, double phi, double lambda) {
+    add(Gate::make1(GateKind::U3, q, theta, phi, lambda));
+  }
+  void cx(qubit_t control, qubit_t target) {
+    add(Gate::make2(GateKind::CX, control, target));
+  }
+  void cz(qubit_t a, qubit_t b) { add(Gate::make2(GateKind::CZ, a, b)); }
+  void cp(qubit_t a, qubit_t b, double lambda) {
+    add(Gate::make2(GateKind::CP, a, b, lambda));
+  }
+  void swap(qubit_t a, qubit_t b) { add(Gate::make2(GateKind::SWAP, a, b)); }
+  void ccx(qubit_t c1, qubit_t c2, qubit_t target) {
+    add(Gate::make3(GateKind::CCX, c1, c2, target));
+  }
+
+  // Measurement --------------------------------------------------------------
+
+  /// Measure qubit q into the next classical bit; returns the bit index.
+  std::size_t measure(qubit_t q);
+
+  /// Measure all qubits in order (bit i <- qubit i).
+  void measure_all();
+
+  /// Qubits measured, in classical-bit order.
+  const std::vector<qubit_t>& measured_qubits() const { return measured_; }
+  std::size_t num_measured() const { return measured_.size(); }
+
+  // Statistics ---------------------------------------------------------------
+
+  /// Number of single-qubit gates.
+  std::size_t count_single_qubit_gates() const;
+
+  /// Number of gates of a specific kind.
+  std::size_t count_kind(GateKind kind) const;
+
+  /// Number of gates with arity >= 2.
+  std::size_t count_multi_qubit_gates() const;
+
+  /// True if every gate operand and measured qubit is in range and no qubit
+  /// is measured twice.
+  void validate() const;
+
+ private:
+  unsigned num_qubits_ = 0;
+  std::string name_ = "circuit";
+  std::vector<Gate> gates_;
+  std::vector<qubit_t> measured_;
+};
+
+}  // namespace rqsim

@@ -1,0 +1,256 @@
+#include "circuit/gate.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rqsim {
+
+int gate_arity(GateKind kind) {
+  switch (kind) {
+    case GateKind::X:
+    case GateKind::Y:
+    case GateKind::Z:
+    case GateKind::H:
+    case GateKind::S:
+    case GateKind::Sdg:
+    case GateKind::T:
+    case GateKind::Tdg:
+    case GateKind::RX:
+    case GateKind::RY:
+    case GateKind::RZ:
+    case GateKind::P:
+    case GateKind::U2:
+    case GateKind::U3:
+      return 1;
+    case GateKind::CX:
+    case GateKind::CZ:
+    case GateKind::CP:
+    case GateKind::SWAP:
+      return 2;
+    case GateKind::CCX:
+      return 3;
+  }
+  return 0;
+}
+
+int gate_num_params(GateKind kind) {
+  switch (kind) {
+    case GateKind::RX:
+    case GateKind::RY:
+    case GateKind::RZ:
+    case GateKind::P:
+    case GateKind::CP:
+      return 1;
+    case GateKind::U2:
+      return 2;
+    case GateKind::U3:
+      return 3;
+    default:
+      return 0;
+  }
+}
+
+std::string gate_name(GateKind kind) {
+  switch (kind) {
+    case GateKind::X:
+      return "x";
+    case GateKind::Y:
+      return "y";
+    case GateKind::Z:
+      return "z";
+    case GateKind::H:
+      return "h";
+    case GateKind::S:
+      return "s";
+    case GateKind::Sdg:
+      return "sdg";
+    case GateKind::T:
+      return "t";
+    case GateKind::Tdg:
+      return "tdg";
+    case GateKind::RX:
+      return "rx";
+    case GateKind::RY:
+      return "ry";
+    case GateKind::RZ:
+      return "rz";
+    case GateKind::P:
+      return "p";
+    case GateKind::U2:
+      return "u2";
+    case GateKind::U3:
+      return "u3";
+    case GateKind::CX:
+      return "cx";
+    case GateKind::CZ:
+      return "cz";
+    case GateKind::CP:
+      return "cp";
+    case GateKind::SWAP:
+      return "swap";
+    case GateKind::CCX:
+      return "ccx";
+  }
+  return "?";
+}
+
+Gate Gate::make1(GateKind kind, qubit_t q, double p0, double p1, double p2) {
+  RQSIM_CHECK(gate_arity(kind) == 1, "Gate::make1: kind is not single-qubit");
+  Gate g;
+  g.kind = kind;
+  g.qubits = {q, 0, 0};
+  g.params = {p0, p1, p2};
+  return g;
+}
+
+Gate Gate::make2(GateKind kind, qubit_t a, qubit_t b, double p0) {
+  RQSIM_CHECK(gate_arity(kind) == 2, "Gate::make2: kind is not two-qubit");
+  RQSIM_CHECK(a != b, "Gate::make2: operands must differ");
+  Gate g;
+  g.kind = kind;
+  g.qubits = {a, b, 0};
+  g.params = {p0, 0.0, 0.0};
+  return g;
+}
+
+Gate Gate::make3(GateKind kind, qubit_t a, qubit_t b, qubit_t c) {
+  RQSIM_CHECK(gate_arity(kind) == 3, "Gate::make3: kind is not three-qubit");
+  RQSIM_CHECK(a != b && b != c && a != c, "Gate::make3: operands must differ");
+  Gate g;
+  g.kind = kind;
+  g.qubits = {a, b, c};
+  return g;
+}
+
+namespace {
+
+Mat2 u3_matrix(double theta, double phi, double lambda) {
+  Mat2 m;
+  const double ct = std::cos(theta / 2.0);
+  const double st = std::sin(theta / 2.0);
+  m.at(0, 0) = ct;
+  m.at(0, 1) = -std::exp(cplx(0.0, lambda)) * st;
+  m.at(1, 0) = std::exp(cplx(0.0, phi)) * st;
+  m.at(1, 1) = std::exp(cplx(0.0, phi + lambda)) * ct;
+  return m;
+}
+
+}  // namespace
+
+Mat2 gate_matrix1(const Gate& gate) {
+  RQSIM_CHECK(gate.arity() == 1, "gate_matrix1: gate is not single-qubit");
+  const double p0 = gate.params[0];
+  const double p1 = gate.params[1];
+  const double p2 = gate.params[2];
+  Mat2 m;
+  switch (gate.kind) {
+    case GateKind::X:
+      m.at(0, 1) = 1.0;
+      m.at(1, 0) = 1.0;
+      return m;
+    case GateKind::Y:
+      m.at(0, 1) = cplx(0.0, -1.0);
+      m.at(1, 0) = cplx(0.0, 1.0);
+      return m;
+    case GateKind::Z:
+      m.at(0, 0) = 1.0;
+      m.at(1, 1) = -1.0;
+      return m;
+    case GateKind::H: {
+      const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+      m.at(0, 0) = inv_sqrt2;
+      m.at(0, 1) = inv_sqrt2;
+      m.at(1, 0) = inv_sqrt2;
+      m.at(1, 1) = -inv_sqrt2;
+      return m;
+    }
+    case GateKind::S:
+      m.at(0, 0) = 1.0;
+      m.at(1, 1) = cplx(0.0, 1.0);
+      return m;
+    case GateKind::Sdg:
+      m.at(0, 0) = 1.0;
+      m.at(1, 1) = cplx(0.0, -1.0);
+      return m;
+    case GateKind::T:
+      m.at(0, 0) = 1.0;
+      m.at(1, 1) = std::exp(cplx(0.0, kPi / 4.0));
+      return m;
+    case GateKind::Tdg:
+      m.at(0, 0) = 1.0;
+      m.at(1, 1) = std::exp(cplx(0.0, -kPi / 4.0));
+      return m;
+    case GateKind::RX:
+      return u3_matrix(p0, -kPi / 2.0, kPi / 2.0);
+    case GateKind::RY:
+      return u3_matrix(p0, 0.0, 0.0);
+    case GateKind::RZ:
+      // rz(λ) = diag(e^{-iλ/2}, e^{iλ/2}).
+      m.at(0, 0) = std::exp(cplx(0.0, -p0 / 2.0));
+      m.at(1, 1) = std::exp(cplx(0.0, p0 / 2.0));
+      return m;
+    case GateKind::P:
+      m.at(0, 0) = 1.0;
+      m.at(1, 1) = std::exp(cplx(0.0, p0));
+      return m;
+    case GateKind::U2:
+      return u3_matrix(kPi / 2.0, p0, p1);
+    case GateKind::U3:
+      return u3_matrix(p0, p1, p2);
+    default:
+      break;
+  }
+  RQSIM_CHECK(false, "gate_matrix1: unhandled gate kind");
+  return m;
+}
+
+Mat4 gate_matrix2(const Gate& gate) {
+  RQSIM_CHECK(gate.arity() == 2, "gate_matrix2: gate is not two-qubit");
+  Mat4 m;
+  switch (gate.kind) {
+    case GateKind::CX:
+      m.at(0, 0) = 1.0;
+      m.at(1, 1) = 1.0;
+      m.at(2, 3) = 1.0;
+      m.at(3, 2) = 1.0;
+      return m;
+    case GateKind::CZ:
+      m = Mat4::identity();
+      m.at(3, 3) = -1.0;
+      return m;
+    case GateKind::CP:
+      m = Mat4::identity();
+      m.at(3, 3) = std::exp(cplx(0.0, gate.params[0]));
+      return m;
+    case GateKind::SWAP:
+      m.at(0, 0) = 1.0;
+      m.at(1, 2) = 1.0;
+      m.at(2, 1) = 1.0;
+      m.at(3, 3) = 1.0;
+      return m;
+    default:
+      break;
+  }
+  RQSIM_CHECK(false, "gate_matrix2: unhandled gate kind");
+  return m;
+}
+
+bool gate_is_diagonal(GateKind kind) {
+  switch (kind) {
+    case GateKind::Z:
+    case GateKind::S:
+    case GateKind::Sdg:
+    case GateKind::T:
+    case GateKind::Tdg:
+    case GateKind::RZ:
+    case GateKind::P:
+    case GateKind::CZ:
+    case GateKind::CP:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace rqsim

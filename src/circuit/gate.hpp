@@ -1,0 +1,74 @@
+// Gate set of the circuit IR.
+//
+// The IR is intentionally small: the standard single-qubit gates and
+// rotations, the two-qubit entanglers used by the benchmarks (CX, CZ, CP,
+// SWAP), and the Toffoli (CCX). Convention for two-qubit matrices: the
+// 4x4 row/column index is (bit(qubits[0]) << 1) | bit(qubits[1]), i.e. the
+// first listed operand is the high-order bit (the control for CX/CZ/CP).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "linalg/matrix.hpp"
+
+namespace rqsim {
+
+enum class GateKind : std::uint8_t {
+  X,
+  Y,
+  Z,
+  H,
+  S,
+  Sdg,
+  T,
+  Tdg,
+  RX,
+  RY,
+  RZ,
+  P,   // phase gate diag(1, e^{i λ})
+  U2,  // u2(φ, λ)
+  U3,  // u3(θ, φ, λ) — general single-qubit
+  CX,
+  CZ,
+  CP,  // controlled phase
+  SWAP,
+  CCX,
+};
+
+/// Number of qubit operands for a gate kind (1, 2 or 3).
+int gate_arity(GateKind kind);
+
+/// Number of real parameters for a gate kind (0..3).
+int gate_num_params(GateKind kind);
+
+/// Lower-case mnemonic as used in OpenQASM ("cx", "u3", ...).
+std::string gate_name(GateKind kind);
+
+/// A gate instance: kind + operands + parameters.
+struct Gate {
+  GateKind kind = GateKind::X;
+  std::array<qubit_t, 3> qubits{};
+  std::array<double, 3> params{};
+
+  int arity() const { return gate_arity(kind); }
+
+  static Gate make1(GateKind kind, qubit_t q, double p0 = 0.0, double p1 = 0.0,
+                    double p2 = 0.0);
+  static Gate make2(GateKind kind, qubit_t a, qubit_t b, double p0 = 0.0);
+  static Gate make3(GateKind kind, qubit_t a, qubit_t b, qubit_t c);
+};
+
+/// 2x2 matrix of a single-qubit gate (requires arity 1).
+Mat2 gate_matrix1(const Gate& gate);
+
+/// 4x4 matrix of a two-qubit gate (requires arity 2), in the operand-order
+/// convention described at the top of this header.
+Mat4 gate_matrix2(const Gate& gate);
+
+/// True for gates whose matrix is diagonal (Z, S, Sdg, T, Tdg, RZ, P, CZ, CP).
+bool gate_is_diagonal(GateKind kind);
+
+}  // namespace rqsim

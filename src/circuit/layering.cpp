@@ -1,0 +1,70 @@
+#include "circuit/layering.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rqsim {
+
+Layering layer_circuit(const Circuit& circuit) {
+  Layering out;
+  out.layer_of_gate.resize(circuit.num_gates());
+  std::vector<layer_index_t> next_free(circuit.num_qubits(), 0);
+
+  for (gate_index_t g = 0; g < circuit.num_gates(); ++g) {
+    const Gate& gate = circuit.gates()[g];
+    layer_index_t layer = 0;
+    const int arity = gate.arity();
+    for (int i = 0; i < arity; ++i) {
+      layer = std::max(layer, next_free[gate.qubits[static_cast<std::size_t>(i)]]);
+    }
+    out.layer_of_gate[g] = layer;
+    for (int i = 0; i < arity; ++i) {
+      next_free[gate.qubits[static_cast<std::size_t>(i)]] = layer + 1;
+    }
+    if (layer >= out.layers.size()) {
+      out.layers.resize(layer + 1);
+    }
+    out.layers[layer].push_back(g);
+  }
+  return out;
+}
+
+bool layering_is_valid(const Circuit& circuit, const Layering& layering) {
+  if (layering.layer_of_gate.size() != circuit.num_gates()) {
+    return false;
+  }
+  // No qubit reuse within a layer.
+  for (const auto& layer : layering.layers) {
+    std::vector<qubit_t> used;
+    for (gate_index_t g : layer) {
+      const Gate& gate = circuit.gates()[g];
+      const int arity = gate.arity();
+      for (int i = 0; i < arity; ++i) {
+        const qubit_t q = gate.qubits[static_cast<std::size_t>(i)];
+        if (std::find(used.begin(), used.end(), q) != used.end()) {
+          return false;
+        }
+        used.push_back(q);
+      }
+    }
+  }
+  // Program order respected per qubit: a later gate on the same qubit must
+  // be in a strictly later layer.
+  std::vector<long> last_layer(circuit.num_qubits(), -1);
+  for (gate_index_t g = 0; g < circuit.num_gates(); ++g) {
+    const Gate& gate = circuit.gates()[g];
+    const long layer = static_cast<long>(layering.layer_of_gate[g]);
+    const int arity = gate.arity();
+    for (int i = 0; i < arity; ++i) {
+      const qubit_t q = gate.qubits[static_cast<std::size_t>(i)];
+      if (layer <= last_layer[q]) {
+        return false;
+      }
+      last_layer[q] = layer;
+    }
+  }
+  return true;
+}
+
+}  // namespace rqsim

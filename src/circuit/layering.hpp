@@ -1,0 +1,35 @@
+// ASAP layering of a circuit.
+//
+// The paper injects errors "at the end of each layer", where a layer is a
+// maximal set of gates acting on disjoint qubits scheduled as soon as their
+// operands are free. The layering defines the (layer, gate) coordinates of
+// every error position used by the trial reorder.
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/types.hpp"
+
+namespace rqsim {
+
+/// Result of ASAP layering.
+struct Layering {
+  /// layer_of_gate[g] — the layer index assigned to gate g.
+  std::vector<layer_index_t> layer_of_gate;
+
+  /// layers[l] — gate indices in layer l, in circuit order.
+  std::vector<std::vector<gate_index_t>> layers;
+
+  std::size_t num_layers() const { return layers.size(); }
+};
+
+/// Compute the ASAP layering: each gate goes to the earliest layer after the
+/// latest layer used by any of its operands.
+Layering layer_circuit(const Circuit& circuit);
+
+/// Check the layering invariant: within any layer no two gates share a
+/// qubit, and each gate is no earlier than any predecessor on its qubits.
+bool layering_is_valid(const Circuit& circuit, const Layering& layering);
+
+}  // namespace rqsim

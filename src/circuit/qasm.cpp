@@ -1,0 +1,374 @@
+#include "circuit/qasm.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "common/types.hpp"
+
+namespace rqsim {
+
+namespace {
+
+std::string format_param(double value) {
+  // Emit enough digits to round-trip a double.
+  std::ostringstream os;
+  os.precision(17);
+  os << value;
+  return os.str();
+}
+
+}  // namespace
+
+std::string to_qasm(const Circuit& circuit) {
+  std::ostringstream os;
+  os << "OPENQASM 2.0;\n";
+  os << "include \"qelib1.inc\";\n";
+  os << "qreg q[" << circuit.num_qubits() << "];\n";
+  if (circuit.num_measured() > 0) {
+    os << "creg c[" << circuit.num_measured() << "];\n";
+  }
+  for (const Gate& g : circuit.gates()) {
+    std::string name = gate_name(g.kind);
+    if (name == "p") {
+      name = "u1";  // qelib1 compatibility
+    }
+    if (name == "cp") {
+      name = "cu1";
+    }
+    os << name;
+    const int np = gate_num_params(g.kind);
+    if (np > 0) {
+      os << "(";
+      for (int i = 0; i < np; ++i) {
+        if (i > 0) {
+          os << ",";
+        }
+        os << format_param(g.params[static_cast<std::size_t>(i)]);
+      }
+      os << ")";
+    }
+    os << " ";
+    const int arity = g.arity();
+    for (int i = 0; i < arity; ++i) {
+      if (i > 0) {
+        os << ",";
+      }
+      os << "q[" << g.qubits[static_cast<std::size_t>(i)] << "]";
+    }
+    os << ";\n";
+  }
+  for (std::size_t bit = 0; bit < circuit.num_measured(); ++bit) {
+    os << "measure q[" << circuit.measured_qubits()[bit] << "] -> c[" << bit << "];\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tiny recursive-descent evaluator for parameter expressions.
+// grammar: expr := term (('+'|'-') term)*
+//          term := factor (('*'|'/') factor)*
+//          factor := ('-'|'+') factor | number | 'pi' | '(' expr ')'
+class ExprParser {
+ public:
+  explicit ExprParser(const std::string& text) : text_(text) {}
+
+  double parse() {
+    const double v = parse_expr();
+    skip_ws();
+    RQSIM_CHECK(pos_ == text_.size(), "qasm expr: trailing characters in '" + text_ + "'");
+    return v;
+  }
+
+ private:
+  double parse_expr() {
+    double v = parse_term();
+    for (;;) {
+      skip_ws();
+      if (peek() == '+') {
+        ++pos_;
+        v += parse_term();
+      } else if (peek() == '-') {
+        ++pos_;
+        v -= parse_term();
+      } else {
+        return v;
+      }
+    }
+  }
+
+  double parse_term() {
+    double v = parse_factor();
+    for (;;) {
+      skip_ws();
+      if (peek() == '*') {
+        ++pos_;
+        v *= parse_factor();
+      } else if (peek() == '/') {
+        ++pos_;
+        const double d = parse_factor();
+        RQSIM_CHECK(d != 0.0, "qasm expr: division by zero");
+        v /= d;
+      } else {
+        return v;
+      }
+    }
+  }
+
+  double parse_factor() {
+    skip_ws();
+    const char c = peek();
+    if (c == '-') {
+      ++pos_;
+      return -parse_factor();
+    }
+    if (c == '+') {
+      ++pos_;
+      return parse_factor();
+    }
+    if (c == '(') {
+      ++pos_;
+      const double v = parse_expr();
+      skip_ws();
+      RQSIM_CHECK(peek() == ')', "qasm expr: missing ')'");
+      ++pos_;
+      return v;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      return parse_number();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      std::string ident;
+      while (pos_ < text_.size() &&
+             std::isalpha(static_cast<unsigned char>(text_[pos_]))) {
+        ident.push_back(text_[pos_++]);
+      }
+      RQSIM_CHECK(ident == "pi", "qasm expr: unknown identifier '" + ident + "'");
+      return kPi;
+    }
+    RQSIM_CHECK(false, "qasm expr: unexpected character in '" + text_ + "'");
+    return 0.0;
+  }
+
+  double parse_number() {
+    const std::size_t begin = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            ((text_[pos_] == '+' || text_[pos_] == '-') && pos_ > begin &&
+             (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+      ++pos_;
+    }
+    return std::stod(text_.substr(begin, pos_ - begin));
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+struct QasmStatement {
+  std::string name;
+  std::vector<double> params;
+  std::vector<std::string> operands;
+};
+
+// Parse "name(p0,p1) q[0],q[1]" into its parts.
+QasmStatement parse_statement(const std::string& stmt, int line_no) {
+  QasmStatement out;
+  std::size_t pos = 0;
+  while (pos < stmt.size() &&
+         (std::isalnum(static_cast<unsigned char>(stmt[pos])) || stmt[pos] == '_')) {
+    out.name.push_back(stmt[pos++]);
+  }
+  RQSIM_CHECK(!out.name.empty(),
+              "qasm: cannot parse statement at line " + std::to_string(line_no));
+  if (pos < stmt.size() && stmt[pos] == '(') {
+    const std::size_t close = stmt.find(')', pos);
+    RQSIM_CHECK(close != std::string::npos,
+                "qasm: missing ')' at line " + std::to_string(line_no));
+    // Split on commas at depth zero.
+    int depth = 0;
+    std::string cur;
+    for (std::size_t i = pos + 1; i < close; ++i) {
+      const char c = stmt[i];
+      if (c == '(') {
+        ++depth;
+      }
+      if (c == ')') {
+        --depth;
+      }
+      if (c == ',' && depth == 0) {
+        out.params.push_back(eval_qasm_expr(cur));
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+    if (!trim(cur).empty()) {
+      out.params.push_back(eval_qasm_expr(cur));
+    }
+    pos = close + 1;
+  }
+  for (const std::string& piece : split(stmt.substr(pos), ',')) {
+    const std::string operand = trim(piece);
+    if (!operand.empty()) {
+      out.operands.push_back(operand);
+    }
+  }
+  return out;
+}
+
+qubit_t parse_indexed(const std::string& operand, const std::string& reg, int line_no) {
+  const std::size_t open = operand.find('[');
+  const std::size_t close = operand.find(']');
+  RQSIM_CHECK(open != std::string::npos && close != std::string::npos && close > open,
+              "qasm: expected indexed operand at line " + std::to_string(line_no));
+  RQSIM_CHECK(trim(operand.substr(0, open)) == reg,
+              "qasm: unknown register '" + operand + "' at line " + std::to_string(line_no));
+  return static_cast<qubit_t>(std::stoul(operand.substr(open + 1, close - open - 1)));
+}
+
+}  // namespace
+
+double eval_qasm_expr(const std::string& expr) { return ExprParser(expr).parse(); }
+
+Circuit from_qasm(const std::string& text) {
+  // Strip comments, then split on ';' so statements may span lines.
+  std::string cleaned;
+  for (const std::string& raw_line : split(text, '\n')) {
+    std::string line = raw_line;
+    const std::size_t comment = line.find("//");
+    if (comment != std::string::npos) {
+      line = line.substr(0, comment);
+    }
+    cleaned += line;
+    cleaned += '\n';
+  }
+
+  Circuit circuit;
+  std::string qreg_name = "q";
+  std::string creg_name = "c";
+  bool have_qreg = false;
+  std::map<std::size_t, qubit_t> measurements;  // classical bit -> qubit
+
+  int line_no = 0;
+  std::size_t start = 0;
+  while (start < cleaned.size()) {
+    const std::size_t end = cleaned.find(';', start);
+    if (end == std::string::npos) {
+      RQSIM_CHECK(trim(cleaned.substr(start)).empty(), "qasm: trailing statement without ';'");
+      break;
+    }
+    std::string stmt = cleaned.substr(start, end - start);
+    line_no += static_cast<int>(std::count(stmt.begin(), stmt.end(), '\n'));
+    start = end + 1;
+    stmt = trim(stmt);
+    if (stmt.empty()) {
+      continue;
+    }
+    if (starts_with(stmt, "OPENQASM") || starts_with(stmt, "include") ||
+        starts_with(stmt, "barrier")) {
+      continue;
+    }
+    if (starts_with(stmt, "qreg")) {
+      const QasmStatement qs = parse_statement(trim(stmt.substr(4)), line_no);
+      const std::size_t open = qs.name.size();
+      (void)open;
+      // Re-parse: "q[5]" arrives as one operand-like token in qs.name + index.
+      const std::string decl = trim(stmt.substr(4));
+      const std::size_t ob = decl.find('[');
+      const std::size_t cb = decl.find(']');
+      RQSIM_CHECK(ob != std::string::npos && cb != std::string::npos,
+                  "qasm: bad qreg at line " + std::to_string(line_no));
+      qreg_name = trim(decl.substr(0, ob));
+      const unsigned n = static_cast<unsigned>(std::stoul(decl.substr(ob + 1, cb - ob - 1)));
+      circuit = Circuit(n, "qasm");
+      have_qreg = true;
+      continue;
+    }
+    if (starts_with(stmt, "creg")) {
+      const std::string decl = trim(stmt.substr(4));
+      const std::size_t ob = decl.find('[');
+      RQSIM_CHECK(ob != std::string::npos, "qasm: bad creg at line " + std::to_string(line_no));
+      creg_name = trim(decl.substr(0, ob));
+      continue;
+    }
+    RQSIM_CHECK(have_qreg, "qasm: statement before qreg at line " + std::to_string(line_no));
+    if (starts_with(stmt, "measure")) {
+      const std::size_t arrow = stmt.find("->");
+      RQSIM_CHECK(arrow != std::string::npos,
+                  "qasm: measure without '->' at line " + std::to_string(line_no));
+      const qubit_t q = parse_indexed(trim(stmt.substr(7, arrow - 7)), qreg_name, line_no);
+      const qubit_t cbit = parse_indexed(trim(stmt.substr(arrow + 2)), creg_name, line_no);
+      measurements[cbit] = q;
+      continue;
+    }
+
+    const QasmStatement qs = parse_statement(stmt, line_no);
+    std::vector<qubit_t> qubits;
+    qubits.reserve(qs.operands.size());
+    for (const std::string& operand : qs.operands) {
+      qubits.push_back(parse_indexed(operand, qreg_name, line_no));
+    }
+
+    static const std::map<std::string, GateKind> kGateByName = {
+        {"x", GateKind::X},     {"y", GateKind::Y},     {"z", GateKind::Z},
+        {"h", GateKind::H},     {"s", GateKind::S},     {"sdg", GateKind::Sdg},
+        {"t", GateKind::T},     {"tdg", GateKind::Tdg}, {"rx", GateKind::RX},
+        {"ry", GateKind::RY},   {"rz", GateKind::RZ},   {"p", GateKind::P},
+        {"u1", GateKind::P},    {"u2", GateKind::U2},   {"u3", GateKind::U3},
+        {"u", GateKind::U3},    {"cx", GateKind::CX},   {"cz", GateKind::CZ},
+        {"cp", GateKind::CP},   {"cu1", GateKind::CP},  {"swap", GateKind::SWAP},
+        {"ccx", GateKind::CCX}, {"id", GateKind::P},
+    };
+    const auto it = kGateByName.find(qs.name);
+    RQSIM_CHECK(it != kGateByName.end(),
+                "qasm: unsupported gate '" + qs.name + "' at line " + std::to_string(line_no));
+    const GateKind kind = it->second;
+    if (qs.name == "id") {
+      continue;  // identity: no-op
+    }
+    const int arity = gate_arity(kind);
+    const int np = gate_num_params(kind);
+    RQSIM_CHECK(static_cast<int>(qubits.size()) == arity,
+                "qasm: wrong operand count for '" + qs.name + "' at line " +
+                    std::to_string(line_no));
+    RQSIM_CHECK(static_cast<int>(qs.params.size()) == np,
+                "qasm: wrong parameter count for '" + qs.name + "' at line " +
+                    std::to_string(line_no));
+    Gate g;
+    g.kind = kind;
+    for (int i = 0; i < arity; ++i) {
+      g.qubits[static_cast<std::size_t>(i)] = qubits[static_cast<std::size_t>(i)];
+    }
+    for (int i = 0; i < np; ++i) {
+      g.params[static_cast<std::size_t>(i)] = qs.params[static_cast<std::size_t>(i)];
+    }
+    circuit.add(g);
+  }
+
+  // Apply measurements in classical-bit order.
+  std::size_t expected = 0;
+  for (const auto& [cbit, q] : measurements) {
+    RQSIM_CHECK(cbit == expected, "qasm: classical bits must be contiguous from 0");
+    circuit.measure(q);
+    ++expected;
+  }
+  circuit.validate();
+  return circuit;
+}
+
+}  // namespace rqsim

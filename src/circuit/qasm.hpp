@@ -1,0 +1,27 @@
+// OpenQASM 2.0 subset writer and parser.
+//
+// Supported subset (enough to round-trip every circuit this library
+// produces): a single qreg/creg declaration, the gate mnemonics of the IR
+// gate set (x, y, z, h, s, sdg, t, tdg, rx, ry, rz, p/u1, u2, u3, cx, cz,
+// cp/cu1, swap, ccx), `measure q[i] -> c[j]`, `barrier` (ignored), and
+// comments. Parameter expressions support +, -, *, /, parentheses, numeric
+// literals, and `pi`.
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace rqsim {
+
+/// Serialize a circuit to OpenQASM 2.0.
+std::string to_qasm(const Circuit& circuit);
+
+/// Parse an OpenQASM 2.0 subset into a Circuit. Throws rqsim::Error with a
+/// line number on any construct outside the supported subset.
+Circuit from_qasm(const std::string& text);
+
+/// Evaluate a QASM parameter expression ("-pi/4", "3*pi/2", "0.25"...).
+double eval_qasm_expr(const std::string& expr);
+
+}  // namespace rqsim

@@ -1,0 +1,379 @@
+#include "cli/cli.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "bench_circuits/factory.hpp"
+#include "bench_circuits/suite.hpp"
+#include "circuit/qasm.hpp"
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "noise/calibration.hpp"
+#include "noise/devices.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+#include "sched/enumerate.hpp"
+#include "sched/parallel.hpp"
+#include "sched/runner.hpp"
+#include "transpile/decompose.hpp"
+#include "transpile/transpiler.hpp"
+
+namespace rqsim {
+
+namespace {
+
+struct CliOptions {
+  std::string circuit_spec;   // --circuit
+  std::string qasm_path;      // --qasm
+  std::string device = "yorktown";
+  std::string device_csv;            // --device-csv
+  unsigned device_qubits = 0;     // --qubits (artificial/ideal)
+  double device_rate = 1e-3;      // --rate (artificial)
+  double noise_scale = 1.0;       // --scale
+  std::size_t trials = 1024;      // --trials
+  std::uint64_t seed = 1;         // --seed
+  std::string mode = "cached";    // --mode baseline|cached|unordered
+  std::size_t threads = 1;        // --threads
+  std::size_t max_states = 0;     // --max-states
+  std::size_t top = 16;           // --top (histogram rows)
+  std::size_t max_errors = 2;     // --max-errors (enumerate)
+  std::string csv_path;           // --csv
+  bool no_transpile = false;      // --no-transpile
+};
+
+[[noreturn]] void usage_error(const std::string& message) {
+  throw Error("cli: " + message + " (see 'rqsim help')");
+}
+
+std::uint64_t parse_u64_flag(const std::string& value, const std::string& flag) {
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    usage_error("bad value '" + value + "' for " + flag);
+  }
+  return parsed;
+}
+
+double parse_double_flag(const std::string& value, const std::string& flag) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    usage_error("bad value '" + value + "' for " + flag);
+  }
+  return parsed;
+}
+
+CliOptions parse_options(const std::vector<std::string>& args, std::size_t begin) {
+  CliOptions options;
+  for (std::size_t i = begin; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    auto value = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        usage_error("missing value for " + flag);
+      }
+      return args[++i];
+    };
+    if (flag == "--circuit") {
+      options.circuit_spec = value();
+    } else if (flag == "--qasm") {
+      options.qasm_path = value();
+    } else if (flag == "--device") {
+      options.device = value();
+    } else if (flag == "--device-csv") {
+      options.device_csv = value();
+    } else if (flag == "--qubits") {
+      options.device_qubits = static_cast<unsigned>(parse_u64_flag(value(), flag));
+    } else if (flag == "--rate") {
+      options.device_rate = parse_double_flag(value(), flag);
+    } else if (flag == "--scale") {
+      options.noise_scale = parse_double_flag(value(), flag);
+    } else if (flag == "--trials") {
+      options.trials = parse_u64_flag(value(), flag);
+    } else if (flag == "--seed") {
+      options.seed = parse_u64_flag(value(), flag);
+    } else if (flag == "--mode") {
+      options.mode = value();
+    } else if (flag == "--threads") {
+      options.threads = parse_u64_flag(value(), flag);
+    } else if (flag == "--max-states") {
+      options.max_states = parse_u64_flag(value(), flag);
+    } else if (flag == "--top") {
+      options.top = parse_u64_flag(value(), flag);
+    } else if (flag == "--max-errors") {
+      options.max_errors = parse_u64_flag(value(), flag);
+    } else if (flag == "--csv") {
+      options.csv_path = value();
+    } else if (flag == "--no-transpile") {
+      options.no_transpile = true;
+    } else {
+      usage_error("unknown flag '" + flag + "'");
+    }
+  }
+  return options;
+}
+
+Circuit load_circuit(const CliOptions& options) {
+  if (!options.qasm_path.empty()) {
+    std::ifstream file(options.qasm_path);
+    if (!file) {
+      usage_error("cannot open QASM file '" + options.qasm_path + "'");
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return from_qasm(buffer.str());
+  }
+  if (!options.circuit_spec.empty()) {
+    return make_named_circuit(options.circuit_spec);
+  }
+  usage_error("one of --circuit or --qasm is required");
+}
+
+DeviceModel load_device(const CliOptions& options, unsigned circuit_qubits) {
+  DeviceModel dev;
+  if (!options.device_csv.empty()) {
+    dev = load_calibration_csv(options.device_csv);
+  } else if (options.device == "yorktown") {
+    dev = yorktown_device();
+  } else if (options.device == "yorktown-directed") {
+    dev = yorktown_device();
+    dev.coupling = CouplingMap::yorktown_directed();
+  } else if (options.device == "ideal") {
+    dev = ideal_device(options.device_qubits > 0 ? options.device_qubits
+                                                 : circuit_qubits);
+  } else if (options.device == "artificial") {
+    dev = artificial_device(
+        options.device_qubits > 0 ? options.device_qubits : circuit_qubits,
+        options.device_rate);
+  } else {
+    usage_error("unknown device '" + options.device +
+                "' (yorktown | yorktown-directed | artificial | ideal)");
+  }
+  if (options.noise_scale != 1.0) {
+    dev.noise = dev.noise.scaled(options.noise_scale);
+  }
+  return dev;
+}
+
+ExecutionMode parse_mode(const std::string& mode) {
+  if (mode == "baseline") {
+    return ExecutionMode::kBaseline;
+  }
+  if (mode == "cached") {
+    return ExecutionMode::kCachedReordered;
+  }
+  if (mode == "unordered") {
+    return ExecutionMode::kCachedUnordered;
+  }
+  usage_error("unknown mode '" + mode + "' (baseline | cached | unordered)");
+}
+
+// Transpile unless disabled; always decompose to 1-/2-qubit gates.
+Circuit prepare_circuit(const Circuit& logical, const DeviceModel& dev,
+                        const CliOptions& options, std::ostream& out) {
+  if (options.no_transpile) {
+    return decompose_to_cx_basis(logical);
+  }
+  RQSIM_CHECK(logical.num_qubits() <= dev.coupling.num_qubits(),
+              "cli: circuit has more qubits than the device; use --qubits or "
+              "--no-transpile with an ideal/artificial device");
+  const TranspileResult compiled = transpile(logical, dev.coupling);
+  out << "transpiled onto " << dev.name << ": " << compiled.circuit.num_gates()
+      << " gates, " << compiled.swaps_inserted << " SWAPs inserted\n";
+  return compiled.circuit;
+}
+
+void print_result(const NoisyRunResult& result, std::size_t num_measured,
+                  const CliOptions& options, std::ostream& out) {
+  out << "ops executed        : " << result.ops << "\n";
+  out << "baseline ops        : " << result.baseline_ops << "\n";
+  out << "normalized compute  : " << format_double(result.normalized_computation, 4)
+      << "  (" << format_double(100.0 * (1.0 - result.normalized_computation), 1)
+      << "% saved)\n";
+  out << "maintained states   : " << result.max_live_states << "\n";
+  out << "mean errors/trial   : " << format_double(result.trial_stats.mean_errors, 3)
+      << "\n";
+  if (!result.histogram.empty()) {
+    // Sort outcomes by count, print the top-k.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> rows(result.histogram.begin(),
+                                                              result.histogram.end());
+    std::sort(rows.begin(), rows.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    out << "top outcomes:\n";
+    for (std::size_t i = 0; i < rows.size() && i < options.top; ++i) {
+      out << "  |" << to_bitstring(rows[i].first, static_cast<unsigned>(num_measured))
+          << ">  " << rows[i].second << "\n";
+    }
+  }
+  if (!options.csv_path.empty()) {
+    std::vector<std::vector<std::string>> csv_rows;
+    for (const auto& [outcome, count] : result.histogram) {
+      csv_rows.push_back({to_bitstring(outcome, static_cast<unsigned>(num_measured)),
+                          std::to_string(count)});
+    }
+    write_csv_file(options.csv_path, {"outcome", "count"}, csv_rows);
+    out << "histogram written to " << options.csv_path << "\n";
+  }
+}
+
+int cmd_run(const std::vector<std::string>& args, std::ostream& out, bool analyze_only) {
+  const CliOptions options = parse_options(args, 2);
+  const Circuit logical = load_circuit(options);
+  const DeviceModel dev = load_device(options, logical.num_qubits());
+  const Circuit circuit = prepare_circuit(logical, dev, options, out);
+
+  NoisyRunResult result;
+  if (analyze_only) {
+    NoisyRunConfig config;
+    config.num_trials = options.trials;
+    config.seed = options.seed;
+    config.mode = parse_mode(options.mode);
+    config.max_states = options.max_states;
+    result = analyze_noisy(circuit, dev.noise, config);
+  } else if (options.threads > 1) {
+    ParallelRunConfig config;
+    config.num_trials = options.trials;
+    config.seed = options.seed;
+    config.mode = parse_mode(options.mode);
+    config.max_states = options.max_states;
+    config.num_threads = options.threads;
+    result = run_noisy_parallel(circuit, dev.noise, config);
+  } else {
+    NoisyRunConfig config;
+    config.num_trials = options.trials;
+    config.seed = options.seed;
+    config.mode = parse_mode(options.mode);
+    config.max_states = options.max_states;
+    result = run_noisy(circuit, dev.noise, config);
+  }
+  print_result(result, circuit.num_measured(), options, out);
+  return 0;
+}
+
+int cmd_enumerate(const std::vector<std::string>& args, std::ostream& out) {
+  const CliOptions options = parse_options(args, 2);
+  const Circuit logical = load_circuit(options);
+  const DeviceModel dev = load_device(options, logical.num_qubits());
+  const Circuit circuit = prepare_circuit(logical, dev, options, out);
+
+  const TruncatedDistribution t =
+      truncated_exact_distribution(circuit, dev.noise, options.max_errors);
+  out << "configurations (<= " << options.max_errors
+      << " errors): " << t.num_configurations << "\n";
+  out << "covered probability mass : " << format_double(t.covered_mass, 6)
+      << "  (TVD bound " << format_double(1.0 - t.covered_mass, 6) << ")\n";
+  out << "ops with prefix sharing  : " << t.ops << " vs " << t.baseline_ops
+      << " unshared\n";
+  out << "maintained states        : " << t.max_live_states << "\n";
+  out << "exact truncated distribution (renormalized):\n";
+  for (std::uint64_t outcome = 0; outcome < t.probabilities.size(); ++outcome) {
+    const double p = t.probabilities[outcome] / t.covered_mass;
+    if (p > 1e-6) {
+      out << "  |"
+          << to_bitstring(outcome, static_cast<unsigned>(circuit.num_measured()))
+          << ">  " << format_double(p, 6) << "\n";
+    }
+  }
+  if (!options.csv_path.empty()) {
+    std::vector<std::vector<std::string>> rows;
+    for (std::uint64_t outcome = 0; outcome < t.probabilities.size(); ++outcome) {
+      rows.push_back(
+          {to_bitstring(outcome, static_cast<unsigned>(circuit.num_measured())),
+           format_double(t.probabilities[outcome] / t.covered_mass, 9)});
+    }
+    write_csv_file(options.csv_path, {"outcome", "probability"}, rows);
+    out << "distribution written to " << options.csv_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_transpile(const std::vector<std::string>& args, std::ostream& out) {
+  const CliOptions options = parse_options(args, 2);
+  const Circuit logical = load_circuit(options);
+  const DeviceModel dev = load_device(options, logical.num_qubits());
+  const TranspileResult compiled = transpile(logical, dev.coupling);
+  out << to_qasm(compiled.circuit);
+  return 0;
+}
+
+int cmd_suite(std::ostream& out) {
+  TextTable table({"Name", "Qubit#", "Single#", "CNOT#", "Measure#"});
+  for (const BenchmarkEntry& entry : make_table1_suite(yorktown_device())) {
+    table.add_row({entry.name, std::to_string(entry.compiled.num_qubits()),
+                   std::to_string(entry.compiled.count_single_qubit_gates()),
+                   std::to_string(entry.compiled.count_kind(GateKind::CX)),
+                   std::to_string(entry.compiled.num_measured())});
+  }
+  out << table.render();
+  return 0;
+}
+
+void print_usage(std::ostream& out) {
+  out << "rqsim — accelerated noisy quantum-circuit simulation\n\n"
+         "usage: rqsim <command> [flags]\n\n"
+         "commands:\n"
+         "  run        noisy Monte Carlo simulation (statevector)\n"
+         "  analyze    op/MSV accounting only (any qubit count)\n"
+         "  enumerate  exact truncated error-configuration enumeration\n"
+         "  transpile  compile a circuit onto a device, print QASM\n"
+         "  suite      show the built-in benchmark suite\n"
+         "  help       this text\n\n"
+         "flags:\n"
+         "  --circuit <spec>      named circuit (see below)\n"
+         "  --qasm <file>         OpenQASM 2.0 input\n"
+         "  --device <name>       yorktown | yorktown-directed | artificial | ideal\n"
+         "  --device-csv <file>   calibration CSV (see noise/calibration.hpp)\n"
+         "  --qubits <n>          device size for artificial/ideal\n"
+         "  --rate <p>            single-qubit error rate for artificial (default 1e-3)\n"
+         "  --scale <f>           scale every noise rate by f\n"
+         "  --trials <n>          Monte Carlo trials (default 1024)\n"
+         "  --seed <n>            RNG seed (default 1)\n"
+         "  --mode <m>            baseline | cached | unordered (default cached)\n"
+         "  --threads <n>         parallel workers for run (default 1)\n"
+         "  --max-states <n>      MSV budget (0 = unlimited)\n"
+         "  --top <k>             histogram rows to print (default 16)\n"
+         "  --max-errors <k>      enumeration truncation order (default 2)\n"
+         "  --csv <file>          write the outcome histogram as CSV\n"
+         "  --no-transpile        skip routing (all-to-all connectivity)\n\n"
+         "circuits:\n";
+  for (const std::string& line : named_circuit_help()) {
+    out << "  " << line << "\n";
+  }
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  try {
+    if (args.size() < 2 || args[1] == "help" || args[1] == "--help") {
+      print_usage(out);
+      return args.size() < 2 ? 1 : 0;
+    }
+    const std::string& command = args[1];
+    if (command == "run") {
+      return cmd_run(args, out, /*analyze_only=*/false);
+    }
+    if (command == "analyze") {
+      return cmd_run(args, out, /*analyze_only=*/true);
+    }
+    if (command == "enumerate") {
+      return cmd_enumerate(args, out);
+    }
+    if (command == "transpile") {
+      return cmd_transpile(args, out);
+    }
+    if (command == "suite") {
+      return cmd_suite(out);
+    }
+    err << "rqsim: unknown command '" << command << "' (see 'rqsim help')\n";
+    return 1;
+  } catch (const Error& e) {
+    err << "rqsim: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace rqsim

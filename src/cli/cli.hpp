@@ -1,0 +1,23 @@
+// rqsim command-line interface, as a testable library function.
+//
+// Subcommands:
+//   run        noisy Monte Carlo simulation with real statevectors
+//   analyze    accounting-only run (ops, MSV) — any qubit count
+//   transpile  decompose + route a circuit onto a device, print QASM
+//   suite      print the Table I benchmark suite characteristics
+//   help       usage
+//
+// `run_cli` returns the process exit code and writes to the provided
+// streams, so tests drive it without spawning processes. The `rqsim`
+// binary is a thin main() around it.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rqsim {
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+
+}  // namespace rqsim

@@ -1,0 +1,12 @@
+// The `rqsim` command-line entry point (all logic lives in cli.cpp so the
+// test suite can exercise it in-process).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  return rqsim::run_cli(args, std::cout, std::cerr);
+}

@@ -1,0 +1,26 @@
+#include "common/bits.hpp"
+
+#include "common/error.hpp"
+
+namespace rqsim {
+
+std::string to_bitstring(std::uint64_t x, unsigned n) {
+  std::string out(n, '0');
+  for (unsigned i = 0; i < n; ++i) {
+    if (get_bit(x, n - 1 - i)) {
+      out[i] = '1';
+    }
+  }
+  return out;
+}
+
+std::uint64_t from_bitstring(const std::string& bits) {
+  std::uint64_t x = 0;
+  for (char c : bits) {
+    RQSIM_CHECK(c == '0' || c == '1', "from_bitstring: invalid character");
+    x = (x << 1) | static_cast<std::uint64_t>(c - '0');
+  }
+  return x;
+}
+
+}  // namespace rqsim

@@ -1,0 +1,47 @@
+// Bit-manipulation helpers used by the statevector gate kernels.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rqsim {
+
+/// 2^n as a 64-bit size.
+constexpr std::uint64_t pow2(unsigned n) { return std::uint64_t{1} << n; }
+
+/// Extract bit `b` of `x`.
+constexpr unsigned get_bit(std::uint64_t x, unsigned b) {
+  return static_cast<unsigned>((x >> b) & 1U);
+}
+
+/// Set bit `b` of `x` to `v` (v in {0,1}).
+constexpr std::uint64_t set_bit(std::uint64_t x, unsigned b, unsigned v) {
+  return (x & ~(std::uint64_t{1} << b)) | (static_cast<std::uint64_t>(v & 1U) << b);
+}
+
+/// Flip bit `b` of `x`.
+constexpr std::uint64_t flip_bit(std::uint64_t x, unsigned b) {
+  return x ^ (std::uint64_t{1} << b);
+}
+
+/// Insert a zero bit at position `b`, shifting higher bits left.
+/// Maps a (n-1)-bit index to an n-bit index whose bit b is 0 — the core
+/// index transform for single-qubit gate kernels.
+constexpr std::uint64_t insert_zero_bit(std::uint64_t x, unsigned b) {
+  const std::uint64_t low_mask = (std::uint64_t{1} << b) - 1;
+  return ((x & ~low_mask) << 1) | (x & low_mask);
+}
+
+/// Insert two zero bits at positions b_low < b_high (positions in the
+/// *output* index). Used by two-qubit gate kernels.
+constexpr std::uint64_t insert_two_zero_bits(std::uint64_t x, unsigned b_low, unsigned b_high) {
+  return insert_zero_bit(insert_zero_bit(x, b_low), b_high);
+}
+
+/// Render the low `n` bits of `x` as a bitstring, most-significant first.
+std::string to_bitstring(std::uint64_t x, unsigned n);
+
+/// Parse a bitstring (most-significant first) into an integer.
+std::uint64_t from_bitstring(const std::string& bits);
+
+}  // namespace rqsim

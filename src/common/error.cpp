@@ -1,0 +1,13 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace rqsim {
+
+void raise_error(const char* file, int line, const std::string& message) {
+  std::ostringstream os;
+  os << message << " (" << file << ":" << line << ")";
+  throw Error(os.str());
+}
+
+}  // namespace rqsim

@@ -1,0 +1,28 @@
+// Error handling: a library-specific exception plus check macros.
+//
+// Following the C++ Core Guidelines (E.2, I.5) we throw on precondition
+// violations with enough context to diagnose the call site.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rqsim {
+
+/// Exception thrown on any rqsim precondition or invariant violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] void raise_error(const char* file, int line, const std::string& message);
+
+}  // namespace rqsim
+
+/// Check a precondition/invariant; throws rqsim::Error with location info.
+#define RQSIM_CHECK(cond, message)                                  \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::rqsim::raise_error(__FILE__, __LINE__, (message));          \
+    }                                                               \
+  } while (false)

@@ -1,0 +1,111 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/types.hpp"
+
+namespace rqsim {
+
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) {
+    word = sm.next();
+  }
+  // xoshiro state must not be all zero; SplitMix64 never yields four zero
+  // outputs in a row, but guard anyway for safety.
+  if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) {
+    s_[0] = 0x9e3779b97f4a7c15ULL;
+  }
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random bits scaled into [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  RQSIM_CHECK(lo <= hi, "uniform(lo, hi): lo must be <= hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
+  RQSIM_CHECK(n > 0, "uniform_int: n must be positive");
+  // Lemire's multiply-shift rejection method.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0ULL - n) % n;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+bool Rng::bernoulli(double p) {
+  RQSIM_CHECK(p >= 0.0 && p <= 1.0, "bernoulli: p must be in [0, 1]");
+  return uniform() < p;
+}
+
+std::size_t Rng::discrete(const std::vector<double>& weights) {
+  RQSIM_CHECK(!weights.empty(), "discrete: weights must be non-empty");
+  double total = 0.0;
+  for (double w : weights) {
+    RQSIM_CHECK(w >= 0.0, "discrete: weights must be non-negative");
+    total += w;
+  }
+  RQSIM_CHECK(total > 0.0, "discrete: total weight must be positive");
+  double r = uniform() * total;
+  for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
+    if (r < weights[i]) {
+      return i;
+    }
+    r -= weights[i];
+  }
+  return weights.size() - 1;
+}
+
+double Rng::normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller transform.
+  double u1 = uniform();
+  while (u1 <= 0.0) {
+    u1 = uniform();
+  }
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * kPi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  have_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+Rng Rng::split() { return Rng(next_u64()); }
+
+}  // namespace rqsim

@@ -1,0 +1,24 @@
+// Small string/format helpers shared by the QASM writer and result tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rqsim {
+
+/// Split `text` on `sep`, keeping empty fields.
+std::vector<std::string> split(const std::string& text, char sep);
+
+/// Strip ASCII whitespace from both ends.
+std::string trim(const std::string& text);
+
+/// Join strings with a separator.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Format a double with fixed precision (locale-independent).
+std::string format_double(double value, int precision);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(const std::string& text, const std::string& prefix);
+
+}  // namespace rqsim

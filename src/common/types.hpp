@@ -1,0 +1,29 @@
+// Fundamental scalar/alias types shared across the rqsim library.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+
+namespace rqsim {
+
+/// Complex amplitude type used throughout the simulator.
+using cplx = std::complex<double>;
+
+/// Qubit index within a circuit or device (0-based).
+using qubit_t = std::uint32_t;
+
+/// Index of a gate within a circuit's gate list.
+using gate_index_t = std::uint32_t;
+
+/// Index of a layer produced by ASAP layering.
+using layer_index_t = std::uint32_t;
+
+/// Index of a Monte Carlo trial.
+using trial_index_t = std::uint64_t;
+
+/// Count of basic operations (matrix-vector multiplications).
+using opcount_t = std::uint64_t;
+
+inline constexpr double kPi = 3.141592653589793238462643383279502884;
+
+}  // namespace rqsim

@@ -1,0 +1,311 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace rqsim {
+
+Mat2 Mat2::identity() {
+  Mat2 r;
+  r.at(0, 0) = 1.0;
+  r.at(1, 1) = 1.0;
+  return r;
+}
+
+Mat2 Mat2::zero() { return Mat2{}; }
+
+Mat2 Mat2::operator*(const Mat2& rhs) const {
+  Mat2 r;
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      cplx acc = 0.0;
+      for (std::size_t k = 0; k < 2; ++k) {
+        acc += at(i, k) * rhs.at(k, j);
+      }
+      r.at(i, j) = acc;
+    }
+  }
+  return r;
+}
+
+Mat2 Mat2::operator*(cplx scale) const {
+  Mat2 r = *this;
+  for (auto& x : r.m) {
+    x *= scale;
+  }
+  return r;
+}
+
+Mat2 Mat2::operator+(const Mat2& rhs) const {
+  Mat2 r = *this;
+  for (std::size_t i = 0; i < 4; ++i) {
+    r.m[i] += rhs.m[i];
+  }
+  return r;
+}
+
+Mat2 Mat2::dagger() const {
+  Mat2 r;
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      r.at(i, j) = std::conj(at(j, i));
+    }
+  }
+  return r;
+}
+
+Mat4 Mat4::identity() {
+  Mat4 r;
+  for (std::size_t i = 0; i < 4; ++i) {
+    r.at(i, i) = 1.0;
+  }
+  return r;
+}
+
+Mat4 Mat4::zero() { return Mat4{}; }
+
+Mat4 Mat4::operator*(const Mat4& rhs) const {
+  Mat4 r;
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      cplx acc = 0.0;
+      for (std::size_t k = 0; k < 4; ++k) {
+        acc += at(i, k) * rhs.at(k, j);
+      }
+      r.at(i, j) = acc;
+    }
+  }
+  return r;
+}
+
+Mat4 Mat4::operator*(cplx scale) const {
+  Mat4 r = *this;
+  for (auto& x : r.m) {
+    x *= scale;
+  }
+  return r;
+}
+
+Mat4 Mat4::operator+(const Mat4& rhs) const {
+  Mat4 r = *this;
+  for (std::size_t i = 0; i < 16; ++i) {
+    r.m[i] += rhs.m[i];
+  }
+  return r;
+}
+
+Mat4 Mat4::dagger() const {
+  Mat4 r;
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      r.at(i, j) = std::conj(at(j, i));
+    }
+  }
+  return r;
+}
+
+Mat4 kron(const Mat2& a, const Mat2& b) {
+  Mat4 r;
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      for (std::size_t k = 0; k < 2; ++k) {
+        for (std::size_t l = 0; l < 2; ++l) {
+          r.at(2 * i + k, 2 * j + l) = a.at(i, j) * b.at(k, l);
+        }
+      }
+    }
+  }
+  return r;
+}
+
+double frobenius_distance(const Mat2& a, const Mat2& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    acc += std::norm(a.m[i] - b.m[i]);
+  }
+  return std::sqrt(acc);
+}
+
+double frobenius_distance(const Mat4& a, const Mat4& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    acc += std::norm(a.m[i] - b.m[i]);
+  }
+  return std::sqrt(acc);
+}
+
+bool is_unitary(const Mat2& m, double tol) {
+  return frobenius_distance(m * m.dagger(), Mat2::identity()) < tol;
+}
+
+bool is_unitary(const Mat4& m, double tol) {
+  return frobenius_distance(m * m.dagger(), Mat4::identity()) < tol;
+}
+
+namespace {
+
+// Find the largest-magnitude entry of b and derive the phase a/b there.
+template <typename M, std::size_t N>
+bool equal_up_to_phase_impl(const M& a, const M& b, double tol) {
+  std::size_t best = 0;
+  double best_mag = 0.0;
+  for (std::size_t i = 0; i < N; ++i) {
+    if (std::abs(b.m[i]) > best_mag) {
+      best_mag = std::abs(b.m[i]);
+      best = i;
+    }
+  }
+  if (best_mag < tol) {
+    // b is (numerically) zero; compare directly.
+    for (std::size_t i = 0; i < N; ++i) {
+      if (std::abs(a.m[i]) > tol) {
+        return false;
+      }
+    }
+    return true;
+  }
+  const cplx phase = a.m[best] / b.m[best];
+  for (std::size_t i = 0; i < N; ++i) {
+    if (std::abs(a.m[i] - phase * b.m[i]) > tol) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool equal_up_to_global_phase(const Mat2& a, const Mat2& b, double tol) {
+  return equal_up_to_phase_impl<Mat2, 4>(a, b, tol);
+}
+
+bool equal_up_to_global_phase(const Mat4& a, const Mat4& b, double tol) {
+  return equal_up_to_phase_impl<Mat4, 16>(a, b, tol);
+}
+
+namespace {
+
+// Gram-Schmidt orthonormalization of a random Ginibre matrix gives a
+// Haar-distributed unitary (up to column phases, which is fine for our use:
+// generating generic test/benchmark unitaries).
+template <std::size_t Dim, typename M>
+M random_unitary_impl(Rng& rng) {
+  std::array<std::array<cplx, Dim>, Dim> cols{};
+  for (auto& col : cols) {
+    for (auto& x : col) {
+      x = cplx(rng.normal(), rng.normal());
+    }
+  }
+  for (std::size_t c = 0; c < Dim; ++c) {
+    for (std::size_t p = 0; p < c; ++p) {
+      cplx proj = 0.0;
+      for (std::size_t r = 0; r < Dim; ++r) {
+        proj += std::conj(cols[p][r]) * cols[c][r];
+      }
+      for (std::size_t r = 0; r < Dim; ++r) {
+        cols[c][r] -= proj * cols[p][r];
+      }
+    }
+    double norm = 0.0;
+    for (std::size_t r = 0; r < Dim; ++r) {
+      norm += std::norm(cols[c][r]);
+    }
+    norm = std::sqrt(norm);
+    RQSIM_CHECK(norm > 1e-12, "random_unitary: degenerate Ginibre sample");
+    for (std::size_t r = 0; r < Dim; ++r) {
+      cols[c][r] /= norm;
+    }
+  }
+  M out;
+  for (std::size_t r = 0; r < Dim; ++r) {
+    for (std::size_t c = 0; c < Dim; ++c) {
+      out.at(r, c) = cols[c][r];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Mat2 random_unitary2(Rng& rng) { return random_unitary_impl<2, Mat2>(rng); }
+Mat4 random_unitary4(Rng& rng) { return random_unitary_impl<4, Mat4>(rng); }
+
+DenseMatrix::DenseMatrix(std::size_t dim) : dim_(dim), data_(dim * dim, cplx(0.0)) {}
+
+DenseMatrix DenseMatrix::identity(std::size_t dim) {
+  DenseMatrix m(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    m.at(i, i) = 1.0;
+  }
+  return m;
+}
+
+DenseMatrix DenseMatrix::operator*(const DenseMatrix& rhs) const {
+  RQSIM_CHECK(dim_ == rhs.dim_, "DenseMatrix::operator*: dimension mismatch");
+  DenseMatrix r(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    for (std::size_t k = 0; k < dim_; ++k) {
+      const cplx a = at(i, k);
+      if (a == cplx(0.0)) {
+        continue;
+      }
+      for (std::size_t j = 0; j < dim_; ++j) {
+        r.at(i, j) += a * rhs.at(k, j);
+      }
+    }
+  }
+  return r;
+}
+
+std::vector<cplx> DenseMatrix::apply(const std::vector<cplx>& v) const {
+  RQSIM_CHECK(v.size() == dim_, "DenseMatrix::apply: dimension mismatch");
+  std::vector<cplx> out(dim_, cplx(0.0));
+  for (std::size_t i = 0; i < dim_; ++i) {
+    cplx acc = 0.0;
+    for (std::size_t j = 0; j < dim_; ++j) {
+      acc += at(i, j) * v[j];
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::lift1(const Mat2& g, unsigned target, unsigned num_qubits) {
+  RQSIM_CHECK(target < num_qubits, "lift1: target out of range");
+  const std::size_t dim = pow2(num_qubits);
+  DenseMatrix out(dim);
+  for (std::size_t col = 0; col < dim; ++col) {
+    const unsigned bit = get_bit(col, target);
+    for (unsigned row_bit = 0; row_bit < 2; ++row_bit) {
+      const cplx amp = g.at(row_bit, bit);
+      if (amp == cplx(0.0)) {
+        continue;
+      }
+      out.at(set_bit(col, target, row_bit), col) += amp;
+    }
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::lift2(const Mat4& g, unsigned q1, unsigned q0, unsigned num_qubits) {
+  RQSIM_CHECK(q1 < num_qubits && q0 < num_qubits && q1 != q0, "lift2: bad operands");
+  const std::size_t dim = pow2(num_qubits);
+  DenseMatrix out(dim);
+  for (std::size_t col = 0; col < dim; ++col) {
+    const unsigned in = (get_bit(col, q1) << 1) | get_bit(col, q0);
+    for (unsigned rowpair = 0; rowpair < 4; ++rowpair) {
+      const cplx amp = g.at(rowpair, in);
+      if (amp == cplx(0.0)) {
+        continue;
+      }
+      std::uint64_t row = set_bit(col, q1, (rowpair >> 1) & 1U);
+      row = set_bit(row, q0, rowpair & 1U);
+      out.at(row, col) += amp;
+    }
+  }
+  return out;
+}
+
+}  // namespace rqsim

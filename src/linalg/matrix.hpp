@@ -1,0 +1,97 @@
+// Small dense complex matrices used for gate definitions and the reference
+// simulator: fixed-size 2x2 / 4x4 types plus a general dense matrix.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace rqsim {
+
+/// 2x2 complex matrix (row-major), the unit of single-qubit gates.
+struct Mat2 {
+  std::array<cplx, 4> m{};
+
+  cplx& at(std::size_t r, std::size_t c) { return m[2 * r + c]; }
+  const cplx& at(std::size_t r, std::size_t c) const { return m[2 * r + c]; }
+
+  static Mat2 identity();
+  static Mat2 zero();
+
+  Mat2 operator*(const Mat2& rhs) const;
+  Mat2 operator*(cplx scale) const;
+  Mat2 operator+(const Mat2& rhs) const;
+
+  /// Conjugate transpose.
+  Mat2 dagger() const;
+};
+
+/// 4x4 complex matrix (row-major), the unit of two-qubit gates.
+struct Mat4 {
+  std::array<cplx, 16> m{};
+
+  cplx& at(std::size_t r, std::size_t c) { return m[4 * r + c]; }
+  const cplx& at(std::size_t r, std::size_t c) const { return m[4 * r + c]; }
+
+  static Mat4 identity();
+  static Mat4 zero();
+
+  Mat4 operator*(const Mat4& rhs) const;
+  Mat4 operator*(cplx scale) const;
+  Mat4 operator+(const Mat4& rhs) const;
+
+  Mat4 dagger() const;
+};
+
+/// Kronecker product a ⊗ b (a acts on the higher-order qubit).
+Mat4 kron(const Mat2& a, const Mat2& b);
+
+/// Frobenius distance ||a - b||_F.
+double frobenius_distance(const Mat2& a, const Mat2& b);
+double frobenius_distance(const Mat4& a, const Mat4& b);
+
+/// True if m is unitary within tolerance.
+bool is_unitary(const Mat2& m, double tol = 1e-10);
+bool is_unitary(const Mat4& m, double tol = 1e-10);
+
+/// True if a == b up to a global phase, within tolerance.
+bool equal_up_to_global_phase(const Mat2& a, const Mat2& b, double tol = 1e-9);
+bool equal_up_to_global_phase(const Mat4& a, const Mat4& b, double tol = 1e-9);
+
+/// Haar-ish random unitaries (QR of a Ginibre matrix via Gram-Schmidt).
+Mat2 random_unitary2(Rng& rng);
+Mat4 random_unitary4(Rng& rng);
+
+/// General dense square complex matrix, used only by the reference
+/// simulator and tests (sizes up to 2^10).
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  explicit DenseMatrix(std::size_t dim);
+
+  static DenseMatrix identity(std::size_t dim);
+
+  std::size_t dim() const { return dim_; }
+  cplx& at(std::size_t r, std::size_t c) { return data_[r * dim_ + c]; }
+  const cplx& at(std::size_t r, std::size_t c) const { return data_[r * dim_ + c]; }
+
+  DenseMatrix operator*(const DenseMatrix& rhs) const;
+  std::vector<cplx> apply(const std::vector<cplx>& v) const;
+
+  /// Lift a 2x2 matrix acting on `target` into a dim x dim operator for an
+  /// n-qubit system (dim == 2^n).
+  static DenseMatrix lift1(const Mat2& g, unsigned target, unsigned num_qubits);
+
+  /// Lift a 4x4 matrix acting on (q_high, q_low) ordering convention: the
+  /// matrix row/col index is (bit(q1) << 1) | bit(q0) for operands (q1, q0).
+  static DenseMatrix lift2(const Mat4& g, unsigned q1, unsigned q0, unsigned num_qubits);
+
+ private:
+  std::size_t dim_ = 0;
+  std::vector<cplx> data_;
+};
+
+}  // namespace rqsim

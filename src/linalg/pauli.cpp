@@ -1,0 +1,72 @@
+#include "linalg/pauli.hpp"
+
+#include "common/error.hpp"
+
+namespace rqsim {
+
+Mat2 pauli_matrix(Pauli p) {
+  Mat2 m;
+  switch (p) {
+    case Pauli::I:
+      m.at(0, 0) = 1.0;
+      m.at(1, 1) = 1.0;
+      break;
+    case Pauli::X:
+      m.at(0, 1) = 1.0;
+      m.at(1, 0) = 1.0;
+      break;
+    case Pauli::Y:
+      m.at(0, 1) = cplx(0.0, -1.0);
+      m.at(1, 0) = cplx(0.0, 1.0);
+      break;
+    case Pauli::Z:
+      m.at(0, 0) = 1.0;
+      m.at(1, 1) = -1.0;
+      break;
+  }
+  return m;
+}
+
+std::string pauli_name(Pauli p) {
+  switch (p) {
+    case Pauli::I:
+      return "I";
+    case Pauli::X:
+      return "X";
+    case Pauli::Y:
+      return "Y";
+    case Pauli::Z:
+      return "Z";
+  }
+  return "?";
+}
+
+std::uint8_t pauli_pair_index(PauliPair pair) {
+  return static_cast<std::uint8_t>(4 * static_cast<int>(pair.p1) + static_cast<int>(pair.p0));
+}
+
+PauliPair pauli_pair_from_index(std::uint8_t index) {
+  RQSIM_CHECK(index < 16, "pauli_pair_from_index: index out of range");
+  return PauliPair{static_cast<Pauli>(index / 4), static_cast<Pauli>(index % 4)};
+}
+
+Mat4 pauli_pair_matrix(PauliPair pair) {
+  return kron(pauli_matrix(pair.p1), pauli_matrix(pair.p0));
+}
+
+std::string pauli_pair_name(PauliPair pair) {
+  return pauli_name(pair.p1) + pauli_name(pair.p0);
+}
+
+Pauli nth_single_pauli(int k) {
+  RQSIM_CHECK(k >= 0 && k < kNumSinglePaulis, "nth_single_pauli: k out of range");
+  return static_cast<Pauli>(k + 1);
+}
+
+PauliPair nth_pair_pauli(int k) {
+  RQSIM_CHECK(k >= 0 && k < kNumPairPaulis, "nth_pair_pauli: k out of range");
+  // Skip index 0 (I ⊗ I).
+  return pauli_pair_from_index(static_cast<std::uint8_t>(k + 1));
+}
+
+}  // namespace rqsim

@@ -1,0 +1,51 @@
+// Pauli algebra: the error operators injected by the noise channels.
+//
+// Single-qubit errors are X, Y, Z. Two-qubit errors are the 15 non-identity
+// elements of {I,X,Y,Z} ⊗ {I,X,Y,Z} (symmetric two-qubit depolarizing).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "linalg/matrix.hpp"
+
+namespace rqsim {
+
+/// Single-qubit Pauli operator (I only appears in two-qubit pairs).
+enum class Pauli : std::uint8_t { I = 0, X = 1, Y = 2, Z = 3 };
+
+/// 2x2 matrix of a Pauli operator.
+Mat2 pauli_matrix(Pauli p);
+
+/// One-letter name ("I", "X", "Y", "Z").
+std::string pauli_name(Pauli p);
+
+/// A two-qubit Pauli pair P1 ⊗ P0.
+struct PauliPair {
+  Pauli p1 = Pauli::I;  // acts on the higher-listed operand
+  Pauli p0 = Pauli::I;  // acts on the lower-listed operand
+};
+
+/// Encode/decode a PauliPair to an index in [0, 16): index = 4*p1 + p0.
+std::uint8_t pauli_pair_index(PauliPair pair);
+PauliPair pauli_pair_from_index(std::uint8_t index);
+
+/// 4x4 matrix of a Pauli pair.
+Mat4 pauli_pair_matrix(PauliPair pair);
+
+/// Two-letter name, e.g. "XZ".
+std::string pauli_pair_name(PauliPair pair);
+
+/// Number of non-identity single-qubit Paulis (X, Y, Z).
+inline constexpr int kNumSinglePaulis = 3;
+
+/// Number of non-identity two-qubit Pauli pairs.
+inline constexpr int kNumPairPaulis = 15;
+
+/// The k-th non-identity single Pauli, k in [0, 3): X, Y, Z.
+Pauli nth_single_pauli(int k);
+
+/// The k-th non-identity Pauli pair, k in [0, 15), skipping I⊗I.
+PauliPair nth_pair_pauli(int k);
+
+}  // namespace rqsim

@@ -1,0 +1,75 @@
+#include "mitigation/readout.hpp"
+
+#include <cmath>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace rqsim {
+
+std::vector<double> histogram_to_probabilities(const OutcomeHistogram& histogram,
+                                               unsigned num_bits) {
+  RQSIM_CHECK(num_bits >= 1 && num_bits <= 30, "histogram_to_probabilities: bad width");
+  std::vector<double> probs(pow2(num_bits), 0.0);
+  std::uint64_t total = 0;
+  for (const auto& [outcome, count] : histogram) {
+    RQSIM_CHECK(outcome < probs.size(), "histogram_to_probabilities: outcome too wide");
+    total += count;
+  }
+  RQSIM_CHECK(total > 0, "histogram_to_probabilities: empty histogram");
+  for (const auto& [outcome, count] : histogram) {
+    probs[outcome] = static_cast<double>(count) / static_cast<double>(total);
+  }
+  return probs;
+}
+
+std::vector<double> invert_measurement_flips(std::vector<double> probs,
+                                             const std::vector<double>& flip_rates) {
+  for (std::size_t bit = 0; bit < flip_rates.size(); ++bit) {
+    const double f = flip_rates[bit];
+    RQSIM_CHECK(f >= 0.0 && f <= 1.0, "invert_measurement_flips: bad rate");
+    RQSIM_CHECK(std::abs(f - 0.5) > 1e-9,
+                "invert_measurement_flips: flip rate 0.5 is not invertible");
+    if (f == 0.0) {
+      continue;
+    }
+    // Inverse of [[1-f, f], [f, 1-f]] is 1/(1-2f) · [[1-f, -f], [-f, 1-f]].
+    const double inv_det = 1.0 / (1.0 - 2.0 * f);
+    const std::uint64_t mask = std::uint64_t{1} << bit;
+    std::vector<double> next(probs.size(), 0.0);
+    for (std::uint64_t i = 0; i < probs.size(); ++i) {
+      if (i & mask) {
+        continue;
+      }
+      const double p0 = probs[i];
+      const double p1 = probs[i | mask];
+      next[i] = inv_det * ((1.0 - f) * p0 - f * p1);
+      next[i | mask] = inv_det * ((1.0 - f) * p1 - f * p0);
+    }
+    probs = std::move(next);
+  }
+  return probs;
+}
+
+std::vector<double> mitigate_readout(const OutcomeHistogram& histogram,
+                                     const std::vector<double>& flip_rates) {
+  RQSIM_CHECK(!flip_rates.empty() && flip_rates.size() <= 30,
+              "mitigate_readout: bad flip rate list");
+  std::vector<double> probs = histogram_to_probabilities(
+      histogram, static_cast<unsigned>(flip_rates.size()));
+  probs = invert_measurement_flips(std::move(probs), flip_rates);
+  double total = 0.0;
+  for (double& p : probs) {
+    if (p < 0.0) {
+      p = 0.0;
+    }
+    total += p;
+  }
+  RQSIM_CHECK(total > 0.0, "mitigate_readout: degenerate mitigated distribution");
+  for (double& p : probs) {
+    p /= total;
+  }
+  return probs;
+}
+
+}  // namespace rqsim

@@ -1,0 +1,33 @@
+// Readout-error mitigation.
+//
+// The measurement-error model (paper Section III.B) is a classical
+// bit-flip channel per measured qubit. That channel is a known, invertible
+// linear map on outcome distributions, so its effect can be removed from
+// measured histograms in post-processing — the standard NISQ "measurement
+// error mitigation". Because the flip matrix is a tensor product, the
+// inverse applies bit-by-bit in O(2^m · m) rather than O(4^m).
+#pragma once
+
+#include <vector>
+
+#include "sim/measure.hpp"
+
+namespace rqsim {
+
+/// Convert a histogram over m-bit outcomes to a normalized probability
+/// vector of size 2^m.
+std::vector<double> histogram_to_probabilities(const OutcomeHistogram& histogram,
+                                               unsigned num_bits);
+
+/// Invert the per-bit flip channel: flip_rates[k] is bit k's flip
+/// probability (must be != 0.5, where the channel loses information).
+/// The result may contain small negative entries from sampling noise.
+std::vector<double> invert_measurement_flips(std::vector<double> probs,
+                                             const std::vector<double>& flip_rates);
+
+/// invert_measurement_flips followed by clipping negatives to zero and
+/// renormalizing — the usual estimator actually reported.
+std::vector<double> mitigate_readout(const OutcomeHistogram& histogram,
+                                     const std::vector<double>& flip_rates);
+
+}  // namespace rqsim

@@ -1,0 +1,153 @@
+#include "noise/calibration.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace rqsim {
+
+namespace {
+
+double parse_rate(const std::string& field, int line_no) {
+  char* end = nullptr;
+  const double value = std::strtod(field.c_str(), &end);
+  RQSIM_CHECK(end != nullptr && *end == '\0',
+              "calibration: bad number '" + field + "' at line " + std::to_string(line_no));
+  RQSIM_CHECK(value >= 0.0 && value <= 1.0,
+              "calibration: rate out of [0,1] at line " + std::to_string(line_no));
+  return value;
+}
+
+unsigned parse_index(const std::string& field, int line_no) {
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(field.c_str(), &end, 10);
+  RQSIM_CHECK(end != nullptr && *end == '\0',
+              "calibration: bad index '" + field + "' at line " + std::to_string(line_no));
+  return static_cast<unsigned>(value);
+}
+
+}  // namespace
+
+DeviceModel device_from_calibration_csv(const std::string& text,
+                                        const std::string& name) {
+  struct QubitRow {
+    double single = 0.0;
+    double readout = 0.0;
+    double idle = 0.0;
+  };
+  std::map<unsigned, QubitRow> qubits;
+  struct EdgeRow {
+    unsigned a = 0;
+    unsigned b = 0;
+    double rate = 0.0;
+  };
+  std::vector<EdgeRow> edge_rows;
+
+  int line_no = 0;
+  for (const std::string& raw : split(text, '\n')) {
+    ++line_no;
+    const std::string line = trim(raw);
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    const std::vector<std::string> fields = split(line, ',');
+    const std::string kind = trim(fields[0]);
+    if (kind == "qubit") {
+      RQSIM_CHECK(fields.size() == 4 || fields.size() == 5,
+                  "calibration: qubit row needs 4-5 fields at line " +
+                      std::to_string(line_no));
+      const unsigned index = parse_index(trim(fields[1]), line_no);
+      RQSIM_CHECK(qubits.count(index) == 0,
+                  "calibration: duplicate qubit " + std::to_string(index) +
+                      " at line " + std::to_string(line_no));
+      QubitRow row;
+      row.single = parse_rate(trim(fields[2]), line_no);
+      row.readout = parse_rate(trim(fields[3]), line_no);
+      if (fields.size() == 5) {
+        row.idle = parse_rate(trim(fields[4]), line_no);
+      }
+      qubits[index] = row;
+    } else if (kind == "edge") {
+      RQSIM_CHECK(fields.size() == 4,
+                  "calibration: edge row needs 4 fields at line " + std::to_string(line_no));
+      EdgeRow row;
+      row.a = parse_index(trim(fields[1]), line_no);
+      row.b = parse_index(trim(fields[2]), line_no);
+      row.rate = parse_rate(trim(fields[3]), line_no);
+      RQSIM_CHECK(row.a != row.b,
+                  "calibration: self-loop edge at line " + std::to_string(line_no));
+      edge_rows.push_back(row);
+    } else {
+      RQSIM_CHECK(false, "calibration: unknown row kind '" + kind + "' at line " +
+                             std::to_string(line_no));
+    }
+  }
+  RQSIM_CHECK(!qubits.empty(), "calibration: no qubit rows");
+  // Qubit indices must be contiguous from 0.
+  const unsigned n = static_cast<unsigned>(qubits.size());
+  std::vector<double> single_rates(n);
+  std::vector<double> meas_rates(n);
+  std::vector<double> idle_rates(n);
+  for (unsigned q = 0; q < n; ++q) {
+    const auto it = qubits.find(q);
+    RQSIM_CHECK(it != qubits.end(),
+                "calibration: qubit indices must be contiguous from 0 (missing " +
+                    std::to_string(q) + ")");
+    single_rates[q] = it->second.single;
+    meas_rates[q] = it->second.readout;
+    idle_rates[q] = it->second.idle;
+  }
+
+  DeviceModel dev;
+  dev.name = name;
+  std::vector<std::pair<qubit_t, qubit_t>> edges;
+  edges.reserve(edge_rows.size());
+  for (const EdgeRow& row : edge_rows) {
+    RQSIM_CHECK(row.a < n && row.b < n, "calibration: edge references unknown qubit");
+    edges.emplace_back(row.a, row.b);
+  }
+  dev.coupling = CouplingMap(n, std::move(edges));
+  dev.noise = NoiseModel::per_qubit(std::move(single_rates), std::move(meas_rates));
+  for (const EdgeRow& row : edge_rows) {
+    dev.noise.set_two_qubit_rate(row.a, row.b, row.rate);
+  }
+  for (unsigned q = 0; q < n; ++q) {
+    if (idle_rates[q] > 0.0) {
+      dev.noise.set_idle_rate(q, idle_rates[q]);
+    }
+  }
+  return dev;
+}
+
+DeviceModel load_calibration_csv(const std::string& path) {
+  std::ifstream file(path);
+  RQSIM_CHECK(file.good(), "load_calibration_csv: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return device_from_calibration_csv(buffer.str(), path);
+}
+
+std::string device_to_calibration_csv(const DeviceModel& device) {
+  std::ostringstream os;
+  os << "# rqsim device calibration: " << device.name << "\n";
+  os << "# qubit,<index>,<1q error>,<readout error>[,<idle rate>]\n";
+  os.precision(12);
+  for (qubit_t q = 0; q < device.noise.num_qubits(); ++q) {
+    os << "qubit," << q << "," << device.noise.single_qubit_rate(q) << ","
+       << device.noise.measurement_flip_rate(q);
+    if (device.noise.idle_pauli_rate(q) > 0.0) {
+      os << "," << device.noise.idle_pauli_rate(q);
+    }
+    os << "\n";
+  }
+  os << "# edge,<a>,<b>,<2q error>\n";
+  for (const auto& [a, b] : device.coupling.edges()) {
+    os << "edge," << a << "," << b << "," << device.noise.two_qubit_rate(a, b) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rqsim

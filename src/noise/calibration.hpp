@@ -1,0 +1,33 @@
+// Device calibration import: build a DeviceModel from the kind of CSV a
+// provider's calibration dashboard exports (per-qubit gate/readout errors
+// plus per-edge CNOT errors). Gives users a path from their own device
+// data into the simulator without writing C++.
+//
+// Format (header required, '#' comments and blank lines ignored):
+//
+//   # qubit rows:  qubit,<index>,<1q error>,<readout error>[,<idle rate>]
+//   # edge rows:   edge,<a>,<b>,<2q error>
+//   qubit,0,1.4e-3,2.1e-2
+//   qubit,1,1.2e-3,1.9e-2,5e-4
+//   edge,0,1,3.1e-2
+#pragma once
+
+#include <string>
+
+#include "noise/devices.hpp"
+
+namespace rqsim {
+
+/// Parse calibration CSV text into a device model (coupling map from the
+/// edge rows; undirected). Throws rqsim::Error with a line number on any
+/// malformed row.
+DeviceModel device_from_calibration_csv(const std::string& text,
+                                        const std::string& name = "calibrated");
+
+/// Load from a file path.
+DeviceModel load_calibration_csv(const std::string& path);
+
+/// Serialize a device model back to the same CSV format.
+std::string device_to_calibration_csv(const DeviceModel& device);
+
+}  // namespace rqsim

@@ -1,0 +1,40 @@
+#include "noise/devices.hpp"
+
+namespace rqsim {
+
+DeviceModel yorktown_device() {
+  DeviceModel dev;
+  dev.name = "ibmq_yorktown";
+  dev.coupling = CouplingMap::yorktown();
+  // Paper Fig. 4 calibration data.
+  dev.noise = NoiseModel::per_qubit(
+      /*single_rates=*/{1.37e-3, 1.37e-3, 2.23e-3, 1.72e-3, 0.94e-3},
+      /*meas_rates=*/{2.40e-2, 2.60e-2, 3.00e-2, 2.20e-2, 4.50e-2});
+  // Two-qubit (CNOT) error per coupling edge, in the edge order of
+  // CouplingMap::yorktown(): 0-1, 0-2, 1-2, 2-3, 2-4, 3-4.
+  const double edge_rates[6] = {2.72e-2, 3.77e-2, 4.18e-2, 3.97e-2, 3.62e-2, 3.51e-2};
+  const auto& edges = dev.coupling.edges();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    dev.noise.set_two_qubit_rate(edges[i].first, edges[i].second, edge_rates[i]);
+  }
+  return dev;
+}
+
+DeviceModel artificial_device(unsigned num_qubits, double single_rate) {
+  DeviceModel dev;
+  dev.name = "artificial_n" + std::to_string(num_qubits);
+  dev.coupling = CouplingMap::all_to_all(num_qubits);
+  dev.noise = NoiseModel::uniform(num_qubits, single_rate, 10.0 * single_rate,
+                                  10.0 * single_rate);
+  return dev;
+}
+
+DeviceModel ideal_device(unsigned num_qubits) {
+  DeviceModel dev;
+  dev.name = "ideal_n" + std::to_string(num_qubits);
+  dev.coupling = CouplingMap::all_to_all(num_qubits);
+  dev.noise = NoiseModel::uniform(num_qubits, 0.0, 0.0, 0.0);
+  return dev;
+}
+
+}  // namespace rqsim

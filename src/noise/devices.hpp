@@ -1,0 +1,30 @@
+// Device models: coupling map + calibrated noise model.
+#pragma once
+
+#include <string>
+
+#include "noise/noise_model.hpp"
+#include "transpile/coupling.hpp"
+
+namespace rqsim {
+
+struct DeviceModel {
+  std::string name;
+  CouplingMap coupling;
+  NoiseModel noise;
+};
+
+/// IBM 5-qubit Yorktown (ibmqx2) with the calibration of the paper's Fig. 4:
+/// single-qubit gate errors ~1e-3 per qubit, two-qubit gate errors ~3e-2 per
+/// edge of the bow-tie coupling graph, measurement errors ~3e-2.
+DeviceModel yorktown_device();
+
+/// Artificial future device used by the scalability study (Section V.B):
+/// all-to-all coupling, uniform rates, two-qubit and measurement error rates
+/// fixed at 10x the single-qubit rate.
+DeviceModel artificial_device(unsigned num_qubits, double single_rate);
+
+/// A noiseless device of the given size (useful for testing).
+DeviceModel ideal_device(unsigned num_qubits);
+
+}  // namespace rqsim

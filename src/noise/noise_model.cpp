@@ -1,0 +1,179 @@
+#include "noise/noise_model.hpp"
+
+#include <algorithm>
+
+namespace rqsim {
+
+void NoiseModel::check_rate(double rate) {
+  RQSIM_CHECK(rate >= 0.0 && rate <= 1.0, "NoiseModel: rate must be in [0, 1]");
+}
+
+NoiseModel NoiseModel::uniform(unsigned num_qubits, double single_rate, double two_rate,
+                               double meas_rate) {
+  check_rate(single_rate);
+  check_rate(two_rate);
+  check_rate(meas_rate);
+  NoiseModel m;
+  m.num_qubits_ = num_qubits;
+  m.uniform_two_rate_ = two_rate;
+  m.single_rates_.assign(num_qubits, single_rate);
+  m.meas_rates_.assign(num_qubits, meas_rate);
+  m.pair_rates_.assign(static_cast<std::size_t>(num_qubits) * num_qubits, -1.0);
+  return m;
+}
+
+NoiseModel NoiseModel::per_qubit(std::vector<double> single_rates,
+                                 std::vector<double> meas_rates) {
+  RQSIM_CHECK(single_rates.size() == meas_rates.size(),
+              "NoiseModel::per_qubit: size mismatch");
+  for (double r : single_rates) {
+    check_rate(r);
+  }
+  for (double r : meas_rates) {
+    check_rate(r);
+  }
+  NoiseModel m;
+  m.num_qubits_ = static_cast<unsigned>(single_rates.size());
+  m.single_rates_ = std::move(single_rates);
+  m.meas_rates_ = std::move(meas_rates);
+  m.pair_rates_.assign(static_cast<std::size_t>(m.num_qubits_) * m.num_qubits_, -1.0);
+  return m;
+}
+
+std::size_t NoiseModel::pair_index(qubit_t a, qubit_t b) const {
+  if (a > b) {
+    std::swap(a, b);
+  }
+  return static_cast<std::size_t>(a) * num_qubits_ + b;
+}
+
+void NoiseModel::set_two_qubit_rate(qubit_t a, qubit_t b, double rate) {
+  RQSIM_CHECK(a < num_qubits_ && b < num_qubits_ && a != b,
+              "NoiseModel::set_two_qubit_rate: bad qubits");
+  check_rate(rate);
+  pair_rates_[pair_index(a, b)] = rate;
+}
+
+double NoiseModel::single_qubit_rate(qubit_t q) const {
+  RQSIM_CHECK(q < num_qubits_, "NoiseModel::single_qubit_rate: qubit out of range");
+  return single_rates_[q];
+}
+
+double NoiseModel::two_qubit_rate(qubit_t a, qubit_t b) const {
+  RQSIM_CHECK(a < num_qubits_ && b < num_qubits_ && a != b,
+              "NoiseModel::two_qubit_rate: bad qubits");
+  const double specific = pair_rates_[pair_index(a, b)];
+  return specific >= 0.0 ? specific : uniform_two_rate_;
+}
+
+double NoiseModel::measurement_flip_rate(qubit_t q) const {
+  RQSIM_CHECK(q < num_qubits_, "NoiseModel::measurement_flip_rate: qubit out of range");
+  return meas_rates_[q];
+}
+
+double NoiseModel::idle_pauli_rate(qubit_t q) const {
+  RQSIM_CHECK(q < num_qubits_, "NoiseModel::idle_pauli_rate: qubit out of range");
+  return idle_rates_.empty() ? 0.0 : idle_rates_[q];
+}
+
+void NoiseModel::set_idle_rate(qubit_t q, double rate) {
+  RQSIM_CHECK(q < num_qubits_, "NoiseModel::set_idle_rate: qubit out of range");
+  check_rate(rate);
+  if (idle_rates_.empty()) {
+    idle_rates_.assign(num_qubits_, 0.0);
+  }
+  idle_rates_[q] = rate;
+}
+
+void NoiseModel::set_uniform_idle_rate(double rate) {
+  check_rate(rate);
+  idle_rates_.assign(num_qubits_, rate);
+}
+
+namespace {
+
+std::array<double, 3> normalize_weights(double wx, double wy, double wz) {
+  RQSIM_CHECK(wx >= 0.0 && wy >= 0.0 && wz >= 0.0,
+              "NoiseModel: Pauli weights must be non-negative");
+  const double total = wx + wy + wz;
+  RQSIM_CHECK(total > 0.0, "NoiseModel: Pauli weights must not all be zero");
+  return {wx / total, wy / total, wz / total};
+}
+
+}  // namespace
+
+void NoiseModel::set_single_pauli_weights(qubit_t q, double wx, double wy, double wz) {
+  RQSIM_CHECK(q < num_qubits_, "NoiseModel::set_single_pauli_weights: qubit out of range");
+  if (single_weights_.empty()) {
+    single_weights_.assign(num_qubits_, {1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0});
+  }
+  single_weights_[q] = normalize_weights(wx, wy, wz);
+}
+
+std::array<double, 3> NoiseModel::single_pauli_weights(qubit_t q) const {
+  RQSIM_CHECK(q < num_qubits_, "NoiseModel::single_pauli_weights: qubit out of range");
+  if (single_weights_.empty()) {
+    return {1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0};
+  }
+  return single_weights_[q];
+}
+
+void NoiseModel::set_idle_pauli_weights(qubit_t q, double wx, double wy, double wz) {
+  RQSIM_CHECK(q < num_qubits_, "NoiseModel::set_idle_pauli_weights: qubit out of range");
+  if (idle_weights_.empty()) {
+    idle_weights_.assign(num_qubits_, {1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0});
+  }
+  idle_weights_[q] = normalize_weights(wx, wy, wz);
+}
+
+std::array<double, 3> NoiseModel::idle_pauli_weights(qubit_t q) const {
+  RQSIM_CHECK(q < num_qubits_, "NoiseModel::idle_pauli_weights: qubit out of range");
+  if (idle_weights_.empty()) {
+    return {1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0};
+  }
+  return idle_weights_[q];
+}
+
+bool NoiseModel::has_idle_noise() const {
+  return std::any_of(idle_rates_.begin(), idle_rates_.end(),
+                     [](double r) { return r > 0.0; });
+}
+
+NoiseModel NoiseModel::scaled(double factor) const {
+  RQSIM_CHECK(factor >= 0.0, "NoiseModel::scaled: factor must be non-negative");
+  NoiseModel out = *this;
+  auto scale = [factor](double r) {
+    const double s = r * factor;
+    RQSIM_CHECK(s <= 1.0, "NoiseModel::scaled: scaled rate exceeds 1");
+    return s;
+  };
+  for (double& r : out.single_rates_) {
+    r = scale(r);
+  }
+  for (double& r : out.meas_rates_) {
+    r = scale(r);
+  }
+  for (double& r : out.idle_rates_) {
+    r = scale(r);
+  }
+  for (double& r : out.pair_rates_) {
+    if (r >= 0.0) {
+      r = scale(r);
+    }
+  }
+  out.uniform_two_rate_ = scale(uniform_two_rate_);
+  return out;
+}
+
+bool NoiseModel::is_noiseless() const {
+  const bool singles_zero =
+      std::all_of(single_rates_.begin(), single_rates_.end(), [](double r) { return r == 0.0; });
+  const bool meas_zero =
+      std::all_of(meas_rates_.begin(), meas_rates_.end(), [](double r) { return r == 0.0; });
+  const bool pairs_zero = std::all_of(pair_rates_.begin(), pair_rates_.end(),
+                                      [](double r) { return r <= 0.0; });
+  return singles_zero && meas_zero && pairs_zero && uniform_two_rate_ == 0.0 &&
+         !has_idle_noise();
+}
+
+}  // namespace rqsim

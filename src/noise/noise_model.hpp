@@ -1,0 +1,100 @@
+// Error model: symmetric depolarizing gate noise plus classical measurement
+// bit flips (paper Section III.B).
+//
+// - After every single-qubit gate on qubit q, with probability e1(q) an
+//   error operator drawn uniformly from {X, Y, Z} is injected on q.
+// - After every two-qubit gate on (a, b), with probability e2(a, b) an
+//   error operator drawn uniformly from the 15 non-identity two-qubit
+//   Paulis is injected on (a, b).
+// - Each measured qubit's classical result bit is flipped with
+//   probability em(q).
+// - Optionally, *idle* noise ("decaying ... or interacting with the
+//   environment can happen without an operation" — paper Section III.B.1):
+//   at the end of every layer each qubit independently suffers a uniform
+//   Pauli error with probability eidle(q) (a stochastic-Pauli/twirled
+//   approximation of T1/T2 decay, which keeps every injected operator
+//   unitary and therefore cacheable).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace rqsim {
+
+class NoiseModel {
+ public:
+  NoiseModel() = default;
+
+  /// Uniform rates on all qubits/pairs.
+  static NoiseModel uniform(unsigned num_qubits, double single_rate, double two_rate,
+                            double meas_rate);
+
+  /// Per-qubit single/measurement rates; `two_rates` holds one entry per
+  /// coupling edge, addressed through set_two_qubit_rate.
+  static NoiseModel per_qubit(std::vector<double> single_rates,
+                              std::vector<double> meas_rates);
+
+  unsigned num_qubits() const { return num_qubits_; }
+
+  void set_two_qubit_rate(qubit_t a, qubit_t b, double rate);
+
+  /// Total depolarizing probability after a single-qubit gate on q.
+  double single_qubit_rate(qubit_t q) const;
+
+  /// Total depolarizing probability after a two-qubit gate on (a, b).
+  /// Falls back to the uniform two-qubit rate when no pair-specific rate
+  /// was registered.
+  double two_qubit_rate(qubit_t a, qubit_t b) const;
+
+  /// Classical flip probability of the measured bit of q.
+  double measurement_flip_rate(qubit_t q) const;
+
+  /// Per-layer idle Pauli error probability of q (0 unless configured).
+  double idle_pauli_rate(qubit_t q) const;
+
+  /// Relative X/Y/Z weights used when a single-qubit gate error fires on q
+  /// (default 1:1:1 — the symmetric depolarizing channel). The paper's
+  /// error model explicitly allows per-operator probabilities; biasing
+  /// toward Z models dephasing-dominant hardware.
+  void set_single_pauli_weights(qubit_t q, double wx, double wy, double wz);
+  std::array<double, 3> single_pauli_weights(qubit_t q) const;  // normalized
+
+  /// Same bias for the idle channel.
+  void set_idle_pauli_weights(qubit_t q, double wx, double wy, double wz);
+  std::array<double, 3> idle_pauli_weights(qubit_t q) const;  // normalized
+
+  /// Set one qubit's idle rate, or the same rate on every qubit.
+  void set_idle_rate(qubit_t q, double rate);
+  void set_uniform_idle_rate(double rate);
+
+  /// True if any qubit has a nonzero idle rate.
+  bool has_idle_noise() const;
+
+  /// Scale every rate by `factor` (used for error-rate sweeps).
+  NoiseModel scaled(double factor) const;
+
+  /// True when all rates are zero (noise disabled).
+  bool is_noiseless() const;
+
+ private:
+  static void check_rate(double rate);
+
+  unsigned num_qubits_ = 0;
+  double uniform_two_rate_ = 0.0;
+  std::vector<double> single_rates_;
+  std::vector<double> meas_rates_;
+  std::vector<double> idle_rates_;  // empty = all zero
+  // Unnormalized per-qubit Pauli weights; empty = uniform.
+  std::vector<std::array<double, 3>> single_weights_;
+  std::vector<std::array<double, 3>> idle_weights_;
+  // Symmetric pair rates, flattened upper triangle; negative = unset.
+  std::vector<double> pair_rates_;
+
+  std::size_t pair_index(qubit_t a, qubit_t b) const;
+};
+
+}  // namespace rqsim

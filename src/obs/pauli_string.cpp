@@ -1,0 +1,83 @@
+#include "obs/pauli_string.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "sim/kernels.hpp"
+
+namespace rqsim {
+
+PauliString::PauliString(std::vector<std::pair<qubit_t, Pauli>> factors) {
+  for (const auto& [q, p] : factors) {
+    if (p != Pauli::I) {
+      factors_.emplace_back(q, p);
+    }
+  }
+  std::sort(factors_.begin(), factors_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (std::size_t i = 1; i < factors_.size(); ++i) {
+    RQSIM_CHECK(factors_[i].first != factors_[i - 1].first,
+                "PauliString: duplicate qubit");
+  }
+}
+
+PauliString PauliString::from_label(const std::string& label) {
+  std::vector<std::pair<qubit_t, Pauli>> factors;
+  const std::size_t n = label.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = label[i];
+    const auto q = static_cast<qubit_t>(n - 1 - i);
+    switch (c) {
+      case 'I':
+      case 'i':
+        break;
+      case 'X':
+      case 'x':
+        factors.emplace_back(q, Pauli::X);
+        break;
+      case 'Y':
+      case 'y':
+        factors.emplace_back(q, Pauli::Y);
+        break;
+      case 'Z':
+      case 'z':
+        factors.emplace_back(q, Pauli::Z);
+        break;
+      default:
+        RQSIM_CHECK(false, std::string("PauliString: bad character '") + c + "'");
+    }
+  }
+  return PauliString(std::move(factors));
+}
+
+std::string PauliString::to_label(unsigned num_qubits) const {
+  RQSIM_CHECK(num_qubits >= min_qubits(), "PauliString::to_label: label too short");
+  std::string label(num_qubits, 'I');
+  for (const auto& [q, p] : factors_) {
+    label[num_qubits - 1 - q] = pauli_name(p)[0];
+  }
+  return label;
+}
+
+unsigned PauliString::min_qubits() const {
+  return factors_.empty() ? 0 : factors_.back().first + 1;
+}
+
+double expectation(const StateVector& state, const PauliString& pauli) {
+  RQSIM_CHECK(pauli.min_qubits() <= state.num_qubits(),
+              "expectation: observable exceeds state size");
+  if (pauli.is_identity()) {
+    return state.norm_squared();
+  }
+  StateVector transformed = state;
+  for (const auto& [q, p] : pauli.factors()) {
+    apply_pauli(transformed, p, q);
+  }
+  cplx overlap = 0.0;
+  for (std::size_t i = 0; i < state.dim(); ++i) {
+    overlap += std::conj(state[i]) * transformed[i];
+  }
+  return overlap.real();
+}
+
+}  // namespace rqsim

@@ -1,0 +1,54 @@
+#include "report/csv.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace rqsim {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) {
+    return field;
+  }
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string to_csv(const std::vector<std::string>& header,
+                   const std::vector<std::vector<std::string>>& rows) {
+  std::string out;
+  auto emit = [&out](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) {
+        out += ',';
+      }
+      out += csv_escape(row[i]);
+    }
+    out += '\n';
+  };
+  emit(header);
+  for (const auto& row : rows) {
+    RQSIM_CHECK(row.size() == header.size(), "to_csv: row width mismatch");
+    emit(row);
+  }
+  return out;
+}
+
+void write_csv_file(const std::string& path, const std::vector<std::string>& header,
+                    const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream file(path);
+  RQSIM_CHECK(file.good(), "write_csv_file: cannot open " + path);
+  file << to_csv(header, rows);
+  RQSIM_CHECK(file.good(), "write_csv_file: write failed for " + path);
+}
+
+}  // namespace rqsim

@@ -1,0 +1,21 @@
+// CSV emission for benchmark results, so figure data can be re-plotted
+// without scraping the text tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rqsim {
+
+/// RFC-4180-style escaping of one field.
+std::string csv_escape(const std::string& field);
+
+/// Render header + rows as CSV text.
+std::string to_csv(const std::vector<std::string>& header,
+                   const std::vector<std::vector<std::string>>& rows);
+
+/// Write CSV to a file (throws rqsim::Error on I/O failure).
+void write_csv_file(const std::string& path, const std::vector<std::string>& header,
+                    const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace rqsim

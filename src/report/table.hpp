@@ -1,0 +1,27 @@
+// Plain-text table formatting shared by the benchmark harnesses, so every
+// figure/table reproduction prints aligned, copy-pasteable rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rqsim {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column alignment and a separator under the header.
+  std::string render() const;
+
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rqsim

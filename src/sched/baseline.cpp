@@ -1,0 +1,71 @@
+#include "sched/baseline.hpp"
+
+#include "common/error.hpp"
+#include "linalg/pauli.hpp"
+#include "sim/kernels.hpp"
+
+namespace rqsim {
+
+StateVector simulate_trial(const CircuitContext& ctx, const Trial& trial) {
+  StateVector state(ctx.circuit.num_qubits());
+  std::size_t next_event = 0;
+  for (layer_index_t l = 0; l < ctx.num_layers(); ++l) {
+    for (gate_index_t g : ctx.layering.layers[l]) {
+      apply_gate(state, ctx.circuit.gates()[g]);
+    }
+    while (next_event < trial.events.size() && trial.events[next_event].layer == l) {
+      const ErrorEvent& event = trial.events[next_event];
+      if (is_idle_position(ctx.circuit.num_gates(), event.position)) {
+        apply_pauli(state, static_cast<Pauli>(event.op),
+                    idle_qubit(ctx.circuit.num_gates(), event.position));
+      } else {
+        const Gate& gate = ctx.circuit.gates()[event.position];
+        if (gate.arity() == 1) {
+          apply_pauli(state, static_cast<Pauli>(event.op), gate.qubits[0]);
+        } else {
+          RQSIM_CHECK(gate.arity() == 2, "simulate_trial: unsupported gate arity");
+          apply_pauli_pair(state, pauli_pair_from_index(event.op), gate.qubits[0],
+                           gate.qubits[1]);
+        }
+      }
+      ++next_event;
+    }
+  }
+  RQSIM_CHECK(next_event == trial.events.size(),
+              "simulate_trial: event beyond the last layer");
+  return state;
+}
+
+SvRunResult baseline_simulate(const CircuitContext& ctx, const std::vector<Trial>& trials,
+                              Rng& rng, bool record_final_states,
+                              const std::vector<PauliString>* observables) {
+  SvRunResult result;
+  result.max_live_states = 1;
+  if (record_final_states) {
+    result.final_states.resize(trials.size());
+  }
+  if (observables != nullptr) {
+    result.observable_sums.assign(observables->size(), 0.0);
+  }
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    const Trial& trial = trials[i];
+    StateVector state = simulate_trial(ctx, trial);
+    result.ops += ctx.total_gate_ops() + static_cast<opcount_t>(trial.num_errors());
+    if (!ctx.circuit.measured_qubits().empty()) {
+      const auto probs = measurement_probabilities(state, ctx.circuit.measured_qubits());
+      const std::uint64_t outcome = sample_outcome(probs, rng) ^ trial.meas_flip_mask;
+      ++result.histogram[outcome];
+    }
+    if (observables != nullptr) {
+      for (std::size_t k = 0; k < observables->size(); ++k) {
+        result.observable_sums[k] += expectation(state, (*observables)[k]);
+      }
+    }
+    if (record_final_states) {
+      result.final_states[i] = std::move(state);
+    }
+  }
+  return result;
+}
+
+}  // namespace rqsim

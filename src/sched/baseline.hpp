@@ -1,0 +1,29 @@
+// Baseline Monte Carlo execution (paper Section V "Baseline"): every trial
+// is simulated from scratch in its generated order; nothing is shared and
+// no intermediate state is kept.
+//
+// Execution order within a trial is layer-by-layer with the trial's error
+// events applied at each layer boundary — the same semantic order the
+// cached executor realizes, so final states agree bitwise.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sched/backend.hpp"
+#include "sched/plan.hpp"
+#include "trial/trial.hpp"
+
+namespace rqsim {
+
+/// Simulate one trial from |0…0⟩; returns the pre-measurement final state.
+StateVector simulate_trial(const CircuitContext& ctx, const Trial& trial);
+
+/// Full baseline run: per-trial simulation, outcome sampling, histogram.
+/// `observables` (optional, borrowed) are evaluated on every trial's final
+/// state and accumulated into SvRunResult::observable_sums.
+SvRunResult baseline_simulate(const CircuitContext& ctx, const std::vector<Trial>& trials,
+                              Rng& rng, bool record_final_states = false,
+                              const std::vector<PauliString>* observables = nullptr);
+
+}  // namespace rqsim

@@ -1,0 +1,124 @@
+#include "sched/compact.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rqsim {
+
+CompressedState CompressedState::compress(const StateVector& state) {
+  std::size_t nnz = 0;
+  for (std::size_t i = 0; i < state.dim(); ++i) {
+    if (state[i] != cplx(0.0)) {
+      ++nnz;
+    }
+  }
+  CompressedState out;
+  // Sparse pays 24 bytes/entry (8 index + 16 amplitude) vs 16 dense; it
+  // wins below 2/3 density — use a 1/2 threshold for headroom.
+  if (nnz * 2 <= state.dim()) {
+    Sparse sparse;
+    sparse.num_qubits = state.num_qubits();
+    sparse.indices.reserve(nnz);
+    sparse.amplitudes.reserve(nnz);
+    for (std::size_t i = 0; i < state.dim(); ++i) {
+      if (state[i] != cplx(0.0)) {
+        sparse.indices.push_back(i);
+        sparse.amplitudes.push_back(state[i]);
+      }
+    }
+    out.repr_ = std::move(sparse);
+  } else {
+    out.repr_ = state;
+  }
+  return out;
+}
+
+StateVector CompressedState::decompress() const {
+  if (const auto* dense = std::get_if<StateVector>(&repr_)) {
+    return *dense;
+  }
+  const Sparse& sparse = std::get<Sparse>(repr_);
+  StateVector state(sparse.num_qubits);
+  state[0] = 0.0;
+  for (std::size_t k = 0; k < sparse.indices.size(); ++k) {
+    state[sparse.indices[k]] = sparse.amplitudes[k];
+  }
+  return state;
+}
+
+std::size_t CompressedState::stored_bytes() const {
+  if (const auto* dense = std::get_if<StateVector>(&repr_)) {
+    return dense->dim() * sizeof(cplx);
+  }
+  const Sparse& sparse = std::get<Sparse>(repr_);
+  return sparse.indices.size() * (sizeof(std::uint64_t) + sizeof(cplx));
+}
+
+CompactSvBackend::CompactSvBackend(const CircuitContext& ctx, Rng& rng)
+    : ctx_(ctx), rng_(rng), working_(ctx.circuit.num_qubits()) {
+  result_.max_live_states = 1;
+  note_memory();
+}
+
+void CompactSvBackend::note_memory() {
+  std::size_t bytes = working_.dim() * sizeof(cplx);
+  for (const CompressedState& cp : dormant_) {
+    bytes += cp.stored_bytes();
+  }
+  result_.peak_bytes = std::max(result_.peak_bytes, bytes);
+  result_.dense_peak_bytes =
+      std::max(result_.dense_peak_bytes,
+               (dormant_.size() + 1) * working_.dim() * sizeof(cplx));
+  result_.max_live_states = std::max(result_.max_live_states, dormant_.size() + 1);
+}
+
+void CompactSvBackend::on_advance(std::size_t depth, layer_index_t from_layer,
+                                  layer_index_t to_layer) {
+  RQSIM_CHECK(depth == dormant_.size(), "CompactSvBackend: advance must target top");
+  apply_layers(ctx_, working_, from_layer, to_layer);
+  result_.ops += ctx_.ops_in_layers(from_layer, to_layer);
+  cached_probs_.reset();
+}
+
+void CompactSvBackend::on_fork(std::size_t depth) {
+  RQSIM_CHECK(depth == dormant_.size(), "CompactSvBackend: fork must target top");
+  // Parent goes dormant (compressed); the working state *is* the child.
+  dormant_.push_back(CompressedState::compress(working_));
+  note_memory();
+  cached_probs_.reset();
+}
+
+void CompactSvBackend::on_error(std::size_t depth, const ErrorEvent& event) {
+  RQSIM_CHECK(depth == dormant_.size(), "CompactSvBackend: error must target top");
+  apply_error_event(ctx_, working_, event);
+  result_.ops += 1;
+  cached_probs_.reset();
+}
+
+void CompactSvBackend::on_finish(std::size_t depth, trial_index_t trial_index,
+                                 const Trial& trial) {
+  (void)depth;
+  (void)trial_index;
+  if (ctx_.circuit.measured_qubits().empty()) {
+    return;
+  }
+  if (!cached_probs_) {
+    cached_probs_ = measurement_probabilities(working_, ctx_.circuit.measured_qubits());
+  }
+  const std::uint64_t outcome =
+      sample_outcome(*cached_probs_, rng_) ^ trial.meas_flip_mask;
+  ++result_.histogram[outcome];
+}
+
+void CompactSvBackend::on_drop(std::size_t depth) {
+  RQSIM_CHECK(depth == dormant_.size() && !dormant_.empty(),
+              "CompactSvBackend: drop must pop the top checkpoint");
+  working_ = dormant_.back().decompress();
+  dormant_.pop_back();
+  cached_probs_.reset();
+}
+
+CompactRunResult CompactSvBackend::take_result() { return std::move(result_); }
+
+}  // namespace rqsim

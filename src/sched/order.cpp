@@ -1,0 +1,86 @@
+#include "sched/order.hpp"
+
+#include <algorithm>
+
+namespace rqsim {
+
+bool trial_order_less(const Trial& a, const Trial& b) {
+  const std::size_t limit = std::min(a.events.size(), b.events.size());
+  for (std::size_t k = 0; k < limit; ++k) {
+    if (a.events[k] < b.events[k]) {
+      return true;
+    }
+    if (b.events[k] < a.events[k]) {
+      return false;
+    }
+  }
+  // Shared prefix: the trial with *more* events sorts first, so the
+  // error-free continuation of a prefix is executed last.
+  return a.events.size() > b.events.size();
+}
+
+void reorder_trials(std::vector<Trial>& trials) {
+  std::stable_sort(trials.begin(), trials.end(), trial_order_less);
+}
+
+namespace {
+
+// Algorithm 1: Trial_Reorder(S, n).
+// "Order the trials in S based on the location of the nth injected error;
+//  divide the trials into groups based on the nth error; recurse per group
+//  with n+1."
+void trial_reorder_recursive(std::vector<Trial>& trials, std::size_t begin,
+                             std::size_t end, std::size_t n) {
+  if (end - begin <= 1) {
+    return;  // "if S has only one trial then return S"
+  }
+  // Order by the location (and operator) of the nth injected error. Trials
+  // with no nth error go last. stable_sort keeps this a faithful grouping
+  // pass: trials are only rearranged by their nth-error key.
+  std::stable_sort(
+      trials.begin() + static_cast<std::ptrdiff_t>(begin),
+      trials.begin() + static_cast<std::ptrdiff_t>(end),
+      [n](const Trial& a, const Trial& b) {
+        const bool a_has = n < a.events.size();
+        const bool b_has = n < b.events.size();
+        if (a_has != b_has) {
+          return a_has;  // exhausted trials last
+        }
+        if (!a_has) {
+          return false;
+        }
+        return a.events[n] < b.events[n];
+      });
+  // Divide into groups sharing the nth error and recurse.
+  std::size_t group_begin = begin;
+  while (group_begin < end) {
+    if (n >= trials[group_begin].events.size()) {
+      break;  // the trailing exhausted trials form no further groups
+    }
+    const ErrorEvent key = trials[group_begin].events[n];
+    std::size_t group_end = group_begin + 1;
+    while (group_end < end && n < trials[group_end].events.size() &&
+           trials[group_end].events[n] == key) {
+      ++group_end;
+    }
+    trial_reorder_recursive(trials, group_begin, group_end, n + 1);
+    group_begin = group_end;
+  }
+}
+
+}  // namespace
+
+void reorder_trials_algorithm1(std::vector<Trial>& trials) {
+  trial_reorder_recursive(trials, 0, trials.size(), 0);
+}
+
+bool is_reordered(const std::vector<Trial>& trials) {
+  for (std::size_t i = 1; i < trials.size(); ++i) {
+    if (trial_order_less(trials[i], trials[i - 1])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rqsim

@@ -1,0 +1,37 @@
+// Trial reordering (the paper's Algorithm 1).
+//
+// The recursive grouping of Algorithm 1 — order trials by the location of
+// the 1st injected error, group trials sharing it, recurse on the 2nd, … —
+// is exactly a lexicographic sort over error-event sequences, with one
+// refinement: a trial that has run out of errors sorts *after* any trial
+// with a further error. That refinement is what lets each recursion level
+// keep exactly one advancing checkpoint: the error-free continuation of a
+// prefix is simulated last, after every branching subgroup has consumed the
+// intermediate layer states (paper Section IV.B, S1→S2 advance-and-drop).
+//
+// Both formulations are implemented: `reorder_trials` (the O(T log T)
+// sort used in production) and `reorder_trials_algorithm1` (a literal
+// transcription of the paper's recursion). Tests assert they agree.
+#pragma once
+
+#include <vector>
+
+#include "trial/trial.hpp"
+
+namespace rqsim {
+
+/// Comparison used by the reorder: lexicographic over events with
+/// "exhausted" greater than any event.
+bool trial_order_less(const Trial& a, const Trial& b);
+
+/// Reorder trials in place with a lexicographic sort.
+void reorder_trials(std::vector<Trial>& trials);
+
+/// Literal transcription of the paper's Algorithm 1 (recursive order+group).
+/// Quadratic in the worst case; exists to validate `reorder_trials`.
+void reorder_trials_algorithm1(std::vector<Trial>& trials);
+
+/// True if the trial sequence is in reorder order.
+bool is_reordered(const std::vector<Trial>& trials);
+
+}  // namespace rqsim

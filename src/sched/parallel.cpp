@@ -1,0 +1,97 @@
+#include "sched/parallel.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sched/backend.hpp"
+#include "sched/order.hpp"
+#include "trial/generator.hpp"
+
+namespace rqsim {
+
+NoisyRunResult run_noisy_parallel(const Circuit& circuit, const NoiseModel& noise,
+                                  const ParallelRunConfig& config) {
+  circuit.validate();
+  RQSIM_CHECK(noise.num_qubits() >= circuit.num_qubits(),
+              "run_noisy_parallel: noise model covers fewer qubits than the circuit");
+  RQSIM_CHECK(config.mode == ExecutionMode::kCachedReordered,
+              "run_noisy_parallel: only kCachedReordered is supported");
+  const CircuitContext ctx(circuit);
+  Rng rng(config.seed);
+  std::vector<Trial> trials =
+      generate_trials(circuit, ctx.layering, noise, config.num_trials, rng);
+  reorder_trials(trials);
+
+  const std::size_t workers =
+      std::max<std::size_t>(1, std::min(config.num_threads,
+                                        trials.empty() ? 1 : trials.size()));
+
+  // Contiguous chunks of the reordered list; each is itself reordered.
+  std::vector<std::vector<Trial>> chunks(workers);
+  const std::size_t per_chunk = (trials.size() + workers - 1) / workers;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t begin = std::min(w * per_chunk, trials.size());
+    const std::size_t end = std::min(begin + per_chunk, trials.size());
+    chunks[w].assign(trials.begin() + static_cast<std::ptrdiff_t>(begin),
+                     trials.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+
+  ScheduleOptions options;
+  options.max_states = config.max_states;
+
+  std::vector<SvRunResult> partials(workers);
+  auto work = [&](std::size_t w, std::uint64_t worker_seed) {
+    Rng worker_rng(worker_seed);
+    SvBackend backend(ctx, worker_rng, /*record_final_states=*/false,
+                      &config.observables);
+    schedule_trials(ctx, chunks[w], backend, options);
+    partials[w] = backend.take_result();
+  };
+
+  // Derive one independent sampling stream per worker up front (on the
+  // caller's thread, so the derivation order is deterministic).
+  std::vector<std::uint64_t> worker_seeds(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    worker_seeds[w] = rng.next_u64();
+  }
+
+  if (workers == 1) {
+    work(0, worker_seeds[0]);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      threads.emplace_back(work, w, worker_seeds[w]);
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+  }
+
+  NoisyRunResult result;
+  result.observable_means.assign(config.observables.size(), 0.0);
+  for (const SvRunResult& partial : partials) {
+    result.ops += partial.ops;
+    result.max_live_states = std::max(result.max_live_states, partial.max_live_states);
+    for (const auto& [outcome, count] : partial.histogram) {
+      result.histogram[outcome] += count;
+    }
+    for (std::size_t k = 0; k < partial.observable_sums.size(); ++k) {
+      result.observable_means[k] += partial.observable_sums[k];
+    }
+  }
+  for (double& mean : result.observable_means) {
+    mean /= static_cast<double>(std::max<std::size_t>(1, trials.size()));
+  }
+  result.baseline_ops = baseline_op_count(ctx, trials);
+  result.trial_stats = compute_trial_stats(trials);
+  result.normalized_computation =
+      result.baseline_ops == 0
+          ? 1.0
+          : static_cast<double>(result.ops) / static_cast<double>(result.baseline_ops);
+  return result;
+}
+
+}  // namespace rqsim

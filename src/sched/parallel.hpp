@@ -1,0 +1,30 @@
+// Multi-threaded cached execution.
+//
+// The paper (Section II) notes the inter-trial optimization is orthogonal
+// to system-level parallelism. This module realizes that: the reordered
+// trial list is split into contiguous chunks, each chunk is executed by an
+// independent prefix-caching scheduler on its own thread, and the results
+// are merged. Chunks of a reordered list are themselves reordered, so each
+// worker keeps the full intra-chunk sharing; only the sharing *across*
+// chunk boundaries is lost (ops_parallel >= ops_serial, bounded by
+// num_threads extra circuit executions).
+#pragma once
+
+#include <cstddef>
+
+#include "sched/runner.hpp"
+
+namespace rqsim {
+
+struct ParallelRunConfig : NoisyRunConfig {
+  /// Worker-thread count; 0 or 1 runs serially on the caller's thread.
+  std::size_t num_threads = 4;
+};
+
+/// Statevector execution of the reordered+cached simulation across
+/// `num_threads` workers. Deterministic for a fixed (seed, num_threads).
+/// MSV is reported per worker (each worker owns its own checkpoint stack).
+NoisyRunResult run_noisy_parallel(const Circuit& circuit, const NoiseModel& noise,
+                                  const ParallelRunConfig& config);
+
+}  // namespace rqsim

@@ -1,0 +1,113 @@
+#include "sched/runner.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include <algorithm>
+
+#include "sched/baseline.hpp"
+#include "sched/cached.hpp"
+#include "sched/order.hpp"
+#include "trial/generator.hpp"
+
+namespace rqsim {
+
+namespace {
+
+std::vector<Trial> make_trials(const Circuit& circuit, const CircuitContext& ctx,
+                               const NoiseModel& noise, const NoisyRunConfig& config,
+                               Rng& rng) {
+  RQSIM_CHECK(noise.num_qubits() >= circuit.num_qubits(),
+              "run_noisy: noise model covers fewer qubits than the circuit");
+  return generate_trials(circuit, ctx.layering, noise, config.num_trials, rng);
+}
+
+void fill_common(NoisyRunResult& result, const CircuitContext& ctx,
+                 const std::vector<Trial>& trials) {
+  result.baseline_ops = baseline_op_count(ctx, trials);
+  result.trial_stats = compute_trial_stats(trials);
+  result.normalized_computation =
+      result.baseline_ops == 0
+          ? 1.0
+          : static_cast<double>(result.ops) / static_cast<double>(result.baseline_ops);
+}
+
+}  // namespace
+
+NoisyRunResult run_noisy(const Circuit& circuit, const NoiseModel& noise,
+                         const NoisyRunConfig& config) {
+  circuit.validate();
+  CircuitContext ctx(circuit);
+  Rng rng(config.seed);
+  std::vector<Trial> trials = make_trials(circuit, ctx, noise, config, rng);
+
+  NoisyRunResult result;
+  switch (config.mode) {
+    case ExecutionMode::kBaseline: {
+      SvRunResult run = baseline_simulate(ctx, trials, rng, /*record_final_states=*/false,
+                                          &config.observables);
+      result.histogram = std::move(run.histogram);
+      result.ops = run.ops;
+      result.max_live_states = run.max_live_states;
+      result.observable_means = std::move(run.observable_sums);
+      break;
+    }
+    case ExecutionMode::kCachedReordered: {
+      reorder_trials(trials);
+      SvBackend backend(ctx, rng, /*record_final_states=*/false, &config.observables);
+      ScheduleOptions options;
+      options.max_states = config.max_states;
+      schedule_trials(ctx, trials, backend, options);
+      SvRunResult run = backend.take_result();
+      result.histogram = std::move(run.histogram);
+      result.ops = run.ops;
+      result.max_live_states = run.max_live_states;
+      result.observable_means = std::move(run.observable_sums);
+      break;
+    }
+    case ExecutionMode::kCachedUnordered:
+      RQSIM_CHECK(false,
+                  "run_noisy: the unordered-cache ablation is accounting-only; "
+                  "use analyze_noisy");
+  }
+  for (double& mean : result.observable_means) {
+    mean /= static_cast<double>(std::max<std::size_t>(1, trials.size()));
+  }
+  fill_common(result, ctx, trials);
+  return result;
+}
+
+NoisyRunResult analyze_noisy(const Circuit& circuit, const NoiseModel& noise,
+                             const NoisyRunConfig& config) {
+  circuit.validate();
+  CircuitContext ctx(circuit);
+  Rng rng(config.seed);
+  std::vector<Trial> trials = make_trials(circuit, ctx, noise, config, rng);
+
+  NoisyRunResult result;
+  switch (config.mode) {
+    case ExecutionMode::kBaseline:
+      result.ops = baseline_op_count(ctx, trials);
+      result.max_live_states = 1;
+      break;
+    case ExecutionMode::kCachedReordered: {
+      reorder_trials(trials);
+      CountBackend backend(ctx);
+      ScheduleOptions options;
+      options.max_states = config.max_states;
+      schedule_trials(ctx, trials, backend, options);
+      result.ops = backend.ops();
+      result.max_live_states = backend.max_live_states();
+      break;
+    }
+    case ExecutionMode::kCachedUnordered: {
+      const ConsecutiveCacheResult run = consecutive_cached_count(ctx, trials);
+      result.ops = run.ops;
+      result.max_live_states = run.max_live_states;
+      break;
+    }
+  }
+  fill_common(result, ctx, trials);
+  return result;
+}
+
+}  // namespace rqsim

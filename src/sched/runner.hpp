@@ -1,0 +1,74 @@
+// High-level public API: one call from circuit + noise model to a noisy
+// Monte Carlo simulation result, in any of three execution modes.
+//
+//   run_noisy      — real statevector execution (outcome histogram), for
+//                    circuits small enough to hold amplitudes.
+//   analyze_noisy  — accounting only (ops, MSV); scales to any qubit count
+//                    because no statevector is ever allocated. This is the
+//                    entry point of the paper's scalability experiments.
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/circuit.hpp"
+#include "noise/noise_model.hpp"
+#include "obs/pauli_string.hpp"
+#include "sched/backend.hpp"
+#include "trial/stats.hpp"
+
+namespace rqsim {
+
+enum class ExecutionMode {
+  kBaseline,          // every trial from scratch (paper's baseline)
+  kCachedReordered,   // the paper's optimization: reorder + prefix caching
+  kCachedUnordered,   // ablation: prefix caching without the reorder
+};
+
+struct NoisyRunConfig {
+  std::size_t num_trials = 1024;
+  std::uint64_t seed = 1;
+  ExecutionMode mode = ExecutionMode::kCachedReordered;
+
+  /// MSV budget for kCachedReordered (0 = unlimited, else >= 2). Branches
+  /// that would exceed the budget are replayed trial-by-trial, trading
+  /// computation for memory; results are unchanged.
+  std::size_t max_states = 0;
+
+  /// Pauli-string observables to estimate (statevector modes only):
+  /// result.observable_means[k] = mean over trials of ⟨P_k⟩.
+  std::vector<PauliString> observables;
+};
+
+struct NoisyRunResult {
+  /// Sampled outcome histogram (empty for analyze_noisy or unmeasured circuits).
+  OutcomeHistogram histogram;
+
+  /// Matrix-vector operations actually performed.
+  opcount_t ops = 0;
+
+  /// What the baseline would have performed on the same trial set.
+  opcount_t baseline_ops = 0;
+
+  /// ops / baseline_ops — the paper's "normalized computation".
+  double normalized_computation = 1.0;
+
+  /// Maximum concurrently maintained state vectors (the paper's MSV).
+  std::size_t max_live_states = 1;
+
+  /// Statistics of the generated trial set.
+  TrialSetStats trial_stats;
+
+  /// Noisy expectation value of each requested observable.
+  std::vector<double> observable_means;
+};
+
+/// Statevector execution. The circuit must be decomposed to 1-/2-qubit
+/// gates and small enough for explicit amplitudes (<= 30 qubits).
+NoisyRunResult run_noisy(const Circuit& circuit, const NoiseModel& noise,
+                         const NoisyRunConfig& config);
+
+/// Accounting-only execution (no amplitudes). Valid for any qubit count.
+NoisyRunResult analyze_noisy(const Circuit& circuit, const NoiseModel& noise,
+                             const NoisyRunConfig& config);
+
+}  // namespace rqsim

@@ -1,0 +1,244 @@
+#include "sim/kernels.hpp"
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace rqsim {
+
+void apply_mat2(StateVector& state, const Mat2& m, qubit_t target) {
+  RQSIM_CHECK(target < state.num_qubits(), "apply_mat2: target out of range");
+  const std::uint64_t half = state.dim() >> 1;
+  const cplx m00 = m.at(0, 0);
+  const cplx m01 = m.at(0, 1);
+  const cplx m10 = m.at(1, 0);
+  const cplx m11 = m.at(1, 1);
+  auto& amps = state.amplitudes();
+  for (std::uint64_t k = 0; k < half; ++k) {
+    const std::uint64_t i0 = insert_zero_bit(k, target);
+    const std::uint64_t i1 = i0 | (std::uint64_t{1} << target);
+    const cplx a0 = amps[i0];
+    const cplx a1 = amps[i1];
+    amps[i0] = m00 * a0 + m01 * a1;
+    amps[i1] = m10 * a0 + m11 * a1;
+  }
+}
+
+void apply_mat4(StateVector& state, const Mat4& m, qubit_t q1, qubit_t q0) {
+  RQSIM_CHECK(q1 < state.num_qubits() && q0 < state.num_qubits() && q1 != q0,
+              "apply_mat4: bad operands");
+  const qubit_t lo = q1 < q0 ? q1 : q0;
+  const qubit_t hi = q1 < q0 ? q0 : q1;
+  const std::uint64_t quarter = state.dim() >> 2;
+  auto& amps = state.amplitudes();
+  const std::uint64_t bit1 = std::uint64_t{1} << q1;
+  const std::uint64_t bit0 = std::uint64_t{1} << q0;
+  for (std::uint64_t k = 0; k < quarter; ++k) {
+    const std::uint64_t base = insert_two_zero_bits(k, lo, hi);
+    const std::uint64_t i00 = base;
+    const std::uint64_t i01 = base | bit0;
+    const std::uint64_t i10 = base | bit1;
+    const std::uint64_t i11 = base | bit0 | bit1;
+    const cplx a00 = amps[i00];
+    const cplx a01 = amps[i01];
+    const cplx a10 = amps[i10];
+    const cplx a11 = amps[i11];
+    amps[i00] = m.at(0, 0) * a00 + m.at(0, 1) * a01 + m.at(0, 2) * a10 + m.at(0, 3) * a11;
+    amps[i01] = m.at(1, 0) * a00 + m.at(1, 1) * a01 + m.at(1, 2) * a10 + m.at(1, 3) * a11;
+    amps[i10] = m.at(2, 0) * a00 + m.at(2, 1) * a01 + m.at(2, 2) * a10 + m.at(2, 3) * a11;
+    amps[i11] = m.at(3, 0) * a00 + m.at(3, 1) * a01 + m.at(3, 2) * a10 + m.at(3, 3) * a11;
+  }
+}
+
+void apply_x(StateVector& state, qubit_t target) {
+  RQSIM_CHECK(target < state.num_qubits(), "apply_x: target out of range");
+  const std::uint64_t half = state.dim() >> 1;
+  auto& amps = state.amplitudes();
+  for (std::uint64_t k = 0; k < half; ++k) {
+    const std::uint64_t i0 = insert_zero_bit(k, target);
+    const std::uint64_t i1 = i0 | (std::uint64_t{1} << target);
+    std::swap(amps[i0], amps[i1]);
+  }
+}
+
+void apply_y(StateVector& state, qubit_t target) {
+  RQSIM_CHECK(target < state.num_qubits(), "apply_y: target out of range");
+  const std::uint64_t half = state.dim() >> 1;
+  auto& amps = state.amplitudes();
+  const cplx i_unit(0.0, 1.0);
+  for (std::uint64_t k = 0; k < half; ++k) {
+    const std::uint64_t i0 = insert_zero_bit(k, target);
+    const std::uint64_t i1 = i0 | (std::uint64_t{1} << target);
+    const cplx a0 = amps[i0];
+    const cplx a1 = amps[i1];
+    amps[i0] = -i_unit * a1;
+    amps[i1] = i_unit * a0;
+  }
+}
+
+void apply_z(StateVector& state, qubit_t target) {
+  apply_phase(state, target, cplx(-1.0, 0.0));
+}
+
+void apply_h(StateVector& state, qubit_t target) {
+  Mat2 h;
+  const double inv_sqrt2 = 0.7071067811865475244;
+  h.at(0, 0) = inv_sqrt2;
+  h.at(0, 1) = inv_sqrt2;
+  h.at(1, 0) = inv_sqrt2;
+  h.at(1, 1) = -inv_sqrt2;
+  apply_mat2(state, h, target);
+}
+
+void apply_phase(StateVector& state, qubit_t target, cplx phase) {
+  RQSIM_CHECK(target < state.num_qubits(), "apply_phase: target out of range");
+  const std::uint64_t half = state.dim() >> 1;
+  auto& amps = state.amplitudes();
+  for (std::uint64_t k = 0; k < half; ++k) {
+    const std::uint64_t i1 = insert_zero_bit(k, target) | (std::uint64_t{1} << target);
+    amps[i1] *= phase;
+  }
+}
+
+void apply_cx(StateVector& state, qubit_t control, qubit_t target) {
+  RQSIM_CHECK(control < state.num_qubits() && target < state.num_qubits() &&
+                  control != target,
+              "apply_cx: bad operands");
+  const qubit_t lo = control < target ? control : target;
+  const qubit_t hi = control < target ? target : control;
+  const std::uint64_t quarter = state.dim() >> 2;
+  auto& amps = state.amplitudes();
+  const std::uint64_t cbit = std::uint64_t{1} << control;
+  const std::uint64_t tbit = std::uint64_t{1} << target;
+  for (std::uint64_t k = 0; k < quarter; ++k) {
+    const std::uint64_t base = insert_two_zero_bits(k, lo, hi) | cbit;
+    std::swap(amps[base], amps[base | tbit]);
+  }
+}
+
+void apply_cz(StateVector& state, qubit_t a, qubit_t b) {
+  apply_cphase(state, a, b, cplx(-1.0, 0.0));
+}
+
+void apply_cphase(StateVector& state, qubit_t a, qubit_t b, cplx phase) {
+  RQSIM_CHECK(a < state.num_qubits() && b < state.num_qubits() && a != b,
+              "apply_cphase: bad operands");
+  const qubit_t lo = a < b ? a : b;
+  const qubit_t hi = a < b ? b : a;
+  const std::uint64_t quarter = state.dim() >> 2;
+  auto& amps = state.amplitudes();
+  const std::uint64_t both = (std::uint64_t{1} << a) | (std::uint64_t{1} << b);
+  for (std::uint64_t k = 0; k < quarter; ++k) {
+    amps[insert_two_zero_bits(k, lo, hi) | both] *= phase;
+  }
+}
+
+void apply_swap(StateVector& state, qubit_t a, qubit_t b) {
+  RQSIM_CHECK(a < state.num_qubits() && b < state.num_qubits() && a != b,
+              "apply_swap: bad operands");
+  const qubit_t lo = a < b ? a : b;
+  const qubit_t hi = a < b ? b : a;
+  const std::uint64_t quarter = state.dim() >> 2;
+  auto& amps = state.amplitudes();
+  const std::uint64_t abit = std::uint64_t{1} << a;
+  const std::uint64_t bbit = std::uint64_t{1} << b;
+  for (std::uint64_t k = 0; k < quarter; ++k) {
+    const std::uint64_t base = insert_two_zero_bits(k, lo, hi);
+    std::swap(amps[base | abit], amps[base | bbit]);
+  }
+}
+
+void apply_ccx(StateVector& state, qubit_t c1, qubit_t c2, qubit_t target) {
+  RQSIM_CHECK(c1 < state.num_qubits() && c2 < state.num_qubits() &&
+                  target < state.num_qubits() && c1 != c2 && c1 != target &&
+                  c2 != target,
+              "apply_ccx: bad operands");
+  auto& amps = state.amplitudes();
+  const std::uint64_t c1bit = std::uint64_t{1} << c1;
+  const std::uint64_t c2bit = std::uint64_t{1} << c2;
+  const std::uint64_t tbit = std::uint64_t{1} << target;
+  const std::uint64_t dim = state.dim();
+  for (std::uint64_t i = 0; i < dim; ++i) {
+    if ((i & c1bit) && (i & c2bit) && !(i & tbit)) {
+      std::swap(amps[i], amps[i | tbit]);
+    }
+  }
+}
+
+void apply_gate(StateVector& state, const Gate& gate) {
+  switch (gate.kind) {
+    case GateKind::X:
+      apply_x(state, gate.qubits[0]);
+      return;
+    case GateKind::Y:
+      apply_y(state, gate.qubits[0]);
+      return;
+    case GateKind::Z:
+      apply_z(state, gate.qubits[0]);
+      return;
+    case GateKind::H:
+      apply_h(state, gate.qubits[0]);
+      return;
+    case GateKind::S:
+      apply_phase(state, gate.qubits[0], cplx(0.0, 1.0));
+      return;
+    case GateKind::Sdg:
+      apply_phase(state, gate.qubits[0], cplx(0.0, -1.0));
+      return;
+    case GateKind::T:
+      apply_phase(state, gate.qubits[0], std::exp(cplx(0.0, kPi / 4.0)));
+      return;
+    case GateKind::Tdg:
+      apply_phase(state, gate.qubits[0], std::exp(cplx(0.0, -kPi / 4.0)));
+      return;
+    case GateKind::P:
+      apply_phase(state, gate.qubits[0], std::exp(cplx(0.0, gate.params[0])));
+      return;
+    case GateKind::RX:
+    case GateKind::RY:
+    case GateKind::RZ:
+    case GateKind::U2:
+    case GateKind::U3:
+      apply_mat2(state, gate_matrix1(gate), gate.qubits[0]);
+      return;
+    case GateKind::CX:
+      apply_cx(state, gate.qubits[0], gate.qubits[1]);
+      return;
+    case GateKind::CZ:
+      apply_cz(state, gate.qubits[0], gate.qubits[1]);
+      return;
+    case GateKind::CP:
+      apply_cphase(state, gate.qubits[0], gate.qubits[1],
+                   std::exp(cplx(0.0, gate.params[0])));
+      return;
+    case GateKind::SWAP:
+      apply_swap(state, gate.qubits[0], gate.qubits[1]);
+      return;
+    case GateKind::CCX:
+      apply_ccx(state, gate.qubits[0], gate.qubits[1], gate.qubits[2]);
+      return;
+  }
+  RQSIM_CHECK(false, "apply_gate: unhandled gate kind");
+}
+
+void apply_pauli(StateVector& state, Pauli p, qubit_t target) {
+  switch (p) {
+    case Pauli::I:
+      return;
+    case Pauli::X:
+      apply_x(state, target);
+      return;
+    case Pauli::Y:
+      apply_y(state, target);
+      return;
+    case Pauli::Z:
+      apply_z(state, target);
+      return;
+  }
+}
+
+void apply_pauli_pair(StateVector& state, PauliPair pair, qubit_t q1, qubit_t q0) {
+  apply_pauli(state, pair.p1, q1);
+  apply_pauli(state, pair.p0, q0);
+}
+
+}  // namespace rqsim

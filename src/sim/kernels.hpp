@@ -1,0 +1,41 @@
+// Gate-application kernels: in-place matrix-vector updates on a StateVector.
+//
+// Each kernel is one "basic operation" in the paper's computation metric.
+// The bit-twiddling index transforms live in common/bits.hpp.
+#pragma once
+
+#include "circuit/gate.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/pauli.hpp"
+#include "sim/statevector.hpp"
+
+namespace rqsim {
+
+/// Apply a general 2x2 unitary to `target`.
+void apply_mat2(StateVector& state, const Mat2& m, qubit_t target);
+
+/// Apply a general 4x4 unitary to (q1, q0): matrix index = (bit(q1)<<1)|bit(q0).
+void apply_mat4(StateVector& state, const Mat4& m, qubit_t q1, qubit_t q0);
+
+/// Specialized fast paths.
+void apply_x(StateVector& state, qubit_t target);
+void apply_y(StateVector& state, qubit_t target);
+void apply_z(StateVector& state, qubit_t target);
+void apply_h(StateVector& state, qubit_t target);
+void apply_phase(StateVector& state, qubit_t target, cplx phase);
+void apply_cx(StateVector& state, qubit_t control, qubit_t target);
+void apply_cz(StateVector& state, qubit_t a, qubit_t b);
+void apply_cphase(StateVector& state, qubit_t a, qubit_t b, cplx phase);
+void apply_swap(StateVector& state, qubit_t a, qubit_t b);
+void apply_ccx(StateVector& state, qubit_t c1, qubit_t c2, qubit_t target);
+
+/// Apply a circuit gate, dispatching to the fast path where one exists.
+void apply_gate(StateVector& state, const Gate& gate);
+
+/// Apply a single-qubit Pauli error operator.
+void apply_pauli(StateVector& state, Pauli p, qubit_t target);
+
+/// Apply a two-qubit Pauli-pair error operator to (q1, q0).
+void apply_pauli_pair(StateVector& state, PauliPair pair, qubit_t q1, qubit_t q0);
+
+}  // namespace rqsim

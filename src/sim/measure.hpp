@@ -1,0 +1,37 @@
+// Terminal measurement: sampling classical outcomes from a final state.
+//
+// The noisy-simulation pipeline measures once at the end of a trial, so
+// sampling never collapses the state — many trials can share one final
+// state and draw independent outcomes from its distribution.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/statevector.hpp"
+
+namespace rqsim {
+
+/// Marginal probability distribution over a subset of qubits.
+/// Index i of the result encodes measured_qubits[k] at bit k.
+std::vector<double> measurement_probabilities(const StateVector& state,
+                                              const std::vector<qubit_t>& measured_qubits);
+
+/// Sample one outcome (bit k <- measured_qubits[k]) from a distribution
+/// returned by measurement_probabilities.
+std::uint64_t sample_outcome(const std::vector<double>& probs, Rng& rng);
+
+/// Sample directly from a state (convenience for examples).
+std::uint64_t sample_state(const StateVector& state,
+                           const std::vector<qubit_t>& measured_qubits, Rng& rng);
+
+/// Histogram of sampled outcomes; key encodes bits as in sample_outcome.
+using OutcomeHistogram = std::map<std::uint64_t, std::uint64_t>;
+
+/// Total-variation distance between two histograms (normalized by counts).
+double total_variation_distance(const OutcomeHistogram& a, const OutcomeHistogram& b);
+
+}  // namespace rqsim

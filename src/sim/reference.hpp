@@ -1,0 +1,21 @@
+// Reference simulator: builds the full 2^n x 2^n operator of a circuit with
+// dense matrices and applies it directly. Exponentially slow — used only by
+// tests to validate the fast kernels (n ≤ 10).
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "linalg/matrix.hpp"
+#include "sim/statevector.hpp"
+
+namespace rqsim {
+
+/// Lift one gate to a dense 2^n x 2^n operator.
+DenseMatrix gate_to_dense(const Gate& gate, unsigned num_qubits);
+
+/// Product of all gates in the circuit (last gate leftmost).
+DenseMatrix circuit_to_dense(const Circuit& circuit);
+
+/// Simulate by dense matrix-vector products (no kernels involved).
+StateVector reference_simulate(const Circuit& circuit);
+
+}  // namespace rqsim

@@ -1,0 +1,213 @@
+#include "sim/sparse.hpp"
+
+#include <cmath>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace rqsim {
+
+SparseStateVector::SparseStateVector(unsigned num_qubits) : num_qubits_(num_qubits) {
+  RQSIM_CHECK(num_qubits >= 1 && num_qubits <= 63,
+              "SparseStateVector: num_qubits must be in [1, 63]");
+  amps_.emplace(0, cplx(1.0));
+}
+
+cplx SparseStateVector::amplitude(std::uint64_t index) const {
+  const auto it = amps_.find(index);
+  return it == amps_.end() ? cplx(0.0) : it->second;
+}
+
+double SparseStateVector::norm_squared() const {
+  double acc = 0.0;
+  for (const auto& [idx, amp] : amps_) {
+    (void)idx;
+    acc += std::norm(amp);
+  }
+  return acc;
+}
+
+double SparseStateVector::probability(std::uint64_t index) const {
+  return std::norm(amplitude(index));
+}
+
+void SparseStateVector::set_prune_threshold(double threshold) {
+  RQSIM_CHECK(threshold >= 0.0 && threshold < 1e-3,
+              "SparseStateVector: unreasonable prune threshold");
+  prune_threshold_ = threshold;
+}
+
+void SparseStateVector::insert_pruned(std::unordered_map<std::uint64_t, cplx>& map,
+                                      std::uint64_t key, cplx value) const {
+  if (std::abs(value) > prune_threshold_) {
+    map.emplace(key, value);
+  }
+}
+
+void SparseStateVector::apply_mat2(const Mat2& m, qubit_t target) {
+  RQSIM_CHECK(target < num_qubits_, "SparseStateVector::apply_mat2: bad target");
+  const std::uint64_t mask = std::uint64_t{1} << target;
+  std::unordered_map<std::uint64_t, cplx> next;
+  next.reserve(amps_.size() * 2);
+  for (const auto& [idx, amp] : amps_) {
+    (void)amp;
+    const std::uint64_t base = idx & ~mask;
+    if (next.count(base) != 0 || next.count(base | mask) != 0) {
+      continue;  // pair already produced
+    }
+    const cplx a0 = amplitude(base);
+    const cplx a1 = amplitude(base | mask);
+    insert_pruned(next, base, m.at(0, 0) * a0 + m.at(0, 1) * a1);
+    insert_pruned(next, base | mask, m.at(1, 0) * a0 + m.at(1, 1) * a1);
+  }
+  amps_ = std::move(next);
+}
+
+void SparseStateVector::apply_cx(qubit_t control, qubit_t target) {
+  RQSIM_CHECK(control < num_qubits_ && target < num_qubits_ && control != target,
+              "SparseStateVector::apply_cx: bad operands");
+  const std::uint64_t cbit = std::uint64_t{1} << control;
+  const std::uint64_t tbit = std::uint64_t{1} << target;
+  std::unordered_map<std::uint64_t, cplx> next;
+  next.reserve(amps_.size());
+  for (const auto& [idx, amp] : amps_) {
+    next.emplace((idx & cbit) ? (idx ^ tbit) : idx, amp);
+  }
+  amps_ = std::move(next);
+}
+
+void SparseStateVector::apply_phase(qubit_t target, cplx phase) {
+  RQSIM_CHECK(target < num_qubits_, "SparseStateVector::apply_phase: bad target");
+  const std::uint64_t mask = std::uint64_t{1} << target;
+  for (auto& [idx, amp] : amps_) {
+    if (idx & mask) {
+      amp *= phase;
+    }
+  }
+}
+
+void SparseStateVector::apply_cphase(qubit_t a, qubit_t b, cplx phase) {
+  RQSIM_CHECK(a < num_qubits_ && b < num_qubits_ && a != b,
+              "SparseStateVector::apply_cphase: bad operands");
+  const std::uint64_t both = (std::uint64_t{1} << a) | (std::uint64_t{1} << b);
+  for (auto& [idx, amp] : amps_) {
+    if ((idx & both) == both) {
+      amp *= phase;
+    }
+  }
+}
+
+void SparseStateVector::apply_swap(qubit_t a, qubit_t b) {
+  RQSIM_CHECK(a < num_qubits_ && b < num_qubits_ && a != b,
+              "SparseStateVector::apply_swap: bad operands");
+  const std::uint64_t abit = std::uint64_t{1} << a;
+  const std::uint64_t bbit = std::uint64_t{1} << b;
+  std::unordered_map<std::uint64_t, cplx> next;
+  next.reserve(amps_.size());
+  for (const auto& [idx, amp] : amps_) {
+    const bool av = (idx & abit) != 0;
+    const bool bv = (idx & bbit) != 0;
+    std::uint64_t out = idx;
+    if (av != bv) {
+      out ^= abit | bbit;
+    }
+    next.emplace(out, amp);
+  }
+  amps_ = std::move(next);
+}
+
+void SparseStateVector::apply_ccx(qubit_t c1, qubit_t c2, qubit_t target) {
+  RQSIM_CHECK(c1 < num_qubits_ && c2 < num_qubits_ && target < num_qubits_ &&
+                  c1 != c2 && c1 != target && c2 != target,
+              "SparseStateVector::apply_ccx: bad operands");
+  const std::uint64_t c1bit = std::uint64_t{1} << c1;
+  const std::uint64_t c2bit = std::uint64_t{1} << c2;
+  const std::uint64_t tbit = std::uint64_t{1} << target;
+  std::unordered_map<std::uint64_t, cplx> next;
+  next.reserve(amps_.size());
+  for (const auto& [idx, amp] : amps_) {
+    next.emplace(((idx & c1bit) && (idx & c2bit)) ? (idx ^ tbit) : idx, amp);
+  }
+  amps_ = std::move(next);
+}
+
+void SparseStateVector::apply_gate(const Gate& gate) {
+  switch (gate.kind) {
+    case GateKind::Z:
+      apply_phase(gate.qubits[0], cplx(-1.0));
+      return;
+    case GateKind::S:
+      apply_phase(gate.qubits[0], cplx(0.0, 1.0));
+      return;
+    case GateKind::Sdg:
+      apply_phase(gate.qubits[0], cplx(0.0, -1.0));
+      return;
+    case GateKind::T:
+      apply_phase(gate.qubits[0], std::exp(cplx(0.0, kPi / 4.0)));
+      return;
+    case GateKind::Tdg:
+      apply_phase(gate.qubits[0], std::exp(cplx(0.0, -kPi / 4.0)));
+      return;
+    case GateKind::P:
+      apply_phase(gate.qubits[0], std::exp(cplx(0.0, gate.params[0])));
+      return;
+    case GateKind::CX:
+      apply_cx(gate.qubits[0], gate.qubits[1]);
+      return;
+    case GateKind::CZ:
+      apply_cphase(gate.qubits[0], gate.qubits[1], cplx(-1.0));
+      return;
+    case GateKind::CP:
+      apply_cphase(gate.qubits[0], gate.qubits[1], std::exp(cplx(0.0, gate.params[0])));
+      return;
+    case GateKind::SWAP:
+      apply_swap(gate.qubits[0], gate.qubits[1]);
+      return;
+    case GateKind::CCX:
+      apply_ccx(gate.qubits[0], gate.qubits[1], gate.qubits[2]);
+      return;
+    default:
+      RQSIM_CHECK(gate.arity() == 1, "SparseStateVector::apply_gate: unhandled kind");
+      apply_mat2(gate_matrix1(gate), gate.qubits[0]);
+      return;
+  }
+}
+
+StateVector SparseStateVector::to_dense() const {
+  RQSIM_CHECK(num_qubits_ <= 30, "SparseStateVector::to_dense: too many qubits");
+  StateVector dense(num_qubits_);
+  dense[0] = 0.0;
+  for (const auto& [idx, amp] : amps_) {
+    dense[idx] = amp;
+  }
+  return dense;
+}
+
+std::vector<double> SparseStateVector::measurement_probabilities(
+    const std::vector<qubit_t>& measured_qubits) const {
+  RQSIM_CHECK(!measured_qubits.empty() && measured_qubits.size() <= 30,
+              "SparseStateVector::measurement_probabilities: bad qubit list");
+  for (qubit_t q : measured_qubits) {
+    RQSIM_CHECK(q < num_qubits_,
+                "SparseStateVector::measurement_probabilities: qubit out of range");
+  }
+  std::vector<double> probs(pow2(static_cast<unsigned>(measured_qubits.size())), 0.0);
+  for (const auto& [idx, amp] : amps_) {
+    std::uint64_t key = 0;
+    for (std::size_t k = 0; k < measured_qubits.size(); ++k) {
+      key |= static_cast<std::uint64_t>(get_bit(idx, measured_qubits[k])) << k;
+    }
+    probs[key] += std::norm(amp);
+  }
+  return probs;
+}
+
+SparseStateVector sparse_simulate(const Circuit& circuit) {
+  SparseStateVector state(circuit.num_qubits());
+  for (const Gate& g : circuit.gates()) {
+    state.apply_gate(g);
+  }
+  return state;
+}
+
+}  // namespace rqsim

@@ -1,0 +1,339 @@
+#include "stab/tableau.hpp"
+
+#include "circuit/circuit.hpp"
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace rqsim {
+
+namespace {
+
+constexpr unsigned kMaxQubits = 4096;
+
+}  // namespace
+
+Tableau::Tableau(unsigned num_qubits) : num_qubits_(num_qubits) {
+  RQSIM_CHECK(num_qubits >= 1 && num_qubits <= kMaxQubits,
+              "Tableau: num_qubits must be in [1, 4096]");
+  words_ = (num_qubits + 63) / 64;
+  const std::size_t rows = 2 * static_cast<std::size_t>(num_qubits) + 1;
+  x_bits_.assign(rows * words_, 0);
+  z_bits_.assign(rows * words_, 0);
+  sign_.assign(rows, 0);
+  // Destabilizer i = X_i, stabilizer n+i = Z_i.
+  for (unsigned i = 0; i < num_qubits; ++i) {
+    set_x(i, i, true);
+    set_z(num_qubits + i, i, true);
+  }
+}
+
+bool Tableau::get_x(std::size_t row, qubit_t q) const {
+  return (x_bits_[row * words_ + q / 64] >> (q % 64)) & 1U;
+}
+
+bool Tableau::get_z(std::size_t row, qubit_t q) const {
+  return (z_bits_[row * words_ + q / 64] >> (q % 64)) & 1U;
+}
+
+void Tableau::set_x(std::size_t row, qubit_t q, bool v) {
+  std::uint64_t& word = x_bits_[row * words_ + q / 64];
+  word = (word & ~(std::uint64_t{1} << (q % 64))) |
+         (static_cast<std::uint64_t>(v) << (q % 64));
+}
+
+void Tableau::set_z(std::size_t row, qubit_t q, bool v) {
+  std::uint64_t& word = z_bits_[row * words_ + q / 64];
+  word = (word & ~(std::uint64_t{1} << (q % 64))) |
+         (static_cast<std::uint64_t>(v) << (q % 64));
+}
+
+void Tableau::h(qubit_t q) {
+  RQSIM_CHECK(q < num_qubits_, "Tableau::h: qubit out of range");
+  const std::size_t word = q / 64;
+  const std::uint64_t mask = std::uint64_t{1} << (q % 64);
+  for (std::size_t row = 0; row < 2 * num_qubits_; ++row) {
+    std::uint64_t& xw = x_bits_[row * words_ + word];
+    std::uint64_t& zw = z_bits_[row * words_ + word];
+    const std::uint64_t xv = xw & mask;
+    const std::uint64_t zv = zw & mask;
+    sign_[row] ^= static_cast<std::uint8_t>((xv && zv) ? 1 : 0);
+    xw = (xw & ~mask) | zv;
+    zw = (zw & ~mask) | xv;
+  }
+}
+
+void Tableau::s(qubit_t q) {
+  RQSIM_CHECK(q < num_qubits_, "Tableau::s: qubit out of range");
+  const std::size_t word = q / 64;
+  const std::uint64_t mask = std::uint64_t{1} << (q % 64);
+  for (std::size_t row = 0; row < 2 * num_qubits_; ++row) {
+    std::uint64_t& xw = x_bits_[row * words_ + word];
+    std::uint64_t& zw = z_bits_[row * words_ + word];
+    const bool xv = (xw & mask) != 0;
+    const bool zv = (zw & mask) != 0;
+    sign_[row] ^= static_cast<std::uint8_t>(xv && zv);
+    if (xv) {
+      zw ^= mask;
+    }
+  }
+}
+
+void Tableau::sdg(qubit_t q) {
+  // S† = S·S·S for Cliffords (S has order 4).
+  s(q);
+  s(q);
+  s(q);
+}
+
+void Tableau::x(qubit_t q) {
+  RQSIM_CHECK(q < num_qubits_, "Tableau::x: qubit out of range");
+  for (std::size_t row = 0; row < 2 * num_qubits_; ++row) {
+    sign_[row] ^= static_cast<std::uint8_t>(get_z(row, q));
+  }
+}
+
+void Tableau::z(qubit_t q) {
+  RQSIM_CHECK(q < num_qubits_, "Tableau::z: qubit out of range");
+  for (std::size_t row = 0; row < 2 * num_qubits_; ++row) {
+    sign_[row] ^= static_cast<std::uint8_t>(get_x(row, q));
+  }
+}
+
+void Tableau::y(qubit_t q) {
+  RQSIM_CHECK(q < num_qubits_, "Tableau::y: qubit out of range");
+  for (std::size_t row = 0; row < 2 * num_qubits_; ++row) {
+    sign_[row] ^= static_cast<std::uint8_t>(get_x(row, q) ^ get_z(row, q));
+  }
+}
+
+void Tableau::cx(qubit_t control, qubit_t target) {
+  RQSIM_CHECK(control < num_qubits_ && target < num_qubits_ && control != target,
+              "Tableau::cx: bad operands");
+  for (std::size_t row = 0; row < 2 * num_qubits_; ++row) {
+    const bool xc = get_x(row, control);
+    const bool zc = get_z(row, control);
+    const bool xt = get_x(row, target);
+    const bool zt = get_z(row, target);
+    sign_[row] ^= static_cast<std::uint8_t>(xc && zt && (xt == zc));
+    set_x(row, target, xt ^ xc);
+    set_z(row, control, zc ^ zt);
+  }
+}
+
+void Tableau::cz(qubit_t a, qubit_t b) {
+  h(b);
+  cx(a, b);
+  h(b);
+}
+
+void Tableau::swap(qubit_t a, qubit_t b) {
+  cx(a, b);
+  cx(b, a);
+  cx(a, b);
+}
+
+bool Tableau::is_clifford(GateKind kind) {
+  switch (kind) {
+    case GateKind::X:
+    case GateKind::Y:
+    case GateKind::Z:
+    case GateKind::H:
+    case GateKind::S:
+    case GateKind::Sdg:
+    case GateKind::CX:
+    case GateKind::CZ:
+    case GateKind::SWAP:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void Tableau::apply_gate(const Gate& gate) {
+  switch (gate.kind) {
+    case GateKind::X:
+      x(gate.qubits[0]);
+      return;
+    case GateKind::Y:
+      y(gate.qubits[0]);
+      return;
+    case GateKind::Z:
+      z(gate.qubits[0]);
+      return;
+    case GateKind::H:
+      h(gate.qubits[0]);
+      return;
+    case GateKind::S:
+      s(gate.qubits[0]);
+      return;
+    case GateKind::Sdg:
+      sdg(gate.qubits[0]);
+      return;
+    case GateKind::CX:
+      cx(gate.qubits[0], gate.qubits[1]);
+      return;
+    case GateKind::CZ:
+      cz(gate.qubits[0], gate.qubits[1]);
+      return;
+    case GateKind::SWAP:
+      swap(gate.qubits[0], gate.qubits[1]);
+      return;
+    default:
+      RQSIM_CHECK(false, "Tableau::apply_gate: non-Clifford gate " + gate_name(gate.kind));
+  }
+}
+
+void Tableau::apply_pauli(Pauli p, qubit_t q) {
+  switch (p) {
+    case Pauli::I:
+      return;
+    case Pauli::X:
+      x(q);
+      return;
+    case Pauli::Y:
+      y(q);
+      return;
+    case Pauli::Z:
+      z(q);
+      return;
+  }
+}
+
+void Tableau::apply_pauli_pair(PauliPair pair, qubit_t q1, qubit_t q0) {
+  apply_pauli(pair.p1, q1);
+  apply_pauli(pair.p0, q0);
+}
+
+void Tableau::rowsum(std::size_t h_row, std::size_t i_row) {
+  // Phase exponent of i^k in the product row_i * row_h, accumulated mod 4.
+  int phase = 2 * sign_[h_row] + 2 * sign_[i_row];
+  for (qubit_t q = 0; q < num_qubits_; ++q) {
+    const int x1 = get_x(i_row, q);
+    const int z1 = get_z(i_row, q);
+    const int x2 = get_x(h_row, q);
+    const int z2 = get_z(h_row, q);
+    // Aaronson-Gottesman g(x1, z1, x2, z2).
+    int g = 0;
+    if (x1 == 1 && z1 == 0) {
+      g = z2 * (2 * x2 - 1);
+    } else if (x1 == 0 && z1 == 1) {
+      g = x2 * (1 - 2 * z2);
+    } else if (x1 == 1 && z1 == 1) {
+      g = z2 - x2;
+    }
+    phase += g;
+  }
+  phase = ((phase % 4) + 4) % 4;
+  // For stabilizer/scratch rows the sum is provably 0 or 2 (commuting
+  // Hermitian products). Destabilizer rows can anticommute with the pivot;
+  // their signs are never read, so the truncation below is harmless —
+  // exactly the convention of the reference chp implementation.
+  sign_[h_row] = static_cast<std::uint8_t>(phase == 2 ? 1 : 0);
+  for (std::size_t w = 0; w < words_; ++w) {
+    x_bits_[h_row * words_ + w] ^= x_bits_[i_row * words_ + w];
+    z_bits_[h_row * words_ + w] ^= z_bits_[i_row * words_ + w];
+  }
+}
+
+void Tableau::row_copy(std::size_t dst, std::size_t src) {
+  for (std::size_t w = 0; w < words_; ++w) {
+    x_bits_[dst * words_ + w] = x_bits_[src * words_ + w];
+    z_bits_[dst * words_ + w] = z_bits_[src * words_ + w];
+  }
+  sign_[dst] = sign_[src];
+}
+
+void Tableau::row_clear(std::size_t row) {
+  for (std::size_t w = 0; w < words_; ++w) {
+    x_bits_[row * words_ + w] = 0;
+    z_bits_[row * words_ + w] = 0;
+  }
+  sign_[row] = 0;
+}
+
+bool Tableau::measurement_is_deterministic(qubit_t q) const {
+  for (std::size_t p = num_qubits_; p < 2 * static_cast<std::size_t>(num_qubits_); ++p) {
+    if (get_x(p, q)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int Tableau::measure(qubit_t a, Rng& rng) {
+  RQSIM_CHECK(a < num_qubits_, "Tableau::measure: qubit out of range");
+  const std::size_t n = num_qubits_;
+  // Find a stabilizer anticommuting with Z_a.
+  std::size_t p = 2 * n;
+  for (std::size_t row = n; row < 2 * n; ++row) {
+    if (get_x(row, a)) {
+      p = row;
+      break;
+    }
+  }
+  if (p < 2 * n) {
+    // Random outcome.
+    for (std::size_t row = 0; row < 2 * n; ++row) {
+      if (row != p && get_x(row, a)) {
+        rowsum(row, p);
+      }
+    }
+    row_copy(p - n, p);
+    row_clear(p);
+    set_z(p, a, true);
+    const int outcome = rng.bernoulli(0.5) ? 1 : 0;
+    sign_[p] = static_cast<std::uint8_t>(outcome);
+    return outcome;
+  }
+  // Deterministic outcome via the scratch row.
+  row_clear(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (get_x(i, a)) {
+      rowsum(2 * n, i + n);
+    }
+  }
+  return sign_[2 * n];
+}
+
+std::string Tableau::row_label(std::size_t row) const {
+  std::string label = sign_[row] ? "-" : "+";
+  for (unsigned q = num_qubits_; q-- > 0;) {
+    const bool xv = get_x(row, q);
+    const bool zv = get_z(row, q);
+    label += xv ? (zv ? 'Y' : 'X') : (zv ? 'Z' : 'I');
+  }
+  return label;
+}
+
+std::string Tableau::stabilizer(unsigned i) const {
+  RQSIM_CHECK(i < num_qubits_, "Tableau::stabilizer: index out of range");
+  return row_label(num_qubits_ + i);
+}
+
+std::string Tableau::destabilizer(unsigned i) const {
+  RQSIM_CHECK(i < num_qubits_, "Tableau::destabilizer: index out of range");
+  return row_label(i);
+}
+
+OutcomeHistogram stabilizer_sample(const Circuit& circuit, std::size_t num_samples,
+                                   Rng& rng) {
+  circuit.validate();
+  RQSIM_CHECK(circuit.num_measured() > 0, "stabilizer_sample: nothing measured");
+  OutcomeHistogram histogram;
+  for (std::size_t sample = 0; sample < num_samples; ++sample) {
+    Tableau tableau(circuit.num_qubits());
+    for (const Gate& g : circuit.gates()) {
+      tableau.apply_gate(g);
+    }
+    std::uint64_t outcome = 0;
+    for (std::size_t bit = 0; bit < circuit.num_measured(); ++bit) {
+      if (tableau.measure(circuit.measured_qubits()[bit], rng)) {
+        outcome |= std::uint64_t{1} << bit;
+      }
+    }
+    ++histogram[outcome];
+  }
+  return histogram;
+}
+
+}  // namespace rqsim

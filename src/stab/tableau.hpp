@@ -1,0 +1,99 @@
+// Stabilizer (Clifford) simulator — Aaronson & Gottesman CHP tableau.
+//
+// The paper's related work cites improved stabilizer simulation as one of
+// the single-trial optimization families. This substrate provides it:
+// Clifford circuits (H, S, CX and everything derived from them, including
+// all Pauli error injections) simulate in O(n²) per gate on *hundreds* of
+// qubits. Within this repository it serves as an independent oracle: noisy
+// Monte Carlo runs of Clifford benchmarks must produce the same outcome
+// distribution through the tableau as through the statevector pipeline.
+//
+// Representation (Aaronson & Gottesman, PRA 70, 052328, 2004): 2n+1 rows
+// of Pauli generators — rows 0..n-1 destabilizers, rows n..2n-1
+// stabilizers, row 2n scratch — each row holding packed x/z bit vectors
+// and a sign bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "circuit/gate.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "linalg/pauli.hpp"
+#include "sim/measure.hpp"
+
+namespace rqsim {
+
+class Tableau {
+ public:
+  /// |0…0⟩ on `num_qubits` qubits (up to 4096).
+  explicit Tableau(unsigned num_qubits);
+
+  unsigned num_qubits() const { return num_qubits_; }
+
+  // Clifford gates -----------------------------------------------------------
+  void h(qubit_t q);
+  void s(qubit_t q);
+  void sdg(qubit_t q);
+  void x(qubit_t q);
+  void y(qubit_t q);
+  void z(qubit_t q);
+  void cx(qubit_t control, qubit_t target);
+  void cz(qubit_t a, qubit_t b);
+  void swap(qubit_t a, qubit_t b);
+
+  /// Apply a circuit gate; throws for non-Clifford kinds.
+  void apply_gate(const Gate& gate);
+
+  /// Apply a Pauli error operator (used by noisy simulation).
+  void apply_pauli(Pauli p, qubit_t q);
+  void apply_pauli_pair(PauliPair pair, qubit_t q1, qubit_t q0);
+
+  /// True if the gate kind is supported by the tableau.
+  static bool is_clifford(GateKind kind);
+
+  /// Measure qubit q in the Z basis; collapses the state. Random outcomes
+  /// draw from `rng`.
+  int measure(qubit_t q, Rng& rng);
+
+  /// True if measuring q would give a deterministic outcome.
+  bool measurement_is_deterministic(qubit_t q) const;
+
+  // Introspection ------------------------------------------------------------
+
+  /// Stabilizer row `i` (0..n-1) as a Pauli label with leading sign,
+  /// e.g. "-XZI" (leftmost = highest qubit, matching PauliString labels).
+  std::string stabilizer(unsigned i) const;
+  std::string destabilizer(unsigned i) const;
+
+ private:
+  unsigned num_qubits_ = 0;
+  std::size_t words_ = 0;  // 64-bit words per bit row
+
+  // Row-major packed bits: row r occupies [r*words_, (r+1)*words_).
+  std::vector<std::uint64_t> x_bits_;
+  std::vector<std::uint64_t> z_bits_;
+  std::vector<std::uint8_t> sign_;  // r bit (phase -1)
+
+  bool get_x(std::size_t row, qubit_t q) const;
+  bool get_z(std::size_t row, qubit_t q) const;
+  void set_x(std::size_t row, qubit_t q, bool v);
+  void set_z(std::size_t row, qubit_t q, bool v);
+
+  /// row_h <- row_h * row_i with correct phase (the CHP "rowsum").
+  void rowsum(std::size_t h, std::size_t i);
+  void row_copy(std::size_t dst, std::size_t src);
+  void row_clear(std::size_t row);
+  std::string row_label(std::size_t row) const;
+};
+
+/// Sample `num_samples` all-qubit measurement outcomes of a Clifford
+/// circuit (each sample re-runs the tableau: collapse is destructive).
+/// Outcome bit k = circuit.measured_qubits()[k], as in the statevector
+/// pipeline.
+OutcomeHistogram stabilizer_sample(const Circuit& circuit, std::size_t num_samples,
+                                   Rng& rng);
+
+}  // namespace rqsim

@@ -1,0 +1,136 @@
+#include "transpile/coupling.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace rqsim {
+
+CouplingMap::CouplingMap(unsigned num_qubits,
+                         std::vector<std::pair<qubit_t, qubit_t>> edges)
+    : num_qubits_(num_qubits), edges_(std::move(edges)) {
+  adjacency_.resize(num_qubits);
+  for (auto& [a, b] : edges_) {
+    RQSIM_CHECK(a < num_qubits && b < num_qubits && a != b, "CouplingMap: bad edge");
+    if (a > b) {
+      std::swap(a, b);
+    }
+    adjacency_[a].push_back(b);
+    adjacency_[b].push_back(a);
+  }
+}
+
+CouplingMap CouplingMap::all_to_all(unsigned num_qubits) {
+  CouplingMap map;
+  map.num_qubits_ = num_qubits;
+  map.all_to_all_ = true;
+  return map;
+}
+
+CouplingMap CouplingMap::linear(unsigned num_qubits) {
+  std::vector<std::pair<qubit_t, qubit_t>> edges;
+  for (qubit_t q = 0; q + 1 < num_qubits; ++q) {
+    edges.emplace_back(q, q + 1);
+  }
+  return CouplingMap(num_qubits, std::move(edges));
+}
+
+CouplingMap CouplingMap::yorktown() {
+  return CouplingMap(5, {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {2, 4}, {3, 4}});
+}
+
+CouplingMap CouplingMap::yorktown_directed() {
+  CouplingMap map(5, {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {2, 4}, {3, 4}});
+  map.directed_ = true;
+  map.directed_edges_ = {{1, 0}, {2, 0}, {2, 1}, {3, 2}, {3, 4}, {4, 2}};
+  return map;
+}
+
+bool CouplingMap::cx_allowed(qubit_t control, qubit_t target) const {
+  if (!directed_) {
+    return connected(control, target);
+  }
+  for (const auto& [c, t] : directed_edges_) {
+    if (c == control && t == target) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CouplingMap::connected(qubit_t a, qubit_t b) const {
+  if (all_to_all_) {
+    return a != b && a < num_qubits_ && b < num_qubits_;
+  }
+  return edge_index(a, b) >= 0;
+}
+
+int CouplingMap::edge_index(qubit_t a, qubit_t b) const {
+  if (a > b) {
+    std::swap(a, b);
+  }
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (edges_[i].first == a && edges_[i].second == b) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::vector<qubit_t> CouplingMap::shortest_path(qubit_t from, qubit_t to) const {
+  RQSIM_CHECK(from < num_qubits_ && to < num_qubits_, "shortest_path: qubit out of range");
+  if (all_to_all_ || from == to) {
+    return from == to ? std::vector<qubit_t>{from} : std::vector<qubit_t>{from, to};
+  }
+  std::vector<int> parent(num_qubits_, -1);
+  std::queue<qubit_t> frontier;
+  frontier.push(from);
+  parent[from] = static_cast<int>(from);
+  while (!frontier.empty()) {
+    const qubit_t u = frontier.front();
+    frontier.pop();
+    if (u == to) {
+      break;
+    }
+    for (qubit_t v : adjacency_[u]) {
+      if (parent[v] < 0) {
+        parent[v] = static_cast<int>(u);
+        frontier.push(v);
+      }
+    }
+  }
+  RQSIM_CHECK(parent[to] >= 0, "shortest_path: qubits not connected");
+  std::vector<qubit_t> path;
+  for (qubit_t v = to; v != from; v = static_cast<qubit_t>(parent[v])) {
+    path.push_back(v);
+  }
+  path.push_back(from);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+bool CouplingMap::is_connected_graph() const {
+  if (all_to_all_ || num_qubits_ <= 1) {
+    return true;
+  }
+  std::vector<bool> seen(num_qubits_, false);
+  std::queue<qubit_t> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  unsigned count = 1;
+  while (!frontier.empty()) {
+    const qubit_t u = frontier.front();
+    frontier.pop();
+    for (qubit_t v : adjacency_[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++count;
+        frontier.push(v);
+      }
+    }
+  }
+  return count == num_qubits_;
+}
+
+}  // namespace rqsim

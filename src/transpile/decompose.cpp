@@ -1,0 +1,92 @@
+#include "transpile/decompose.hpp"
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace rqsim {
+
+std::vector<Gate> decompose_gate(const Gate& gate) {
+  std::vector<Gate> out;
+  switch (gate.kind) {
+    case GateKind::CZ: {
+      const qubit_t a = gate.qubits[0];
+      const qubit_t b = gate.qubits[1];
+      out.push_back(Gate::make1(GateKind::H, b));
+      out.push_back(Gate::make2(GateKind::CX, a, b));
+      out.push_back(Gate::make1(GateKind::H, b));
+      return out;
+    }
+    case GateKind::CP: {
+      // Standard cu1 decomposition: p(a,λ/2) cx p(b,-λ/2) cx p(b,λ/2).
+      const qubit_t a = gate.qubits[0];
+      const qubit_t b = gate.qubits[1];
+      const double lambda = gate.params[0];
+      out.push_back(Gate::make1(GateKind::P, a, lambda / 2.0));
+      out.push_back(Gate::make2(GateKind::CX, a, b));
+      out.push_back(Gate::make1(GateKind::P, b, -lambda / 2.0));
+      out.push_back(Gate::make2(GateKind::CX, a, b));
+      out.push_back(Gate::make1(GateKind::P, b, lambda / 2.0));
+      return out;
+    }
+    case GateKind::SWAP: {
+      const qubit_t a = gate.qubits[0];
+      const qubit_t b = gate.qubits[1];
+      out.push_back(Gate::make2(GateKind::CX, a, b));
+      out.push_back(Gate::make2(GateKind::CX, b, a));
+      out.push_back(Gate::make2(GateKind::CX, a, b));
+      return out;
+    }
+    case GateKind::CCX: {
+      // Textbook Toffoli: 6 CX + 9 single-qubit gates (Nielsen & Chuang).
+      const qubit_t a = gate.qubits[0];
+      const qubit_t b = gate.qubits[1];
+      const qubit_t c = gate.qubits[2];
+      out.push_back(Gate::make1(GateKind::H, c));
+      out.push_back(Gate::make2(GateKind::CX, b, c));
+      out.push_back(Gate::make1(GateKind::Tdg, c));
+      out.push_back(Gate::make2(GateKind::CX, a, c));
+      out.push_back(Gate::make1(GateKind::T, c));
+      out.push_back(Gate::make2(GateKind::CX, b, c));
+      out.push_back(Gate::make1(GateKind::Tdg, c));
+      out.push_back(Gate::make2(GateKind::CX, a, c));
+      out.push_back(Gate::make1(GateKind::T, b));
+      out.push_back(Gate::make1(GateKind::T, c));
+      out.push_back(Gate::make1(GateKind::H, c));
+      out.push_back(Gate::make2(GateKind::CX, a, b));
+      out.push_back(Gate::make1(GateKind::T, a));
+      out.push_back(Gate::make1(GateKind::Tdg, b));
+      out.push_back(Gate::make2(GateKind::CX, a, b));
+      return out;
+    }
+    default:
+      out.push_back(gate);
+      return out;
+  }
+}
+
+Circuit decompose_to_cx_basis(const Circuit& circuit) {
+  Circuit out(circuit.num_qubits(), circuit.name());
+  for (const Gate& g : circuit.gates()) {
+    for (const Gate& piece : decompose_gate(g)) {
+      out.add(piece);
+    }
+  }
+  for (qubit_t q : circuit.measured_qubits()) {
+    out.measure(q);
+  }
+  return out;
+}
+
+bool in_cx_basis(const Circuit& circuit) {
+  for (const Gate& g : circuit.gates()) {
+    if (g.arity() == 1) {
+      continue;
+    }
+    if (g.kind != GateKind::CX) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rqsim

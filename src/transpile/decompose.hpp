@@ -1,0 +1,22 @@
+// Basis decomposition: rewrite a circuit into the {single-qubit, CX} basis
+// supported by the modeled device (CZ, CP, SWAP and CCX are expanded with
+// the standard textbook identities).
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace rqsim {
+
+/// Expand one gate into {single-qubit, CX} gates (identity for gates that
+/// are already in basis).
+std::vector<Gate> decompose_gate(const Gate& gate);
+
+/// Decompose every gate of the circuit; measurements are preserved.
+Circuit decompose_to_cx_basis(const Circuit& circuit);
+
+/// True if the circuit only contains single-qubit gates and CX.
+bool in_cx_basis(const Circuit& circuit);
+
+}  // namespace rqsim

@@ -1,0 +1,138 @@
+#include "transpile/optimize.hpp"
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace rqsim {
+
+U3Angles u3_angles_from_unitary(const Mat2& u) {
+  RQSIM_CHECK(is_unitary(u, 1e-9), "u3_angles_from_unitary: matrix is not unitary");
+  U3Angles angles;
+  const double abs00 = std::abs(u.at(0, 0));
+  const double abs10 = std::abs(u.at(1, 0));
+  angles.theta = 2.0 * std::atan2(abs10, abs00);
+  if (abs00 < 1e-12) {
+    // theta = pi: u = e^{ia} [[0, -e^{i lambda}], [e^{i phi}, 0]]; absorb
+    // the global phase into arg(u10), leaving phi = 0.
+    const double alpha = std::arg(u.at(1, 0));
+    angles.phi = 0.0;
+    angles.lambda = std::arg(-u.at(0, 1)) - alpha;
+    return angles;
+  }
+  const double alpha = std::arg(u.at(0, 0));
+  if (abs10 < 1e-12) {
+    // theta = 0: diagonal; only phi + lambda is defined.
+    angles.phi = 0.0;
+    angles.lambda = std::arg(u.at(1, 1)) - alpha;
+    return angles;
+  }
+  angles.phi = std::arg(u.at(1, 0)) - alpha;
+  angles.lambda = std::arg(-u.at(0, 1)) - alpha;
+  return angles;
+}
+
+bool is_identity_up_to_phase(const Mat2& u, double tol) {
+  return equal_up_to_global_phase(u, Mat2::identity(), tol);
+}
+
+Circuit fuse_single_qubit_runs(const Circuit& circuit) {
+  Circuit out(circuit.num_qubits(), circuit.name());
+  // Pending accumulated single-qubit unitary per qubit (product of the run
+  // so far, latest gate leftmost).
+  std::vector<std::optional<Mat2>> pending(circuit.num_qubits());
+
+  auto flush = [&](qubit_t q) {
+    if (!pending[q]) {
+      return;
+    }
+    const Mat2 u = *pending[q];
+    pending[q].reset();
+    if (is_identity_up_to_phase(u, 1e-10)) {
+      return;
+    }
+    const U3Angles a = u3_angles_from_unitary(u);
+    out.u3(q, a.theta, a.phi, a.lambda);
+  };
+
+  for (const Gate& g : circuit.gates()) {
+    if (g.arity() == 1) {
+      const qubit_t q = g.qubits[0];
+      const Mat2 m = gate_matrix1(g);
+      pending[q] = pending[q] ? (m * *pending[q]) : m;
+      continue;
+    }
+    const int arity = g.arity();
+    for (int i = 0; i < arity; ++i) {
+      flush(g.qubits[static_cast<std::size_t>(i)]);
+    }
+    out.add(g);
+  }
+  for (qubit_t q = 0; q < circuit.num_qubits(); ++q) {
+    flush(q);
+  }
+  for (qubit_t q : circuit.measured_qubits()) {
+    out.measure(q);
+  }
+  return out;
+}
+
+Circuit cancel_adjacent_cx(const Circuit& circuit) {
+  const auto& gates = circuit.gates();
+  std::vector<bool> removed(gates.size(), false);
+  // last_cx[q]: index of the most recent surviving CX whose operands are
+  // "live" on q (nothing touched q since), or -1.
+  std::vector<long> last_cx(circuit.num_qubits(), -1);
+
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    const Gate& g = gates[i];
+    if (g.kind == GateKind::CX) {
+      const qubit_t c = g.qubits[0];
+      const qubit_t t = g.qubits[1];
+      const long prev = last_cx[c];
+      if (prev >= 0 && prev == last_cx[t] && !removed[static_cast<std::size_t>(prev)] &&
+          gates[static_cast<std::size_t>(prev)].qubits[0] == c &&
+          gates[static_cast<std::size_t>(prev)].qubits[1] == t) {
+        removed[static_cast<std::size_t>(prev)] = true;
+        removed[i] = true;
+        last_cx[c] = -1;
+        last_cx[t] = -1;
+      } else {
+        last_cx[c] = static_cast<long>(i);
+        last_cx[t] = static_cast<long>(i);
+      }
+      continue;
+    }
+    const int arity = g.arity();
+    for (int k = 0; k < arity; ++k) {
+      last_cx[g.qubits[static_cast<std::size_t>(k)]] = -1;
+    }
+  }
+
+  Circuit out(circuit.num_qubits(), circuit.name());
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    if (!removed[i]) {
+      out.add(gates[i]);
+    }
+  }
+  for (qubit_t q : circuit.measured_qubits()) {
+    out.measure(q);
+  }
+  return out;
+}
+
+Circuit optimize_circuit(const Circuit& circuit) {
+  Circuit current = circuit;
+  for (;;) {
+    const std::size_t before = current.num_gates();
+    current = cancel_adjacent_cx(fuse_single_qubit_runs(current));
+    if (current.num_gates() >= before) {
+      return current;
+    }
+  }
+}
+
+}  // namespace rqsim

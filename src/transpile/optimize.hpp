@@ -1,0 +1,38 @@
+// Peephole circuit optimization passes.
+//
+// Two standard transpiler cleanups, both exactly unitary-preserving (up to
+// global phase, which is unobservable):
+//   - fuse_single_qubit_runs: collapse every maximal run of single-qubit
+//     gates on one qubit into a single U3 (dropped entirely when the run
+//     multiplies to the identity);
+//   - cancel_adjacent_cx: remove CX pairs on the same (control, target)
+//     with nothing touching either qubit in between.
+// `optimize_circuit` iterates both to a fixed point. Fewer gates means
+// fewer error positions in the noisy-simulation pipeline, so these passes
+// also shrink the Monte Carlo work itself.
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "linalg/matrix.hpp"
+
+namespace rqsim {
+
+/// Decompose any 2x2 unitary into u3(theta, phi, lambda) angles, up to
+/// global phase.
+struct U3Angles {
+  double theta = 0.0;
+  double phi = 0.0;
+  double lambda = 0.0;
+};
+U3Angles u3_angles_from_unitary(const Mat2& u);
+
+/// True if `u` is the identity up to global phase (within tol).
+bool is_identity_up_to_phase(const Mat2& u, double tol = 1e-12);
+
+Circuit fuse_single_qubit_runs(const Circuit& circuit);
+Circuit cancel_adjacent_cx(const Circuit& circuit);
+
+/// Iterate both passes until the gate count stops shrinking.
+Circuit optimize_circuit(const Circuit& circuit);
+
+}  // namespace rqsim

@@ -1,0 +1,107 @@
+#include "transpile/router.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "transpile/decompose.hpp"
+
+namespace rqsim {
+
+RoutedCircuit route_circuit(const Circuit& circuit, const CouplingMap& coupling) {
+  RQSIM_CHECK(in_cx_basis(circuit), "route_circuit: circuit must be in {1q, CX} basis");
+  RQSIM_CHECK(circuit.num_qubits() <= coupling.num_qubits(),
+              "route_circuit: circuit needs more qubits than the device has");
+  RQSIM_CHECK(coupling.is_connected_graph(), "route_circuit: device graph is disconnected");
+
+  RoutedCircuit out;
+  out.circuit = Circuit(coupling.num_qubits(), circuit.name());
+
+  // phys_of[logical] and its inverse. Start with the identity placement.
+  std::vector<qubit_t> phys_of(circuit.num_qubits());
+  std::iota(phys_of.begin(), phys_of.end(), 0);
+  std::vector<qubit_t> logical_at(coupling.num_qubits(), static_cast<qubit_t>(-1));
+  for (qubit_t l = 0; l < circuit.num_qubits(); ++l) {
+    logical_at[phys_of[l]] = l;
+  }
+
+  auto emit_cx = [&](qubit_t pa, qubit_t pb) {
+    if (coupling.cx_allowed(pa, pb)) {
+      out.circuit.cx(pa, pb);
+    } else {
+      out.circuit.h(pa);
+      out.circuit.h(pb);
+      out.circuit.cx(pb, pa);
+      out.circuit.h(pa);
+      out.circuit.h(pb);
+    }
+  };
+  auto emit_swap = [&](qubit_t pa, qubit_t pb) {
+    // SWAP as 3 CX on coupled physical qubits (direction-corrected).
+    emit_cx(pa, pb);
+    emit_cx(pb, pa);
+    emit_cx(pa, pb);
+    const qubit_t la = logical_at[pa];
+    const qubit_t lb = logical_at[pb];
+    logical_at[pa] = lb;
+    logical_at[pb] = la;
+    if (la != static_cast<qubit_t>(-1)) {
+      phys_of[la] = pb;
+    }
+    if (lb != static_cast<qubit_t>(-1)) {
+      phys_of[lb] = pa;
+    }
+    ++out.swaps_inserted;
+  };
+
+  for (const Gate& g : circuit.gates()) {
+    if (g.arity() == 1) {
+      Gate moved = g;
+      moved.qubits[0] = phys_of[g.qubits[0]];
+      out.circuit.add(moved);
+      continue;
+    }
+    // CX on (control, target).
+    qubit_t pc = phys_of[g.qubits[0]];
+    const qubit_t pt = phys_of[g.qubits[1]];
+    if (!coupling.connected(pc, pt)) {
+      const std::vector<qubit_t> path = coupling.shortest_path(pc, pt);
+      RQSIM_CHECK(path.size() >= 3, "route_circuit: unexpected short path");
+      // Walk the control toward the target, stopping one hop short.
+      for (std::size_t i = 0; i + 2 < path.size(); ++i) {
+        emit_swap(path[i], path[i + 1]);
+      }
+      pc = phys_of[g.qubits[0]];
+      RQSIM_CHECK(coupling.connected(pc, pt), "route_circuit: routing failed");
+    }
+    if (coupling.cx_allowed(pc, pt)) {
+      out.circuit.cx(pc, pt);
+    } else {
+      // Directed device, wrong orientation: CX(a,b) = (H⊗H)·CX(b,a)·(H⊗H).
+      out.circuit.h(pc);
+      out.circuit.h(pt);
+      out.circuit.cx(pt, pc);
+      out.circuit.h(pc);
+      out.circuit.h(pt);
+    }
+  }
+
+  for (qubit_t lq : circuit.measured_qubits()) {
+    out.circuit.measure(phys_of[lq]);
+  }
+  out.final_mapping = phys_of;
+  return out;
+}
+
+bool respects_coupling(const Circuit& circuit, const CouplingMap& coupling) {
+  for (const Gate& g : circuit.gates()) {
+    if (g.arity() == 2 && !coupling.cx_allowed(g.qubits[0], g.qubits[1])) {
+      return false;
+    }
+    if (g.arity() > 2) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rqsim

@@ -1,0 +1,36 @@
+// SWAP-insertion router: map a logical circuit (already in {1q, CX} basis)
+// onto a device coupling map.
+//
+// Greedy shortest-path routing: when a CX touches non-adjacent physical
+// qubits, the control is moved along a BFS shortest path with SWAPs (each
+// emitted as 3 CX). The logical→physical mapping is tracked so measured
+// logical qubits resolve to their final physical location.
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/types.hpp"
+#include "transpile/coupling.hpp"
+
+namespace rqsim {
+
+struct RoutedCircuit {
+  /// Physical circuit: all CX gates connect coupled qubit pairs.
+  Circuit circuit;
+
+  /// final_mapping[logical] == physical location after all SWAPs.
+  std::vector<qubit_t> final_mapping;
+
+  /// Number of SWAPs inserted (each contributed 3 CX gates).
+  std::size_t swaps_inserted = 0;
+};
+
+/// Route `circuit` onto `coupling`. The circuit must be in the {1q, CX}
+/// basis and must not use more qubits than the device has.
+RoutedCircuit route_circuit(const Circuit& circuit, const CouplingMap& coupling);
+
+/// True if every multi-qubit gate connects a coupled pair.
+bool respects_coupling(const Circuit& circuit, const CouplingMap& coupling);
+
+}  // namespace rqsim

@@ -1,0 +1,17 @@
+#include "transpile/transpiler.hpp"
+
+#include "transpile/decompose.hpp"
+
+namespace rqsim {
+
+TranspileResult transpile(const Circuit& circuit, const CouplingMap& coupling) {
+  const Circuit decomposed = decompose_to_cx_basis(circuit);
+  RoutedCircuit routed = route_circuit(decomposed, coupling);
+  TranspileResult out;
+  out.circuit = std::move(routed.circuit);
+  out.final_mapping = std::move(routed.final_mapping);
+  out.swaps_inserted = routed.swaps_inserted;
+  return out;
+}
+
+}  // namespace rqsim

@@ -1,0 +1,21 @@
+// End-to-end transpilation pipeline: basis decomposition followed by
+// coupling-map routing. This stands in for the Enfield compiler the paper
+// used to map benchmarks onto IBM's 5-qubit device.
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "transpile/coupling.hpp"
+#include "transpile/router.hpp"
+
+namespace rqsim {
+
+struct TranspileResult {
+  Circuit circuit;                      // physical circuit on the device
+  std::vector<qubit_t> final_mapping;   // logical -> physical at the end
+  std::size_t swaps_inserted = 0;
+};
+
+/// Decompose to the {1q, CX} basis and route onto the coupling map.
+TranspileResult transpile(const Circuit& circuit, const CouplingMap& coupling);
+
+}  // namespace rqsim

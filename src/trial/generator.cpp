@@ -1,0 +1,232 @@
+#include "trial/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/pauli.hpp"
+
+namespace rqsim {
+
+namespace {
+
+// Sample an op code 1..3 (X/Y/Z) from normalized weights.
+std::uint8_t sample_biased_pauli(const std::array<double, 3>& weights, Rng& rng) {
+  const double r = rng.uniform();
+  if (r < weights[0]) {
+    return 1;
+  }
+  if (r < weights[0] + weights[1]) {
+    return 2;
+  }
+  return 3;
+}
+
+}  // namespace
+
+Trial generate_trial(const Circuit& circuit, const Layering& layering,
+                     const NoiseModel& noise, Rng& rng) {
+  RQSIM_CHECK(layering.layer_of_gate.size() == circuit.num_gates(),
+              "generate_trial: layering does not match circuit");
+  Trial trial;
+  for (gate_index_t g = 0; g < circuit.num_gates(); ++g) {
+    const Gate& gate = circuit.gates()[g];
+    const int arity = gate.arity();
+    RQSIM_CHECK(arity <= 2,
+                "generate_trial: circuit must be decomposed to 1- and 2-qubit gates");
+    const double rate = arity == 1
+                            ? noise.single_qubit_rate(gate.qubits[0])
+                            : noise.two_qubit_rate(gate.qubits[0], gate.qubits[1]);
+    if (rate <= 0.0 || !rng.bernoulli(rate)) {
+      continue;
+    }
+    ErrorEvent event;
+    event.layer = layering.layer_of_gate[g];
+    event.position = g;
+    if (arity == 1) {
+      event.op = sample_biased_pauli(noise.single_pauli_weights(gate.qubits[0]), rng);
+    } else {
+      event.op = static_cast<std::uint8_t>(1 + rng.uniform_int(kNumPairPaulis));
+    }
+    trial.events.push_back(event);
+  }
+  // Idle errors: per layer, per qubit.
+  if (noise.has_idle_noise()) {
+    for (layer_index_t l = 0; l < layering.num_layers(); ++l) {
+      for (qubit_t q = 0; q < circuit.num_qubits(); ++q) {
+        const double rate = noise.idle_pauli_rate(q);
+        if (rate > 0.0 && rng.bernoulli(rate)) {
+          ErrorEvent event;
+          event.layer = l;
+          event.position = idle_position(circuit.num_gates(), q);
+          event.op = sample_biased_pauli(noise.idle_pauli_weights(q), rng);
+          trial.events.push_back(event);
+        }
+      }
+    }
+  }
+  // Gate-index order is not layer order in general; sort into execution order.
+  std::sort(trial.events.begin(), trial.events.end());
+
+  for (std::size_t bit = 0; bit < circuit.num_measured(); ++bit) {
+    const double flip = noise.measurement_flip_rate(circuit.measured_qubits()[bit]);
+    if (flip > 0.0 && rng.bernoulli(flip)) {
+      trial.meas_flip_mask |= std::uint64_t{1} << bit;
+    }
+  }
+  return trial;
+}
+
+namespace {
+
+// Gates sharing one error rate, sampled together with geometric skips.
+struct RateClass {
+  double rate = 0.0;
+  double inv_log_keep = 0.0;  // 1 / log(1 - rate), rate in (0, 1)
+  std::vector<gate_index_t> gates;
+};
+
+std::vector<RateClass> build_rate_classes(const Circuit& circuit,
+                                          const NoiseModel& noise) {
+  std::vector<RateClass> classes;
+  for (gate_index_t g = 0; g < circuit.num_gates(); ++g) {
+    const Gate& gate = circuit.gates()[g];
+    const int arity = gate.arity();
+    RQSIM_CHECK(arity <= 2,
+                "generate_trials: circuit must be decomposed to 1- and 2-qubit gates");
+    const double rate = arity == 1
+                            ? noise.single_qubit_rate(gate.qubits[0])
+                            : noise.two_qubit_rate(gate.qubits[0], gate.qubits[1]);
+    if (rate <= 0.0) {
+      continue;
+    }
+    auto it = std::find_if(classes.begin(), classes.end(),
+                           [rate](const RateClass& c) { return c.rate == rate; });
+    if (it == classes.end()) {
+      RateClass c;
+      c.rate = rate;
+      c.inv_log_keep = rate < 1.0 ? 1.0 / std::log1p(-rate) : 0.0;
+      classes.push_back(std::move(c));
+      it = classes.end() - 1;
+    }
+    it->gates.push_back(g);
+  }
+  return classes;
+}
+
+}  // namespace
+
+namespace {
+
+// Qubits sharing one idle rate; sampled over the flattened
+// (layer-major, qubit-minor) position sequence with geometric skips.
+struct IdleClass {
+  double rate = 0.0;
+  double inv_log_keep = 0.0;
+  std::vector<qubit_t> qubits;
+};
+
+std::vector<IdleClass> build_idle_classes(const Circuit& circuit,
+                                          const NoiseModel& noise) {
+  std::vector<IdleClass> classes;
+  if (!noise.has_idle_noise()) {
+    return classes;
+  }
+  for (qubit_t q = 0; q < circuit.num_qubits(); ++q) {
+    const double rate = noise.idle_pauli_rate(q);
+    if (rate <= 0.0) {
+      continue;
+    }
+    auto it = std::find_if(classes.begin(), classes.end(),
+                           [rate](const IdleClass& c) { return c.rate == rate; });
+    if (it == classes.end()) {
+      IdleClass c;
+      c.rate = rate;
+      c.inv_log_keep = rate < 1.0 ? 1.0 / std::log1p(-rate) : 0.0;
+      classes.push_back(std::move(c));
+      it = classes.end() - 1;
+    }
+    it->qubits.push_back(q);
+  }
+  return classes;
+}
+
+}  // namespace
+
+std::vector<Trial> generate_trials(const Circuit& circuit, const Layering& layering,
+                                   const NoiseModel& noise, std::size_t num_trials,
+                                   Rng& rng) {
+  RQSIM_CHECK(layering.layer_of_gate.size() == circuit.num_gates(),
+              "generate_trials: layering does not match circuit");
+  const std::vector<RateClass> classes = build_rate_classes(circuit, noise);
+  const std::vector<IdleClass> idle_classes = build_idle_classes(circuit, noise);
+
+  std::vector<double> meas_rates(circuit.num_measured());
+  for (std::size_t bit = 0; bit < circuit.num_measured(); ++bit) {
+    meas_rates[bit] = noise.measurement_flip_rate(circuit.measured_qubits()[bit]);
+  }
+
+  std::vector<Trial> trials;
+  trials.reserve(num_trials);
+  for (std::size_t i = 0; i < num_trials; ++i) {
+    Trial trial;
+    for (const RateClass& cls : classes) {
+      std::size_t index = 0;
+      while (index < cls.gates.size()) {
+        if (cls.rate < 1.0) {
+          // Geometric skip: number of error-free gates before the next hit.
+          const double u = rng.uniform();
+          const double skip = std::floor(std::log1p(-u) * cls.inv_log_keep);
+          if (skip >= static_cast<double>(cls.gates.size() - index)) {
+            break;
+          }
+          index += static_cast<std::size_t>(skip);
+        }
+        const gate_index_t g = cls.gates[index];
+        ErrorEvent event;
+        event.layer = layering.layer_of_gate[g];
+        event.position = g;
+        if (circuit.gates()[g].arity() == 1) {
+          event.op =
+              sample_biased_pauli(noise.single_pauli_weights(circuit.gates()[g].qubits[0]), rng);
+        } else {
+          event.op = static_cast<std::uint8_t>(1 + rng.uniform_int(kNumPairPaulis));
+        }
+        trial.events.push_back(event);
+        ++index;
+      }
+    }
+    for (const IdleClass& cls : idle_classes) {
+      const std::size_t width = cls.qubits.size();
+      const std::size_t total = layering.num_layers() * width;
+      std::size_t index = 0;
+      while (index < total) {
+        if (cls.rate < 1.0) {
+          const double u = rng.uniform();
+          const double skip = std::floor(std::log1p(-u) * cls.inv_log_keep);
+          if (skip >= static_cast<double>(total - index)) {
+            break;
+          }
+          index += static_cast<std::size_t>(skip);
+        }
+        const qubit_t q = cls.qubits[index % width];
+        ErrorEvent event;
+        event.layer = static_cast<layer_index_t>(index / width);
+        event.position = idle_position(circuit.num_gates(), q);
+        event.op = sample_biased_pauli(noise.idle_pauli_weights(q), rng);
+        trial.events.push_back(event);
+        ++index;
+      }
+    }
+    std::sort(trial.events.begin(), trial.events.end());
+    for (std::size_t bit = 0; bit < meas_rates.size(); ++bit) {
+      if (meas_rates[bit] > 0.0 && rng.bernoulli(meas_rates[bit])) {
+        trial.meas_flip_mask |= std::uint64_t{1} << bit;
+      }
+    }
+    trials.push_back(std::move(trial));
+  }
+  return trials;
+}
+
+}  // namespace rqsim

@@ -1,0 +1,33 @@
+// Static Monte Carlo trial generation (paper Section IV.B, step 1):
+// sample every trial's error injections *before* any simulation runs.
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "circuit/layering.hpp"
+#include "common/rng.hpp"
+#include "noise/noise_model.hpp"
+#include "trial/trial.hpp"
+
+namespace rqsim {
+
+/// Sample one trial: walk every gate, injecting a uniformly chosen
+/// non-identity Pauli (pair) with the gate's depolarizing probability, and
+/// sample measurement bit flips. Events are returned sorted by
+/// (layer, position). The circuit must contain only 1- and 2-qubit gates.
+Trial generate_trial(const Circuit& circuit, const Layering& layering,
+                     const NoiseModel& noise, Rng& rng);
+
+/// Sample `num_trials` independent trials.
+///
+/// Implementation note: gates are bucketed into classes of equal error
+/// rate and each class is sampled with geometric skips, so the cost per
+/// trial is O(#errors + #classes) instead of O(#gates). The distribution
+/// is identical to per-gate Bernoulli sampling (the RNG stream differs
+/// from repeated generate_trial calls).
+std::vector<Trial> generate_trials(const Circuit& circuit, const Layering& layering,
+                                   const NoiseModel& noise, std::size_t num_trials,
+                                   Rng& rng);
+
+}  // namespace rqsim

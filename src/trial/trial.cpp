@@ -1,0 +1,16 @@
+#include "trial/trial.hpp"
+
+#include <algorithm>
+
+namespace rqsim {
+
+std::size_t shared_prefix_length(const Trial& a, const Trial& b) {
+  const std::size_t limit = std::min(a.events.size(), b.events.size());
+  std::size_t k = 0;
+  while (k < limit && a.events[k] == b.events[k]) {
+    ++k;
+  }
+  return k;
+}
+
+}  // namespace rqsim

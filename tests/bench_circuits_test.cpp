@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bench_circuits/bv.hpp"
+#include "bench_circuits/grover.hpp"
+#include "bench_circuits/mod15.hpp"
+#include "bench_circuits/qft.hpp"
+#include "bench_circuits/qv.hpp"
+#include "bench_circuits/rb.hpp"
+#include "bench_circuits/suite.hpp"
+#include "bench_circuits/wstate.hpp"
+#include "common/bits.hpp"
+#include "noise/devices.hpp"
+#include "sim/kernels.hpp"
+#include "sim/measure.hpp"
+#include "sim/statevector.hpp"
+#include "transpile/decompose.hpp"
+#include "transpile/router.hpp"
+
+namespace rqsim {
+namespace {
+
+StateVector simulate(const Circuit& c) {
+  StateVector s(c.num_qubits());
+  for (const Gate& g : c.gates()) {
+    apply_gate(s, g);
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------- BV
+
+TEST(BenchBV, RecoversSecret) {
+  for (std::uint64_t secret : {0b000ULL, 0b101ULL, 0b111ULL, 0b010ULL}) {
+    const Circuit c = make_bv(3, secret);
+    const StateVector s = simulate(c);
+    const auto probs = measurement_probabilities(s, c.measured_qubits());
+    EXPECT_NEAR(probs[secret], 1.0, 1e-10) << "secret=" << secret;
+  }
+}
+
+TEST(BenchBV, FiveQubitVariant) {
+  const Circuit c = make_bv(4, 0b1101);
+  EXPECT_EQ(c.num_qubits(), 5u);
+  EXPECT_EQ(c.count_kind(GateKind::CX), 3u);  // popcount(0b1101)
+  const StateVector s = simulate(c);
+  const auto probs = measurement_probabilities(s, c.measured_qubits());
+  EXPECT_NEAR(probs[0b1101], 1.0, 1e-10);
+}
+
+// ---------------------------------------------------------------- QFT
+
+TEST(BenchQFT, MatchesDFTOnBasisStates) {
+  // QFT|x⟩ amplitudes: (1/√N)·exp(2πi·x·k/N) on the bit-reversed register
+  // when swaps are enabled -> with swaps, plain DFT.
+  const unsigned n = 3;
+  const std::size_t dim = 8;
+  for (std::uint64_t x = 0; x < dim; ++x) {
+    Circuit prep(n);
+    for (qubit_t q = 0; q < n; ++q) {
+      if (get_bit(x, q)) {
+        prep.x(q);
+      }
+    }
+    StateVector s = simulate(prep);
+    const Circuit qft = make_qft(n);
+    for (const Gate& g : qft.gates()) {
+      apply_gate(s, g);
+    }
+    for (std::uint64_t k = 0; k < dim; ++k) {
+      const double angle = 2.0 * kPi * static_cast<double>(x * k % dim) / dim;
+      const cplx expected = std::exp(cplx(0.0, angle)) / std::sqrt(8.0);
+      EXPECT_LT(std::abs(s[k] - expected), 1e-10) << "x=" << x << " k=" << k;
+    }
+  }
+}
+
+TEST(BenchQFT, GateCountFormula) {
+  for (unsigned n : {2u, 4u, 5u}) {
+    const Circuit c = make_qft(n);
+    EXPECT_EQ(c.count_kind(GateKind::H), n);
+    EXPECT_EQ(c.count_kind(GateKind::CP), n * (n - 1) / 2);
+    EXPECT_EQ(c.count_kind(GateKind::SWAP), n / 2);
+    EXPECT_EQ(c.num_measured(), n);
+  }
+}
+
+// ---------------------------------------------------------------- Grover
+
+TEST(BenchGrover, AmplifiesMarkedState) {
+  for (std::uint64_t marked = 0; marked < 8; ++marked) {
+    const Circuit c = decompose_to_cx_basis(make_grover3(marked, 2));
+    const StateVector s = simulate(c);
+    const auto probs = measurement_probabilities(s, c.measured_qubits());
+    // Two Grover iterations on 8 entries: success probability ~0.945.
+    EXPECT_GT(probs[marked], 0.9) << "marked=" << marked;
+  }
+}
+
+TEST(BenchGrover, GateBudgetComparableToPaper) {
+  const Circuit c = decompose_to_cx_basis(make_grover3(5, 2));
+  // Paper's compiled grover: 87 single, 25 CNOT. Ours (pre-routing) must be
+  // in the same regime: 4 CCZ -> 24 CX plus frame/diffusion singles.
+  EXPECT_EQ(c.count_kind(GateKind::CX), 24u);
+  EXPECT_GT(c.count_single_qubit_gates(), 30u);
+}
+
+// ---------------------------------------------------------------- W state
+
+TEST(BenchWState, ExactAmplitudes) {
+  const Circuit c = make_wstate3();
+  const StateVector s = simulate(c);
+  const double expected = 1.0 / std::sqrt(3.0);
+  EXPECT_NEAR(std::abs(s[0b001]), expected, 1e-10);
+  EXPECT_NEAR(std::abs(s[0b010]), expected, 1e-10);
+  EXPECT_NEAR(std::abs(s[0b100]), expected, 1e-10);
+  for (std::uint64_t i : {0b000u, 0b011u, 0b101u, 0b110u, 0b111u}) {
+    EXPECT_NEAR(std::abs(s[i]), 0.0, 1e-10) << i;
+  }
+}
+
+// ---------------------------------------------------------------- RB
+
+TEST(BenchRB, NetIdentity) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL, 99ULL}) {
+    const Circuit c = make_rb(2, 6, seed);
+    const StateVector s = simulate(c);
+    EXPECT_NEAR(s.probability(0), 1.0, 1e-10) << "seed=" << seed;
+  }
+}
+
+TEST(BenchRB, Deterministic) {
+  const Circuit a = make_rb(2, 4, 7);
+  const Circuit b = make_rb(2, 4, 7);
+  ASSERT_EQ(a.num_gates(), b.num_gates());
+  for (std::size_t i = 0; i < a.num_gates(); ++i) {
+    EXPECT_EQ(a.gates()[i].kind, b.gates()[i].kind);
+  }
+}
+
+// ---------------------------------------------------------------- mod15
+
+TEST(BenchMod15, PermutationIsTimesSevenMod15) {
+  for (std::uint64_t x = 1; x < 15; ++x) {
+    const Circuit c = decompose_to_cx_basis(make_7x_mod15(x));
+    const StateVector s = simulate(c);
+    const std::uint64_t expected = (7 * x) % 15;
+    EXPECT_NEAR(s.probability(expected), 1.0, 1e-10) << "x=" << x;
+  }
+  // 0 and 15 are the same residue class mod 15; the bit-level permutation
+  // maps |0000⟩ to |1111⟩ (both represent 0).
+  const StateVector s = simulate(decompose_to_cx_basis(make_7x_mod15(0)));
+  EXPECT_NEAR(s.probability(0b1111), 1.0, 1e-10);
+}
+
+// ---------------------------------------------------------------- QV
+
+TEST(BenchQV, StructureAndDeterminism) {
+  const Circuit a = make_qv(5, 3, 42);
+  const Circuit b = make_qv(5, 3, 42);
+  EXPECT_EQ(a.num_gates(), b.num_gates());
+  // 3 layers × 2 pairs × 3 CX per block.
+  EXPECT_EQ(a.count_kind(GateKind::CX), 18u);
+  EXPECT_EQ(a.num_measured(), 5u);
+  // Different seed -> different circuit.
+  const Circuit d = make_qv(5, 3, 43);
+  bool any_different = a.num_gates() != d.num_gates();
+  for (std::size_t i = 0; !any_different && i < a.num_gates(); ++i) {
+    any_different = a.gates()[i].params != d.gates()[i].params ||
+                    a.gates()[i].qubits != d.gates()[i].qubits;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(BenchQV, PreservesNorm) {
+  const Circuit c = make_qv(4, 4, 5);
+  const StateVector s = simulate(c);
+  EXPECT_NEAR(s.norm_squared(), 1.0, 1e-9);
+}
+
+TEST(BenchQV, LargeCircuitBuildsQuickly) {
+  const Circuit c = make_qv(40, 20, 1);
+  EXPECT_EQ(c.num_qubits(), 40u);
+  EXPECT_EQ(c.count_kind(GateKind::CX), 20u * 20u * 3u);
+}
+
+// ---------------------------------------------------------------- suite
+
+TEST(BenchSuite, TwelveEntriesCompiledToDevice) {
+  const DeviceModel dev = yorktown_device();
+  const auto suite = make_table1_suite(dev);
+  ASSERT_EQ(suite.size(), 12u);
+  for (const BenchmarkEntry& entry : suite) {
+    EXPECT_TRUE(in_cx_basis(entry.compiled)) << entry.name;
+    EXPECT_TRUE(respects_coupling(entry.compiled, dev.coupling)) << entry.name;
+    EXPECT_EQ(entry.compiled.num_measured(), entry.paper_measure) << entry.name;
+    EXPECT_GT(entry.compiled.num_gates(), 0u) << entry.name;
+    entry.compiled.validate();
+  }
+  EXPECT_EQ(suite[0].name, "rb");
+  EXPECT_EQ(suite[11].name, "qv_n5d5");
+}
+
+TEST(BenchSuite, GateCountsInPaperRegime) {
+  // Not an exact match (different compiler), but each compiled benchmark
+  // should be within a small factor of the paper's Table I size.
+  const auto suite = make_table1_suite(yorktown_device());
+  for (const BenchmarkEntry& entry : suite) {
+    const double ours = static_cast<double>(entry.compiled.num_gates());
+    const double paper = static_cast<double>(entry.paper_single + entry.paper_cnot);
+    EXPECT_GT(ours, paper * 0.2) << entry.name;
+    EXPECT_LT(ours, paper * 5.0) << entry.name;
+  }
+}
+
+}  // namespace
+}  // namespace rqsim

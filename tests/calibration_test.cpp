@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "noise/calibration.hpp"
+#include "noise/devices.hpp"
+
+namespace rqsim {
+namespace {
+
+constexpr const char* kSample = R"(
+# a 3-qubit line
+qubit,0,1.4e-3,2.1e-2
+qubit,1,1.2e-3,1.9e-2,5e-4
+qubit,2,2.0e-3,3.0e-2
+
+edge,0,1,3.1e-2
+edge,1,2,2.5e-2
+)";
+
+TEST(Calibration, ParsesSample) {
+  const DeviceModel dev = device_from_calibration_csv(kSample, "sample");
+  EXPECT_EQ(dev.name, "sample");
+  EXPECT_EQ(dev.noise.num_qubits(), 3u);
+  EXPECT_DOUBLE_EQ(dev.noise.single_qubit_rate(0), 1.4e-3);
+  EXPECT_DOUBLE_EQ(dev.noise.measurement_flip_rate(2), 3.0e-2);
+  EXPECT_DOUBLE_EQ(dev.noise.idle_pauli_rate(1), 5e-4);
+  EXPECT_DOUBLE_EQ(dev.noise.idle_pauli_rate(0), 0.0);
+  EXPECT_DOUBLE_EQ(dev.noise.two_qubit_rate(0, 1), 3.1e-2);
+  EXPECT_DOUBLE_EQ(dev.noise.two_qubit_rate(2, 1), 2.5e-2);
+  EXPECT_TRUE(dev.coupling.connected(0, 1));
+  EXPECT_FALSE(dev.coupling.connected(0, 2));
+  EXPECT_TRUE(dev.coupling.is_connected_graph());
+}
+
+TEST(Calibration, RoundTripThroughCsv) {
+  const DeviceModel original = yorktown_device();
+  const std::string csv = device_to_calibration_csv(original);
+  const DeviceModel parsed = device_from_calibration_csv(csv);
+  ASSERT_EQ(parsed.noise.num_qubits(), original.noise.num_qubits());
+  for (qubit_t q = 0; q < 5; ++q) {
+    EXPECT_DOUBLE_EQ(parsed.noise.single_qubit_rate(q),
+                     original.noise.single_qubit_rate(q));
+    EXPECT_DOUBLE_EQ(parsed.noise.measurement_flip_rate(q),
+                     original.noise.measurement_flip_rate(q));
+  }
+  for (const auto& [a, b] : original.coupling.edges()) {
+    EXPECT_DOUBLE_EQ(parsed.noise.two_qubit_rate(a, b),
+                     original.noise.two_qubit_rate(a, b));
+    EXPECT_TRUE(parsed.coupling.connected(a, b));
+  }
+}
+
+TEST(Calibration, Errors) {
+  EXPECT_THROW(device_from_calibration_csv(""), Error);
+  EXPECT_THROW(device_from_calibration_csv("bogus,1,2,3\n"), Error);
+  EXPECT_THROW(device_from_calibration_csv("qubit,0,abc,0.1\n"), Error);
+  EXPECT_THROW(device_from_calibration_csv("qubit,0,2.0,0.1\n"), Error);  // rate > 1
+  EXPECT_THROW(device_from_calibration_csv("qubit,0,0.1\n"), Error);      // short row
+  // Duplicate qubit.
+  EXPECT_THROW(device_from_calibration_csv("qubit,0,0.1,0.1\nqubit,0,0.1,0.1\n"), Error);
+  // Non-contiguous indices.
+  EXPECT_THROW(device_from_calibration_csv("qubit,0,0.1,0.1\nqubit,2,0.1,0.1\n"), Error);
+  // Edge to unknown qubit / self-loop.
+  EXPECT_THROW(device_from_calibration_csv("qubit,0,0.1,0.1\nedge,0,5,0.1\n"), Error);
+  EXPECT_THROW(device_from_calibration_csv("qubit,0,0.1,0.1\nedge,0,0,0.1\n"), Error);
+  EXPECT_THROW(load_calibration_csv("/nonexistent_xyz.csv"), Error);
+}
+
+}  // namespace
+}  // namespace rqsim

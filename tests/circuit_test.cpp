@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.hpp"
+#include "circuit/gate.hpp"
+#include "circuit/layering.hpp"
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "linalg/matrix.hpp"
+
+namespace rqsim {
+namespace {
+
+// ---------------------------------------------------------------- Gate
+
+TEST(Gate, ArityTable) {
+  EXPECT_EQ(gate_arity(GateKind::H), 1);
+  EXPECT_EQ(gate_arity(GateKind::U3), 1);
+  EXPECT_EQ(gate_arity(GateKind::CX), 2);
+  EXPECT_EQ(gate_arity(GateKind::SWAP), 2);
+  EXPECT_EQ(gate_arity(GateKind::CCX), 3);
+}
+
+TEST(Gate, ParamCounts) {
+  EXPECT_EQ(gate_num_params(GateKind::H), 0);
+  EXPECT_EQ(gate_num_params(GateKind::RZ), 1);
+  EXPECT_EQ(gate_num_params(GateKind::U2), 2);
+  EXPECT_EQ(gate_num_params(GateKind::U3), 3);
+  EXPECT_EQ(gate_num_params(GateKind::CP), 1);
+}
+
+TEST(Gate, MakeValidation) {
+  EXPECT_THROW(Gate::make1(GateKind::CX, 0), Error);
+  EXPECT_THROW(Gate::make2(GateKind::H, 0, 1), Error);
+  EXPECT_THROW(Gate::make2(GateKind::CX, 1, 1), Error);
+  EXPECT_THROW(Gate::make3(GateKind::CCX, 0, 1, 1), Error);
+}
+
+TEST(Gate, MatricesAreUnitary) {
+  EXPECT_TRUE(is_unitary(gate_matrix1(Gate::make1(GateKind::H, 0))));
+  EXPECT_TRUE(is_unitary(gate_matrix1(Gate::make1(GateKind::T, 0))));
+  EXPECT_TRUE(is_unitary(gate_matrix1(Gate::make1(GateKind::U3, 0, 0.3, 1.1, -0.7))));
+  EXPECT_TRUE(is_unitary(gate_matrix1(Gate::make1(GateKind::RX, 0, 2.2))));
+  EXPECT_TRUE(is_unitary(gate_matrix2(Gate::make2(GateKind::CX, 0, 1))));
+  EXPECT_TRUE(is_unitary(gate_matrix2(Gate::make2(GateKind::CP, 0, 1, 0.9))));
+  EXPECT_TRUE(is_unitary(gate_matrix2(Gate::make2(GateKind::SWAP, 0, 1))));
+}
+
+TEST(Gate, SdgIsInverseOfS) {
+  const Mat2 s = gate_matrix1(Gate::make1(GateKind::S, 0));
+  const Mat2 sdg = gate_matrix1(Gate::make1(GateKind::Sdg, 0));
+  EXPECT_LT(frobenius_distance(s * sdg, Mat2::identity()), 1e-12);
+}
+
+TEST(Gate, TSquaredIsS) {
+  const Mat2 t = gate_matrix1(Gate::make1(GateKind::T, 0));
+  const Mat2 s = gate_matrix1(Gate::make1(GateKind::S, 0));
+  EXPECT_LT(frobenius_distance(t * t, s), 1e-12);
+}
+
+TEST(Gate, U3ReproducesNamedGates) {
+  // H = e^{iπ/2}·u3(π/2, 0, π) up to global phase.
+  const Mat2 h = gate_matrix1(Gate::make1(GateKind::H, 0));
+  const Mat2 u = gate_matrix1(Gate::make1(GateKind::U3, 0, kPi / 2.0, 0.0, kPi));
+  EXPECT_TRUE(equal_up_to_global_phase(h, u));
+  // X = u3(π, 0, π).
+  const Mat2 x = gate_matrix1(Gate::make1(GateKind::X, 0));
+  const Mat2 ux = gate_matrix1(Gate::make1(GateKind::U3, 0, kPi, 0.0, kPi));
+  EXPECT_TRUE(equal_up_to_global_phase(x, ux));
+}
+
+TEST(Gate, RZvsPhaseDifferByGlobalPhase) {
+  const Mat2 rz = gate_matrix1(Gate::make1(GateKind::RZ, 0, 0.8));
+  const Mat2 p = gate_matrix1(Gate::make1(GateKind::P, 0, 0.8));
+  EXPECT_TRUE(equal_up_to_global_phase(rz, p));
+}
+
+TEST(Gate, DiagonalClassification) {
+  EXPECT_TRUE(gate_is_diagonal(GateKind::Z));
+  EXPECT_TRUE(gate_is_diagonal(GateKind::CP));
+  EXPECT_FALSE(gate_is_diagonal(GateKind::H));
+  EXPECT_FALSE(gate_is_diagonal(GateKind::CX));
+}
+
+TEST(Gate, CXMatrixConvention) {
+  // First operand (control) is the high-order bit: |10⟩ -> |11⟩.
+  const Mat4 cx = gate_matrix2(Gate::make2(GateKind::CX, 0, 1));
+  EXPECT_EQ(cx.at(3, 2), cplx(1.0));
+  EXPECT_EQ(cx.at(2, 3), cplx(1.0));
+  EXPECT_EQ(cx.at(0, 0), cplx(1.0));
+  EXPECT_EQ(cx.at(1, 1), cplx(1.0));
+}
+
+// ---------------------------------------------------------------- Circuit
+
+TEST(Circuit, BuilderAndCounts) {
+  Circuit c(3, "demo");
+  c.h(0);
+  c.cx(0, 1);
+  c.t(1);
+  c.cx(1, 2);
+  c.u3(2, 0.1, 0.2, 0.3);
+  EXPECT_EQ(c.num_gates(), 5u);
+  EXPECT_EQ(c.count_single_qubit_gates(), 3u);
+  EXPECT_EQ(c.count_kind(GateKind::CX), 2u);
+  EXPECT_EQ(c.count_multi_qubit_gates(), 2u);
+}
+
+TEST(Circuit, RejectsBadOperands) {
+  Circuit c(2);
+  EXPECT_THROW(c.h(2), Error);
+  EXPECT_THROW(c.cx(0, 5), Error);
+}
+
+TEST(Circuit, RejectsBadSize) {
+  EXPECT_THROW(Circuit(0), Error);
+  EXPECT_THROW(Circuit(64), Error);
+}
+
+TEST(Circuit, MeasurementBookkeeping) {
+  Circuit c(3);
+  EXPECT_EQ(c.measure(2), 0u);
+  EXPECT_EQ(c.measure(0), 1u);
+  ASSERT_EQ(c.num_measured(), 2u);
+  EXPECT_EQ(c.measured_qubits()[0], 2u);
+  EXPECT_EQ(c.measured_qubits()[1], 0u);
+  EXPECT_THROW(c.measure(2), Error);
+  EXPECT_THROW(c.measure(3), Error);
+}
+
+TEST(Circuit, MeasureAll) {
+  Circuit c(4);
+  c.measure_all();
+  EXPECT_EQ(c.num_measured(), 4u);
+  for (qubit_t q = 0; q < 4; ++q) {
+    EXPECT_EQ(c.measured_qubits()[q], q);
+  }
+}
+
+TEST(Circuit, ValidatePasses) {
+  Circuit c(2);
+  c.h(0);
+  c.cx(0, 1);
+  c.measure_all();
+  EXPECT_NO_THROW(c.validate());
+}
+
+// ---------------------------------------------------------------- Layering
+
+TEST(Layering, SerialChainOneGatePerLayer) {
+  Circuit c(1);
+  c.h(0);
+  c.t(0);
+  c.h(0);
+  const Layering l = layer_circuit(c);
+  EXPECT_EQ(l.num_layers(), 3u);
+  EXPECT_TRUE(layering_is_valid(c, l));
+}
+
+TEST(Layering, ParallelGatesShareLayer) {
+  Circuit c(4);
+  c.h(0);
+  c.h(1);
+  c.h(2);
+  c.h(3);
+  const Layering l = layer_circuit(c);
+  EXPECT_EQ(l.num_layers(), 1u);
+  EXPECT_EQ(l.layers[0].size(), 4u);
+  EXPECT_TRUE(layering_is_valid(c, l));
+}
+
+TEST(Layering, TwoQubitGateBlocksBothQubits) {
+  Circuit c(3);
+  c.cx(0, 1);
+  c.h(0);  // must wait for the CX
+  c.h(2);  // independent, goes to layer 0
+  const Layering l = layer_circuit(c);
+  EXPECT_EQ(l.layer_of_gate[0], 0u);
+  EXPECT_EQ(l.layer_of_gate[1], 1u);
+  EXPECT_EQ(l.layer_of_gate[2], 0u);
+  EXPECT_TRUE(layering_is_valid(c, l));
+}
+
+TEST(Layering, AsapIsGreedyMinimal) {
+  // A gate is placed exactly one layer after the latest of its operands'
+  // previous gates — verify on a known diamond pattern.
+  Circuit c(3);
+  c.h(0);        // L0
+  c.h(1);        // L0
+  c.cx(0, 1);    // L1
+  c.h(2);        // L0
+  c.cx(1, 2);    // L2
+  c.h(0);        // L2 (qubit 0 free after L1)
+  const Layering l = layer_circuit(c);
+  EXPECT_EQ(l.layer_of_gate[2], 1u);
+  EXPECT_EQ(l.layer_of_gate[4], 2u);
+  EXPECT_EQ(l.layer_of_gate[5], 2u);
+  EXPECT_EQ(l.num_layers(), 3u);
+  EXPECT_TRUE(layering_is_valid(c, l));
+}
+
+TEST(Layering, EmptyCircuit) {
+  Circuit c(2);
+  const Layering l = layer_circuit(c);
+  EXPECT_EQ(l.num_layers(), 0u);
+  EXPECT_TRUE(layering_is_valid(c, l));
+}
+
+TEST(Layering, ValidatorCatchesQubitClash) {
+  Circuit c(2);
+  c.h(0);
+  c.h(0);
+  Layering l = layer_circuit(c);
+  // Corrupt: force both gates into layer 0.
+  l.layer_of_gate[1] = 0;
+  l.layers[0].push_back(1);
+  l.layers.resize(1);
+  EXPECT_FALSE(layering_is_valid(c, l));
+}
+
+}  // namespace
+}  // namespace rqsim

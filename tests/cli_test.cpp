@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cli/cli.hpp"
+
+namespace rqsim {
+namespace {
+
+struct CliResult {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliResult run(std::vector<std::string> args) {
+  args.insert(args.begin(), "rqsim");
+  std::ostringstream out;
+  std::ostringstream err;
+  CliResult result;
+  result.code = run_cli(args, out, err);
+  result.out = out.str();
+  result.err = err.str();
+  return result;
+}
+
+TEST(Cli, HelpAndNoArgs) {
+  const CliResult help = run({"help"});
+  EXPECT_EQ(help.code, 0);
+  EXPECT_NE(help.out.find("usage: rqsim"), std::string::npos);
+  const CliResult none = run({});
+  EXPECT_EQ(none.code, 1);
+  EXPECT_NE(none.out.find("usage: rqsim"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommand) {
+  const CliResult result = run({"frobnicate"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, RunNamedCircuitOnYorktown) {
+  const CliResult result =
+      run({"run", "--circuit", "bv4", "--trials", "512", "--seed", "3"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("transpiled onto ibmq_yorktown"), std::string::npos);
+  EXPECT_NE(result.out.find("normalized compute"), std::string::npos);
+  EXPECT_NE(result.out.find("top outcomes:"), std::string::npos);
+  // BV secret 0b101 should dominate.
+  EXPECT_NE(result.out.find("|101>"), std::string::npos);
+}
+
+TEST(Cli, AnalyzeLargeCircuitWithoutStatevector) {
+  const CliResult result =
+      run({"analyze", "--circuit", "qv:24:5", "--device", "artificial", "--rate",
+           "1e-3", "--trials", "2000", "--no-transpile"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("ops executed"), std::string::npos);
+  EXPECT_EQ(result.out.find("top outcomes"), std::string::npos);
+}
+
+TEST(Cli, ModesAndBudget) {
+  for (const char* mode : {"baseline", "cached", "unordered"}) {
+    const CliResult result = run({"analyze", "--circuit", "qft4", "--mode", mode,
+                                  "--trials", "256", "--max-states", "4"});
+    EXPECT_EQ(result.code, 0) << mode << ": " << result.err;
+  }
+}
+
+TEST(Cli, ParallelRun) {
+  const CliResult result = run({"run", "--circuit", "ghz:4", "--device", "ideal",
+                                "--no-transpile", "--trials", "1000", "--threads",
+                                "3"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("top outcomes:"), std::string::npos);
+}
+
+TEST(Cli, TranspileEmitsQasm) {
+  const CliResult result = run({"transpile", "--circuit", "grover"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("OPENQASM 2.0;"), std::string::npos);
+  EXPECT_NE(result.out.find("cx q["), std::string::npos);
+}
+
+TEST(Cli, SuiteListsAllBenchmarks) {
+  const CliResult result = run({"suite"});
+  EXPECT_EQ(result.code, 0);
+  for (const char* name : {"rb", "grover", "wstate", "qv_n5d5"}) {
+    EXPECT_NE(result.out.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(Cli, QasmInputRoundTrip) {
+  const std::string path = "/tmp/rqsim_cli_test.qasm";
+  {
+    std::ofstream file(path);
+    file << "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nh q[0];\ncx q[0],q[1];\n"
+            "measure q[0] -> c[0];\nmeasure q[1] -> c[1];\n";
+  }
+  const CliResult result =
+      run({"run", "--qasm", path, "--trials", "512", "--device", "ideal",
+           "--no-transpile"});
+  std::remove(path.c_str());
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("|00>"), std::string::npos);
+  EXPECT_NE(result.out.find("|11>"), std::string::npos);
+}
+
+TEST(Cli, CsvOutput) {
+  const std::string path = "/tmp/rqsim_cli_hist.csv";
+  const CliResult result = run({"run", "--circuit", "ghz:3", "--device", "ideal",
+                                "--no-transpile", "--trials", "256", "--csv", path});
+  EXPECT_EQ(result.code, 0) << result.err;
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::string header;
+  std::getline(file, header);
+  EXPECT_EQ(header, "outcome,count");
+  std::remove(path.c_str());
+}
+
+TEST(Cli, ErrorsAreReported) {
+  EXPECT_EQ(run({"run"}).code, 1);  // no circuit
+  EXPECT_NE(run({"run"}).err.find("--circuit or --qasm"), std::string::npos);
+  EXPECT_EQ(run({"run", "--circuit", "nope"}).code, 1);
+  EXPECT_EQ(run({"run", "--circuit", "qft4", "--mode", "warp"}).code, 1);
+  EXPECT_EQ(run({"run", "--circuit", "qft4", "--trials"}).code, 1);  // missing value
+  EXPECT_EQ(run({"run", "--circuit", "qft4", "--trials", "abc"}).code, 1);
+  EXPECT_EQ(run({"run", "--circuit", "qft4", "--bogus", "1"}).code, 1);
+  EXPECT_EQ(run({"run", "--qasm", "/nonexistent.qasm"}).code, 1);
+  // Circuit larger than the device.
+  EXPECT_EQ(run({"run", "--circuit", "ghz:8"}).code, 1);
+}
+
+TEST(Cli, EnumerateCommand) {
+  const CliResult result =
+      run({"enumerate", "--circuit", "bv4", "--max-errors", "1"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("covered probability mass"), std::string::npos);
+  EXPECT_NE(result.out.find("TVD bound"), std::string::npos);
+}
+
+TEST(Cli, DeviceCsvFlag) {
+  const std::string path = "/tmp/rqsim_cli_device.csv";
+  {
+    std::ofstream file(path);
+    file << "qubit,0,1e-3,1e-2\nqubit,1,1e-3,1e-2\nedge,0,1,1e-2\n";
+  }
+  const CliResult result = run({"run", "--circuit", "ghz:2", "--device-csv", path,
+                                "--trials", "256"});
+  std::remove(path.c_str());
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("top outcomes:"), std::string::npos);
+}
+
+TEST(Cli, DirectedYorktownDevice) {
+  const CliResult result = run({"run", "--circuit", "bv4", "--device",
+                                "yorktown-directed", "--trials", "256"});
+  EXPECT_EQ(result.code, 0) << result.err;
+}
+
+TEST(Cli, ScaleFlagChangesSavings) {
+  const CliResult low = run({"analyze", "--circuit", "qft4", "--scale", "0.1",
+                             "--trials", "1024", "--seed", "5"});
+  const CliResult high = run({"analyze", "--circuit", "qft4", "--scale", "3.0",
+                              "--trials", "1024", "--seed", "5"});
+  EXPECT_EQ(low.code, 0);
+  EXPECT_EQ(high.code, 0);
+  auto extract = [](const std::string& text) {
+    const std::size_t pos = text.find("normalized compute  : ");
+    return std::stod(text.substr(pos + 22));
+  };
+  EXPECT_LT(extract(low.out), extract(high.out));
+}
+
+}  // namespace
+}  // namespace rqsim

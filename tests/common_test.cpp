@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+namespace rqsim {
+namespace {
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.uniform();
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntBoundsAndCoverage) {
+  Rng rng(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.uniform_int(6);
+    EXPECT_LT(v, 6u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Rng, UniformIntOneIsAlwaysZero) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.uniform_int(1), 0u);
+  }
+}
+
+TEST(Rng, UniformIntRejectsZero) {
+  Rng rng(19);
+  EXPECT_THROW(rng.uniform_int(0), Error);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+  EXPECT_THROW(rng.bernoulli(-0.1), Error);
+  EXPECT_THROW(rng.bernoulli(1.1), Error);
+}
+
+TEST(Rng, DiscreteRespectsWeights) {
+  Rng rng(31);
+  const std::vector<double> weights = {1.0, 3.0, 0.0, 4.0};
+  std::vector<int> counts(4, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.discrete(weights)];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 1.0 / 8.0, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 3.0 / 8.0, 0.01);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 4.0 / 8.0, 0.01);
+}
+
+TEST(Rng, DiscreteRejectsBadWeights) {
+  Rng rng(37);
+  EXPECT_THROW(rng.discrete({}), Error);
+  EXPECT_THROW(rng.discrete({0.0, 0.0}), Error);
+  EXPECT_THROW(rng.discrete({1.0, -1.0}), Error);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(41);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, SplitIndependentStreams) {
+  Rng parent(43);
+  Rng child = parent.split();
+  // Parent continues and both produce values; child differs from parent.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next_u64() == child.next_u64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 2);
+}
+
+// ---------------------------------------------------------------- bits
+
+TEST(Bits, Pow2) {
+  EXPECT_EQ(pow2(0), 1u);
+  EXPECT_EQ(pow2(1), 2u);
+  EXPECT_EQ(pow2(10), 1024u);
+  EXPECT_EQ(pow2(40), (std::uint64_t{1} << 40));
+}
+
+TEST(Bits, GetSetFlip) {
+  EXPECT_EQ(get_bit(0b1010, 1), 1u);
+  EXPECT_EQ(get_bit(0b1010, 0), 0u);
+  EXPECT_EQ(set_bit(0b1010, 0, 1), 0b1011u);
+  EXPECT_EQ(set_bit(0b1010, 1, 0), 0b1000u);
+  EXPECT_EQ(set_bit(0b1010, 1, 1), 0b1010u);
+  EXPECT_EQ(flip_bit(0b1010, 3), 0b0010u);
+}
+
+TEST(Bits, InsertZeroBit) {
+  // Inserting at 0 shifts everything left.
+  EXPECT_EQ(insert_zero_bit(0b101, 0), 0b1010u);
+  // Inserting at the top leaves the value unchanged.
+  EXPECT_EQ(insert_zero_bit(0b101, 3), 0b0101u);
+  EXPECT_EQ(insert_zero_bit(0b11, 1), 0b101u);
+}
+
+TEST(Bits, InsertZeroBitEnumeratesAllZeroBitIndices) {
+  // insert_zero_bit(k, b) for k in [0, 2^(n-1)) must enumerate exactly the
+  // n-bit indices whose bit b is zero, without repetition.
+  const unsigned n = 5;
+  for (unsigned b = 0; b < n; ++b) {
+    std::set<std::uint64_t> produced;
+    for (std::uint64_t k = 0; k < pow2(n - 1); ++k) {
+      const std::uint64_t idx = insert_zero_bit(k, b);
+      EXPECT_EQ(get_bit(idx, b), 0u);
+      EXPECT_LT(idx, pow2(n));
+      produced.insert(idx);
+    }
+    EXPECT_EQ(produced.size(), pow2(n - 1));
+  }
+}
+
+TEST(Bits, InsertTwoZeroBits) {
+  const unsigned n = 6;
+  for (unsigned lo = 0; lo < n; ++lo) {
+    for (unsigned hi = lo + 1; hi < n; ++hi) {
+      std::set<std::uint64_t> produced;
+      for (std::uint64_t k = 0; k < pow2(n - 2); ++k) {
+        const std::uint64_t idx = insert_two_zero_bits(k, lo, hi);
+        EXPECT_EQ(get_bit(idx, lo), 0u);
+        EXPECT_EQ(get_bit(idx, hi), 0u);
+        EXPECT_LT(idx, pow2(n));
+        produced.insert(idx);
+      }
+      EXPECT_EQ(produced.size(), pow2(n - 2));
+    }
+  }
+}
+
+TEST(Bits, BitstringRoundTrip) {
+  EXPECT_EQ(to_bitstring(0b1011, 4), "1011");
+  EXPECT_EQ(to_bitstring(0, 3), "000");
+  EXPECT_EQ(from_bitstring("1011"), 0b1011u);
+  EXPECT_EQ(from_bitstring("000"), 0u);
+  EXPECT_THROW(from_bitstring("10a"), Error);
+  for (std::uint64_t v = 0; v < 64; ++v) {
+    EXPECT_EQ(from_bitstring(to_bitstring(v, 6)), v);
+  }
+}
+
+// ---------------------------------------------------------------- strings
+
+TEST(Strings, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, FormatDouble) {
+  EXPECT_EQ(format_double(0.5, 2), "0.50");
+  EXPECT_EQ(format_double(1.0 / 3.0, 4), "0.3333");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("OPENQASM 2.0", "OPENQASM"));
+  EXPECT_FALSE(starts_with("qreg", "qregx"));
+}
+
+// ---------------------------------------------------------------- error
+
+TEST(ErrorHandling, CheckMacroThrowsWithLocation) {
+  try {
+    RQSIM_CHECK(false, "something broke");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("something broke"), std::string::npos);
+    EXPECT_NE(what.find("common_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(ErrorHandling, CheckMacroPasses) {
+  EXPECT_NO_THROW(RQSIM_CHECK(true, "fine"));
+}
+
+}  // namespace
+}  // namespace rqsim

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bench_circuits/bv.hpp"
+#include "bench_circuits/qft.hpp"
+#include "circuit/circuit.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dm/density_matrix.hpp"
+#include "noise/noise_model.hpp"
+#include "sched/runner.hpp"
+#include "sim/kernels.hpp"
+#include "sim/measure.hpp"
+#include "transpile/decompose.hpp"
+
+namespace rqsim {
+namespace {
+
+constexpr double kTol = 1e-10;
+
+TEST(DensityMatrix, InitialStateIsPureZero) {
+  DensityMatrix rho(3);
+  EXPECT_NEAR(rho.trace(), 1.0, kTol);
+  EXPECT_NEAR(rho.purity(), 1.0, kTol);
+  EXPECT_NEAR(rho.at(0, 0).real(), 1.0, kTol);
+  EXPECT_NEAR(std::abs(rho.at(1, 1)), 0.0, kTol);
+}
+
+TEST(DensityMatrix, UnitaryEvolutionMatchesStateVector) {
+  // Pure-state evolution through the DM must equal |ψ⟩⟨ψ| from the
+  // statevector simulator.
+  Circuit c(3);
+  c.h(0);
+  c.cx(0, 1);
+  c.u3(2, 0.4, 1.1, -0.3);
+  c.cp(1, 2, 0.8);
+
+  DensityMatrix rho(3);
+  StateVector psi(3);
+  for (const Gate& g : c.gates()) {
+    rho.apply_gate(g);
+    apply_gate(psi, g);
+  }
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-9);
+  EXPECT_NEAR(rho.purity(), 1.0, 1e-9);
+  for (std::uint64_t r = 0; r < 8; ++r) {
+    for (std::uint64_t col = 0; col < 8; ++col) {
+      const cplx expected = psi[r] * std::conj(psi[col]);
+      EXPECT_LT(std::abs(rho.at(r, col) - expected), 1e-9);
+    }
+  }
+}
+
+TEST(DensityMatrix, DepolarizingReducesPurity) {
+  DensityMatrix rho(2);
+  rho.apply_gate(Gate::make1(GateKind::H, 0));
+  rho.apply_depolarizing1(0, 0.2);
+  EXPECT_NEAR(rho.trace(), 1.0, kTol);
+  EXPECT_LT(rho.purity(), 1.0 - 1e-3);
+}
+
+TEST(DensityMatrix, FullDepolarizingGivesMaximallyMixedQubit) {
+  // p = 3/4 is the fully depolarizing point of the symmetric channel.
+  DensityMatrix rho(1);
+  rho.apply_gate(Gate::make1(GateKind::H, 0));
+  rho.apply_depolarizing1(0, 0.75);
+  EXPECT_NEAR(rho.at(0, 0).real(), 0.5, kTol);
+  EXPECT_NEAR(rho.at(1, 1).real(), 0.5, kTol);
+  EXPECT_NEAR(std::abs(rho.at(0, 1)), 0.0, kTol);
+  EXPECT_NEAR(rho.purity(), 0.5, kTol);
+}
+
+TEST(DensityMatrix, TwoQubitDepolarizingPreservesTrace) {
+  DensityMatrix rho(3);
+  rho.apply_gate(Gate::make1(GateKind::H, 0));
+  rho.apply_gate(Gate::make2(GateKind::CX, 0, 1));
+  rho.apply_depolarizing2(0, 1, 0.3);
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-9);
+  EXPECT_LT(rho.purity(), 1.0);
+}
+
+TEST(DensityMatrix, MeasurementProbabilitiesMatchStateVector) {
+  Circuit c(3);
+  c.h(0);
+  c.cx(0, 2);
+  c.t(2);
+  DensityMatrix rho(3);
+  StateVector psi(3);
+  for (const Gate& g : c.gates()) {
+    rho.apply_gate(g);
+    apply_gate(psi, g);
+  }
+  const auto dm_probs = rho.measurement_probabilities({0, 2});
+  const auto sv_probs = measurement_probabilities(psi, {0, 2});
+  ASSERT_EQ(dm_probs.size(), sv_probs.size());
+  for (std::size_t i = 0; i < dm_probs.size(); ++i) {
+    EXPECT_NEAR(dm_probs[i], sv_probs[i], 1e-9);
+  }
+}
+
+TEST(DensityMatrix, Validation) {
+  EXPECT_THROW(DensityMatrix(0), Error);
+  EXPECT_THROW(DensityMatrix(13), Error);
+  DensityMatrix rho(2);
+  EXPECT_THROW(rho.apply_depolarizing1(5, 0.1), Error);
+  EXPECT_THROW(rho.apply_depolarizing1(0, 1.5), Error);
+  EXPECT_THROW(rho.apply_depolarizing2(0, 0, 0.1), Error);
+  Circuit c(3);
+  c.ccx(0, 1, 2);
+  DensityMatrix rho3(3);
+  EXPECT_THROW(rho3.apply_gate(c.gates()[0]), Error);
+}
+
+TEST(MeasurementFlips, SingleBitChannel) {
+  const std::vector<double> probs = {0.8, 0.2};
+  const auto flipped = apply_measurement_flips(probs, {0.1});
+  EXPECT_NEAR(flipped[0], 0.8 * 0.9 + 0.2 * 0.1, kTol);
+  EXPECT_NEAR(flipped[1], 0.2 * 0.9 + 0.8 * 0.1, kTol);
+}
+
+TEST(MeasurementFlips, PreservesNormalization) {
+  const std::vector<double> probs = {0.1, 0.2, 0.3, 0.4};
+  const auto flipped = apply_measurement_flips(probs, {0.25, 0.4});
+  double total = 0.0;
+  for (double p : flipped) {
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, kTol);
+}
+
+// ---------------------------------------------------------------------------
+// The headline validation: the Monte Carlo pipeline (trial generation,
+// reorder, cached execution, sampling, measurement flips) must converge to
+// the exact density-matrix channel evolution.
+
+struct ConvergenceCase {
+  const char* name;
+  unsigned qubits;
+  double single_rate;
+  double two_rate;
+  double meas_rate;
+};
+
+class MonteCarloConvergence : public ::testing::TestWithParam<ConvergenceCase> {};
+
+TEST_P(MonteCarloConvergence, CachedMonteCarloMatchesExactChannel) {
+  const ConvergenceCase param = GetParam();
+  const Circuit c = decompose_to_cx_basis(make_qft(param.qubits));
+  const NoiseModel noise = NoiseModel::uniform(param.qubits, param.single_rate,
+                                               param.two_rate, param.meas_rate);
+
+  const std::vector<double> exact = exact_noisy_distribution(c, noise);
+
+  NoisyRunConfig config;
+  config.num_trials = 200000;
+  config.seed = 7;
+  config.mode = ExecutionMode::kCachedReordered;
+  const NoisyRunResult mc = run_noisy(c, noise, config);
+
+  // Total-variation distance between the sampled histogram and the exact
+  // distribution. Statistical floor for 2e5 samples over <= 16 outcomes is
+  // well below 0.01.
+  double tvd = 0.0;
+  for (std::uint64_t outcome = 0; outcome < exact.size(); ++outcome) {
+    const auto it = mc.histogram.find(outcome);
+    const double sampled =
+        it == mc.histogram.end()
+            ? 0.0
+            : static_cast<double>(it->second) / static_cast<double>(config.num_trials);
+    tvd += std::abs(sampled - exact[outcome]);
+  }
+  tvd /= 2.0;
+  EXPECT_LT(tvd, 0.01) << "TVD between Monte Carlo and exact channel";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MonteCarloConvergence,
+    ::testing::Values(ConvergenceCase{"gates_only", 3, 0.02, 0.08, 0.0},
+                      ConvergenceCase{"with_meas_errors", 3, 0.01, 0.05, 0.08},
+                      ConvergenceCase{"strong_noise", 2, 0.10, 0.30, 0.10},
+                      ConvergenceCase{"four_qubits", 4, 0.01, 0.04, 0.03}),
+    [](const ::testing::TestParamInfo<ConvergenceCase>& info) {
+      return info.param.name;
+    });
+
+TEST(MonteCarloConvergence, BvOnBiasedPerQubitModel) {
+  // Per-qubit rates exercise the non-uniform code paths of both the DM
+  // channel evolution and the trial generator.
+  const Circuit c = decompose_to_cx_basis(make_bv(3, 0b110));
+  NoiseModel noise = NoiseModel::per_qubit({0.01, 0.03, 0.002, 0.05},
+                                           {0.02, 0.0, 0.1, 0.01});
+  noise.set_two_qubit_rate(0, 3, 0.06);
+  noise.set_two_qubit_rate(1, 3, 0.12);
+  noise.set_two_qubit_rate(2, 3, 0.02);
+
+  const std::vector<double> exact = exact_noisy_distribution(c, noise);
+  NoisyRunConfig config;
+  config.num_trials = 200000;
+  config.seed = 13;
+  const NoisyRunResult mc = run_noisy(c, noise, config);
+
+  double tvd = 0.0;
+  for (std::uint64_t outcome = 0; outcome < exact.size(); ++outcome) {
+    const auto it = mc.histogram.find(outcome);
+    const double sampled =
+        it == mc.histogram.end()
+            ? 0.0
+            : static_cast<double>(it->second) / static_cast<double>(config.num_trials);
+    tvd += std::abs(sampled - exact[outcome]);
+  }
+  EXPECT_LT(tvd / 2.0, 0.01);
+}
+
+}  // namespace
+}  // namespace rqsim

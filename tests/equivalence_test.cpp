@@ -1,0 +1,181 @@
+// The paper's central claim (Section IV.B): the reordered, prefix-cached
+// simulation is *mathematically equivalent* to the baseline Monte Carlo
+// simulation. These tests prove it on this implementation:
+//
+//  1. Bitwise: for every trial, the final statevector produced by the
+//     cached executor is bit-for-bit identical to simulating that trial
+//     from scratch (both paths apply the identical operator sequence in the
+//     identical order, so even floating-point rounding agrees).
+//  2. Statistical: outcome histograms of baseline vs cached runs over the
+//     same trial set are close in total-variation distance.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "bench_circuits/grover.hpp"
+#include "bench_circuits/qft.hpp"
+#include "bench_circuits/qv.hpp"
+#include "common/rng.hpp"
+#include "noise/devices.hpp"
+#include "noise/noise_model.hpp"
+#include "sched/backend.hpp"
+#include "sched/baseline.hpp"
+#include "sched/order.hpp"
+#include "sched/plan.hpp"
+#include "transpile/decompose.hpp"
+#include "transpile/transpiler.hpp"
+#include "trial/generator.hpp"
+
+namespace rqsim {
+namespace {
+
+struct EquivCase {
+  const char* name;
+  unsigned qubits;
+  double single_rate;
+  double two_rate;
+  std::size_t trials;
+  std::uint64_t seed;
+};
+
+class BitwiseEquivalence : public ::testing::TestWithParam<EquivCase> {};
+
+TEST_P(BitwiseEquivalence, CachedFinalStatesMatchDirectSimulationExactly) {
+  const EquivCase param = GetParam();
+  const Circuit c = decompose_to_cx_basis(make_qft(param.qubits));
+  const CircuitContext ctx(c);
+  const NoiseModel noise =
+      NoiseModel::uniform(param.qubits, param.single_rate, param.two_rate, 0.05);
+  Rng rng(param.seed);
+  auto trials = generate_trials(c, ctx.layering, noise, param.trials, rng);
+  reorder_trials(trials);
+
+  Rng sample_rng(1);
+  SvBackend backend(ctx, sample_rng, /*record_final_states=*/true);
+  schedule_trials(ctx, trials, backend);
+  const SvRunResult cached = backend.take_result();
+  ASSERT_EQ(cached.final_states.size(), trials.size());
+
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    const StateVector direct = simulate_trial(ctx, trials[i]);
+    EXPECT_TRUE(cached.final_states[i].bitwise_equal(direct))
+        << "trial " << i << " with " << trials[i].num_errors() << " errors";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BitwiseEquivalence,
+    ::testing::Values(EquivCase{"low_noise", 3, 0.005, 0.03, 200, 11},
+                      EquivCase{"mid_noise", 4, 0.02, 0.10, 200, 12},
+                      EquivCase{"high_noise", 4, 0.10, 0.40, 150, 13},
+                      EquivCase{"extreme_noise", 3, 0.25, 0.60, 100, 14},
+                      EquivCase{"five_qubits", 5, 0.01, 0.05, 250, 15}),
+    [](const ::testing::TestParamInfo<EquivCase>& info) { return info.param.name; });
+
+TEST(BitwiseEquivalenceExtra, GroverCompiledOntoYorktown) {
+  const DeviceModel dev = yorktown_device();
+  const TranspileResult compiled = transpile(make_grover3(5), dev.coupling);
+  const CircuitContext ctx(compiled.circuit);
+  Rng rng(21);
+  auto trials = generate_trials(compiled.circuit, ctx.layering, dev.noise, 300, rng);
+  reorder_trials(trials);
+
+  Rng sample_rng(2);
+  SvBackend backend(ctx, sample_rng, /*record_final_states=*/true);
+  schedule_trials(ctx, trials, backend);
+  const SvRunResult cached = backend.take_result();
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    EXPECT_TRUE(cached.final_states[i].bitwise_equal(simulate_trial(ctx, trials[i])));
+  }
+}
+
+TEST(BitwiseEquivalenceExtra, QvCircuit) {
+  const Circuit c = decompose_to_cx_basis(make_qv(5, 4, /*seed=*/3));
+  const CircuitContext ctx(c);
+  const NoiseModel noise = NoiseModel::uniform(5, 0.01, 0.08, 0.02);
+  Rng rng(22);
+  auto trials = generate_trials(c, ctx.layering, noise, 200, rng);
+  reorder_trials(trials);
+  Rng sample_rng(3);
+  SvBackend backend(ctx, sample_rng, /*record_final_states=*/true);
+  schedule_trials(ctx, trials, backend);
+  const SvRunResult cached = backend.take_result();
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    EXPECT_TRUE(cached.final_states[i].bitwise_equal(simulate_trial(ctx, trials[i])));
+  }
+}
+
+TEST(StatisticalEquivalence, HistogramsAgreeInDistribution) {
+  // Baseline and cached runs on the *same* trial set sample independently,
+  // so histograms differ, but the total-variation distance must be small
+  // for a large number of trials.
+  const Circuit c = decompose_to_cx_basis(make_qft(3));
+  const CircuitContext ctx(c);
+  const NoiseModel noise = NoiseModel::uniform(3, 0.02, 0.08, 0.03);
+  Rng rng(31);
+  auto trials = generate_trials(c, ctx.layering, noise, 20000, rng);
+
+  Rng base_rng(41);
+  const SvRunResult base = baseline_simulate(ctx, trials, base_rng);
+
+  reorder_trials(trials);
+  Rng cached_rng(43);
+  SvBackend backend(ctx, cached_rng);
+  schedule_trials(ctx, trials, backend);
+  const SvRunResult cached = backend.take_result();
+
+  EXPECT_LT(total_variation_distance(base.histogram, cached.histogram), 0.03);
+  // The cached run must do strictly less work here.
+  EXPECT_LT(cached.ops, base.ops);
+}
+
+TEST(StatisticalEquivalence, MeasurementErrorFlipsPropagate) {
+  // With a 100% measurement flip rate on every qubit and no gate noise, a
+  // noiseless-deterministic circuit must output the complement, in both
+  // execution modes.
+  Circuit c(2);
+  c.x(0);
+  c.measure_all();  // ideal outcome 0b01 -> flipped to 0b10
+  const CircuitContext ctx(c);
+  const NoiseModel noise = NoiseModel::uniform(2, 0.0, 0.0, 1.0);
+  Rng rng(51);
+  auto trials = generate_trials(c, ctx.layering, noise, 50, rng);
+
+  Rng base_rng(52);
+  const SvRunResult base = baseline_simulate(ctx, trials, base_rng);
+  ASSERT_EQ(base.histogram.size(), 1u);
+  EXPECT_EQ(base.histogram.begin()->first, 0b10u);
+
+  reorder_trials(trials);
+  Rng cached_rng(53);
+  SvBackend backend(ctx, cached_rng);
+  schedule_trials(ctx, trials, backend);
+  const SvRunResult cached = backend.take_result();
+  ASSERT_EQ(cached.histogram.size(), 1u);
+  EXPECT_EQ(cached.histogram.begin()->first, 0b10u);
+}
+
+TEST(StatisticalEquivalence, NoiselessRunIsDeterministic) {
+  // Zero noise: all trials identical and error-free; cached execution runs
+  // the circuit exactly once and every sample hits the ideal output.
+  Circuit c(3);
+  c.x(0);
+  c.x(2);
+  c.measure_all();
+  const CircuitContext ctx(c);
+  const NoiseModel noise = NoiseModel::uniform(3, 0.0, 0.0, 0.0);
+  Rng rng(61);
+  auto trials = generate_trials(c, ctx.layering, noise, 500, rng);
+  reorder_trials(trials);
+  Rng cached_rng(62);
+  SvBackend backend(ctx, cached_rng);
+  schedule_trials(ctx, trials, backend);
+  const SvRunResult cached = backend.take_result();
+  EXPECT_EQ(cached.ops, ctx.total_gate_ops());
+  ASSERT_EQ(cached.histogram.size(), 1u);
+  EXPECT_EQ(cached.histogram.begin()->first, 0b101u);
+  EXPECT_EQ(cached.histogram.begin()->second, 500u);
+}
+
+}  // namespace
+}  // namespace rqsim

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bench_circuits/adder.hpp"
+#include "bench_circuits/ansatz.hpp"
+#include "bench_circuits/ghz.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "noise/devices.hpp"
+#include "sched/runner.hpp"
+#include "sim/kernels.hpp"
+#include "sim/measure.hpp"
+#include "transpile/decompose.hpp"
+#include "transpile/transpiler.hpp"
+
+namespace rqsim {
+namespace {
+
+StateVector simulate(const Circuit& c) {
+  StateVector s(c.num_qubits());
+  for (const Gate& g : c.gates()) {
+    apply_gate(s, g);
+  }
+  return s;
+}
+
+TEST(GHZ, ExactAmplitudes) {
+  for (unsigned n : {2u, 3u, 5u, 8u}) {
+    const Circuit c = make_ghz(n);
+    const StateVector s = simulate(c);
+    const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+    EXPECT_NEAR(std::abs(s[0]), inv_sqrt2, 1e-12);
+    EXPECT_NEAR(std::abs(s[s.dim() - 1]), inv_sqrt2, 1e-12);
+    EXPECT_NEAR(s.norm_squared(), 1.0, 1e-12);
+  }
+}
+
+TEST(GHZ, NoisyOutcomesConcentrateOnPoles) {
+  const Circuit c = make_ghz(4);
+  const DeviceModel dev = artificial_device(4, 1e-3);
+  NoisyRunConfig config;
+  config.num_trials = 8192;
+  const NoisyRunResult result = run_noisy(c, dev.noise, config);
+  std::uint64_t poles = 0;
+  std::uint64_t total = 0;
+  for (const auto& [outcome, count] : result.histogram) {
+    total += count;
+    if (outcome == 0 || outcome == 15) {
+      poles += count;
+    }
+  }
+  EXPECT_GT(static_cast<double>(poles) / static_cast<double>(total), 0.9);
+}
+
+TEST(Ansatz, ParameterCountAndStructure) {
+  EXPECT_EQ(ansatz_num_parameters(4, 3), 24u);
+  std::vector<double> params(24, 0.1);
+  const Circuit c = make_hw_efficient_ansatz(4, 3, params);
+  EXPECT_EQ(c.count_kind(GateKind::RY), 12u);
+  EXPECT_EQ(c.count_kind(GateKind::RZ), 12u);
+  EXPECT_EQ(c.count_kind(GateKind::CX), 9u);
+  EXPECT_EQ(c.num_measured(), 0u);
+  EXPECT_THROW(make_hw_efficient_ansatz(4, 3, std::vector<double>(7)), Error);
+}
+
+TEST(Ansatz, ZeroParametersIsIdentityOnComputationalBasis) {
+  // ry(0) = rz(0) = I and the CX chain on |0…0⟩ does nothing.
+  std::vector<double> params(ansatz_num_parameters(3, 2), 0.0);
+  const Circuit c = make_hw_efficient_ansatz(3, 2, params);
+  const StateVector s = simulate(c);
+  EXPECT_NEAR(s.probability(0), 1.0, 1e-12);
+}
+
+TEST(Adder, ExhaustiveThreeBitSums) {
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    for (std::uint64_t b = 0; b < 8; ++b) {
+      const Circuit c = decompose_to_cx_basis(make_cuccaro_adder(3, a, b));
+      const StateVector s = simulate(c);
+      const auto probs = measurement_probabilities(s, c.measured_qubits());
+      const std::uint64_t expected = a + b;  // 4-bit result incl. carry
+      EXPECT_NEAR(probs[expected], 1.0, 1e-9) << a << "+" << b;
+    }
+  }
+}
+
+TEST(Adder, FiveBitSpotChecks) {
+  const std::pair<std::uint64_t, std::uint64_t> cases[] = {
+      {0, 0}, {31, 31}, {17, 12}, {8, 25}};
+  for (const auto& [a, b] : cases) {
+    const Circuit c = decompose_to_cx_basis(make_cuccaro_adder(5, a, b));
+    const StateVector s = simulate(c);
+    const auto probs = measurement_probabilities(s, c.measured_qubits());
+    EXPECT_NEAR(probs[a + b], 1.0, 1e-9) << a << "+" << b;
+  }
+}
+
+TEST(Adder, Validation) {
+  EXPECT_THROW(make_cuccaro_adder(0, 0, 0), Error);
+  EXPECT_THROW(make_cuccaro_adder(9, 0, 0), Error);
+  EXPECT_THROW(make_cuccaro_adder(3, 8, 0), Error);
+}
+
+TEST(Adder, SurvivesTranspilationToLinearDevice) {
+  const Circuit c = make_cuccaro_adder(2, 2, 3);
+  const CouplingMap coupling = CouplingMap::linear(6);
+  const TranspileResult result = transpile(c, coupling);
+  EXPECT_TRUE(respects_coupling(result.circuit, coupling));
+
+  StateVector s(6);
+  for (const Gate& g : result.circuit.gates()) {
+    apply_gate(s, g);
+  }
+  const auto probs = measurement_probabilities(s, result.circuit.measured_qubits());
+  EXPECT_NEAR(probs[5], 1.0, 1e-9);  // 2 + 3
+}
+
+TEST(Adder, NoisyModeStillFindsCorrectSum) {
+  const Circuit c = decompose_to_cx_basis(make_cuccaro_adder(2, 1, 2));
+  const DeviceModel dev = artificial_device(6, 5e-4);
+  NoisyRunConfig config;
+  config.num_trials = 4096;
+  const NoisyRunResult result = run_noisy(c, dev.noise, config);
+  std::uint64_t best_outcome = 0;
+  std::uint64_t best_count = 0;
+  for (const auto& [outcome, count] : result.histogram) {
+    if (count > best_count) {
+      best_count = count;
+      best_outcome = outcome;
+    }
+  }
+  EXPECT_EQ(best_outcome, 3u);
+  EXPECT_LT(result.normalized_computation, 0.6);
+}
+
+}  // namespace
+}  // namespace rqsim

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/pauli.hpp"
+
+namespace rqsim {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+// ---------------------------------------------------------------- Mat2/Mat4
+
+TEST(Mat2, IdentityMultiplication) {
+  Rng rng(1);
+  const Mat2 u = random_unitary2(rng);
+  EXPECT_LT(frobenius_distance(u * Mat2::identity(), u), kTol);
+  EXPECT_LT(frobenius_distance(Mat2::identity() * u, u), kTol);
+}
+
+TEST(Mat2, DaggerIsInverseForUnitary) {
+  Rng rng(2);
+  const Mat2 u = random_unitary2(rng);
+  EXPECT_LT(frobenius_distance(u * u.dagger(), Mat2::identity()), 1e-10);
+  EXPECT_LT(frobenius_distance(u.dagger() * u, Mat2::identity()), 1e-10);
+}
+
+TEST(Mat2, AdditionAndScaling) {
+  Mat2 a = Mat2::identity();
+  const Mat2 b = a * cplx(2.0, 0.0);
+  const Mat2 c = a + b;
+  EXPECT_LT(frobenius_distance(c, a * cplx(3.0, 0.0)), kTol);
+}
+
+TEST(Mat4, IdentityMultiplication) {
+  Rng rng(3);
+  const Mat4 u = random_unitary4(rng);
+  EXPECT_LT(frobenius_distance(u * Mat4::identity(), u), kTol);
+}
+
+TEST(Mat4, DaggerIsInverseForUnitary) {
+  Rng rng(4);
+  const Mat4 u = random_unitary4(rng);
+  EXPECT_LT(frobenius_distance(u * u.dagger(), Mat4::identity()), 1e-10);
+}
+
+TEST(RandomUnitary, IsUnitary) {
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(is_unitary(random_unitary2(rng)));
+    EXPECT_TRUE(is_unitary(random_unitary4(rng)));
+  }
+}
+
+TEST(Kron, PauliXX) {
+  const Mat4 xx = kron(pauli_matrix(Pauli::X), pauli_matrix(Pauli::X));
+  // XX is the anti-diagonal permutation.
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      const cplx expected = (r + c == 3) ? cplx(1.0) : cplx(0.0);
+      EXPECT_LT(std::abs(xx.at(r, c) - expected), kTol);
+    }
+  }
+}
+
+TEST(Kron, IdentityKronIdentity) {
+  const Mat4 ii = kron(pauli_matrix(Pauli::I), pauli_matrix(Pauli::I));
+  EXPECT_LT(frobenius_distance(ii, Mat4::identity()), kTol);
+}
+
+TEST(Kron, MixedProductProperty) {
+  // (A ⊗ B)(C ⊗ D) = AC ⊗ BD.
+  Rng rng(6);
+  const Mat2 a = random_unitary2(rng);
+  const Mat2 b = random_unitary2(rng);
+  const Mat2 c = random_unitary2(rng);
+  const Mat2 d = random_unitary2(rng);
+  EXPECT_LT(frobenius_distance(kron(a, b) * kron(c, d), kron(a * c, b * d)), 1e-10);
+}
+
+TEST(GlobalPhase, DetectsPhaseEquality) {
+  Rng rng(7);
+  const Mat2 u = random_unitary2(rng);
+  const Mat2 v = u * std::exp(cplx(0.0, 1.234));
+  EXPECT_TRUE(equal_up_to_global_phase(u, v));
+  EXPECT_TRUE(equal_up_to_global_phase(v, u));
+  const Mat2 w = random_unitary2(rng);
+  EXPECT_FALSE(equal_up_to_global_phase(u, w));
+}
+
+TEST(GlobalPhase, Mat4) {
+  Rng rng(8);
+  const Mat4 u = random_unitary4(rng);
+  EXPECT_TRUE(equal_up_to_global_phase(u, u * std::exp(cplx(0.0, -2.5))));
+  EXPECT_FALSE(equal_up_to_global_phase(u, random_unitary4(rng)));
+}
+
+// ---------------------------------------------------------------- Pauli
+
+TEST(Pauli, SquaresToIdentity) {
+  for (Pauli p : {Pauli::X, Pauli::Y, Pauli::Z}) {
+    const Mat2 m = pauli_matrix(p);
+    EXPECT_LT(frobenius_distance(m * m, Mat2::identity()), kTol);
+  }
+}
+
+TEST(Pauli, CommutationXYisiZ) {
+  const Mat2 xy = pauli_matrix(Pauli::X) * pauli_matrix(Pauli::Y);
+  const Mat2 iz = pauli_matrix(Pauli::Z) * cplx(0.0, 1.0);
+  EXPECT_LT(frobenius_distance(xy, iz), kTol);
+}
+
+TEST(Pauli, Hermitian) {
+  for (Pauli p : {Pauli::X, Pauli::Y, Pauli::Z}) {
+    const Mat2 m = pauli_matrix(p);
+    EXPECT_LT(frobenius_distance(m, m.dagger()), kTol);
+  }
+}
+
+TEST(Pauli, Names) {
+  EXPECT_EQ(pauli_name(Pauli::I), "I");
+  EXPECT_EQ(pauli_name(Pauli::X), "X");
+  EXPECT_EQ(pauli_name(Pauli::Y), "Y");
+  EXPECT_EQ(pauli_name(Pauli::Z), "Z");
+}
+
+TEST(PauliPair, IndexRoundTrip) {
+  for (std::uint8_t i = 0; i < 16; ++i) {
+    const PauliPair pair = pauli_pair_from_index(i);
+    EXPECT_EQ(pauli_pair_index(pair), i);
+  }
+}
+
+TEST(PauliPair, NthSkipsIdentity) {
+  for (int k = 0; k < kNumPairPaulis; ++k) {
+    const PauliPair pair = nth_pair_pauli(k);
+    EXPECT_FALSE(pair.p0 == Pauli::I && pair.p1 == Pauli::I);
+  }
+  EXPECT_EQ(pauli_pair_name(nth_pair_pauli(0)), "IX");
+  EXPECT_EQ(pauli_pair_name(nth_pair_pauli(14)), "ZZ");
+}
+
+TEST(PauliPair, MatrixIsKron) {
+  for (int k = 0; k < kNumPairPaulis; ++k) {
+    const PauliPair pair = nth_pair_pauli(k);
+    const Mat4 m = pauli_pair_matrix(pair);
+    EXPECT_LT(frobenius_distance(m, kron(pauli_matrix(pair.p1), pauli_matrix(pair.p0))),
+              kTol);
+    EXPECT_TRUE(is_unitary(m));
+  }
+}
+
+TEST(Pauli, NthSinglePauli) {
+  EXPECT_EQ(nth_single_pauli(0), Pauli::X);
+  EXPECT_EQ(nth_single_pauli(1), Pauli::Y);
+  EXPECT_EQ(nth_single_pauli(2), Pauli::Z);
+}
+
+// ---------------------------------------------------------------- DenseMatrix
+
+TEST(DenseMatrix, IdentityApply) {
+  const DenseMatrix id = DenseMatrix::identity(8);
+  std::vector<cplx> v(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    v[i] = cplx(static_cast<double>(i), -1.0);
+  }
+  const auto w = id.apply(v);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_LT(std::abs(w[i] - v[i]), kTol);
+  }
+}
+
+TEST(DenseMatrix, Lift1MatchesKronForTwoQubits) {
+  // lift1(g, 1) on 2 qubits must equal g ⊗ I (qubit 1 is the high bit).
+  Rng rng(9);
+  const Mat2 g = random_unitary2(rng);
+  const DenseMatrix lifted = DenseMatrix::lift1(g, 1, 2);
+  const Mat4 expected = kron(g, Mat2::identity());
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_LT(std::abs(lifted.at(r, c) - expected.at(r, c)), kTol);
+    }
+  }
+}
+
+TEST(DenseMatrix, Lift1LowQubit) {
+  Rng rng(10);
+  const Mat2 g = random_unitary2(rng);
+  const DenseMatrix lifted = DenseMatrix::lift1(g, 0, 2);
+  const Mat4 expected = kron(Mat2::identity(), g);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_LT(std::abs(lifted.at(r, c) - expected.at(r, c)), kTol);
+    }
+  }
+}
+
+TEST(DenseMatrix, Lift2IdentityOrderConvention) {
+  // lift2(m, q1=1, q0=0) on exactly 2 qubits must reproduce m itself.
+  Rng rng(11);
+  const Mat4 m = random_unitary4(rng);
+  const DenseMatrix lifted = DenseMatrix::lift2(m, 1, 0, 2);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_LT(std::abs(lifted.at(r, c) - m.at(r, c)), kTol);
+    }
+  }
+}
+
+TEST(DenseMatrix, Lift2SwappedOperands) {
+  // Swapping the operand order conjugates by SWAP.
+  Rng rng(12);
+  const Mat4 m = random_unitary4(rng);
+  const DenseMatrix a = DenseMatrix::lift2(m, 1, 0, 2);
+  const DenseMatrix b = DenseMatrix::lift2(m, 0, 1, 2);
+  Mat4 swap_mat;
+  swap_mat.at(0, 0) = 1.0;
+  swap_mat.at(1, 2) = 1.0;
+  swap_mat.at(2, 1) = 1.0;
+  swap_mat.at(3, 3) = 1.0;
+  const DenseMatrix s = DenseMatrix::lift2(swap_mat, 1, 0, 2);
+  const DenseMatrix conj = s * b * s;
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_LT(std::abs(a.at(r, c) - conj.at(r, c)), kTol);
+    }
+  }
+}
+
+TEST(DenseMatrix, MultiplicationAssociativity) {
+  Rng rng(13);
+  const DenseMatrix a = DenseMatrix::lift1(random_unitary2(rng), 0, 3);
+  const DenseMatrix b = DenseMatrix::lift1(random_unitary2(rng), 1, 3);
+  const DenseMatrix c = DenseMatrix::lift1(random_unitary2(rng), 2, 3);
+  const DenseMatrix left = (a * b) * c;
+  const DenseMatrix right = a * (b * c);
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t col = 0; col < 8; ++col) {
+      EXPECT_LT(std::abs(left.at(r, col) - right.at(r, col)), 1e-10);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rqsim

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "noise/devices.hpp"
+#include "noise/noise_model.hpp"
+
+namespace rqsim {
+namespace {
+
+TEST(NoiseModel, UniformRates) {
+  const NoiseModel m = NoiseModel::uniform(4, 1e-3, 1e-2, 2e-2);
+  for (qubit_t q = 0; q < 4; ++q) {
+    EXPECT_DOUBLE_EQ(m.single_qubit_rate(q), 1e-3);
+    EXPECT_DOUBLE_EQ(m.measurement_flip_rate(q), 2e-2);
+  }
+  EXPECT_DOUBLE_EQ(m.two_qubit_rate(0, 3), 1e-2);
+  EXPECT_DOUBLE_EQ(m.two_qubit_rate(3, 0), 1e-2);
+}
+
+TEST(NoiseModel, PerQubitRates) {
+  NoiseModel m = NoiseModel::per_qubit({1e-3, 2e-3}, {1e-2, 3e-2});
+  EXPECT_EQ(m.num_qubits(), 2u);
+  EXPECT_DOUBLE_EQ(m.single_qubit_rate(1), 2e-3);
+  EXPECT_DOUBLE_EQ(m.measurement_flip_rate(0), 1e-2);
+  // Unset pair falls back to the uniform two-qubit rate (zero here).
+  EXPECT_DOUBLE_EQ(m.two_qubit_rate(0, 1), 0.0);
+  m.set_two_qubit_rate(0, 1, 4e-2);
+  EXPECT_DOUBLE_EQ(m.two_qubit_rate(0, 1), 4e-2);
+  EXPECT_DOUBLE_EQ(m.two_qubit_rate(1, 0), 4e-2);
+}
+
+TEST(NoiseModel, Validation) {
+  EXPECT_THROW(NoiseModel::uniform(2, -0.1, 0.0, 0.0), Error);
+  EXPECT_THROW(NoiseModel::uniform(2, 0.0, 1.5, 0.0), Error);
+  EXPECT_THROW(NoiseModel::per_qubit({0.1}, {0.1, 0.2}), Error);
+  NoiseModel m = NoiseModel::uniform(2, 0.1, 0.1, 0.1);
+  EXPECT_THROW(m.set_two_qubit_rate(0, 0, 0.1), Error);
+  EXPECT_THROW(m.set_two_qubit_rate(0, 5, 0.1), Error);
+  EXPECT_THROW(m.single_qubit_rate(9), Error);
+}
+
+TEST(NoiseModel, Scaled) {
+  NoiseModel m = NoiseModel::uniform(3, 1e-3, 1e-2, 2e-2);
+  m.set_two_qubit_rate(0, 1, 4e-2);
+  const NoiseModel half = m.scaled(0.5);
+  EXPECT_DOUBLE_EQ(half.single_qubit_rate(0), 0.5e-3);
+  EXPECT_DOUBLE_EQ(half.two_qubit_rate(0, 1), 2e-2);
+  EXPECT_DOUBLE_EQ(half.two_qubit_rate(1, 2), 0.5e-2);
+  EXPECT_DOUBLE_EQ(half.measurement_flip_rate(2), 1e-2);
+  EXPECT_THROW(m.scaled(1000.0), Error);
+}
+
+TEST(NoiseModel, Noiseless) {
+  EXPECT_TRUE(NoiseModel::uniform(2, 0, 0, 0).is_noiseless());
+  EXPECT_FALSE(NoiseModel::uniform(2, 1e-3, 0, 0).is_noiseless());
+  EXPECT_FALSE(NoiseModel::uniform(2, 0, 1e-3, 0).is_noiseless());
+  EXPECT_FALSE(NoiseModel::uniform(2, 0, 0, 1e-3).is_noiseless());
+}
+
+TEST(Devices, YorktownMatchesPaperFig4) {
+  const DeviceModel dev = yorktown_device();
+  EXPECT_EQ(dev.coupling.num_qubits(), 5u);
+  EXPECT_DOUBLE_EQ(dev.noise.single_qubit_rate(0), 1.37e-3);
+  EXPECT_DOUBLE_EQ(dev.noise.single_qubit_rate(2), 2.23e-3);
+  EXPECT_DOUBLE_EQ(dev.noise.single_qubit_rate(4), 0.94e-3);
+  EXPECT_DOUBLE_EQ(dev.noise.measurement_flip_rate(4), 4.50e-2);
+  EXPECT_DOUBLE_EQ(dev.noise.two_qubit_rate(0, 1), 2.72e-2);
+  EXPECT_DOUBLE_EQ(dev.noise.two_qubit_rate(3, 4), 3.51e-2);
+  // Every coupled edge has a calibrated rate.
+  for (const auto& [a, b] : dev.coupling.edges()) {
+    EXPECT_GT(dev.noise.two_qubit_rate(a, b), 0.0);
+  }
+}
+
+TEST(Devices, ArtificialScaling) {
+  const DeviceModel dev = artificial_device(20, 1e-4);
+  EXPECT_EQ(dev.noise.num_qubits(), 20u);
+  EXPECT_DOUBLE_EQ(dev.noise.single_qubit_rate(7), 1e-4);
+  EXPECT_DOUBLE_EQ(dev.noise.two_qubit_rate(3, 12), 1e-3);
+  EXPECT_DOUBLE_EQ(dev.noise.measurement_flip_rate(0), 1e-3);
+  EXPECT_TRUE(dev.coupling.connected(0, 19));
+}
+
+TEST(Devices, Ideal) {
+  const DeviceModel dev = ideal_device(6);
+  EXPECT_TRUE(dev.noise.is_noiseless());
+}
+
+}  // namespace
+}  // namespace rqsim

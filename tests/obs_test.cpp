@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bench_circuits/qft.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dm/density_matrix.hpp"
+#include "noise/noise_model.hpp"
+#include "obs/pauli_string.hpp"
+#include "sched/runner.hpp"
+#include "sim/kernels.hpp"
+#include "transpile/decompose.hpp"
+
+namespace rqsim {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+TEST(PauliString, LabelRoundTrip) {
+  const PauliString p = PauliString::from_label("XIZY");
+  ASSERT_EQ(p.factors().size(), 3u);
+  EXPECT_EQ(p.factors()[0].first, 0u);
+  EXPECT_EQ(p.factors()[0].second, Pauli::Y);
+  EXPECT_EQ(p.factors()[1].first, 1u);
+  EXPECT_EQ(p.factors()[1].second, Pauli::Z);
+  EXPECT_EQ(p.factors()[2].first, 3u);
+  EXPECT_EQ(p.factors()[2].second, Pauli::X);
+  EXPECT_EQ(p.to_label(4), "XIZY");
+  EXPECT_EQ(p.to_label(5), "IXIZY");
+  EXPECT_EQ(p.min_qubits(), 4u);
+}
+
+TEST(PauliString, IdentityAndValidation) {
+  const PauliString id = PauliString::from_label("III");
+  EXPECT_TRUE(id.is_identity());
+  EXPECT_EQ(id.min_qubits(), 0u);
+  EXPECT_THROW(PauliString::from_label("XQZ"), Error);
+  EXPECT_THROW(PauliString({{0, Pauli::X}, {0, Pauli::Z}}), Error);
+  EXPECT_THROW(PauliString::from_label("X").to_label(0), Error);
+}
+
+TEST(Expectation, ComputationalBasisZ) {
+  StateVector s(2);  // |00⟩
+  EXPECT_NEAR(expectation(s, PauliString::from_label("IZ")), 1.0, kTol);
+  EXPECT_NEAR(expectation(s, PauliString::from_label("ZZ")), 1.0, kTol);
+  apply_x(s, 0);  // |01⟩
+  EXPECT_NEAR(expectation(s, PauliString::from_label("IZ")), -1.0, kTol);
+  EXPECT_NEAR(expectation(s, PauliString::from_label("ZI")), 1.0, kTol);
+  EXPECT_NEAR(expectation(s, PauliString::from_label("ZZ")), -1.0, kTol);
+}
+
+TEST(Expectation, PlusStateX) {
+  StateVector s(1);
+  apply_h(s, 0);
+  EXPECT_NEAR(expectation(s, PauliString::from_label("X")), 1.0, kTol);
+  EXPECT_NEAR(expectation(s, PauliString::from_label("Z")), 0.0, kTol);
+  EXPECT_NEAR(expectation(s, PauliString::from_label("Y")), 0.0, kTol);
+}
+
+TEST(Expectation, BellStateCorrelations) {
+  StateVector s(2);
+  apply_h(s, 0);
+  apply_cx(s, 0, 1);
+  EXPECT_NEAR(expectation(s, PauliString::from_label("XX")), 1.0, kTol);
+  EXPECT_NEAR(expectation(s, PauliString::from_label("ZZ")), 1.0, kTol);
+  EXPECT_NEAR(expectation(s, PauliString::from_label("YY")), -1.0, kTol);
+  EXPECT_NEAR(expectation(s, PauliString::from_label("ZI")), 0.0, kTol);
+  EXPECT_NEAR(expectation(s, PauliString::from_label("II")), 1.0, kTol);
+}
+
+TEST(Expectation, DensityMatrixMatchesPureState) {
+  Circuit c(3);
+  c.h(0);
+  c.cx(0, 1);
+  c.u3(2, 0.7, 0.2, 1.4);
+  c.cx(1, 2);
+  StateVector psi(3);
+  DensityMatrix rho(3);
+  for (const Gate& g : c.gates()) {
+    apply_gate(psi, g);
+    rho.apply_gate(g);
+  }
+  for (const char* label : {"ZZZ", "XIX", "YZI", "IIZ", "XYZ"}) {
+    const PauliString p = PauliString::from_label(label);
+    EXPECT_NEAR(expectation(psi, p), expectation(rho, p), 1e-9) << label;
+  }
+}
+
+TEST(Expectation, DepolarizedStateShrinksTowardZero) {
+  DensityMatrix rho(1);
+  rho.apply_gate(Gate::make1(GateKind::H, 0));
+  const PauliString x = PauliString::from_label("X");
+  EXPECT_NEAR(expectation(rho, x), 1.0, kTol);
+  rho.apply_depolarizing1(0, 0.3);
+  // Symmetric depolarizing with total probability p scales every Bloch
+  // component by (1 - 4p/3).
+  EXPECT_NEAR(expectation(rho, x), 1.0 - 4.0 * 0.3 / 3.0, 1e-9);
+}
+
+TEST(NoisyObservables, CachedMatchesExactChannel) {
+  const Circuit c = decompose_to_cx_basis(make_qft(3));
+  const NoiseModel noise = NoiseModel::uniform(3, 0.02, 0.08, 0.0);
+
+  // Exact: density-matrix channel evolution.
+  const Layering layering = layer_circuit(c);
+  DensityMatrix rho(3);
+  for (layer_index_t l = 0; l < layering.num_layers(); ++l) {
+    for (gate_index_t g : layering.layers[l]) {
+      rho.apply_gate(c.gates()[g]);
+    }
+    for (gate_index_t g : layering.layers[l]) {
+      const Gate& gate = c.gates()[g];
+      if (gate.arity() == 1) {
+        rho.apply_depolarizing1(gate.qubits[0], noise.single_qubit_rate(gate.qubits[0]));
+      } else {
+        rho.apply_depolarizing2(gate.qubits[0], gate.qubits[1],
+                                noise.two_qubit_rate(gate.qubits[0], gate.qubits[1]));
+      }
+    }
+  }
+
+  NoisyRunConfig config;
+  config.num_trials = 150000;
+  config.seed = 5;
+  config.observables = {PauliString::from_label("ZII"), PauliString::from_label("IZZ"),
+                        PauliString::from_label("XXI")};
+  const NoisyRunResult mc = run_noisy(c, noise, config);
+  ASSERT_EQ(mc.observable_means.size(), 3u);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_NEAR(mc.observable_means[k], expectation(rho, config.observables[k]), 0.01)
+        << config.observables[k].to_label(3);
+  }
+}
+
+TEST(NoisyObservables, BaselineAndCachedAgree) {
+  // Observable means are deterministic given the trial set (no sampling
+  // involved), so baseline and cached runs with the same seed must agree
+  // to floating-point accumulation accuracy.
+  const Circuit c = decompose_to_cx_basis(make_qft(3));
+  const NoiseModel noise = NoiseModel::uniform(3, 0.03, 0.1, 0.05);
+  NoisyRunConfig config;
+  config.num_trials = 5000;
+  config.seed = 17;
+  config.observables = {PauliString::from_label("ZZI"), PauliString::from_label("IXY")};
+
+  config.mode = ExecutionMode::kBaseline;
+  const NoisyRunResult base = run_noisy(c, noise, config);
+  config.mode = ExecutionMode::kCachedReordered;
+  const NoisyRunResult cached = run_noisy(c, noise, config);
+  ASSERT_EQ(base.observable_means.size(), cached.observable_means.size());
+  for (std::size_t k = 0; k < base.observable_means.size(); ++k) {
+    EXPECT_NEAR(base.observable_means[k], cached.observable_means[k], 1e-9);
+  }
+}
+
+TEST(NoisyObservables, OversizedObservableRejected) {
+  const Circuit c = decompose_to_cx_basis(make_qft(2));
+  const NoiseModel noise = NoiseModel::uniform(2, 0.01, 0.02, 0.0);
+  NoisyRunConfig config;
+  config.observables = {PauliString::from_label("ZIII")};
+  EXPECT_THROW(run_noisy(c, noise, config), Error);
+}
+
+}  // namespace
+}  // namespace rqsim

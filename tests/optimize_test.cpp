@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "bench_circuits/grover.hpp"
+#include "bench_circuits/qft.hpp"
+#include "common/rng.hpp"
+#include "noise/devices.hpp"
+#include "sched/runner.hpp"
+#include "sim/reference.hpp"
+#include "transpile/decompose.hpp"
+#include "transpile/optimize.hpp"
+
+namespace rqsim {
+namespace {
+
+bool same_unitary_up_to_phase(const Circuit& a, const Circuit& b) {
+  const DenseMatrix ua = circuit_to_dense(a);
+  const DenseMatrix ub = circuit_to_dense(b);
+  if (ua.dim() != ub.dim()) {
+    return false;
+  }
+  std::size_t br = 0;
+  std::size_t bc = 0;
+  double best = 0.0;
+  for (std::size_t r = 0; r < ub.dim(); ++r) {
+    for (std::size_t c = 0; c < ub.dim(); ++c) {
+      if (std::abs(ub.at(r, c)) > best) {
+        best = std::abs(ub.at(r, c));
+        br = r;
+        bc = c;
+      }
+    }
+  }
+  if (best < 1e-9) {
+    return false;
+  }
+  const cplx phase = ua.at(br, bc) / ub.at(br, bc);
+  for (std::size_t r = 0; r < ua.dim(); ++r) {
+    for (std::size_t c = 0; c < ua.dim(); ++c) {
+      if (std::abs(ua.at(r, c) - phase * ub.at(r, c)) > 1e-8) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(U3Angles, RoundTripRandomUnitaries) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const Mat2 u = random_unitary2(rng);
+    const U3Angles a = u3_angles_from_unitary(u);
+    const Mat2 rebuilt =
+        gate_matrix1(Gate::make1(GateKind::U3, 0, a.theta, a.phi, a.lambda));
+    EXPECT_TRUE(equal_up_to_global_phase(u, rebuilt, 1e-8)) << i;
+  }
+}
+
+TEST(U3Angles, EdgeCases) {
+  // Identity, pure X (theta = pi), diagonal (theta = 0).
+  for (GateKind kind : {GateKind::X, GateKind::Z, GateKind::S, GateKind::H,
+                        GateKind::Y, GateKind::T}) {
+    const Mat2 u = gate_matrix1(Gate::make1(kind, 0));
+    const U3Angles a = u3_angles_from_unitary(u);
+    const Mat2 rebuilt =
+        gate_matrix1(Gate::make1(GateKind::U3, 0, a.theta, a.phi, a.lambda));
+    EXPECT_TRUE(equal_up_to_global_phase(u, rebuilt, 1e-10)) << gate_name(kind);
+  }
+  EXPECT_TRUE(is_identity_up_to_phase(Mat2::identity()));
+  EXPECT_TRUE(is_identity_up_to_phase(Mat2::identity() * cplx(0.0, 1.0)));
+  EXPECT_FALSE(is_identity_up_to_phase(pauli_matrix(Pauli::X)));
+}
+
+TEST(Fusion, CollapsesRunsAndDropsIdentity) {
+  Circuit c(2);
+  c.h(0);
+  c.h(0);  // HH = I -> dropped
+  c.t(1);
+  c.t(1);  // TT = S -> one u3
+  c.cx(0, 1);
+  c.rz(0, 0.5);
+  c.rz(0, -0.5);  // cancels
+  c.measure_all();
+  const Circuit fused = fuse_single_qubit_runs(c);
+  EXPECT_EQ(fused.num_gates(), 2u);  // u3 (from TT) + cx
+  EXPECT_EQ(fused.count_kind(GateKind::CX), 1u);
+  EXPECT_TRUE(same_unitary_up_to_phase(c, fused));
+  EXPECT_EQ(fused.num_measured(), 2u);
+}
+
+TEST(Fusion, RespectsBlockingTwoQubitGates) {
+  Circuit c(2);
+  c.h(0);
+  c.cx(0, 1);
+  c.h(0);  // must NOT fuse with the first h across the cx
+  const Circuit fused = fuse_single_qubit_runs(c);
+  EXPECT_EQ(fused.num_gates(), 3u);
+  EXPECT_TRUE(same_unitary_up_to_phase(c, fused));
+}
+
+TEST(CxCancel, RemovesAdjacentPairs) {
+  Circuit c(3);
+  c.cx(0, 1);
+  c.cx(0, 1);  // cancels
+  c.cx(1, 2);
+  c.h(1);
+  c.cx(1, 2);  // blocked by h
+  const Circuit out = cancel_adjacent_cx(c);
+  EXPECT_EQ(out.count_kind(GateKind::CX), 2u);
+  EXPECT_TRUE(same_unitary_up_to_phase(c, out));
+}
+
+TEST(CxCancel, DirectionAndSpectatorsMatter) {
+  Circuit c(3);
+  c.cx(0, 1);
+  c.cx(1, 0);  // reversed direction: must NOT cancel
+  const Circuit out = cancel_adjacent_cx(c);
+  EXPECT_EQ(out.count_kind(GateKind::CX), 2u);
+
+  Circuit d(3);
+  d.cx(0, 1);
+  d.h(2);  // spectator on an uninvolved qubit: cancellation still fine
+  d.cx(0, 1);
+  const Circuit out2 = cancel_adjacent_cx(d);
+  EXPECT_EQ(out2.count_kind(GateKind::CX), 0u);
+  EXPECT_TRUE(same_unitary_up_to_phase(d, out2));
+}
+
+TEST(CxCancel, ChainsOfFourCancelCompletely) {
+  Circuit c(2);
+  for (int i = 0; i < 4; ++i) {
+    c.cx(0, 1);
+  }
+  const Circuit out = optimize_circuit(c);
+  EXPECT_EQ(out.num_gates(), 0u);
+}
+
+TEST(Optimize, RandomCircuitsPreserveUnitary) {
+  Rng rng(9);
+  for (int trial = 0; trial < 15; ++trial) {
+    const unsigned n = 2 + static_cast<unsigned>(rng.uniform_int(3));
+    Circuit c(n);
+    for (int i = 0; i < 25; ++i) {
+      if (rng.uniform() < 0.6) {
+        const auto q = static_cast<qubit_t>(rng.uniform_int(n));
+        switch (rng.uniform_int(4)) {
+          case 0:
+            c.h(q);
+            break;
+          case 1:
+            c.t(q);
+            break;
+          case 2:
+            c.rz(q, rng.uniform(-kPi, kPi));
+            break;
+          default:
+            c.u3(q, rng.uniform(0, kPi), rng.uniform(0, kPi), rng.uniform(0, kPi));
+            break;
+        }
+      } else {
+        const auto a = static_cast<qubit_t>(rng.uniform_int(n));
+        auto b = static_cast<qubit_t>(rng.uniform_int(n - 1));
+        if (b >= a) {
+          ++b;
+        }
+        c.cx(a, b);
+      }
+    }
+    const Circuit optimized = optimize_circuit(c);
+    EXPECT_LE(optimized.num_gates(), c.num_gates());
+    EXPECT_TRUE(same_unitary_up_to_phase(c, optimized)) << "trial " << trial;
+    // Idempotent.
+    const Circuit twice = optimize_circuit(optimized);
+    EXPECT_EQ(twice.num_gates(), optimized.num_gates());
+  }
+}
+
+TEST(Optimize, ShrinksDecomposedGroverAndKeepsSemantics) {
+  // The decomposed Grover oracle/diffusion sandwiches H·H pairs around the
+  // CCZ expansions — real fusion targets. (Decomposed QFT, by contrast, is
+  // already tight: the pass must leave it alone, which is also verified.)
+  const Circuit grover = decompose_to_cx_basis(make_grover3(5, 2));
+  const Circuit optimized = optimize_circuit(grover);
+  EXPECT_LT(optimized.num_gates(), grover.num_gates());
+  EXPECT_TRUE(same_unitary_up_to_phase(grover, optimized));
+  EXPECT_EQ(optimized.measured_qubits(), grover.measured_qubits());
+
+  const Circuit qft = decompose_to_cx_basis(make_qft(4));
+  const Circuit qft_opt = optimize_circuit(qft);
+  EXPECT_EQ(qft_opt.num_gates(), qft.num_gates());
+  EXPECT_TRUE(same_unitary_up_to_phase(qft, qft_opt));
+}
+
+TEST(Optimize, FewerGatesMeansFewerErrorPositions) {
+  // The optimization also speeds up the *noisy* pipeline: fewer gates,
+  // fewer error positions, lower baseline and optimized cost.
+  const Circuit original = decompose_to_cx_basis(make_grover3(5, 2));
+  const Circuit optimized = optimize_circuit(original);
+  const NoiseModel noise = NoiseModel::uniform(3, 1e-3, 1e-2, 1e-2);
+  NoisyRunConfig config;
+  config.num_trials = 1024;
+  const NoisyRunResult before = analyze_noisy(original, noise, config);
+  const NoisyRunResult after = analyze_noisy(optimized, noise, config);
+  EXPECT_LT(after.baseline_ops, before.baseline_ops);
+  EXPECT_LT(after.ops, before.ops);
+}
+
+}  // namespace
+}  // namespace rqsim

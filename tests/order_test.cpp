@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bench_circuits/qft.hpp"
+#include "circuit/layering.hpp"
+#include "common/rng.hpp"
+#include "noise/noise_model.hpp"
+#include "sched/order.hpp"
+#include "transpile/decompose.hpp"
+#include "trial/generator.hpp"
+#include "trial/stats.hpp"
+
+namespace rqsim {
+namespace {
+
+Trial make_trial(std::vector<ErrorEvent> events) {
+  Trial t;
+  t.events = std::move(events);
+  return t;
+}
+
+TEST(Order, ComparatorLexicographic) {
+  const Trial a = make_trial({{0, 0, 1}});
+  const Trial b = make_trial({{0, 0, 2}});
+  const Trial c = make_trial({{1, 2, 1}});
+  EXPECT_TRUE(trial_order_less(a, b));
+  EXPECT_TRUE(trial_order_less(b, c));
+  EXPECT_TRUE(trial_order_less(a, c));
+  EXPECT_FALSE(trial_order_less(c, a));
+}
+
+TEST(Order, ExhaustedSortsAfterLongerPrefix) {
+  // A trial that is a strict prefix of another must come *after* it, so
+  // the error-free continuation runs last.
+  const Trial longer = make_trial({{0, 0, 1}, {2, 3, 1}});
+  const Trial shorter = make_trial({{0, 0, 1}});
+  EXPECT_TRUE(trial_order_less(longer, shorter));
+  EXPECT_FALSE(trial_order_less(shorter, longer));
+  // The empty (error-free) trial is the global maximum.
+  const Trial empty;
+  EXPECT_TRUE(trial_order_less(shorter, empty));
+  EXPECT_FALSE(trial_order_less(empty, shorter));
+}
+
+TEST(Order, EqualTrialsNotLess) {
+  const Trial a = make_trial({{0, 0, 1}});
+  const Trial b = make_trial({{0, 0, 1}});
+  EXPECT_FALSE(trial_order_less(a, b));
+  EXPECT_FALSE(trial_order_less(b, a));
+}
+
+TEST(Order, StrictWeakOrderingOnRandomSample) {
+  Rng rng(3);
+  std::vector<Trial> trials;
+  for (int i = 0; i < 60; ++i) {
+    Trial t;
+    const int k = static_cast<int>(rng.uniform_int(4));
+    layer_index_t layer = 0;
+    for (int j = 0; j < k; ++j) {
+      layer += static_cast<layer_index_t>(rng.uniform_int(3));
+      t.events.push_back({layer, static_cast<gate_index_t>(rng.uniform_int(4)),
+                          static_cast<std::uint8_t>(1 + rng.uniform_int(3))});
+      std::sort(t.events.begin(), t.events.end());
+    }
+    trials.push_back(std::move(t));
+  }
+  // Irreflexivity and antisymmetry.
+  for (const Trial& a : trials) {
+    EXPECT_FALSE(trial_order_less(a, a));
+  }
+  for (const Trial& a : trials) {
+    for (const Trial& b : trials) {
+      EXPECT_FALSE(trial_order_less(a, b) && trial_order_less(b, a));
+      // Transitivity spot check via sort validity is covered below.
+      (void)b;
+    }
+  }
+  std::vector<Trial> sorted = trials;
+  reorder_trials(sorted);
+  EXPECT_TRUE(is_reordered(sorted));
+}
+
+TEST(Order, ReorderIsPermutation) {
+  Rng rng(4);
+  const Circuit c = decompose_to_cx_basis(make_qft(4));
+  const Layering l = layer_circuit(c);
+  const NoiseModel noise = NoiseModel::uniform(4, 0.02, 0.1, 0.0);
+  auto trials = generate_trials(c, l, noise, 300, rng);
+  const TrialSetStats before = compute_trial_stats(trials);
+  reorder_trials(trials);
+  const TrialSetStats after = compute_trial_stats(trials);
+  EXPECT_EQ(before.total_errors, after.total_errors);
+  EXPECT_EQ(before.error_count_histogram, after.error_count_histogram);
+  EXPECT_TRUE(is_reordered(trials));
+}
+
+TEST(Order, Algorithm1AgreesWithLexSort) {
+  // The paper's recursive Algorithm 1 and the lexicographic sort must
+  // produce identical orderings (both are stable on ties).
+  Rng rng(5);
+  const Circuit c = decompose_to_cx_basis(make_qft(4));
+  const Layering l = layer_circuit(c);
+  for (double rate : {0.005, 0.05, 0.3}) {
+    const NoiseModel noise = NoiseModel::uniform(4, rate, rate * 2, 0.02);
+    auto trials = generate_trials(c, l, noise, 400, rng);
+    auto by_sort = trials;
+    auto by_alg1 = trials;
+    reorder_trials(by_sort);
+    reorder_trials_algorithm1(by_alg1);
+    ASSERT_EQ(by_sort.size(), by_alg1.size());
+    for (std::size_t i = 0; i < by_sort.size(); ++i) {
+      EXPECT_EQ(by_sort[i].events.size(), by_alg1[i].events.size()) << "i=" << i;
+      for (std::size_t k = 0; k < by_sort[i].events.size(); ++k) {
+        EXPECT_TRUE(by_sort[i].events[k] == by_alg1[i].events[k]) << "i=" << i;
+      }
+      EXPECT_EQ(by_sort[i].meas_flip_mask, by_alg1[i].meas_flip_mask) << "i=" << i;
+    }
+  }
+}
+
+TEST(Order, ReorderingIncreasesConsecutiveOverlap) {
+  // The whole point of the reorder: adjacent trials share longer prefixes.
+  Rng rng(6);
+  const Circuit c = decompose_to_cx_basis(make_qft(5));
+  const Layering l = layer_circuit(c);
+  const NoiseModel noise = NoiseModel::uniform(5, 0.01, 0.05, 0.0);
+  auto trials = generate_trials(c, l, noise, 2000, rng);
+  const double before = mean_consecutive_shared_prefix(trials);
+  reorder_trials(trials);
+  const double after = mean_consecutive_shared_prefix(trials);
+  EXPECT_GT(after, before);
+}
+
+TEST(Order, EmptyAndSingleton) {
+  std::vector<Trial> empty;
+  reorder_trials(empty);
+  reorder_trials_algorithm1(empty);
+  EXPECT_TRUE(is_reordered(empty));
+
+  std::vector<Trial> one(1);
+  one[0].events = {{3, 2, 1}};
+  reorder_trials_algorithm1(one);
+  EXPECT_TRUE(is_reordered(one));
+}
+
+TEST(Order, AllErrorFreeTrials) {
+  std::vector<Trial> trials(10);
+  trials[3].meas_flip_mask = 5;  // masks don't affect ordering
+  reorder_trials(trials);
+  EXPECT_TRUE(is_reordered(trials));
+  // Stability: the masked trial keeps its position among equals.
+  EXPECT_EQ(trials[3].meas_flip_mask, 5u);
+}
+
+}  // namespace
+}  // namespace rqsim

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "bench_circuits/qft.hpp"
+#include "common/error.hpp"
+#include "noise/noise_model.hpp"
+#include "obs/pauli_string.hpp"
+#include "sched/parallel.hpp"
+#include "sim/measure.hpp"
+#include "transpile/decompose.hpp"
+
+namespace rqsim {
+namespace {
+
+ParallelRunConfig make_config(std::size_t trials, std::size_t threads,
+                              std::uint64_t seed = 11) {
+  ParallelRunConfig config;
+  config.num_trials = trials;
+  config.num_threads = threads;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Parallel, AllTrialsAccountedFor) {
+  const Circuit c = decompose_to_cx_basis(make_qft(4));
+  const NoiseModel noise = NoiseModel::uniform(4, 0.01, 0.05, 0.02);
+  const NoisyRunResult result = run_noisy_parallel(c, noise, make_config(4000, 4));
+  std::uint64_t total = 0;
+  for (const auto& [outcome, count] : result.histogram) {
+    (void)outcome;
+    total += count;
+  }
+  EXPECT_EQ(total, 4000u);
+  EXPECT_GT(result.ops, 0u);
+  EXPECT_LT(result.normalized_computation, 1.0);
+}
+
+TEST(Parallel, DeterministicForFixedSeedAndThreads) {
+  const Circuit c = decompose_to_cx_basis(make_qft(3));
+  const NoiseModel noise = NoiseModel::uniform(3, 0.02, 0.08, 0.01);
+  const NoisyRunResult a = run_noisy_parallel(c, noise, make_config(3000, 3));
+  const NoisyRunResult b = run_noisy_parallel(c, noise, make_config(3000, 3));
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.histogram, b.histogram);
+  EXPECT_EQ(a.max_live_states, b.max_live_states);
+}
+
+TEST(Parallel, ChunkingCostsBoundedExtra) {
+  // Parallel chunks lose only cross-boundary sharing: ops_parallel is at
+  // least ops_serial and at most ops_serial + (threads-1) full circuits.
+  const Circuit c = decompose_to_cx_basis(make_qft(4));
+  const NoiseModel noise = NoiseModel::uniform(4, 0.01, 0.04, 0.0);
+  const std::size_t threads = 5;
+  const NoisyRunResult serial = run_noisy_parallel(c, noise, make_config(5000, 1));
+  const NoisyRunResult parallel = run_noisy_parallel(c, noise, make_config(5000, threads));
+  EXPECT_GE(parallel.ops, serial.ops);
+  const CircuitContext ctx(c);
+  // A chunk boundary can at worst force a re-execution of everything one
+  // trial shares: bounded by the full trial cost times the extra chunks.
+  EXPECT_LE(parallel.ops,
+            serial.ops + (threads - 1) * 2 * ctx.total_gate_ops() + 64);
+  EXPECT_EQ(parallel.baseline_ops, serial.baseline_ops);
+}
+
+TEST(Parallel, DistributionMatchesSerial) {
+  const Circuit c = decompose_to_cx_basis(make_qft(3));
+  const NoiseModel noise = NoiseModel::uniform(3, 0.02, 0.08, 0.03);
+  const NoisyRunResult serial = run_noisy_parallel(c, noise, make_config(30000, 1, 1));
+  const NoisyRunResult parallel = run_noisy_parallel(c, noise, make_config(30000, 6, 2));
+  EXPECT_LT(total_variation_distance(serial.histogram, parallel.histogram), 0.03);
+}
+
+TEST(Parallel, MoreThreadsThanTrials) {
+  const Circuit c = decompose_to_cx_basis(make_qft(3));
+  const NoiseModel noise = NoiseModel::uniform(3, 0.02, 0.08, 0.0);
+  const NoisyRunResult result = run_noisy_parallel(c, noise, make_config(3, 16));
+  std::uint64_t total = 0;
+  for (const auto& [outcome, count] : result.histogram) {
+    (void)outcome;
+    total += count;
+  }
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(Parallel, RespectsMsvBudget) {
+  const Circuit c = decompose_to_cx_basis(make_qft(4));
+  const NoiseModel noise = NoiseModel::uniform(4, 0.05, 0.2, 0.0);
+  ParallelRunConfig config = make_config(4000, 4);
+  config.max_states = 3;
+  const NoisyRunResult result = run_noisy_parallel(c, noise, config);
+  EXPECT_LE(result.max_live_states, 3u);
+}
+
+TEST(Parallel, ObservablesSupported) {
+  const Circuit c = decompose_to_cx_basis(make_qft(3));
+  const NoiseModel noise = NoiseModel::uniform(3, 0.01, 0.04, 0.0);
+  ParallelRunConfig config = make_config(5000, 4, 21);
+  config.observables = {PauliString::from_label("ZZI"),
+                        PauliString::from_label("IXX")};
+  const NoisyRunResult parallel = run_noisy_parallel(c, noise, config);
+  ASSERT_EQ(parallel.observable_means.size(), 2u);
+  // Observable means are sampling-free, so serial (thread=1) agrees exactly.
+  config.num_threads = 1;
+  const NoisyRunResult serial = run_noisy_parallel(c, noise, config);
+  for (std::size_t k = 0; k < 2; ++k) {
+    EXPECT_NEAR(parallel.observable_means[k], serial.observable_means[k], 1e-9);
+  }
+}
+
+TEST(Parallel, RejectsNonCachedModes) {
+  const Circuit c = decompose_to_cx_basis(make_qft(3));
+  const NoiseModel noise = NoiseModel::uniform(3, 0.01, 0.05, 0.0);
+  ParallelRunConfig config = make_config(100, 2);
+  config.mode = ExecutionMode::kBaseline;
+  EXPECT_THROW(run_noisy_parallel(c, noise, config), Error);
+}
+
+}  // namespace
+}  // namespace rqsim

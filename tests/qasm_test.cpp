@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/qasm.hpp"
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "sim/reference.hpp"
+
+namespace rqsim {
+namespace {
+
+// ---------------------------------------------------------------- expression
+
+TEST(QasmExpr, Literals) {
+  EXPECT_DOUBLE_EQ(eval_qasm_expr("0.25"), 0.25);
+  EXPECT_DOUBLE_EQ(eval_qasm_expr("3"), 3.0);
+  EXPECT_DOUBLE_EQ(eval_qasm_expr("1e-3"), 1e-3);
+  EXPECT_DOUBLE_EQ(eval_qasm_expr("2.5E2"), 250.0);
+}
+
+TEST(QasmExpr, Pi) {
+  EXPECT_DOUBLE_EQ(eval_qasm_expr("pi"), kPi);
+  EXPECT_DOUBLE_EQ(eval_qasm_expr("pi/2"), kPi / 2.0);
+  EXPECT_DOUBLE_EQ(eval_qasm_expr("-pi/4"), -kPi / 4.0);
+  EXPECT_DOUBLE_EQ(eval_qasm_expr("3*pi/2"), 3.0 * kPi / 2.0);
+}
+
+TEST(QasmExpr, Arithmetic) {
+  EXPECT_DOUBLE_EQ(eval_qasm_expr("1+2*3"), 7.0);
+  EXPECT_DOUBLE_EQ(eval_qasm_expr("(1+2)*3"), 9.0);
+  EXPECT_DOUBLE_EQ(eval_qasm_expr("1-2-3"), -4.0);
+  EXPECT_DOUBLE_EQ(eval_qasm_expr("8/2/2"), 2.0);
+  EXPECT_DOUBLE_EQ(eval_qasm_expr(" - ( pi ) "), -kPi);
+}
+
+TEST(QasmExpr, Errors) {
+  EXPECT_THROW(eval_qasm_expr("foo"), Error);
+  EXPECT_THROW(eval_qasm_expr("1+"), Error);
+  EXPECT_THROW(eval_qasm_expr("(1"), Error);
+  EXPECT_THROW(eval_qasm_expr("1/0"), Error);
+  EXPECT_THROW(eval_qasm_expr("1 2"), Error);
+}
+
+// ---------------------------------------------------------------- writer
+
+TEST(QasmWriter, EmitsHeaderAndGates) {
+  Circuit c(2, "demo");
+  c.h(0);
+  c.cx(0, 1);
+  c.measure_all();
+  const std::string text = to_qasm(c);
+  EXPECT_NE(text.find("OPENQASM 2.0;"), std::string::npos);
+  EXPECT_NE(text.find("qreg q[2];"), std::string::npos);
+  EXPECT_NE(text.find("creg c[2];"), std::string::npos);
+  EXPECT_NE(text.find("h q[0];"), std::string::npos);
+  EXPECT_NE(text.find("cx q[0],q[1];"), std::string::npos);
+  EXPECT_NE(text.find("measure q[0] -> c[0];"), std::string::npos);
+}
+
+TEST(QasmWriter, PhaseGateUsesU1) {
+  Circuit c(1);
+  c.p(0, 0.5);
+  EXPECT_NE(to_qasm(c).find("u1(0.5"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- parser
+
+TEST(QasmParser, ParsesSimpleProgram) {
+  const std::string text = R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+// a comment
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0],q[1];
+u3(pi/2, 0, pi) q[2];
+barrier q;
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+measure q[2] -> c[2];
+)";
+  const Circuit c = from_qasm(text);
+  EXPECT_EQ(c.num_qubits(), 3u);
+  EXPECT_EQ(c.num_gates(), 3u);
+  EXPECT_EQ(c.num_measured(), 3u);
+  EXPECT_EQ(c.gates()[0].kind, GateKind::H);
+  EXPECT_EQ(c.gates()[1].kind, GateKind::CX);
+  EXPECT_EQ(c.gates()[2].kind, GateKind::U3);
+  EXPECT_NEAR(c.gates()[2].params[0], kPi / 2.0, 1e-12);
+}
+
+TEST(QasmParser, AcceptsAliases) {
+  const Circuit c = from_qasm(
+      "qreg q[2]; u1(0.3) q[0]; cu1(0.4) q[0],q[1]; u(0.1,0.2,0.3) q[1];");
+  EXPECT_EQ(c.gates()[0].kind, GateKind::P);
+  EXPECT_EQ(c.gates()[1].kind, GateKind::CP);
+  EXPECT_EQ(c.gates()[2].kind, GateKind::U3);
+}
+
+TEST(QasmParser, RejectsUnknownGate) {
+  EXPECT_THROW(from_qasm("qreg q[1]; frobnicate q[0];"), Error);
+}
+
+TEST(QasmParser, RejectsWrongOperandCount) {
+  EXPECT_THROW(from_qasm("qreg q[2]; cx q[0];"), Error);
+  EXPECT_THROW(from_qasm("qreg q[2]; h q[0],q[1];"), Error);
+}
+
+TEST(QasmParser, RejectsStatementBeforeQreg) {
+  EXPECT_THROW(from_qasm("h q[0]; qreg q[1];"), Error);
+}
+
+TEST(QasmParser, RoundTripPreservesSemantics) {
+  Circuit original(3, "rt");
+  original.h(0);
+  original.u3(1, 0.3, -0.4, 2.2);
+  original.cx(0, 2);
+  original.cp(1, 2, 0.7);
+  original.swap(0, 1);
+  original.rz(2, -1.1);
+  original.measure_all();
+
+  const Circuit parsed = from_qasm(to_qasm(original));
+  ASSERT_EQ(parsed.num_gates(), original.num_gates());
+  ASSERT_EQ(parsed.num_qubits(), original.num_qubits());
+  // Semantic check: identical final states.
+  const StateVector a = reference_simulate(original);
+  const StateVector b = reference_simulate(parsed);
+  EXPECT_GT(a.fidelity(b), 1.0 - 1e-12);
+}
+
+TEST(QasmParser, CustomRegisterNames) {
+  const Circuit c = from_qasm("qreg reg[2]; creg out[1]; h reg[1]; measure reg[1] -> out[0];");
+  EXPECT_EQ(c.num_qubits(), 2u);
+  EXPECT_EQ(c.num_measured(), 1u);
+  EXPECT_EQ(c.measured_qubits()[0], 1u);
+}
+
+}  // namespace
+}  // namespace rqsim

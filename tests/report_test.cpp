@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+
+namespace rqsim {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer_name", "23"});
+  const std::string out = table.render();
+  // Header present, separator present, both rows present.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_NE(out.find("longer_name"), std::string::npos);
+  // Every line (except separator) has the same column start for "value".
+  std::istringstream lines(out);
+  std::string header;
+  std::getline(lines, header);
+  const std::size_t col = header.find("value");
+  EXPECT_NE(col, std::string::npos);
+}
+
+TEST(TextTable, RejectsBadRowWidth) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only_one"}), Error);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("has,comma"), "\"has,comma\"");
+  EXPECT_EQ(csv_escape("has\"quote"), "\"has\"\"quote\"");
+  EXPECT_EQ(csv_escape("has\nnewline"), "\"has\nnewline\"");
+}
+
+TEST(Csv, RendersRows) {
+  const std::string out = to_csv({"a", "b"}, {{"1", "2"}, {"x,y", "z"}});
+  EXPECT_EQ(out, "a,b\n1,2\n\"x,y\",z\n");
+}
+
+TEST(Csv, RejectsWidthMismatch) {
+  EXPECT_THROW(to_csv({"a", "b"}, {{"1"}}), Error);
+}
+
+TEST(Csv, WritesFile) {
+  const std::string path = "/tmp/rqsim_csv_test.csv";
+  write_csv_file(path, {"h1", "h2"}, {{"v1", "v2"}});
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  EXPECT_EQ(buffer.str(), "h1,h2\nv1,v2\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, WriteToBadPathThrows) {
+  EXPECT_THROW(write_csv_file("/nonexistent_dir_xyz/file.csv", {"a"}, {}), Error);
+}
+
+}  // namespace
+}  // namespace rqsim

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "bench_circuits/bv.hpp"
+#include "bench_circuits/qft.hpp"
+#include "common/error.hpp"
+#include "noise/devices.hpp"
+#include "sched/runner.hpp"
+#include "transpile/decompose.hpp"
+
+namespace rqsim {
+namespace {
+
+TEST(Runner, AnalyzeMatchesRunOpsAndMsv) {
+  const Circuit c = decompose_to_cx_basis(make_qft(4));
+  const NoiseModel noise = NoiseModel::uniform(4, 0.01, 0.05, 0.02);
+  NoisyRunConfig config;
+  config.num_trials = 500;
+  config.seed = 9;
+  config.mode = ExecutionMode::kCachedReordered;
+  const NoisyRunResult run = run_noisy(c, noise, config);
+  const NoisyRunResult analyzed = analyze_noisy(c, noise, config);
+  EXPECT_EQ(run.ops, analyzed.ops);
+  EXPECT_EQ(run.max_live_states, analyzed.max_live_states);
+  EXPECT_EQ(run.baseline_ops, analyzed.baseline_ops);
+  EXPECT_DOUBLE_EQ(run.normalized_computation, analyzed.normalized_computation);
+  EXPECT_FALSE(run.histogram.empty());
+  EXPECT_TRUE(analyzed.histogram.empty());
+}
+
+TEST(Runner, BaselineModeReportsFullCost) {
+  const Circuit c = decompose_to_cx_basis(make_qft(3));
+  const NoiseModel noise = NoiseModel::uniform(3, 0.02, 0.1, 0.0);
+  NoisyRunConfig config;
+  config.num_trials = 100;
+  config.mode = ExecutionMode::kBaseline;
+  const NoisyRunResult result = run_noisy(c, noise, config);
+  EXPECT_EQ(result.ops, result.baseline_ops);
+  EXPECT_DOUBLE_EQ(result.normalized_computation, 1.0);
+  EXPECT_EQ(result.max_live_states, 1u);
+}
+
+TEST(Runner, CachedSavesWork) {
+  const Circuit c = decompose_to_cx_basis(make_bv(3, 0b101));
+  const NoiseModel noise = NoiseModel::uniform(4, 0.002, 0.02, 0.02);
+  NoisyRunConfig config;
+  config.num_trials = 2048;
+  config.mode = ExecutionMode::kCachedReordered;
+  const NoisyRunResult result = run_noisy(c, noise, config);
+  EXPECT_LT(result.normalized_computation, 0.5);
+  EXPECT_GE(result.max_live_states, 1u);
+  EXPECT_LT(result.max_live_states, 20u);
+}
+
+TEST(Runner, UnorderedAblationBetweenBaselineAndReordered) {
+  const Circuit c = decompose_to_cx_basis(make_qft(4));
+  const NoiseModel noise = NoiseModel::uniform(4, 0.01, 0.05, 0.0);
+  NoisyRunConfig config;
+  config.num_trials = 1000;
+  config.seed = 3;
+
+  config.mode = ExecutionMode::kCachedReordered;
+  const NoisyRunResult reordered = analyze_noisy(c, noise, config);
+  config.mode = ExecutionMode::kCachedUnordered;
+  const NoisyRunResult unordered = analyze_noisy(c, noise, config);
+  config.mode = ExecutionMode::kBaseline;
+  const NoisyRunResult baseline = analyze_noisy(c, noise, config);
+
+  EXPECT_LE(reordered.ops, unordered.ops);
+  EXPECT_LE(unordered.ops, baseline.ops);
+  // Without reordering, far more states must be maintained.
+  EXPECT_GE(unordered.max_live_states, reordered.max_live_states);
+}
+
+TEST(Runner, UnorderedStatevectorModeRejected) {
+  const Circuit c = decompose_to_cx_basis(make_qft(3));
+  const NoiseModel noise = NoiseModel::uniform(3, 0.01, 0.05, 0.0);
+  NoisyRunConfig config;
+  config.mode = ExecutionMode::kCachedUnordered;
+  EXPECT_THROW(run_noisy(c, noise, config), Error);
+}
+
+TEST(Runner, AnalyzeScalesBeyondStatevectorLimit) {
+  // 36 qubits: amplitudes would need 1 TiB; analyze_noisy must handle it.
+  Circuit c(36);
+  for (qubit_t q = 0; q < 36; ++q) {
+    c.h(q);
+  }
+  for (qubit_t q = 0; q + 1 < 36; ++q) {
+    c.cx(q, q + 1);
+  }
+  c.measure_all();
+  const NoiseModel noise = NoiseModel::uniform(36, 1e-3, 1e-2, 1e-2);
+  NoisyRunConfig config;
+  config.num_trials = 2000;
+  config.mode = ExecutionMode::kCachedReordered;
+  const NoisyRunResult result = analyze_noisy(c, noise, config);
+  EXPECT_GT(result.baseline_ops, 0u);
+  EXPECT_LE(result.ops, result.baseline_ops);
+  EXPECT_GE(result.max_live_states, 1u);
+}
+
+TEST(Runner, NoiseModelTooSmallRejected) {
+  const Circuit c = decompose_to_cx_basis(make_qft(4));
+  const NoiseModel noise = NoiseModel::uniform(2, 0.01, 0.05, 0.0);
+  EXPECT_THROW(run_noisy(c, noise, NoisyRunConfig{}), Error);
+}
+
+TEST(Runner, TrialStatsPopulated) {
+  const Circuit c = decompose_to_cx_basis(make_qft(3));
+  const NoiseModel noise = NoiseModel::uniform(3, 0.05, 0.2, 0.0);
+  NoisyRunConfig config;
+  config.num_trials = 300;
+  const NoisyRunResult result = analyze_noisy(c, noise, config);
+  EXPECT_EQ(result.trial_stats.num_trials, 300u);
+  EXPECT_GT(result.trial_stats.total_errors, 0u);
+}
+
+TEST(Runner, SameSeedSameResult) {
+  const Circuit c = decompose_to_cx_basis(make_qft(4));
+  const NoiseModel noise = NoiseModel::uniform(4, 0.01, 0.05, 0.02);
+  NoisyRunConfig config;
+  config.num_trials = 400;
+  config.seed = 1234;
+  const NoisyRunResult a = run_noisy(c, noise, config);
+  const NoisyRunResult b = run_noisy(c, noise, config);
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.max_live_states, b.max_live_states);
+  EXPECT_EQ(a.histogram, b.histogram);
+}
+
+TEST(Runner, YorktownEndToEnd) {
+  const DeviceModel dev = yorktown_device();
+  const Circuit c = decompose_to_cx_basis(make_bv(4, 0b1011));
+  NoisyRunConfig config;
+  config.num_trials = 1024;
+  const NoisyRunResult result = run_noisy(c, dev.noise, config);
+  EXPECT_LT(result.normalized_computation, 1.0);
+  // The modal outcome should still be the secret despite noise.
+  std::uint64_t best_outcome = 0;
+  std::uint64_t best_count = 0;
+  for (const auto& [outcome, count] : result.histogram) {
+    if (count > best_count) {
+      best_count = count;
+      best_outcome = outcome;
+    }
+  }
+  EXPECT_EQ(best_outcome, 0b1011u);
+}
+
+}  // namespace
+}  // namespace rqsim

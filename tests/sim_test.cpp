@@ -1,0 +1,353 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/circuit.hpp"
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sim/kernels.hpp"
+#include "sim/measure.hpp"
+#include "sim/reference.hpp"
+#include "sim/statevector.hpp"
+
+namespace rqsim {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+// ---------------------------------------------------------------- StateVector
+
+TEST(StateVector, InitialState) {
+  StateVector s(3);
+  EXPECT_EQ(s.dim(), 8u);
+  EXPECT_EQ(s[0], cplx(1.0));
+  EXPECT_NEAR(s.norm_squared(), 1.0, kTol);
+}
+
+TEST(StateVector, BasisState) {
+  StateVector s(3, 5);
+  EXPECT_EQ(s[5], cplx(1.0));
+  EXPECT_NEAR(s.probability(5), 1.0, kTol);
+  EXPECT_NEAR(s.probability(0), 0.0, kTol);
+}
+
+TEST(StateVector, Reset) {
+  StateVector s(2);
+  apply_h(s, 0);
+  s.reset();
+  EXPECT_EQ(s[0], cplx(1.0));
+  EXPECT_NEAR(s.norm_squared(), 1.0, kTol);
+}
+
+TEST(StateVector, RejectsBadSizes) {
+  EXPECT_THROW(StateVector(0), Error);
+  EXPECT_THROW(StateVector(31), Error);
+  EXPECT_THROW(StateVector(2, 4), Error);
+}
+
+TEST(StateVector, FidelityAndDiff) {
+  StateVector a(2);
+  StateVector b(2);
+  EXPECT_NEAR(a.fidelity(b), 1.0, kTol);
+  EXPECT_TRUE(a.bitwise_equal(b));
+  apply_x(b, 0);
+  EXPECT_NEAR(a.fidelity(b), 0.0, kTol);
+  EXPECT_FALSE(a.bitwise_equal(b));
+  EXPECT_NEAR(a.max_abs_diff(b), 1.0, kTol);
+}
+
+// ---------------------------------------------------------------- kernels
+
+TEST(Kernels, HadamardCreatesUniform) {
+  StateVector s(2);
+  apply_h(s, 0);
+  apply_h(s, 1);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(std::abs(s[i] - cplx(0.5)), 0.0, kTol);
+  }
+}
+
+TEST(Kernels, XFlips) {
+  StateVector s(3);
+  apply_x(s, 1);
+  EXPECT_EQ(s[2], cplx(1.0));
+}
+
+TEST(Kernels, CXEntangles) {
+  StateVector s(2);
+  apply_h(s, 0);
+  apply_cx(s, 0, 1);
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::abs(s[0] - cplx(inv_sqrt2)), 0.0, kTol);
+  EXPECT_NEAR(std::abs(s[3] - cplx(inv_sqrt2)), 0.0, kTol);
+  EXPECT_NEAR(std::abs(s[1]), 0.0, kTol);
+  EXPECT_NEAR(std::abs(s[2]), 0.0, kTol);
+}
+
+TEST(Kernels, CCXTruthTable) {
+  for (std::uint64_t input = 0; input < 8; ++input) {
+    StateVector s(3, input);
+    apply_ccx(s, 0, 1, 2);
+    const std::uint64_t expected =
+        (get_bit(input, 0) && get_bit(input, 1)) ? flip_bit(input, 2) : input;
+    EXPECT_NEAR(s.probability(expected), 1.0, kTol) << "input=" << input;
+  }
+}
+
+TEST(Kernels, SwapPermutes) {
+  for (std::uint64_t input = 0; input < 8; ++input) {
+    StateVector s(3, input);
+    apply_swap(s, 0, 2);
+    std::uint64_t expected = input;
+    const unsigned b0 = get_bit(input, 0);
+    const unsigned b2 = get_bit(input, 2);
+    expected = set_bit(expected, 0, b2);
+    expected = set_bit(expected, 2, b0);
+    EXPECT_NEAR(s.probability(expected), 1.0, kTol);
+  }
+}
+
+TEST(Kernels, SpecializedMatchesGenericSingleQubit) {
+  // Each fast path must agree with apply_mat2 of the gate's matrix on a
+  // random state, on every target qubit.
+  const unsigned n = 4;
+  Rng rng(99);
+  const GateKind kinds[] = {GateKind::X,  GateKind::Y,   GateKind::Z,
+                            GateKind::H,  GateKind::S,   GateKind::Sdg,
+                            GateKind::T,  GateKind::Tdg, GateKind::P};
+  for (GateKind kind : kinds) {
+    for (qubit_t q = 0; q < n; ++q) {
+      // Random normalized state.
+      StateVector a(n);
+      for (std::size_t i = 0; i < a.dim(); ++i) {
+        a[i] = cplx(rng.normal(), rng.normal());
+      }
+      const double norm = std::sqrt(a.norm_squared());
+      for (std::size_t i = 0; i < a.dim(); ++i) {
+        a[i] /= norm;
+      }
+      StateVector b = a;
+      const Gate g = Gate::make1(kind, q, 0.37);
+      apply_gate(a, g);
+      apply_mat2(b, gate_matrix1(g), q);
+      EXPECT_LT(a.max_abs_diff(b), 1e-12) << gate_name(kind) << " q" << q;
+    }
+  }
+}
+
+TEST(Kernels, SpecializedMatchesGenericTwoQubit) {
+  const unsigned n = 4;
+  Rng rng(100);
+  const GateKind kinds[] = {GateKind::CX, GateKind::CZ, GateKind::CP, GateKind::SWAP};
+  for (GateKind kind : kinds) {
+    for (qubit_t q1 = 0; q1 < n; ++q1) {
+      for (qubit_t q0 = 0; q0 < n; ++q0) {
+        if (q1 == q0) {
+          continue;
+        }
+        StateVector a(n);
+        for (std::size_t i = 0; i < a.dim(); ++i) {
+          a[i] = cplx(rng.normal(), rng.normal());
+        }
+        StateVector b = a;
+        const Gate g = Gate::make2(kind, q1, q0, 1.234);
+        apply_gate(a, g);
+        apply_mat4(b, gate_matrix2(g), q1, q0);
+        EXPECT_LT(a.max_abs_diff(b), 1e-12) << gate_name(kind) << " " << q1 << "," << q0;
+      }
+    }
+  }
+}
+
+TEST(Kernels, RandomCircuitMatchesReference) {
+  // Fast kernels vs dense reference simulation on random circuits.
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const unsigned n = 2 + static_cast<unsigned>(rng.uniform_int(4));  // 2..5
+    Circuit c(n);
+    const int num_gates = 12;
+    for (int i = 0; i < num_gates; ++i) {
+      switch (rng.uniform_int(6)) {
+        case 0:
+          c.h(static_cast<qubit_t>(rng.uniform_int(n)));
+          break;
+        case 1:
+          c.u3(static_cast<qubit_t>(rng.uniform_int(n)), rng.uniform(0, 2 * kPi),
+               rng.uniform(0, 2 * kPi), rng.uniform(0, 2 * kPi));
+          break;
+        case 2:
+          c.t(static_cast<qubit_t>(rng.uniform_int(n)));
+          break;
+        case 3: {
+          const auto a = static_cast<qubit_t>(rng.uniform_int(n));
+          auto b = static_cast<qubit_t>(rng.uniform_int(n - 1));
+          if (b >= a) {
+            ++b;
+          }
+          c.cx(a, b);
+          break;
+        }
+        case 4: {
+          const auto a = static_cast<qubit_t>(rng.uniform_int(n));
+          auto b = static_cast<qubit_t>(rng.uniform_int(n - 1));
+          if (b >= a) {
+            ++b;
+          }
+          c.cp(a, b, rng.uniform(0, 2 * kPi));
+          break;
+        }
+        default:
+          c.rz(static_cast<qubit_t>(rng.uniform_int(n)), rng.uniform(0, 2 * kPi));
+          break;
+      }
+    }
+    StateVector fast(n);
+    for (const Gate& g : c.gates()) {
+      apply_gate(fast, g);
+    }
+    const StateVector slow = reference_simulate(c);
+    EXPECT_LT(fast.max_abs_diff(slow), 1e-10);
+  }
+}
+
+TEST(Kernels, NormPreservation) {
+  Rng rng(8);
+  StateVector s(5);
+  apply_h(s, 0);
+  for (int i = 0; i < 200; ++i) {
+    const auto q = static_cast<qubit_t>(rng.uniform_int(5));
+    auto r = static_cast<qubit_t>(rng.uniform_int(4));
+    if (r >= q) {
+      ++r;
+    }
+    switch (rng.uniform_int(4)) {
+      case 0:
+        apply_mat2(s, random_unitary2(rng), q);
+        break;
+      case 1:
+        apply_mat4(s, random_unitary4(rng), q, r);
+        break;
+      case 2:
+        apply_cx(s, q, r);
+        break;
+      default:
+        apply_h(s, q);
+        break;
+    }
+  }
+  EXPECT_NEAR(s.norm_squared(), 1.0, 1e-9);
+}
+
+TEST(Kernels, PauliErrorOperators) {
+  StateVector s(2);
+  apply_pauli(s, Pauli::X, 0);
+  EXPECT_NEAR(s.probability(1), 1.0, kTol);
+  apply_pauli(s, Pauli::I, 1);  // no-op
+  EXPECT_NEAR(s.probability(1), 1.0, kTol);
+  // Y on |0⟩ gives i|1⟩.
+  StateVector t(1);
+  apply_pauli(t, Pauli::Y, 0);
+  EXPECT_NEAR(std::abs(t[1] - cplx(0.0, 1.0)), 0.0, kTol);
+}
+
+TEST(Kernels, PauliPairMatchesMat4) {
+  Rng rng(9);
+  for (int k = 0; k < kNumPairPaulis; ++k) {
+    const PauliPair pair = nth_pair_pauli(k);
+    StateVector a(3);
+    for (std::size_t i = 0; i < a.dim(); ++i) {
+      a[i] = cplx(rng.normal(), rng.normal());
+    }
+    StateVector b = a;
+    apply_pauli_pair(a, pair, 2, 0);
+    apply_mat4(b, pauli_pair_matrix(pair), 2, 0);
+    EXPECT_LT(a.max_abs_diff(b), 1e-12) << pauli_pair_name(pair);
+  }
+}
+
+// ---------------------------------------------------------------- measurement
+
+TEST(Measure, BellStateMarginals) {
+  StateVector s(2);
+  apply_h(s, 0);
+  apply_cx(s, 0, 1);
+  const auto probs = measurement_probabilities(s, {0, 1});
+  ASSERT_EQ(probs.size(), 4u);
+  EXPECT_NEAR(probs[0], 0.5, kTol);
+  EXPECT_NEAR(probs[3], 0.5, kTol);
+  EXPECT_NEAR(probs[1], 0.0, kTol);
+  EXPECT_NEAR(probs[2], 0.0, kTol);
+}
+
+TEST(Measure, SubsetAndOrdering) {
+  StateVector s(3);
+  apply_x(s, 2);
+  // Measure qubit 2 into bit 0 and qubit 0 into bit 1: outcome must be 0b01.
+  const auto probs = measurement_probabilities(s, {2, 0});
+  EXPECT_NEAR(probs[0b01], 1.0, kTol);
+}
+
+TEST(Measure, SamplingFollowsDistribution) {
+  StateVector s(1);
+  apply_mat2(s, gate_matrix1(Gate::make1(GateKind::RY, 0, 2.0 * std::acos(std::sqrt(0.7)))), 0);
+  // P(0) = 0.7.
+  const auto probs = measurement_probabilities(s, {0});
+  Rng rng(123);
+  int zeros = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (sample_outcome(probs, rng) == 0) {
+      ++zeros;
+    }
+  }
+  EXPECT_NEAR(zeros / static_cast<double>(n), 0.7, 0.01);
+}
+
+TEST(Measure, TotalVariationDistance) {
+  OutcomeHistogram a;
+  OutcomeHistogram b;
+  a[0] = 50;
+  a[1] = 50;
+  b[0] = 50;
+  b[1] = 50;
+  EXPECT_NEAR(total_variation_distance(a, b), 0.0, kTol);
+  OutcomeHistogram c;
+  c[2] = 100;
+  EXPECT_NEAR(total_variation_distance(a, c), 1.0, kTol);
+  OutcomeHistogram d;
+  d[0] = 100;
+  EXPECT_NEAR(total_variation_distance(a, d), 0.5, kTol);
+}
+
+TEST(Measure, InvalidInputs) {
+  StateVector s(2);
+  EXPECT_THROW(measurement_probabilities(s, {}), Error);
+  EXPECT_THROW(measurement_probabilities(s, {5}), Error);
+  Rng rng(1);
+  EXPECT_THROW(sample_outcome({}, rng), Error);
+}
+
+// ---------------------------------------------------------------- reference
+
+TEST(Reference, CircuitToDenseIsUnitary) {
+  Circuit c(2);
+  c.h(0);
+  c.cx(0, 1);
+  c.t(1);
+  const DenseMatrix u = circuit_to_dense(c);
+  // Check U * U^dagger = I column by column via apply.
+  for (std::uint64_t basis = 0; basis < 4; ++basis) {
+    std::vector<cplx> v(4, cplx(0.0));
+    v[basis] = 1.0;
+    const auto w = u.apply(v);
+    double norm = 0.0;
+    for (const cplx& x : w) {
+      norm += std::norm(x);
+    }
+    EXPECT_NEAR(norm, 1.0, 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace rqsim

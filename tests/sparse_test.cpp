@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bench_circuits/adder.hpp"
+#include "bench_circuits/bv.hpp"
+#include "bench_circuits/ghz.hpp"
+#include "bench_circuits/qft.hpp"
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sim/kernels.hpp"
+#include "sim/sparse.hpp"
+#include "transpile/decompose.hpp"
+
+namespace rqsim {
+namespace {
+
+TEST(Sparse, InitialState) {
+  SparseStateVector s(10);
+  EXPECT_EQ(s.nnz(), 1u);
+  EXPECT_NEAR(s.probability(0), 1.0, 1e-12);
+  EXPECT_NEAR(s.norm_squared(), 1.0, 1e-12);
+}
+
+TEST(Sparse, GhzStaysSparse) {
+  const Circuit c = make_ghz(20);
+  const SparseStateVector s = sparse_simulate(c);
+  EXPECT_EQ(s.nnz(), 2u);  // only |0..0> and |1..1>
+  EXPECT_NEAR(s.probability(0), 0.5, 1e-12);
+  EXPECT_NEAR(s.probability((std::uint64_t{1} << 20) - 1), 0.5, 1e-12);
+}
+
+TEST(Sparse, MatchesDenseOnRandomCircuits) {
+  Rng rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    const unsigned n = 3 + static_cast<unsigned>(rng.uniform_int(3));
+    Circuit c(n);
+    for (int i = 0; i < 15; ++i) {
+      const auto q = static_cast<qubit_t>(rng.uniform_int(n));
+      auto r = static_cast<qubit_t>(rng.uniform_int(n - 1));
+      if (r >= q) {
+        ++r;
+      }
+      switch (rng.uniform_int(5)) {
+        case 0:
+          c.h(q);
+          break;
+        case 1:
+          c.u3(q, rng.uniform(0, kPi), rng.uniform(0, kPi), rng.uniform(0, kPi));
+          break;
+        case 2:
+          c.cx(q, r);
+          break;
+        case 3:
+          c.cp(q, r, rng.uniform(0, kPi));
+          break;
+        default:
+          c.swap(q, r);
+          break;
+      }
+    }
+    const SparseStateVector sparse = sparse_simulate(c);
+    StateVector dense(n);
+    for (const Gate& g : c.gates()) {
+      apply_gate(dense, g);
+    }
+    EXPECT_LT(sparse.to_dense().max_abs_diff(dense), 1e-10) << "trial " << trial;
+  }
+}
+
+TEST(Sparse, FortyQubitGhzAndArithmetic) {
+  // Workloads that genuinely stay sparse run far beyond the dense 30-qubit
+  // limit: a 40-qubit GHZ chain (nnz = 2 throughout) followed by phase and
+  // permutation gates.
+  SparseStateVector s(40);
+  s.apply_gate(Gate::make1(GateKind::H, 0));
+  for (qubit_t q = 0; q + 1 < 40; ++q) {
+    s.apply_cx(q, q + 1);
+    EXPECT_LE(s.nnz(), 2u);
+  }
+  s.apply_phase(39, cplx(0.0, 1.0));
+  s.apply_swap(0, 39);
+  s.apply_ccx(0, 1, 20);
+  EXPECT_EQ(s.nnz(), 2u);
+  EXPECT_NEAR(s.norm_squared(), 1.0, 1e-12);
+  EXPECT_NEAR(s.probability(0), 0.5, 1e-12);
+  // The CCX flipped qubit 20 on the all-ones branch: outcome bits are
+  // (q39, q20, q0) = (1, 0, 1) there.
+  const auto probs = s.measurement_probabilities({0, 20, 39});
+  EXPECT_NEAR(probs[0b000], 0.5, 1e-12);
+  EXPECT_NEAR(probs[0b101], 0.5, 1e-12);
+}
+
+TEST(Sparse, AdderIsClassicallySparse) {
+  // A reversible-arithmetic circuit on computational-basis input keeps
+  // exactly one nonzero amplitude the whole way.
+  const Circuit c = make_cuccaro_adder(5, 13, 24);
+  SparseStateVector s(c.num_qubits());
+  for (const Gate& g : c.gates()) {
+    s.apply_gate(g);
+    EXPECT_EQ(s.nnz(), 1u);
+  }
+  const auto probs = s.measurement_probabilities(c.measured_qubits());
+  EXPECT_NEAR(probs[13 + 24], 1.0, 1e-12);
+}
+
+TEST(Sparse, QftDensifies) {
+  // The flip side: QFT of a basis state is maximally dense — the sparse
+  // simulator must still be correct, just not small.
+  const Circuit c = make_qft(6);
+  const SparseStateVector s = sparse_simulate(c);
+  EXPECT_EQ(s.nnz(), 64u);
+  StateVector dense(6);
+  for (const Gate& g : c.gates()) {
+    apply_gate(dense, g);
+  }
+  EXPECT_LT(s.to_dense().max_abs_diff(dense), 1e-10);
+}
+
+TEST(Sparse, PruningKeepsNormHonest) {
+  SparseStateVector s(4);
+  s.set_prune_threshold(1e-10);
+  Rng rng(5);
+  for (int i = 0; i < 60; ++i) {
+    s.apply_mat2(random_unitary2(rng), static_cast<qubit_t>(rng.uniform_int(4)));
+  }
+  EXPECT_NEAR(s.norm_squared(), 1.0, 1e-7);
+  EXPECT_THROW(s.set_prune_threshold(0.5), Error);
+}
+
+TEST(Sparse, MeasurementMarginals) {
+  const Circuit c = make_ghz(8);
+  const SparseStateVector s = sparse_simulate(c);
+  const auto probs = s.measurement_probabilities({0, 7});
+  EXPECT_NEAR(probs[0b00], 0.5, 1e-12);
+  EXPECT_NEAR(probs[0b11], 0.5, 1e-12);
+  EXPECT_NEAR(probs[0b01], 0.0, 1e-12);
+}
+
+TEST(Sparse, Validation) {
+  EXPECT_THROW(SparseStateVector(0), Error);
+  EXPECT_THROW(SparseStateVector(64), Error);
+  SparseStateVector s(40);
+  EXPECT_THROW(s.to_dense(), Error);
+  EXPECT_THROW(s.apply_cx(0, 0), Error);
+}
+
+}  // namespace
+}  // namespace rqsim

@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include "bench_circuits/ghz.hpp"
+#include "circuit/circuit.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "noise/noise_model.hpp"
+#include "sched/runner.hpp"
+#include "sim/kernels.hpp"
+#include "sim/measure.hpp"
+#include "stab/tableau.hpp"
+#include "trial/generator.hpp"
+
+namespace rqsim {
+namespace {
+
+TEST(Tableau, InitialStabilizers) {
+  Tableau t(3);
+  EXPECT_EQ(t.stabilizer(0), "+IIZ");
+  EXPECT_EQ(t.stabilizer(1), "+IZI");
+  EXPECT_EQ(t.stabilizer(2), "+ZII");
+  EXPECT_EQ(t.destabilizer(0), "+IIX");
+}
+
+TEST(Tableau, HadamardMapsZToX) {
+  Tableau t(2);
+  t.h(0);
+  EXPECT_EQ(t.stabilizer(0), "+IX");
+  EXPECT_EQ(t.stabilizer(1), "+ZI");
+}
+
+TEST(Tableau, BellStateStabilizers) {
+  Tableau t(2);
+  t.h(0);
+  t.cx(0, 1);
+  // Stabilizer group of (|00⟩+|11⟩)/√2 is {XX, ZZ} up to generator choice.
+  const std::string s0 = t.stabilizer(0);
+  const std::string s1 = t.stabilizer(1);
+  EXPECT_TRUE((s0 == "+XX" && s1 == "+ZZ") || (s0 == "+ZZ" && s1 == "+XX"));
+}
+
+TEST(Tableau, DeterministicMeasurement) {
+  Tableau t(2);
+  Rng rng(1);
+  EXPECT_TRUE(t.measurement_is_deterministic(0));
+  EXPECT_EQ(t.measure(0, rng), 0);
+  t.x(0);
+  EXPECT_EQ(t.measure(0, rng), 1);
+  t.x(0);
+  EXPECT_EQ(t.measure(0, rng), 0);
+}
+
+TEST(Tableau, RandomMeasurementIsUniformAndCollapses) {
+  Rng rng(7);
+  int ones = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    Tableau t(1);
+    t.h(0);
+    EXPECT_FALSE(t.measurement_is_deterministic(0));
+    const int first = t.measure(0, rng);
+    // After collapse the second measurement must agree.
+    EXPECT_TRUE(t.measurement_is_deterministic(0));
+    EXPECT_EQ(t.measure(0, rng), first);
+    ones += first;
+  }
+  EXPECT_NEAR(ones / static_cast<double>(n), 0.5, 0.05);
+}
+
+TEST(Tableau, GhzCorrelations) {
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    Tableau t(4);
+    t.h(0);
+    t.cx(0, 1);
+    t.cx(1, 2);
+    t.cx(2, 3);
+    const int first = t.measure(0, rng);
+    for (qubit_t q = 1; q < 4; ++q) {
+      EXPECT_EQ(t.measure(q, rng), first);
+    }
+  }
+}
+
+TEST(Tableau, SGateTurnsXIntoY) {
+  Tableau t(1);
+  t.h(0);  // stabilizer +X
+  t.s(0);
+  EXPECT_EQ(t.stabilizer(0), "+Y");
+  t.s(0);
+  EXPECT_EQ(t.stabilizer(0), "-X");
+  t.sdg(0);
+  EXPECT_EQ(t.stabilizer(0), "+Y");
+}
+
+TEST(Tableau, PauliErrorsFlipOutcomes) {
+  Rng rng(13);
+  Tableau t(2);
+  t.apply_pauli(Pauli::X, 1);
+  EXPECT_EQ(t.measure(1, rng), 1);
+  EXPECT_EQ(t.measure(0, rng), 0);
+  Tableau u(2);
+  u.apply_pauli_pair(PauliPair{Pauli::X, Pauli::X}, 0, 1);
+  EXPECT_EQ(u.measure(0, rng), 1);
+  EXPECT_EQ(u.measure(1, rng), 1);
+  // Z on |0⟩ does nothing observable.
+  Tableau v(1);
+  v.apply_pauli(Pauli::Z, 0);
+  EXPECT_EQ(v.measure(0, rng), 0);
+}
+
+TEST(Tableau, CzAndSwap) {
+  Rng rng(17);
+  // SWAP moves an excitation.
+  Tableau t(2);
+  t.x(0);
+  t.swap(0, 1);
+  EXPECT_EQ(t.measure(0, rng), 0);
+  EXPECT_EQ(t.measure(1, rng), 1);
+  // CZ on |11⟩ is a global phase: outcomes unchanged.
+  Tableau u(2);
+  u.x(0);
+  u.x(1);
+  u.cz(0, 1);
+  EXPECT_EQ(u.measure(0, rng), 1);
+  EXPECT_EQ(u.measure(1, rng), 1);
+}
+
+TEST(Tableau, RejectsNonClifford) {
+  Tableau t(2);
+  EXPECT_THROW(t.apply_gate(Gate::make1(GateKind::T, 0)), Error);
+  EXPECT_THROW(t.apply_gate(Gate::make1(GateKind::RX, 0, 0.5)), Error);
+  EXPECT_FALSE(Tableau::is_clifford(GateKind::T));
+  EXPECT_TRUE(Tableau::is_clifford(GateKind::CZ));
+}
+
+TEST(Tableau, LargeRegister) {
+  // 300 qubits — far beyond any statevector.
+  Rng rng(19);
+  Tableau t(300);
+  t.h(0);
+  for (qubit_t q = 0; q + 1 < 300; ++q) {
+    t.cx(q, q + 1);
+  }
+  const int first = t.measure(0, rng);
+  EXPECT_EQ(t.measure(299, rng), first);
+  EXPECT_EQ(t.measure(150, rng), first);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-validation against the statevector simulator.
+
+Circuit random_clifford_circuit(unsigned n, int gates, std::uint64_t seed) {
+  Circuit c(n);
+  Rng rng(seed);
+  for (int i = 0; i < gates; ++i) {
+    switch (rng.uniform_int(5)) {
+      case 0:
+        c.h(static_cast<qubit_t>(rng.uniform_int(n)));
+        break;
+      case 1:
+        c.s(static_cast<qubit_t>(rng.uniform_int(n)));
+        break;
+      case 2:
+        c.x(static_cast<qubit_t>(rng.uniform_int(n)));
+        break;
+      case 3: {
+        const auto a = static_cast<qubit_t>(rng.uniform_int(n));
+        auto b = static_cast<qubit_t>(rng.uniform_int(n - 1));
+        if (b >= a) {
+          ++b;
+        }
+        c.cx(a, b);
+        break;
+      }
+      default: {
+        const auto a = static_cast<qubit_t>(rng.uniform_int(n));
+        auto b = static_cast<qubit_t>(rng.uniform_int(n - 1));
+        if (b >= a) {
+          ++b;
+        }
+        c.cz(a, b);
+        break;
+      }
+    }
+  }
+  c.measure_all();
+  return c;
+}
+
+class StabVsStatevector : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StabVsStatevector, SampledDistributionsAgree) {
+  const Circuit c = random_clifford_circuit(4, 24, GetParam());
+  // Exact distribution from the statevector.
+  StateVector psi(4);
+  for (const Gate& g : c.gates()) {
+    apply_gate(psi, g);
+  }
+  const auto exact = measurement_probabilities(psi, c.measured_qubits());
+
+  Rng rng(GetParam() + 1000);
+  const std::size_t samples = 40000;
+  const OutcomeHistogram histogram = stabilizer_sample(c, samples, rng);
+
+  double tvd = 0.0;
+  for (std::uint64_t outcome = 0; outcome < exact.size(); ++outcome) {
+    const auto it = histogram.find(outcome);
+    const double sampled =
+        it == histogram.end()
+            ? 0.0
+            : static_cast<double>(it->second) / static_cast<double>(samples);
+    tvd += std::abs(sampled - exact[outcome]);
+  }
+  EXPECT_LT(tvd / 2.0, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StabVsStatevector,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(StabNoisyCrossValidation, TableauMonteCarloMatchesCachedPipeline) {
+  // The same noisy trials, executed through the tableau, must reproduce
+  // the statevector pipeline's outcome distribution. This validates both
+  // the stabilizer gates and the error-injection semantics independently.
+  const Circuit c = make_ghz(4);
+  const NoiseModel noise = NoiseModel::uniform(4, 0.02, 0.06, 0.03);
+  const CircuitContext ctx(c);
+  const std::size_t trials_count = 60000;
+
+  // Tableau Monte Carlo.
+  Rng gen_rng(5);
+  const auto trials = generate_trials(c, ctx.layering, noise, trials_count, gen_rng);
+  Rng meas_rng(6);
+  OutcomeHistogram tableau_hist;
+  for (const Trial& trial : trials) {
+    Tableau t(c.num_qubits());
+    std::size_t next_event = 0;
+    for (layer_index_t l = 0; l < ctx.num_layers(); ++l) {
+      for (gate_index_t g : ctx.layering.layers[l]) {
+        t.apply_gate(c.gates()[g]);
+      }
+      while (next_event < trial.events.size() && trial.events[next_event].layer == l) {
+        const ErrorEvent& e = trial.events[next_event];
+        const Gate& gate = c.gates()[e.position];
+        if (gate.arity() == 1) {
+          t.apply_pauli(static_cast<Pauli>(e.op), gate.qubits[0]);
+        } else {
+          t.apply_pauli_pair(pauli_pair_from_index(e.op), gate.qubits[0],
+                             gate.qubits[1]);
+        }
+        ++next_event;
+      }
+    }
+    std::uint64_t outcome = 0;
+    for (std::size_t bit = 0; bit < c.num_measured(); ++bit) {
+      if (t.measure(c.measured_qubits()[bit], meas_rng)) {
+        outcome |= std::uint64_t{1} << bit;
+      }
+    }
+    ++tableau_hist[outcome ^ trial.meas_flip_mask];
+  }
+
+  // Statevector pipeline on an identical workload size.
+  NoisyRunConfig config;
+  config.num_trials = trials_count;
+  config.seed = 77;
+  const NoisyRunResult sv = run_noisy(c, noise, config);
+
+  EXPECT_LT(total_variation_distance(tableau_hist, sv.histogram), 0.02);
+}
+
+}  // namespace
+}  // namespace rqsim

@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.hpp"
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sim/kernels.hpp"
+#include "sim/reference.hpp"
+#include "transpile/coupling.hpp"
+#include "transpile/decompose.hpp"
+#include "transpile/router.hpp"
+#include "transpile/transpiler.hpp"
+
+namespace rqsim {
+namespace {
+
+// Compare two circuits' dense unitaries up to global phase.
+bool circuits_equal_up_to_phase(const Circuit& a, const Circuit& b, double tol = 1e-9) {
+  const DenseMatrix ua = circuit_to_dense(a);
+  const DenseMatrix ub = circuit_to_dense(b);
+  if (ua.dim() != ub.dim()) {
+    return false;
+  }
+  // Find reference phase at the largest entry of ub.
+  std::size_t br = 0;
+  std::size_t bc = 0;
+  double best = 0.0;
+  for (std::size_t r = 0; r < ub.dim(); ++r) {
+    for (std::size_t c = 0; c < ub.dim(); ++c) {
+      if (std::abs(ub.at(r, c)) > best) {
+        best = std::abs(ub.at(r, c));
+        br = r;
+        bc = c;
+      }
+    }
+  }
+  if (best < tol) {
+    return false;
+  }
+  const cplx phase = ua.at(br, bc) / ub.at(br, bc);
+  for (std::size_t r = 0; r < ua.dim(); ++r) {
+    for (std::size_t c = 0; c < ua.dim(); ++c) {
+      if (std::abs(ua.at(r, c) - phase * ub.at(r, c)) > tol) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------- coupling
+
+TEST(CouplingMap, YorktownStructure) {
+  const CouplingMap m = CouplingMap::yorktown();
+  EXPECT_EQ(m.num_qubits(), 5u);
+  EXPECT_EQ(m.edges().size(), 6u);
+  EXPECT_TRUE(m.connected(0, 1));
+  EXPECT_TRUE(m.connected(1, 0));
+  EXPECT_TRUE(m.connected(2, 4));
+  EXPECT_FALSE(m.connected(0, 3));
+  EXPECT_FALSE(m.connected(0, 4));
+  EXPECT_FALSE(m.connected(1, 3));
+  EXPECT_TRUE(m.is_connected_graph());
+}
+
+TEST(CouplingMap, ShortestPath) {
+  const CouplingMap m = CouplingMap::yorktown();
+  const auto path = m.shortest_path(0, 3);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path.front(), 0u);
+  EXPECT_EQ(path.back(), 3u);
+  EXPECT_EQ(path[1], 2u);  // only 2 connects {0,1} side to {3,4} side
+}
+
+TEST(CouplingMap, LinearTopology) {
+  const CouplingMap m = CouplingMap::linear(5);
+  EXPECT_TRUE(m.connected(0, 1));
+  EXPECT_FALSE(m.connected(0, 2));
+  EXPECT_EQ(m.shortest_path(0, 4).size(), 5u);
+}
+
+TEST(CouplingMap, AllToAll) {
+  const CouplingMap m = CouplingMap::all_to_all(10);
+  EXPECT_TRUE(m.connected(0, 9));
+  EXPECT_EQ(m.shortest_path(3, 7).size(), 2u);
+  EXPECT_TRUE(m.is_connected_graph());
+}
+
+TEST(CouplingMap, DisconnectedGraphDetected) {
+  const CouplingMap m(4, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(m.is_connected_graph());
+  EXPECT_THROW(m.shortest_path(0, 3), Error);
+}
+
+TEST(CouplingMap, EdgeIndex) {
+  const CouplingMap m = CouplingMap::yorktown();
+  EXPECT_GE(m.edge_index(0, 1), 0);
+  EXPECT_EQ(m.edge_index(0, 1), m.edge_index(1, 0));
+  EXPECT_EQ(m.edge_index(0, 3), -1);
+}
+
+// ---------------------------------------------------------------- decompose
+
+TEST(Decompose, CZPreservesUnitary) {
+  Circuit original(2);
+  original.cz(0, 1);
+  const Circuit decomposed = decompose_to_cx_basis(original);
+  EXPECT_TRUE(in_cx_basis(decomposed));
+  EXPECT_TRUE(circuits_equal_up_to_phase(original, decomposed));
+}
+
+TEST(Decompose, CPPreservesUnitary) {
+  for (double lambda : {0.3, -1.7, 3.14}) {
+    Circuit original(2);
+    original.cp(0, 1, lambda);
+    const Circuit decomposed = decompose_to_cx_basis(original);
+    EXPECT_TRUE(in_cx_basis(decomposed));
+    EXPECT_TRUE(circuits_equal_up_to_phase(original, decomposed)) << lambda;
+  }
+}
+
+TEST(Decompose, SwapPreservesUnitary) {
+  Circuit original(2);
+  original.swap(0, 1);
+  const Circuit decomposed = decompose_to_cx_basis(original);
+  EXPECT_TRUE(in_cx_basis(decomposed));
+  EXPECT_EQ(decomposed.count_kind(GateKind::CX), 3u);
+  EXPECT_TRUE(circuits_equal_up_to_phase(original, decomposed));
+}
+
+TEST(Decompose, ToffoliPreservesUnitary) {
+  Circuit original(3);
+  original.ccx(0, 1, 2);
+  const Circuit decomposed = decompose_to_cx_basis(original);
+  EXPECT_TRUE(in_cx_basis(decomposed));
+  EXPECT_EQ(decomposed.count_kind(GateKind::CX), 6u);
+  EXPECT_TRUE(circuits_equal_up_to_phase(original, decomposed));
+}
+
+TEST(Decompose, ToffoliAllOperandOrders) {
+  const qubit_t perms[][3] = {{0, 1, 2}, {0, 2, 1}, {1, 2, 0}, {2, 1, 0}};
+  for (const auto& p : perms) {
+    Circuit original(3);
+    original.ccx(p[0], p[1], p[2]);
+    const Circuit decomposed = decompose_to_cx_basis(original);
+    EXPECT_TRUE(circuits_equal_up_to_phase(original, decomposed));
+  }
+}
+
+TEST(Decompose, MixedCircuitPreservesUnitaryAndMeasurements) {
+  Circuit original(3);
+  original.h(0);
+  original.cz(0, 1);
+  original.swap(1, 2);
+  original.cp(0, 2, 0.9);
+  original.ccx(0, 1, 2);
+  original.measure(2);
+  original.measure(0);
+  const Circuit decomposed = decompose_to_cx_basis(original);
+  EXPECT_TRUE(in_cx_basis(decomposed));
+  EXPECT_TRUE(circuits_equal_up_to_phase(original, decomposed));
+  ASSERT_EQ(decomposed.num_measured(), 2u);
+  EXPECT_EQ(decomposed.measured_qubits()[0], 2u);
+  EXPECT_EQ(decomposed.measured_qubits()[1], 0u);
+}
+
+TEST(Decompose, PassThroughGatesUntouched) {
+  Circuit original(2);
+  original.h(0);
+  original.cx(0, 1);
+  original.u3(1, 0.1, 0.2, 0.3);
+  const Circuit decomposed = decompose_to_cx_basis(original);
+  EXPECT_EQ(decomposed.num_gates(), 3u);
+}
+
+// ---------------------------------------------------------------- router
+
+TEST(Router, AdjacentGatesUnchanged) {
+  Circuit c(2);
+  c.h(0);
+  c.cx(0, 1);
+  const RoutedCircuit routed = route_circuit(c, CouplingMap::yorktown());
+  EXPECT_EQ(routed.swaps_inserted, 0u);
+  EXPECT_EQ(routed.circuit.count_kind(GateKind::CX), 1u);
+  EXPECT_TRUE(respects_coupling(routed.circuit, CouplingMap::yorktown()));
+}
+
+TEST(Router, NonAdjacentCXGetsRouted) {
+  Circuit c(4);
+  c.cx(0, 3);  // 0 and 3 are not coupled on Yorktown
+  const CouplingMap coupling = CouplingMap::yorktown();
+  const RoutedCircuit routed = route_circuit(c, coupling);
+  EXPECT_GE(routed.swaps_inserted, 1u);
+  EXPECT_TRUE(respects_coupling(routed.circuit, coupling));
+}
+
+TEST(Router, SemanticsPreservedUnderRouting) {
+  // Simulate the logical circuit and the routed circuit; amplitudes must
+  // agree after applying the final logical->physical mapping.
+  Rng rng(55);
+  for (int trial = 0; trial < 8; ++trial) {
+    Circuit c(4);
+    for (int i = 0; i < 10; ++i) {
+      if (rng.uniform() < 0.5) {
+        c.u3(static_cast<qubit_t>(rng.uniform_int(4)), rng.uniform(0, 3.0),
+             rng.uniform(0, 3.0), rng.uniform(0, 3.0));
+      } else {
+        const auto a = static_cast<qubit_t>(rng.uniform_int(4));
+        auto b = static_cast<qubit_t>(rng.uniform_int(3));
+        if (b >= a) {
+          ++b;
+        }
+        c.cx(a, b);
+      }
+    }
+    const CouplingMap coupling = CouplingMap::linear(4);
+    const RoutedCircuit routed = route_circuit(c, coupling);
+    EXPECT_TRUE(respects_coupling(routed.circuit, coupling));
+
+    StateVector logical(4);
+    for (const Gate& g : c.gates()) {
+      apply_gate(logical, g);
+    }
+    StateVector physical(4);
+    for (const Gate& g : routed.circuit.gates()) {
+      apply_gate(physical, g);
+    }
+    // Permute logical amplitudes by the final mapping and compare.
+    StateVector permuted(4);
+    for (std::uint64_t idx = 0; idx < logical.dim(); ++idx) {
+      std::uint64_t mapped = 0;
+      for (qubit_t lq = 0; lq < 4; ++lq) {
+        mapped = set_bit(mapped, routed.final_mapping[lq], get_bit(idx, lq));
+      }
+      permuted[mapped] = logical[idx];
+    }
+    EXPECT_LT(permuted.max_abs_diff(physical), 1e-10);
+  }
+}
+
+TEST(Router, MeasurementsFollowMapping) {
+  Circuit c(4);
+  c.cx(0, 3);
+  c.measure(0);
+  c.measure(3);
+  const RoutedCircuit routed = route_circuit(c, CouplingMap::linear(4));
+  ASSERT_EQ(routed.circuit.num_measured(), 2u);
+  EXPECT_EQ(routed.circuit.measured_qubits()[0], routed.final_mapping[0]);
+  EXPECT_EQ(routed.circuit.measured_qubits()[1], routed.final_mapping[3]);
+}
+
+TEST(Router, RejectsUndcomposedCircuit) {
+  Circuit c(3);
+  c.ccx(0, 1, 2);
+  EXPECT_THROW(route_circuit(c, CouplingMap::yorktown()), Error);
+}
+
+TEST(Router, RejectsOversizedCircuit) {
+  Circuit c(6);
+  c.h(5);
+  EXPECT_THROW(route_circuit(c, CouplingMap::yorktown()), Error);
+}
+
+// ---------------------------------------------------------------- transpile
+
+TEST(Transpile, EndToEndRespectsCoupling) {
+  Circuit c(5);
+  c.h(0);
+  c.ccx(0, 2, 4);
+  c.swap(1, 3);
+  c.cp(0, 4, 0.5);
+  c.measure_all();
+  const CouplingMap coupling = CouplingMap::yorktown();
+  const TranspileResult result = transpile(c, coupling);
+  EXPECT_TRUE(in_cx_basis(result.circuit));
+  EXPECT_TRUE(respects_coupling(result.circuit, coupling));
+  EXPECT_EQ(result.circuit.num_measured(), 5u);
+}
+
+TEST(Transpile, SemanticsPreservedEndToEnd) {
+  Circuit c(3);
+  c.h(0);
+  c.ccx(0, 1, 2);
+  c.cz(0, 2);
+  const TranspileResult result = transpile(c, CouplingMap::linear(3));
+
+  StateVector logical(3);
+  for (const Gate& g : c.gates()) {
+    apply_gate(logical, g);
+  }
+  StateVector physical(3);
+  for (const Gate& g : result.circuit.gates()) {
+    apply_gate(physical, g);
+  }
+  StateVector permuted(3);
+  for (std::uint64_t idx = 0; idx < logical.dim(); ++idx) {
+    std::uint64_t mapped = 0;
+    for (qubit_t lq = 0; lq < 3; ++lq) {
+      mapped = set_bit(mapped, result.final_mapping[lq], get_bit(idx, lq));
+    }
+    permuted[mapped] = logical[idx];
+  }
+  EXPECT_GT(permuted.fidelity(physical), 1.0 - 1e-10);
+}
+
+}  // namespace
+}  // namespace rqsim

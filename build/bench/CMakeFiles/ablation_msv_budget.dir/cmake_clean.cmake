@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_msv_budget.dir/ablation_msv_budget.cpp.o"
+  "CMakeFiles/ablation_msv_budget.dir/ablation_msv_budget.cpp.o.d"
+  "ablation_msv_budget"
+  "ablation_msv_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_msv_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reorder.dir/ablation_reorder.cpp.o"
+  "CMakeFiles/ablation_reorder.dir/ablation_reorder.cpp.o.d"
+  "ablation_reorder"
+  "ablation_reorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

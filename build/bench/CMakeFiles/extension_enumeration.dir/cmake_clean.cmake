@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_enumeration.dir/extension_enumeration.cpp.o"
+  "CMakeFiles/extension_enumeration.dir/extension_enumeration.cpp.o.d"
+  "extension_enumeration"
+  "extension_enumeration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_enumeration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

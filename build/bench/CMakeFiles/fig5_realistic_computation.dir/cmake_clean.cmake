@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_realistic_computation.dir/fig5_realistic_computation.cpp.o"
+  "CMakeFiles/fig5_realistic_computation.dir/fig5_realistic_computation.cpp.o.d"
+  "fig5_realistic_computation"
+  "fig5_realistic_computation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_realistic_computation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

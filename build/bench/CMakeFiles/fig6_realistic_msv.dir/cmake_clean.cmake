@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_realistic_msv.dir/fig6_realistic_msv.cpp.o"
+  "CMakeFiles/fig6_realistic_msv.dir/fig6_realistic_msv.cpp.o.d"
+  "fig6_realistic_msv"
+  "fig6_realistic_msv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_realistic_msv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

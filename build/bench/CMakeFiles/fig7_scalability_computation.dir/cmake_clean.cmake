@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_scalability_computation.dir/fig7_scalability_computation.cpp.o"
+  "CMakeFiles/fig7_scalability_computation.dir/fig7_scalability_computation.cpp.o.d"
+  "fig7_scalability_computation"
+  "fig7_scalability_computation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_scalability_computation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

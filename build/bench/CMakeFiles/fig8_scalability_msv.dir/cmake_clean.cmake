@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_scalability_msv.dir/fig8_scalability_msv.cpp.o"
+  "CMakeFiles/fig8_scalability_msv.dir/fig8_scalability_msv.cpp.o.d"
+  "fig8_scalability_msv"
+  "fig8_scalability_msv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_scalability_msv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wallclock_speedup.dir/wallclock_speedup.cpp.o"
+  "CMakeFiles/wallclock_speedup.dir/wallclock_speedup.cpp.o.d"
+  "wallclock_speedup"
+  "wallclock_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wallclock_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_error_budget.dir/exact_error_budget.cpp.o"
+  "CMakeFiles/exact_error_budget.dir/exact_error_budget.cpp.o.d"
+  "exact_error_budget"
+  "exact_error_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_error_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grover_under_noise.dir/grover_under_noise.cpp.o"
+  "CMakeFiles/grover_under_noise.dir/grover_under_noise.cpp.o.d"
+  "grover_under_noise"
+  "grover_under_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grover_under_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

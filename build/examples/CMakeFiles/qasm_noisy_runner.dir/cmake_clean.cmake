@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qasm_noisy_runner.dir/qasm_noisy_runner.cpp.o"
+  "CMakeFiles/qasm_noisy_runner.dir/qasm_noisy_runner.cpp.o.d"
+  "qasm_noisy_runner"
+  "qasm_noisy_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qasm_noisy_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

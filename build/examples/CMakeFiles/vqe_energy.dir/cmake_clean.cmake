@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqe_energy.dir/vqe_energy.cpp.o"
+  "CMakeFiles/vqe_energy.dir/vqe_energy.cpp.o.d"
+  "vqe_energy"
+  "vqe_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqe_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bench_circuits/adder.cpp" "src/CMakeFiles/rqsim.dir/bench_circuits/adder.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/bench_circuits/adder.cpp.o.d"
+  "/root/repo/src/bench_circuits/ansatz.cpp" "src/CMakeFiles/rqsim.dir/bench_circuits/ansatz.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/bench_circuits/ansatz.cpp.o.d"
+  "/root/repo/src/bench_circuits/bv.cpp" "src/CMakeFiles/rqsim.dir/bench_circuits/bv.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/bench_circuits/bv.cpp.o.d"
+  "/root/repo/src/bench_circuits/factory.cpp" "src/CMakeFiles/rqsim.dir/bench_circuits/factory.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/bench_circuits/factory.cpp.o.d"
+  "/root/repo/src/bench_circuits/ghz.cpp" "src/CMakeFiles/rqsim.dir/bench_circuits/ghz.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/bench_circuits/ghz.cpp.o.d"
+  "/root/repo/src/bench_circuits/grover.cpp" "src/CMakeFiles/rqsim.dir/bench_circuits/grover.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/bench_circuits/grover.cpp.o.d"
+  "/root/repo/src/bench_circuits/mod15.cpp" "src/CMakeFiles/rqsim.dir/bench_circuits/mod15.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/bench_circuits/mod15.cpp.o.d"
+  "/root/repo/src/bench_circuits/qft.cpp" "src/CMakeFiles/rqsim.dir/bench_circuits/qft.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/bench_circuits/qft.cpp.o.d"
+  "/root/repo/src/bench_circuits/qv.cpp" "src/CMakeFiles/rqsim.dir/bench_circuits/qv.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/bench_circuits/qv.cpp.o.d"
+  "/root/repo/src/bench_circuits/rb.cpp" "src/CMakeFiles/rqsim.dir/bench_circuits/rb.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/bench_circuits/rb.cpp.o.d"
+  "/root/repo/src/bench_circuits/suite.cpp" "src/CMakeFiles/rqsim.dir/bench_circuits/suite.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/bench_circuits/suite.cpp.o.d"
+  "/root/repo/src/bench_circuits/wstate.cpp" "src/CMakeFiles/rqsim.dir/bench_circuits/wstate.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/bench_circuits/wstate.cpp.o.d"
+  "/root/repo/src/circuit/circuit.cpp" "src/CMakeFiles/rqsim.dir/circuit/circuit.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/circuit/circuit.cpp.o.d"
+  "/root/repo/src/circuit/gate.cpp" "src/CMakeFiles/rqsim.dir/circuit/gate.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/circuit/gate.cpp.o.d"
+  "/root/repo/src/circuit/layering.cpp" "src/CMakeFiles/rqsim.dir/circuit/layering.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/circuit/layering.cpp.o.d"
+  "/root/repo/src/circuit/qasm.cpp" "src/CMakeFiles/rqsim.dir/circuit/qasm.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/circuit/qasm.cpp.o.d"
+  "/root/repo/src/cli/cli.cpp" "src/CMakeFiles/rqsim.dir/cli/cli.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/cli/cli.cpp.o.d"
+  "/root/repo/src/common/bits.cpp" "src/CMakeFiles/rqsim.dir/common/bits.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/common/bits.cpp.o.d"
+  "/root/repo/src/common/error.cpp" "src/CMakeFiles/rqsim.dir/common/error.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/common/error.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/rqsim.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/strings.cpp" "src/CMakeFiles/rqsim.dir/common/strings.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/common/strings.cpp.o.d"
+  "/root/repo/src/dm/density_matrix.cpp" "src/CMakeFiles/rqsim.dir/dm/density_matrix.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/dm/density_matrix.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "src/CMakeFiles/rqsim.dir/linalg/matrix.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/linalg/matrix.cpp.o.d"
+  "/root/repo/src/linalg/pauli.cpp" "src/CMakeFiles/rqsim.dir/linalg/pauli.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/linalg/pauli.cpp.o.d"
+  "/root/repo/src/mitigation/readout.cpp" "src/CMakeFiles/rqsim.dir/mitigation/readout.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/mitigation/readout.cpp.o.d"
+  "/root/repo/src/noise/calibration.cpp" "src/CMakeFiles/rqsim.dir/noise/calibration.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/noise/calibration.cpp.o.d"
+  "/root/repo/src/noise/devices.cpp" "src/CMakeFiles/rqsim.dir/noise/devices.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/noise/devices.cpp.o.d"
+  "/root/repo/src/noise/noise_model.cpp" "src/CMakeFiles/rqsim.dir/noise/noise_model.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/noise/noise_model.cpp.o.d"
+  "/root/repo/src/obs/pauli_string.cpp" "src/CMakeFiles/rqsim.dir/obs/pauli_string.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/obs/pauli_string.cpp.o.d"
+  "/root/repo/src/report/csv.cpp" "src/CMakeFiles/rqsim.dir/report/csv.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/report/csv.cpp.o.d"
+  "/root/repo/src/report/table.cpp" "src/CMakeFiles/rqsim.dir/report/table.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/report/table.cpp.o.d"
+  "/root/repo/src/sched/backend.cpp" "src/CMakeFiles/rqsim.dir/sched/backend.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/sched/backend.cpp.o.d"
+  "/root/repo/src/sched/baseline.cpp" "src/CMakeFiles/rqsim.dir/sched/baseline.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/sched/baseline.cpp.o.d"
+  "/root/repo/src/sched/cached.cpp" "src/CMakeFiles/rqsim.dir/sched/cached.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/sched/cached.cpp.o.d"
+  "/root/repo/src/sched/compact.cpp" "src/CMakeFiles/rqsim.dir/sched/compact.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/sched/compact.cpp.o.d"
+  "/root/repo/src/sched/enumerate.cpp" "src/CMakeFiles/rqsim.dir/sched/enumerate.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/sched/enumerate.cpp.o.d"
+  "/root/repo/src/sched/order.cpp" "src/CMakeFiles/rqsim.dir/sched/order.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/sched/order.cpp.o.d"
+  "/root/repo/src/sched/parallel.cpp" "src/CMakeFiles/rqsim.dir/sched/parallel.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/sched/parallel.cpp.o.d"
+  "/root/repo/src/sched/plan.cpp" "src/CMakeFiles/rqsim.dir/sched/plan.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/sched/plan.cpp.o.d"
+  "/root/repo/src/sched/runner.cpp" "src/CMakeFiles/rqsim.dir/sched/runner.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/sched/runner.cpp.o.d"
+  "/root/repo/src/sim/kernels.cpp" "src/CMakeFiles/rqsim.dir/sim/kernels.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/sim/kernels.cpp.o.d"
+  "/root/repo/src/sim/measure.cpp" "src/CMakeFiles/rqsim.dir/sim/measure.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/sim/measure.cpp.o.d"
+  "/root/repo/src/sim/reference.cpp" "src/CMakeFiles/rqsim.dir/sim/reference.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/sim/reference.cpp.o.d"
+  "/root/repo/src/sim/sparse.cpp" "src/CMakeFiles/rqsim.dir/sim/sparse.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/sim/sparse.cpp.o.d"
+  "/root/repo/src/sim/statevector.cpp" "src/CMakeFiles/rqsim.dir/sim/statevector.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/sim/statevector.cpp.o.d"
+  "/root/repo/src/stab/tableau.cpp" "src/CMakeFiles/rqsim.dir/stab/tableau.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/stab/tableau.cpp.o.d"
+  "/root/repo/src/transpile/coupling.cpp" "src/CMakeFiles/rqsim.dir/transpile/coupling.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/transpile/coupling.cpp.o.d"
+  "/root/repo/src/transpile/decompose.cpp" "src/CMakeFiles/rqsim.dir/transpile/decompose.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/transpile/decompose.cpp.o.d"
+  "/root/repo/src/transpile/optimize.cpp" "src/CMakeFiles/rqsim.dir/transpile/optimize.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/transpile/optimize.cpp.o.d"
+  "/root/repo/src/transpile/router.cpp" "src/CMakeFiles/rqsim.dir/transpile/router.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/transpile/router.cpp.o.d"
+  "/root/repo/src/transpile/transpiler.cpp" "src/CMakeFiles/rqsim.dir/transpile/transpiler.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/transpile/transpiler.cpp.o.d"
+  "/root/repo/src/trial/generator.cpp" "src/CMakeFiles/rqsim.dir/trial/generator.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/trial/generator.cpp.o.d"
+  "/root/repo/src/trial/stats.cpp" "src/CMakeFiles/rqsim.dir/trial/stats.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/trial/stats.cpp.o.d"
+  "/root/repo/src/trial/trial.cpp" "src/CMakeFiles/rqsim.dir/trial/trial.cpp.o" "gcc" "src/CMakeFiles/rqsim.dir/trial/trial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rqsim_cli.dir/cli/main.cpp.o"
+  "CMakeFiles/rqsim_cli.dir/cli/main.cpp.o.d"
+  "rqsim"
+  "rqsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rqsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_circuits_test.dir/bench_circuits_test.cpp.o"
+  "CMakeFiles/bench_circuits_test.dir/bench_circuits_test.cpp.o.d"
+  "bench_circuits_test"
+  "bench_circuits_test.pdb"
+  "bench_circuits_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_circuits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biased_noise_test.dir/biased_noise_test.cpp.o"
+  "CMakeFiles/biased_noise_test.dir/biased_noise_test.cpp.o.d"
+  "biased_noise_test"
+  "biased_noise_test.pdb"
+  "biased_noise_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biased_noise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

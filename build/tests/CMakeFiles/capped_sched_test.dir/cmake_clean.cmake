@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capped_sched_test.dir/capped_sched_test.cpp.o"
+  "CMakeFiles/capped_sched_test.dir/capped_sched_test.cpp.o.d"
+  "capped_sched_test"
+  "capped_sched_test.pdb"
+  "capped_sched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capped_sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

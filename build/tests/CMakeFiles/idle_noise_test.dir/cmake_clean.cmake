@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idle_noise_test.dir/idle_noise_test.cpp.o"
+  "CMakeFiles/idle_noise_test.dir/idle_noise_test.cpp.o.d"
+  "idle_noise_test"
+  "idle_noise_test.pdb"
+  "idle_noise_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idle_noise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trial_test.dir/trial_test.cpp.o"
+  "CMakeFiles/trial_test.dir/trial_test.cpp.o.d"
+  "trial_test"
+  "trial_test.pdb"
+  "trial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

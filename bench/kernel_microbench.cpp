@@ -4,7 +4,9 @@
 // stride across the vector).
 #include <benchmark/benchmark.h>
 
+#include "circuit/fusion.hpp"
 #include "common/rng.hpp"
+#include "sim/kernel_engine.hpp"
 #include "sim/kernels.hpp"
 #include "sim/statevector.hpp"
 
@@ -71,9 +73,84 @@ void BM_ApplyMat4(benchmark::State& state) {
                           static_cast<std::int64_t>(s.dim()));
 }
 
-BENCHMARK(BM_ApplyH)->Args({16, 0})->Args({16, 15})->Args({20, 0})->Args({20, 19});
-BENCHMARK(BM_ApplyMat2)->Args({16, 0})->Args({16, 15})->Args({20, 0})->Args({20, 19});
-BENCHMARK(BM_ApplyCX)->Arg(16)->Arg(20);
-BENCHMARK(BM_ApplyMat4)->Arg(16)->Arg(20);
+// A dense random sequence: one random U3 per qubit followed by a CX, per
+// layer of depth. Exercises the fusion pass's single-qubit runs and
+// two-qubit absorption.
+std::vector<Gate> random_sequence(unsigned n, unsigned depth, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Gate> gates;
+  for (unsigned d = 0; d < depth; ++d) {
+    for (qubit_t q = 0; q < n; ++q) {
+      gates.push_back(Gate::make1(GateKind::U3, q, rng.uniform() * 3.0,
+                                  rng.uniform() * 3.0, rng.uniform() * 3.0));
+    }
+    const auto a = static_cast<qubit_t>(rng.uniform_int(n));
+    auto b = static_cast<qubit_t>(rng.uniform_int(n - 1));
+    if (b >= a) ++b;
+    gates.push_back(Gate::make2(GateKind::CX, a, b));
+  }
+  return gates;
+}
+
+void BM_ApplyGateSequence(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const std::vector<Gate> gates = random_sequence(n, 8, 7);
+  StateVector s = random_state(n, 8);
+  for (auto _ : state) {
+    for (const Gate& g : gates) {
+      apply_gate(s, g);
+    }
+    benchmark::DoNotOptimize(s.amplitudes().data());
+  }
+  state.counters["ops"] = static_cast<double>(gates.size());
+}
+
+void BM_ApplyFusedSequence(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const std::vector<Gate> gates = random_sequence(n, 8, 7);
+  const FusedProgram program = fuse_gate_sequence(gates);
+  StateVector s = random_state(n, 8);
+  for (auto _ : state) {
+    apply_fused(s, program);
+    benchmark::DoNotOptimize(s.amplitudes().data());
+  }
+  state.counters["ops"] = static_cast<double>(program.ops.size());
+  state.counters["source_gates"] = static_cast<double>(program.source_gate_count);
+}
+
+// Intra-statevector threading: the same mat2 sweep split across the worker
+// pool. Only pays off with real cores and registers past the threshold.
+void BM_ApplyMat2Threaded(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  KernelConfig config;
+  config.num_threads = threads;
+  config.parallel_threshold_qubits = 18;
+  set_kernel_config(config);
+  Rng rng(2);
+  const Mat2 u = random_unitary2(rng);
+  StateVector s = random_state(n, 3);
+  for (auto _ : state) {
+    apply_mat2(s, u, static_cast<qubit_t>(n - 1));
+    benchmark::DoNotOptimize(s.amplitudes().data());
+  }
+  set_kernel_config(KernelConfig{});
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.dim()));
+}
+
+BENCHMARK(BM_ApplyH)
+    ->Args({16, 0})->Args({16, 15})
+    ->Args({20, 0})->Args({20, 19})
+    ->Args({22, 0})->Args({22, 21});
+BENCHMARK(BM_ApplyMat2)
+    ->Args({16, 0})->Args({16, 15})
+    ->Args({20, 0})->Args({20, 19})
+    ->Args({22, 0})->Args({22, 21});
+BENCHMARK(BM_ApplyCX)->Arg(16)->Arg(20)->Arg(22);
+BENCHMARK(BM_ApplyMat4)->Arg(16)->Arg(20)->Arg(22);
+BENCHMARK(BM_ApplyGateSequence)->Arg(16)->Arg(20);
+BENCHMARK(BM_ApplyFusedSequence)->Arg(16)->Arg(20);
+BENCHMARK(BM_ApplyMat2Threaded)->Args({20, 1})->Args({20, 2})->Args({22, 2});
 
 }  // namespace

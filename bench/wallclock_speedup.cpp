@@ -18,13 +18,14 @@ const BenchmarkEntry& suite_entry(std::size_t index) {
   return suite[index];
 }
 
-void run_mode(benchmark::State& state, ExecutionMode mode) {
+void run_mode(benchmark::State& state, ExecutionMode mode, bool fuse_gates = false) {
   const auto& entry = suite_entry(static_cast<std::size_t>(state.range(0)));
   const DeviceModel dev = yorktown_device();
   NoisyRunConfig config;
   config.num_trials = 512;
   config.seed = 7;
   config.mode = mode;
+  config.fuse_gates = fuse_gates;
   opcount_t ops = 0;
   for (auto _ : state) {
     const NoisyRunResult result = run_noisy(entry.compiled, dev.noise, config);
@@ -41,6 +42,12 @@ void BM_Baseline(benchmark::State& state) {
 
 void BM_CachedReordered(benchmark::State& state) {
   run_mode(state, ExecutionMode::kCachedReordered);
+}
+
+// Same schedule with the gate-fusion pass on: checkpoint advances apply
+// fused segments (epsilon-equivalent to the unfused kernels).
+void BM_CachedReorderedFused(benchmark::State& state) {
+  run_mode(state, ExecutionMode::kCachedReordered, /*fuse_gates=*/true);
 }
 
 void BM_CachedParallel(benchmark::State& state) {
@@ -60,6 +67,7 @@ void BM_CachedParallel(benchmark::State& state) {
 // Index into the Table I suite: 1=grover, 7=qft5, 11=qv_n5d5.
 BENCHMARK(BM_Baseline)->Arg(1)->Arg(7)->Arg(11)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CachedReordered)->Arg(1)->Arg(7)->Arg(11)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CachedReorderedFused)->Arg(1)->Arg(7)->Arg(11)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CachedParallel)->Args({11, 2})->Args({11, 4})->Unit(benchmark::kMillisecond);
 
 }  // namespace

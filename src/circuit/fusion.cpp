@@ -1,0 +1,220 @@
+#include "circuit/fusion.hpp"
+
+#include <algorithm>
+
+#include "circuit/gate.hpp"
+#include "common/error.hpp"
+
+namespace rqsim {
+
+namespace {
+
+/// Re-express a 4x4 operator given for operand order (h, l) in the swapped
+/// order (l, h): conjugate by the permutation exchanging |01⟩ and |10⟩.
+Mat4 swap_operand_order(const Mat4& m) {
+  static constexpr std::size_t perm[4] = {0, 2, 1, 3};
+  Mat4 out;
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      out.at(r, c) = m.at(perm[r], perm[c]);
+    }
+  }
+  return out;
+}
+
+class FusionBuilder {
+ public:
+  FusionBuilder(unsigned num_qubits, const FusionOptions& options)
+      : options_(options),
+        pending_(num_qubits, Mat2::identity()),
+        pending_count_(num_qubits, 0),
+        last_op_(num_qubits, -1) {}
+
+  void add(const Gate& gate) {
+    ++program_.source_gate_count;
+    switch (gate.arity()) {
+      case 1:
+        add1(gate);
+        return;
+      case 2:
+        add2(gate);
+        return;
+      default:
+        flush(gate.qubits[0]);
+        flush(gate.qubits[1]);
+        flush(gate.qubits[2]);
+        emit_gate(gate);
+        return;
+    }
+  }
+
+  FusedProgram finish() {
+    for (qubit_t q = 0; q < pending_.size(); ++q) {
+      flush(q);
+    }
+    return std::move(program_);
+  }
+
+ private:
+  void add1(const Gate& gate) {
+    const qubit_t q = gate.qubits[0];
+    pending_[q] = gate_matrix1(gate) * pending_[q];
+    ++pending_count_[q];
+  }
+
+  void add2(const Gate& gate) {
+    const qubit_t a = gate.qubits[0];  // high-order operand of gate_matrix2
+    const qubit_t b = gate.qubits[1];
+    if (options_.lift_two_qubit) {
+      const int o = last_op_[a];
+      if (o >= 0 && o == last_op_[b] && program_.ops[o].kind == FusedOp::Kind::kMat4) {
+        // Same pair as the still-open Mat4: extend it in place.
+        extend_mat4(program_.ops[o], gate);
+        return;
+      }
+      if (pending_count_[a] > 0 && pending_count_[b] > 0) {
+        // Both operands carry a pending matrix: one Mat4 sweep is cheaper
+        // than two Mat2 sweeps plus the specialized two-qubit sweep.
+        FusedOp op;
+        op.kind = FusedOp::Kind::kMat4;
+        op.q_hi = a;
+        op.q_lo = b;
+        op.m4 = gate_matrix2(gate) * kron(pending_[a], pending_[b]);
+        op.fused_gates = 1 + pending_count_[a] + pending_count_[b];
+        clear_pending(a);
+        clear_pending(b);
+        push(op, a, b);
+        return;
+      }
+    }
+    flush(a);
+    flush(b);
+    emit_gate(gate);
+  }
+
+  /// Fold pendings on the pair plus one more two-qubit gate into an
+  /// existing Mat4 op that is still the last op on both of its qubits.
+  void extend_mat4(FusedOp& op, const Gate& gate) {
+    if (pending_count_[op.q_hi] > 0 || pending_count_[op.q_lo] > 0) {
+      op.m4 = kron(pending_[op.q_hi], pending_[op.q_lo]) * op.m4;
+      op.fused_gates += pending_count_[op.q_hi] + pending_count_[op.q_lo];
+      clear_pending(op.q_hi);
+      clear_pending(op.q_lo);
+    }
+    Mat4 m = gate_matrix2(gate);
+    if (gate.qubits[0] != op.q_hi) {
+      m = swap_operand_order(m);
+    }
+    op.m4 = m * op.m4;
+    op.fused_gates += 1;
+  }
+
+  /// Emit (or fold backward) the pending single-qubit matrix of `q`.
+  void flush(qubit_t q) {
+    if (pending_count_[q] == 0) {
+      return;
+    }
+    const int o = last_op_[q];
+    if (o >= 0 && program_.ops[o].kind == FusedOp::Kind::kMat4) {
+      // No later op touches q (last_op invariant), so the pending matrix
+      // commutes back to the Mat4 and folds into it.
+      FusedOp& op = program_.ops[o];
+      if (op.q_hi == q) {
+        op.m4 = kron(pending_[q], Mat2::identity()) * op.m4;
+      } else {
+        op.m4 = kron(Mat2::identity(), pending_[q]) * op.m4;
+      }
+      op.fused_gates += pending_count_[q];
+      clear_pending(q);
+      return;
+    }
+    FusedOp op;
+    op.kind = FusedOp::Kind::kMat2;
+    op.q_lo = q;
+    op.m2 = pending_[q];
+    op.fused_gates = pending_count_[q];
+    clear_pending(q);
+    last_op_[q] = static_cast<int>(program_.ops.size());
+    program_.ops.push_back(op);
+  }
+
+  void emit_gate(const Gate& gate) {
+    FusedOp op;
+    op.kind = FusedOp::Kind::kGate;
+    op.gate = gate;
+    const int idx = static_cast<int>(program_.ops.size());
+    for (int i = 0; i < gate.arity(); ++i) {
+      last_op_[gate.qubits[i]] = idx;
+    }
+    program_.ops.push_back(op);
+  }
+
+  void push(const FusedOp& op, qubit_t a, qubit_t b) {
+    const int idx = static_cast<int>(program_.ops.size());
+    last_op_[a] = idx;
+    last_op_[b] = idx;
+    program_.ops.push_back(op);
+  }
+
+  void clear_pending(qubit_t q) {
+    pending_[q] = Mat2::identity();
+    pending_count_[q] = 0;
+  }
+
+  const FusionOptions& options_;
+  FusedProgram program_;
+  std::vector<Mat2> pending_;
+  std::vector<std::uint32_t> pending_count_;
+  std::vector<int> last_op_;
+};
+
+unsigned max_operand(const std::vector<Gate>& gates) {
+  unsigned n = 0;
+  for (const Gate& g : gates) {
+    for (int i = 0; i < g.arity(); ++i) {
+      n = std::max(n, g.qubits[i] + 1);
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+FusedProgram fuse_gate_sequence(const std::vector<Gate>& gates,
+                                const FusionOptions& options) {
+  FusionBuilder builder(max_operand(gates), options);
+  for (const Gate& g : gates) {
+    builder.add(g);
+  }
+  return builder.finish();
+}
+
+FusedProgram fuse_layer_range(const Circuit& circuit, const Layering& layering,
+                              layer_index_t from, layer_index_t to,
+                              const FusionOptions& options) {
+  RQSIM_CHECK(from <= to && to <= layering.num_layers(),
+              "fuse_layer_range: bad layer range");
+  FusionBuilder builder(circuit.num_qubits(), options);
+  for (layer_index_t l = from; l < to; ++l) {
+    for (gate_index_t g : layering.layers[l]) {
+      builder.add(circuit.gates()[g]);
+    }
+  }
+  return builder.finish();
+}
+
+FusionCache::FusionCache(const Circuit& circuit, const Layering& layering,
+                         FusionOptions options)
+    : circuit_(circuit), layering_(layering), options_(options) {}
+
+const FusedProgram& FusionCache::segment(layer_index_t from, layer_index_t to) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(from) << 32) | to;
+  auto it = segments_.find(key);
+  if (it == segments_.end()) {
+    it = segments_.emplace(key, fuse_layer_range(circuit_, layering_, from, to, options_))
+             .first;
+  }
+  return it->second;
+}
+
+}  // namespace rqsim

@@ -1,0 +1,92 @@
+// Gate fusion: collapse a gate sequence into fewer, denser matrix ops.
+//
+// The prefix-caching scheduler replays the same layer ranges for every
+// surviving trial, so shrinking the op count of a range pays off once per
+// replay. The pass rewrites a gate sequence into a FusedProgram of three op
+// kinds:
+//
+//   kGate — a circuit gate passed through unchanged (specialized kernels
+//           like CX/CZ/SWAP stay on their cheap swap/phase sweeps);
+//   kMat2 — a maximal run of single-qubit gates on one qubit, multiplied
+//           into a single 2x2 unitary;
+//   kMat4 — a two-qubit gate lifted to a 4x4 unitary with neighboring
+//           single-qubit matrices absorbed into it.
+//
+// Lifting policy (cost-model, see DESIGN.md): a two-qubit gate is lifted to
+// a Mat4 only when both operands carry a pending single-qubit matrix (one
+// full-sweep Mat4 beats two Mat2 sweeps plus a specialized sweep), or when
+// it lands on the same qubit pair as the immediately preceding Mat4, which
+// is then extended in place. Pending matrices also fold *backward* into the
+// last Mat4 on their qubit when no later op touches that qubit (ops on
+// disjoint qubits commute, so the fold preserves the operator product).
+//
+// Fusion changes the floating-point evaluation order, so fused execution is
+// epsilon-equivalent (not bitwise) to the unfused kernels; both are checked
+// against the dense reference simulator in the tests.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "circuit/layering.hpp"
+#include "common/types.hpp"
+#include "linalg/matrix.hpp"
+
+namespace rqsim {
+
+struct FusedOp {
+  enum class Kind : std::uint8_t { kGate, kMat2, kMat4 };
+
+  Kind kind = Kind::kGate;
+  Gate gate;                 // kGate only
+  Mat2 m2;                   // kMat2 only
+  Mat4 m4;                   // kMat4 only; index = (bit(q_hi) << 1) | bit(q_lo)
+  qubit_t q_hi = 0;          // kMat4 high-order operand
+  qubit_t q_lo = 0;          // kMat2 target / kMat4 low-order operand
+  std::uint32_t fused_gates = 1;  // source gates folded into this op
+};
+
+struct FusedProgram {
+  std::vector<FusedOp> ops;
+  std::size_t source_gate_count = 0;
+};
+
+struct FusionOptions {
+  /// Allow lifting two-qubit gates to Mat4 (absorption and pair-merging).
+  /// Off, the pass only fuses single-qubit runs.
+  bool lift_two_qubit = true;
+};
+
+/// Fuse a gate sequence (application order). The fused program applies the
+/// same unitary as applying `gates` in order.
+FusedProgram fuse_gate_sequence(const std::vector<Gate>& gates,
+                                const FusionOptions& options = {});
+
+/// Fuse the gates of layers [from, to) of a layered circuit, in layer order
+/// (the same order apply_layers uses).
+FusedProgram fuse_layer_range(const Circuit& circuit, const Layering& layering,
+                              layer_index_t from, layer_index_t to,
+                              const FusionOptions& options = {});
+
+/// Memoized fuse_layer_range. The scheduler advances checkpoints over a
+/// small set of distinct layer ranges (bounded by the error positions of
+/// the trial set); each range is fused once and replayed many times.
+class FusionCache {
+ public:
+  FusionCache(const Circuit& circuit, const Layering& layering,
+              FusionOptions options = {});
+
+  const FusedProgram& segment(layer_index_t from, layer_index_t to);
+
+  std::size_t num_segments() const { return segments_.size(); }
+
+ private:
+  const Circuit& circuit_;
+  const Layering& layering_;
+  FusionOptions options_;
+  std::unordered_map<std::uint64_t, FusedProgram> segments_;
+};
+
+}  // namespace rqsim

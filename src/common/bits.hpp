@@ -38,6 +38,13 @@ constexpr std::uint64_t insert_two_zero_bits(std::uint64_t x, unsigned b_low, un
   return insert_zero_bit(insert_zero_bit(x, b_low), b_high);
 }
 
+/// Insert three zero bits at positions b0 < b1 < b2 (positions in the
+/// *output* index). Used by the Toffoli kernel.
+constexpr std::uint64_t insert_three_zero_bits(std::uint64_t x, unsigned b0, unsigned b1,
+                                               unsigned b2) {
+  return insert_zero_bit(insert_two_zero_bits(x, b0, b1), b2);
+}
+
 /// Render the low `n` bits of `x` as a bitstring, most-significant first.
 std::string to_bitstring(std::uint64_t x, unsigned n);
 

@@ -80,11 +80,14 @@ void apply_error_event(const CircuitContext& ctx, StateVector& state,
 }
 
 SvBackend::SvBackend(const CircuitContext& ctx, Rng& rng, bool record_final_states,
-                     const std::vector<PauliString>* observables)
+                     const std::vector<PauliString>* observables, bool fuse_gates)
     : ctx_(ctx),
       rng_(rng),
       record_final_states_(record_final_states),
       observables_(observables) {
+  if (fuse_gates) {
+    fusion_ = std::make_unique<FusionCache>(ctx.circuit, ctx.layering);
+  }
   stack_.emplace_back(ctx.circuit.num_qubits());
   result_.max_live_states = 1;
   if (observables_ != nullptr) {
@@ -104,7 +107,11 @@ const StateVector& SvBackend::state_at(std::size_t depth) const {
 void SvBackend::on_advance(std::size_t depth, layer_index_t from_layer,
                            layer_index_t to_layer) {
   RQSIM_CHECK(depth == stack_.size() - 1, "SvBackend: advance must target the top");
-  apply_layers(ctx_, stack_[depth], from_layer, to_layer);
+  if (fusion_ != nullptr) {
+    apply_fused(stack_[depth], fusion_->segment(from_layer, to_layer));
+  } else {
+    apply_layers(ctx_, stack_[depth], from_layer, to_layer);
+  }
   result_.ops += ctx_.ops_in_layers(from_layer, to_layer);
   cached_probs_.reset();
   cached_expectations_.reset();
@@ -112,7 +119,7 @@ void SvBackend::on_advance(std::size_t depth, layer_index_t from_layer,
 
 void SvBackend::on_fork(std::size_t depth) {
   RQSIM_CHECK(depth == stack_.size() - 1, "SvBackend: fork must target the top");
-  stack_.push_back(stack_[depth]);
+  stack_.push_back(pool_.acquire_copy(stack_[depth]));
   result_.max_live_states = std::max(result_.max_live_states, stack_.size());
   cached_probs_.reset();
   cached_expectations_.reset();
@@ -161,6 +168,7 @@ void SvBackend::on_finish(std::size_t depth, trial_index_t trial_index,
 void SvBackend::on_drop(std::size_t depth) {
   RQSIM_CHECK(depth == stack_.size() - 1 && stack_.size() > 1,
               "SvBackend: drop must pop the top (non-root) checkpoint");
+  pool_.release(std::move(stack_.back()));
   stack_.pop_back();
   cached_probs_.reset();
   cached_expectations_.reset();

@@ -11,12 +11,15 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "circuit/fusion.hpp"
 #include "common/rng.hpp"
 #include "obs/pauli_string.hpp"
 #include "sched/plan.hpp"
+#include "sim/buffer_pool.hpp"
 #include "sim/measure.hpp"
 #include "sim/statevector.hpp"
 
@@ -89,9 +92,15 @@ class SvBackend : public ScheduleVisitor {
   /// trial's final statevector is kept (indexed by trial position in the
   /// scheduled order's original vector). `observables` (optional, borrowed;
   /// must outlive the backend) are evaluated per trial — duplicate trials
-  /// reuse one evaluation per shared final checkpoint.
+  /// reuse one evaluation per shared final checkpoint. With `fuse_gates`,
+  /// advances run through the gate-fusion engine (epsilon-equivalent to the
+  /// unfused kernels; see circuit/fusion.hpp).
   SvBackend(const CircuitContext& ctx, Rng& rng, bool record_final_states = false,
-            const std::vector<PauliString>* observables = nullptr);
+            const std::vector<PauliString>* observables = nullptr,
+            bool fuse_gates = false);
+
+  /// Checkpoint allocation statistics (buffer-pool effectiveness).
+  const StateBufferPool& buffer_pool() const { return pool_; }
 
   void on_advance(std::size_t depth, layer_index_t from_layer,
                   layer_index_t to_layer) override;
@@ -110,6 +119,8 @@ class SvBackend : public ScheduleVisitor {
   Rng& rng_;
   bool record_final_states_;
   const std::vector<PauliString>* observables_;
+  std::unique_ptr<FusionCache> fusion_;  // non-null when fusing
+  StateBufferPool pool_;
   std::vector<StateVector> stack_;
   SvRunResult result_;
   // Caches for the current finish checkpoint — duplicate trials reuse one

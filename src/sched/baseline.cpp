@@ -6,7 +6,56 @@
 
 namespace rqsim {
 
-StateVector simulate_trial(const CircuitContext& ctx, const Trial& trial) {
+namespace {
+
+void apply_one_event(const CircuitContext& ctx, StateVector& state,
+                     const ErrorEvent& event) {
+  if (is_idle_position(ctx.circuit.num_gates(), event.position)) {
+    apply_pauli(state, static_cast<Pauli>(event.op),
+                idle_qubit(ctx.circuit.num_gates(), event.position));
+    return;
+  }
+  const Gate& gate = ctx.circuit.gates()[event.position];
+  if (gate.arity() == 1) {
+    apply_pauli(state, static_cast<Pauli>(event.op), gate.qubits[0]);
+  } else {
+    RQSIM_CHECK(gate.arity() == 2, "simulate_trial: unsupported gate arity");
+    apply_pauli_pair(state, pauli_pair_from_index(event.op), gate.qubits[0],
+                     gate.qubits[1]);
+  }
+}
+
+// Fused variant: advance through the error-free layer segments between
+// consecutive error positions with fused programs.
+StateVector simulate_trial_fused(const CircuitContext& ctx, const Trial& trial,
+                                 FusionCache& fusion) {
+  StateVector state(ctx.circuit.num_qubits());
+  const layer_index_t num_layers = static_cast<layer_index_t>(ctx.num_layers());
+  layer_index_t from = 0;
+  std::size_t next_event = 0;
+  while (next_event < trial.events.size()) {
+    const layer_index_t l = trial.events[next_event].layer;
+    RQSIM_CHECK(l < num_layers, "simulate_trial: event beyond the last layer");
+    apply_fused(state, fusion.segment(from, l + 1));
+    from = l + 1;
+    while (next_event < trial.events.size() && trial.events[next_event].layer == l) {
+      apply_one_event(ctx, state, trial.events[next_event]);
+      ++next_event;
+    }
+  }
+  if (from < num_layers) {
+    apply_fused(state, fusion.segment(from, num_layers));
+  }
+  return state;
+}
+
+}  // namespace
+
+StateVector simulate_trial(const CircuitContext& ctx, const Trial& trial,
+                           FusionCache* fusion) {
+  if (fusion != nullptr) {
+    return simulate_trial_fused(ctx, trial, *fusion);
+  }
   StateVector state(ctx.circuit.num_qubits());
   std::size_t next_event = 0;
   for (layer_index_t l = 0; l < ctx.num_layers(); ++l) {
@@ -14,20 +63,7 @@ StateVector simulate_trial(const CircuitContext& ctx, const Trial& trial) {
       apply_gate(state, ctx.circuit.gates()[g]);
     }
     while (next_event < trial.events.size() && trial.events[next_event].layer == l) {
-      const ErrorEvent& event = trial.events[next_event];
-      if (is_idle_position(ctx.circuit.num_gates(), event.position)) {
-        apply_pauli(state, static_cast<Pauli>(event.op),
-                    idle_qubit(ctx.circuit.num_gates(), event.position));
-      } else {
-        const Gate& gate = ctx.circuit.gates()[event.position];
-        if (gate.arity() == 1) {
-          apply_pauli(state, static_cast<Pauli>(event.op), gate.qubits[0]);
-        } else {
-          RQSIM_CHECK(gate.arity() == 2, "simulate_trial: unsupported gate arity");
-          apply_pauli_pair(state, pauli_pair_from_index(event.op), gate.qubits[0],
-                           gate.qubits[1]);
-        }
-      }
+      apply_one_event(ctx, state, trial.events[next_event]);
       ++next_event;
     }
   }
@@ -38,7 +74,8 @@ StateVector simulate_trial(const CircuitContext& ctx, const Trial& trial) {
 
 SvRunResult baseline_simulate(const CircuitContext& ctx, const std::vector<Trial>& trials,
                               Rng& rng, bool record_final_states,
-                              const std::vector<PauliString>* observables) {
+                              const std::vector<PauliString>* observables,
+                              bool fuse_gates) {
   SvRunResult result;
   result.max_live_states = 1;
   if (record_final_states) {
@@ -47,9 +84,10 @@ SvRunResult baseline_simulate(const CircuitContext& ctx, const std::vector<Trial
   if (observables != nullptr) {
     result.observable_sums.assign(observables->size(), 0.0);
   }
+  FusionCache fusion(ctx.circuit, ctx.layering);
   for (std::size_t i = 0; i < trials.size(); ++i) {
     const Trial& trial = trials[i];
-    StateVector state = simulate_trial(ctx, trial);
+    StateVector state = simulate_trial(ctx, trial, fuse_gates ? &fusion : nullptr);
     result.ops += ctx.total_gate_ops() + static_cast<opcount_t>(trial.num_errors());
     if (!ctx.circuit.measured_qubits().empty()) {
       const auto probs = measurement_probabilities(state, ctx.circuit.measured_qubits());

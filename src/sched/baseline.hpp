@@ -17,13 +17,17 @@
 namespace rqsim {
 
 /// Simulate one trial from |0…0⟩; returns the pre-measurement final state.
-StateVector simulate_trial(const CircuitContext& ctx, const Trial& trial);
+/// With `fusion`, the error-free layer segments between the trial's error
+/// events run through the gate-fusion engine (epsilon-equivalent).
+StateVector simulate_trial(const CircuitContext& ctx, const Trial& trial,
+                           FusionCache* fusion = nullptr);
 
 /// Full baseline run: per-trial simulation, outcome sampling, histogram.
 /// `observables` (optional, borrowed) are evaluated on every trial's final
 /// state and accumulated into SvRunResult::observable_sums.
 SvRunResult baseline_simulate(const CircuitContext& ctx, const std::vector<Trial>& trials,
                               Rng& rng, bool record_final_states = false,
-                              const std::vector<PauliString>* observables = nullptr);
+                              const std::vector<PauliString>* observables = nullptr,
+                              bool fuse_gates = false);
 
 }  // namespace rqsim

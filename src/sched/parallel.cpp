@@ -45,7 +45,7 @@ NoisyRunResult run_noisy_parallel(const Circuit& circuit, const NoiseModel& nois
   auto work = [&](std::size_t w, std::uint64_t worker_seed) {
     Rng worker_rng(worker_seed);
     SvBackend backend(ctx, worker_rng, /*record_final_states=*/false,
-                      &config.observables);
+                      &config.observables, config.fuse_gates);
     schedule_trials(ctx, chunks[w], backend, options);
     partials[w] = backend.take_result();
   };

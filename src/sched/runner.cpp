@@ -44,7 +44,7 @@ NoisyRunResult run_noisy(const Circuit& circuit, const NoiseModel& noise,
   switch (config.mode) {
     case ExecutionMode::kBaseline: {
       SvRunResult run = baseline_simulate(ctx, trials, rng, /*record_final_states=*/false,
-                                          &config.observables);
+                                          &config.observables, config.fuse_gates);
       result.histogram = std::move(run.histogram);
       result.ops = run.ops;
       result.max_live_states = run.max_live_states;
@@ -53,7 +53,8 @@ NoisyRunResult run_noisy(const Circuit& circuit, const NoiseModel& noise,
     }
     case ExecutionMode::kCachedReordered: {
       reorder_trials(trials);
-      SvBackend backend(ctx, rng, /*record_final_states=*/false, &config.observables);
+      SvBackend backend(ctx, rng, /*record_final_states=*/false, &config.observables,
+                        config.fuse_gates);
       ScheduleOptions options;
       options.max_states = config.max_states;
       schedule_trials(ctx, trials, backend, options);

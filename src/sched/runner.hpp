@@ -34,6 +34,13 @@ struct NoisyRunConfig {
   /// computation for memory; results are unchanged.
   std::size_t max_states = 0;
 
+  /// Run gate applications through the fusion engine (circuit/fusion.hpp):
+  /// adjacent single-qubit gates collapse into one Mat2 and fold into
+  /// neighboring two-qubit Mat4s, shrinking the kernel count each trial
+  /// replays. Results are epsilon-equivalent to the unfused kernels (the
+  /// default stays off to preserve the bitwise baseline/cached proof).
+  bool fuse_gates = false;
+
   /// Pauli-string observables to estimate (statevector modes only):
   /// result.observable_means[k] = mean over trials of ⟨P_k⟩.
   std::vector<PauliString> observables;

@@ -1,0 +1,28 @@
+#include "sim/buffer_pool.hpp"
+
+namespace rqsim {
+
+StateVector StateBufferPool::acquire_copy(const StateVector& src) {
+  if (!free_.empty()) {
+    std::vector<cplx> buffer = std::move(free_.back());
+    free_.pop_back();
+    ++reuses_;
+    // Vector assignment reuses the existing allocation when capacity
+    // suffices (checkpoints of one run are all the same size).
+    buffer = src.amplitudes();
+    return StateVector::from_buffer(src.num_qubits(), std::move(buffer));
+  }
+  ++allocs_;
+  return StateVector::from_buffer(src.num_qubits(), src.amplitudes());
+}
+
+void StateBufferPool::release(StateVector&& state) {
+  if (free_.size() >= max_pooled_ || state.dim() == 0) {
+    return;
+  }
+  free_.push_back(state.take_buffer());
+}
+
+void StateBufferPool::clear() { free_.clear(); }
+
+}  // namespace rqsim

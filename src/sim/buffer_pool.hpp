@@ -1,0 +1,47 @@
+// Checkpoint buffer pool: recycles freed StateVector allocations.
+//
+// The prefix-caching executor forks a checkpoint on every branch of the
+// trial tree and drops it when the branch is exhausted — thousands of
+// push/pop cycles of 2^n-sized buffers per run. Allocating each fork fresh
+// costs a page-faulting malloc of up to hundreds of MiB; the pool instead
+// keeps dropped buffers on a free list and turns a fork into one memcpy
+// into already-mapped memory.
+//
+// The pool is not thread-safe; each executor (one per trial-parallel
+// worker) owns its own pool, mirroring its private checkpoint stack.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/statevector.hpp"
+
+namespace rqsim {
+
+class StateBufferPool {
+ public:
+  /// `max_pooled` bounds the free list; excess released buffers are freed.
+  explicit StateBufferPool(std::size_t max_pooled = 64) : max_pooled_(max_pooled) {}
+
+  /// A StateVector holding a copy of `src`, backed by a recycled buffer
+  /// when one is available.
+  StateVector acquire_copy(const StateVector& src);
+
+  /// Return a dead StateVector's buffer to the free list.
+  void release(StateVector&& state);
+
+  /// Drop all pooled buffers.
+  void clear();
+
+  std::size_t pooled() const { return free_.size(); }
+  std::uint64_t reuse_count() const { return reuses_; }
+  std::uint64_t alloc_count() const { return allocs_; }
+
+ private:
+  std::size_t max_pooled_;
+  std::vector<std::vector<cplx>> free_;
+  std::uint64_t reuses_ = 0;
+  std::uint64_t allocs_ = 0;
+};
+
+}  // namespace rqsim

@@ -1,0 +1,176 @@
+#include "sim/kernel_engine.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rqsim {
+
+namespace {
+
+// A fixed-size fork-join pool: run() hands each worker one contiguous chunk
+// and executes the first chunk on the calling thread. Workers idle on a
+// condition variable between jobs, so per-gate dispatch cost is two lock
+// round-trips, not thread creation.
+class WorkerPool {
+ public:
+  explicit WorkerPool(std::size_t num_workers) {
+    workers_.reserve(num_workers);
+    for (std::size_t w = 0; w < num_workers; ++w) {
+      workers_.emplace_back([this, w] { worker_loop(w); });
+    }
+    chunks_.resize(num_workers);
+  }
+
+  ~WorkerPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : workers_) {
+      t.join();
+    }
+  }
+
+  std::size_t num_workers() const { return workers_.size(); }
+
+  /// Split [0, n) across the workers plus the calling thread and block
+  /// until every chunk completes.
+  void run(std::uint64_t n, const std::function<void(std::uint64_t, std::uint64_t)>& body) {
+    const std::size_t ways = workers_.size() + 1;
+    const std::uint64_t per = (n + ways - 1) / ways;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      body_ = &body;
+      pending_ = 0;
+      for (std::size_t w = 0; w < workers_.size(); ++w) {
+        const std::uint64_t begin = std::min(per * (w + 1), n);
+        const std::uint64_t end = std::min(begin + per, n);
+        chunks_[w] = {begin, end};
+        if (begin < end) {
+          ++pending_;
+        }
+      }
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    body(0, std::min(per, n));
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    body_ = nullptr;
+  }
+
+ private:
+  void worker_loop(std::size_t index) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(std::uint64_t, std::uint64_t)>* body = nullptr;
+      std::uint64_t begin = 0;
+      std::uint64_t end = 0;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_) {
+          return;
+        }
+        seen = generation_;
+        begin = chunks_[index].first;
+        end = chunks_[index].second;
+        body = body_;
+      }
+      if (begin < end && body != nullptr) {
+        (*body)(begin, end);
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--pending_ == 0) {
+          done_cv_.notify_all();
+        }
+      }
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> chunks_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::uint64_t, std::uint64_t)>* body_ = nullptr;
+  std::size_t pending_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+std::mutex g_engine_mu;
+KernelConfig g_config;
+std::unique_ptr<WorkerPool> g_pool;
+
+// Lock-free mirrors of the config for the per-gate should_parallelize()
+// check; a mutex there would tax every kernel invocation.
+std::atomic<std::size_t> g_num_threads{1};
+std::atomic<unsigned> g_threshold_qubits{18};
+
+// Serializes pool usage: a kernel that cannot take this lock immediately
+// (another thread is mid-gate on the pool) falls back to a serial sweep.
+std::mutex g_dispatch_mu;
+
+}  // namespace
+
+void set_kernel_config(const KernelConfig& config) {
+  std::lock_guard<std::mutex> dispatch_lock(g_dispatch_mu);
+  std::lock_guard<std::mutex> lock(g_engine_mu);
+  g_config = config;
+  const std::size_t workers = config.num_threads > 1 ? config.num_threads - 1 : 0;
+  if (workers == 0) {
+    g_pool.reset();
+  } else if (!g_pool || g_pool->num_workers() != workers) {
+    g_pool = std::make_unique<WorkerPool>(workers);
+  }
+  g_num_threads.store(g_pool ? config.num_threads : 1, std::memory_order_relaxed);
+  g_threshold_qubits.store(config.parallel_threshold_qubits,
+                           std::memory_order_relaxed);
+}
+
+KernelConfig kernel_config() {
+  std::lock_guard<std::mutex> lock(g_engine_mu);
+  return g_config;
+}
+
+namespace detail {
+
+bool should_parallelize(std::uint64_t n, unsigned num_qubits) {
+  const std::size_t threads = g_num_threads.load(std::memory_order_relaxed);
+  if (threads <= 1) {
+    return false;
+  }
+  if (num_qubits < g_threshold_qubits.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  return n >= threads;
+}
+
+void pool_parallel_for(std::uint64_t n,
+                       const std::function<void(std::uint64_t, std::uint64_t)>& body) {
+  std::unique_lock<std::mutex> dispatch(g_dispatch_mu, std::try_to_lock);
+  if (!dispatch.owns_lock()) {
+    // Pool busy (e.g. concurrent trial workers): degrade to serial.
+    body(0, n);
+    return;
+  }
+  WorkerPool* pool = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(g_engine_mu);
+    pool = g_pool.get();
+  }
+  if (pool == nullptr) {
+    body(0, n);
+    return;
+  }
+  pool->run(n, body);
+}
+
+}  // namespace detail
+
+}  // namespace rqsim

@@ -2,25 +2,50 @@
 
 #include "common/bits.hpp"
 #include "common/error.hpp"
+#include "sim/kernel_engine.hpp"
 
 namespace rqsim {
+
+namespace {
+
+// The kernels operate on the amplitude array as interleaved doubles
+// (re, im, re, im, …) with hand-expanded complex arithmetic: std::complex
+// multiplication at -O* goes through NaN-propagation checks that block
+// auto-vectorization, while the expanded form compiles to straight FMA
+// streams. std::complex<double> guarantees this layout.
+inline double* amp_data(StateVector& state) {
+  return reinterpret_cast<double*>(state.amplitudes().data());
+}
+
+}  // namespace
 
 void apply_mat2(StateVector& state, const Mat2& m, qubit_t target) {
   RQSIM_CHECK(target < state.num_qubits(), "apply_mat2: target out of range");
   const std::uint64_t half = state.dim() >> 1;
-  const cplx m00 = m.at(0, 0);
-  const cplx m01 = m.at(0, 1);
-  const cplx m10 = m.at(1, 0);
-  const cplx m11 = m.at(1, 1);
-  auto& amps = state.amplitudes();
-  for (std::uint64_t k = 0; k < half; ++k) {
-    const std::uint64_t i0 = insert_zero_bit(k, target);
-    const std::uint64_t i1 = i0 | (std::uint64_t{1} << target);
-    const cplx a0 = amps[i0];
-    const cplx a1 = amps[i1];
-    amps[i0] = m00 * a0 + m01 * a1;
-    amps[i1] = m10 * a0 + m11 * a1;
-  }
+  const std::uint64_t stride2 = std::uint64_t{2} << target;  // interleaved stride
+  double* d = amp_data(state);
+  const double m00r = m.at(0, 0).real(), m00i = m.at(0, 0).imag();
+  const double m01r = m.at(0, 1).real(), m01i = m.at(0, 1).imag();
+  const double m10r = m.at(1, 0).real(), m10i = m.at(1, 0).imag();
+  const double m11r = m.at(1, 1).real(), m11i = m.at(1, 1).imag();
+  kernel_parallel_for(half, state.num_qubits(), [=](std::uint64_t k0, std::uint64_t k1) {
+    for_target_runs(target, k0, k1,
+                    [=](std::uint64_t base, std::uint64_t run, auto step) {
+      // Indexed accesses off loop-invariant bases (not per-iteration
+      // pointers) so the loads get a vector type and the loop vectorizes.
+      double* p0 = d + 2 * base;
+      double* p1 = p0 + stride2;
+      constexpr std::uint64_t s = 2 * decltype(step)::value;
+      for (std::uint64_t j = 0; j < run; ++j) {
+        const double a0r = p0[s * j], a0i = p0[s * j + 1];
+        const double a1r = p1[s * j], a1i = p1[s * j + 1];
+        p0[s * j] = m00r * a0r - m00i * a0i + m01r * a1r - m01i * a1i;
+        p0[s * j + 1] = m00r * a0i + m00i * a0r + m01r * a1i + m01i * a1r;
+        p1[s * j] = m10r * a0r - m10i * a0i + m11r * a1r - m11i * a1i;
+        p1[s * j + 1] = m10r * a0i + m10i * a0r + m11r * a1i + m11i * a1r;
+      }
+    });
+  });
 }
 
 void apply_mat4(StateVector& state, const Mat4& m, qubit_t q1, qubit_t q0) {
@@ -29,50 +54,97 @@ void apply_mat4(StateVector& state, const Mat4& m, qubit_t q1, qubit_t q0) {
   const qubit_t lo = q1 < q0 ? q1 : q0;
   const qubit_t hi = q1 < q0 ? q0 : q1;
   const std::uint64_t quarter = state.dim() >> 2;
-  auto& amps = state.amplitudes();
-  const std::uint64_t bit1 = std::uint64_t{1} << q1;
-  const std::uint64_t bit0 = std::uint64_t{1} << q0;
-  for (std::uint64_t k = 0; k < quarter; ++k) {
-    const std::uint64_t base = insert_two_zero_bits(k, lo, hi);
-    const std::uint64_t i00 = base;
-    const std::uint64_t i01 = base | bit0;
-    const std::uint64_t i10 = base | bit1;
-    const std::uint64_t i11 = base | bit0 | bit1;
-    const cplx a00 = amps[i00];
-    const cplx a01 = amps[i01];
-    const cplx a10 = amps[i10];
-    const cplx a11 = amps[i11];
-    amps[i00] = m.at(0, 0) * a00 + m.at(0, 1) * a01 + m.at(0, 2) * a10 + m.at(0, 3) * a11;
-    amps[i01] = m.at(1, 0) * a00 + m.at(1, 1) * a01 + m.at(1, 2) * a10 + m.at(1, 3) * a11;
-    amps[i10] = m.at(2, 0) * a00 + m.at(2, 1) * a01 + m.at(2, 2) * a10 + m.at(2, 3) * a11;
-    amps[i11] = m.at(3, 0) * a00 + m.at(3, 1) * a01 + m.at(3, 2) * a10 + m.at(3, 3) * a11;
+  // Interleaved offsets of the four amplitudes of one quad. Matrix row and
+  // column index is (bit(q1) << 1) | bit(q0).
+  const std::uint64_t o1 = std::uint64_t{2} << q0;
+  const std::uint64_t o2 = std::uint64_t{2} << q1;
+  const std::uint64_t o3 = o1 + o2;
+  double mr[16];
+  double mi[16];
+  for (std::size_t i = 0; i < 16; ++i) {
+    mr[i] = m.m[i].real();
+    mi[i] = m.m[i].imag();
   }
+  double* d = amp_data(state);
+  kernel_parallel_for(quarter, state.num_qubits(), [=](std::uint64_t k0, std::uint64_t k1) {
+    for_two_target_runs(lo, hi, k0, k1,
+                        [=](std::uint64_t base, std::uint64_t run, auto step) {
+      double* b0 = d + 2 * base;
+      double* b1 = b0 + o1;
+      double* b2 = b0 + o2;
+      double* b3 = b0 + o3;
+      constexpr std::uint64_t s = 2 * decltype(step)::value;
+      for (std::uint64_t j = 0; j < run; ++j) {
+        const double a0r = b0[s * j], a0i = b0[s * j + 1];
+        const double a1r = b1[s * j], a1i = b1[s * j + 1];
+        const double a2r = b2[s * j], a2i = b2[s * j + 1];
+        const double a3r = b3[s * j], a3i = b3[s * j + 1];
+        b0[s * j] = mr[0] * a0r - mi[0] * a0i + mr[1] * a1r - mi[1] * a1i +
+                    mr[2] * a2r - mi[2] * a2i + mr[3] * a3r - mi[3] * a3i;
+        b0[s * j + 1] = mr[0] * a0i + mi[0] * a0r + mr[1] * a1i + mi[1] * a1r +
+                        mr[2] * a2i + mi[2] * a2r + mr[3] * a3i + mi[3] * a3r;
+        b1[s * j] = mr[4] * a0r - mi[4] * a0i + mr[5] * a1r - mi[5] * a1i +
+                    mr[6] * a2r - mi[6] * a2i + mr[7] * a3r - mi[7] * a3i;
+        b1[s * j + 1] = mr[4] * a0i + mi[4] * a0r + mr[5] * a1i + mi[5] * a1r +
+                        mr[6] * a2i + mi[6] * a2r + mr[7] * a3i + mi[7] * a3r;
+        b2[s * j] = mr[8] * a0r - mi[8] * a0i + mr[9] * a1r - mi[9] * a1i +
+                    mr[10] * a2r - mi[10] * a2i + mr[11] * a3r - mi[11] * a3i;
+        b2[s * j + 1] = mr[8] * a0i + mi[8] * a0r + mr[9] * a1i + mi[9] * a1r +
+                        mr[10] * a2i + mi[10] * a2r + mr[11] * a3i + mi[11] * a3r;
+        b3[s * j] = mr[12] * a0r - mi[12] * a0i + mr[13] * a1r - mi[13] * a1i +
+                    mr[14] * a2r - mi[14] * a2i + mr[15] * a3r - mi[15] * a3i;
+        b3[s * j + 1] = mr[12] * a0i + mi[12] * a0r + mr[13] * a1i + mi[13] * a1r +
+                        mr[14] * a2i + mi[14] * a2r + mr[15] * a3i + mi[15] * a3r;
+      }
+    });
+  });
 }
 
 void apply_x(StateVector& state, qubit_t target) {
   RQSIM_CHECK(target < state.num_qubits(), "apply_x: target out of range");
   const std::uint64_t half = state.dim() >> 1;
-  auto& amps = state.amplitudes();
-  for (std::uint64_t k = 0; k < half; ++k) {
-    const std::uint64_t i0 = insert_zero_bit(k, target);
-    const std::uint64_t i1 = i0 | (std::uint64_t{1} << target);
-    std::swap(amps[i0], amps[i1]);
-  }
+  const std::uint64_t stride2 = std::uint64_t{2} << target;
+  double* d = amp_data(state);
+  kernel_parallel_for(half, state.num_qubits(), [=](std::uint64_t k0, std::uint64_t k1) {
+    for_target_runs(target, k0, k1,
+                    [=](std::uint64_t base, std::uint64_t run, auto step) {
+      double* p0 = d + 2 * base;
+      constexpr std::uint64_t s = 2 * decltype(step)::value;
+      for (std::uint64_t j = 0; j < run; ++j) {
+        double* q0 = p0 + j * s;
+        double* q1 = q0 + stride2;
+        const double r = q0[0], i = q0[1];
+        q0[0] = q1[0];
+        q0[1] = q1[1];
+        q1[0] = r;
+        q1[1] = i;
+      }
+    });
+  });
 }
 
 void apply_y(StateVector& state, qubit_t target) {
   RQSIM_CHECK(target < state.num_qubits(), "apply_y: target out of range");
   const std::uint64_t half = state.dim() >> 1;
-  auto& amps = state.amplitudes();
-  const cplx i_unit(0.0, 1.0);
-  for (std::uint64_t k = 0; k < half; ++k) {
-    const std::uint64_t i0 = insert_zero_bit(k, target);
-    const std::uint64_t i1 = i0 | (std::uint64_t{1} << target);
-    const cplx a0 = amps[i0];
-    const cplx a1 = amps[i1];
-    amps[i0] = -i_unit * a1;
-    amps[i1] = i_unit * a0;
-  }
+  const std::uint64_t stride2 = std::uint64_t{2} << target;
+  double* d = amp_data(state);
+  // |0⟩ ↦ i|1⟩, |1⟩ ↦ -i|0⟩: new a0 = -i*a1 = (a1i, -a1r); new a1 = i*a0.
+  kernel_parallel_for(half, state.num_qubits(), [=](std::uint64_t k0, std::uint64_t k1) {
+    for_target_runs(target, k0, k1,
+                    [=](std::uint64_t base, std::uint64_t run, auto step) {
+      double* p0 = d + 2 * base;
+      constexpr std::uint64_t s = 2 * decltype(step)::value;
+      for (std::uint64_t j = 0; j < run; ++j) {
+        double* q0 = p0 + j * s;
+        double* q1 = q0 + stride2;
+        const double a0r = q0[0], a0i = q0[1];
+        q0[0] = q1[1];
+        q0[1] = -q1[0];
+        q1[0] = -a0i;
+        q1[1] = a0r;
+      }
+    });
+  });
 }
 
 void apply_z(StateVector& state, qubit_t target) {
@@ -80,23 +152,38 @@ void apply_z(StateVector& state, qubit_t target) {
 }
 
 void apply_h(StateVector& state, qubit_t target) {
-  Mat2 h;
-  const double inv_sqrt2 = 0.7071067811865475244;
-  h.at(0, 0) = inv_sqrt2;
-  h.at(0, 1) = inv_sqrt2;
-  h.at(1, 0) = inv_sqrt2;
-  h.at(1, 1) = -inv_sqrt2;
-  apply_mat2(state, h, target);
+  static const Mat2 kHadamard = [] {
+    Mat2 h;
+    const double inv_sqrt2 = 0.7071067811865475244;
+    h.at(0, 0) = inv_sqrt2;
+    h.at(0, 1) = inv_sqrt2;
+    h.at(1, 0) = inv_sqrt2;
+    h.at(1, 1) = -inv_sqrt2;
+    return h;
+  }();
+  apply_mat2(state, kHadamard, target);
 }
 
 void apply_phase(StateVector& state, qubit_t target, cplx phase) {
   RQSIM_CHECK(target < state.num_qubits(), "apply_phase: target out of range");
   const std::uint64_t half = state.dim() >> 1;
-  auto& amps = state.amplitudes();
-  for (std::uint64_t k = 0; k < half; ++k) {
-    const std::uint64_t i1 = insert_zero_bit(k, target) | (std::uint64_t{1} << target);
-    amps[i1] *= phase;
-  }
+  const std::uint64_t stride2 = std::uint64_t{2} << target;
+  const double pr = phase.real();
+  const double pi = phase.imag();
+  double* d = amp_data(state);
+  kernel_parallel_for(half, state.num_qubits(), [=](std::uint64_t k0, std::uint64_t k1) {
+    for_target_runs(target, k0, k1,
+                    [=](std::uint64_t base, std::uint64_t run, auto step) {
+      double* p1 = d + 2 * base + stride2;
+      constexpr std::uint64_t s = 2 * decltype(step)::value;
+      for (std::uint64_t j = 0; j < run; ++j) {
+        double* q1 = p1 + j * s;
+        const double ar = q1[0], ai = q1[1];
+        q1[0] = pr * ar - pi * ai;
+        q1[1] = pr * ai + pi * ar;
+      }
+    });
+  });
 }
 
 void apply_cx(StateVector& state, qubit_t control, qubit_t target) {
@@ -106,13 +193,25 @@ void apply_cx(StateVector& state, qubit_t control, qubit_t target) {
   const qubit_t lo = control < target ? control : target;
   const qubit_t hi = control < target ? target : control;
   const std::uint64_t quarter = state.dim() >> 2;
-  auto& amps = state.amplitudes();
-  const std::uint64_t cbit = std::uint64_t{1} << control;
-  const std::uint64_t tbit = std::uint64_t{1} << target;
-  for (std::uint64_t k = 0; k < quarter; ++k) {
-    const std::uint64_t base = insert_two_zero_bits(k, lo, hi) | cbit;
-    std::swap(amps[base], amps[base | tbit]);
-  }
+  const std::uint64_t coff = std::uint64_t{2} << control;
+  const std::uint64_t toff = std::uint64_t{2} << target;
+  double* d = amp_data(state);
+  kernel_parallel_for(quarter, state.num_qubits(), [=](std::uint64_t k0, std::uint64_t k1) {
+    for_two_target_runs(lo, hi, k0, k1,
+                        [=](std::uint64_t base, std::uint64_t run, auto step) {
+      double* p0 = d + 2 * base + coff;
+      constexpr std::uint64_t s = 2 * decltype(step)::value;
+      for (std::uint64_t j = 0; j < run; ++j) {
+        double* q0 = p0 + j * s;
+        double* q1 = q0 + toff;
+        const double r = q0[0], i = q0[1];
+        q0[0] = q1[0];
+        q0[1] = q1[1];
+        q1[0] = r;
+        q1[1] = i;
+      }
+    });
+  });
 }
 
 void apply_cz(StateVector& state, qubit_t a, qubit_t b) {
@@ -125,11 +224,23 @@ void apply_cphase(StateVector& state, qubit_t a, qubit_t b, cplx phase) {
   const qubit_t lo = a < b ? a : b;
   const qubit_t hi = a < b ? b : a;
   const std::uint64_t quarter = state.dim() >> 2;
-  auto& amps = state.amplitudes();
-  const std::uint64_t both = (std::uint64_t{1} << a) | (std::uint64_t{1} << b);
-  for (std::uint64_t k = 0; k < quarter; ++k) {
-    amps[insert_two_zero_bits(k, lo, hi) | both] *= phase;
-  }
+  const std::uint64_t both = (std::uint64_t{2} << a) + (std::uint64_t{2} << b);
+  const double pr = phase.real();
+  const double pi = phase.imag();
+  double* d = amp_data(state);
+  kernel_parallel_for(quarter, state.num_qubits(), [=](std::uint64_t k0, std::uint64_t k1) {
+    for_two_target_runs(lo, hi, k0, k1,
+                        [=](std::uint64_t base, std::uint64_t run, auto step) {
+      double* p = d + 2 * base + both;
+      constexpr std::uint64_t s = 2 * decltype(step)::value;
+      for (std::uint64_t j = 0; j < run; ++j) {
+        double* q = p + j * s;
+        const double ar = q[0], ai = q[1];
+        q[0] = pr * ar - pi * ai;
+        q[1] = pr * ai + pi * ar;
+      }
+    });
+  });
 }
 
 void apply_swap(StateVector& state, qubit_t a, qubit_t b) {
@@ -138,13 +249,25 @@ void apply_swap(StateVector& state, qubit_t a, qubit_t b) {
   const qubit_t lo = a < b ? a : b;
   const qubit_t hi = a < b ? b : a;
   const std::uint64_t quarter = state.dim() >> 2;
-  auto& amps = state.amplitudes();
-  const std::uint64_t abit = std::uint64_t{1} << a;
-  const std::uint64_t bbit = std::uint64_t{1} << b;
-  for (std::uint64_t k = 0; k < quarter; ++k) {
-    const std::uint64_t base = insert_two_zero_bits(k, lo, hi);
-    std::swap(amps[base | abit], amps[base | bbit]);
-  }
+  const std::uint64_t aoff = std::uint64_t{2} << a;
+  const std::uint64_t boff = std::uint64_t{2} << b;
+  double* d = amp_data(state);
+  kernel_parallel_for(quarter, state.num_qubits(), [=](std::uint64_t k0, std::uint64_t k1) {
+    for_two_target_runs(lo, hi, k0, k1,
+                        [=](std::uint64_t base, std::uint64_t run, auto step) {
+      double* p = d + 2 * base;
+      constexpr std::uint64_t s = 2 * decltype(step)::value;
+      for (std::uint64_t j = 0; j < run; ++j) {
+        double* qa = p + j * s + aoff;
+        double* qb = p + j * s + boff;
+        const double r = qa[0], i = qa[1];
+        qa[0] = qb[0];
+        qa[1] = qb[1];
+        qb[0] = r;
+        qb[1] = i;
+      }
+    });
+  });
 }
 
 void apply_ccx(StateVector& state, qubit_t c1, qubit_t c2, qubit_t target) {
@@ -152,19 +275,29 @@ void apply_ccx(StateVector& state, qubit_t c1, qubit_t c2, qubit_t target) {
                   target < state.num_qubits() && c1 != c2 && c1 != target &&
                   c2 != target,
               "apply_ccx: bad operands");
-  auto& amps = state.amplitudes();
-  const std::uint64_t c1bit = std::uint64_t{1} << c1;
-  const std::uint64_t c2bit = std::uint64_t{1} << c2;
+  // Iterate the dim/8 indices with all three operand bits cleared, then set
+  // both control bits — touches exactly the amplitudes that move.
+  unsigned b0 = c1, b1 = c2, b2 = target;
+  if (b0 > b1) std::swap(b0, b1);
+  if (b1 > b2) std::swap(b1, b2);
+  if (b0 > b1) std::swap(b0, b1);
+  const std::uint64_t eighth = state.dim() >> 3;
+  const std::uint64_t cbits = (std::uint64_t{1} << c1) | (std::uint64_t{1} << c2);
   const std::uint64_t tbit = std::uint64_t{1} << target;
-  const std::uint64_t dim = state.dim();
-  for (std::uint64_t i = 0; i < dim; ++i) {
-    if ((i & c1bit) && (i & c2bit) && !(i & tbit)) {
-      std::swap(amps[i], amps[i | tbit]);
+  auto& amps = state.amplitudes();
+  kernel_parallel_for(eighth, state.num_qubits(), [&](std::uint64_t k0, std::uint64_t k1) {
+    for (std::uint64_t k = k0; k < k1; ++k) {
+      const std::uint64_t i0 = insert_three_zero_bits(k, b0, b1, b2) | cbits;
+      std::swap(amps[i0], amps[i0 | tbit]);
     }
-  }
+  });
 }
 
 void apply_gate(StateVector& state, const Gate& gate) {
+  static const cplx kSPhase(0.0, 1.0);
+  static const cplx kSdgPhase(0.0, -1.0);
+  static const cplx kTPhase = std::exp(cplx(0.0, kPi / 4.0));
+  static const cplx kTdgPhase = std::exp(cplx(0.0, -kPi / 4.0));
   switch (gate.kind) {
     case GateKind::X:
       apply_x(state, gate.qubits[0]);
@@ -179,16 +312,16 @@ void apply_gate(StateVector& state, const Gate& gate) {
       apply_h(state, gate.qubits[0]);
       return;
     case GateKind::S:
-      apply_phase(state, gate.qubits[0], cplx(0.0, 1.0));
+      apply_phase(state, gate.qubits[0], kSPhase);
       return;
     case GateKind::Sdg:
-      apply_phase(state, gate.qubits[0], cplx(0.0, -1.0));
+      apply_phase(state, gate.qubits[0], kSdgPhase);
       return;
     case GateKind::T:
-      apply_phase(state, gate.qubits[0], std::exp(cplx(0.0, kPi / 4.0)));
+      apply_phase(state, gate.qubits[0], kTPhase);
       return;
     case GateKind::Tdg:
-      apply_phase(state, gate.qubits[0], std::exp(cplx(0.0, -kPi / 4.0)));
+      apply_phase(state, gate.qubits[0], kTdgPhase);
       return;
     case GateKind::P:
       apply_phase(state, gate.qubits[0], std::exp(cplx(0.0, gate.params[0])));
@@ -218,6 +351,22 @@ void apply_gate(StateVector& state, const Gate& gate) {
       return;
   }
   RQSIM_CHECK(false, "apply_gate: unhandled gate kind");
+}
+
+void apply_fused(StateVector& state, const FusedProgram& program) {
+  for (const FusedOp& op : program.ops) {
+    switch (op.kind) {
+      case FusedOp::Kind::kGate:
+        apply_gate(state, op.gate);
+        break;
+      case FusedOp::Kind::kMat2:
+        apply_mat2(state, op.m2, op.q_lo);
+        break;
+      case FusedOp::Kind::kMat4:
+        apply_mat4(state, op.m4, op.q_hi, op.q_lo);
+        break;
+    }
+  }
 }
 
 void apply_pauli(StateVector& state, Pauli p, qubit_t target) {

@@ -4,6 +4,7 @@
 // The bit-twiddling index transforms live in common/bits.hpp.
 #pragma once
 
+#include "circuit/fusion.hpp"
 #include "circuit/gate.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/pauli.hpp"
@@ -31,6 +32,9 @@ void apply_ccx(StateVector& state, qubit_t c1, qubit_t c2, qubit_t target);
 
 /// Apply a circuit gate, dispatching to the fast path where one exists.
 void apply_gate(StateVector& state, const Gate& gate);
+
+/// Apply a fused gate program (see circuit/fusion.hpp) in op order.
+void apply_fused(StateVector& state, const FusedProgram& program);
 
 /// Apply a single-qubit Pauli error operator.
 void apply_pauli(StateVector& state, Pauli p, qubit_t target);

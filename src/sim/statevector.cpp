@@ -20,6 +20,20 @@ StateVector::StateVector(unsigned num_qubits, std::uint64_t basis_index)
   amps_[basis_index] = 1.0;
 }
 
+StateVector StateVector::from_buffer(unsigned num_qubits, std::vector<cplx> buffer) {
+  RQSIM_CHECK(buffer.size() == pow2(num_qubits),
+              "StateVector::from_buffer: buffer size must be 2^num_qubits");
+  StateVector state;
+  state.num_qubits_ = num_qubits;
+  state.amps_ = std::move(buffer);
+  return state;
+}
+
+std::vector<cplx> StateVector::take_buffer() {
+  num_qubits_ = 0;
+  return std::move(amps_);
+}
+
 void StateVector::reset() {
   std::fill(amps_.begin(), amps_.end(), cplx(0.0));
   amps_[0] = 1.0;

@@ -22,6 +22,13 @@ class StateVector {
   /// Basis state |index⟩.
   StateVector(unsigned num_qubits, std::uint64_t basis_index);
 
+  /// Adopt an existing amplitude buffer (size must be 2^num_qubits). Used
+  /// by the checkpoint buffer pool to recycle allocations.
+  static StateVector from_buffer(unsigned num_qubits, std::vector<cplx> buffer);
+
+  /// Move the amplitude buffer out, leaving this state empty (0 qubits).
+  std::vector<cplx> take_buffer();
+
   unsigned num_qubits() const { return num_qubits_; }
   std::size_t dim() const { return amps_.size(); }
 

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "bench_circuits/qft.hpp"
+#include "common/rng.hpp"
+#include "noise/noise_model.hpp"
+#include "sched/backend.hpp"
+#include "sched/order.hpp"
+#include "sched/plan.hpp"
+#include "sim/buffer_pool.hpp"
+#include "sim/kernels.hpp"
+#include "sim/statevector.hpp"
+#include "transpile/decompose.hpp"
+#include "trial/generator.hpp"
+
+namespace rqsim {
+namespace {
+
+StateVector random_state(unsigned n, std::uint64_t seed) {
+  Rng rng(seed);
+  StateVector s(n);
+  for (std::size_t i = 0; i < s.dim(); ++i) {
+    s[i] = cplx(rng.normal(), rng.normal());
+  }
+  return s;
+}
+
+TEST(StateBufferPool, AcquireCopyIsIndependentCopy) {
+  StateBufferPool pool;
+  const StateVector src = random_state(4, 1);
+  StateVector copy = pool.acquire_copy(src);
+  EXPECT_TRUE(copy.bitwise_equal(src));
+  EXPECT_EQ(pool.alloc_count(), 1u);
+  EXPECT_EQ(pool.reuse_count(), 0u);
+
+  apply_x(copy, 0);
+  EXPECT_FALSE(copy.bitwise_equal(src));
+}
+
+TEST(StateBufferPool, ReleaseThenAcquireReusesTheBuffer) {
+  StateBufferPool pool;
+  const StateVector src = random_state(4, 2);
+  StateVector copy = pool.acquire_copy(src);
+  pool.release(std::move(copy));
+  EXPECT_EQ(pool.pooled(), 1u);
+
+  StateVector again = pool.acquire_copy(src);
+  EXPECT_EQ(pool.pooled(), 0u);
+  EXPECT_EQ(pool.reuse_count(), 1u);
+  EXPECT_EQ(pool.alloc_count(), 1u);
+  EXPECT_TRUE(again.bitwise_equal(src));
+}
+
+TEST(StateBufferPool, ReusedBufferAdaptsToDifferentRegisterSize) {
+  StateBufferPool pool;
+  const StateVector small = random_state(3, 3);
+  const StateVector large = random_state(6, 4);
+
+  pool.release(pool.acquire_copy(small));
+  StateVector grown = pool.acquire_copy(large);
+  EXPECT_EQ(grown.num_qubits(), 6u);
+  EXPECT_TRUE(grown.bitwise_equal(large));
+  EXPECT_EQ(pool.reuse_count(), 1u);
+
+  pool.release(std::move(grown));
+  StateVector shrunk = pool.acquire_copy(small);
+  EXPECT_EQ(shrunk.num_qubits(), 3u);
+  EXPECT_TRUE(shrunk.bitwise_equal(small));
+}
+
+TEST(StateBufferPool, FreeListIsBoundedByMaxPooled) {
+  StateBufferPool pool(/*max_pooled=*/2);
+  const StateVector src = random_state(3, 5);
+  for (int i = 0; i < 5; ++i) {
+    pool.release(pool.acquire_copy(src));
+    StateVector a = pool.acquire_copy(src);
+    StateVector b = pool.acquire_copy(src);
+    StateVector c = pool.acquire_copy(src);
+    pool.release(std::move(a));
+    pool.release(std::move(b));
+    pool.release(std::move(c));
+    EXPECT_LE(pool.pooled(), 2u);
+  }
+}
+
+TEST(StateBufferPool, ClearDropsPooledBuffers) {
+  StateBufferPool pool;
+  const StateVector src = random_state(3, 6);
+  pool.release(pool.acquire_copy(src));
+  EXPECT_EQ(pool.pooled(), 1u);
+  pool.clear();
+  EXPECT_EQ(pool.pooled(), 0u);
+}
+
+// The cached scheduler forks a checkpoint at every branch point and drops it
+// when its subtree of trials finishes; with enough trials the drop/fork
+// cycle must start recycling buffers instead of allocating.
+TEST(StateBufferPool, CachedRunRecyclesCheckpointBuffers) {
+  const Circuit c = decompose_to_cx_basis(make_qft(4));
+  const CircuitContext ctx(c);
+  const NoiseModel noise = NoiseModel::uniform(4, 0.02, 0.1, 0.01);
+  Rng rng(11);
+  auto trials = generate_trials(c, ctx.layering, noise, 400, rng);
+  reorder_trials(trials);
+
+  Rng sample_rng(12);
+  SvBackend sv(ctx, sample_rng);
+  schedule_trials(ctx, trials, sv);
+
+  const StateBufferPool& pool = sv.buffer_pool();
+  EXPECT_GT(pool.reuse_count(), 0u);
+  EXPECT_GT(pool.reuse_count(), pool.alloc_count());
+}
+
+}  // namespace
+}  // namespace rqsim

@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "circuit/fusion.hpp"
+#include "circuit/layering.hpp"
+#include "common/rng.hpp"
+#include "sim/kernels.hpp"
+#include "sim/statevector.hpp"
+
+namespace rqsim {
+namespace {
+
+constexpr double kTol = 1e-10;
+
+StateVector random_state(unsigned n, std::uint64_t seed) {
+  Rng rng(seed);
+  StateVector s(n);
+  double norm = 0.0;
+  for (std::size_t i = 0; i < s.dim(); ++i) {
+    s[i] = cplx(rng.normal(), rng.normal());
+    norm += std::norm(s[i]);
+  }
+  const double scale = 1.0 / std::sqrt(norm);
+  for (std::size_t i = 0; i < s.dim(); ++i) {
+    s[i] *= scale;
+  }
+  return s;
+}
+
+void apply_unfused(StateVector& s, const std::vector<Gate>& gates) {
+  for (const Gate& g : gates) {
+    apply_gate(s, g);
+  }
+}
+
+// Fused and unfused execution of the same sequence must agree to epsilon
+// (fusion reassociates the floating-point products).
+void expect_equivalent(const std::vector<Gate>& gates, unsigned n,
+                       std::uint64_t seed, const FusionOptions& options = {}) {
+  StateVector expected = random_state(n, seed);
+  StateVector fused = expected;
+  apply_unfused(expected, gates);
+  apply_fused(fused, fuse_gate_sequence(gates, options));
+  EXPECT_LT(fused.max_abs_diff(expected), kTol);
+}
+
+// --------------------------------------------------------- directed patterns
+
+TEST(Fusion, SingleQubitRunFusesToOneMat2) {
+  const std::vector<Gate> gates = {Gate::make1(GateKind::H, 0),
+                                   Gate::make1(GateKind::T, 0),
+                                   Gate::make1(GateKind::S, 0)};
+  const FusedProgram program = fuse_gate_sequence(gates);
+  ASSERT_EQ(program.ops.size(), 1u);
+  EXPECT_EQ(program.ops[0].kind, FusedOp::Kind::kMat2);
+  EXPECT_EQ(program.ops[0].q_lo, 0u);
+  EXPECT_EQ(program.ops[0].fused_gates, 3u);
+  EXPECT_EQ(program.source_gate_count, 3u);
+  expect_equivalent(gates, 2, 11);
+}
+
+TEST(Fusion, DisjointQubitsKeepSeparateMat2s) {
+  const std::vector<Gate> gates = {Gate::make1(GateKind::H, 0),
+                                   Gate::make1(GateKind::H, 1),
+                                   Gate::make1(GateKind::T, 0)};
+  const FusedProgram program = fuse_gate_sequence(gates);
+  EXPECT_EQ(program.ops.size(), 2u);
+  expect_equivalent(gates, 2, 12);
+}
+
+TEST(Fusion, BareTwoQubitGateStaysSpecialized) {
+  const std::vector<Gate> gates = {Gate::make2(GateKind::CX, 0, 1)};
+  const FusedProgram program = fuse_gate_sequence(gates);
+  ASSERT_EQ(program.ops.size(), 1u);
+  EXPECT_EQ(program.ops[0].kind, FusedOp::Kind::kGate);
+  expect_equivalent(gates, 2, 13);
+}
+
+TEST(Fusion, LiftsWhenBothOperandsHavePendingMatrices) {
+  const std::vector<Gate> gates = {
+      Gate::make1(GateKind::U3, 0, 0.3, 0.7, 1.1),
+      Gate::make1(GateKind::U3, 1, 0.2, 0.5, 0.9),
+      Gate::make2(GateKind::CX, 0, 1)};
+  const FusedProgram program = fuse_gate_sequence(gates);
+  ASSERT_EQ(program.ops.size(), 1u);
+  EXPECT_EQ(program.ops[0].kind, FusedOp::Kind::kMat4);
+  EXPECT_EQ(program.ops[0].fused_gates, 3u);
+  expect_equivalent(gates, 3, 14);
+}
+
+TEST(Fusion, SingleSidedPendingDoesNotLift) {
+  const std::vector<Gate> gates = {Gate::make1(GateKind::U3, 0, 0.3, 0.7, 1.1),
+                                   Gate::make2(GateKind::CX, 0, 1)};
+  const FusedProgram program = fuse_gate_sequence(gates);
+  ASSERT_EQ(program.ops.size(), 2u);
+  EXPECT_EQ(program.ops[0].kind, FusedOp::Kind::kMat2);
+  EXPECT_EQ(program.ops[1].kind, FusedOp::Kind::kGate);
+  expect_equivalent(gates, 2, 15);
+}
+
+TEST(Fusion, SamePairMergesIntoPrecedingMat4) {
+  const std::vector<Gate> gates = {
+      Gate::make1(GateKind::U3, 0, 0.3, 0.7, 1.1),
+      Gate::make1(GateKind::U3, 1, 0.2, 0.5, 0.9),
+      Gate::make2(GateKind::CX, 0, 1),
+      Gate::make1(GateKind::U3, 0, 1.3, 0.1, 0.4),
+      Gate::make1(GateKind::U3, 1, 0.8, 1.5, 0.2),
+      Gate::make2(GateKind::CX, 1, 0)};  // reversed operand order, same pair
+  const FusedProgram program = fuse_gate_sequence(gates);
+  ASSERT_EQ(program.ops.size(), 1u);
+  EXPECT_EQ(program.ops[0].kind, FusedOp::Kind::kMat4);
+  EXPECT_EQ(program.ops[0].fused_gates, 6u);
+  expect_equivalent(gates, 3, 16);
+}
+
+TEST(Fusion, TrailingPendingFoldsBackwardIntoMat4) {
+  const std::vector<Gate> gates = {
+      Gate::make1(GateKind::U3, 0, 0.3, 0.7, 1.1),
+      Gate::make1(GateKind::U3, 1, 0.2, 0.5, 0.9),
+      Gate::make2(GateKind::CX, 0, 1),
+      Gate::make1(GateKind::U3, 1, 1.3, 0.1, 0.4)};  // no later op on qubit 1
+  const FusedProgram program = fuse_gate_sequence(gates);
+  ASSERT_EQ(program.ops.size(), 1u);
+  EXPECT_EQ(program.ops[0].kind, FusedOp::Kind::kMat4);
+  EXPECT_EQ(program.ops[0].fused_gates, 4u);
+  expect_equivalent(gates, 2, 17);
+}
+
+TEST(Fusion, CcxFlushesAndPassesThrough) {
+  const std::vector<Gate> gates = {Gate::make1(GateKind::H, 0),
+                                   Gate::make1(GateKind::H, 2),
+                                   Gate::make3(GateKind::CCX, 0, 1, 2),
+                                   Gate::make1(GateKind::T, 2)};
+  const FusedProgram program = fuse_gate_sequence(gates);
+  ASSERT_EQ(program.ops.size(), 4u);
+  EXPECT_EQ(program.ops[2].kind, FusedOp::Kind::kGate);
+  EXPECT_EQ(program.ops[2].gate.kind, GateKind::CCX);
+  expect_equivalent(gates, 3, 18);
+}
+
+TEST(Fusion, LiftDisabledKeepsTwoQubitGatesSpecialized) {
+  const std::vector<Gate> gates = {
+      Gate::make1(GateKind::U3, 0, 0.3, 0.7, 1.1),
+      Gate::make1(GateKind::U3, 1, 0.2, 0.5, 0.9),
+      Gate::make2(GateKind::CX, 0, 1)};
+  FusionOptions options;
+  options.lift_two_qubit = false;
+  const FusedProgram program = fuse_gate_sequence(gates, options);
+  ASSERT_EQ(program.ops.size(), 3u);
+  EXPECT_EQ(program.ops[2].kind, FusedOp::Kind::kGate);
+  expect_equivalent(gates, 2, 19, options);
+}
+
+// ------------------------------------------------------ randomized sequences
+
+Gate random_gate(Rng& rng, unsigned n) {
+  // All gate kinds, weighted toward the fusable single-qubit set.
+  static const GateKind kOne[] = {GateKind::X,  GateKind::Y,   GateKind::Z,
+                                  GateKind::H,  GateKind::S,   GateKind::Sdg,
+                                  GateKind::T,  GateKind::Tdg, GateKind::RX,
+                                  GateKind::RY, GateKind::RZ,  GateKind::P,
+                                  GateKind::U2, GateKind::U3};
+  static const GateKind kTwo[] = {GateKind::CX, GateKind::CZ, GateKind::CP,
+                                  GateKind::SWAP};
+  const double roll = rng.uniform();
+  if (n >= 3 && roll < 0.05) {
+    const auto a = static_cast<qubit_t>(rng.uniform_int(n));
+    auto b = static_cast<qubit_t>(rng.uniform_int(n - 1));
+    if (b >= a) ++b;
+    qubit_t c = a;
+    while (c == a || c == b) {
+      c = static_cast<qubit_t>(rng.uniform_int(n));
+    }
+    return Gate::make3(GateKind::CCX, a, b, c);
+  }
+  if (n >= 2 && roll < 0.40) {
+    const GateKind kind = kTwo[rng.uniform_int(4)];
+    const auto a = static_cast<qubit_t>(rng.uniform_int(n));
+    auto b = static_cast<qubit_t>(rng.uniform_int(n - 1));
+    if (b >= a) ++b;
+    return Gate::make2(kind, a, b, rng.uniform(0.0, 3.0));
+  }
+  const GateKind kind = kOne[rng.uniform_int(14)];
+  return Gate::make1(kind, static_cast<qubit_t>(rng.uniform_int(n)),
+                     rng.uniform(0.0, 3.0), rng.uniform(0.0, 3.0),
+                     rng.uniform(0.0, 3.0));
+}
+
+TEST(Fusion, RandomSequencesMatchUnfusedExecution) {
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    Rng rng(900 + seed);
+    const unsigned n = 1 + static_cast<unsigned>(rng.uniform_int(5));
+    std::vector<Gate> gates;
+    const std::size_t len = 5 + rng.uniform_int(40);
+    for (std::size_t i = 0; i < len; ++i) {
+      gates.push_back(random_gate(rng, n));
+    }
+    expect_equivalent(gates, n, 1000 + seed);
+    FusionOptions no_lift;
+    no_lift.lift_two_qubit = false;
+    expect_equivalent(gates, n, 2000 + seed, no_lift);
+  }
+}
+
+TEST(Fusion, FusedProgramNeverGrowsOpCount) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(300 + seed);
+    const unsigned n = 2 + static_cast<unsigned>(rng.uniform_int(4));
+    std::vector<Gate> gates;
+    for (std::size_t i = 0; i < 30; ++i) {
+      gates.push_back(random_gate(rng, n));
+    }
+    const FusedProgram program = fuse_gate_sequence(gates);
+    EXPECT_LE(program.ops.size(), gates.size());
+    EXPECT_EQ(program.source_gate_count, gates.size());
+  }
+}
+
+// ---------------------------------------------------- layer ranges + caching
+
+Circuit random_circuit(Rng& rng, unsigned n, std::size_t len) {
+  Circuit c(n);
+  for (std::size_t i = 0; i < len; ++i) {
+    c.add(random_gate(rng, n));
+  }
+  return c;
+}
+
+TEST(Fusion, LayerRangeMatchesLayerOrderApplication) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(500 + seed);
+    const unsigned n = 2 + static_cast<unsigned>(rng.uniform_int(3));
+    const Circuit c = random_circuit(rng, n, 25);
+    const Layering layering = layer_circuit(c);
+    const auto num_layers = static_cast<layer_index_t>(layering.num_layers());
+    // Random fusion boundary inside the layering.
+    const auto from = static_cast<layer_index_t>(rng.uniform_int(num_layers));
+    const auto to = static_cast<layer_index_t>(
+        from + rng.uniform_int(num_layers - from + 1));
+
+    StateVector expected = random_state(n, 600 + seed);
+    StateVector fused = expected;
+    for (layer_index_t l = from; l < to; ++l) {
+      for (gate_index_t g : layering.layers[l]) {
+        apply_gate(expected, c.gates()[g]);
+      }
+    }
+    apply_fused(fused, fuse_layer_range(c, layering, from, to));
+    EXPECT_LT(fused.max_abs_diff(expected), kTol) << "seed " << seed;
+  }
+}
+
+TEST(Fusion, CacheMemoizesSegments) {
+  Rng rng(77);
+  const Circuit c = random_circuit(rng, 3, 20);
+  const Layering layering = layer_circuit(c);
+  const auto num_layers = static_cast<layer_index_t>(layering.num_layers());
+  ASSERT_GE(num_layers, 2u);
+
+  FusionCache cache(c, layering);
+  const FusedProgram& a = cache.segment(0, num_layers);
+  const FusedProgram& b = cache.segment(0, num_layers);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(cache.num_segments(), 1u);
+  cache.segment(0, num_layers - 1);
+  EXPECT_EQ(cache.num_segments(), 2u);
+}
+
+}  // namespace
+}  // namespace rqsim

@@ -4,21 +4,91 @@
 // Gate counts differ from the paper's because the paper compiled with
 // Enfield while we use our own decompose+route transpiler; both columns are
 // printed side by side.
+//
+// `--json <path>` additionally writes the same data machine-readable (one
+// object with "table1" and "device" sections) for driver scripts.
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "bench_circuits/suite.hpp"
 #include "common/strings.hpp"
 #include "noise/devices.hpp"
 #include "report/table.hpp"
+#include "service/json.hpp"
 
-int main() {
+namespace {
+
+rqsim::Json suite_to_json(const std::vector<rqsim::BenchmarkEntry>& suite,
+                          const rqsim::DeviceModel& dev) {
+  using rqsim::Json;
+  Json root = Json::object();
+
+  Json table = Json::array();
+  for (const rqsim::BenchmarkEntry& entry : suite) {
+    Json row = Json::object();
+    row.set("name", Json(entry.name));
+    row.set("qubits", Json(static_cast<std::uint64_t>(entry.paper_qubits)));
+    row.set("single",
+            Json(static_cast<std::uint64_t>(entry.compiled.count_single_qubit_gates())));
+    row.set("cnot",
+            Json(static_cast<std::uint64_t>(entry.compiled.count_kind(rqsim::GateKind::CX))));
+    row.set("measure", Json(static_cast<std::uint64_t>(entry.compiled.num_measured())));
+    row.set("paper_single", Json(static_cast<std::uint64_t>(entry.paper_single)));
+    row.set("paper_cnot", Json(static_cast<std::uint64_t>(entry.paper_cnot)));
+    table.push_back(std::move(row));
+  }
+  root.set("table1", std::move(table));
+
+  Json device = Json::object();
+  device.set("name", Json(dev.name));
+  Json qubits = Json::array();
+  for (rqsim::qubit_t q = 0; q < 5; ++q) {
+    Json row = Json::object();
+    row.set("qubit", Json(static_cast<std::uint64_t>(q)));
+    row.set("single_error", Json(dev.noise.single_qubit_rate(q)));
+    row.set("measure_error", Json(dev.noise.measurement_flip_rate(q)));
+    qubits.push_back(std::move(row));
+  }
+  device.set("qubits", std::move(qubits));
+  Json edges = Json::array();
+  for (const auto& [a, b] : dev.coupling.edges()) {
+    Json row = Json::object();
+    row.set("a", Json(static_cast<std::uint64_t>(a)));
+    row.set("b", Json(static_cast<std::uint64_t>(b)));
+    row.set("two_qubit_error", Json(dev.noise.two_qubit_rate(a, b)));
+    edges.push_back(std::move(row));
+  }
+  device.set("edges", std::move(edges));
+  root.set("device", std::move(device));
+  return root;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace rqsim;
+
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      std::cerr << "usage: table1_benchmarks [--json <path>]\n";
+      return 1;
+    }
+  }
+
   const DeviceModel dev = yorktown_device();
+  const auto suite = make_table1_suite(dev);
 
   std::cout << "=== Table I: benchmark characteristics (ours vs paper) ===\n";
   TextTable table({"Name", "Qubit#", "Single#", "CNOT#", "Measure#",
                    "paper:Single#", "paper:CNOT#"});
-  for (const BenchmarkEntry& entry : make_table1_suite(dev)) {
+  for (const BenchmarkEntry& entry : suite) {
     table.add_row({entry.name, std::to_string(entry.paper_qubits),
                    std::to_string(entry.compiled.count_single_qubit_gates()),
                    std::to_string(entry.compiled.count_kind(GateKind::CX)),
@@ -41,5 +111,15 @@ int main() {
                    format_double(dev.noise.two_qubit_rate(a, b), 4)});
   }
   std::cout << edges.render();
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot open '" << json_path << "' for writing\n";
+      return 1;
+    }
+    out << suite_to_json(suite, dev).dump() << "\n";
+    std::cout << "\nwrote " << json_path << "\n";
+  }
   return 0;
 }

@@ -4,6 +4,10 @@
 // overhead of state copies.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include "bench_circuits/suite.hpp"
 #include "noise/devices.hpp"
 #include "sched/parallel.hpp"
@@ -71,3 +75,43 @@ BENCHMARK(BM_CachedReorderedFused)->Arg(1)->Arg(7)->Arg(11)->Unit(benchmark::kMi
 BENCHMARK(BM_CachedParallel)->Args({11, 2})->Args({11, 4})->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+// Custom main so `--json <path>` (or `--json=<path>`) writes the machine-
+// readable run next to the console report — shorthand for google benchmark's
+// --benchmark_out=<path> --benchmark_out_format=json pair, kept stable here
+// so driver scripts don't depend on gbench flag spellings.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string path;
+    if (arg == "--json" && i + 1 < argc) {
+      path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(7);
+    } else {
+      args.push_back(arg);
+      continue;
+    }
+    if (path.empty()) {
+      std::fprintf(stderr, "--json requires a file path\n");
+      return 1;
+    }
+    args.push_back("--benchmark_out=" + path);
+    args.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (std::string& arg : args) {
+    argv2.push_back(arg.data());
+  }
+  int argc2 = static_cast<int>(argv2.size());
+  benchmark::Initialize(&argc2, argv2.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

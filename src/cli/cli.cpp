@@ -19,6 +19,8 @@
 #include "sched/enumerate.hpp"
 #include "sched/parallel.hpp"
 #include "sched/runner.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
 #include "transpile/decompose.hpp"
 #include "transpile/transpiler.hpp"
 
@@ -43,6 +45,17 @@ struct CliOptions {
   std::size_t max_errors = 2;     // --max-errors (enumerate)
   std::string csv_path;           // --csv
   bool no_transpile = false;      // --no-transpile
+
+  // Service verbs (serve / submit / status / shutdown).
+  std::string socket_path;        // --socket (unix-domain endpoint)
+  int port = -1;                  // --port (TCP on 127.0.0.1; 0 = ephemeral)
+  std::size_t workers = 2;        // --workers (serve)
+  std::size_t queue_cap = 256;    // --queue-cap (serve)
+  std::size_t batch = 8;          // --batch (serve: max jobs per merged batch)
+  std::uint64_t job = 0;          // --job (status)
+  bool wait = false;              // --wait (submit/status: block until done)
+  bool analyze = false;           // --analyze (submit: accounting-only job)
+  std::string priority = "normal";  // --priority low|normal|high (submit)
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -109,6 +122,24 @@ CliOptions parse_options(const std::vector<std::string>& args, std::size_t begin
       options.csv_path = value();
     } else if (flag == "--no-transpile") {
       options.no_transpile = true;
+    } else if (flag == "--socket") {
+      options.socket_path = value();
+    } else if (flag == "--port") {
+      options.port = static_cast<int>(parse_u64_flag(value(), flag));
+    } else if (flag == "--workers") {
+      options.workers = parse_u64_flag(value(), flag);
+    } else if (flag == "--queue-cap") {
+      options.queue_cap = parse_u64_flag(value(), flag);
+    } else if (flag == "--batch") {
+      options.batch = parse_u64_flag(value(), flag);
+    } else if (flag == "--job") {
+      options.job = parse_u64_flag(value(), flag);
+    } else if (flag == "--wait") {
+      options.wait = true;
+    } else if (flag == "--analyze") {
+      options.analyze = true;
+    } else if (flag == "--priority") {
+      options.priority = value();
     } else {
       usage_error("unknown flag '" + flag + "'");
     }
@@ -311,6 +342,197 @@ int cmd_suite(std::ostream& out) {
   return 0;
 }
 
+// --------------------------------------------------------------------------
+// Service verbs: serve runs the JSONL server in-process; submit / status /
+// shutdown are thin protocol clients (service/protocol.hpp documents the
+// wire format).
+
+std::string service_endpoint(const CliOptions& options) {
+  if (!options.socket_path.empty()) {
+    return "unix:" + options.socket_path;
+  }
+  if (options.port >= 0) {
+    return "tcp:127.0.0.1:" + std::to_string(options.port);
+  }
+  usage_error("service commands need --socket <path> or --port <n>");
+}
+
+int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
+  const CliOptions options = parse_options(args, 2);
+  if (options.socket_path.empty() && options.port < 0) {
+    usage_error("serve needs --socket <path> or --port <n>");
+  }
+  ServerConfig config;
+  config.unix_path = options.socket_path;
+  config.tcp_port = options.port >= 0 ? options.port : 0;
+  config.service.num_workers = std::max<std::size_t>(1, options.workers);
+  config.service.queue_capacity = options.queue_cap;
+  config.service.max_batch_jobs = options.batch;
+  const ServiceConfig service_config = config.service;
+  SimServer server(std::move(config));
+  out << "rqsim service listening on " << server.endpoint() << " ("
+      << service_config.num_workers << " workers, queue "
+      << service_config.queue_capacity << ", batch "
+      << service_config.max_batch_jobs << ")\n";
+  out.flush();
+  server.run();
+  const ServiceStats stats = server.service().stats();
+  out << "rqsim service stopped: " << stats.completed << " completed, "
+      << stats.failed << " failed, " << stats.cancelled << " cancelled, "
+      << stats.merged_batches << " merged batches\n";
+  return 0;
+}
+
+[[noreturn]] void remote_error(const Json& response) {
+  throw Error("service: " + response.get_string("error", "error") + " — " +
+              response.get_string("detail", "(no detail)"));
+}
+
+void print_remote_result(const Json& result, const CliOptions& options,
+                         std::ostream& out) {
+  out << "ops executed        : " << static_cast<std::uint64_t>(result.get_number("ops", 0))
+      << "\n";
+  out << "baseline ops        : "
+      << static_cast<std::uint64_t>(result.get_number("baseline_ops", 0)) << "\n";
+  out << "normalized compute  : "
+      << format_double(result.get_number("normalized_computation", 1.0), 4) << "\n";
+  out << "maintained states   : "
+      << static_cast<std::uint64_t>(result.get_number("max_live_states", 0)) << "\n";
+  const std::uint64_t batch_size =
+      static_cast<std::uint64_t>(result.get_number("batch_size", 1));
+  out << "batch               : " << batch_size << " job(s)";
+  if (batch_size > 1) {
+    out << ", merged ops " << static_cast<std::uint64_t>(result.get_number("batch_ops", 0))
+        << " vs solo " << static_cast<std::uint64_t>(result.get_number("solo_ops", 0));
+  }
+  out << "\n";
+  out << "queue/exec time     : " << format_double(result.get_number("queue_ms", 0.0), 1)
+      << " ms / " << format_double(result.get_number("exec_ms", 0.0), 1) << " ms\n";
+  if (result.has("histogram")) {
+    std::vector<std::pair<std::string, std::uint64_t>> rows;
+    for (const auto& [bits, count] : result.at("histogram").as_object()) {
+      rows.emplace_back(bits, count.as_u64());
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    out << "top outcomes:\n";
+    for (std::size_t i = 0; i < rows.size() && i < options.top; ++i) {
+      out << "  |" << rows[i].first << ">  " << rows[i].second << "\n";
+    }
+    if (!options.csv_path.empty()) {
+      std::vector<std::vector<std::string>> csv_rows;
+      for (const auto& [bits, count] : rows) {
+        csv_rows.push_back({bits, std::to_string(count)});
+      }
+      write_csv_file(options.csv_path, {"outcome", "count"}, csv_rows);
+      out << "histogram written to " << options.csv_path << "\n";
+    }
+  }
+}
+
+void print_remote_status(const Json& response, const CliOptions& options,
+                         std::ostream& out) {
+  const std::uint64_t job = response.at("job").as_u64();
+  const std::string state = response.get_string("state", "unknown");
+  out << "job " << job << ": " << state << "\n";
+  if (response.has("result")) {
+    print_remote_result(response.at("result"), options, out);
+  } else if (response.has("detail")) {
+    out << "detail: " << response.get_string("detail", "") << "\n";
+  }
+}
+
+int cmd_submit(const std::vector<std::string>& args, std::ostream& out) {
+  const CliOptions options = parse_options(args, 2);
+  WorkloadSpec workload;
+  if (!options.qasm_path.empty()) {
+    std::ifstream file(options.qasm_path);
+    if (!file) {
+      usage_error("cannot open QASM file '" + options.qasm_path + "'");
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    workload.qasm = buffer.str();
+  } else if (!options.circuit_spec.empty()) {
+    workload.circuit_spec = options.circuit_spec;
+  } else {
+    usage_error("one of --circuit or --qasm is required");
+  }
+  workload.device = options.device;
+  workload.device_qubits = options.device_qubits;
+  workload.device_rate = options.device_rate;
+  workload.noise_scale = options.noise_scale;
+  workload.no_transpile = options.no_transpile;
+
+  SubmitParams params;
+  params.trials = options.trials;
+  params.seed = options.seed;
+  params.mode = options.mode;
+  params.max_states = options.max_states;
+  params.threads = options.threads;
+  params.priority = options.priority;
+  params.analyze = options.analyze;
+
+  ServiceClient client = ServiceClient::connect(service_endpoint(options));
+  const Json response = client.request(make_submit_request(workload, params));
+  if (!response.get_bool("ok", false)) {
+    remote_error(response);
+  }
+  const std::uint64_t job = response.at("job").as_u64();
+  out << "submitted job " << job << "\n";
+  if (options.wait) {
+    Json wait_request = Json::object();
+    wait_request.set("op", Json("wait"));
+    wait_request.set("job", Json(job));
+    const Json done = client.request(wait_request);
+    if (!done.get_bool("ok", false)) {
+      remote_error(done);
+    }
+    print_remote_status(done, options, out);
+  }
+  return 0;
+}
+
+int cmd_status(const std::vector<std::string>& args, std::ostream& out) {
+  const CliOptions options = parse_options(args, 2);
+  ServiceClient client = ServiceClient::connect(service_endpoint(options));
+  if (options.job == 0) {
+    // No --job: print the service-wide counters instead.
+    const Json response = client.request(Json::parse("{\"op\":\"stats\"}"));
+    if (!response.get_bool("ok", false)) {
+      remote_error(response);
+    }
+    const Json& stats = response.at("stats");
+    out << "service stats:\n";
+    for (const auto& [key, value] : stats.as_object()) {
+      out << "  " << key << ": " << value.dump() << "\n";
+    }
+    return 0;
+  }
+  Json request = Json::object();
+  request.set("op", Json(options.wait ? "wait" : "status"));
+  request.set("job", Json(options.job));
+  const Json response = client.request(request);
+  if (!response.get_bool("ok", false)) {
+    remote_error(response);
+  }
+  print_remote_status(response, options, out);
+  return 0;
+}
+
+int cmd_shutdown(const std::vector<std::string>& args, std::ostream& out) {
+  const CliOptions options = parse_options(args, 2);
+  ServiceClient client = ServiceClient::connect(service_endpoint(options));
+  Json request = Json::object();
+  request.set("op", Json("shutdown"));
+  const Json response = client.request(request);
+  if (!response.get_bool("ok", false)) {
+    remote_error(response);
+  }
+  out << "service shutting down\n";
+  return 0;
+}
+
 void print_usage(std::ostream& out) {
   out << "rqsim — accelerated noisy quantum-circuit simulation\n\n"
          "usage: rqsim <command> [flags]\n\n"
@@ -320,6 +542,10 @@ void print_usage(std::ostream& out) {
          "  enumerate  exact truncated error-configuration enumeration\n"
          "  transpile  compile a circuit onto a device, print QASM\n"
          "  suite      show the built-in benchmark suite\n"
+         "  serve      run the simulation service (JSONL over a socket)\n"
+         "  submit     send a job to a running service\n"
+         "  status     poll (or --wait for) a job; without --job, service stats\n"
+         "  shutdown   stop a running service\n"
          "  help       this text\n\n"
          "flags:\n"
          "  --circuit <spec>      named circuit (see below)\n"
@@ -338,6 +564,16 @@ void print_usage(std::ostream& out) {
          "  --max-errors <k>      enumeration truncation order (default 2)\n"
          "  --csv <file>          write the outcome histogram as CSV\n"
          "  --no-transpile        skip routing (all-to-all connectivity)\n\n"
+         "service flags:\n"
+         "  --socket <path>       unix-domain socket endpoint\n"
+         "  --port <n>            TCP endpoint on 127.0.0.1 (serve: 0 = ephemeral)\n"
+         "  --workers <n>         serve: worker threads (default 2)\n"
+         "  --queue-cap <n>       serve: bounded queue capacity (default 256)\n"
+         "  --batch <n>           serve: max jobs per merged batch (default 8)\n"
+         "  --job <id>            status: job to query\n"
+         "  --wait                submit/status: block until the job is done\n"
+         "  --analyze             submit: accounting-only job (any qubit count)\n"
+         "  --priority <p>        submit: low | normal | high (default normal)\n\n"
          "circuits:\n";
   for (const std::string& line : named_circuit_help()) {
     out << "  " << line << "\n";
@@ -367,6 +603,18 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
     }
     if (command == "suite") {
       return cmd_suite(out);
+    }
+    if (command == "serve") {
+      return cmd_serve(args, out);
+    }
+    if (command == "submit") {
+      return cmd_submit(args, out);
+    }
+    if (command == "status") {
+      return cmd_status(args, out);
+    }
+    if (command == "shutdown") {
+      return cmd_shutdown(args, out);
     }
     err << "rqsim: unknown command '" << command << "' (see 'rqsim help')\n";
     return 1;

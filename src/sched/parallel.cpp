@@ -1,6 +1,7 @@
 #include "sched/parallel.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <thread>
 #include <vector>
 
@@ -18,6 +19,8 @@ NoisyRunResult run_noisy_parallel(const Circuit& circuit, const NoiseModel& nois
               "run_noisy_parallel: noise model covers fewer qubits than the circuit");
   RQSIM_CHECK(config.mode == ExecutionMode::kCachedReordered,
               "run_noisy_parallel: only kCachedReordered is supported");
+  RQSIM_CHECK(config.max_states != 1,
+              "run_noisy_parallel: max_states must be 0 (unlimited) or >= 2");
   const CircuitContext ctx(circuit);
   Rng rng(config.seed);
   std::vector<Trial> trials =
@@ -42,28 +45,30 @@ NoisyRunResult run_noisy_parallel(const Circuit& circuit, const NoiseModel& nois
   options.max_states = config.max_states;
 
   std::vector<SvRunResult> partials(workers);
-  auto work = [&](std::size_t w, std::uint64_t worker_seed) {
-    Rng worker_rng(worker_seed);
+  auto work = [&](std::size_t w, Rng& worker_rng) {
     SvBackend backend(ctx, worker_rng, /*record_final_states=*/false,
                       &config.observables, config.fuse_gates);
     schedule_trials(ctx, chunks[w], backend, options);
     partials[w] = backend.take_result();
   };
 
-  // Derive one independent sampling stream per worker up front (on the
-  // caller's thread, so the derivation order is deterministic).
-  std::vector<std::uint64_t> worker_seeds(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    worker_seeds[w] = rng.next_u64();
-  }
-
   if (workers == 1) {
-    work(0, worker_seeds[0]);
+    // Single-worker runs continue on the generation Rng, exactly like
+    // run_noisy: histogram and observable sums match the serial scheduler
+    // bit for bit.
+    work(0, rng);
   } else {
+    // Derive one independent sampling stream per worker up front (on the
+    // caller's thread, so the derivation order is deterministic).
+    std::vector<Rng> worker_rngs;
+    worker_rngs.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      worker_rngs.emplace_back(rng.next_u64());
+    }
     std::vector<std::thread> threads;
     threads.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w) {
-      threads.emplace_back(work, w, worker_seeds[w]);
+      threads.emplace_back(work, w, std::ref(worker_rngs[w]));
     }
     for (std::thread& t : threads) {
       t.join();

@@ -18,6 +18,9 @@ std::vector<Trial> make_trials(const Circuit& circuit, const CircuitContext& ctx
                                Rng& rng) {
   RQSIM_CHECK(noise.num_qubits() >= circuit.num_qubits(),
               "run_noisy: noise model covers fewer qubits than the circuit");
+  RQSIM_CHECK(config.max_states != 1,
+              "run_noisy: max_states must be 0 (unlimited) or >= 2 — one shared "
+              "checkpoint plus at least one scratch state");
   return generate_trials(circuit, ctx.layering, noise, config.num_trials, rng);
 }
 

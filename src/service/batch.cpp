@@ -1,0 +1,252 @@
+#include "service/batch.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sched/backend.hpp"
+#include "sched/order.hpp"
+#include "sim/buffer_pool.hpp"
+#include "sim/kernels.hpp"
+#include "sim/measure.hpp"
+#include "trial/generator.hpp"
+
+namespace rqsim {
+
+namespace {
+
+/// Where a merged-list trial came from: job index + position in that job's
+/// own reordered trial list.
+struct TrialOrigin {
+  std::size_t job = 0;
+  std::size_t local_index = 0;
+};
+
+/// Per-job sampling context threaded through the merged schedule.
+struct JobStream {
+  Rng rng{0};  // continues the job's trial-generation stream
+  const std::vector<PauliString>* observables = nullptr;
+  OutcomeHistogram histogram;
+  std::vector<double> observable_sums;
+  // Expectations of this job's observables at the current finish
+  // checkpoint; invalidated whenever the stack changes.
+  std::optional<std::vector<double>> cached_expectations;
+};
+
+/// SvBackend's statevector interpretation of the schedule stream, with
+/// on_finish demultiplexed to the owning job: each job keeps its own
+/// outcome-sampling Rng, histogram and observable sums, while the
+/// checkpoint stack — and therefore every gate/error application — is
+/// shared across the whole batch.
+class MuxBackend : public ScheduleVisitor {
+ public:
+  MuxBackend(const CircuitContext& ctx, std::vector<JobStream>& streams,
+             const std::vector<TrialOrigin>& origins, bool fuse_gates)
+      : ctx_(ctx), streams_(streams), origins_(origins) {
+    if (fuse_gates) {
+      fusion_ = std::make_unique<FusionCache>(ctx.circuit, ctx.layering);
+    }
+    stack_.emplace_back(ctx.circuit.num_qubits());
+  }
+
+  void on_advance(std::size_t depth, layer_index_t from_layer,
+                  layer_index_t to_layer) override {
+    RQSIM_CHECK(depth == stack_.size() - 1, "MuxBackend: advance must target the top");
+    if (fusion_ != nullptr) {
+      apply_fused(stack_[depth], fusion_->segment(from_layer, to_layer));
+    } else {
+      apply_layers(ctx_, stack_[depth], from_layer, to_layer);
+    }
+    ops_ += ctx_.ops_in_layers(from_layer, to_layer);
+    invalidate_caches();
+  }
+
+  void on_fork(std::size_t depth) override {
+    RQSIM_CHECK(depth == stack_.size() - 1, "MuxBackend: fork must target the top");
+    stack_.push_back(pool_.acquire_copy(stack_[depth]));
+    max_live_ = std::max(max_live_, stack_.size());
+    invalidate_caches();
+  }
+
+  void on_error(std::size_t depth, const ErrorEvent& event) override {
+    RQSIM_CHECK(depth == stack_.size() - 1, "MuxBackend: error must target the top");
+    apply_error_event(ctx_, stack_[depth], event);
+    ops_ += 1;
+    invalidate_caches();
+  }
+
+  void on_finish(std::size_t depth, trial_index_t trial_index,
+                 const Trial& trial) override {
+    RQSIM_CHECK(depth < stack_.size(), "MuxBackend: depth out of range");
+    RQSIM_CHECK(trial_index < origins_.size(), "MuxBackend: trial index out of range");
+    const StateVector& state = stack_[depth];
+    JobStream& stream = streams_[origins_[trial_index].job];
+    if (!ctx_.circuit.measured_qubits().empty()) {
+      if (!cached_probs_) {
+        cached_probs_ = measurement_probabilities(state, ctx_.circuit.measured_qubits());
+      }
+      const std::uint64_t outcome =
+          sample_outcome(*cached_probs_, stream.rng) ^ trial.meas_flip_mask;
+      ++stream.histogram[outcome];
+    }
+    if (stream.observables != nullptr && !stream.observables->empty()) {
+      if (!stream.cached_expectations) {
+        std::vector<double> values;
+        values.reserve(stream.observables->size());
+        for (const PauliString& p : *stream.observables) {
+          values.push_back(expectation(state, p));
+        }
+        stream.cached_expectations = std::move(values);
+      }
+      for (std::size_t k = 0; k < stream.cached_expectations->size(); ++k) {
+        stream.observable_sums[k] += (*stream.cached_expectations)[k];
+      }
+    }
+  }
+
+  void on_drop(std::size_t depth) override {
+    RQSIM_CHECK(depth == stack_.size() - 1 && stack_.size() > 1,
+                "MuxBackend: drop must pop the top (non-root) checkpoint");
+    pool_.release(std::move(stack_.back()));
+    stack_.pop_back();
+    invalidate_caches();
+  }
+
+  opcount_t ops() const { return ops_; }
+  std::size_t max_live_states() const { return max_live_; }
+
+ private:
+  void invalidate_caches() {
+    cached_probs_.reset();
+    for (JobStream& stream : streams_) {
+      stream.cached_expectations.reset();
+    }
+  }
+
+  const CircuitContext& ctx_;
+  std::vector<JobStream>& streams_;
+  const std::vector<TrialOrigin>& origins_;
+  std::unique_ptr<FusionCache> fusion_;
+  StateBufferPool pool_;
+  std::vector<StateVector> stack_;
+  opcount_t ops_ = 0;
+  std::size_t max_live_ = 1;
+  std::optional<std::vector<double>> cached_probs_;
+};
+
+}  // namespace
+
+BatchExecution execute_batch(const std::vector<const JobSpec*>& jobs) {
+  RQSIM_CHECK(!jobs.empty(), "execute_batch: empty batch");
+  for (const JobSpec* spec : jobs) {
+    RQSIM_CHECK(spec != nullptr, "execute_batch: null job spec");
+    RQSIM_CHECK(spec->config.mode == ExecutionMode::kCachedReordered,
+                "execute_batch: only kCachedReordered jobs are batchable");
+    RQSIM_CHECK(batch_compatible(*jobs.front(), *spec),
+                "execute_batch: jobs are not batch-compatible");
+  }
+  const JobSpec& lead = *jobs.front();
+  lead.circuit.validate();
+  RQSIM_CHECK(lead.noise.num_qubits() >= lead.circuit.num_qubits(),
+              "execute_batch: noise model covers fewer qubits than the circuit");
+  const CircuitContext ctx(lead.circuit);
+  ScheduleOptions options;
+  options.max_states = lead.config.max_states;
+
+  // Per job, replicate run_noisy's setup exactly: seed the Rng, generate
+  // the trial set, reorder it. The Rng is kept alive — its post-generation
+  // state drives this job's outcome sampling during the merged walk.
+  const std::size_t n = jobs.size();
+  std::vector<std::vector<Trial>> job_trials(n);
+  std::vector<JobStream> streams(n);
+  BatchExecution out;
+  out.per_job.resize(n);
+  out.solo_ops.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const JobSpec& spec = *jobs[j];
+    streams[j].rng = Rng(spec.config.seed);
+    job_trials[j] = generate_trials(spec.circuit, ctx.layering, spec.noise,
+                                    spec.config.num_trials, streams[j].rng);
+    reorder_trials(job_trials[j]);
+    streams[j].observables = &spec.config.observables;
+    streams[j].observable_sums.assign(spec.config.observables.size(), 0.0);
+
+    CountBackend solo(ctx);
+    schedule_trials(ctx, job_trials[j], solo, options);
+    out.solo_ops[j] = solo.ops();
+  }
+
+  // Merge the reordered lists into one reordered list. Ties across jobs are
+  // broken by (job, local index), which keeps each job's trials in exactly
+  // its standalone order — the bitwise-equivalence invariant.
+  std::vector<TrialOrigin> origins;
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < job_trials[j].size(); ++i) {
+      origins.push_back({j, i});
+    }
+  }
+  std::sort(origins.begin(), origins.end(),
+            [&](const TrialOrigin& a, const TrialOrigin& b) {
+              const Trial& ta = job_trials[a.job][a.local_index];
+              const Trial& tb = job_trials[b.job][b.local_index];
+              if (trial_order_less(ta, tb)) {
+                return true;
+              }
+              if (trial_order_less(tb, ta)) {
+                return false;
+              }
+              if (a.job != b.job) {
+                return a.job < b.job;
+              }
+              return a.local_index < b.local_index;
+            });
+  std::vector<Trial> merged;
+  merged.reserve(origins.size());
+  for (const TrialOrigin& origin : origins) {
+    merged.push_back(job_trials[origin.job][origin.local_index]);
+  }
+
+  MuxBackend mux(ctx, streams, origins, lead.config.fuse_gates);
+  schedule_trials(ctx, merged, mux, options);
+  out.batch_ops = mux.ops();
+
+  // Attribute the merged cost proportionally to each job's solo cost, with
+  // a telescoping split so the attributed shares sum exactly to batch_ops.
+  opcount_t solo_total = 0;
+  for (const opcount_t s : out.solo_ops) {
+    solo_total += s;
+  }
+  opcount_t cum_solo = 0;
+  opcount_t cum_attributed = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    NoisyRunResult& result = out.per_job[j];
+    cum_solo += out.solo_ops[j];
+    const opcount_t cum_share =
+        solo_total == 0
+            ? static_cast<opcount_t>(
+                  (static_cast<unsigned __int128>(out.batch_ops) * (j + 1)) / n)
+            : static_cast<opcount_t>(
+                  (static_cast<unsigned __int128>(out.batch_ops) * cum_solo) /
+                  solo_total);
+    result.ops = cum_share - cum_attributed;
+    cum_attributed = cum_share;
+
+    result.histogram = std::move(streams[j].histogram);
+    result.observable_means = std::move(streams[j].observable_sums);
+    for (double& mean : result.observable_means) {
+      mean /= static_cast<double>(std::max<std::size_t>(1, job_trials[j].size()));
+    }
+    result.max_live_states = mux.max_live_states();
+    result.baseline_ops = baseline_op_count(ctx, job_trials[j]);
+    result.trial_stats = compute_trial_stats(job_trials[j]);
+    result.normalized_computation =
+        result.baseline_ops == 0
+            ? 1.0
+            : static_cast<double>(result.ops) / static_cast<double>(result.baseline_ops);
+  }
+  return out;
+}
+
+}  // namespace rqsim

@@ -1,0 +1,61 @@
+// Cross-job batch planner: one merged prefix-cache schedule for several
+// compatible jobs.
+//
+// The paper's reorder + prefix-cache optimization shares computation
+// *within* one trial set. The service sits above single runs, so it can
+// push the reuse boundary further (the tree-reuse idea of TQSim,
+// arXiv:2203.13892): queued jobs with identical (circuit, noise model,
+// mode, MSV budget, fusion) — but arbitrary seeds, trial counts and
+// observables — are merged into one trial list, re-sorted into a single
+// reorder order, and executed by one scheduler walk. Every shared error
+// prefix is then advanced once for the whole batch instead of once per
+// job; in particular the error-free full-circuit pass, which dominates at
+// realistic error rates, is paid exactly once.
+//
+// Bitwise equivalence guarantee (unfused kernels): each job's histogram and
+// observable means are identical to a standalone `run_noisy` with the same
+// config. This holds because
+//   1. each job's trials are generated from its own Rng(seed), exactly as
+//      run_noisy does, and reordered with the same sort before merging;
+//   2. the merge is stable per job (ties broken by job then by position in
+//      the job's own reordered list), so the scheduler finishes each job's
+//      trials in the job's standalone order;
+//   3. a trial's final checkpoint sees the same operator sequence in both
+//      schedules, and outcome sampling draws exactly one uniform from the
+//      owning job's Rng per finish.
+// With fuse_gates the merged schedule fuses different layer segments than
+// a standalone run, so results are epsilon-equivalent rather than bitwise.
+//
+// Attribution: the merged schedule's combined op count is attributed back
+// proportionally to each job's solo cost (what its own reorder+cache
+// schedule would have executed), so per-job `ops` sum exactly to the batch
+// total and normalized computation stays comparable across batch sizes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "service/job.hpp"
+
+namespace rqsim {
+
+/// Outcome of executing a batch of >= 1 compatible jobs in one schedule.
+struct BatchExecution {
+  /// One full NoisyRunResult per input job (input order), with `ops` set to
+  /// the job's attributed share of `batch_ops`.
+  std::vector<NoisyRunResult> per_job;
+
+  /// Each job's standalone reorder+cache op count (accounting walk).
+  std::vector<opcount_t> solo_ops;
+
+  /// Combined op count of the merged schedule; strictly less than the sum
+  /// of solo_ops whenever any error prefix is shared across jobs.
+  opcount_t batch_ops = 0;
+};
+
+/// Execute `jobs` (all mutually batch_compatible; see service/job.hpp) as
+/// one merged statevector schedule. A single job degenerates to the exact
+/// standalone run_noisy schedule. Throws rqsim::Error on invalid specs.
+BatchExecution execute_batch(const std::vector<const JobSpec*>& jobs);
+
+}  // namespace rqsim

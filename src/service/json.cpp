@@ -1,0 +1,390 @@
+#include "service/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace rqsim {
+
+namespace {
+
+[[noreturn]] void type_error(const char* wanted) {
+  throw Error(std::string("json: value is not ") + wanted);
+}
+
+void dump_string(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_number(double v, std::string& out) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    out += buf;
+  } else if (std::isfinite(v)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+  } else {
+    out += "null";  // JSON has no inf/nan
+  }
+}
+
+struct Parser {
+  const char* p;
+  const char* end;
+
+  [[noreturn]] void fail(const std::string& message) {
+    throw Error("json: parse error: " + message);
+  }
+
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+
+  char peek() {
+    if (p >= end) {
+      fail("unexpected end of input");
+    }
+    return *p;
+  }
+
+  void expect(char c) {
+    if (p >= end || *p != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++p;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (static_cast<std::size_t>(end - p) >= n && std::memcmp(p, lit, n) == 0) {
+      p += n;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (p >= end) {
+        fail("unterminated string");
+      }
+      const char c = *p++;
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (p >= end) {
+        fail("unterminated escape");
+      }
+      const char e = *p++;
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (end - p < 4) {
+            fail("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = *p++;
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad hex digit in \\u escape");
+            }
+          }
+          // Encode as UTF-8 (surrogate pairs are passed through as-is;
+          // the protocol never emits them).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          fail("bad escape character");
+      }
+    }
+  }
+
+  Json parse_value(int depth) {
+    if (depth > 64) {
+      fail("nesting too deep");
+    }
+    skip_ws();
+    const char c = peek();
+    if (c == '"') {
+      return Json(parse_string());
+    }
+    if (c == '{') {
+      ++p;
+      Json::Object obj;
+      skip_ws();
+      if (peek() == '}') {
+        ++p;
+        return Json(std::move(obj));
+      }
+      while (true) {
+        skip_ws();
+        std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        obj[std::move(key)] = parse_value(depth + 1);
+        skip_ws();
+        const char sep = peek();
+        if (sep == ',') {
+          ++p;
+          continue;
+        }
+        expect('}');
+        return Json(std::move(obj));
+      }
+    }
+    if (c == '[') {
+      ++p;
+      Json::Array arr;
+      skip_ws();
+      if (peek() == ']') {
+        ++p;
+        return Json(std::move(arr));
+      }
+      while (true) {
+        arr.push_back(parse_value(depth + 1));
+        skip_ws();
+        const char sep = peek();
+        if (sep == ',') {
+          ++p;
+          continue;
+        }
+        expect(']');
+        return Json(std::move(arr));
+      }
+    }
+    if (consume_literal("true")) {
+      return Json(true);
+    }
+    if (consume_literal("false")) {
+      return Json(false);
+    }
+    if (consume_literal("null")) {
+      return Json();
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      char* num_end = nullptr;
+      const double value = std::strtod(p, &num_end);
+      if (num_end == p) {
+        fail("bad number");
+      }
+      p = num_end;
+      return Json(value);
+    }
+    fail(std::string("unexpected character '") + c + "'");
+  }
+};
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (type_ != Type::kBool) {
+    type_error("a bool");
+  }
+  return bool_;
+}
+
+double Json::as_number() const {
+  if (type_ != Type::kNumber) {
+    type_error("a number");
+  }
+  return number_;
+}
+
+std::uint64_t Json::as_u64() const {
+  const double v = as_number();
+  if (v < 0.0 || v != std::floor(v)) {
+    type_error("a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString) {
+    type_error("a string");
+  }
+  return string_;
+}
+
+const Json::Array& Json::as_array() const {
+  if (type_ != Type::kArray) {
+    type_error("an array");
+  }
+  return array_;
+}
+
+Json::Array& Json::as_array() {
+  if (type_ != Type::kArray) {
+    type_error("an array");
+  }
+  return array_;
+}
+
+const Json::Object& Json::as_object() const {
+  if (type_ != Type::kObject) {
+    type_error("an object");
+  }
+  return object_;
+}
+
+Json::Object& Json::as_object() {
+  if (type_ != Type::kObject) {
+    type_error("an object");
+  }
+  return object_;
+}
+
+bool Json::has(const std::string& key) const {
+  return type_ == Type::kObject && object_.count(key) > 0;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Object& obj = as_object();
+  const auto it = obj.find(key);
+  if (it == obj.end()) {
+    throw Error("json: missing key '" + key + "'");
+  }
+  return it->second;
+}
+
+void Json::set(const std::string& key, Json value) {
+  if (type_ == Type::kNull) {
+    type_ = Type::kObject;
+  }
+  as_object()[key] = std::move(value);
+}
+
+std::string Json::get_string(const std::string& key, const std::string& fallback) const {
+  return has(key) && !at(key).is_null() ? at(key).as_string() : fallback;
+}
+
+double Json::get_number(const std::string& key, double fallback) const {
+  return has(key) && !at(key).is_null() ? at(key).as_number() : fallback;
+}
+
+std::uint64_t Json::get_u64(const std::string& key, std::uint64_t fallback) const {
+  return has(key) && !at(key).is_null() ? at(key).as_u64() : fallback;
+}
+
+bool Json::get_bool(const std::string& key, bool fallback) const {
+  return has(key) && !at(key).is_null() ? at(key).as_bool() : fallback;
+}
+
+void Json::push_back(Json value) {
+  if (type_ == Type::kNull) {
+    type_ = Type::kArray;
+  }
+  as_array().push_back(std::move(value));
+}
+
+std::string Json::dump() const {
+  std::string out;
+  switch (type_) {
+    case Type::kNull:
+      out = "null";
+      break;
+    case Type::kBool:
+      out = bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      dump_number(number_, out);
+      break;
+    case Type::kString:
+      dump_string(string_, out);
+      break;
+    case Type::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const Json& v : array_) {
+        if (!first) {
+          out.push_back(',');
+        }
+        first = false;
+        out += v.dump();
+      }
+      out.push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, v] : object_) {
+        if (!first) {
+          out.push_back(',');
+        }
+        first = false;
+        dump_string(key, out);
+        out.push_back(':');
+        out += v.dump();
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+  return out;
+}
+
+Json Json::parse(const std::string& text) {
+  Parser parser{text.data(), text.data() + text.size()};
+  Json value = parser.parse_value(0);
+  parser.skip_ws();
+  if (parser.p != parser.end) {
+    parser.fail("trailing content after value");
+  }
+  return value;
+}
+
+}  // namespace rqsim

@@ -1,0 +1,286 @@
+#include "service/protocol.hpp"
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace rqsim {
+
+namespace {
+
+Json error_response(const std::string& code, const std::string& detail) {
+  Json response = Json::object();
+  response.set("ok", Json(false));
+  response.set("error", Json(code));
+  response.set("detail", Json(detail));
+  return response;
+}
+
+ExecutionMode mode_from_string(const std::string& mode) {
+  if (mode == "baseline") {
+    return ExecutionMode::kBaseline;
+  }
+  if (mode == "cached") {
+    return ExecutionMode::kCachedReordered;
+  }
+  if (mode == "unordered") {
+    return ExecutionMode::kCachedUnordered;
+  }
+  throw Error("unknown mode '" + mode + "' (baseline | cached | unordered)");
+}
+
+JobPriority priority_from_string(const std::string& priority) {
+  if (priority == "low") {
+    return JobPriority::kLow;
+  }
+  if (priority == "normal") {
+    return JobPriority::kNormal;
+  }
+  if (priority == "high") {
+    return JobPriority::kHigh;
+  }
+  throw Error("unknown priority '" + priority + "' (low | normal | high)");
+}
+
+}  // namespace
+
+Json workload_to_json(const WorkloadSpec& spec) {
+  Json json = Json::object();
+  if (!spec.circuit_spec.empty()) {
+    json.set("circuit", Json(spec.circuit_spec));
+  }
+  if (!spec.qasm.empty()) {
+    json.set("qasm", Json(spec.qasm));
+  }
+  json.set("device", Json(spec.device));
+  if (spec.device_qubits > 0) {
+    json.set("qubits", Json(static_cast<std::uint64_t>(spec.device_qubits)));
+  }
+  json.set("rate", Json(spec.device_rate));
+  json.set("scale", Json(spec.noise_scale));
+  json.set("no_transpile", Json(spec.no_transpile));
+  return json;
+}
+
+WorkloadSpec workload_from_json(const Json& json) {
+  WorkloadSpec spec;
+  spec.circuit_spec = json.get_string("circuit", "");
+  spec.qasm = json.get_string("qasm", "");
+  spec.device = json.get_string("device", "yorktown");
+  spec.device_qubits = static_cast<unsigned>(json.get_u64("qubits", 0));
+  spec.device_rate = json.get_number("rate", 1e-3);
+  spec.noise_scale = json.get_number("scale", 1.0);
+  spec.no_transpile = json.get_bool("no_transpile", false);
+  return spec;
+}
+
+Json make_submit_request(const WorkloadSpec& workload, const SubmitParams& params) {
+  Json request = Json::object();
+  request.set("op", Json("submit"));
+  request.set("workload", workload_to_json(workload));
+  request.set("trials", Json(static_cast<std::uint64_t>(params.trials)));
+  request.set("seed", Json(params.seed));
+  request.set("mode", Json(params.mode));
+  request.set("max_states", Json(static_cast<std::uint64_t>(params.max_states)));
+  request.set("threads", Json(static_cast<std::uint64_t>(params.threads)));
+  request.set("priority", Json(params.priority));
+  request.set("analyze", Json(params.analyze));
+  request.set("fuse", Json(params.fuse));
+  return request;
+}
+
+Json job_result_to_json(const JobResult& result, std::size_t num_measured) {
+  Json json = Json::object();
+  json.set("ops", Json(result.run.ops));
+  json.set("baseline_ops", Json(result.run.baseline_ops));
+  json.set("normalized_computation", Json(result.run.normalized_computation));
+  json.set("max_live_states", Json(result.run.max_live_states));
+  json.set("mean_errors_per_trial", Json(result.run.trial_stats.mean_errors));
+  json.set("queue_ms", Json(result.queue_ms));
+  json.set("exec_ms", Json(result.exec_ms));
+  json.set("batch_size", Json(result.batch_size));
+  json.set("batch_ops", Json(result.batch_ops));
+  json.set("solo_ops", Json(result.solo_ops));
+  if (!result.run.histogram.empty()) {
+    Json histogram = Json::object();
+    for (const auto& [outcome, count] : result.run.histogram) {
+      histogram.set(to_bitstring(outcome, static_cast<unsigned>(num_measured)),
+                    Json(count));
+    }
+    json.set("histogram", std::move(histogram));
+  }
+  if (!result.run.observable_means.empty()) {
+    Json means = Json::array();
+    for (const double mean : result.run.observable_means) {
+      means.push_back(Json(mean));
+    }
+    json.set("observable_means", std::move(means));
+  }
+  return json;
+}
+
+std::string ProtocolHandler::handle_line(const std::string& line) {
+  Json request;
+  try {
+    request = Json::parse(line);
+  } catch (const Error& e) {
+    return error_response("bad_request", e.what()).dump();
+  }
+  return handle(request).dump();
+}
+
+Json ProtocolHandler::handle(const Json& request) {
+  try {
+    if (!request.is_object()) {
+      return error_response("bad_request", "request must be a JSON object");
+    }
+    const std::string op = request.get_string("op", "");
+    if (op == "ping") {
+      Json response = Json::object();
+      response.set("ok", Json(true));
+      response.set("pong", Json(true));
+      return response;
+    }
+    if (op == "submit") {
+      return handle_submit(request);
+    }
+    if (op == "status") {
+      return handle_status(request, /*wait=*/false);
+    }
+    if (op == "wait") {
+      return handle_status(request, /*wait=*/true);
+    }
+    if (op == "cancel") {
+      const std::uint64_t job_id = request.at("job").as_u64();
+      const bool cancelled = service_.cancel(job_id);
+      Json response = Json::object();
+      response.set("ok", Json(true));
+      response.set("job", Json(job_id));
+      response.set("cancelled", Json(cancelled));
+      return response;
+    }
+    if (op == "stats") {
+      const ServiceStats stats = service_.stats();
+      Json body = Json::object();
+      body.set("submitted", Json(stats.submitted));
+      body.set("rejected", Json(stats.rejected));
+      body.set("completed", Json(stats.completed));
+      body.set("failed", Json(stats.failed));
+      body.set("cancelled", Json(stats.cancelled));
+      body.set("merged_batches", Json(stats.merged_batches));
+      body.set("merged_jobs", Json(stats.merged_jobs));
+      body.set("merged_batch_ops", Json(stats.merged_batch_ops));
+      body.set("merged_solo_ops", Json(stats.merged_solo_ops));
+      body.set("queued_now", Json(stats.queued_now));
+      body.set("running_now", Json(stats.running_now));
+      Json response = Json::object();
+      response.set("ok", Json(true));
+      response.set("stats", std::move(body));
+      return response;
+    }
+    if (op == "shutdown") {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        shutdown_requested_ = true;
+      }
+      Json response = Json::object();
+      response.set("ok", Json(true));
+      response.set("stopping", Json(true));
+      return response;
+    }
+    return error_response("bad_request", "unknown op '" + op + "'");
+  } catch (const Error& e) {
+    return error_response("bad_request", e.what());
+  }
+}
+
+bool ProtocolHandler::shutdown_requested() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shutdown_requested_;
+}
+
+Json ProtocolHandler::handle_submit(const Json& request) {
+  JobSpec spec;
+  std::size_t num_measured = 0;
+  try {
+    RQSIM_CHECK(request.has("workload"), "submit: missing 'workload'");
+    Workload workload = build_workload(workload_from_json(request.at("workload")));
+    num_measured = workload.circuit.num_measured();
+    spec.circuit = std::move(workload.circuit);
+    spec.noise = std::move(workload.noise);
+    spec.config.num_trials = static_cast<std::size_t>(request.get_u64("trials", 1024));
+    spec.config.seed = request.get_u64("seed", 1);
+    spec.config.mode = mode_from_string(request.get_string("mode", "cached"));
+    spec.config.max_states =
+        static_cast<std::size_t>(request.get_u64("max_states", 0));
+    spec.config.fuse_gates = request.get_bool("fuse", false);
+    spec.num_threads = static_cast<std::size_t>(request.get_u64("threads", 1));
+    spec.analyze_only = request.get_bool("analyze", false);
+    spec.priority = priority_from_string(request.get_string("priority", "normal"));
+  } catch (const Error& e) {
+    return error_response("invalid", e.what());
+  }
+
+  const SubmitOutcome outcome = service_.try_submit(std::move(spec));
+  switch (outcome.status) {
+    case SubmitStatus::kAccepted: {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        job_measured_[outcome.job_id] = num_measured;
+      }
+      Json response = Json::object();
+      response.set("ok", Json(true));
+      response.set("job", Json(outcome.job_id));
+      response.set("state", Json("queued"));
+      return response;
+    }
+    case SubmitStatus::kQueueFull:
+      return error_response("queue_full", outcome.error);
+    case SubmitStatus::kInvalid:
+      return error_response("invalid", outcome.error);
+    case SubmitStatus::kShutdown:
+      return error_response("shutdown", outcome.error);
+  }
+  return error_response("internal", "unreachable submit status");
+}
+
+Json ProtocolHandler::handle_status(const Json& request, bool wait) {
+  const std::uint64_t job_id = request.at("job").as_u64();
+  if (!service_.poll(job_id)) {
+    return error_response("unknown_job", "no job with id " + std::to_string(job_id));
+  }
+  if (wait) {
+    service_.wait(job_id);
+  }
+  return job_status_response(job_id);
+}
+
+Json ProtocolHandler::job_status_response(std::uint64_t job_id) {
+  const std::optional<JobStatus> status = service_.poll(job_id);
+  if (!status) {
+    return error_response("unknown_job", "no job with id " + std::to_string(job_id));
+  }
+  Json response = Json::object();
+  response.set("ok", Json(true));
+  response.set("job", Json(job_id));
+  response.set("state", Json(job_state_name(status->state)));
+  response.set("priority", Json(job_priority_name(status->priority)));
+  const std::optional<JobResult> result = service_.result(job_id);
+  if (result) {
+    if (result->state == JobState::kDone) {
+      std::size_t num_measured = 0;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = job_measured_.find(job_id);
+        if (it != job_measured_.end()) {
+          num_measured = it->second;
+        }
+      }
+      response.set("result", job_result_to_json(*result, num_measured));
+    } else if (result->state == JobState::kFailed) {
+      response.set("detail", Json(result->error));
+    }
+  }
+  return response;
+}
+
+}  // namespace rqsim

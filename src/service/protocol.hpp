@@ -1,0 +1,87 @@
+// Newline-delimited JSON wire protocol of the simulation service.
+//
+// Framing: one JSON object per '\n'-terminated line, request → response,
+// strictly in order per connection. Every response carries "ok"; failures
+// add a machine-readable "error" code plus a human "detail":
+//
+//   request                                        response
+//   {"op":"ping"}                                  {"ok":true,"pong":true}
+//   {"op":"submit","workload":{...},"trials":..}   {"ok":true,"job":7,"state":"queued"}
+//   {"op":"status","job":7}                        {"ok":true,"job":7,"state":"done","result":{...}}
+//   {"op":"wait","job":7}                          (status, but blocks until terminal)
+//   {"op":"cancel","job":7}                        {"ok":true,"cancelled":true}
+//   {"op":"stats"}                                 {"ok":true,"stats":{...}}
+//   {"op":"shutdown"}                              {"ok":true,"stopping":true}
+//
+// Error codes: "bad_request" (malformed JSON / unknown op / bad field),
+// "invalid" (spec failed validation), "queue_full" (backpressure — the
+// bounded queue rejected the submit; retry later), "unknown_job",
+// "shutdown" (service no longer accepts work).
+//
+// ProtocolHandler is transport-free: it turns one request Json into one
+// response Json against a SimService. The socket server (service/server.hpp)
+// and the in-process tests share it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "service/job.hpp"
+#include "service/json.hpp"
+#include "service/service.hpp"
+#include "service/workload.hpp"
+
+namespace rqsim {
+
+/// Per-submit run parameters carried next to the workload description.
+struct SubmitParams {
+  std::size_t trials = 1024;
+  std::uint64_t seed = 1;
+  std::string mode = "cached";  // baseline | cached | unordered
+  std::size_t max_states = 0;
+  std::size_t threads = 1;
+  std::string priority = "normal";  // low | normal | high
+  bool analyze = false;
+  bool fuse = false;
+};
+
+Json workload_to_json(const WorkloadSpec& spec);
+WorkloadSpec workload_from_json(const Json& json);
+
+/// Build a complete submit request line (client side).
+Json make_submit_request(const WorkloadSpec& workload, const SubmitParams& params);
+
+/// Serialize a terminal job result. `num_measured` formats histogram keys
+/// as bitstrings (0 = no histogram expected).
+Json job_result_to_json(const JobResult& result, std::size_t num_measured);
+
+class ProtocolHandler {
+ public:
+  explicit ProtocolHandler(SimService& service) : service_(service) {}
+
+  /// Parse one request line and produce the response line (both without
+  /// the trailing '\n'). Never throws — protocol errors become "ok":false
+  /// responses.
+  std::string handle_line(const std::string& line);
+
+  /// Structured form of handle_line.
+  Json handle(const Json& request);
+
+  /// True once a shutdown request was accepted (the transport should stop).
+  bool shutdown_requested() const;
+
+ private:
+  Json handle_submit(const Json& request);
+  Json handle_status(const Json& request, bool wait);
+  Json job_status_response(std::uint64_t job_id);
+
+  SimService& service_;
+  mutable std::mutex mu_;
+  bool shutdown_requested_ = false;
+  // Measured-bit count per job, for histogram bitstring formatting.
+  std::map<std::uint64_t, std::size_t> job_measured_;
+};
+
+}  // namespace rqsim

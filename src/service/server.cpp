@@ -1,0 +1,309 @@
+#include "service/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace rqsim {
+
+namespace {
+
+[[noreturn]] void socket_error(const std::string& what) {
+  throw Error("server: " + what + ": " + std::strerror(errno));
+}
+
+void write_all(int fd, const std::string& data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + written, data.size() - written,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw Error("server: send failed: " + std::string(std::strerror(errno)));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+/// Read until '\n' (not included in the result). Returns false on EOF with
+/// nothing buffered.
+bool read_line(int fd, std::string& buffer, std::string& line) {
+  while (true) {
+    const std::size_t newline = buffer.find('\n');
+    if (newline != std::string::npos) {
+      line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') {
+        line.pop_back();
+      }
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;  // connection reset / closed under us
+    }
+    if (n == 0) {
+      if (buffer.empty()) {
+        return false;
+      }
+      line = std::move(buffer);  // final unterminated line
+      buffer.clear();
+      return true;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+int connect_unix_fd(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  RQSIM_CHECK(path.size() < sizeof(addr.sun_path),
+              "server: unix socket path too long");
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    socket_error("socket(AF_UNIX)");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    socket_error("connect('" + path + "')");
+  }
+  return fd;
+}
+
+int connect_tcp_fd(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw Error("server: bad IPv4 address '" + host + "'");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    socket_error("socket(AF_INET)");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    socket_error("connect(" + host + ":" + std::to_string(port) + ")");
+  }
+  return fd;
+}
+
+}  // namespace
+
+SimServer::SimServer(ServerConfig config)
+    : config_(std::move(config)), service_(config_.service), handler_(service_) {
+  int listen_fd = -1;
+  if (!config_.unix_path.empty()) {
+    ::unlink(config_.unix_path.c_str());  // stale socket from a crashed server
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    RQSIM_CHECK(config_.unix_path.size() < sizeof(addr.sun_path),
+                "server: unix socket path too long");
+    std::strncpy(addr.sun_path, config_.unix_path.c_str(), sizeof(addr.sun_path) - 1);
+    listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd < 0) {
+      socket_error("socket(AF_UNIX)");
+    }
+    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      socket_error("bind('" + config_.unix_path + "')");
+    }
+  } else {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(config_.tcp_port));
+    listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd < 0) {
+      socket_error("socket(AF_INET)");
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      socket_error("bind(127.0.0.1:" + std::to_string(config_.tcp_port) + ")");
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      socket_error("getsockname");
+    }
+    tcp_port_ = ntohs(bound.sin_port);
+  }
+  if (::listen(listen_fd, 64) != 0) {
+    socket_error("listen");
+  }
+  listen_fd_.store(listen_fd);
+}
+
+SimServer::~SimServer() {
+  stop();
+  if (!config_.unix_path.empty()) {
+    ::unlink(config_.unix_path.c_str());
+  }
+}
+
+std::string SimServer::endpoint() const {
+  if (!config_.unix_path.empty()) {
+    return "unix:" + config_.unix_path;
+  }
+  return "tcp:127.0.0.1:" + std::to_string(tcp_port_);
+}
+
+void SimServer::run() {
+  while (!stopping_.load()) {
+    const int fd = ::accept(listen_fd_.load(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;  // listen socket closed by stop()
+    }
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (stopping_.load()) {
+      ::close(fd);
+      break;
+    }
+    open_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+  stop();
+}
+
+void SimServer::handle_connection(int fd) {
+  std::string buffer;
+  std::string line;
+  while (!stopping_.load() && read_line(fd, buffer, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::string response = handler_.handle_line(line);
+    response.push_back('\n');
+    try {
+      write_all(fd, response);
+    } catch (const Error&) {
+      break;  // peer went away mid-response
+    }
+    if (handler_.shutdown_requested()) {
+      stopping_.store(true);
+      // Unblock the accept loop so run() can return.
+      const int listen_fd = listen_fd_.load();
+      if (listen_fd >= 0) {
+        ::shutdown(listen_fd, SHUT_RDWR);
+      }
+      break;
+    }
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (auto it = open_fds_.begin(); it != open_fds_.end(); ++it) {
+    if (*it == fd) {
+      open_fds_.erase(it);
+      break;
+    }
+  }
+}
+
+void SimServer::stop() {
+  stopping_.store(true);
+  const int listen_fd = listen_fd_.exchange(-1);
+  if (listen_fd >= 0) {
+    ::shutdown(listen_fd, SHUT_RDWR);
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const int fd : open_fds_) {
+      ::shutdown(fd, SHUT_RDWR);  // wake blocked reads; threads close the fds
+    }
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable() && t.get_id() != std::this_thread::get_id()) {
+      t.join();
+    } else if (t.joinable()) {
+      t.detach();  // a connection thread triggered the shutdown itself
+    }
+  }
+  if (listen_fd >= 0) {
+    ::close(listen_fd);
+  }
+  service_.shutdown();
+}
+
+ServiceClient ServiceClient::connect_unix(const std::string& path) {
+  return ServiceClient(connect_unix_fd(path));
+}
+
+ServiceClient ServiceClient::connect_tcp(const std::string& host, int port) {
+  return ServiceClient(connect_tcp_fd(host, port));
+}
+
+ServiceClient ServiceClient::connect(const std::string& endpoint) {
+  if (endpoint.rfind("unix:", 0) == 0) {
+    return connect_unix(endpoint.substr(5));
+  }
+  if (endpoint.rfind("tcp:", 0) == 0) {
+    return connect(endpoint.substr(4));
+  }
+  if (!endpoint.empty() && endpoint.front() == '/') {
+    return connect_unix(endpoint);
+  }
+  const std::size_t colon = endpoint.rfind(':');
+  RQSIM_CHECK(colon != std::string::npos,
+              "client: endpoint must be a unix path or host:port");
+  const std::string host =
+      colon == 0 ? std::string("127.0.0.1") : endpoint.substr(0, colon);
+  const int port = std::stoi(endpoint.substr(colon + 1));
+  return connect_tcp(host, port);
+}
+
+ServiceClient::ServiceClient(ServiceClient&& other) noexcept
+    : fd_(other.fd_), read_buffer_(std::move(other.read_buffer_)) {
+  other.fd_ = -1;
+}
+
+ServiceClient& ServiceClient::operator=(ServiceClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+    fd_ = other.fd_;
+    read_buffer_ = std::move(other.read_buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+ServiceClient::~ServiceClient() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Json ServiceClient::request(const Json& request_json) {
+  RQSIM_CHECK(fd_ >= 0, "client: not connected");
+  write_all(fd_, request_json.dump() + "\n");
+  std::string line;
+  RQSIM_CHECK(read_line(fd_, read_buffer_, line),
+              "client: connection closed before a response arrived");
+  return Json::parse(line);
+}
+
+}  // namespace rqsim

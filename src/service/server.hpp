@@ -1,0 +1,96 @@
+// Socket transport for the JSONL protocol: a listening server wrapping a
+// SimService, and a line-oriented client used by the CLI verbs and tests.
+//
+// The server listens on a Unix-domain socket or a TCP port (pass port 0 to
+// bind an ephemeral port and read it back with tcp_port()). Each accepted
+// connection gets its own thread that reads '\n'-delimited requests and
+// writes one response line per request; a {"op":"shutdown"} request stops
+// the accept loop, drains open connections, and returns from run().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "service/service.hpp"
+
+namespace rqsim {
+
+struct ServerConfig {
+  /// Filesystem path of the Unix socket; empty = use TCP instead.
+  std::string unix_path;
+
+  /// TCP port on 127.0.0.1 (0 = ephemeral); ignored when unix_path is set.
+  int tcp_port = 0;
+
+  ServiceConfig service;
+};
+
+class SimServer {
+ public:
+  /// Binds and listens immediately (throws rqsim::Error on socket errors).
+  explicit SimServer(ServerConfig config);
+  ~SimServer();
+
+  SimServer(const SimServer&) = delete;
+  SimServer& operator=(const SimServer&) = delete;
+
+  /// Accept loop; returns after stop() or a shutdown request.
+  void run();
+
+  /// Stop the accept loop and close open connections (thread-safe).
+  void stop();
+
+  /// Actual bound TCP port (valid for TCP servers, also with tcp_port 0).
+  int tcp_port() const { return tcp_port_; }
+
+  /// Human-readable endpoint ("unix:/path" or "tcp:127.0.0.1:port").
+  std::string endpoint() const;
+
+  SimService& service() { return service_; }
+
+ private:
+  void handle_connection(int fd);
+
+  ServerConfig config_;
+  SimService service_;
+  ProtocolHandler handler_;
+  std::atomic<int> listen_fd_{-1};
+  int tcp_port_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::mutex conn_mu_;
+  std::vector<int> open_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+/// Blocking request/response client over one connection.
+class ServiceClient {
+ public:
+  static ServiceClient connect_unix(const std::string& path);
+  static ServiceClient connect_tcp(const std::string& host, int port);
+
+  /// Parse an endpoint of the form "unix:/path", "/path" (unix), or
+  /// "host:port" / ":port" (tcp) and connect.
+  static ServiceClient connect(const std::string& endpoint);
+
+  ServiceClient(ServiceClient&& other) noexcept;
+  ServiceClient& operator=(ServiceClient&& other) noexcept;
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+  ~ServiceClient();
+
+  /// Send one request line, block for the response line.
+  Json request(const Json& request_json);
+
+ private:
+  explicit ServiceClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string read_buffer_;
+};
+
+}  // namespace rqsim

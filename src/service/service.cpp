@@ -1,0 +1,336 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "sched/parallel.hpp"
+#include "service/batch.hpp"
+
+namespace rqsim {
+
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
+SimService::SimService(ServiceConfig config) : config_(config) {
+  RQSIM_CHECK(config_.queue_capacity > 0, "SimService: queue_capacity must be > 0");
+  RQSIM_CHECK(config_.max_batch_jobs > 0, "SimService: max_batch_jobs must be > 0");
+  workers_.reserve(config_.num_workers);
+  for (std::size_t w = 0; w < config_.num_workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SimService::~SimService() { shutdown(); }
+
+std::string SimService::validate_spec(const JobSpec& spec) {
+  try {
+    spec.circuit.validate();
+    RQSIM_CHECK(spec.noise.num_qubits() >= spec.circuit.num_qubits(),
+                "noise model covers fewer qubits than the circuit");
+    RQSIM_CHECK(spec.config.max_states != 1,
+                "max_states must be 0 (unlimited) or >= 2");
+    if (!spec.analyze_only) {
+      RQSIM_CHECK(spec.circuit.num_qubits() <= 30,
+                  "statevector jobs are limited to 30 qubits; use analyze_only");
+    }
+    if (spec.num_threads > 1) {
+      RQSIM_CHECK(!spec.analyze_only, "parallel execution is statevector-only");
+      RQSIM_CHECK(spec.config.mode == ExecutionMode::kCachedReordered,
+                  "parallel execution supports only the cached mode");
+    }
+    if (!spec.analyze_only) {
+      RQSIM_CHECK(spec.config.mode != ExecutionMode::kCachedUnordered,
+                  "the unordered-cache ablation is accounting-only");
+    }
+  } catch (const Error& e) {
+    return e.what();
+  }
+  return std::string();
+}
+
+SubmitOutcome SimService::try_submit(JobSpec spec) {
+  SubmitOutcome outcome;
+  std::string invalid = validate_spec(spec);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) {
+    outcome.status = SubmitStatus::kShutdown;
+    outcome.error = "service is shutting down";
+    return outcome;
+  }
+  if (!invalid.empty()) {
+    ++stats_.rejected;
+    outcome.status = SubmitStatus::kInvalid;
+    outcome.error = std::move(invalid);
+    return outcome;
+  }
+  if (queue_.size() >= config_.queue_capacity) {
+    ++stats_.rejected;
+    outcome.status = SubmitStatus::kQueueFull;
+    outcome.error = "queue full (capacity " + std::to_string(config_.queue_capacity) +
+                    "); retry later";
+    return outcome;
+  }
+  const std::uint64_t id = next_id_++;
+  Job& job = jobs_[id];
+  job.id = id;
+  job.fingerprint = batch_fingerprint(spec);
+  job.spec = std::move(spec);
+  job.submitted_at = std::chrono::steady_clock::now();
+  job.result.job_id = id;
+  queue_.push_back(id);
+  ++stats_.submitted;
+  outcome.job_id = id;
+  work_cv_.notify_one();
+  return outcome;
+}
+
+std::uint64_t SimService::submit(JobSpec spec) {
+  const SubmitOutcome outcome = try_submit(std::move(spec));
+  RQSIM_CHECK(outcome.status == SubmitStatus::kAccepted,
+              "SimService::submit: " + outcome.error);
+  return outcome.job_id;
+}
+
+std::optional<JobStatus> SimService::poll(std::uint64_t job_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    return std::nullopt;
+  }
+  JobStatus status;
+  status.job_id = job_id;
+  status.state = it->second.state;
+  status.priority = it->second.spec.priority;
+  return status;
+}
+
+std::optional<JobResult> SimService::result(std::uint64_t job_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end() || it->second.state == JobState::kQueued ||
+      it->second.state == JobState::kRunning) {
+    return std::nullopt;
+  }
+  return it->second.result;
+}
+
+JobResult SimService::wait(std::uint64_t job_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = jobs_.find(job_id);
+  RQSIM_CHECK(it != jobs_.end(), "SimService::wait: unknown job id");
+  done_cv_.wait(lock, [&] {
+    const JobState s = it->second.state;
+    return s != JobState::kQueued && s != JobState::kRunning;
+  });
+  return it->second.result;
+}
+
+bool SimService::cancel(std::uint64_t job_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end() || it->second.state != JobState::kQueued) {
+    return false;
+  }
+  const auto queue_it = std::find(queue_.begin(), queue_.end(), job_id);
+  if (queue_it == queue_.end()) {
+    return false;  // claimed between state check and now (not reachable: lock held)
+  }
+  queue_.erase(queue_it);
+  it->second.state = JobState::kCancelled;
+  it->second.result.state = JobState::kCancelled;
+  it->second.result.queue_ms =
+      elapsed_ms(it->second.submitted_at, std::chrono::steady_clock::now());
+  ++stats_.cancelled;
+  done_cv_.notify_all();
+  return true;
+}
+
+ServiceStats SimService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceStats snapshot = stats_;
+  snapshot.queued_now = queue_.size();
+  std::size_t running = 0;
+  for (const auto& [id, job] : jobs_) {
+    (void)id;
+    if (job.state == JobState::kRunning) {
+      ++running;
+    }
+  }
+  snapshot.running_now = running;
+  return snapshot;
+}
+
+std::vector<SimService::Job*> SimService::claim_batch_locked() {
+  std::vector<Job*> group;
+  if (queue_.empty()) {
+    return group;
+  }
+  // Highest priority first, FIFO within a priority level.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < queue_.size(); ++i) {
+    const Job& a = jobs_.at(queue_[i]);
+    const Job& b = jobs_.at(queue_[best]);
+    if (static_cast<int>(a.spec.priority) > static_cast<int>(b.spec.priority)) {
+      best = i;
+    }
+  }
+  Job& lead = jobs_.at(queue_[best]);
+  group.push_back(&lead);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best));
+
+  // Gather batchable followers (any priority — riding along never delays
+  // them) while respecting the batch size cap.
+  if (config_.max_batch_jobs > 1 &&
+      !lead.spec.analyze_only && lead.spec.num_threads <= 1 &&
+      lead.spec.config.mode == ExecutionMode::kCachedReordered) {
+    for (auto it = queue_.begin();
+         it != queue_.end() && group.size() < config_.max_batch_jobs;) {
+      Job& candidate = jobs_.at(*it);
+      if (candidate.fingerprint == lead.fingerprint &&
+          batch_compatible(lead.spec, candidate.spec)) {
+        group.push_back(&candidate);
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  const auto now = std::chrono::steady_clock::now();
+  for (Job* job : group) {
+    job->state = JobState::kRunning;
+    job->started_at = now;
+  }
+  return group;
+}
+
+void SimService::execute_batch_group(const std::vector<Job*>& group) {
+  // Runs without the lock: specs are immutable once queued and the jobs are
+  // in kRunning, which no other path mutates.
+  std::vector<NoisyRunResult> runs;
+  std::vector<opcount_t> solo_ops;
+  opcount_t batch_ops = 0;
+  std::string error;
+  try {
+    if (group.size() > 1) {
+      std::vector<const JobSpec*> specs;
+      specs.reserve(group.size());
+      for (const Job* job : group) {
+        specs.push_back(&job->spec);
+      }
+      BatchExecution batch = execute_batch(specs);
+      runs = std::move(batch.per_job);
+      solo_ops = std::move(batch.solo_ops);
+      batch_ops = batch.batch_ops;
+    } else {
+      const JobSpec& spec = group.front()->spec;
+      NoisyRunResult run;
+      if (spec.analyze_only) {
+        run = analyze_noisy(spec.circuit, spec.noise, spec.config);
+      } else if (spec.num_threads > 1) {
+        ParallelRunConfig config;
+        static_cast<NoisyRunConfig&>(config) = spec.config;
+        config.num_threads = spec.num_threads;
+        run = run_noisy_parallel(spec.circuit, spec.noise, config);
+      } else {
+        run = run_noisy(spec.circuit, spec.noise, spec.config);
+      }
+      batch_ops = run.ops;
+      solo_ops.push_back(run.ops);
+      runs.push_back(std::move(run));
+    }
+  } catch (const std::exception& e) {
+    error = e.what();
+  }
+
+  const auto finished = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t j = 0; j < group.size(); ++j) {
+    Job& job = *group[j];
+    job.result.queue_ms = elapsed_ms(job.submitted_at, job.started_at);
+    job.result.exec_ms = elapsed_ms(job.started_at, finished);
+    job.result.batch_size = group.size();
+    if (error.empty()) {
+      job.state = JobState::kDone;
+      job.result.state = JobState::kDone;
+      job.result.run = std::move(runs[j]);
+      job.result.batch_ops = batch_ops;
+      job.result.solo_ops = solo_ops[j];
+      ++stats_.completed;
+    } else {
+      job.state = JobState::kFailed;
+      job.result.state = JobState::kFailed;
+      job.result.error = error;
+      ++stats_.failed;
+    }
+  }
+  if (error.empty() && group.size() > 1) {
+    ++stats_.merged_batches;
+    stats_.merged_jobs += group.size();
+    stats_.merged_batch_ops += batch_ops;
+    for (const opcount_t s : solo_ops) {
+      stats_.merged_solo_ops += s;
+    }
+  }
+  done_cv_.notify_all();
+}
+
+void SimService::worker_loop() {
+  while (true) {
+    std::vector<Job*> group;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (stopping_) {
+        return;
+      }
+      group = claim_batch_locked();
+    }
+    if (!group.empty()) {
+      execute_batch_group(group);
+    }
+  }
+}
+
+std::size_t SimService::run_pending(std::size_t max_batches) {
+  std::size_t executed = 0;
+  for (std::size_t b = 0; b < max_batches; ++b) {
+    std::vector<Job*> group;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      group = claim_batch_locked();
+    }
+    if (group.empty()) {
+      break;
+    }
+    execute_batch_group(group);
+    executed += group.size();
+  }
+  return executed;
+}
+
+void SimService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  // Serialize the join phase: shutdown() can race with itself (e.g. a
+  // server's stop() on one thread and the destructor on another), and
+  // joining the same std::thread twice is undefined behavior that deadlocks
+  // in practice. The second caller finds an empty vector and returns.
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+  workers_.clear();
+}
+
+}  // namespace rqsim

@@ -1,0 +1,58 @@
+#include "service/workload.hpp"
+
+#include "bench_circuits/factory.hpp"
+#include "circuit/qasm.hpp"
+#include "common/error.hpp"
+#include "transpile/decompose.hpp"
+#include "transpile/transpiler.hpp"
+
+namespace rqsim {
+
+Workload build_workload(const WorkloadSpec& spec) {
+  Circuit logical;
+  if (!spec.qasm.empty()) {
+    logical = from_qasm(spec.qasm);
+  } else if (!spec.circuit_spec.empty()) {
+    logical = make_named_circuit(spec.circuit_spec);
+  } else {
+    throw Error("workload: one of circuit_spec or qasm is required");
+  }
+
+  DeviceModel dev;
+  if (spec.device == "yorktown") {
+    dev = yorktown_device();
+  } else if (spec.device == "yorktown-directed") {
+    dev = yorktown_device();
+    dev.coupling = CouplingMap::yorktown_directed();
+  } else if (spec.device == "ideal") {
+    dev = ideal_device(spec.device_qubits > 0 ? spec.device_qubits
+                                              : logical.num_qubits());
+  } else if (spec.device == "artificial") {
+    dev = artificial_device(
+        spec.device_qubits > 0 ? spec.device_qubits : logical.num_qubits(),
+        spec.device_rate);
+  } else {
+    throw Error("workload: unknown device '" + spec.device +
+                "' (yorktown | yorktown-directed | artificial | ideal)");
+  }
+  if (spec.noise_scale != 1.0) {
+    dev.noise = dev.noise.scaled(spec.noise_scale);
+  }
+
+  Workload out;
+  out.device_name = dev.name;
+  out.noise = std::move(dev.noise);
+  if (spec.no_transpile) {
+    out.circuit = decompose_to_cx_basis(logical);
+  } else {
+    RQSIM_CHECK(logical.num_qubits() <= dev.coupling.num_qubits(),
+                "workload: circuit has more qubits than the device; set "
+                "device_qubits or no_transpile");
+    TranspileResult compiled = transpile(logical, dev.coupling);
+    out.swaps_inserted = compiled.swaps_inserted;
+    out.circuit = std::move(compiled.circuit);
+  }
+  return out;
+}
+
+}  // namespace rqsim

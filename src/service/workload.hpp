@@ -1,0 +1,41 @@
+// Declarative workload description: everything a remote client must send
+// for the server to reconstruct a runnable (circuit, noise model) pair.
+//
+// The wire protocol cannot ship C++ objects, so submissions carry either a
+// named-circuit spec (bench_circuits/factory.hpp) or inline OpenQASM text,
+// plus a device selector — the same vocabulary the CLI `run` command uses.
+// `build_workload` resolves the description into a transpiled/decomposed
+// circuit and its device noise model; the CLI and the JSONL server share
+// this one resolution path so a submitted job equals the local run.
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "noise/devices.hpp"
+
+namespace rqsim {
+
+struct WorkloadSpec {
+  std::string circuit_spec;  // named circuit, e.g. "ghz5", "qv:5:5"
+  std::string qasm;          // inline OpenQASM 2.0 (wins over circuit_spec)
+
+  std::string device = "yorktown";  // yorktown | yorktown-directed | artificial | ideal
+  unsigned device_qubits = 0;       // artificial/ideal size (0 = circuit size)
+  double device_rate = 1e-3;        // artificial single-qubit error rate
+  double noise_scale = 1.0;         // multiply every rate
+  bool no_transpile = false;        // skip routing, only decompose
+};
+
+struct Workload {
+  Circuit circuit;  // prepared: transpiled (unless no_transpile) + decomposed
+  NoiseModel noise;
+  std::string device_name;
+  std::size_t swaps_inserted = 0;
+};
+
+/// Resolve a workload description. Throws rqsim::Error on unknown names,
+/// malformed QASM, or a circuit larger than the device.
+Workload build_workload(const WorkloadSpec& spec);
+
+}  // namespace rqsim

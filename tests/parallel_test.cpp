@@ -106,6 +106,58 @@ TEST(Parallel, ObservablesSupported) {
   }
 }
 
+TEST(Parallel, RepeatedRunsAreBitwiseIdentical) {
+  // Same seed + same thread count must reproduce everything exactly —
+  // histograms, observable means, op counts — run after run. The worker
+  // Rngs are derived deterministically on the caller thread, so thread
+  // scheduling cannot leak into the results.
+  const Circuit c = decompose_to_cx_basis(make_qft(4));
+  const NoiseModel noise = NoiseModel::uniform(4, 0.015, 0.06, 0.02);
+  ParallelRunConfig config = make_config(6000, 4, 1234);
+  config.observables = {PauliString::from_label("ZZZZ"),
+                        PauliString::from_label("XIIX")};
+  const NoisyRunResult first = run_noisy_parallel(c, noise, config);
+  for (int rep = 0; rep < 3; ++rep) {
+    const NoisyRunResult again = run_noisy_parallel(c, noise, config);
+    EXPECT_EQ(again.histogram, first.histogram);
+    EXPECT_EQ(again.ops, first.ops);
+    EXPECT_EQ(again.max_live_states, first.max_live_states);
+    ASSERT_EQ(again.observable_means.size(), first.observable_means.size());
+    for (std::size_t k = 0; k < first.observable_means.size(); ++k) {
+      // Bitwise: partial sums are reduced in a fixed worker order.
+      EXPECT_EQ(again.observable_means[k], first.observable_means[k]);
+    }
+  }
+}
+
+TEST(Parallel, OneThreadMatchesSerialSchedulerBitwise) {
+  // A single worker continues on the generation Rng exactly like run_noisy,
+  // so the two entry points are interchangeable at num_threads == 1.
+  const Circuit c = decompose_to_cx_basis(make_qft(4));
+  const NoiseModel noise = NoiseModel::uniform(4, 0.02, 0.07, 0.03);
+  ParallelRunConfig parallel_config = make_config(4000, 1, 99);
+  parallel_config.observables = {PauliString::from_label("ZIZI")};
+
+  NoisyRunConfig serial_config = parallel_config;  // slices the base fields
+  const NoisyRunResult serial = run_noisy(c, noise, serial_config);
+  const NoisyRunResult parallel = run_noisy_parallel(c, noise, parallel_config);
+
+  EXPECT_EQ(parallel.histogram, serial.histogram);
+  EXPECT_EQ(parallel.ops, serial.ops);
+  EXPECT_EQ(parallel.baseline_ops, serial.baseline_ops);
+  EXPECT_EQ(parallel.max_live_states, serial.max_live_states);
+  ASSERT_EQ(parallel.observable_means.size(), 1u);
+  EXPECT_EQ(parallel.observable_means[0], serial.observable_means[0]);
+}
+
+TEST(Parallel, RejectsSingleStateBudget) {
+  const Circuit c = decompose_to_cx_basis(make_qft(3));
+  const NoiseModel noise = NoiseModel::uniform(3, 0.01, 0.05, 0.0);
+  ParallelRunConfig config = make_config(100, 2);
+  config.max_states = 1;
+  EXPECT_THROW(run_noisy_parallel(c, noise, config), Error);
+}
+
 TEST(Parallel, RejectsNonCachedModes) {
   const Circuit c = decompose_to_cx_basis(make_qft(3));
   const NoiseModel noise = NoiseModel::uniform(3, 0.01, 0.05, 0.0);

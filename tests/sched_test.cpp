@@ -11,6 +11,7 @@
 #include "sched/cached.hpp"
 #include "sched/order.hpp"
 #include "sched/plan.hpp"
+#include "sched/runner.hpp"
 #include "transpile/decompose.hpp"
 #include "trial/generator.hpp"
 
@@ -293,6 +294,42 @@ TEST(ConsecutiveCache, EmptyAndAllDuplicates) {
   // pinned-checkpoint scheme still replays all layers (prefix of length 0).
   EXPECT_EQ(r.ops, 5u * ctx.total_gate_ops());
   EXPECT_EQ(r.max_live_states, 1u);
+}
+
+TEST(MsvBudget, SingleStateBudgetRejectedEverywhere) {
+  // max_states == 1 cannot host a checkpoint plus a scratch state; the
+  // documented contract is 0 (unlimited) or >= 2, and every entry point
+  // must enforce it — not just the cached scheduler.
+  const Circuit c = test_circuit();
+  const NoiseModel noise = NoiseModel::uniform(3, 0.02, 0.05, 0.01);
+
+  NoisyRunConfig config;
+  config.num_trials = 10;
+  config.max_states = 1;
+  EXPECT_THROW(run_noisy(c, noise, config), Error);
+  EXPECT_THROW(analyze_noisy(c, noise, config), Error);
+  config.mode = ExecutionMode::kBaseline;
+  EXPECT_THROW(run_noisy(c, noise, config), Error);
+  EXPECT_THROW(analyze_noisy(c, noise, config), Error);
+  config.mode = ExecutionMode::kCachedUnordered;
+  EXPECT_THROW(analyze_noisy(c, noise, config), Error);
+
+  const CircuitContext ctx(c);
+  Rng rng(5);
+  auto trials = generate_trials(c, ctx.layering, noise, 10, rng);
+  reorder_trials(trials);
+  CountBackend backend(ctx);
+  ScheduleOptions options;
+  options.max_states = 1;
+  EXPECT_THROW(schedule_trials(ctx, trials, backend, options), Error);
+
+  // The documented budgets still work.
+  config = NoisyRunConfig{};
+  config.num_trials = 10;
+  config.max_states = 2;
+  EXPECT_LE(run_noisy(c, noise, config).max_live_states, 2u);
+  config.max_states = 0;
+  EXPECT_GT(run_noisy(c, noise, config).ops, 0u);
 }
 
 }  // namespace

@@ -33,8 +33,13 @@ int main() {
   std::size_t cells = 0;
   for (const ScalePoint point : scalability_grid()) {
     const Circuit circuit = scalability_circuit(point);
-    std::vector<std::string> row = {"n" + std::to_string(point.qubits) + ",d" +
-                                    std::to_string(point.depth)};
+    // Built with += to dodge GCC 12's -Wrestrict false positive on
+    // operator+(const char*, std::string&&).
+    std::string label = "n";
+    label += std::to_string(point.qubits);
+    label += ",d";
+    label += std::to_string(point.depth);
+    std::vector<std::string> row = {std::move(label)};
     for (double rate : scalability_rates()) {
       const NoisyRunResult result =
           analyze_cell(circuit, rate, trials, ExecutionMode::kCachedReordered);

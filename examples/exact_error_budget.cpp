@@ -54,7 +54,12 @@ int main(int argc, char** argv) {
         it == mc.histogram.end()
             ? 0.0
             : static_cast<double>(it->second) / static_cast<double>(config.num_trials);
-    table.add_row({"|" + to_bitstring(outcome, circuit.num_measured()) + ">",
+    // Built with += to dodge GCC 12's -Wrestrict false positive on
+    // operator+(const char*, std::string&&).
+    std::string ket = "|";
+    ket += to_bitstring(outcome, circuit.num_measured());
+    ket += ">";
+    table.add_row({std::move(ket),
                    format_double(exact.probabilities[outcome] / exact.covered_mass, 5),
                    format_double(sampled, 5)});
   }

@@ -1,0 +1,55 @@
+#!/bin/sh
+# Project-specific source rules, enforced with portable grep so the check
+# runs on containers without clang-tidy (scripts/lint.sh always calls this,
+# and falls back to it alone when the tidy binary is absent).
+#
+# Rule 1: no raw buffer allocation (new[], malloc & friends) for state
+#         buffers outside sim/buffer_pool.* — every amplitude buffer must
+#         come from StateBufferPool so checkpoints reuse memory instead of
+#         page-faulting fresh hundreds-of-MiB allocations.
+# Rule 2: no RNG construction outside common/rng.* — every random stream
+#         must go through rqsim::Rng so trial generation stays seeded and
+#         reproducible (an unseeded std::mt19937 or std::random_device
+#         silently breaks the determinism the schedules are proved against).
+#
+# Usage: scripts/check_source_rules.sh [src-dir]   (default: src)
+set -u
+
+src_dir="${1:-src}"
+status=0
+
+# Strip // line comments before matching so documentation may mention the
+# banned identifiers. (Block comments are rare in this tree and reviewed by
+# hand; the goal is catching real call sites, not building a C++ parser.)
+scan() {
+  pattern="$1"
+  exclude="$2"
+  label="$3"
+  found=0
+  for f in $(find "$src_dir" -name '*.cpp' -o -name '*.hpp' | sort); do
+    case "$f" in
+      $exclude) continue ;;
+    esac
+    hits=$(sed 's|//.*||' "$f" | grep -nE "$pattern" || true)
+    if [ -n "$hits" ]; then
+      echo "RULE VIOLATION ($label) in $f:"
+      # Re-run with line numbers against the stripped text for context.
+      sed 's|//.*||' "$f" | grep -nE "$pattern" | sed 's/^/  /'
+      found=1
+    fi
+  done
+  [ "$found" -eq 0 ] || status=1
+}
+
+scan '(^|[^[:alnum:]_.])new[[:space:]]+[[:alnum:]_:<]*(Amp|amp_t|std::complex)|(^|[^[:alnum:]_])(malloc|calloc|realloc)[[:space:]]*\(' \
+     "$src_dir/sim/buffer_pool.*" \
+     'raw state-buffer allocation outside StateBufferPool'
+
+scan '(^|[^[:alnum:]_])(std::mt19937|std::minstd_rand|std::random_device|std::rand|std::srand|drand48|rand48)' \
+     "$src_dir/common/rng.*" \
+     'RNG construction outside common/rng'
+
+if [ "$status" -eq 0 ]; then
+  echo "check_source_rules: OK ($src_dir)"
+fi
+exit "$status"

@@ -21,8 +21,11 @@
 #include "sched/runner.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
+#include "sched/order.hpp"
 #include "transpile/decompose.hpp"
 #include "transpile/transpiler.hpp"
+#include "trial/generator.hpp"
+#include "verify/plan_verifier.hpp"
 
 namespace rqsim {
 
@@ -63,9 +66,15 @@ struct CliOptions {
 }
 
 std::uint64_t parse_u64_flag(const std::string& value, const std::string& flag) {
+  // strtoull silently wraps negative input ("-5" becomes 2^64 - 5); reject
+  // it before the resulting huge count reaches an allocation.
+  if (!value.empty() && (value[0] == '-' || value[0] == '+')) {
+    usage_error("value '" + value + "' for " + flag + " must be a plain "
+                "non-negative integer");
+  }
   char* end = nullptr;
   const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
-  if (end == nullptr || *end != '\0') {
+  if (end == nullptr || *end != '\0' || end == value.c_str()) {
     usage_error("bad value '" + value + "' for " + flag);
   }
   return parsed;
@@ -321,6 +330,38 @@ int cmd_enumerate(const std::vector<std::string>& args, std::ostream& out) {
   return 0;
 }
 
+// Static schedule verification: generate the trial set exactly as `run`
+// would, record the reorder schedule without executing it, prove the
+// invariants (reorder order, checkpoint stack discipline, MSV bound,
+// op-count telescoping) and print the proof artifacts.
+int cmd_verify(const std::vector<std::string>& args, std::ostream& out) {
+  const CliOptions options = parse_options(args, 2);
+  const Circuit logical = load_circuit(options);
+  const DeviceModel dev = load_device(options, logical.num_qubits());
+  const Circuit circuit = prepare_circuit(logical, dev, options, out);
+  RQSIM_CHECK(dev.noise.num_qubits() >= circuit.num_qubits(),
+              "verify: noise model covers fewer qubits than the circuit");
+
+  NoisyRunConfig config;
+  config.num_trials = options.trials;
+  config.seed = options.seed;
+  config.max_states = options.max_states;
+  validate_run_limits(config, "verify");
+
+  const CircuitContext ctx(circuit);
+  Rng rng(config.seed);
+  std::vector<Trial> trials =
+      generate_trials(circuit, ctx.layering, dev.noise, config.num_trials, rng);
+  reorder_trials(trials);
+
+  ScheduleOptions sched_options;
+  sched_options.max_states = config.max_states;
+  const PlanVerifier verifier(ctx, sched_options);
+  const PlanProof proof = verifier.verify_schedule(trials);
+  out << format_proof(proof);
+  return proof.ok ? 0 : 1;
+}
+
 int cmd_transpile(const std::vector<std::string>& args, std::ostream& out) {
   const CliOptions options = parse_options(args, 2);
   const Circuit logical = load_circuit(options);
@@ -540,6 +581,7 @@ void print_usage(std::ostream& out) {
          "  run        noisy Monte Carlo simulation (statevector)\n"
          "  analyze    op/MSV accounting only (any qubit count)\n"
          "  enumerate  exact truncated error-configuration enumeration\n"
+         "  verify     statically prove a reorder schedule's invariants\n"
          "  transpile  compile a circuit onto a device, print QASM\n"
          "  suite      show the built-in benchmark suite\n"
          "  serve      run the simulation service (JSONL over a socket)\n"
@@ -597,6 +639,9 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
     }
     if (command == "enumerate") {
       return cmd_enumerate(args, out);
+    }
+    if (command == "verify") {
+      return cmd_verify(args, out);
     }
     if (command == "transpile") {
       return cmd_transpile(args, out);

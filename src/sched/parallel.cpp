@@ -9,6 +9,7 @@
 #include "sched/backend.hpp"
 #include "sched/order.hpp"
 #include "trial/generator.hpp"
+#include "verify/plan_verifier.hpp"
 
 namespace rqsim {
 
@@ -19,8 +20,7 @@ NoisyRunResult run_noisy_parallel(const Circuit& circuit, const NoiseModel& nois
               "run_noisy_parallel: noise model covers fewer qubits than the circuit");
   RQSIM_CHECK(config.mode == ExecutionMode::kCachedReordered,
               "run_noisy_parallel: only kCachedReordered is supported");
-  RQSIM_CHECK(config.max_states != 1,
-              "run_noisy_parallel: max_states must be 0 (unlimited) or >= 2");
+  validate_run_limits(config, "run_noisy_parallel");
   const CircuitContext ctx(circuit);
   Rng rng(config.seed);
   std::vector<Trial> trials =
@@ -43,6 +43,15 @@ NoisyRunResult run_noisy_parallel(const Circuit& circuit, const NoiseModel& nois
 
   ScheduleOptions options;
   options.max_states = config.max_states;
+
+  // Verify every chunk's plan up front, on the caller's thread: chunks of a
+  // reordered list are themselves reordered, and each worker executes its
+  // chunk as an independent schedule.
+  if (config.verify_plans) {
+    for (const std::vector<Trial>& chunk : chunks) {
+      verify_schedule_or_throw(ctx, chunk, options, "run_noisy_parallel");
+    }
+  }
 
   std::vector<SvRunResult> partials(workers);
   auto work = [&](std::size_t w, Rng& worker_rng) {

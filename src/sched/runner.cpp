@@ -8,19 +8,32 @@
 #include "sched/cached.hpp"
 #include "sched/order.hpp"
 #include "trial/generator.hpp"
+#include "verify/plan_verifier.hpp"
 
 namespace rqsim {
+
+void validate_run_limits(const NoisyRunConfig& config, const char* context) {
+  const std::string where(context);
+  RQSIM_CHECK(config.max_states != 1,
+              where + ": max_states must be 0 (unlimited) or >= 2 — one shared "
+                      "checkpoint plus at least one scratch state");
+  RQSIM_CHECK(config.max_states <= kMaxStatesBudget,
+              where + ": max_states " + std::to_string(config.max_states) +
+                  " exceeds the supported maximum (overflowed or negative value?)");
+  RQSIM_CHECK(config.num_trials <= kMaxTrialCount,
+              where + ": trial count " + std::to_string(config.num_trials) +
+                  " exceeds the supported maximum (overflowed or negative value?)");
+}
 
 namespace {
 
 std::vector<Trial> make_trials(const Circuit& circuit, const CircuitContext& ctx,
                                const NoiseModel& noise, const NoisyRunConfig& config,
-                               Rng& rng) {
+                               Rng& rng, const char* context) {
   RQSIM_CHECK(noise.num_qubits() >= circuit.num_qubits(),
-              "run_noisy: noise model covers fewer qubits than the circuit");
-  RQSIM_CHECK(config.max_states != 1,
-              "run_noisy: max_states must be 0 (unlimited) or >= 2 — one shared "
-              "checkpoint plus at least one scratch state");
+              std::string(context) +
+                  ": noise model covers fewer qubits than the circuit");
+  validate_run_limits(config, context);
   return generate_trials(circuit, ctx.layering, noise, config.num_trials, rng);
 }
 
@@ -41,7 +54,7 @@ NoisyRunResult run_noisy(const Circuit& circuit, const NoiseModel& noise,
   circuit.validate();
   CircuitContext ctx(circuit);
   Rng rng(config.seed);
-  std::vector<Trial> trials = make_trials(circuit, ctx, noise, config, rng);
+  std::vector<Trial> trials = make_trials(circuit, ctx, noise, config, rng, "run_noisy");
 
   NoisyRunResult result;
   switch (config.mode) {
@@ -60,6 +73,9 @@ NoisyRunResult run_noisy(const Circuit& circuit, const NoiseModel& noise,
                         config.fuse_gates);
       ScheduleOptions options;
       options.max_states = config.max_states;
+      if (config.verify_plans) {
+        verify_schedule_or_throw(ctx, trials, options, "run_noisy");
+      }
       schedule_trials(ctx, trials, backend, options);
       SvRunResult run = backend.take_result();
       result.histogram = std::move(run.histogram);
@@ -85,7 +101,8 @@ NoisyRunResult analyze_noisy(const Circuit& circuit, const NoiseModel& noise,
   circuit.validate();
   CircuitContext ctx(circuit);
   Rng rng(config.seed);
-  std::vector<Trial> trials = make_trials(circuit, ctx, noise, config, rng);
+  std::vector<Trial> trials =
+      make_trials(circuit, ctx, noise, config, rng, "analyze_noisy");
 
   NoisyRunResult result;
   switch (config.mode) {
@@ -98,6 +115,9 @@ NoisyRunResult analyze_noisy(const Circuit& circuit, const NoiseModel& noise,
       CountBackend backend(ctx);
       ScheduleOptions options;
       options.max_states = config.max_states;
+      if (config.verify_plans) {
+        verify_schedule_or_throw(ctx, trials, options, "analyze_noisy");
+      }
       schedule_trials(ctx, trials, backend, options);
       result.ops = backend.ops();
       result.max_live_states = backend.max_live_states();

@@ -18,6 +18,23 @@
 
 namespace rqsim {
 
+/// Compile-time default for NoisyRunConfig::verify_plans: schedules are
+/// verified before execution in debug builds, and verification is opt-in
+/// in NDEBUG (release) builds.
+#ifdef NDEBUG
+inline constexpr bool kVerifyPlansDefault = false;
+#else
+inline constexpr bool kVerifyPlansDefault = true;
+#endif
+
+/// Upper bound accepted for trial counts and MSV budgets at every public
+/// entry point. Far beyond any realistic run, but small enough that a
+/// negative value cast to an unsigned type (e.g. `--trials -5` or a
+/// negative JSON number) is always rejected instead of attempting a
+/// ~2^64-trial allocation.
+inline constexpr std::size_t kMaxTrialCount = std::size_t{1} << 40;
+inline constexpr std::size_t kMaxStatesBudget = std::size_t{1} << 40;
+
 enum class ExecutionMode {
   kBaseline,          // every trial from scratch (paper's baseline)
   kCachedReordered,   // the paper's optimization: reorder + prefix caching
@@ -44,7 +61,21 @@ struct NoisyRunConfig {
   /// Pauli-string observables to estimate (statevector modes only):
   /// result.observable_means[k] = mean over trials of ⟨P_k⟩.
   std::vector<PauliString> observables;
+
+  /// Statically verify the reorder schedule before executing it (cached
+  /// modes): lexicographic trial order, checkpoint stack discipline, the
+  /// MSV bound, and exact op-count telescoping (verify/plan_verifier.hpp).
+  /// Throws rqsim::Error with the proof diagnostic on any violation.
+  /// Defaults on in debug builds, off in release (kVerifyPlansDefault).
+  bool verify_plans = kVerifyPlansDefault;
 };
+
+/// Shared entry-point validation of the run limits: rejects max_states == 1
+/// (the budget needs one shared checkpoint plus one scratch state; 0 stays
+/// the documented "unlimited" sentinel) and trial counts / budgets beyond
+/// kMaxTrialCount / kMaxStatesBudget (overflowed or negative inputs).
+/// `context` names the caller in the error message.
+void validate_run_limits(const NoisyRunConfig& config, const char* context);
 
 struct NoisyRunResult {
   /// Sampled outcome histogram (empty for analyze_noisy or unmeasured circuits).

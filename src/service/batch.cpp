@@ -12,6 +12,7 @@
 #include "sim/kernels.hpp"
 #include "sim/measure.hpp"
 #include "trial/generator.hpp"
+#include "verify/plan_verifier.hpp"
 
 namespace rqsim {
 
@@ -206,6 +207,18 @@ BatchExecution execute_batch(const std::vector<const JobSpec*>& jobs) {
   merged.reserve(origins.size());
   for (const TrialOrigin& origin : origins) {
     merged.push_back(job_trials[origin.job][origin.local_index]);
+  }
+
+  // Prove the merged schedule's invariants before touching amplitudes: the
+  // merge must preserve reorder order, stack discipline, the shared MSV
+  // budget, and exact op-count telescoping over the combined trial list.
+  // One verifying job is enough to cover the whole batch (the schedule is
+  // shared), so any requester turns it on.
+  const bool verify_merged =
+      std::any_of(jobs.begin(), jobs.end(),
+                  [](const JobSpec* spec) { return spec->config.verify_plans; });
+  if (verify_merged) {
+    verify_schedule_or_throw(ctx, merged, options, "execute_batch");
   }
 
   MuxBackend mux(ctx, streams, origins, lead.config.fuse_gates);

@@ -1,0 +1,479 @@
+#include "verify/plan_verifier.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "sched/order.hpp"
+
+namespace rqsim {
+
+// --------------------------------------------------------------------------
+// PlanRecorder
+
+void PlanRecorder::on_advance(std::size_t depth, layer_index_t from_layer,
+                              layer_index_t to_layer) {
+  PlanOp op;
+  op.kind = PlanOpKind::kAdvance;
+  op.depth = static_cast<std::uint32_t>(depth);
+  op.from = from_layer;
+  op.to = to_layer;
+  plan_.push_back(op);
+}
+
+void PlanRecorder::on_fork(std::size_t depth) {
+  PlanOp op;
+  op.kind = PlanOpKind::kFork;
+  op.depth = static_cast<std::uint32_t>(depth);
+  plan_.push_back(op);
+}
+
+void PlanRecorder::on_error(std::size_t depth, const ErrorEvent& event) {
+  PlanOp op;
+  op.kind = PlanOpKind::kError;
+  op.depth = static_cast<std::uint32_t>(depth);
+  op.event = event;
+  plan_.push_back(op);
+}
+
+void PlanRecorder::on_finish(std::size_t depth, trial_index_t trial_index,
+                             const Trial& trial) {
+  (void)trial;
+  PlanOp op;
+  op.kind = PlanOpKind::kFinish;
+  op.depth = static_cast<std::uint32_t>(depth);
+  op.trial = trial_index;
+  plan_.push_back(op);
+}
+
+void PlanRecorder::on_drop(std::size_t depth) {
+  PlanOp op;
+  op.kind = PlanOpKind::kDrop;
+  op.depth = static_cast<std::uint32_t>(depth);
+  plan_.push_back(op);
+}
+
+// --------------------------------------------------------------------------
+// Independent op-count model
+
+namespace {
+
+/// Ops a lone trial costs when replayed from a checkpoint at `frontier`
+/// with its first `event_depth` events already injected.
+opcount_t replay_ops(const CircuitContext& ctx, const Trial& trial,
+                     std::size_t event_depth, layer_index_t frontier) {
+  opcount_t ops = 0;
+  layer_index_t f = frontier;
+  for (std::size_t k = event_depth; k < trial.events.size(); ++k) {
+    const layer_index_t target = trial.events[k].layer + 1;
+    if (target > f) {
+      ops += ctx.ops_in_layers(f, target);
+      f = target;
+    }
+    ops += 1;
+  }
+  const auto total = static_cast<layer_index_t>(ctx.num_layers());
+  if (total > f) {
+    ops += ctx.ops_in_layers(f, total);
+  }
+  return ops;
+}
+
+/// Counting model of the reorder+cache recursion over the group
+/// [begin, end) of trials sharing their first `event_depth` events, with
+/// the shared checkpoint advanced through `frontier` layers.
+opcount_t model_group_ops(const CircuitContext& ctx, const std::vector<Trial>& trials,
+                          const ScheduleOptions& options, std::size_t begin,
+                          std::size_t end, std::size_t event_depth, std::size_t depth,
+                          layer_index_t frontier) {
+  opcount_t ops = 0;
+  std::size_t i = begin;
+  while (i != end && trials[i].events.size() > event_depth) {
+    const ErrorEvent event = trials[i].events[event_depth];
+    std::size_t j = i + 1;
+    while (j != end && trials[j].events.size() > event_depth &&
+           trials[j].events[event_depth] == event) {
+      ++j;
+    }
+    const layer_index_t target = event.layer + 1;
+    if (target > frontier) {
+      ops += ctx.ops_in_layers(frontier, target);
+      frontier = target;
+    }
+    if (j - i == 1) {
+      ops += replay_ops(ctx, trials[i], event_depth, frontier);
+    } else if (options.max_states == 0 || depth + 2 < options.max_states) {
+      ops += 1;  // the shared error injection
+      ops += model_group_ops(ctx, trials, options, i, j, event_depth + 1, depth + 1,
+                             frontier);
+    } else {
+      for (std::size_t t = i; t != j; ++t) {
+        ops += replay_ops(ctx, trials[t], event_depth, frontier);
+      }
+    }
+    i = j;
+  }
+  if (i != end) {
+    const auto total = static_cast<layer_index_t>(ctx.num_layers());
+    if (total > frontier) {
+      ops += ctx.ops_in_layers(frontier, total);
+    }
+  }
+  return ops;
+}
+
+}  // namespace
+
+opcount_t predict_cached_ops(const CircuitContext& ctx, const std::vector<Trial>& trials,
+                             const ScheduleOptions& options) {
+  if (trials.empty()) {
+    return 0;
+  }
+  return model_group_ops(ctx, trials, options, 0, trials.size(), /*event_depth=*/0,
+                         /*depth=*/0, /*frontier=*/0);
+}
+
+// --------------------------------------------------------------------------
+// PlanVerifier
+
+namespace {
+
+const char* kind_name(PlanOpKind kind) {
+  switch (kind) {
+    case PlanOpKind::kAdvance: return "advance";
+    case PlanOpKind::kFork: return "fork";
+    case PlanOpKind::kError: return "error";
+    case PlanOpKind::kFinish: return "finish";
+    case PlanOpKind::kDrop: return "drop";
+  }
+  return "?";
+}
+
+/// First trial a stream corruption at plan op `k` would poison: the next
+/// finish at or after `k` (trials already finished are untouched).
+std::size_t next_finished_trial(const std::vector<PlanOp>& plan, std::size_t k) {
+  for (std::size_t i = k; i < plan.size(); ++i) {
+    if (plan[i].kind == PlanOpKind::kFinish) {
+      return static_cast<std::size_t>(plan[i].trial);
+    }
+  }
+  return kNoIndex;
+}
+
+/// Live checkpoint bookkeeping during the stream walk. `path_len` is the
+/// number of error events on this checkpoint's ancestry (a prefix of the
+/// shared `path` vector — forks copy by prefix, so one vector serves every
+/// depth), `finishes` counts trials finished in this checkpoint's subtree.
+struct DepthState {
+  layer_index_t frontier = 0;
+  std::size_t path_len = 0;
+  std::uint64_t finishes = 0;
+};
+
+}  // namespace
+
+PlanVerifier::PlanVerifier(const CircuitContext& ctx, const ScheduleOptions& options)
+    : ctx_(ctx), options_(options) {
+  RQSIM_CHECK(options.max_states == 0 || options.max_states >= 2,
+              "PlanVerifier: max_states must be 0 (unlimited) or >= 2");
+}
+
+PlanProof PlanVerifier::verify(const std::vector<Trial>& trials,
+                               const std::vector<PlanOp>& plan) const {
+  PlanProof proof;
+  proof.num_trials = trials.size();
+  proof.num_plan_ops = plan.size();
+  proof.msv_budget = options_.max_states;
+
+  const auto fail = [&proof](std::size_t op_index, std::size_t trial_index,
+                             const std::string& message) -> const PlanProof& {
+    proof.ok = false;
+    proof.violating_op = op_index;
+    proof.violating_trial = trial_index;
+    proof.diagnostic = message;
+    return proof;
+  };
+
+  const auto total_layers = static_cast<layer_index_t>(ctx_.num_layers());
+
+  // ---- Invariant 1: trial well-formedness and lexicographic reorder
+  // order, with "no-further-error" sorted after any further error.
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    const std::vector<ErrorEvent>& events = trials[i].events;
+    for (std::size_t k = 0; k < events.size(); ++k) {
+      if (events[k].layer >= total_layers) {
+        return fail(kNoIndex, i,
+                    "trial " + std::to_string(i) + " event " + std::to_string(k) +
+                        " names layer " + std::to_string(events[k].layer) +
+                        " but the circuit has only " + std::to_string(total_layers) +
+                        " layers");
+      }
+      if (k > 0 && events[k] < events[k - 1]) {
+        return fail(kNoIndex, i,
+                    "trial " + std::to_string(i) +
+                        " has unsorted error events (event " + std::to_string(k) +
+                        " precedes event " + std::to_string(k - 1) + ")");
+      }
+    }
+    if (i > 0 && trial_order_less(trials[i], trials[i - 1])) {
+      return fail(kNoIndex, i,
+                  "trial " + std::to_string(i) +
+                      " is out of reorder order: it sorts before trial " +
+                      std::to_string(i - 1) +
+                      " (lexicographic over error events, exhausted-last)");
+    }
+  }
+
+  // ---- Invariants 2 & 3: checkpoint stack discipline and the MSV bound,
+  // walked over the recorded stream with per-trial path reconstruction.
+  std::vector<DepthState> stack(1);
+  std::vector<ErrorEvent> path;  // shared by all depths; see DepthState
+  std::vector<bool> finished(trials.size(), false);
+  std::size_t finished_count = 0;
+
+  for (std::size_t k = 0; k < plan.size(); ++k) {
+    const PlanOp& op = plan[k];
+    const std::size_t top = stack.size() - 1;
+    if (op.depth != top &&
+        !(op.kind == PlanOpKind::kFinish && op.depth == top)) {
+      return fail(k, next_finished_trial(plan, k),
+                  std::string(kind_name(op.kind)) + " at plan op " +
+                      std::to_string(k) + " targets checkpoint depth " +
+                      std::to_string(op.depth) + " but the live stack top is depth " +
+                      std::to_string(top) +
+                      (op.depth > top ? " (use after drop)" : " (not the top)"));
+    }
+    switch (op.kind) {
+      case PlanOpKind::kAdvance: {
+        DepthState& state = stack.back();
+        if (op.from != state.frontier) {
+          return fail(k, next_finished_trial(plan, k),
+                      "advance at plan op " + std::to_string(k) + " starts at layer " +
+                          std::to_string(op.from) + " but checkpoint depth " +
+                          std::to_string(op.depth) + " is advanced through layer " +
+                          std::to_string(state.frontier) +
+                          " (layers would be skipped or reapplied)");
+        }
+        if (op.to <= op.from || op.to > total_layers) {
+          return fail(k, next_finished_trial(plan, k),
+                      "advance at plan op " + std::to_string(k) + " has bad range [" +
+                          std::to_string(op.from) + ", " + std::to_string(op.to) +
+                          ") for a circuit with " + std::to_string(total_layers) +
+                          " layers");
+        }
+        proof.cached_ops += ctx_.ops_in_layers(op.from, op.to);
+        state.frontier = op.to;
+        break;
+      }
+      case PlanOpKind::kFork: {
+        DepthState child;
+        child.frontier = stack.back().frontier;
+        child.path_len = stack.back().path_len;
+        stack.push_back(child);
+        ++proof.forks;
+        if (stack.size() > proof.max_live_states) {
+          proof.max_live_states = stack.size();
+          proof.msv_witness_op = k;
+        }
+        if (options_.max_states != 0 && stack.size() > options_.max_states) {
+          return fail(k, next_finished_trial(plan, k),
+                      "fork at plan op " + std::to_string(k) + " raises the live " +
+                          "checkpoint count to " + std::to_string(stack.size()) +
+                          ", exceeding the MSV budget of " +
+                          std::to_string(options_.max_states) + " (witness depth " +
+                          std::to_string(stack.size()) + ")");
+        }
+        break;
+      }
+      case PlanOpKind::kError: {
+        DepthState& state = stack.back();
+        if (op.event.layer >= total_layers) {
+          return fail(k, next_finished_trial(plan, k),
+                      "error at plan op " + std::to_string(k) + " names layer " +
+                          std::to_string(op.event.layer) +
+                          " beyond the circuit's last layer");
+        }
+        if (state.frontier != op.event.layer + 1) {
+          return fail(k, next_finished_trial(plan, k),
+                      "error at plan op " + std::to_string(k) + " belongs to layer " +
+                          std::to_string(op.event.layer) +
+                          " but checkpoint depth " + std::to_string(op.depth) +
+                          " is advanced through layer " + std::to_string(state.frontier) +
+                          " (errors must be injected at their layer boundary)");
+        }
+        path.resize(state.path_len);
+        path.push_back(op.event);
+        ++state.path_len;
+        proof.cached_ops += 1;
+        break;
+      }
+      case PlanOpKind::kFinish: {
+        const DepthState& state = stack.back();
+        const auto t = static_cast<std::size_t>(op.trial);
+        if (t >= trials.size()) {
+          return fail(k, kNoIndex,
+                      "finish at plan op " + std::to_string(k) + " names trial " +
+                          std::to_string(t) + " but only " +
+                          std::to_string(trials.size()) + " trials exist");
+        }
+        if (finished[t]) {
+          return fail(k, t,
+                      "trial " + std::to_string(t) + " is finished twice (plan op " +
+                          std::to_string(k) + ")");
+        }
+        if (state.frontier != total_layers) {
+          return fail(k, t,
+                      "trial " + std::to_string(t) + " finishes at plan op " +
+                          std::to_string(k) + " with its checkpoint advanced only " +
+                          "through layer " + std::to_string(state.frontier) + " of " +
+                          std::to_string(total_layers));
+        }
+        const std::vector<ErrorEvent>& expected = trials[t].events;
+        bool match = state.path_len == expected.size();
+        for (std::size_t e = 0; match && e < expected.size(); ++e) {
+          match = path[e] == expected[e];
+        }
+        if (!match) {
+          return fail(k, t,
+                      "trial " + std::to_string(t) + " finishes at plan op " +
+                          std::to_string(k) + " on a checkpoint whose injected error " +
+                          "path (" + std::to_string(state.path_len) +
+                          " events) diverges from the trial's defined events (" +
+                          std::to_string(expected.size()) + ")");
+        }
+        finished[t] = true;
+        ++finished_count;
+        ++stack.back().finishes;
+        break;
+      }
+      case PlanOpKind::kDrop: {
+        if (stack.size() <= 1) {
+          return fail(k, next_finished_trial(plan, k),
+                      "drop at plan op " + std::to_string(k) +
+                          " would release the root checkpoint");
+        }
+        if (stack.back().finishes == 0) {
+          return fail(k, next_finished_trial(plan, k),
+                      "checkpoint depth " + std::to_string(op.depth) +
+                          " is dropped at plan op " + std::to_string(k) +
+                          " without finishing any trial (dead branch: its forks and " +
+                          "advances are wasted computation)");
+        }
+        const std::uint64_t finishes = stack.back().finishes;
+        stack.pop_back();
+        stack.back().finishes += finishes;
+        ++proof.drops;
+        break;
+      }
+    }
+  }
+
+  if (stack.size() != 1) {
+    return fail(plan.size(), kNoIndex,
+                "plan leaks " + std::to_string(stack.size() - 1) +
+                    " checkpoint(s): every forked checkpoint must be dropped");
+  }
+  if (finished_count != trials.size()) {
+    const auto first_unfinished = static_cast<std::size_t>(
+        std::find(finished.begin(), finished.end(), false) - finished.begin());
+    return fail(plan.size(), first_unfinished,
+                "trial " + std::to_string(first_unfinished) +
+                    " is never finished by the plan (" +
+                    std::to_string(finished_count) + " of " +
+                    std::to_string(trials.size()) + " trials covered)");
+  }
+
+  // ---- Invariant 4: exact telescoping of the op counts. The plan's
+  // actual cost must equal the model prediction, and never exceed the
+  // baseline (full circuit + own errors, per trial, nothing shared).
+  proof.predicted_ops = predict_cached_ops(ctx_, trials, options_);
+  proof.baseline_ops = baseline_op_count(ctx_, trials);
+  if (proof.cached_ops != proof.predicted_ops) {
+    const bool over = proof.cached_ops > proof.predicted_ops;
+    const opcount_t delta = over ? proof.cached_ops - proof.predicted_ops
+                                 : proof.predicted_ops - proof.cached_ops;
+    return fail(plan.size(), kNoIndex,
+                "op-count telescoping violated: the plan executes " +
+                    std::to_string(proof.cached_ops) + " ops but the model predicts " +
+                    std::to_string(proof.predicted_ops) + " (" +
+                    (over ? "+" : "-") + std::to_string(delta) + ")");
+  }
+  if (!trials.empty() && proof.cached_ops > proof.baseline_ops) {
+    return fail(plan.size(), kNoIndex,
+                "plan executes " + std::to_string(proof.cached_ops) +
+                    " ops, more than the unshared baseline of " +
+                    std::to_string(proof.baseline_ops));
+  }
+  return proof;
+}
+
+PlanProof PlanVerifier::verify_schedule(const std::vector<Trial>& trials) const {
+  if (!is_reordered(trials)) {
+    // Let verify() produce the precise per-trial ordering diagnostic
+    // (schedule_trials would refuse to walk an unordered list).
+    return verify(trials, {});
+  }
+  PlanRecorder recorder;
+  schedule_trials(ctx_, trials, recorder, options_);
+  return verify(trials, recorder.plan());
+}
+
+void verify_schedule_or_throw(const CircuitContext& ctx,
+                              const std::vector<Trial>& trials,
+                              const ScheduleOptions& options, const char* context) {
+  const PlanVerifier verifier(ctx, options);
+  const PlanProof proof = verifier.verify_schedule(trials);
+  if (!proof.ok) {
+    throw Error(std::string(context) + ": schedule verification failed — " +
+                proof.diagnostic);
+  }
+}
+
+std::string format_proof(const PlanProof& proof) {
+  std::ostringstream out;
+  if (proof.ok) {
+    out << "plan proof: OK\n";
+  } else {
+    out << "plan proof: VIOLATION — " << proof.diagnostic << "\n";
+    out << "  violating trial   : ";
+    if (proof.violating_trial == kNoIndex) {
+      out << "(none / schedule-wide)\n";
+    } else {
+      out << proof.violating_trial << "\n";
+    }
+    out << "  violating plan op : ";
+    if (proof.violating_op == kNoIndex) {
+      out << "(trial list, before the stream)\n";
+    } else {
+      out << proof.violating_op << "\n";
+    }
+  }
+  out << "  trials            : " << proof.num_trials << "\n";
+  out << "  plan ops          : " << proof.num_plan_ops << "\n";
+  out << "  cached ops        : " << proof.cached_ops << "\n";
+  out << "  predicted ops     : " << proof.predicted_ops << "\n";
+  out << "  baseline ops      : " << proof.baseline_ops << "\n";
+  if (proof.baseline_ops > 0 && proof.ok) {
+    out << "  normalized compute: "
+        << format_double(static_cast<double>(proof.cached_ops) /
+                             static_cast<double>(proof.baseline_ops),
+                         4)
+        << "\n";
+  }
+  out << "  max live states   : " << proof.max_live_states;
+  if (proof.msv_witness_op != kNoIndex) {
+    out << " (witness at plan op " << proof.msv_witness_op << ")";
+  }
+  out << "\n";
+  out << "  msv budget        : ";
+  if (proof.msv_budget == 0) {
+    out << "unlimited\n";
+  } else {
+    out << proof.msv_budget << "\n";
+  }
+  out << "  forks / drops     : " << proof.forks << " / " << proof.drops << "\n";
+  return out.str();
+}
+
+}  // namespace rqsim

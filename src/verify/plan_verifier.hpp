@@ -1,0 +1,161 @@
+// Schedule-invariant verification ("plan proofs").
+//
+// The prefix-caching speedup rests on invariants that the scheduler
+// maintains *by construction* but that nothing re-checks: the trial list
+// must be in reorder order (Algorithm 1's lexicographic order with
+// "no-further-error" last), the checkpoint stream must form a valid stack
+// discipline (no use-after-drop, no leak), the number of live checkpoints
+// must stay within the MSV budget, and the op count implied by the stream
+// must telescope exactly against both an independent prediction and the
+// baseline. This module makes those invariants checkable before any
+// amplitude is touched:
+//
+//   PlanRecorder  — a ScheduleVisitor that captures the scheduler's op
+//                   stream as a flat, allocation-light "plan".
+//   PlanVerifier  — a pure pass over (trials, plan) that either produces a
+//                   PlanProof (the proof artifacts: witness MSV depth,
+//                   telescoped op counts, per-trial coverage) or a precise
+//                   diagnostic naming the first violating trial index.
+//
+// The verifier re-derives every per-trial operator path from the plan
+// alone: a trial's proof obligation is that the advances and errors
+// accumulated along its checkpoint ancestry equal exactly the full-circuit
+// layer sweep interleaved with the trial's own error events. Because the
+// check runs on the recorded stream — not on the scheduler's internal
+// state — a corrupted schedule cannot vouch for itself.
+//
+// Execution entry points (run_noisy, run_noisy_parallel, execute_batch)
+// run this pass before touching amplitudes when
+// NoisyRunConfig::verify_plans is set; the `rqsim verify` CLI verb runs it
+// standalone and prints the artifacts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/plan.hpp"
+
+namespace rqsim {
+
+enum class PlanOpKind : std::uint8_t {
+  kAdvance,  // apply layers [from, to) to checkpoint `depth`
+  kFork,     // duplicate checkpoint `depth` into depth + 1
+  kError,    // inject `event` into checkpoint `depth`
+  kFinish,   // checkpoint `depth` is trial `trial`'s final state
+  kDrop,     // checkpoint `depth` is dead
+};
+
+/// One primitive operation of a recorded schedule.
+struct PlanOp {
+  PlanOpKind kind = PlanOpKind::kAdvance;
+  std::uint32_t depth = 0;
+  layer_index_t from = 0;  // kAdvance
+  layer_index_t to = 0;    // kAdvance
+  ErrorEvent event;        // kError
+  trial_index_t trial = 0; // kFinish
+};
+
+/// ScheduleVisitor that records the stream as a flat plan.
+class PlanRecorder : public ScheduleVisitor {
+ public:
+  void on_advance(std::size_t depth, layer_index_t from_layer,
+                  layer_index_t to_layer) override;
+  void on_fork(std::size_t depth) override;
+  void on_error(std::size_t depth, const ErrorEvent& event) override;
+  void on_finish(std::size_t depth, trial_index_t trial_index,
+                 const Trial& trial) override;
+  void on_drop(std::size_t depth) override;
+
+  const std::vector<PlanOp>& plan() const { return plan_; }
+  std::vector<PlanOp> take_plan() { return std::move(plan_); }
+
+ private:
+  std::vector<PlanOp> plan_;
+};
+
+inline constexpr std::size_t kNoIndex = static_cast<std::size_t>(-1);
+
+/// Outcome of a verification pass: either ok with the proof artifacts, or
+/// a violation with a diagnostic locating the first offending trial/op.
+struct PlanProof {
+  bool ok = true;
+
+  /// Human-readable description of the first violation (empty when ok).
+  std::string diagnostic;
+
+  /// First trial whose result the violation would corrupt (kNoIndex when
+  /// no trial is affected or the plan never reaches one).
+  std::size_t violating_trial = kNoIndex;
+
+  /// Index into the plan stream of the violating op (kNoIndex for
+  /// trial-list violations, which precede the stream).
+  std::size_t violating_op = kNoIndex;
+
+  // ---- proof artifacts (valid when ok) ----
+  std::size_t num_trials = 0;
+  std::size_t num_plan_ops = 0;
+
+  /// Op count implied by the plan stream (advances + error injections).
+  opcount_t cached_ops = 0;
+
+  /// Independent model prediction of the cached op count; ok implies
+  /// cached_ops == predicted_ops.
+  opcount_t predicted_ops = 0;
+
+  /// What the baseline (no sharing) would execute; ok implies
+  /// cached_ops <= baseline_ops.
+  opcount_t baseline_ops = 0;
+
+  /// Witness MSV: the maximum number of live checkpoints, and the plan op
+  /// at which that depth is first reached.
+  std::size_t max_live_states = 1;
+  std::size_t msv_witness_op = kNoIndex;
+
+  /// The budget the plan was checked against (0 = unlimited).
+  std::size_t msv_budget = 0;
+
+  std::uint64_t forks = 0;
+  std::uint64_t drops = 0;
+};
+
+/// Pure verification pass over a trial list and a recorded plan.
+class PlanVerifier {
+ public:
+  explicit PlanVerifier(const CircuitContext& ctx,
+                        const ScheduleOptions& options = {});
+
+  /// Prove (or refute) all schedule invariants for `plan` against
+  /// `trials`. Never throws on violation — inspect PlanProof::ok.
+  PlanProof verify(const std::vector<Trial>& trials,
+                   const std::vector<PlanOp>& plan) const;
+
+  /// Record the scheduler's plan for `trials` (which must already be
+  /// reordered) and verify it in one call.
+  PlanProof verify_schedule(const std::vector<Trial>& trials) const;
+
+ private:
+  const CircuitContext& ctx_;
+  ScheduleOptions options_;
+};
+
+/// Independent model of the reorder+prefix-cache op count: computed from
+/// the trial list alone, never from the scheduler or a recorded plan. The
+/// verifier (and tests) require the scheduler's actual count to match this
+/// prediction exactly.
+opcount_t predict_cached_ops(const CircuitContext& ctx,
+                             const std::vector<Trial>& trials,
+                             const ScheduleOptions& options = {});
+
+/// Record + verify, throwing rqsim::Error with the diagnostic on any
+/// violation. `context` names the caller in the error message.
+void verify_schedule_or_throw(const CircuitContext& ctx,
+                              const std::vector<Trial>& trials,
+                              const ScheduleOptions& options,
+                              const char* context);
+
+/// Render the proof artifacts (CLI output format).
+std::string format_proof(const PlanProof& proof);
+
+}  // namespace rqsim

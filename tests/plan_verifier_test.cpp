@@ -1,0 +1,356 @@
+// Schedule-invariant verification: the PlanVerifier must accept every
+// schedule the real scheduler produces (with op counts telescoping exactly
+// against CountBackend and the independent model) and reject every
+// corrupted fixture with a diagnostic naming the first violating trial.
+// Also covers the entry-point run-limit guards (satellite of the same PR).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bench_circuits/qft.hpp"
+#include "bench_circuits/suite.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "noise/devices.hpp"
+#include "noise/noise_model.hpp"
+#include "sched/backend.hpp"
+#include "sched/order.hpp"
+#include "sched/parallel.hpp"
+#include "sched/runner.hpp"
+#include "service/service.hpp"
+#include "transpile/decompose.hpp"
+#include "trial/generator.hpp"
+#include "verify/plan_verifier.hpp"
+
+namespace rqsim {
+namespace {
+
+struct Workload {
+  Circuit circuit;
+  CircuitContext ctx;
+  std::vector<Trial> trials;
+
+  Workload(unsigned qubits, double rate, std::size_t n, std::uint64_t seed)
+      : circuit(decompose_to_cx_basis(make_qft(qubits))), ctx(circuit) {
+    const NoiseModel noise = NoiseModel::uniform(qubits, rate, rate * 4, 0.02);
+    Rng rng(seed);
+    trials = generate_trials(circuit, ctx.layering, noise, n, rng);
+    reorder_trials(trials);
+  }
+};
+
+std::vector<PlanOp> record_plan(const CircuitContext& ctx,
+                                const std::vector<Trial>& trials,
+                                const ScheduleOptions& options = {}) {
+  PlanRecorder recorder;
+  schedule_trials(ctx, trials, recorder, options);
+  return recorder.take_plan();
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: every real schedule proves clean, op counts telescope exactly.
+
+TEST(PlanVerifier, AcceptsBenchSuiteSchedulesExactly) {
+  const DeviceModel dev = yorktown_device();
+  for (const BenchmarkEntry& entry : make_table1_suite(dev)) {
+    const CircuitContext ctx(entry.compiled);
+    Rng rng(7);
+    std::vector<Trial> trials =
+        generate_trials(entry.compiled, ctx.layering, dev.noise, 600, rng);
+    reorder_trials(trials);
+    for (const std::size_t cap : {std::size_t{0}, std::size_t{2}, std::size_t{4}}) {
+      ScheduleOptions options;
+      options.max_states = cap;
+      const PlanVerifier verifier(ctx, options);
+      const PlanProof proof = verifier.verify_schedule(trials);
+      ASSERT_TRUE(proof.ok) << entry.name << " cap=" << cap << ": "
+                            << proof.diagnostic;
+      // The proof's op count, the independent model, and the execution
+      // backend must agree exactly — the telescoping acceptance criterion.
+      CountBackend backend(ctx);
+      schedule_trials(ctx, trials, backend, options);
+      EXPECT_EQ(proof.cached_ops, backend.ops()) << entry.name << " cap=" << cap;
+      EXPECT_EQ(proof.predicted_ops, backend.ops()) << entry.name << " cap=" << cap;
+      EXPECT_EQ(proof.max_live_states, backend.max_live_states())
+          << entry.name << " cap=" << cap;
+      EXPECT_LE(proof.cached_ops, proof.baseline_ops) << entry.name;
+      EXPECT_EQ(proof.num_trials, trials.size());
+    }
+  }
+}
+
+TEST(PlanVerifier, AcceptsMergedBatchStyleTrialLists) {
+  // execute_batch concatenates per-job reordered lists and re-sorts into
+  // one order; the merged list must prove clean like any single-run list.
+  Workload a(4, 0.05, 1500, 1);
+  Workload b(4, 0.05, 1000, 2);
+  std::vector<Trial> merged = a.trials;
+  merged.insert(merged.end(), b.trials.begin(), b.trials.end());
+  reorder_trials(merged);
+  const PlanVerifier verifier(a.ctx);
+  const PlanProof proof = verifier.verify_schedule(merged);
+  ASSERT_TRUE(proof.ok) << proof.diagnostic;
+  EXPECT_EQ(proof.num_trials, a.trials.size() + b.trials.size());
+  EXPECT_EQ(proof.cached_ops, proof.predicted_ops);
+}
+
+TEST(PlanVerifier, ExecuteBatchVerifiesMergedSchedule) {
+  // Two compatible jobs with verify_plans set: the service's batch planner
+  // must verify the *merged* trial list before executing it, and still
+  // complete both jobs.
+  SimService service({.num_workers = 0});
+  std::vector<std::uint64_t> ids;
+  for (const std::uint64_t seed : {1u, 2u}) {
+    JobSpec spec;
+    spec.circuit = decompose_to_cx_basis(make_qft(4));
+    spec.noise = NoiseModel::uniform(4, 0.05, 0.2, 0.02);
+    spec.config.num_trials = 400;
+    spec.config.seed = seed;
+    spec.config.verify_plans = true;
+    const SubmitOutcome outcome = service.try_submit(std::move(spec));
+    ASSERT_EQ(outcome.status, SubmitStatus::kAccepted);
+    ids.push_back(outcome.job_id);
+  }
+  EXPECT_EQ(service.run_pending(), 2u);
+  for (const std::uint64_t id : ids) {
+    const JobResult result = service.wait(id);
+    EXPECT_EQ(result.state, JobState::kDone) << result.error;
+    EXPECT_EQ(result.batch_size, 2u);
+  }
+}
+
+TEST(PlanVerifier, ProofArtifactsRoundTrip) {
+  Workload w(4, 0.05, 800, 3);
+  const PlanVerifier verifier(w.ctx);
+  const PlanProof proof = verifier.verify_schedule(w.trials);
+  ASSERT_TRUE(proof.ok);
+  EXPECT_GT(proof.forks, 0u);
+  EXPECT_EQ(proof.forks, proof.drops);  // stack discipline: every fork dropped
+  EXPECT_NE(proof.msv_witness_op, kNoIndex);
+  const std::string text = format_proof(proof);
+  EXPECT_NE(text.find("plan proof: OK"), std::string::npos);
+  EXPECT_NE(text.find("cached ops"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial fixtures: each corruption is rejected with a diagnostic
+// naming the first violating trial index.
+
+TEST(PlanVerifier, RejectsSwappedTrialPair) {
+  Workload w(4, 0.05, 500, 4);
+  // Find an adjacent strictly-ordered pair and swap it.
+  std::size_t i = 0;
+  while (i + 1 < w.trials.size() &&
+         !trial_order_less(w.trials[i], w.trials[i + 1])) {
+    ++i;
+  }
+  ASSERT_LT(i + 1, w.trials.size());
+  std::swap(w.trials[i], w.trials[i + 1]);
+  const PlanVerifier verifier(w.ctx);
+  const PlanProof proof = verifier.verify_schedule(w.trials);
+  ASSERT_FALSE(proof.ok);
+  EXPECT_EQ(proof.violating_trial, i + 1);
+  EXPECT_NE(proof.diagnostic.find("out of reorder order"), std::string::npos)
+      << proof.diagnostic;
+  EXPECT_NE(proof.diagnostic.find(std::to_string(i + 1)), std::string::npos);
+}
+
+TEST(PlanVerifier, RejectsDroppedThenReusedCheckpoint) {
+  Workload w(4, 0.05, 500, 5);
+  std::vector<PlanOp> plan = record_plan(w.ctx, w.trials);
+  // Find a drop of a non-root checkpoint, then target that depth again.
+  const auto drop_it = std::find_if(plan.begin(), plan.end(), [](const PlanOp& op) {
+    return op.kind == PlanOpKind::kDrop && op.depth >= 1;
+  });
+  ASSERT_NE(drop_it, plan.end());
+  PlanOp reuse;
+  reuse.kind = PlanOpKind::kError;
+  reuse.depth = drop_it->depth;
+  const auto inserted = static_cast<std::size_t>(drop_it - plan.begin()) + 1;
+  plan.insert(drop_it + 1, reuse);
+  const PlanVerifier verifier(w.ctx);
+  const PlanProof proof = verifier.verify(w.trials, plan);
+  ASSERT_FALSE(proof.ok);
+  EXPECT_EQ(proof.violating_op, inserted);
+  EXPECT_NE(proof.diagnostic.find("use after drop"), std::string::npos)
+      << proof.diagnostic;
+  // The diagnostic pins the first trial the corruption would poison.
+  EXPECT_NE(proof.violating_trial, kNoIndex);
+}
+
+TEST(PlanVerifier, RejectsMsvBudgetExceededByOne) {
+  Workload w(4, 0.08, 2000, 6);
+  const PlanProof unlimited = PlanVerifier(w.ctx).verify_schedule(w.trials);
+  ASSERT_TRUE(unlimited.ok) << unlimited.diagnostic;
+  ASSERT_GE(unlimited.max_live_states, 3u);  // budget below must stay >= 2
+  // Same plan, budget one below the witness depth: the witness fork fails.
+  ScheduleOptions tight;
+  tight.max_states = unlimited.max_live_states - 1;
+  const std::vector<PlanOp> plan = record_plan(w.ctx, w.trials);
+  const PlanProof proof = PlanVerifier(w.ctx, tight).verify(w.trials, plan);
+  ASSERT_FALSE(proof.ok);
+  EXPECT_EQ(proof.violating_op, unlimited.msv_witness_op);
+  EXPECT_NE(proof.diagnostic.find("exceeding the MSV budget"), std::string::npos)
+      << proof.diagnostic;
+  EXPECT_NE(proof.violating_trial, kNoIndex);
+}
+
+TEST(PlanVerifier, RejectsDeadBranchInsertion) {
+  Workload w(4, 0.05, 500, 7);
+  std::vector<PlanOp> plan = record_plan(w.ctx, w.trials);
+  // Insert a wasteful fork+drop (a branch that finishes nothing) before an
+  // existing fork — the shape an off-by-one op-count attribution bug takes.
+  const auto fork_it = std::find_if(plan.begin(), plan.end(), [](const PlanOp& op) {
+    return op.kind == PlanOpKind::kFork;
+  });
+  ASSERT_NE(fork_it, plan.end());
+  PlanOp fork;
+  fork.kind = PlanOpKind::kFork;
+  fork.depth = fork_it->depth;
+  PlanOp drop;
+  drop.kind = PlanOpKind::kDrop;
+  drop.depth = fork_it->depth + 1;
+  const auto at = static_cast<std::size_t>(fork_it - plan.begin());
+  plan.insert(fork_it, {fork, drop});
+  const PlanProof proof = PlanVerifier(w.ctx).verify(w.trials, plan);
+  ASSERT_FALSE(proof.ok);
+  EXPECT_EQ(proof.violating_op, at + 1);
+  EXPECT_NE(proof.diagnostic.find("without finishing any trial"), std::string::npos)
+      << proof.diagnostic;
+  EXPECT_NE(proof.violating_trial, kNoIndex);
+}
+
+TEST(PlanVerifier, RejectsOpCountTelescopingMismatch) {
+  // A plan recorded under a tight budget replays trials individually, so
+  // its op count exceeds the unlimited-budget model: verifying it against
+  // the wrong options must trip the telescoping check (the pure op-count
+  // diagnostic, reached once the structural checks all pass).
+  Workload w(4, 0.08, 2000, 8);
+  ScheduleOptions tight;
+  tight.max_states = 2;
+  const std::vector<PlanOp> plan = record_plan(w.ctx, w.trials, tight);
+  const PlanProof proof = PlanVerifier(w.ctx).verify(w.trials, plan);
+  ASSERT_FALSE(proof.ok);
+  EXPECT_NE(proof.diagnostic.find("op-count telescoping violated"),
+            std::string::npos)
+      << proof.diagnostic;
+  EXPECT_NE(proof.diagnostic.find("+"), std::string::npos);  // plan over-executes
+}
+
+TEST(PlanVerifier, RejectsUnfinishedTrialAndLeakedCheckpoint) {
+  Workload w(4, 0.05, 300, 9);
+  std::vector<PlanOp> plan = record_plan(w.ctx, w.trials);
+  // Drop the last finish: its trial is never covered.
+  const auto last_finish =
+      std::find_if(plan.rbegin(), plan.rend(), [](const PlanOp& op) {
+        return op.kind == PlanOpKind::kFinish;
+      });
+  ASSERT_NE(last_finish, plan.rend());
+  const auto victim = static_cast<std::size_t>(last_finish->trial);
+  plan.erase(std::next(last_finish).base());
+  const PlanProof proof = PlanVerifier(w.ctx).verify(w.trials, plan);
+  ASSERT_FALSE(proof.ok);
+  EXPECT_EQ(proof.violating_trial, victim);
+  EXPECT_NE(proof.diagnostic.find("never finished"), std::string::npos)
+      << proof.diagnostic;
+
+  // Truncating right after the first fork leaks that checkpoint (the
+  // stack-balance check precedes the coverage check).
+  std::vector<PlanOp> leaked = record_plan(w.ctx, w.trials);
+  const auto first_fork =
+      std::find_if(leaked.begin(), leaked.end(), [](const PlanOp& op) {
+        return op.kind == PlanOpKind::kFork;
+      });
+  ASSERT_NE(first_fork, leaked.end());
+  leaked.erase(first_fork + 1, leaked.end());
+  const PlanProof leak_proof = PlanVerifier(w.ctx).verify(w.trials, leaked);
+  ASSERT_FALSE(leak_proof.ok);
+  EXPECT_NE(leak_proof.diagnostic.find("leaks"), std::string::npos)
+      << leak_proof.diagnostic;
+}
+
+TEST(PlanVerifier, ThrowingWrapperNamesCallerAndDiagnostic) {
+  Workload w(4, 0.05, 200, 10);
+  std::swap(w.trials.front(), w.trials.back());
+  if (is_reordered(w.trials)) {
+    GTEST_SKIP() << "degenerate trial set";
+  }
+  try {
+    verify_schedule_or_throw(w.ctx, w.trials, {}, "test-context");
+    FAIL() << "expected rqsim::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("test-context"), std::string::npos) << what;
+    EXPECT_NE(what.find("schedule verification failed"), std::string::npos) << what;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Entry-point run-limit guards (satellite): max_states == 0 stays the
+// documented "unlimited" sentinel everywhere; overflowed/negative counts
+// are rejected before any allocation is attempted.
+
+Circuit guard_circuit() { return decompose_to_cx_basis(make_qft(3)); }
+NoiseModel guard_noise() { return NoiseModel::uniform(3, 0.02, 0.08, 0.02); }
+
+TEST(RunLimits, MaxStatesZeroIsUnlimitedAtEveryEntryPoint) {
+  NoisyRunConfig config;
+  config.num_trials = 200;
+  config.max_states = 0;
+  EXPECT_GT(run_noisy(guard_circuit(), guard_noise(), config).ops, 0u);
+  EXPECT_GT(analyze_noisy(guard_circuit(), guard_noise(), config).ops, 0u);
+  ParallelRunConfig parallel;
+  parallel.num_trials = 200;
+  parallel.max_states = 0;
+  parallel.num_threads = 2;
+  EXPECT_GT(run_noisy_parallel(guard_circuit(), guard_noise(), parallel).ops, 0u);
+
+  SimService service({.num_workers = 0});
+  JobSpec spec;
+  spec.circuit = guard_circuit();
+  spec.noise = guard_noise();
+  spec.config = config;
+  const SubmitOutcome outcome = service.try_submit(std::move(spec));
+  EXPECT_EQ(outcome.status, SubmitStatus::kAccepted);
+  service.run_pending();
+  EXPECT_EQ(service.wait(outcome.job_id).state, JobState::kDone);
+}
+
+TEST(RunLimits, RejectsOverflowedTrialCounts) {
+  NoisyRunConfig config;
+  config.num_trials = static_cast<std::size_t>(-5);  // negative input, wrapped
+  EXPECT_THROW(run_noisy(guard_circuit(), guard_noise(), config), Error);
+  EXPECT_THROW(analyze_noisy(guard_circuit(), guard_noise(), config), Error);
+  ParallelRunConfig parallel;
+  parallel.num_trials = kMaxTrialCount + 1;
+  EXPECT_THROW(run_noisy_parallel(guard_circuit(), guard_noise(), parallel), Error);
+}
+
+TEST(RunLimits, RejectsOverflowedOrSingletonBudgets) {
+  NoisyRunConfig config;
+  config.num_trials = 10;
+  config.max_states = 1;  // below the 2-state minimum
+  EXPECT_THROW(run_noisy(guard_circuit(), guard_noise(), config), Error);
+  config.max_states = kMaxStatesBudget + 1;  // overflowed / negative input
+  EXPECT_THROW(analyze_noisy(guard_circuit(), guard_noise(), config), Error);
+}
+
+TEST(RunLimits, ServiceRejectsOverflowedSpecsAsInvalid) {
+  SimService service({.num_workers = 0});
+  JobSpec spec;
+  spec.circuit = guard_circuit();
+  spec.noise = guard_noise();
+  spec.config.num_trials = static_cast<std::size_t>(-1);
+  EXPECT_EQ(service.try_submit(spec).status, SubmitStatus::kInvalid);
+
+  spec.config.num_trials = 10;
+  spec.config.max_states = kMaxStatesBudget + 7;
+  EXPECT_EQ(service.try_submit(spec).status, SubmitStatus::kInvalid);
+
+  spec.config.max_states = 0;
+  spec.num_threads = static_cast<std::size_t>(-2);
+  EXPECT_EQ(service.try_submit(spec).status, SubmitStatus::kInvalid);
+}
+
+}  // namespace
+}  // namespace rqsim

@@ -2,9 +2,27 @@
 // reordered+cached statevector execution of the same noisy workloads. The
 // measured speedup should track 1 / normalized-computation to within the
 // overhead of state copies.
+//
+// The parallel benchmarks compare the two multi-thread strategies
+// (sched/parallel.hpp): the work-stealing prefix-tree executor (zero
+// redundant prefix ops at any thread count) against legacy chunked
+// parallelism (shared prefixes recomputed per chunk). Beyond the gbench
+// registrations, two driver flags make this file the parallel perf gate:
+//
+//   --parallel-json <path>   sweep both modes over thread counts 1/2/4/8
+//                            on three Table I circuits and write the
+//                            machine-readable comparison (ops, fork
+//                            copies, redundant prefix ops, wall ms), then
+//                            exit — this produces BENCH_parallel.json.
+//   --parallel-check         fast assertion mode for ctest (perf_smoke):
+//                            exits nonzero unless tree-mode op counts are
+//                            strictly below chunked at >= 2 threads and
+//                            bitwise-match the sequential scheduler.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -54,6 +72,7 @@ void BM_CachedReorderedFused(benchmark::State& state) {
   run_mode(state, ExecutionMode::kCachedReordered, /*fuse_gates=*/true);
 }
 
+// range(0) = suite index, range(1) = threads, range(2) = 0 tree / 1 chunked.
 void BM_CachedParallel(benchmark::State& state) {
   const auto& entry = suite_entry(static_cast<std::size_t>(state.range(0)));
   const DeviceModel dev = yorktown_device();
@@ -61,31 +80,190 @@ void BM_CachedParallel(benchmark::State& state) {
   config.num_trials = 512;
   config.seed = 7;
   config.num_threads = static_cast<std::size_t>(state.range(1));
+  config.parallel_mode =
+      state.range(2) == 0 ? ParallelMode::kTree : ParallelMode::kChunked;
+  NoisyRunResult result;
   for (auto _ : state) {
-    const NoisyRunResult result = run_noisy_parallel(entry.compiled, dev.noise, config);
+    result = run_noisy_parallel(entry.compiled, dev.noise, config);
     benchmark::DoNotOptimize(result.histogram);
   }
-  state.SetLabel(entry.name);
+  state.SetLabel(entry.name +
+                 (state.range(2) == 0 ? std::string("/tree") : std::string("/chunked")));
+  state.counters["matvec_ops"] = static_cast<double>(result.ops);
+  state.counters["fork_copies"] = static_cast<double>(result.fork_copies);
+  state.counters["redundant_prefix_ops"] =
+      static_cast<double>(result.redundant_prefix_ops);
 }
 
 // Index into the Table I suite: 1=grover, 7=qft5, 11=qv_n5d5.
 BENCHMARK(BM_Baseline)->Arg(1)->Arg(7)->Arg(11)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CachedReordered)->Arg(1)->Arg(7)->Arg(11)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CachedReorderedFused)->Arg(1)->Arg(7)->Arg(11)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_CachedParallel)->Args({11, 2})->Args({11, 4})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CachedParallel)
+    ->Args({11, 2, 0})
+    ->Args({11, 4, 0})
+    ->Args({11, 2, 1})
+    ->Args({11, 4, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Parallel-mode sweep / check drivers (no gbench involvement).
+
+struct SweepPoint {
+  std::string circuit;
+  std::string mode;
+  std::size_t threads = 0;
+  opcount_t ops = 0;
+  std::uint64_t fork_copies = 0;
+  opcount_t redundant_prefix_ops = 0;
+  double wall_ms = 0.0;
+};
+
+NoisyRunResult timed_parallel(const Circuit& circuit, const NoiseModel& noise,
+                              ParallelMode mode, std::size_t threads,
+                              double& best_ms) {
+  ParallelRunConfig config;
+  config.num_trials = 512;
+  config.seed = 7;
+  config.num_threads = threads;
+  config.parallel_mode = mode;
+  NoisyRunResult result;
+  best_ms = 0.0;
+  // Best of three damps scheduler noise (the sweep runs on shared CI
+  // machines; op counts are deterministic, only the clock needs repeats).
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    result = run_noisy_parallel(circuit, noise, config);
+    const auto stop = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    if (rep == 0 || ms < best_ms) {
+      best_ms = ms;
+    }
+  }
+  return result;
+}
+
+int run_parallel_sweep(const std::string& path) {
+  const DeviceModel dev = yorktown_device();
+  const std::size_t entries[] = {1, 7, 11};
+  const std::size_t thread_counts[] = {1, 2, 4, 8};
+  std::vector<SweepPoint> points;
+  for (const std::size_t index : entries) {
+    const BenchmarkEntry& entry = suite_entry(index);
+    for (const ParallelMode mode : {ParallelMode::kTree, ParallelMode::kChunked}) {
+      for (const std::size_t threads : thread_counts) {
+        SweepPoint point;
+        point.circuit = entry.name;
+        point.mode = mode == ParallelMode::kTree ? "tree" : "chunked";
+        point.threads = threads;
+        const NoisyRunResult result =
+            timed_parallel(entry.compiled, dev.noise, mode, threads, point.wall_ms);
+        point.ops = result.ops;
+        point.fork_copies = result.fork_copies;
+        point.redundant_prefix_ops = result.redundant_prefix_ops;
+        points.push_back(point);
+        std::printf("%-10s %-8s %zu threads: %llu ops, %llu fork copies, "
+                    "%llu redundant, %.2f ms\n",
+                    point.circuit.c_str(), point.mode.c_str(), threads,
+                    static_cast<unsigned long long>(point.ops),
+                    static_cast<unsigned long long>(point.fork_copies),
+                    static_cast<unsigned long long>(point.redundant_prefix_ops),
+                    point.wall_ms);
+      }
+    }
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << "{\n  \"benchmark\": \"parallel_modes\",\n  \"trials\": 512,\n"
+      << "  \"seed\": 7,\n  \"results\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    out << "    {\"circuit\": \"" << p.circuit << "\", \"mode\": \"" << p.mode
+        << "\", \"threads\": " << p.threads << ", \"matvec_ops\": " << p.ops
+        << ", \"fork_copies\": " << p.fork_copies
+        << ", \"redundant_prefix_ops\": " << p.redundant_prefix_ops
+        << ", \"wall_ms\": " << p.wall_ms << "}"
+        << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("parallel sweep written to %s\n", path.c_str());
+  return 0;
+}
+
+int run_parallel_check() {
+  const DeviceModel dev = yorktown_device();
+  const BenchmarkEntry& entry = suite_entry(11);  // qv_n5d5
+  NoisyRunConfig serial_config;
+  serial_config.num_trials = 512;
+  serial_config.seed = 7;
+  const NoisyRunResult serial = run_noisy(entry.compiled, dev.noise, serial_config);
+  int failures = 0;
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    double ms = 0.0;
+    const NoisyRunResult tree =
+        timed_parallel(entry.compiled, dev.noise, ParallelMode::kTree, threads, ms);
+    const NoisyRunResult chunked = timed_parallel(entry.compiled, dev.noise,
+                                                  ParallelMode::kChunked, threads, ms);
+    if (tree.ops != serial.ops) {
+      std::fprintf(stderr, "FAIL: tree ops %llu != sequential ops %llu at %zu threads\n",
+                   static_cast<unsigned long long>(tree.ops),
+                   static_cast<unsigned long long>(serial.ops), threads);
+      ++failures;
+    }
+    if (tree.histogram != serial.histogram) {
+      std::fprintf(stderr, "FAIL: tree histogram diverges from sequential at %zu threads\n",
+                   threads);
+      ++failures;
+    }
+    if (tree.ops >= chunked.ops) {
+      std::fprintf(stderr,
+                   "FAIL: tree ops %llu not below chunked ops %llu at %zu threads\n",
+                   static_cast<unsigned long long>(tree.ops),
+                   static_cast<unsigned long long>(chunked.ops), threads);
+      ++failures;
+    }
+    if (chunked.redundant_prefix_ops != chunked.ops - serial.ops) {
+      std::fprintf(stderr, "FAIL: chunked redundant_prefix_ops misattributed\n");
+      ++failures;
+    }
+    std::printf("%zu threads: tree %llu ops (0 redundant) vs chunked %llu ops "
+                "(%llu redundant)\n",
+                threads, static_cast<unsigned long long>(tree.ops),
+                static_cast<unsigned long long>(chunked.ops),
+                static_cast<unsigned long long>(chunked.redundant_prefix_ops));
+  }
+  if (failures == 0) {
+    std::printf("parallel check: OK\n");
+  }
+  return failures == 0 ? 0 : 1;
+}
 
 }  // namespace
 
 // Custom main so `--json <path>` (or `--json=<path>`) writes the machine-
 // readable run next to the console report — shorthand for google benchmark's
 // --benchmark_out=<path> --benchmark_out_format=json pair, kept stable here
-// so driver scripts don't depend on gbench flag spellings.
+// so driver scripts don't depend on gbench flag spellings. `--parallel-json`
+// and `--parallel-check` run the parallel-mode drivers instead of gbench.
 int main(int argc, char** argv) {
   std::vector<std::string> args;
   args.reserve(static_cast<std::size_t>(argc) + 1);
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     std::string path;
+    if (arg == "--parallel-check") {
+      return run_parallel_check();
+    }
+    if (arg == "--parallel-json" && i + 1 < argc) {
+      return run_parallel_sweep(argv[i + 1]);
+    }
+    if (arg.rfind("--parallel-json=", 0) == 0) {
+      return run_parallel_sweep(arg.substr(16));
+    }
     if (arg == "--json" && i + 1 < argc) {
       path = argv[++i];
     } else if (arg.rfind("--json=", 0) == 0) {

@@ -11,6 +11,11 @@
 #         must go through rqsim::Rng so trial generation stays seeded and
 #         reproducible (an unseeded std::mt19937 or std::random_device
 #         silently breaks the determinism the schedules are proved against).
+# Rule 3: no std::thread outside the designated execution engines (the
+#         work-stealing tree executor, the chunked fallback, the service
+#         layer, and the intra-statevector kernel pool) — ad-hoc threads
+#         bypass the banker MSV reservations and the per-trial-seed
+#         determinism contract those engines enforce.
 #
 # Usage: scripts/check_source_rules.sh [src-dir]   (default: src)
 set -u
@@ -21,15 +26,20 @@ status=0
 # Strip // line comments before matching so documentation may mention the
 # banned identifiers. (Block comments are rare in this tree and reviewed by
 # hand; the goal is catching real call sites, not building a C++ parser.)
+# $2 is a space-separated list of path globs to exempt.
 scan() {
   pattern="$1"
-  exclude="$2"
+  excludes="$2"
   label="$3"
   found=0
   for f in $(find "$src_dir" -name '*.cpp' -o -name '*.hpp' | sort); do
-    case "$f" in
-      $exclude) continue ;;
-    esac
+    skip=0
+    for exclude in $excludes; do
+      case "$f" in
+        $exclude) skip=1 ;;
+      esac
+    done
+    [ "$skip" -eq 1 ] && continue
     hits=$(sed 's|//.*||' "$f" | grep -nE "$pattern" || true)
     if [ -n "$hits" ]; then
       echo "RULE VIOLATION ($label) in $f:"
@@ -48,6 +58,10 @@ scan '(^|[^[:alnum:]_.])new[[:space:]]+[[:alnum:]_:<]*(Amp|amp_t|std::complex)|(
 scan '(^|[^[:alnum:]_])(std::mt19937|std::minstd_rand|std::random_device|std::rand|std::srand|drand48|rand48)' \
      "$src_dir/common/rng.*" \
      'RNG construction outside common/rng'
+
+scan '(^|[^[:alnum:]_])std::thread([^[:alnum:]_]|$)' \
+     "$src_dir/sched/tree_exec.cpp $src_dir/sched/parallel.cpp $src_dir/service/* $src_dir/sim/kernel_engine.cpp" \
+     'std::thread outside the designated execution engines'
 
 if [ "$status" -eq 0 ]; then
   echo "check_source_rules: OK ($src_dir)"

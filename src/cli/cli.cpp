@@ -43,6 +43,7 @@ struct CliOptions {
   std::uint64_t seed = 1;         // --seed
   std::string mode = "cached";    // --mode baseline|cached|unordered
   std::size_t threads = 1;        // --threads
+  std::string parallel_mode = "tree";  // --parallel-mode tree|chunked
   std::size_t max_states = 0;     // --max-states
   std::size_t top = 16;           // --top (histogram rows)
   std::size_t max_errors = 2;     // --max-errors (enumerate)
@@ -121,6 +122,8 @@ CliOptions parse_options(const std::vector<std::string>& args, std::size_t begin
       options.mode = value();
     } else if (flag == "--threads") {
       options.threads = parse_u64_flag(value(), flag);
+    } else if (flag == "--parallel-mode") {
+      options.parallel_mode = value();
     } else if (flag == "--max-states") {
       options.max_states = parse_u64_flag(value(), flag);
     } else if (flag == "--top") {
@@ -196,6 +199,16 @@ DeviceModel load_device(const CliOptions& options, unsigned circuit_qubits) {
     dev.noise = dev.noise.scaled(options.noise_scale);
   }
   return dev;
+}
+
+ParallelMode parse_parallel_mode(const std::string& mode) {
+  if (mode == "tree") {
+    return ParallelMode::kTree;
+  }
+  if (mode == "chunked") {
+    return ParallelMode::kChunked;
+  }
+  usage_error("unknown parallel mode '" + mode + "' (tree | chunked)");
 }
 
 ExecutionMode parse_mode(const std::string& mode) {
@@ -280,6 +293,7 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out, bool analyz
     config.mode = parse_mode(options.mode);
     config.max_states = options.max_states;
     config.num_threads = options.threads;
+    config.parallel_mode = parse_parallel_mode(options.parallel_mode);
     result = run_noisy_parallel(circuit, dev.noise, config);
   } else {
     NoisyRunConfig config;
@@ -601,6 +615,8 @@ void print_usage(std::ostream& out) {
          "  --seed <n>            RNG seed (default 1)\n"
          "  --mode <m>            baseline | cached | unordered (default cached)\n"
          "  --threads <n>         parallel workers for run (default 1)\n"
+         "  --parallel-mode <m>   tree | chunked (default tree: work-stealing\n"
+         "                        prefix-tree executor, zero redundant prefix ops)\n"
          "  --max-states <n>      MSV budget (0 = unlimited)\n"
          "  --top <k>             histogram rows to print (default 16)\n"
          "  --max-errors <k>      enumeration truncation order (default 2)\n"

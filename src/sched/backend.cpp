@@ -80,10 +80,12 @@ void apply_error_event(const CircuitContext& ctx, StateVector& state,
 }
 
 SvBackend::SvBackend(const CircuitContext& ctx, Rng& rng, bool record_final_states,
-                     const std::vector<PauliString>* observables, bool fuse_gates)
+                     const std::vector<PauliString>* observables, bool fuse_gates,
+                     bool use_trial_seeds)
     : ctx_(ctx),
       rng_(rng),
       record_final_states_(record_final_states),
+      use_trial_seeds_(use_trial_seeds),
       observables_(observables) {
   if (fuse_gates) {
     fusion_ = std::make_unique<FusionCache>(ctx.circuit, ctx.layering);
@@ -120,6 +122,7 @@ void SvBackend::on_advance(std::size_t depth, layer_index_t from_layer,
 void SvBackend::on_fork(std::size_t depth) {
   RQSIM_CHECK(depth == stack_.size() - 1, "SvBackend: fork must target the top");
   stack_.push_back(pool_.acquire_copy(stack_[depth]));
+  ++result_.fork_copies;
   result_.max_live_states = std::max(result_.max_live_states, stack_.size());
   cached_probs_.reset();
   cached_expectations_.reset();
@@ -146,8 +149,14 @@ void SvBackend::on_finish(std::size_t depth, trial_index_t trial_index,
     if (!cached_probs_) {
       cached_probs_ = measurement_probabilities(state, ctx_.circuit.measured_qubits());
     }
-    const std::uint64_t outcome =
-        sample_outcome(*cached_probs_, rng_) ^ trial.meas_flip_mask;
+    std::uint64_t outcome;
+    if (use_trial_seeds_) {
+      Rng trial_rng(trial.meas_seed);
+      outcome = sample_outcome(*cached_probs_, trial_rng);
+    } else {
+      outcome = sample_outcome(*cached_probs_, rng_);
+    }
+    outcome ^= trial.meas_flip_mask;
     ++result_.histogram[outcome];
   }
   if (observables_ != nullptr && !observables_->empty()) {

@@ -81,6 +81,10 @@ struct SvRunResult {
   opcount_t ops = 0;
   std::size_t max_live_states = 0;
 
+  /// Checkpoint copies made (fork count) — not matrix-vector ops, reported
+  /// as the secondary cost of the prefix-sharing schedule.
+  std::uint64_t fork_copies = 0;
+
   /// Σ over trials of ⟨ψ_trial|P_k|ψ_trial⟩, one entry per requested
   /// observable (divide by the trial count for the noisy expectation).
   std::vector<double> observable_sums;
@@ -94,10 +98,15 @@ class SvBackend : public ScheduleVisitor {
   /// must outlive the backend) are evaluated per trial — duplicate trials
   /// reuse one evaluation per shared final checkpoint. With `fuse_gates`,
   /// advances run through the gate-fusion engine (epsilon-equivalent to the
-  /// unfused kernels; see circuit/fusion.hpp).
+  /// unfused kernels; see circuit/fusion.hpp). With `use_trial_seeds`, each
+  /// finish samples from a fresh Rng(trial.meas_seed) instead of the shared
+  /// `rng` stream — outcome sampling becomes independent of finish order,
+  /// the property the parallel tree executor's bitwise guarantee rests on
+  /// (the default keeps the legacy shared-stream behavior for callers that
+  /// construct backends directly with their own Rng).
   SvBackend(const CircuitContext& ctx, Rng& rng, bool record_final_states = false,
             const std::vector<PauliString>* observables = nullptr,
-            bool fuse_gates = false);
+            bool fuse_gates = false, bool use_trial_seeds = false);
 
   /// Checkpoint allocation statistics (buffer-pool effectiveness).
   const StateBufferPool& buffer_pool() const { return pool_; }
@@ -118,6 +127,7 @@ class SvBackend : public ScheduleVisitor {
   const CircuitContext& ctx_;
   Rng& rng_;
   bool record_final_states_;
+  bool use_trial_seeds_ = false;
   const std::vector<PauliString>* observables_;
   std::unique_ptr<FusionCache> fusion_;  // non-null when fusing
   StateBufferPool pool_;

@@ -75,7 +75,7 @@ StateVector simulate_trial(const CircuitContext& ctx, const Trial& trial,
 SvRunResult baseline_simulate(const CircuitContext& ctx, const std::vector<Trial>& trials,
                               Rng& rng, bool record_final_states,
                               const std::vector<PauliString>* observables,
-                              bool fuse_gates) {
+                              bool fuse_gates, bool use_trial_seeds) {
   SvRunResult result;
   result.max_live_states = 1;
   if (record_final_states) {
@@ -91,7 +91,14 @@ SvRunResult baseline_simulate(const CircuitContext& ctx, const std::vector<Trial
     result.ops += ctx.total_gate_ops() + static_cast<opcount_t>(trial.num_errors());
     if (!ctx.circuit.measured_qubits().empty()) {
       const auto probs = measurement_probabilities(state, ctx.circuit.measured_qubits());
-      const std::uint64_t outcome = sample_outcome(probs, rng) ^ trial.meas_flip_mask;
+      std::uint64_t outcome;
+      if (use_trial_seeds) {
+        Rng trial_rng(trial.meas_seed);
+        outcome = sample_outcome(probs, trial_rng);
+      } else {
+        outcome = sample_outcome(probs, rng);
+      }
+      outcome ^= trial.meas_flip_mask;
       ++result.histogram[outcome];
     }
     if (observables != nullptr) {

@@ -24,10 +24,13 @@ StateVector simulate_trial(const CircuitContext& ctx, const Trial& trial,
 
 /// Full baseline run: per-trial simulation, outcome sampling, histogram.
 /// `observables` (optional, borrowed) are evaluated on every trial's final
-/// state and accumulated into SvRunResult::observable_sums.
+/// state and accumulated into SvRunResult::observable_sums. With
+/// `use_trial_seeds`, each trial samples from Rng(trial.meas_seed) instead
+/// of the shared `rng` stream (see sched/backend.hpp), making the baseline
+/// histogram bitwise comparable to any cached-mode run of the same trials.
 SvRunResult baseline_simulate(const CircuitContext& ctx, const std::vector<Trial>& trials,
                               Rng& rng, bool record_final_states = false,
                               const std::vector<PauliString>* observables = nullptr,
-                              bool fuse_gates = false);
+                              bool fuse_gates = false, bool use_trial_seeds = false);
 
 }  // namespace rqsim

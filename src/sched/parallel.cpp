@@ -8,30 +8,22 @@
 #include "common/error.hpp"
 #include "sched/backend.hpp"
 #include "sched/order.hpp"
+#include "sched/tree.hpp"
+#include "sched/tree_exec.hpp"
 #include "trial/generator.hpp"
 #include "verify/plan_verifier.hpp"
 
 namespace rqsim {
 
-NoisyRunResult run_noisy_parallel(const Circuit& circuit, const NoiseModel& noise,
-                                  const ParallelRunConfig& config) {
-  circuit.validate();
-  RQSIM_CHECK(noise.num_qubits() >= circuit.num_qubits(),
-              "run_noisy_parallel: noise model covers fewer qubits than the circuit");
-  RQSIM_CHECK(config.mode == ExecutionMode::kCachedReordered,
-              "run_noisy_parallel: only kCachedReordered is supported");
-  validate_run_limits(config, "run_noisy_parallel");
-  const CircuitContext ctx(circuit);
-  Rng rng(config.seed);
-  std::vector<Trial> trials =
-      generate_trials(circuit, ctx.layering, noise, config.num_trials, rng);
-  reorder_trials(trials);
+namespace {
 
-  const std::size_t workers =
-      std::max<std::size_t>(1, std::min(config.num_threads,
-                                        trials.empty() ? 1 : trials.size()));
-
-  // Contiguous chunks of the reordered list; each is itself reordered.
+/// Legacy strategy: contiguous chunks of the reordered list, one
+/// independent sequential scheduler per chunk. Fills ops / fork_copies /
+/// max_live_states / histogram / observable sums; redundant_prefix_ops is
+/// attributed by the caller (it needs the whole-list sequential count).
+void run_chunked(const CircuitContext& ctx, const std::vector<Trial>& trials,
+                 const ParallelRunConfig& config, const ScheduleOptions& options,
+                 std::size_t workers, NoisyRunResult& result) {
   std::vector<std::vector<Trial>> chunks(workers);
   const std::size_t per_chunk = (trials.size() + workers - 1) / workers;
   for (std::size_t w = 0; w < workers; ++w) {
@@ -40,9 +32,6 @@ NoisyRunResult run_noisy_parallel(const Circuit& circuit, const NoiseModel& nois
     chunks[w].assign(trials.begin() + static_cast<std::ptrdiff_t>(begin),
                      trials.begin() + static_cast<std::ptrdiff_t>(end));
   }
-
-  ScheduleOptions options;
-  options.max_states = config.max_states;
 
   // Verify every chunk's plan up front, on the caller's thread: chunks of a
   // reordered list are themselves reordered, and each worker executes its
@@ -54,40 +43,33 @@ NoisyRunResult run_noisy_parallel(const Circuit& circuit, const NoiseModel& nois
   }
 
   std::vector<SvRunResult> partials(workers);
-  auto work = [&](std::size_t w, Rng& worker_rng) {
-    SvBackend backend(ctx, worker_rng, /*record_final_states=*/false,
-                      &config.observables, config.fuse_gates);
+  auto work = [&](std::size_t w) {
+    // Outcome sampling draws from the per-trial seeds, so the worker Rng
+    // never produces a consumed value.
+    Rng unused(0);
+    SvBackend backend(ctx, unused, /*record_final_states=*/false,
+                      &config.observables, config.fuse_gates,
+                      /*use_trial_seeds=*/true);
     schedule_trials(ctx, chunks[w], backend, options);
     partials[w] = backend.take_result();
   };
 
   if (workers == 1) {
-    // Single-worker runs continue on the generation Rng, exactly like
-    // run_noisy: histogram and observable sums match the serial scheduler
-    // bit for bit.
-    work(0, rng);
+    work(0);
   } else {
-    // Derive one independent sampling stream per worker up front (on the
-    // caller's thread, so the derivation order is deterministic).
-    std::vector<Rng> worker_rngs;
-    worker_rngs.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      worker_rngs.emplace_back(rng.next_u64());
-    }
     std::vector<std::thread> threads;
     threads.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w) {
-      threads.emplace_back(work, w, std::ref(worker_rngs[w]));
+      threads.emplace_back(work, w);
     }
     for (std::thread& t : threads) {
       t.join();
     }
   }
 
-  NoisyRunResult result;
-  result.observable_means.assign(config.observables.size(), 0.0);
   for (const SvRunResult& partial : partials) {
     result.ops += partial.ops;
+    result.fork_copies += partial.fork_copies;
     result.max_live_states = std::max(result.max_live_states, partial.max_live_states);
     for (const auto& [outcome, count] : partial.histogram) {
       result.histogram[outcome] += count;
@@ -96,6 +78,79 @@ NoisyRunResult run_noisy_parallel(const Circuit& circuit, const NoiseModel& nois
       result.observable_means[k] += partial.observable_sums[k];
     }
   }
+}
+
+/// Tree strategy: one global prefix trie, executed by the work-stealing
+/// pool. Zero redundant prefix work by construction.
+void run_tree(const CircuitContext& ctx, const std::vector<Trial>& trials,
+              const ParallelRunConfig& config, const ScheduleOptions& options,
+              std::size_t workers, NoisyRunResult& result) {
+  const ExecTree tree = build_exec_tree(ctx, trials, options);
+  if (config.verify_plans) {
+    verify_tree_plan_or_throw(ctx, trials, tree, options, "run_noisy_parallel");
+  }
+  TreeExecConfig exec_config;
+  exec_config.num_threads = workers;
+  exec_config.max_states = config.max_states;
+  exec_config.fuse_gates = config.fuse_gates;
+  SampledTrialSink sink(ctx, trials, &config.observables);
+  const TreeExecStats stats = execute_tree(ctx, tree, trials, exec_config, sink);
+  result.histogram = sink.take_histogram();
+  result.ops = stats.ops;
+  result.fork_copies = stats.fork_copies;
+  // Report the schedule's MSV — the deterministic bound admission control
+  // enforces — rather than the timing-dependent transient peak.
+  result.max_live_states = tree.peak_demand;
+  const std::vector<double> sums = sink.take_observable_sums();
+  for (std::size_t k = 0; k < sums.size(); ++k) {
+    result.observable_means[k] += sums[k];
+  }
+}
+
+}  // namespace
+
+NoisyRunResult run_noisy_parallel(const Circuit& circuit, const NoiseModel& noise,
+                                  const ParallelRunConfig& config) {
+  circuit.validate();
+  RQSIM_CHECK(noise.num_qubits() >= circuit.num_qubits(),
+              "run_noisy_parallel: noise model covers fewer qubits than the circuit");
+  RQSIM_CHECK(config.mode == ExecutionMode::kCachedReordered,
+              "run_noisy_parallel: only kCachedReordered is supported");
+  validate_run_limits(config, "run_noisy_parallel");
+  for (const PauliString& pauli : config.observables) {
+    RQSIM_CHECK(pauli.min_qubits() <= circuit.num_qubits(),
+                "run_noisy_parallel: observable acts on qubits beyond the circuit");
+  }
+  const CircuitContext ctx(circuit);
+  Rng rng(config.seed);
+  std::vector<Trial> trials =
+      generate_trials(circuit, ctx.layering, noise, config.num_trials, rng);
+  // Same stream positions as run_noisy: generation, then per-trial
+  // measurement seeds — the source of the bitwise histogram guarantee.
+  assign_measurement_seeds(trials, rng);
+  reorder_trials(trials);
+
+  const std::size_t workers =
+      std::max<std::size_t>(1, std::min(config.num_threads,
+                                        trials.empty() ? 1 : trials.size()));
+
+  ScheduleOptions options;
+  options.max_states = config.max_states;
+
+  NoisyRunResult result;
+  result.observable_means.assign(config.observables.size(), 0.0);
+  if (config.parallel_mode == ParallelMode::kChunked) {
+    run_chunked(ctx, trials, config, options, workers, result);
+    // What a single sequential scheduler would have executed on the same
+    // list; the excess is exactly the prefix work recomputed across chunk
+    // boundaries.
+    result.redundant_prefix_ops =
+        result.ops - predict_cached_ops(ctx, trials, options);
+  } else {
+    run_tree(ctx, trials, config, options, workers, result);
+    result.redundant_prefix_ops = 0;
+  }
+
   for (double& mean : result.observable_means) {
     mean /= static_cast<double>(std::max<std::size_t>(1, trials.size()));
   }

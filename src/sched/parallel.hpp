@@ -1,13 +1,27 @@
 // Multi-threaded cached execution.
 //
 // The paper (Section II) notes the inter-trial optimization is orthogonal
-// to system-level parallelism. This module realizes that: the reordered
-// trial list is split into contiguous chunks, each chunk is executed by an
-// independent prefix-caching scheduler on its own thread, and the results
-// are merged. Chunks of a reordered list are themselves reordered, so each
-// worker keeps the full intra-chunk sharing; only the sharing *across*
-// chunk boundaries is lost (ops_parallel >= ops_serial, bounded by
-// num_threads extra circuit executions).
+// to system-level parallelism. Two strategies realize it:
+//
+//   kTree (default) — the work-stealing prefix-tree executor
+//   (sched/tree_exec.hpp): one trial trie is built for the whole reordered
+//   list and its subtrees are distributed over a worker pool. Every shared
+//   prefix is computed exactly once *globally*, so the total op count
+//   equals the sequential cached schedule's at any thread count
+//   (redundant_prefix_ops == 0), and the MSV budget is enforced as one
+//   global bound via banker-style admission control.
+//
+//   kChunked — the reordered trial list is split into contiguous chunks,
+//   each executed by an independent sequential scheduler on its own
+//   thread. Chunks of a reordered list are themselves reordered, so each
+//   worker keeps full intra-chunk sharing; sharing *across* chunk
+//   boundaries is recomputed per chunk and reported as
+//   redundant_prefix_ops (bounded by num_threads extra circuit
+//   executions). The MSV budget applies per worker.
+//
+// Both strategies sample outcomes from per-trial measurement seeds, so the
+// histogram (and observable sums, in tree mode) is bitwise identical to
+// the sequential run_noisy for any thread count.
 #pragma once
 
 #include <cstddef>
@@ -22,8 +36,9 @@ struct ParallelRunConfig : NoisyRunConfig {
 };
 
 /// Statevector execution of the reordered+cached simulation across
-/// `num_threads` workers. Deterministic for a fixed (seed, num_threads).
-/// MSV is reported per worker (each worker owns its own checkpoint stack).
+/// `num_threads` workers, using config.parallel_mode (tree by default).
+/// The histogram is bitwise identical to run_noisy regardless of mode or
+/// thread count.
 NoisyRunResult run_noisy_parallel(const Circuit& circuit, const NoiseModel& noise,
                                   const ParallelRunConfig& config);
 

@@ -55,22 +55,29 @@ NoisyRunResult run_noisy(const Circuit& circuit, const NoiseModel& noise,
   CircuitContext ctx(circuit);
   Rng rng(config.seed);
   std::vector<Trial> trials = make_trials(circuit, ctx, noise, config, rng, "run_noisy");
+  // Per-trial measurement seeds (assigned in generation order, before any
+  // reorder): sampling becomes independent of finish order, which makes
+  // every execution strategy — baseline, sequential cached, chunked, and
+  // the parallel tree executor — produce bitwise-identical histograms.
+  assign_measurement_seeds(trials, rng);
 
   NoisyRunResult result;
   switch (config.mode) {
     case ExecutionMode::kBaseline: {
       SvRunResult run = baseline_simulate(ctx, trials, rng, /*record_final_states=*/false,
-                                          &config.observables, config.fuse_gates);
+                                          &config.observables, config.fuse_gates,
+                                          /*use_trial_seeds=*/true);
       result.histogram = std::move(run.histogram);
       result.ops = run.ops;
       result.max_live_states = run.max_live_states;
+      result.fork_copies = run.fork_copies;
       result.observable_means = std::move(run.observable_sums);
       break;
     }
     case ExecutionMode::kCachedReordered: {
       reorder_trials(trials);
       SvBackend backend(ctx, rng, /*record_final_states=*/false, &config.observables,
-                        config.fuse_gates);
+                        config.fuse_gates, /*use_trial_seeds=*/true);
       ScheduleOptions options;
       options.max_states = config.max_states;
       if (config.verify_plans) {
@@ -81,6 +88,7 @@ NoisyRunResult run_noisy(const Circuit& circuit, const NoiseModel& noise,
       result.histogram = std::move(run.histogram);
       result.ops = run.ops;
       result.max_live_states = run.max_live_states;
+      result.fork_copies = run.fork_copies;
       result.observable_means = std::move(run.observable_sums);
       break;
     }

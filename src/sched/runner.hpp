@@ -41,6 +41,22 @@ enum class ExecutionMode {
   kCachedUnordered,   // ablation: prefix caching without the reorder
 };
 
+/// Multi-threaded strategy for run_noisy_parallel (sched/parallel.hpp).
+enum class ParallelMode {
+  /// Work-stealing prefix-tree executor (sched/tree_exec.hpp): the full
+  /// trial trie is built once and its subtrees are executed by a worker
+  /// pool — every shared prefix is computed exactly once globally, so the
+  /// total op count equals the sequential cached schedule's regardless of
+  /// thread count.
+  kTree,
+
+  /// Legacy chunked parallelism: contiguous chunks of the reordered trial
+  /// list, one independent sequential scheduler per chunk. Prefixes shared
+  /// *across* chunk boundaries are recomputed per chunk (reported as
+  /// redundant_prefix_ops).
+  kChunked,
+};
+
 struct NoisyRunConfig {
   std::size_t num_trials = 1024;
   std::uint64_t seed = 1;
@@ -61,6 +77,11 @@ struct NoisyRunConfig {
   /// Pauli-string observables to estimate (statevector modes only):
   /// result.observable_means[k] = mean over trials of ⟨P_k⟩.
   std::vector<PauliString> observables;
+
+  /// Strategy used when this config reaches run_noisy_parallel (ignored by
+  /// the sequential entry points). Lives here rather than on
+  /// ParallelRunConfig so service job configs carry it through batching.
+  ParallelMode parallel_mode = ParallelMode::kTree;
 
   /// Statically verify the reorder schedule before executing it (cached
   /// modes): lexicographic trial order, checkpoint stack discipline, the
@@ -91,7 +112,19 @@ struct NoisyRunResult {
   double normalized_computation = 1.0;
 
   /// Maximum concurrently maintained state vectors (the paper's MSV).
+  /// For tree-mode parallel runs this is the schedule's sequential MSV
+  /// (tree peak demand) — the deterministic bound admission control
+  /// enforces — not the timing-dependent transient peak.
   std::size_t max_live_states = 1;
+
+  /// Checkpoint copies made at branch points (the schedule's only
+  /// duplicated work; not matrix-vector ops).
+  std::uint64_t fork_copies = 0;
+
+  /// Parallel runs only: ops spent recomputing prefixes that a single
+  /// sequential scheduler would have shared. Zero in tree mode by
+  /// construction; for chunked mode, ops - (sequential cached ops).
+  opcount_t redundant_prefix_ops = 0;
 
   /// Statistics of the generated trial set.
   TrialSetStats trial_stats;

@@ -1,0 +1,243 @@
+#include "sched/tree.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "sched/order.hpp"
+
+namespace rqsim {
+
+namespace {
+
+// Mirrors ScheduleWalker (sched/plan.cpp) shape-for-shape: the same group
+// loop, the same advance-before-fork frontier updates, the same singleton
+// and MSV-budget lowering to replay leaves. Any divergence between the two
+// recursions is caught by PlanVerifier::verify_tree_plan, which compares
+// the linearized tree against the walker's stream op for op.
+class TreeBuilder {
+ public:
+  TreeBuilder(const CircuitContext& ctx, const std::vector<Trial>& trials,
+              const ScheduleOptions& options)
+      : ctx_(ctx), trials_(trials), options_(options) {}
+
+  ExecTree build() {
+    ExecTree tree;
+    tree.num_trials = trials_.size();
+    if (trials_.empty()) {
+      return tree;
+    }
+    tree_ = &tree;
+    build_branch(kNoNode, nullptr, 0, trials_.size(), /*event_depth=*/0,
+                 /*depth=*/0, /*entry_frontier=*/0);
+    tree.planned_forks = tree.nodes.size() - 1;
+    tree.peak_demand = tree.nodes.front().peak_demand;
+    return tree;
+  }
+
+ private:
+  /// Ops a replay leaf executes: advance/error alternation over the trial's
+  /// remaining events, then the final advance to the end of the circuit.
+  opcount_t replay_ops(const Trial& trial, std::size_t event_depth,
+                       layer_index_t frontier) const {
+    opcount_t ops = 0;
+    layer_index_t f = frontier;
+    for (std::size_t k = event_depth; k < trial.events.size(); ++k) {
+      const layer_index_t target = trial.events[k].layer + 1;
+      if (target > f) {
+        ops += ctx_.ops_in_layers(f, target);
+        f = target;
+      }
+      ops += 1;
+    }
+    const auto total = static_cast<layer_index_t>(ctx_.num_layers());
+    if (total > f) {
+      ops += ctx_.ops_in_layers(f, total);
+    }
+    return ops;
+  }
+
+  std::size_t make_replay(std::size_t parent, std::size_t t, std::size_t event_depth,
+                          layer_index_t frontier) {
+    const std::size_t idx = tree_->nodes.size();
+    TreeNode node;
+    node.kind = TreeNode::Kind::kReplay;
+    node.parent = parent;
+    node.event_depth = event_depth;
+    node.entry_frontier = frontier;
+    node.trial = t;
+    node.peak_demand = 1;
+    tree_->nodes.push_back(std::move(node));
+    tree_->planned_ops += replay_ops(trials_[t], event_depth, frontier);
+    return idx;
+  }
+
+  /// Build the kBranch node for trials [begin, end) sharing `event_depth`
+  /// events (entry_event is the shared event just injected, null for the
+  /// root). Returns the node index. Matches ScheduleWalker::walk.
+  std::size_t build_branch(std::size_t parent, const ErrorEvent* entry_event,
+                           std::size_t begin, std::size_t end, std::size_t event_depth,
+                           std::size_t depth, layer_index_t entry_frontier) {
+    const std::size_t idx = tree_->nodes.size();
+    {
+      TreeNode node;
+      node.kind = TreeNode::Kind::kBranch;
+      node.parent = parent;
+      if (entry_event != nullptr) {
+        node.entry_event = *entry_event;
+      }
+      node.event_depth = event_depth;
+      node.entry_frontier = entry_frontier;
+      node.begin = begin;
+      node.end = end;
+      tree_->nodes.push_back(std::move(node));
+    }
+    // NOTE: tree_->nodes may reallocate during recursion — never hold a
+    // reference to nodes[idx] across a child build; collect locally and
+    // write back at the end.
+    std::vector<std::size_t> children;
+    layer_index_t frontier = entry_frontier;
+    std::size_t i = begin;
+    while (i != end && trials_[i].events.size() > event_depth) {
+      const ErrorEvent event = trials_[i].events[event_depth];
+      std::size_t j = i + 1;
+      while (j != end && trials_[j].events.size() > event_depth &&
+             trials_[j].events[event_depth] == event) {
+        ++j;
+      }
+      const layer_index_t target = event.layer + 1;
+      if (target > frontier) {
+        tree_->planned_ops += ctx_.ops_in_layers(frontier, target);
+        frontier = target;
+      }
+      if (j - i == 1) {
+        children.push_back(make_replay(idx, i, event_depth, frontier));
+      } else if (options_.max_states == 0 || depth + 2 < options_.max_states) {
+        tree_->planned_ops += 1;  // the child's shared entry-error injection
+        children.push_back(
+            build_branch(idx, &event, i, j, event_depth + 1, depth + 1, frontier));
+      } else {
+        for (std::size_t t = i; t != j; ++t) {
+          children.push_back(make_replay(idx, t, event_depth, frontier));
+        }
+      }
+      i = j;
+    }
+    if (i != end) {
+      const auto total = static_cast<layer_index_t>(ctx_.num_layers());
+      if (total > frontier) {
+        tree_->planned_ops += ctx_.ops_in_layers(frontier, total);
+      }
+    }
+    std::size_t peak = 1;
+    for (const std::size_t ci : children) {
+      peak = std::max(peak, 1 + tree_->nodes[ci].peak_demand);
+    }
+    TreeNode& node = tree_->nodes[idx];
+    node.tail_begin = i;
+    node.tail_end = end;
+    node.children = std::move(children);
+    node.peak_demand = peak;
+    return idx;
+  }
+
+  const CircuitContext& ctx_;
+  const std::vector<Trial>& trials_;
+  const ScheduleOptions& options_;
+  ExecTree* tree_ = nullptr;
+};
+
+// Re-emit the depth-first schedule of a subtree. The emission order is the
+// definition of equivalence with ScheduleWalker: parent advances before
+// every fork, forks are emitted at the parent depth, the child's entry
+// error / replay suffix at depth + 1, the drop after the child completes,
+// and tail finishes after the final advance.
+class TreeEmitter {
+ public:
+  TreeEmitter(const CircuitContext& ctx, const ExecTree& tree,
+              const std::vector<Trial>& trials, ScheduleVisitor& visitor)
+      : ctx_(ctx), tree_(tree), trials_(trials), visitor_(visitor) {}
+
+  void run() {
+    if (tree_.nodes.empty()) {
+      return;
+    }
+    emit_branch(0, /*depth=*/0);
+  }
+
+ private:
+  void emit_branch(std::size_t idx, std::size_t depth) {
+    const TreeNode& node = tree_.nodes[idx];
+    layer_index_t frontier = node.entry_frontier;
+    if (node.parent != kNoNode) {
+      visitor_.on_error(depth, node.entry_event);
+    }
+    for (const std::size_t ci : node.children) {
+      const TreeNode& child = tree_.nodes[ci];
+      if (child.entry_frontier > frontier) {
+        visitor_.on_advance(depth, frontier, child.entry_frontier);
+        frontier = child.entry_frontier;
+      }
+      visitor_.on_fork(depth);
+      if (child.kind == TreeNode::Kind::kReplay) {
+        emit_replay(ci, depth + 1);
+      } else {
+        emit_branch(ci, depth + 1);
+      }
+      visitor_.on_drop(depth + 1);
+    }
+    if (node.tail_begin != node.tail_end) {
+      const auto total = static_cast<layer_index_t>(ctx_.num_layers());
+      if (total > frontier) {
+        visitor_.on_advance(depth, frontier, total);
+        frontier = total;
+      }
+      for (std::size_t t = node.tail_begin; t != node.tail_end; ++t) {
+        visitor_.on_finish(depth, static_cast<trial_index_t>(t), trials_[t]);
+      }
+    }
+  }
+
+  void emit_replay(std::size_t idx, std::size_t depth) {
+    const TreeNode& node = tree_.nodes[idx];
+    const Trial& trial = trials_[node.trial];
+    layer_index_t f = node.entry_frontier;
+    for (std::size_t k = node.event_depth; k < trial.events.size(); ++k) {
+      const ErrorEvent& event = trial.events[k];
+      const layer_index_t target = event.layer + 1;
+      if (target > f) {
+        visitor_.on_advance(depth, f, target);
+        f = target;
+      }
+      visitor_.on_error(depth, event);
+    }
+    const auto total = static_cast<layer_index_t>(ctx_.num_layers());
+    if (total > f) {
+      visitor_.on_advance(depth, f, total);
+    }
+    visitor_.on_finish(depth, static_cast<trial_index_t>(node.trial), trial);
+  }
+
+  const CircuitContext& ctx_;
+  const ExecTree& tree_;
+  const std::vector<Trial>& trials_;
+  ScheduleVisitor& visitor_;
+};
+
+}  // namespace
+
+ExecTree build_exec_tree(const CircuitContext& ctx, const std::vector<Trial>& trials,
+                         const ScheduleOptions& options) {
+  RQSIM_CHECK(is_reordered(trials), "build_exec_tree: trials must be reordered first");
+  RQSIM_CHECK(options.max_states == 0 || options.max_states >= 2,
+              "build_exec_tree: max_states must be 0 (unlimited) or >= 2");
+  return TreeBuilder(ctx, trials, options).build();
+}
+
+void linearize_tree(const CircuitContext& ctx, const ExecTree& tree,
+                    const std::vector<Trial>& trials, ScheduleVisitor& visitor) {
+  RQSIM_CHECK(tree.num_trials == trials.size(),
+              "linearize_tree: tree was built for a different trial list");
+  TreeEmitter(ctx, tree, trials, visitor).run();
+}
+
+}  // namespace rqsim

@@ -1,0 +1,121 @@
+// Explicit prefix-tree ("trie") representation of a reordered trial set.
+//
+// The reorder+prefix-cache schedule is a depth-first walk of a tree whose
+// internal nodes are shared error-event prefixes and whose leaves are
+// trials. schedule_trials (sched/plan.hpp) performs that walk implicitly by
+// recursing over the sorted list; this module materializes the tree once so
+// it can be executed *as a tree* — each ready subtree is an independent
+// task, which is what lets the parallel executor (sched/tree_exec.hpp)
+// preserve the paper's op count under multi-threading instead of paying the
+// chunked-mode prefix re-execution.
+//
+// Node semantics mirror the sequential walker exactly:
+//
+//   kBranch — a group of trials sharing `event_depth` events. Its buffer
+//             enters at `entry_frontier` (the parent's layer frontier at
+//             fork time) with `entry_event` still to apply (non-root). The
+//             node advances its buffer layer-by-layer past each child's
+//             branch point, forking one checkpoint per child — the only
+//             duplicated work of the schedule, counted as fork copies —
+//             then advances to the end of the circuit and finishes its
+//             tail trials (the error-free continuations of the prefix).
+//   kReplay — a single trial executed on a private scratch state from the
+//             parent frontier onward: the Algorithm-1 singleton case and
+//             the MSV-budget fallback both lower to this node kind.
+//
+// `linearize_tree` re-emits the tree as a ScheduleVisitor stream. The
+// linearization is defined to be *identical* to the sequential walker's
+// stream — the tree-plan verifier (verify/plan_verifier.hpp) proves this
+// op-for-op, which is how tree execution inherits every invariant already
+// proved for the sequential schedule (reorder order, stack discipline,
+// exact op-count telescoping).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sched/plan.hpp"
+#include "trial/trial.hpp"
+
+namespace rqsim {
+
+inline constexpr std::size_t kNoNode = static_cast<std::size_t>(-1);
+
+struct TreeNode {
+  enum class Kind : std::uint8_t { kBranch, kReplay };
+
+  Kind kind = Kind::kBranch;
+  std::size_t parent = kNoNode;
+
+  /// Error event applied when this node's buffer starts executing (valid
+  /// for every non-root kBranch node; kReplay nodes apply their events from
+  /// `event_depth` onward instead).
+  ErrorEvent entry_event;
+
+  /// Number of leading error events shared by every trial of this node
+  /// (kBranch: including entry_event; kReplay: index of the first event
+  /// still to apply).
+  std::size_t event_depth = 0;
+
+  /// Layer frontier of the buffer handed to this node: the parent advanced
+  /// its checkpoint error-free through layers [0, entry_frontier) before
+  /// forking.
+  layer_index_t entry_frontier = 0;
+
+  /// kBranch: trials [begin, end) of the reordered list form this group.
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  /// kReplay: the single trial replayed on the scratch state.
+  std::size_t trial = 0;
+
+  /// kBranch: trials [tail_begin, tail_end) have exactly `event_depth`
+  /// errors and finish on this node's own buffer after the final advance.
+  std::size_t tail_begin = 0;
+  std::size_t tail_end = 0;
+
+  /// kBranch: child subtrees in schedule order (branch points by event
+  /// order, each either a kBranch subtree or one kReplay leaf per trial).
+  std::vector<std::size_t> children;
+
+  /// Buffers needed to execute this subtree sequentially, including the
+  /// node's own (= the sequential walker's stack growth below this point).
+  /// The executor's admission control reserves this many states before
+  /// letting a subtree run concurrently, which is what makes the MSV
+  /// budget a *global* bound rather than a per-chunk one.
+  std::size_t peak_demand = 1;
+};
+
+struct ExecTree {
+  /// nodes[0] is the root (empty trial list produces an empty vector).
+  std::vector<TreeNode> nodes;
+  std::size_t num_trials = 0;
+
+  /// Gate + error-injection op count of the tree schedule; equal by
+  /// construction to the sequential cached schedule's op count.
+  opcount_t planned_ops = 0;
+
+  /// Checkpoint copies the schedule performs (== nodes.size() - 1: every
+  /// non-root node is forked exactly once).
+  std::uint64_t planned_forks = 0;
+
+  /// Sequential MSV of the schedule (root peak demand); the executor's
+  /// global live-state bound when max_states is set.
+  std::size_t peak_demand = 1;
+};
+
+/// Build the execution tree for `trials` (which must already be in reorder
+/// order). The MSV budget in `options` lowers over-budget branches to
+/// kReplay leaves exactly like the sequential walker, so the tree schedule
+/// and the sequential schedule stay op-identical for every budget.
+ExecTree build_exec_tree(const CircuitContext& ctx, const std::vector<Trial>& trials,
+                         const ScheduleOptions& options = {});
+
+/// Emit the tree's depth-first schedule to `visitor`. Produces exactly the
+/// stream schedule_trials emits for the same (trials, options) — the
+/// tree-plan verifier asserts this equality op-for-op.
+void linearize_tree(const CircuitContext& ctx, const ExecTree& tree,
+                    const std::vector<Trial>& trials, ScheduleVisitor& visitor);
+
+}  // namespace rqsim

@@ -1,0 +1,457 @@
+#include "sched/tree_exec.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "circuit/fusion.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "obs/pauli_string.hpp"
+#include "sched/backend.hpp"
+#include "sim/buffer_pool.hpp"
+#include "sim/kernels.hpp"
+
+namespace rqsim {
+
+namespace {
+
+/// Free buffers retained across the run (same default the single-threaded
+/// SvBackend pool uses).
+constexpr std::size_t kMaxPooledBuffers = 64;
+
+struct Task {
+  std::size_t node = 0;
+  StateVector buffer;
+  /// MSV-budget tokens held by this task's subtree (0 when the budget is
+  /// unlimited or the subtree runs inline under its parent's reservation).
+  std::size_t reserved = 0;
+};
+
+class TreeExecutor {
+ public:
+  TreeExecutor(const CircuitContext& ctx, const ExecTree& tree,
+               const std::vector<Trial>& trials, const TreeExecConfig& config,
+               TreeTrialSink& sink)
+      : ctx_(ctx),
+        tree_(tree),
+        trials_(trials),
+        sink_(sink),
+        num_workers_(std::max<std::size_t>(1, config.num_threads)),
+        fuse_gates_(config.fuse_gates),
+        budget_(config.max_states),
+        pool_(kMaxPooledBuffers, num_workers_),
+        workers_(num_workers_) {
+    if (fuse_gates_) {
+      for (Worker& w : workers_) {
+        w.fusion = std::make_unique<FusionCache>(ctx.circuit, ctx.layering);
+      }
+    }
+  }
+
+  TreeExecStats run() {
+    TreeExecStats stats;
+    if (tree_.nodes.empty()) {
+      return stats;
+    }
+    // Admission tokens: the root task takes the whole sequential peak (the
+    // tree's replay lowering guarantees it fits any budget the tree was
+    // built with); spawned subtrees reserve their own peaks from what is
+    // left. With no user budget, a soft internal cap keeps eagerly forked
+    // child buffers from accumulating far beyond the sequential MSV —
+    // subtrees that cannot reserve simply run inline, so the cap trades
+    // concurrency, never correctness.
+    effective_budget_ =
+        budget_ != 0 ? budget_ : tree_.peak_demand + 2 * num_workers_;
+    RQSIM_CHECK(tree_.peak_demand <= effective_budget_,
+                "execute_tree: tree peak demand exceeds the MSV budget (tree "
+                "built with a different budget?)");
+    tokens_left_.store(effective_budget_ - tree_.peak_demand,
+                       std::memory_order_relaxed);
+
+    StateVector root_state(ctx_.circuit.num_qubits());
+    note_acquire();
+    outstanding_.store(1, std::memory_order_relaxed);
+    {
+      Task root;
+      root.node = 0;
+      root.buffer = std::move(root_state);
+      root.reserved = tree_.peak_demand;
+      std::lock_guard<std::mutex> lock(workers_[0].mutex);
+      workers_[0].deque.push_back(std::move(root));
+    }
+
+    if (num_workers_ == 1) {
+      worker_loop(0);
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(num_workers_);
+      for (std::size_t w = 0; w < num_workers_; ++w) {
+        threads.emplace_back(&TreeExecutor::worker_loop, this, w);
+      }
+      for (std::thread& t : threads) {
+        t.join();
+      }
+    }
+
+    if (error_ != nullptr) {
+      std::rethrow_exception(error_);
+    }
+    RQSIM_CHECK(outstanding_.load(std::memory_order_relaxed) == 0 &&
+                    live_.load(std::memory_order_relaxed) == 0,
+                "execute_tree: task or buffer accounting leak");
+    for (const Worker& w : workers_) {
+      stats.ops += w.ops;
+      stats.fork_copies += w.fork_copies;
+    }
+    stats.max_live_states = max_live_.load(std::memory_order_relaxed);
+    stats.pool_reuses = pool_.reuse_count();
+    stats.pool_allocs = pool_.alloc_count();
+    return stats;
+  }
+
+ private:
+  struct alignas(64) Worker {
+    std::mutex mutex;
+    std::deque<Task> deque;
+    std::unique_ptr<FusionCache> fusion;
+    opcount_t ops = 0;
+    std::uint64_t fork_copies = 0;
+  };
+
+  // ---- live-state accounting -------------------------------------------
+
+  void note_acquire() {
+    const std::size_t live = live_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    std::size_t seen = max_live_.load(std::memory_order_relaxed);
+    while (live > seen &&
+           !max_live_.compare_exchange_weak(seen, live, std::memory_order_acq_rel,
+                                            std::memory_order_relaxed)) {
+    }
+    // The banker reservation makes this a structural guarantee; the check
+    // turns any accounting bug into a loud failure instead of a silently
+    // blown memory budget.
+    RQSIM_CHECK(live <= effective_budget_,
+                "execute_tree: live statevectors exceed the MSV budget");
+  }
+
+  StateVector fork_buffer(std::size_t w, const StateVector& src) {
+    StateVector copy = pool_.acquire_copy(src, w);
+    note_acquire();
+    workers_[w].fork_copies += 1;
+    return copy;
+  }
+
+  void release_buffer(std::size_t w, StateVector&& state) {
+    if (state.dim() == 0) {
+      return;
+    }
+    pool_.release(std::move(state), w);
+    live_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  bool try_reserve(std::size_t tokens) {
+    std::size_t cur = tokens_left_.load(std::memory_order_relaxed);
+    while (cur >= tokens) {
+      if (tokens_left_.compare_exchange_weak(cur, cur - tokens,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void release_tokens(std::size_t tokens) {
+    tokens_left_.fetch_add(tokens, std::memory_order_acq_rel);
+  }
+
+  // ---- scheduling -------------------------------------------------------
+
+  bool pop_local(std::size_t w, Task& out) {
+    std::lock_guard<std::mutex> lock(workers_[w].mutex);
+    if (workers_[w].deque.empty()) {
+      return false;
+    }
+    out = std::move(workers_[w].deque.back());
+    workers_[w].deque.pop_back();
+    return true;
+  }
+
+  bool steal(std::size_t thief, Task& out) {
+    for (std::size_t k = 1; k < num_workers_; ++k) {
+      Worker& victim = workers_[(thief + k) % num_workers_];
+      std::lock_guard<std::mutex> lock(victim.mutex);
+      if (!victim.deque.empty()) {
+        // Front of the deque = oldest pending subtree = the largest chunk
+        // of work; stealing coarse keeps steals rare.
+        out = std::move(victim.deque.front());
+        victim.deque.pop_front();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void worker_loop(std::size_t w) {
+    Task task;
+    for (;;) {
+      if (pop_local(w, task) || steal(w, task)) {
+        run_task(w, task);
+        continue;
+      }
+      if (outstanding_.load(std::memory_order_acquire) == 0) {
+        return;
+      }
+      // Bounded nap as the wakeup backstop: a producer's notify can land
+      // between our empty scan and the wait, so never sleep unbounded.
+      std::unique_lock<std::mutex> lock(idle_mutex_);
+      idle_cv_.wait_for(lock, std::chrono::microseconds(200));
+    }
+  }
+
+  void run_task(std::size_t w, Task& task) {
+    try {
+      if (abort_.load(std::memory_order_relaxed)) {
+        release_buffer(w, std::move(task.buffer));
+      } else {
+        exec_node(w, task.node, task.buffer);
+      }
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(error_mutex_);
+        if (error_ == nullptr) {
+          error_ = std::current_exception();
+        }
+      }
+      abort_.store(true, std::memory_order_release);
+      // Live-state accounting may be off after an exception; results are
+      // discarded on the rethrow path anyway.
+      live_.store(0, std::memory_order_relaxed);
+    }
+    if (task.reserved != 0) {
+      release_tokens(task.reserved);
+    }
+    if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      idle_cv_.notify_all();
+    }
+  }
+
+  void dispatch_child(std::size_t w, std::size_t child, StateVector buffer) {
+    if (num_workers_ > 1) {
+      const std::size_t peak = tree_.nodes[child].peak_demand;
+      if (try_reserve(peak)) {
+        outstanding_.fetch_add(1, std::memory_order_acq_rel);
+        {
+          Task task;
+          task.node = child;
+          task.buffer = std::move(buffer);
+          task.reserved = peak;
+          std::lock_guard<std::mutex> lock(workers_[w].mutex);
+          workers_[w].deque.push_back(std::move(task));
+        }
+        idle_cv_.notify_one();
+        return;
+      }
+    }
+    // Inline under the parent's reservation: a parent's peak is
+    // 1 + max(children peaks), so its slack always covers one child
+    // subtree at a time — progress is guaranteed, never a deadlock.
+    exec_node(w, child, buffer);
+  }
+
+  // ---- node execution ---------------------------------------------------
+
+  void advance(std::size_t w, StateVector& state, layer_index_t from,
+               layer_index_t to) {
+    Worker& worker = workers_[w];
+    if (worker.fusion != nullptr) {
+      apply_fused(state, worker.fusion->segment(from, to));
+    } else {
+      apply_layers(ctx_, state, from, to);
+    }
+    worker.ops += ctx_.ops_in_layers(from, to);
+  }
+
+  void exec_node(std::size_t w, std::size_t idx, StateVector& buffer) {
+    if (tree_.nodes[idx].kind == TreeNode::Kind::kReplay) {
+      exec_replay(w, idx, buffer);
+    } else {
+      exec_branch(w, idx, buffer);
+    }
+  }
+
+  void exec_branch(std::size_t w, std::size_t idx, StateVector& state) {
+    const TreeNode& node = tree_.nodes[idx];
+    layer_index_t frontier = node.entry_frontier;
+    if (node.parent != kNoNode) {
+      apply_error_event(ctx_, state, node.entry_event);
+      workers_[w].ops += 1;
+    }
+    for (const std::size_t ci : node.children) {
+      if (abort_.load(std::memory_order_relaxed)) {
+        break;
+      }
+      const TreeNode& child = tree_.nodes[ci];
+      if (child.entry_frontier > frontier) {
+        advance(w, state, frontier, child.entry_frontier);
+        frontier = child.entry_frontier;
+      }
+      dispatch_child(w, ci, fork_buffer(w, state));
+    }
+    if (!abort_.load(std::memory_order_relaxed) && node.tail_begin != node.tail_end) {
+      const auto total = static_cast<layer_index_t>(ctx_.num_layers());
+      if (total > frontier) {
+        advance(w, state, frontier, total);
+        frontier = total;
+      }
+      finish_group(idx, node.tail_begin, node.tail_end - node.tail_begin, state);
+    }
+    release_buffer(w, std::move(state));
+  }
+
+  void exec_replay(std::size_t w, std::size_t idx, StateVector& state) {
+    const TreeNode& node = tree_.nodes[idx];
+    const Trial& trial = trials_[node.trial];
+    layer_index_t frontier = node.entry_frontier;
+    for (std::size_t k = node.event_depth; k < trial.events.size(); ++k) {
+      const ErrorEvent& event = trial.events[k];
+      const layer_index_t target = event.layer + 1;
+      if (target > frontier) {
+        advance(w, state, frontier, target);
+        frontier = target;
+      }
+      apply_error_event(ctx_, state, event);
+      workers_[w].ops += 1;
+    }
+    const auto total = static_cast<layer_index_t>(ctx_.num_layers());
+    if (total > frontier) {
+      advance(w, state, frontier, total);
+    }
+    finish_group(idx, node.trial, 1, state);
+    release_buffer(w, std::move(state));
+  }
+
+  void finish_group(std::size_t node, std::size_t first, std::size_t count,
+                    const StateVector& state) {
+    const std::vector<qubit_t>& measured = ctx_.circuit.measured_qubits();
+    if (measured.empty()) {
+      sink_.on_finish_group(node, first, count, state, nullptr);
+      return;
+    }
+    const std::vector<double> probs = measurement_probabilities(state, measured);
+    sink_.on_finish_group(node, first, count, state, &probs);
+  }
+
+  const CircuitContext& ctx_;
+  const ExecTree& tree_;
+  const std::vector<Trial>& trials_;
+  TreeTrialSink& sink_;
+  const std::size_t num_workers_;
+  const bool fuse_gates_;
+  const std::size_t budget_;
+  std::size_t effective_budget_ = 0;
+
+  StateBufferPool pool_;
+  std::vector<Worker> workers_;
+
+  std::atomic<std::size_t> outstanding_{0};
+  std::atomic<std::size_t> tokens_left_{0};
+  std::atomic<std::size_t> live_{0};
+  std::atomic<std::size_t> max_live_{1};
+  std::atomic<bool> abort_{false};
+
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+
+  std::mutex error_mutex_;
+  std::exception_ptr error_;
+};
+
+}  // namespace
+
+TreeExecStats execute_tree(const CircuitContext& ctx, const ExecTree& tree,
+                           const std::vector<Trial>& trials,
+                           const TreeExecConfig& config, TreeTrialSink& sink) {
+  RQSIM_CHECK(tree.num_trials == trials.size(),
+              "execute_tree: tree was built for a different trial list");
+  return TreeExecutor(ctx, tree, trials, config, sink).run();
+}
+
+// --------------------------------------------------------------------------
+// SampledTrialSink
+
+SampledTrialSink::SampledTrialSink(const CircuitContext& ctx,
+                                   const std::vector<Trial>& trials,
+                                   const std::vector<PauliString>* observables)
+    : ctx_(ctx), trials_(trials), observables_(observables) {
+  sampled_ = !ctx.circuit.measured_qubits().empty();
+  if (sampled_) {
+    outcomes_.assign(trials.size(), 0);
+  }
+  if (observables_ != nullptr && !observables_->empty()) {
+    expectations_.assign(trials.size() * observables_->size(), 0.0);
+  }
+}
+
+void SampledTrialSink::on_finish_group(std::size_t node, std::size_t first_trial,
+                                       std::size_t count, const StateVector& state,
+                                       const std::vector<double>* probs) {
+  (void)node;
+  if (sampled_) {
+    RQSIM_CHECK(probs != nullptr, "SampledTrialSink: missing distribution");
+    for (std::size_t t = first_trial; t < first_trial + count; ++t) {
+      Rng trial_rng(trials_[t].meas_seed);
+      outcomes_[t] = sample_outcome(*probs, trial_rng) ^ trials_[t].meas_flip_mask;
+    }
+  }
+  if (!expectations_.empty()) {
+    const std::size_t k_count = observables_->size();
+    // One evaluation per finishing buffer, shared by every trial in the
+    // group — the same caching granularity SvBackend's per-checkpoint
+    // cache realizes, so the stored doubles are bitwise identical.
+    std::vector<double> values(k_count);
+    for (std::size_t k = 0; k < k_count; ++k) {
+      values[k] = expectation(state, (*observables_)[k]);
+    }
+    for (std::size_t t = first_trial; t < first_trial + count; ++t) {
+      std::copy(values.begin(), values.end(),
+                expectations_.begin() + static_cast<std::ptrdiff_t>(t * k_count));
+    }
+  }
+}
+
+OutcomeHistogram SampledTrialSink::take_histogram() {
+  OutcomeHistogram histogram;
+  if (sampled_) {
+    for (const std::uint64_t outcome : outcomes_) {
+      ++histogram[outcome];
+    }
+  }
+  return histogram;
+}
+
+std::vector<double> SampledTrialSink::take_observable_sums() {
+  const std::size_t k_count = observables_ != nullptr ? observables_->size() : 0;
+  std::vector<double> sums(k_count, 0.0);
+  if (expectations_.empty()) {
+    return sums;
+  }
+  // Trial-index order == the sequential scheduler's finish order, so this
+  // reduction reproduces SvBackend's accumulation bit for bit.
+  for (std::size_t t = 0; t < trials_.size(); ++t) {
+    for (std::size_t k = 0; k < k_count; ++k) {
+      sums[k] += expectations_[t * k_count + k];
+    }
+  }
+  return sums;
+}
+
+}  // namespace rqsim

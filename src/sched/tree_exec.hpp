@@ -1,0 +1,129 @@
+// Work-stealing parallel executor for the prefix-tree schedule.
+//
+// Each ready subtree of the ExecTree (sched/tree.hpp) is one task: a worker
+// advances its node's statevector layer-by-layer, forks one checkpoint from
+// the shared StateBufferPool per branch point (the only duplicated work of
+// the whole schedule, counted as fork_copies), pushes child subtrees onto
+// its own deque, and drops the buffer back to the pool the moment its last
+// consumer — the tail finishes — is done. Idle workers steal from the
+// *front* of a victim's deque, taking the oldest (largest) pending subtree,
+// which keeps stolen work coarse and steals rare.
+//
+// Zero redundancy: every advance/error of the tree schedule is executed by
+// exactly one worker exactly once, so the multi-threaded op count equals
+// the sequential cached schedule's op count — unlike chunked parallelism,
+// which re-executes shared prefixes once per chunk. verify_tree_plan
+// (verify/plan_verifier.hpp) proves the schedule-level equality statically;
+// the executor's own counters confirm it at run time.
+//
+// Global MSV accounting (max_states): admission control is a banker-style
+// reservation against one shared token pool. Every node carries its
+// peak_demand — the buffers its subtree needs when run sequentially — and a
+// subtree runs *concurrently* only if its full peak can be reserved; when
+// the reservation fails the child runs inline on the parent's thread,
+// inside the parent's own reservation (whose slack always covers one child
+// subtree, since a parent's peak is 1 + max over children). Inline
+// execution always makes progress, so the budget can never deadlock, and
+// the number of live statevectors is globally bounded by max_states — the
+// same bound the sequential scheduler guarantees, not a per-chunk copy of
+// it.
+//
+// Determinism: results are bitwise identical to the sequential scheduler
+// for any thread count and any interleaving. Outcome sampling draws from
+// each trial's private Rng(meas_seed); per-trial outcomes and observable
+// values land in disjoint slots and are reduced in trial-index order —
+// which is exactly the sequential finish order — on the calling thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/pauli_string.hpp"
+#include "sched/tree.hpp"
+#include "sim/measure.hpp"
+#include "sim/statevector.hpp"
+
+namespace rqsim {
+
+/// Receives every trial's final state. Called from worker threads; calls
+/// are grouped per finishing buffer: one call covers the contiguous trial
+/// range [first_trial, first_trial + count) that finishes on `state`
+/// (a branch node's tail, or a single replayed trial). Distinct calls may
+/// arrive concurrently from different workers, but never two calls for the
+/// same trial — implementations write per-trial slots without locking.
+/// `node` identifies the finishing tree node (unique per call sequence);
+/// `probs` is the measurement distribution of `state`, null when the
+/// circuit measures nothing.
+class TreeTrialSink {
+ public:
+  virtual ~TreeTrialSink() = default;
+  virtual void on_finish_group(std::size_t node, std::size_t first_trial,
+                               std::size_t count, const StateVector& state,
+                               const std::vector<double>* probs) = 0;
+};
+
+struct TreeExecConfig {
+  /// Worker threads; 0 or 1 executes on the calling thread.
+  std::size_t num_threads = 1;
+
+  /// Global MSV budget (0 = unlimited). Must equal the budget the tree was
+  /// built with: the tree's replay lowering guarantees peak_demand <=
+  /// max_states, which admission control relies on.
+  std::size_t max_states = 0;
+
+  /// Advance through the gate-fusion engine (one FusionCache per worker —
+  /// the cache memoizes lazily and is not thread-safe).
+  bool fuse_gates = false;
+};
+
+/// Execution counters (results flow through the sink).
+struct TreeExecStats {
+  opcount_t ops = 0;
+  std::uint64_t fork_copies = 0;
+
+  /// Peak concurrently live statevectors actually observed; <= max_states
+  /// whenever a budget is set (checked), and can exceed the *sequential*
+  /// MSV only when the budget is unlimited and subtrees run concurrently.
+  std::size_t max_live_states = 1;
+
+  /// Buffer-pool effectiveness across the run.
+  std::uint64_t pool_reuses = 0;
+  std::uint64_t pool_allocs = 0;
+};
+
+/// Execute `tree` over `trials` with `config.num_threads` workers, feeding
+/// every trial's final state to `sink`. Throws (rethrown from workers) on
+/// any execution error.
+TreeExecStats execute_tree(const CircuitContext& ctx, const ExecTree& tree,
+                           const std::vector<Trial>& trials,
+                           const TreeExecConfig& config, TreeTrialSink& sink);
+
+/// Standard sink: per-trial outcome sampling from Rng(trial.meas_seed),
+/// histogram assembly, and per-trial observable evaluation with the final
+/// reduction in trial-index order (bitwise equal to the sequential
+/// scheduler's finish-order accumulation).
+class SampledTrialSink : public TreeTrialSink {
+ public:
+  SampledTrialSink(const CircuitContext& ctx, const std::vector<Trial>& trials,
+                   const std::vector<PauliString>* observables);
+
+  void on_finish_group(std::size_t node, std::size_t first_trial, std::size_t count,
+                       const StateVector& state,
+                       const std::vector<double>* probs) override;
+
+  /// Reduce per-trial slots into the final histogram / observable sums.
+  /// Call once, after execute_tree returns.
+  OutcomeHistogram take_histogram();
+  std::vector<double> take_observable_sums();
+
+ private:
+  const CircuitContext& ctx_;
+  const std::vector<Trial>& trials_;
+  const std::vector<PauliString>* observables_;
+  bool sampled_ = false;
+  std::vector<std::uint64_t> outcomes_;      // per trial, valid iff sampled_
+  std::vector<double> expectations_;          // trials × observables, flat
+};
+
+}  // namespace rqsim

@@ -1,16 +1,14 @@
 #include "service/batch.hpp"
 
 #include <algorithm>
-#include <optional>
 #include <utility>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "sched/backend.hpp"
 #include "sched/order.hpp"
-#include "sim/buffer_pool.hpp"
-#include "sim/kernels.hpp"
-#include "sim/measure.hpp"
+#include "sched/tree.hpp"
+#include "sched/tree_exec.hpp"
 #include "trial/generator.hpp"
 #include "verify/plan_verifier.hpp"
 
@@ -25,121 +23,87 @@ struct TrialOrigin {
   std::size_t local_index = 0;
 };
 
-/// Per-job sampling context threaded through the merged schedule.
-struct JobStream {
-  Rng rng{0};  // continues the job's trial-generation stream
-  const std::vector<PauliString>* observables = nullptr;
-  OutcomeHistogram histogram;
-  std::vector<double> observable_sums;
-  // Expectations of this job's observables at the current finish
-  // checkpoint; invalidated whenever the stack changes.
-  std::optional<std::vector<double>> cached_expectations;
-};
-
-/// SvBackend's statevector interpretation of the schedule stream, with
-/// on_finish demultiplexed to the owning job: each job keeps its own
-/// outcome-sampling Rng, histogram and observable sums, while the
-/// checkpoint stack — and therefore every gate/error application — is
-/// shared across the whole batch.
-class MuxBackend : public ScheduleVisitor {
+/// Tree-executor sink demultiplexing the merged schedule back to jobs:
+/// outcomes sample from each trial's private meas_seed and land in
+/// per-trial slots; observable expectations are evaluated per finishing
+/// buffer for each job represented in the group (jobs' trials are
+/// consecutive within a group because the merge tie-breaks by job). The
+/// final per-job reduction happens on the caller's thread, in merged
+/// order — which, restricted to one job, is that job's standalone order.
+class BatchSink : public TreeTrialSink {
  public:
-  MuxBackend(const CircuitContext& ctx, std::vector<JobStream>& streams,
-             const std::vector<TrialOrigin>& origins, bool fuse_gates)
-      : ctx_(ctx), streams_(streams), origins_(origins) {
-    if (fuse_gates) {
-      fusion_ = std::make_unique<FusionCache>(ctx.circuit, ctx.layering);
+  BatchSink(const CircuitContext& ctx, const std::vector<Trial>& trials,
+            const std::vector<TrialOrigin>& origins,
+            const std::vector<const std::vector<PauliString>*>& observables)
+      : ctx_(ctx), trials_(trials), origins_(origins), observables_(observables) {
+    sampled_ = !ctx.circuit.measured_qubits().empty();
+    if (sampled_) {
+      outcomes_.assign(trials.size(), 0);
     }
-    stack_.emplace_back(ctx.circuit.num_qubits());
+    expectations_.resize(trials.size());
   }
 
-  void on_advance(std::size_t depth, layer_index_t from_layer,
-                  layer_index_t to_layer) override {
-    RQSIM_CHECK(depth == stack_.size() - 1, "MuxBackend: advance must target the top");
-    if (fusion_ != nullptr) {
-      apply_fused(stack_[depth], fusion_->segment(from_layer, to_layer));
-    } else {
-      apply_layers(ctx_, stack_[depth], from_layer, to_layer);
-    }
-    ops_ += ctx_.ops_in_layers(from_layer, to_layer);
-    invalidate_caches();
-  }
-
-  void on_fork(std::size_t depth) override {
-    RQSIM_CHECK(depth == stack_.size() - 1, "MuxBackend: fork must target the top");
-    stack_.push_back(pool_.acquire_copy(stack_[depth]));
-    max_live_ = std::max(max_live_, stack_.size());
-    invalidate_caches();
-  }
-
-  void on_error(std::size_t depth, const ErrorEvent& event) override {
-    RQSIM_CHECK(depth == stack_.size() - 1, "MuxBackend: error must target the top");
-    apply_error_event(ctx_, stack_[depth], event);
-    ops_ += 1;
-    invalidate_caches();
-  }
-
-  void on_finish(std::size_t depth, trial_index_t trial_index,
-                 const Trial& trial) override {
-    RQSIM_CHECK(depth < stack_.size(), "MuxBackend: depth out of range");
-    RQSIM_CHECK(trial_index < origins_.size(), "MuxBackend: trial index out of range");
-    const StateVector& state = stack_[depth];
-    JobStream& stream = streams_[origins_[trial_index].job];
-    if (!ctx_.circuit.measured_qubits().empty()) {
-      if (!cached_probs_) {
-        cached_probs_ = measurement_probabilities(state, ctx_.circuit.measured_qubits());
+  void on_finish_group(std::size_t node, std::size_t first_trial, std::size_t count,
+                       const StateVector& state,
+                       const std::vector<double>* probs) override {
+    (void)node;
+    std::size_t cached_job = kNoIndex;
+    std::vector<double> cached_values;
+    for (std::size_t t = first_trial; t < first_trial + count; ++t) {
+      if (sampled_) {
+        Rng trial_rng(trials_[t].meas_seed);
+        outcomes_[t] = sample_outcome(*probs, trial_rng) ^ trials_[t].meas_flip_mask;
       }
-      const std::uint64_t outcome =
-          sample_outcome(*cached_probs_, stream.rng) ^ trial.meas_flip_mask;
-      ++stream.histogram[outcome];
-    }
-    if (stream.observables != nullptr && !stream.observables->empty()) {
-      if (!stream.cached_expectations) {
-        std::vector<double> values;
-        values.reserve(stream.observables->size());
-        for (const PauliString& p : *stream.observables) {
-          values.push_back(expectation(state, p));
+      const std::size_t job = origins_[t].job;
+      const std::vector<PauliString>& obs = *observables_[job];
+      if (obs.empty()) {
+        continue;
+      }
+      if (job != cached_job) {
+        cached_values.clear();
+        cached_values.reserve(obs.size());
+        for (const PauliString& pauli : obs) {
+          cached_values.push_back(expectation(state, pauli));
         }
-        stream.cached_expectations = std::move(values);
+        cached_job = job;
       }
-      for (std::size_t k = 0; k < stream.cached_expectations->size(); ++k) {
-        stream.observable_sums[k] += (*stream.cached_expectations)[k];
-      }
+      expectations_[t] = cached_values;
     }
   }
 
-  void on_drop(std::size_t depth) override {
-    RQSIM_CHECK(depth == stack_.size() - 1 && stack_.size() > 1,
-                "MuxBackend: drop must pop the top (non-root) checkpoint");
-    pool_.release(std::move(stack_.back()));
-    stack_.pop_back();
-    invalidate_caches();
+  /// Reduce trial slots into job `j`'s histogram and observable sums,
+  /// visiting the merged list in order (== the job's standalone order).
+  void reduce_job(std::size_t j, OutcomeHistogram& histogram,
+                  std::vector<double>& observable_sums) const {
+    for (std::size_t t = 0; t < trials_.size(); ++t) {
+      if (origins_[t].job != j) {
+        continue;
+      }
+      if (sampled_) {
+        ++histogram[outcomes_[t]];
+      }
+      for (std::size_t k = 0; k < expectations_[t].size(); ++k) {
+        observable_sums[k] += expectations_[t][k];
+      }
+    }
   }
-
-  opcount_t ops() const { return ops_; }
-  std::size_t max_live_states() const { return max_live_; }
 
  private:
-  void invalidate_caches() {
-    cached_probs_.reset();
-    for (JobStream& stream : streams_) {
-      stream.cached_expectations.reset();
-    }
-  }
+  static constexpr std::size_t kNoIndex = static_cast<std::size_t>(-1);
 
   const CircuitContext& ctx_;
-  std::vector<JobStream>& streams_;
+  const std::vector<Trial>& trials_;
   const std::vector<TrialOrigin>& origins_;
-  std::unique_ptr<FusionCache> fusion_;
-  StateBufferPool pool_;
-  std::vector<StateVector> stack_;
-  opcount_t ops_ = 0;
-  std::size_t max_live_ = 1;
-  std::optional<std::vector<double>> cached_probs_;
+  const std::vector<const std::vector<PauliString>*>& observables_;
+  bool sampled_ = false;
+  std::vector<std::uint64_t> outcomes_;
+  std::vector<std::vector<double>> expectations_;
 };
 
 }  // namespace
 
-BatchExecution execute_batch(const std::vector<const JobSpec*>& jobs) {
+BatchExecution execute_batch(const std::vector<const JobSpec*>& jobs,
+                             std::size_t num_threads) {
   RQSIM_CHECK(!jobs.empty(), "execute_batch: empty batch");
   for (const JobSpec* spec : jobs) {
     RQSIM_CHECK(spec != nullptr, "execute_batch: null job spec");
@@ -157,22 +121,27 @@ BatchExecution execute_batch(const std::vector<const JobSpec*>& jobs) {
   options.max_states = lead.config.max_states;
 
   // Per job, replicate run_noisy's setup exactly: seed the Rng, generate
-  // the trial set, reorder it. The Rng is kept alive — its post-generation
-  // state drives this job's outcome sampling during the merged walk.
+  // the trial set, assign the per-trial measurement seeds, reorder. The
+  // seeds travel with the trials through the merge, so sampling is
+  // independent of where the merged schedule finishes them.
   const std::size_t n = jobs.size();
   std::vector<std::vector<Trial>> job_trials(n);
-  std::vector<JobStream> streams(n);
+  std::vector<const std::vector<PauliString>*> job_observables(n);
   BatchExecution out;
   out.per_job.resize(n);
   out.solo_ops.resize(n);
   for (std::size_t j = 0; j < n; ++j) {
     const JobSpec& spec = *jobs[j];
-    streams[j].rng = Rng(spec.config.seed);
+    for (const PauliString& pauli : spec.config.observables) {
+      RQSIM_CHECK(pauli.min_qubits() <= lead.circuit.num_qubits(),
+                  "execute_batch: observable acts on qubits beyond the circuit");
+    }
+    Rng rng(spec.config.seed);
     job_trials[j] = generate_trials(spec.circuit, ctx.layering, spec.noise,
-                                    spec.config.num_trials, streams[j].rng);
+                                    spec.config.num_trials, rng);
+    assign_measurement_seeds(job_trials[j], rng);
     reorder_trials(job_trials[j]);
-    streams[j].observables = &spec.config.observables;
-    streams[j].observable_sums.assign(spec.config.observables.size(), 0.0);
+    job_observables[j] = &spec.config.observables;
 
     CountBackend solo(ctx);
     schedule_trials(ctx, job_trials[j], solo, options);
@@ -209,21 +178,26 @@ BatchExecution execute_batch(const std::vector<const JobSpec*>& jobs) {
     merged.push_back(job_trials[origin.job][origin.local_index]);
   }
 
-  // Prove the merged schedule's invariants before touching amplitudes: the
-  // merge must preserve reorder order, stack discipline, the shared MSV
-  // budget, and exact op-count telescoping over the combined trial list.
-  // One verifying job is enough to cover the whole batch (the schedule is
-  // shared), so any requester turns it on.
+  // Build the merged prefix tree and prove it before touching amplitudes:
+  // the tree-plan proof subsumes the sequential invariants (reorder order,
+  // stack discipline, shared MSV budget, exact op telescoping) and pins
+  // the tree to the sequential walker's stream op for op. One verifying
+  // job is enough to cover the whole batch (the schedule is shared).
+  const ExecTree tree = build_exec_tree(ctx, merged, options);
   const bool verify_merged =
       std::any_of(jobs.begin(), jobs.end(),
                   [](const JobSpec* spec) { return spec->config.verify_plans; });
   if (verify_merged) {
-    verify_schedule_or_throw(ctx, merged, options, "execute_batch");
+    verify_tree_plan_or_throw(ctx, merged, tree, options, "execute_batch");
   }
 
-  MuxBackend mux(ctx, streams, origins, lead.config.fuse_gates);
-  schedule_trials(ctx, merged, mux, options);
-  out.batch_ops = mux.ops();
+  TreeExecConfig exec_config;
+  exec_config.num_threads = num_threads;
+  exec_config.max_states = options.max_states;
+  exec_config.fuse_gates = lead.config.fuse_gates;
+  BatchSink sink(ctx, merged, origins, job_observables);
+  const TreeExecStats stats = execute_tree(ctx, tree, merged, exec_config, sink);
+  out.batch_ops = stats.ops;
 
   // Attribute the merged cost proportionally to each job's solo cost, with
   // a telescoping split so the attributed shares sum exactly to batch_ops.
@@ -246,12 +220,13 @@ BatchExecution execute_batch(const std::vector<const JobSpec*>& jobs) {
     result.ops = cum_share - cum_attributed;
     cum_attributed = cum_share;
 
-    result.histogram = std::move(streams[j].histogram);
-    result.observable_means = std::move(streams[j].observable_sums);
+    result.observable_means.assign(jobs[j]->config.observables.size(), 0.0);
+    sink.reduce_job(j, result.histogram, result.observable_means);
     for (double& mean : result.observable_means) {
       mean /= static_cast<double>(std::max<std::size_t>(1, job_trials[j].size()));
     }
-    result.max_live_states = mux.max_live_states();
+    result.max_live_states = tree.peak_demand;
+    result.fork_copies = stats.fork_copies;
     result.baseline_ops = baseline_op_count(ctx, job_trials[j]);
     result.trial_stats = compute_trial_stats(job_trials[j]);
     result.normalized_computation =

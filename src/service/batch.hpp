@@ -12,17 +12,24 @@
 // job; in particular the error-free full-circuit pass, which dominates at
 // realistic error rates, is paid exactly once.
 //
+// Execution rides on the work-stealing prefix-tree executor
+// (sched/tree_exec.hpp): the merged trial list becomes one trie and its
+// subtrees run on `num_threads` workers with zero redundant prefix work.
+//
 // Bitwise equivalence guarantee (unfused kernels): each job's histogram and
 // observable means are identical to a standalone `run_noisy` with the same
-// config. This holds because
-//   1. each job's trials are generated from its own Rng(seed), exactly as
-//      run_noisy does, and reordered with the same sort before merging;
+// config, at any thread count. This holds because
+//   1. each job's trials are generated from its own Rng(seed) and given
+//      per-trial measurement seeds at exactly run_noisy's stream
+//      positions, then reordered with the same sort before merging;
 //   2. the merge is stable per job (ties broken by job then by position in
-//      the job's own reordered list), so the scheduler finishes each job's
-//      trials in the job's standalone order;
+//      the job's own reordered list), so the merged order restricted to
+//      one job is the job's standalone order — the order its observable
+//      sums are reduced in;
 //   3. a trial's final checkpoint sees the same operator sequence in both
-//      schedules, and outcome sampling draws exactly one uniform from the
-//      owning job's Rng per finish.
+//      schedules, and outcome sampling draws from the trial's private
+//      Rng(meas_seed), independent of finish order and thread
+//      interleaving.
 // With fuse_gates the merged schedule fuses different layer segments than
 // a standalone run, so results are epsilon-equivalent rather than bitwise.
 //
@@ -54,8 +61,10 @@ struct BatchExecution {
 };
 
 /// Execute `jobs` (all mutually batch_compatible; see service/job.hpp) as
-/// one merged statevector schedule. A single job degenerates to the exact
-/// standalone run_noisy schedule. Throws rqsim::Error on invalid specs.
-BatchExecution execute_batch(const std::vector<const JobSpec*>& jobs);
+/// one merged prefix-tree schedule on `num_threads` workers. A single job
+/// degenerates to the exact standalone run_noisy schedule. Throws
+/// rqsim::Error on invalid specs.
+BatchExecution execute_batch(const std::vector<const JobSpec*>& jobs,
+                             std::size_t num_threads = 1);
 
 }  // namespace rqsim

@@ -222,10 +222,14 @@ void SimService::execute_batch_group(const std::vector<Job*>& group) {
     if (group.size() > 1) {
       std::vector<const JobSpec*> specs;
       specs.reserve(group.size());
+      std::size_t threads = 1;
       for (const Job* job : group) {
         specs.push_back(&job->spec);
+        // Any job's thread request benefits the whole merged schedule;
+        // results are bitwise independent of the thread count.
+        threads = std::max(threads, job->spec.num_threads);
       }
-      BatchExecution batch = execute_batch(specs);
+      BatchExecution batch = execute_batch(specs, threads);
       runs = std::move(batch.per_job);
       solo_ops = std::move(batch.solo_ops);
       batch_ops = batch.batch_ops;

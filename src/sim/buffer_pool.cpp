@@ -1,28 +1,79 @@
 #include "sim/buffer_pool.hpp"
 
+#include <algorithm>
+
+#include "common/error.hpp"
+
 namespace rqsim {
 
-StateVector StateBufferPool::acquire_copy(const StateVector& src) {
-  if (!free_.empty()) {
-    std::vector<cplx> buffer = std::move(free_.back());
-    free_.pop_back();
-    ++reuses_;
+StateBufferPool::StateBufferPool(std::size_t max_pooled, std::size_t num_shards)
+    : max_pooled_(max_pooled),
+      per_shard_cap_(num_shards == 0 ? max_pooled
+                                     : std::max<std::size_t>(1, max_pooled / num_shards)),
+      shards_(std::max<std::size_t>(1, num_shards)) {}
+
+StateVector StateBufferPool::acquire_copy(const StateVector& src, std::size_t shard) {
+  RQSIM_CHECK(shard < shards_.size(), "StateBufferPool: shard index out of range");
+  std::vector<std::vector<cplx>>& local = shards_[shard].free;
+  if (!local.empty()) {
+    // Hot path: owner-thread shard list, no synchronization of any kind.
+    std::vector<cplx> buffer = std::move(local.back());
+    local.pop_back();
+    reuses_.fetch_add(1, std::memory_order_relaxed);
     // Vector assignment reuses the existing allocation when capacity
     // suffices (checkpoints of one run are all the same size).
     buffer = src.amplitudes();
     return StateVector::from_buffer(src.num_qubits(), std::move(buffer));
   }
-  ++allocs_;
+  {
+    std::lock_guard<std::mutex> lock(global_mutex_);
+    if (!global_free_.empty()) {
+      std::vector<cplx> buffer = std::move(global_free_.back());
+      global_free_.pop_back();
+      reuses_.fetch_add(1, std::memory_order_relaxed);
+      buffer = src.amplitudes();
+      return StateVector::from_buffer(src.num_qubits(), std::move(buffer));
+    }
+  }
+  allocs_.fetch_add(1, std::memory_order_relaxed);
   return StateVector::from_buffer(src.num_qubits(), src.amplitudes());
 }
 
-void StateBufferPool::release(StateVector&& state) {
-  if (free_.size() >= max_pooled_ || state.dim() == 0) {
+void StateBufferPool::release(StateVector&& state, std::size_t shard) {
+  RQSIM_CHECK(shard < shards_.size(), "StateBufferPool: shard index out of range");
+  if (state.dim() == 0) {
     return;
   }
-  free_.push_back(state.take_buffer());
+  std::vector<std::vector<cplx>>& local = shards_[shard].free;
+  if (local.size() < per_shard_cap_) {
+    local.push_back(state.take_buffer());
+    return;
+  }
+  std::lock_guard<std::mutex> lock(global_mutex_);
+  // The per-shard caps already bound the shard lists; the overflow list
+  // absorbs the remainder of the total budget.
+  const std::size_t shard_budget = per_shard_cap_ * shards_.size();
+  if (shard_budget < max_pooled_ &&
+      global_free_.size() < max_pooled_ - shard_budget) {
+    global_free_.push_back(state.take_buffer());
+  }
 }
 
-void StateBufferPool::clear() { free_.clear(); }
+void StateBufferPool::clear() {
+  for (Shard& shard : shards_) {
+    shard.free.clear();
+  }
+  std::lock_guard<std::mutex> lock(global_mutex_);
+  global_free_.clear();
+}
+
+std::size_t StateBufferPool::pooled() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.free.size();
+  }
+  std::lock_guard<std::mutex> lock(global_mutex_);
+  return total + global_free_.size();
+}
 
 }  // namespace rqsim

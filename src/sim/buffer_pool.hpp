@@ -7,11 +7,24 @@
 // keeps dropped buffers on a free list and turns a fork into one memcpy
 // into already-mapped memory.
 //
-// The pool is not thread-safe; each executor (one per trial-parallel
-// worker) owns its own pool, mirroring its private checkpoint stack.
+// Sharding (the multi-threaded tree executor's fork/drop path): the pool
+// can be constructed with one shard per worker thread. A shard's free list
+// is touched only by its owning worker — acquire and release on the hot
+// path perform no synchronization at all (not even an atomic on the list) —
+// with a mutex-guarded global overflow list as the cold-path fallback when
+// a shard runs dry or over its cap. The single-shard default (shard 0)
+// preserves the original single-threaded API: callers that never pass a
+// shard index get the exact old behavior.
+//
+// Thread contract: shard s may only be used by the thread that owns it;
+// clear() and the statistics accessors require external quiescence (no
+// concurrent acquire/release), which every executor guarantees by reading
+// them only after its workers have joined.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "sim/statevector.hpp"
@@ -20,28 +33,50 @@ namespace rqsim {
 
 class StateBufferPool {
  public:
-  /// `max_pooled` bounds the free list; excess released buffers are freed.
-  explicit StateBufferPool(std::size_t max_pooled = 64) : max_pooled_(max_pooled) {}
+  /// `max_pooled` bounds the total number of retained free buffers across
+  /// all shards plus the global overflow list; excess released buffers are
+  /// freed. `num_shards` >= 1 (one per worker thread for lock-free reuse).
+  explicit StateBufferPool(std::size_t max_pooled = 64, std::size_t num_shards = 1);
+
+  StateBufferPool(const StateBufferPool&) = delete;
+  StateBufferPool& operator=(const StateBufferPool&) = delete;
 
   /// A StateVector holding a copy of `src`, backed by a recycled buffer
-  /// when one is available.
-  StateVector acquire_copy(const StateVector& src);
+  /// when one is available. `shard` must be owned by the calling thread.
+  StateVector acquire_copy(const StateVector& src, std::size_t shard = 0);
 
   /// Return a dead StateVector's buffer to the free list.
-  void release(StateVector&& state);
+  void release(StateVector&& state, std::size_t shard = 0);
 
-  /// Drop all pooled buffers.
+  /// Drop all pooled buffers (requires quiescence).
   void clear();
 
-  std::size_t pooled() const { return free_.size(); }
-  std::uint64_t reuse_count() const { return reuses_; }
-  std::uint64_t alloc_count() const { return allocs_; }
+  std::size_t num_shards() const { return shards_.size(); }
+
+  /// Total retained free buffers (requires quiescence).
+  std::size_t pooled() const;
+
+  std::uint64_t reuse_count() const {
+    return reuses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t alloc_count() const {
+    return allocs_.load(std::memory_order_relaxed);
+  }
 
  private:
+  // Padded so two workers' shard headers never share a cache line.
+  struct alignas(64) Shard {
+    std::vector<std::vector<cplx>> free;
+  };
+
   std::size_t max_pooled_;
-  std::vector<std::vector<cplx>> free_;
-  std::uint64_t reuses_ = 0;
-  std::uint64_t allocs_ = 0;
+  std::size_t per_shard_cap_;
+  std::vector<Shard> shards_;
+  std::atomic<std::uint64_t> reuses_{0};
+  std::atomic<std::uint64_t> allocs_{0};
+
+  mutable std::mutex global_mutex_;
+  std::vector<std::vector<cplx>> global_free_;
 };
 
 }  // namespace rqsim

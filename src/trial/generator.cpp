@@ -229,4 +229,10 @@ std::vector<Trial> generate_trials(const Circuit& circuit, const Layering& layer
   return trials;
 }
 
+void assign_measurement_seeds(std::vector<Trial>& trials, Rng& rng) {
+  for (Trial& trial : trials) {
+    trial.meas_seed = rng.next_u64();
+  }
+}
+
 }  // namespace rqsim

@@ -30,4 +30,12 @@ std::vector<Trial> generate_trials(const Circuit& circuit, const Layering& layer
                                    const NoiseModel& noise, std::size_t num_trials,
                                    Rng& rng);
 
+/// Assign each trial a private outcome-sampling seed (Trial::meas_seed),
+/// drawn from `rng` in trial order. Kept out of generate_trials so the
+/// generation stream — and therefore every previously generated trial set —
+/// is unchanged; entry points that sample outcomes call this immediately
+/// after generation, *before* reordering, so a trial keeps its seed
+/// wherever the schedule places it.
+void assign_measurement_seeds(std::vector<Trial>& trials, Rng& rng);
+
 }  // namespace rqsim

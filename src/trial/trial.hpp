@@ -48,6 +48,14 @@ struct Trial {
   /// Bit k set = classical measurement bit k is flipped.
   std::uint64_t meas_flip_mask = 0;
 
+  /// Seed of this trial's private outcome-sampling stream (see
+  /// trial/generator.hpp, assign_measurement_seeds). Sampling from a
+  /// per-trial seed instead of one shared stream makes the sampled
+  /// histogram independent of execution order, which is what lets the
+  /// parallel tree executor reproduce the sequential scheduler's results
+  /// bit for bit under any thread interleaving.
+  std::uint64_t meas_seed = 0;
+
   std::size_t num_errors() const { return events.size(); }
 };
 

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/strings.hpp"
 #include "sched/order.hpp"
+#include "sched/tree.hpp"
 
 namespace rqsim {
 
@@ -419,6 +420,81 @@ PlanProof PlanVerifier::verify_schedule(const std::vector<Trial>& trials) const 
   return verify(trials, recorder.plan());
 }
 
+PlanProof PlanVerifier::verify_tree_plan(const std::vector<Trial>& trials,
+                                         const ExecTree& tree) const {
+  const auto fail = [](PlanProof proof, const std::string& message) {
+    proof.ok = false;
+    proof.diagnostic = message;
+    proof.violating_op = kNoIndex;
+    proof.violating_trial = kNoIndex;
+    return proof;
+  };
+
+  if (tree.num_trials != trials.size()) {
+    return fail({}, "tree was built for " + std::to_string(tree.num_trials) +
+                        " trials but " + std::to_string(trials.size()) +
+                        " were supplied");
+  }
+
+  // Pass 1: the linearized tree must satisfy every sequential invariant on
+  // its own merits.
+  PlanRecorder tree_recorder;
+  linearize_tree(ctx_, tree, trials, tree_recorder);
+  PlanProof proof = verify(trials, tree_recorder.plan());
+  if (!proof.ok) {
+    return proof;
+  }
+
+  // Pass 2: op-for-op equality with the sequential walker's stream. This
+  // is stronger than passing the invariants independently — it pins the
+  // tree to the *same* schedule, so op counts, fork counts and MSV all
+  // telescope to the sequential values exactly.
+  if (!trials.empty()) {
+    PlanRecorder seq_recorder;
+    schedule_trials(ctx_, trials, seq_recorder, options_);
+    const std::vector<PlanOp>& tree_plan = tree_recorder.plan();
+    const std::vector<PlanOp>& seq_plan = seq_recorder.plan();
+    if (tree_plan.size() != seq_plan.size()) {
+      return fail(proof,
+                  "tree plan has " + std::to_string(tree_plan.size()) +
+                      " ops but the sequential scheduler emits " +
+                      std::to_string(seq_plan.size()));
+    }
+    for (std::size_t k = 0; k < tree_plan.size(); ++k) {
+      if (tree_plan[k] != seq_plan[k]) {
+        PlanProof bad = fail(proof,
+                             "tree plan diverges from the sequential stream at op " +
+                                 std::to_string(k) + " (tree: " +
+                                 kind_name(tree_plan[k].kind) + " at depth " +
+                                 std::to_string(tree_plan[k].depth) +
+                                 ", sequential: " + kind_name(seq_plan[k].kind) +
+                                 " at depth " + std::to_string(seq_plan[k].depth) + ")");
+        bad.violating_op = k;
+        bad.violating_trial = next_finished_trial(tree_plan, k);
+        return bad;
+      }
+    }
+  }
+
+  // Pass 3: the tree's own planned counters — what the executor budgets
+  // and reports — must match the proof artifacts.
+  if (tree.planned_ops != proof.cached_ops) {
+    return fail(proof, "tree.planned_ops " + std::to_string(tree.planned_ops) +
+                           " != proven cached op count " +
+                           std::to_string(proof.cached_ops));
+  }
+  if (!trials.empty() && tree.planned_forks != proof.forks) {
+    return fail(proof, "tree.planned_forks " + std::to_string(tree.planned_forks) +
+                           " != proven fork count " + std::to_string(proof.forks));
+  }
+  if (!trials.empty() && tree.peak_demand != proof.max_live_states) {
+    return fail(proof, "tree.peak_demand " + std::to_string(tree.peak_demand) +
+                           " != proven sequential MSV " +
+                           std::to_string(proof.max_live_states));
+  }
+  return proof;
+}
+
 void verify_schedule_or_throw(const CircuitContext& ctx,
                               const std::vector<Trial>& trials,
                               const ScheduleOptions& options, const char* context) {
@@ -426,6 +502,18 @@ void verify_schedule_or_throw(const CircuitContext& ctx,
   const PlanProof proof = verifier.verify_schedule(trials);
   if (!proof.ok) {
     throw Error(std::string(context) + ": schedule verification failed — " +
+                proof.diagnostic);
+  }
+}
+
+void verify_tree_plan_or_throw(const CircuitContext& ctx,
+                               const std::vector<Trial>& trials,
+                               const ExecTree& tree, const ScheduleOptions& options,
+                               const char* context) {
+  const PlanVerifier verifier(ctx, options);
+  const PlanProof proof = verifier.verify_tree_plan(trials, tree);
+  if (!proof.ok) {
+    throw Error(std::string(context) + ": tree-plan verification failed — " +
                 proof.diagnostic);
   }
 }

@@ -39,6 +39,8 @@
 
 namespace rqsim {
 
+struct ExecTree;  // sched/tree.hpp
+
 enum class PlanOpKind : std::uint8_t {
   kAdvance,  // apply layers [from, to) to checkpoint `depth`
   kFork,     // duplicate checkpoint `depth` into depth + 1
@@ -56,6 +58,28 @@ struct PlanOp {
   ErrorEvent event;        // kError
   trial_index_t trial = 0; // kFinish
 };
+
+/// Semantic equality: compares only the fields the op kind makes
+/// meaningful (verify_tree_plan's op-for-op stream comparison).
+inline bool operator==(const PlanOp& a, const PlanOp& b) {
+  if (a.kind != b.kind || a.depth != b.depth) {
+    return false;
+  }
+  switch (a.kind) {
+    case PlanOpKind::kAdvance:
+      return a.from == b.from && a.to == b.to;
+    case PlanOpKind::kError:
+      return a.event == b.event;
+    case PlanOpKind::kFinish:
+      return a.trial == b.trial;
+    case PlanOpKind::kFork:
+    case PlanOpKind::kDrop:
+      return true;
+  }
+  return false;
+}
+
+inline bool operator!=(const PlanOp& a, const PlanOp& b) { return !(a == b); }
 
 /// ScheduleVisitor that records the stream as a flat plan.
 class PlanRecorder : public ScheduleVisitor {
@@ -135,6 +159,19 @@ class PlanVerifier {
   /// reordered) and verify it in one call.
   PlanProof verify_schedule(const std::vector<Trial>& trials) const;
 
+  /// Prove the prefix-tree execution plan (sched/tree.hpp) safe AND
+  /// equivalent to the sequential scheduler: linearize the tree, run the
+  /// full invariant pass on the linearization (reorder-order trial visits,
+  /// checkpoint stack discipline, MSV bound, exact op-count telescoping),
+  /// then require the linearized stream to equal the sequential walker's
+  /// stream op for op — which transfers every sequential guarantee to
+  /// whatever interleaving the work-stealing executor realizes, since
+  /// workers execute exactly the tree's nodes. Finally cross-checks the
+  /// tree's own planned counters (planned_ops, planned_forks, peak_demand)
+  /// against the proof artifacts.
+  PlanProof verify_tree_plan(const std::vector<Trial>& trials,
+                             const ExecTree& tree) const;
+
  private:
   const CircuitContext& ctx_;
   ScheduleOptions options_;
@@ -154,6 +191,14 @@ void verify_schedule_or_throw(const CircuitContext& ctx,
                               const std::vector<Trial>& trials,
                               const ScheduleOptions& options,
                               const char* context);
+
+/// verify_tree_plan, throwing rqsim::Error with the diagnostic on any
+/// violation. `options` must be the ScheduleOptions the tree was built with.
+void verify_tree_plan_or_throw(const CircuitContext& ctx,
+                               const std::vector<Trial>& trials,
+                               const ExecTree& tree,
+                               const ScheduleOptions& options,
+                               const char* context);
 
 /// Render the proof artifacts (CLI output format).
 std::string format_proof(const PlanProof& proof);

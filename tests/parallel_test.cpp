@@ -45,13 +45,18 @@ TEST(Parallel, DeterministicForFixedSeedAndThreads) {
 }
 
 TEST(Parallel, ChunkingCostsBoundedExtra) {
-  // Parallel chunks lose only cross-boundary sharing: ops_parallel is at
-  // least ops_serial and at most ops_serial + (threads-1) full circuits.
+  // Chunked mode loses only cross-boundary sharing: ops_parallel is at
+  // least ops_serial and at most ops_serial + (threads-1) full circuits;
+  // the excess is reported exactly as redundant_prefix_ops.
   const Circuit c = decompose_to_cx_basis(make_qft(4));
   const NoiseModel noise = NoiseModel::uniform(4, 0.01, 0.04, 0.0);
   const std::size_t threads = 5;
-  const NoisyRunResult serial = run_noisy_parallel(c, noise, make_config(5000, 1));
-  const NoisyRunResult parallel = run_noisy_parallel(c, noise, make_config(5000, threads));
+  ParallelRunConfig serial_config = make_config(5000, 1);
+  serial_config.parallel_mode = ParallelMode::kChunked;
+  ParallelRunConfig parallel_config = make_config(5000, threads);
+  parallel_config.parallel_mode = ParallelMode::kChunked;
+  const NoisyRunResult serial = run_noisy_parallel(c, noise, serial_config);
+  const NoisyRunResult parallel = run_noisy_parallel(c, noise, parallel_config);
   EXPECT_GE(parallel.ops, serial.ops);
   const CircuitContext ctx(c);
   // A chunk boundary can at worst force a re-execution of everything one
@@ -59,6 +64,22 @@ TEST(Parallel, ChunkingCostsBoundedExtra) {
   EXPECT_LE(parallel.ops,
             serial.ops + (threads - 1) * 2 * ctx.total_gate_ops() + 64);
   EXPECT_EQ(parallel.baseline_ops, serial.baseline_ops);
+  // One sequential scheduler over the same list performs serial.ops, so the
+  // chunked excess is exactly the recomputed prefix work.
+  EXPECT_EQ(serial.redundant_prefix_ops, 0u);
+  EXPECT_EQ(parallel.redundant_prefix_ops, parallel.ops - serial.ops);
+}
+
+TEST(Parallel, ChunkedHistogramMatchesSerialBitwise) {
+  // Per-trial measurement seeds make the histogram independent of which
+  // worker finishes a trial: chunked mode reproduces run_noisy exactly.
+  const Circuit c = decompose_to_cx_basis(make_qft(4));
+  const NoiseModel noise = NoiseModel::uniform(4, 0.02, 0.07, 0.02);
+  ParallelRunConfig config = make_config(4000, 4, 7);
+  config.parallel_mode = ParallelMode::kChunked;
+  const NoisyRunResult chunked = run_noisy_parallel(c, noise, config);
+  const NoisyRunResult serial = run_noisy(c, noise, config);
+  EXPECT_EQ(chunked.histogram, serial.histogram);
 }
 
 TEST(Parallel, DistributionMatchesSerial) {

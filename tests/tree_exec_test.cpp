@@ -1,0 +1,220 @@
+// Work-stealing prefix-tree executor: bitwise equivalence with the
+// sequential scheduler, zero-redundancy op accounting, MSV budget
+// enforcement, and the tree-plan proof.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bench_circuits/qft.hpp"
+#include "bench_circuits/suite.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "noise/devices.hpp"
+#include "noise/noise_model.hpp"
+#include "obs/pauli_string.hpp"
+#include "sched/order.hpp"
+#include "sched/parallel.hpp"
+#include "sched/tree.hpp"
+#include "sched/tree_exec.hpp"
+#include "transpile/decompose.hpp"
+#include "trial/generator.hpp"
+#include "verify/plan_verifier.hpp"
+
+namespace rqsim {
+namespace {
+
+ParallelRunConfig make_config(std::size_t trials, std::size_t threads,
+                              std::uint64_t seed = 11) {
+  ParallelRunConfig config;
+  config.num_trials = trials;
+  config.num_threads = threads;
+  config.seed = seed;
+  return config;
+}
+
+TEST(TreeExec, BitwiseHistogramsAcrossThreadCountsTable1Suite) {
+  // The headline guarantee: for every Table I benchmark, tree-mode
+  // histograms are bitwise identical to the sequential run_noisy at 1, 2
+  // and 8 threads — parallelism is invisible in the results.
+  const DeviceModel dev = yorktown_device();
+  for (const BenchmarkEntry& entry : make_table1_suite(dev)) {
+    const NoisyRunConfig serial_config = make_config(400, 1, 5);
+    const NoisyRunResult serial = run_noisy(entry.compiled, dev.noise, serial_config);
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      const NoisyRunResult tree =
+          run_noisy_parallel(entry.compiled, dev.noise, make_config(400, threads, 5));
+      EXPECT_EQ(tree.histogram, serial.histogram)
+          << entry.name << " @ " << threads << " threads";
+      EXPECT_EQ(tree.ops, serial.ops) << entry.name << " @ " << threads << " threads";
+    }
+  }
+}
+
+TEST(TreeExec, ZeroRedundancyAtAnyThreadCount) {
+  // Tree-mode total work equals the sequential cached schedule exactly:
+  // same matrix-vector op count, same fork copies, zero redundant prefix
+  // ops — at every thread count (chunked mode pays per-boundary rework).
+  const Circuit c = decompose_to_cx_basis(make_qft(4));
+  const NoiseModel noise = NoiseModel::uniform(4, 0.02, 0.08, 0.02);
+  const NoisyRunResult serial = run_noisy(c, noise, make_config(5000, 1));
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    const NoisyRunResult tree =
+        run_noisy_parallel(c, noise, make_config(5000, threads));
+    EXPECT_EQ(tree.ops, serial.ops) << threads << " threads";
+    EXPECT_EQ(tree.fork_copies, serial.fork_copies) << threads << " threads";
+    EXPECT_EQ(tree.ops + tree.fork_copies, serial.ops + serial.fork_copies);
+    EXPECT_EQ(tree.redundant_prefix_ops, 0u) << threads << " threads";
+  }
+}
+
+TEST(TreeExec, ObservableMeansBitwiseAcrossThreads) {
+  const Circuit c = decompose_to_cx_basis(make_qft(3));
+  const NoiseModel noise = NoiseModel::uniform(3, 0.02, 0.08, 0.03);
+  ParallelRunConfig config = make_config(4000, 1, 31);
+  config.observables = {PauliString::from_label("ZZI"),
+                        PauliString::from_label("IXX")};
+  const NoisyRunResult serial = run_noisy(c, noise, config);
+  for (const std::size_t threads : {2u, 8u}) {
+    config.num_threads = threads;
+    const NoisyRunResult tree = run_noisy_parallel(c, noise, config);
+    ASSERT_EQ(tree.observable_means.size(), 2u);
+    for (std::size_t k = 0; k < 2; ++k) {
+      // Bitwise: per-trial values reduced in trial-index order, which is
+      // the sequential finish order.
+      EXPECT_EQ(tree.observable_means[k], serial.observable_means[k]);
+    }
+  }
+}
+
+TEST(TreeExec, MsvBudgetHoldsUnderConcurrency) {
+  // The banker-style reservation keeps the *global* live-state count
+  // within the budget for any interleaving: the executor asserts the
+  // transient bound internally (RQSIM_CHECK on every acquire), and the
+  // reported MSV is the schedule's sequential peak, <= budget by
+  // construction. Results stay bitwise identical to the unbudgeted run's
+  // schedule-equivalent (budgets change the schedule, not the physics).
+  const Circuit c = decompose_to_cx_basis(make_qft(4));
+  const NoiseModel noise = NoiseModel::uniform(4, 0.05, 0.2, 0.0);
+  const NoisyRunResult unbounded = run_noisy_parallel(c, noise, make_config(4000, 8));
+  for (const std::size_t budget : {2u, 3u, 5u}) {
+    ParallelRunConfig config = make_config(4000, 8);
+    config.max_states = budget;
+    const NoisyRunResult result = run_noisy_parallel(c, noise, config);
+    EXPECT_LE(result.max_live_states, budget);
+    // Replay lowering trades ops for memory but never changes outcomes.
+    EXPECT_EQ(result.histogram, unbounded.histogram) << "budget " << budget;
+    EXPECT_GE(result.ops, unbounded.ops);
+  }
+}
+
+TEST(TreeExec, TreePlanProofCoversSuite) {
+  // build_exec_tree's planned counters and linearization must survive the
+  // full verifier pass — including the op-for-op comparison against the
+  // sequential walker — for realistic trial sets, with and without an MSV
+  // budget.
+  const DeviceModel dev = yorktown_device();
+  const std::vector<BenchmarkEntry> suite = make_table1_suite(dev);
+  for (const std::size_t pick : {0u, 6u, 11u}) {
+    const Circuit& c = suite[pick].compiled;
+    const CircuitContext ctx(c);
+    Rng rng(17);
+    std::vector<Trial> trials = generate_trials(c, ctx.layering, dev.noise, 2000, rng);
+    assign_measurement_seeds(trials, rng);
+    reorder_trials(trials);
+    for (const std::size_t budget : {std::size_t{0}, std::size_t{3}}) {
+      ScheduleOptions options;
+      options.max_states = budget;
+      const ExecTree tree = build_exec_tree(ctx, trials, options);
+      const PlanVerifier verifier(ctx, options);
+      const PlanProof proof = verifier.verify_tree_plan(trials, tree);
+      ASSERT_TRUE(proof.ok) << suite[pick].name << ": " << proof.diagnostic;
+      EXPECT_EQ(tree.planned_ops, proof.cached_ops);
+      EXPECT_EQ(tree.planned_ops, predict_cached_ops(ctx, trials, options));
+      EXPECT_EQ(tree.planned_forks, proof.forks);
+      EXPECT_EQ(tree.peak_demand, proof.max_live_states);
+      if (budget != 0) {
+        EXPECT_LE(tree.peak_demand, budget);
+      }
+    }
+  }
+}
+
+TEST(TreeExec, VerifierRejectsCorruptedTree) {
+  const Circuit c = decompose_to_cx_basis(make_qft(3));
+  const NoiseModel noise = NoiseModel::uniform(3, 0.05, 0.15, 0.0);
+  const CircuitContext ctx(c);
+  Rng rng(3);
+  std::vector<Trial> trials = generate_trials(c, ctx.layering, noise, 500, rng);
+  assign_measurement_seeds(trials, rng);
+  reorder_trials(trials);
+  const ScheduleOptions options;
+  ExecTree tree = build_exec_tree(ctx, trials, options);
+  const PlanVerifier verifier(ctx, options);
+  ASSERT_TRUE(verifier.verify_tree_plan(trials, tree).ok);
+
+  // Corrupt the planned op counter: the proof cross-check must catch it.
+  ExecTree bad_ops = tree;
+  bad_ops.planned_ops += 1;
+  EXPECT_FALSE(verifier.verify_tree_plan(trials, bad_ops).ok);
+
+  // Corrupt a replay leaf's trial assignment: the linearized stream now
+  // finishes some trial on the wrong error path.
+  ExecTree bad_leaf = tree;
+  bool corrupted = false;
+  for (TreeNode& node : bad_leaf.nodes) {
+    if (node.kind == TreeNode::Kind::kReplay && node.trial + 1 < trials.size() &&
+        !(trials[node.trial].events == trials[node.trial + 1].events)) {
+      node.trial += 1;
+      corrupted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  EXPECT_FALSE(verifier.verify_tree_plan(trials, bad_leaf).ok);
+  EXPECT_THROW(
+      verify_tree_plan_or_throw(ctx, trials, bad_leaf, options, "tree_exec_test"),
+      Error);
+}
+
+TEST(TreeExec, ExecutorStatsMatchPlannedCounters) {
+  // The executor's runtime counters must land exactly on the tree's
+  // planned (and verified) values: every op executed once, every branch
+  // forked once.
+  const Circuit c = decompose_to_cx_basis(make_qft(4));
+  const NoiseModel noise = NoiseModel::uniform(4, 0.03, 0.1, 0.01);
+  const CircuitContext ctx(c);
+  Rng rng(23);
+  std::vector<Trial> trials = generate_trials(c, ctx.layering, noise, 3000, rng);
+  assign_measurement_seeds(trials, rng);
+  reorder_trials(trials);
+  const ScheduleOptions options;
+  const ExecTree tree = build_exec_tree(ctx, trials, options);
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    TreeExecConfig config;
+    config.num_threads = threads;
+    SampledTrialSink sink(ctx, trials, nullptr);
+    const TreeExecStats stats = execute_tree(ctx, tree, trials, config, sink);
+    EXPECT_EQ(stats.ops, tree.planned_ops) << threads << " threads";
+    EXPECT_EQ(stats.fork_copies, tree.planned_forks) << threads << " threads";
+    std::uint64_t total = 0;
+    for (const auto& [outcome, count] : sink.take_histogram()) {
+      (void)outcome;
+      total += count;
+    }
+    EXPECT_EQ(total, trials.size());
+  }
+}
+
+TEST(TreeExec, EmptyAndTinyTrialSets) {
+  const Circuit c = decompose_to_cx_basis(make_qft(3));
+  const NoiseModel noise = NoiseModel::uniform(3, 0.02, 0.08, 0.0);
+  for (const std::size_t trials : {0u, 1u, 2u}) {
+    const NoisyRunResult serial = run_noisy(c, noise, make_config(trials, 1));
+    const NoisyRunResult tree = run_noisy_parallel(c, noise, make_config(trials, 8));
+    EXPECT_EQ(tree.histogram, serial.histogram);
+    EXPECT_EQ(tree.ops, serial.ops);
+  }
+}
+
+}  // namespace
+}  // namespace rqsim

@@ -20,7 +20,6 @@
 //                            bitwise-match the sequential scheduler.
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -30,6 +29,7 @@
 #include "noise/devices.hpp"
 #include "sched/parallel.hpp"
 #include "sched/runner.hpp"
+#include "telemetry/clock.hpp"
 
 namespace {
 
@@ -117,6 +117,12 @@ struct SweepPoint {
   std::uint64_t fork_copies = 0;
   opcount_t redundant_prefix_ops = 0;
   double wall_ms = 0.0;
+  // Scheduling/occupancy telemetry (NoisyRunResult::telemetry).
+  std::uint64_t steals = 0;
+  std::uint64_t inline_fallbacks = 0;
+  std::uint64_t pool_reuses = 0;
+  std::uint64_t pool_allocs = 0;
+  std::size_t peak_live_states = 0;
 };
 
 NoisyRunResult timed_parallel(const Circuit& circuit, const NoiseModel& noise,
@@ -131,12 +137,12 @@ NoisyRunResult timed_parallel(const Circuit& circuit, const NoiseModel& noise,
   best_ms = 0.0;
   // Best of three damps scheduler noise (the sweep runs on shared CI
   // machines; op counts are deterministic, only the clock needs repeats).
+  // Timing comes from the telemetry clock (telemetry/clock.hpp), the
+  // project's single source of monotonic time (source rule 4).
   for (int rep = 0; rep < 3; ++rep) {
-    const auto start = std::chrono::steady_clock::now();
+    const telemetry::Stopwatch stopwatch;
     result = run_noisy_parallel(circuit, noise, config);
-    const auto stop = std::chrono::steady_clock::now();
-    const double ms =
-        std::chrono::duration<double, std::milli>(stop - start).count();
+    const double ms = stopwatch.elapsed_ms();
     if (rep == 0 || ms < best_ms) {
       best_ms = ms;
     }
@@ -162,13 +168,20 @@ int run_parallel_sweep(const std::string& path) {
         point.ops = result.ops;
         point.fork_copies = result.fork_copies;
         point.redundant_prefix_ops = result.redundant_prefix_ops;
+        point.steals = result.telemetry.steals;
+        point.inline_fallbacks = result.telemetry.inline_fallbacks;
+        point.pool_reuses = result.telemetry.pool_reuses;
+        point.pool_allocs = result.telemetry.pool_allocs;
+        point.peak_live_states = result.telemetry.peak_live_states;
         points.push_back(point);
         std::printf("%-10s %-8s %zu threads: %llu ops, %llu fork copies, "
-                    "%llu redundant, %.2f ms\n",
+                    "%llu redundant, %llu steals, %llu fallbacks, %.2f ms\n",
                     point.circuit.c_str(), point.mode.c_str(), threads,
                     static_cast<unsigned long long>(point.ops),
                     static_cast<unsigned long long>(point.fork_copies),
                     static_cast<unsigned long long>(point.redundant_prefix_ops),
+                    static_cast<unsigned long long>(point.steals),
+                    static_cast<unsigned long long>(point.inline_fallbacks),
                     point.wall_ms);
       }
     }
@@ -186,6 +199,11 @@ int run_parallel_sweep(const std::string& path) {
         << "\", \"threads\": " << p.threads << ", \"matvec_ops\": " << p.ops
         << ", \"fork_copies\": " << p.fork_copies
         << ", \"redundant_prefix_ops\": " << p.redundant_prefix_ops
+        << ", \"steals\": " << p.steals
+        << ", \"inline_fallbacks\": " << p.inline_fallbacks
+        << ", \"pool_reuses\": " << p.pool_reuses
+        << ", \"pool_allocs\": " << p.pool_allocs
+        << ", \"peak_live_states\": " << p.peak_live_states
         << ", \"wall_ms\": " << p.wall_ms << "}"
         << (i + 1 < points.size() ? "," : "") << "\n";
   }

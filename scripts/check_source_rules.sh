@@ -16,23 +16,33 @@
 #         layer, and the intra-statevector kernel pool) — ad-hoc threads
 #         bypass the banker MSV reservations and the per-trial-seed
 #         determinism contract those engines enforce.
+# Rule 4: no std::chrono::steady_clock or high_resolution_clock outside
+#         src/telemetry/ and src/common/ (bench/ is scanned too) — every
+#         measurement must go through telemetry/clock.hpp (Stopwatch,
+#         clock_now) or trace spans, so timing is taken from one clock and
+#         shows up in the telemetry/trace output instead of ad-hoc prints.
 #
 # Usage: scripts/check_source_rules.sh [src-dir]   (default: src)
 set -u
 
 src_dir="${1:-src}"
+# Sibling bench/ tree (rule 4 covers benchmark drivers as well).
+bench_dir="$(dirname "$src_dir")/bench"
+[ -d "$bench_dir" ] || bench_dir=""
 status=0
 
 # Strip // line comments before matching so documentation may mention the
 # banned identifiers. (Block comments are rare in this tree and reviewed by
 # hand; the goal is catching real call sites, not building a C++ parser.)
-# $2 is a space-separated list of path globs to exempt.
+# $2 is a space-separated list of path globs to exempt; $4 (optional) is a
+# space-separated list of extra directories to scan beyond src_dir.
 scan() {
   pattern="$1"
   excludes="$2"
   label="$3"
+  extra_dirs="${4:-}"
   found=0
-  for f in $(find "$src_dir" -name '*.cpp' -o -name '*.hpp' | sort); do
+  for f in $(find "$src_dir" $extra_dirs -name '*.cpp' -o -name '*.hpp' | sort); do
     skip=0
     for exclude in $excludes; do
       case "$f" in
@@ -62,6 +72,11 @@ scan '(^|[^[:alnum:]_])(std::mt19937|std::minstd_rand|std::random_device|std::ra
 scan '(^|[^[:alnum:]_])std::thread([^[:alnum:]_]|$)' \
      "$src_dir/sched/tree_exec.cpp $src_dir/sched/parallel.cpp $src_dir/service/* $src_dir/sim/kernel_engine.cpp" \
      'std::thread outside the designated execution engines'
+
+scan '(steady_clock|high_resolution_clock)' \
+     "$src_dir/telemetry/* $src_dir/common/*" \
+     'monotonic clock use outside telemetry/clock.hpp' \
+     "$bench_dir"
 
 if [ "$status" -eq 0 ]; then
   echo "check_source_rules: OK ($src_dir)"

@@ -1,0 +1,57 @@
+#!/bin/sh
+# trace_schema ctest driver: produce a trace with the CLI and validate it.
+#
+# Runs `rqsim run --trace-out` on a Table I circuit with the parallel tree
+# executor (so the trace has per-worker lanes and fork/drop/steal instants),
+# then checks the file against the Chrome trace-event subset the exporter
+# promises (scripts/validate_trace.py). Exits 77 (ctest SKIP) when python3
+# is unavailable.
+#
+# Usage: scripts/run_trace_schema.sh <rqsim-binary> [work-dir]
+set -u
+
+if [ $# -lt 1 ]; then
+  echo "usage: run_trace_schema.sh <rqsim-binary> [work-dir]" >&2
+  exit 2
+fi
+rqsim="$1"
+work_dir="${2:-.}"
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+trace="$work_dir/trace_schema.json"
+
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "trace_schema: python3 not found; skipping" >&2
+  exit 77
+fi
+
+"$rqsim" run --circuit qv:5:5 --trials 1024 --threads 4 \
+  --trace-out "$trace" || exit 1
+
+python3 "$repo_root/scripts/validate_trace.py" "$trace" || exit 1
+
+# Beyond well-formedness: the parallel tree run must show its worker lanes
+# and checkpoint fork/drop instants (steal counts are timing-dependent, so
+# only the lanes and fork events are asserted).
+python3 - "$trace" <<'EOF'
+import json, sys
+
+events = json.load(open(sys.argv[1]))["traceEvents"]
+lanes = {
+    e["args"]["name"]
+    for e in events
+    if e["ph"] == "M" and e["name"] == "thread_name"
+}
+workers = {name for name in lanes if name.startswith("tree_exec.worker-")}
+instants = {e["name"] for e in events if e["ph"] == "i"}
+failures = []
+if len(workers) < 2:
+    failures.append("expected >= 2 tree_exec worker lanes, got %s" % sorted(lanes))
+for required in ("tree_exec.fork", "tree_exec.drop"):
+    if required not in instants:
+        failures.append("missing instant event %r (got %s)" % (required, sorted(instants)))
+for failure in failures:
+    print("trace_schema: %s" % failure, file=sys.stderr)
+if not failures:
+    print("trace_schema: %d worker lanes, instants %s" % (len(workers), sorted(instants)))
+sys.exit(1 if failures else 0)
+EOF

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file (stdlib only).
+
+Checks the subset of the trace-event format that rqsim's exporter emits
+(src/telemetry/trace.cpp) and that Perfetto / chrome://tracing require to
+load a file:
+
+  * top level is an object with a "traceEvents" array;
+  * every event is an object with string "name", string "ph", and numeric
+    "pid"/"tid"; non-metadata events also need a numeric, non-negative "ts";
+  * phases are limited to the exporter's set: B, E, i, C, M;
+  * per (pid, tid) lane, B/E events are balanced and properly nested
+    (every E closes the most recent open B — a stack, never negative);
+  * "i" events carry scope "s", "C" events carry args.value,
+    "M" metadata events are thread_name / process_name / thread_sort_index;
+  * within a lane, timestamps are non-decreasing.
+
+Exit codes: 0 = valid, 1 = invalid (details on stderr), 2 = usage/IO error.
+"""
+
+import json
+import sys
+
+ALLOWED_PHASES = {"B", "E", "i", "C", "M"}
+ALLOWED_METADATA = {"thread_name", "process_name", "thread_sort_index"}
+
+
+def fail(message):
+    print("validate_trace: %s" % message, file=sys.stderr)
+    return 1
+
+
+def validate(trace):
+    if not isinstance(trace, dict):
+        return fail("top level must be a JSON object")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return fail("missing 'traceEvents' array")
+
+    # Per-lane open-B stack and last timestamp.
+    stacks = {}
+    last_ts = {}
+    errors = 0
+    for index, event in enumerate(events):
+        where = "event %d" % index
+        if not isinstance(event, dict):
+            errors += fail("%s: not an object" % where)
+            continue
+        name = event.get("name")
+        phase = event.get("ph")
+        if not isinstance(name, str) or not name:
+            errors += fail("%s: missing string 'name'" % where)
+            continue
+        where = "event %d (%s)" % (index, name)
+        if phase not in ALLOWED_PHASES:
+            errors += fail("%s: unexpected phase %r" % (where, phase))
+            continue
+        if not isinstance(event.get("pid"), int) or not isinstance(
+            event.get("tid"), int
+        ):
+            errors += fail("%s: missing integer pid/tid" % where)
+            continue
+        lane = (event["pid"], event["tid"])
+
+        if phase == "M":
+            if name not in ALLOWED_METADATA:
+                errors += fail("%s: unknown metadata record" % where)
+            continue
+
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors += fail("%s: missing non-negative numeric 'ts'" % where)
+            continue
+        if ts < last_ts.get(lane, 0):
+            errors += fail(
+                "%s: timestamp %s goes backwards in lane %s" % (where, ts, lane)
+            )
+        last_ts[lane] = ts
+
+        if phase == "B":
+            stacks.setdefault(lane, []).append(name)
+        elif phase == "E":
+            stack = stacks.get(lane, [])
+            if not stack:
+                errors += fail("%s: E with no open span in lane %s" % (where, lane))
+            else:
+                stack.pop()
+        elif phase == "i":
+            if event.get("s") not in ("t", "p", "g"):
+                errors += fail("%s: instant event missing scope 's'" % where)
+        elif phase == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not isinstance(
+                args.get("value"), (int, float)
+            ):
+                errors += fail("%s: counter event missing args.value" % where)
+
+    for lane, stack in stacks.items():
+        if stack:
+            errors += fail(
+                "lane %s: %d unclosed span(s), innermost %r"
+                % (lane, len(stack), stack[-1])
+            )
+    return 1 if errors else 0
+
+
+def main(argv):
+    if len(argv) != 2:
+        print("usage: validate_trace.py <trace.json>", file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1], "r", encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except OSError as error:
+        print("validate_trace: cannot read %s: %s" % (argv[1], error), file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print("validate_trace: %s is not JSON: %s" % (argv[1], error), file=sys.stderr)
+        return 1
+    status = validate(trace)
+    if status == 0:
+        events = trace["traceEvents"]
+        spans = sum(1 for e in events if e.get("ph") == "B")
+        lanes = {
+            (e.get("pid"), e.get("tid"))
+            for e in events
+            if e.get("ph") not in (None, "M")
+        }
+        print(
+            "validate_trace: OK — %d events, %d spans, %d lane(s)"
+            % (len(events), spans, len(lanes))
+        )
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -22,6 +22,8 @@
 #include "service/protocol.hpp"
 #include "service/server.hpp"
 #include "sched/order.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 #include "transpile/decompose.hpp"
 #include "transpile/transpiler.hpp"
 #include "trial/generator.hpp"
@@ -48,6 +50,7 @@ struct CliOptions {
   std::size_t top = 16;           // --top (histogram rows)
   std::size_t max_errors = 2;     // --max-errors (enumerate)
   std::string csv_path;           // --csv
+  std::string trace_out;          // --trace-out (Chrome trace JSON)
   bool no_transpile = false;      // --no-transpile
 
   // Service verbs (serve / submit / status / shutdown).
@@ -132,6 +135,8 @@ CliOptions parse_options(const std::vector<std::string>& args, std::size_t begin
       options.max_errors = parse_u64_flag(value(), flag);
     } else if (flag == "--csv") {
       options.csv_path = value();
+    } else if (flag == "--trace-out") {
+      options.trace_out = value();
     } else if (flag == "--no-transpile") {
       options.no_transpile = true;
     } else if (flag == "--socket") {
@@ -270,6 +275,20 @@ void print_result(const NoisyRunResult& result, std::size_t num_measured,
     write_csv_file(options.csv_path, {"outcome", "count"}, csv_rows);
     out << "histogram written to " << options.csv_path << "\n";
   }
+  if (result.telemetry.measured) {
+    const TelemetrySummary& telem = result.telemetry;
+    out << "telemetry:\n";
+    out << "  measured ops      : " << telem.measured_ops << "\n";
+    out << "  cache hit ratio   : " << format_double(telem.prefix_cache_hit_ratio, 4)
+        << "  (" << telem.ops_saved_vs_baseline << " ops saved vs baseline)\n";
+    out << "  wall time         : " << format_double(telem.wall_ms, 1) << " ms\n";
+    out << "  pool reuse/alloc  : " << telem.pool_reuses << " / " << telem.pool_allocs
+        << "\n";
+    if (telem.steals > 0 || telem.inline_fallbacks > 0) {
+      out << "  steals/fallbacks  : " << telem.steals << " / "
+          << telem.inline_fallbacks << "\n";
+    }
+  }
 }
 
 int cmd_run(const std::vector<std::string>& args, std::ostream& out, bool analyze_only) {
@@ -277,6 +296,14 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out, bool analyz
   const Circuit logical = load_circuit(options);
   const DeviceModel dev = load_device(options, logical.num_qubits());
   const Circuit circuit = prepare_circuit(logical, dev, options, out);
+
+  if (!options.trace_out.empty()) {
+    if (!telemetry::compiled()) {
+      usage_error("--trace-out requires a build with RQSIM_TELEMETRY=ON");
+    }
+    telemetry::set_thread_lane("cli.main");
+    telemetry::start_tracing();
+  }
 
   NoisyRunResult result;
   if (analyze_only) {
@@ -302,6 +329,19 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out, bool analyz
     config.mode = parse_mode(options.mode);
     config.max_states = options.max_states;
     result = run_noisy(circuit, dev.noise, config);
+  }
+  if (!options.trace_out.empty()) {
+    telemetry::stop_tracing();
+    const long events = telemetry::export_trace(options.trace_out);
+    if (events < 0) {
+      throw Error("cli: cannot write trace file '" + options.trace_out + "'");
+    }
+    out << "trace written to " << options.trace_out << " (" << events
+        << " events";
+    if (telemetry::trace_dropped_events() > 0) {
+      out << ", " << telemetry::trace_dropped_events() << " dropped";
+    }
+    out << ")\n";
   }
   print_result(result, circuit.num_measured(), options, out);
   return 0;
@@ -575,6 +615,24 @@ int cmd_status(const std::vector<std::string>& args, std::ostream& out) {
   return 0;
 }
 
+// Live metrics snapshot from a running service, as one JSON line: the
+// service counters plus the full telemetry registry (protocol `stats` op).
+int cmd_stats(const std::vector<std::string>& args, std::ostream& out) {
+  const CliOptions options = parse_options(args, 2);
+  ServiceClient client = ServiceClient::connect(service_endpoint(options));
+  const Json response = client.request(Json::parse("{\"op\":\"stats\"}"));
+  if (!response.get_bool("ok", false)) {
+    remote_error(response);
+  }
+  Json snapshot = Json::object();
+  snapshot.set("stats", response.at("stats"));
+  if (response.has("telemetry")) {
+    snapshot.set("telemetry", response.at("telemetry"));
+  }
+  out << snapshot.dump() << "\n";
+  return 0;
+}
+
 int cmd_shutdown(const std::vector<std::string>& args, std::ostream& out) {
   const CliOptions options = parse_options(args, 2);
   ServiceClient client = ServiceClient::connect(service_endpoint(options));
@@ -601,6 +659,7 @@ void print_usage(std::ostream& out) {
          "  serve      run the simulation service (JSONL over a socket)\n"
          "  submit     send a job to a running service\n"
          "  status     poll (or --wait for) a job; without --job, service stats\n"
+         "  stats      metrics snapshot of a running service as one JSON line\n"
          "  shutdown   stop a running service\n"
          "  help       this text\n\n"
          "flags:\n"
@@ -621,6 +680,7 @@ void print_usage(std::ostream& out) {
          "  --top <k>             histogram rows to print (default 16)\n"
          "  --max-errors <k>      enumeration truncation order (default 2)\n"
          "  --csv <file>          write the outcome histogram as CSV\n"
+         "  --trace-out <file>    run: write a Chrome trace (Perfetto-loadable)\n"
          "  --no-transpile        skip routing (all-to-all connectivity)\n\n"
          "service flags:\n"
          "  --socket <path>       unix-domain socket endpoint\n"
@@ -673,6 +733,9 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
     }
     if (command == "status") {
       return cmd_status(args, out);
+    }
+    if (command == "stats") {
+      return cmd_stats(args, out);
     }
     if (command == "shutdown") {
       return cmd_shutdown(args, out);

@@ -5,8 +5,17 @@
 #include "common/error.hpp"
 #include "linalg/pauli.hpp"
 #include "sim/kernels.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace rqsim {
+
+namespace {
+// Mirrors every accumulation into SvRunResult::ops on this execution path,
+// so the runtime-measured total ("sim.matvec_ops", shared with the baseline
+// and tree executors by name) reconciles bitwise with the PlanVerifier
+// proof and the reported op counts.
+telemetry::Counter g_matvec_ops("sim.matvec_ops");
+}  // namespace
 
 // --------------------------------------------------------------------------
 // CountBackend
@@ -114,7 +123,9 @@ void SvBackend::on_advance(std::size_t depth, layer_index_t from_layer,
   } else {
     apply_layers(ctx_, stack_[depth], from_layer, to_layer);
   }
-  result_.ops += ctx_.ops_in_layers(from_layer, to_layer);
+  const opcount_t advanced = ctx_.ops_in_layers(from_layer, to_layer);
+  result_.ops += advanced;
+  g_matvec_ops.add(advanced);
   cached_probs_.reset();
   cached_expectations_.reset();
 }
@@ -132,6 +143,7 @@ void SvBackend::on_error(std::size_t depth, const ErrorEvent& event) {
   RQSIM_CHECK(depth == stack_.size() - 1, "SvBackend: error must target the top");
   apply_error_event(ctx_, stack_[depth], event);
   result_.ops += 1;
+  g_matvec_ops.increment();
   cached_probs_.reset();
   cached_expectations_.reset();
 }

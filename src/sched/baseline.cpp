@@ -3,10 +3,15 @@
 #include "common/error.hpp"
 #include "linalg/pauli.hpp"
 #include "sim/kernels.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace rqsim {
 
 namespace {
+
+// Same logical metric as the cached/tree executors (interned by name), so
+// baseline runs contribute to the one runtime op total.
+telemetry::Counter g_matvec_ops("sim.matvec_ops");
 
 void apply_one_event(const CircuitContext& ctx, StateVector& state,
                      const ErrorEvent& event) {
@@ -88,7 +93,10 @@ SvRunResult baseline_simulate(const CircuitContext& ctx, const std::vector<Trial
   for (std::size_t i = 0; i < trials.size(); ++i) {
     const Trial& trial = trials[i];
     StateVector state = simulate_trial(ctx, trial, fuse_gates ? &fusion : nullptr);
-    result.ops += ctx.total_gate_ops() + static_cast<opcount_t>(trial.num_errors());
+    const opcount_t trial_ops =
+        ctx.total_gate_ops() + static_cast<opcount_t>(trial.num_errors());
+    result.ops += trial_ops;
+    g_matvec_ops.add(trial_ops);
     if (!ctx.circuit.measured_qubits().empty()) {
       const auto probs = measurement_probabilities(state, ctx.circuit.measured_qubits());
       std::uint64_t outcome;

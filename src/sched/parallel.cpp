@@ -10,12 +10,19 @@
 #include "sched/order.hpp"
 #include "sched/tree.hpp"
 #include "sched/tree_exec.hpp"
+#include "telemetry/clock.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 #include "trial/generator.hpp"
 #include "verify/plan_verifier.hpp"
 
 namespace rqsim {
 
 namespace {
+
+// Read handle for the run_noisy_parallel measured-ops delta (same logical
+// metric the execution paths write; see sched/backend.cpp).
+telemetry::Counter g_matvec_ops("sim.matvec_ops");
 
 /// Legacy strategy: contiguous chunks of the reordered list, one
 /// independent sequential scheduler per chunk. Fills ops / fork_copies /
@@ -43,7 +50,13 @@ void run_chunked(const CircuitContext& ctx, const std::vector<Trial>& trials,
   }
 
   std::vector<SvRunResult> partials(workers);
+  std::vector<std::uint64_t> pool_reuses(workers, 0);
+  std::vector<std::uint64_t> pool_allocs(workers, 0);
   auto work = [&](std::size_t w) {
+    if (workers > 1) {
+      telemetry::set_thread_lane("chunked.worker-" + std::to_string(w));
+    }
+    RQSIM_SPAN("chunked.worker_run");
     // Outcome sampling draws from the per-trial seeds, so the worker Rng
     // never produces a consumed value.
     Rng unused(0);
@@ -51,6 +64,8 @@ void run_chunked(const CircuitContext& ctx, const std::vector<Trial>& trials,
                       &config.observables, config.fuse_gates,
                       /*use_trial_seeds=*/true);
     schedule_trials(ctx, chunks[w], backend, options);
+    pool_reuses[w] = backend.buffer_pool().reuse_count();
+    pool_allocs[w] = backend.buffer_pool().alloc_count();
     partials[w] = backend.take_result();
   };
 
@@ -67,6 +82,10 @@ void run_chunked(const CircuitContext& ctx, const std::vector<Trial>& trials,
     }
   }
 
+  for (std::size_t w = 0; w < workers; ++w) {
+    result.telemetry.pool_reuses += pool_reuses[w];
+    result.telemetry.pool_allocs += pool_allocs[w];
+  }
   for (const SvRunResult& partial : partials) {
     result.ops += partial.ops;
     result.fork_copies += partial.fork_copies;
@@ -98,6 +117,11 @@ void run_tree(const CircuitContext& ctx, const std::vector<Trial>& trials,
   result.histogram = sink.take_histogram();
   result.ops = stats.ops;
   result.fork_copies = stats.fork_copies;
+  result.telemetry.steals = stats.steals;
+  result.telemetry.inline_fallbacks = stats.inline_fallbacks;
+  result.telemetry.pool_reuses = stats.pool_reuses;
+  result.telemetry.pool_allocs = stats.pool_allocs;
+  result.telemetry.peak_live_states = stats.max_live_states;
   // Report the schedule's MSV — the deterministic bound admission control
   // enforces — rather than the timing-dependent transient peak.
   result.max_live_states = tree.peak_demand;
@@ -111,6 +135,10 @@ void run_tree(const CircuitContext& ctx, const std::vector<Trial>& trials,
 
 NoisyRunResult run_noisy_parallel(const Circuit& circuit, const NoiseModel& noise,
                                   const ParallelRunConfig& config) {
+  RQSIM_SPAN("runner.run_noisy_parallel");
+  const telemetry::Stopwatch stopwatch;
+  const bool measured = telemetry::compiled() && telemetry::enabled();
+  const std::uint64_t ops_before = measured ? g_matvec_ops.value() : 0;
   circuit.validate();
   RQSIM_CHECK(noise.num_qubits() >= circuit.num_qubits(),
               "run_noisy_parallel: noise model covers fewer qubits than the circuit");
@@ -160,6 +188,21 @@ NoisyRunResult run_noisy_parallel(const Circuit& circuit, const NoiseModel& nois
       result.baseline_ops == 0
           ? 1.0
           : static_cast<double>(result.ops) / static_cast<double>(result.baseline_ops);
+  result.telemetry.measured = measured;
+  if (measured) {
+    result.telemetry.measured_ops = g_matvec_ops.value() - ops_before;
+  }
+  result.telemetry.ops_saved_vs_baseline =
+      result.baseline_ops > result.ops ? result.baseline_ops - result.ops : 0;
+  result.telemetry.prefix_cache_hit_ratio =
+      result.baseline_ops == 0
+          ? 0.0
+          : static_cast<double>(result.telemetry.ops_saved_vs_baseline) /
+                static_cast<double>(result.baseline_ops);
+  if (result.telemetry.peak_live_states == 0) {
+    result.telemetry.peak_live_states = result.max_live_states;
+  }
+  result.telemetry.wall_ms = stopwatch.elapsed_ms();
   return result;
 }
 

@@ -7,6 +7,9 @@
 #include "sched/baseline.hpp"
 #include "sched/cached.hpp"
 #include "sched/order.hpp"
+#include "telemetry/clock.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 #include "trial/generator.hpp"
 #include "verify/plan_verifier.hpp"
 
@@ -27,6 +30,11 @@ void validate_run_limits(const NoisyRunConfig& config, const char* context) {
 
 namespace {
 
+// Read handle for the process-wide matvec-op total (written by the
+// baseline/cached/tree execution paths); run_noisy snapshots it around the
+// run so TelemetrySummary::measured_ops is this run's delta.
+telemetry::Counter g_matvec_ops("sim.matvec_ops");
+
 std::vector<Trial> make_trials(const Circuit& circuit, const CircuitContext& ctx,
                                const NoiseModel& noise, const NoisyRunConfig& config,
                                Rng& rng, const char* context) {
@@ -45,12 +53,23 @@ void fill_common(NoisyRunResult& result, const CircuitContext& ctx,
       result.baseline_ops == 0
           ? 1.0
           : static_cast<double>(result.ops) / static_cast<double>(result.baseline_ops);
+  result.telemetry.ops_saved_vs_baseline =
+      result.baseline_ops > result.ops ? result.baseline_ops - result.ops : 0;
+  result.telemetry.prefix_cache_hit_ratio =
+      result.baseline_ops == 0
+          ? 0.0
+          : static_cast<double>(result.telemetry.ops_saved_vs_baseline) /
+                static_cast<double>(result.baseline_ops);
 }
 
 }  // namespace
 
 NoisyRunResult run_noisy(const Circuit& circuit, const NoiseModel& noise,
                          const NoisyRunConfig& config) {
+  RQSIM_SPAN("runner.run_noisy");
+  const telemetry::Stopwatch stopwatch;
+  const bool measured = telemetry::compiled() && telemetry::enabled();
+  const std::uint64_t ops_before = measured ? g_matvec_ops.value() : 0;
   circuit.validate();
   CircuitContext ctx(circuit);
   Rng rng(config.seed);
@@ -64,6 +83,7 @@ NoisyRunResult run_noisy(const Circuit& circuit, const NoiseModel& noise,
   NoisyRunResult result;
   switch (config.mode) {
     case ExecutionMode::kBaseline: {
+      RQSIM_SPAN("runner.baseline_simulate");
       SvRunResult run = baseline_simulate(ctx, trials, rng, /*record_final_states=*/false,
                                           &config.observables, config.fuse_gates,
                                           /*use_trial_seeds=*/true);
@@ -75,6 +95,7 @@ NoisyRunResult run_noisy(const Circuit& circuit, const NoiseModel& noise,
       break;
     }
     case ExecutionMode::kCachedReordered: {
+      RQSIM_SPAN("runner.cached_schedule");
       reorder_trials(trials);
       SvBackend backend(ctx, rng, /*record_final_states=*/false, &config.observables,
                         config.fuse_gates, /*use_trial_seeds=*/true);
@@ -84,6 +105,8 @@ NoisyRunResult run_noisy(const Circuit& circuit, const NoiseModel& noise,
         verify_schedule_or_throw(ctx, trials, options, "run_noisy");
       }
       schedule_trials(ctx, trials, backend, options);
+      result.telemetry.pool_reuses = backend.buffer_pool().reuse_count();
+      result.telemetry.pool_allocs = backend.buffer_pool().alloc_count();
       SvRunResult run = backend.take_result();
       result.histogram = std::move(run.histogram);
       result.ops = run.ops;
@@ -101,6 +124,12 @@ NoisyRunResult run_noisy(const Circuit& circuit, const NoiseModel& noise,
     mean /= static_cast<double>(std::max<std::size_t>(1, trials.size()));
   }
   fill_common(result, ctx, trials);
+  result.telemetry.measured = measured;
+  if (measured) {
+    result.telemetry.measured_ops = g_matvec_ops.value() - ops_before;
+  }
+  result.telemetry.peak_live_states = result.max_live_states;
+  result.telemetry.wall_ms = stopwatch.elapsed_ms();
   return result;
 }
 

@@ -98,6 +98,43 @@ struct NoisyRunConfig {
 /// `context` names the caller in the error message.
 void validate_run_limits(const NoisyRunConfig& config, const char* context);
 
+/// Runtime-measured execution summary (src/telemetry/). The op-derived
+/// fields (ops_saved_vs_baseline, prefix_cache_hit_ratio) and wall_ms are
+/// always filled; the counter-backed fields (measured_ops and the
+/// scheduling/pool counters) are meaningful only when `measured` is true —
+/// i.e. the telemetry registry was compiled in and enabled for the run.
+struct TelemetrySummary {
+  bool measured = false;
+
+  /// Delta of the "sim.matvec_ops" registry counter across this run. When
+  /// measured (and no concurrent run shares the process), this equals
+  /// NoisyRunResult::ops bitwise — the runtime cross-check of the
+  /// PlanVerifier's static op-count proof.
+  opcount_t measured_ops = 0;
+
+  /// baseline_ops - ops: work the prefix cache eliminated.
+  opcount_t ops_saved_vs_baseline = 0;
+
+  /// ops_saved_vs_baseline / baseline_ops — the fraction of baseline work
+  /// served from cached prefixes (1 - normalized_computation).
+  double prefix_cache_hit_ratio = 0.0;
+
+  /// Wallclock of the execution phase (trial generation + scheduling +
+  /// simulation), telemetry clock.
+  double wall_ms = 0.0;
+
+  /// Tree-executor scheduling dynamics (parallel tree runs; zero elsewhere).
+  std::uint64_t steals = 0;
+  std::uint64_t inline_fallbacks = 0;
+
+  /// Checkpoint buffer-pool effectiveness for this run's pool.
+  std::uint64_t pool_reuses = 0;
+  std::uint64_t pool_allocs = 0;
+
+  /// Peak concurrently live statevectors actually observed at run time.
+  std::size_t peak_live_states = 0;
+};
+
 struct NoisyRunResult {
   /// Sampled outcome histogram (empty for analyze_noisy or unmeasured circuits).
   OutcomeHistogram histogram;
@@ -131,6 +168,9 @@ struct NoisyRunResult {
 
   /// Noisy expectation value of each requested observable.
   std::vector<double> observable_means;
+
+  /// Runtime-measured counters for this run (see TelemetrySummary).
+  TelemetrySummary telemetry;
 };
 
 /// Statevector execution. The circuit must be decomposed to 1-/2-qubit

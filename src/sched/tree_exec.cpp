@@ -18,6 +18,8 @@
 #include "sched/backend.hpp"
 #include "sim/buffer_pool.hpp"
 #include "sim/kernels.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace rqsim {
 
@@ -26,6 +28,16 @@ namespace {
 /// Free buffers retained across the run (same default the single-threaded
 /// SvBackend pool uses).
 constexpr std::size_t kMaxPooledBuffers = 64;
+
+// "sim.matvec_ops" mirrors the per-worker ops accumulation (same logical
+// metric as SvBackend/baseline, interned by name) so the runtime total
+// reconciles bitwise with TreeExecStats::ops and the PlanVerifier proof.
+telemetry::Counter g_matvec_ops("sim.matvec_ops");
+telemetry::Counter g_steals("tree_exec.steals");
+telemetry::Counter g_inline_fallbacks("tree_exec.inline_fallbacks");
+telemetry::Counter g_forks("tree_exec.forks");
+telemetry::Counter g_tasks("tree_exec.tasks");
+telemetry::Histogram g_worker_ops("tree_exec.worker_ops");
 
 struct Task {
   std::size_t node = 0;
@@ -57,6 +69,7 @@ class TreeExecutor {
   }
 
   TreeExecStats run() {
+    RQSIM_SPAN("tree_exec.run");
     TreeExecStats stats;
     if (tree_.nodes.empty()) {
       return stats;
@@ -110,7 +123,12 @@ class TreeExecutor {
     for (const Worker& w : workers_) {
       stats.ops += w.ops;
       stats.fork_copies += w.fork_copies;
+      stats.steals += w.steals;
+      stats.inline_fallbacks += w.inline_fallbacks;
+      g_worker_ops.record(w.ops);
     }
+    g_matvec_ops.add(stats.ops);
+    g_forks.add(stats.fork_copies);
     stats.max_live_states = max_live_.load(std::memory_order_relaxed);
     stats.pool_reuses = pool_.reuse_count();
     stats.pool_allocs = pool_.alloc_count();
@@ -124,6 +142,8 @@ class TreeExecutor {
     std::unique_ptr<FusionCache> fusion;
     opcount_t ops = 0;
     std::uint64_t fork_copies = 0;
+    std::uint64_t steals = 0;
+    std::uint64_t inline_fallbacks = 0;
   };
 
   // ---- live-state accounting -------------------------------------------
@@ -143,6 +163,7 @@ class TreeExecutor {
   }
 
   StateVector fork_buffer(std::size_t w, const StateVector& src) {
+    telemetry::trace_instant("tree_exec.fork");
     StateVector copy = pool_.acquire_copy(src, w);
     note_acquire();
     workers_[w].fork_copies += 1;
@@ -153,6 +174,7 @@ class TreeExecutor {
     if (state.dim() == 0) {
       return;
     }
+    telemetry::trace_instant("tree_exec.drop");
     pool_.release(std::move(state), w);
     live_.fetch_sub(1, std::memory_order_acq_rel);
   }
@@ -171,6 +193,18 @@ class TreeExecutor {
 
   void release_tokens(std::size_t tokens) {
     tokens_left_.fetch_add(tokens, std::memory_order_acq_rel);
+  }
+
+  // MSV token occupancy timeline: sampled after every reserve/release so
+  // the exported trace carries a stepped reserved-tokens track. The load is
+  // racy by design — the track is an observation, not an invariant.
+  void note_token_occupancy() {
+    if (!telemetry::tracing_active()) {
+      return;
+    }
+    const std::size_t left = tokens_left_.load(std::memory_order_relaxed);
+    telemetry::trace_counter("tree_exec.msv_tokens_reserved",
+                             effective_budget_ - left);
   }
 
   // ---- scheduling -------------------------------------------------------
@@ -194,6 +228,9 @@ class TreeExecutor {
         // of work; stealing coarse keeps steals rare.
         out = std::move(victim.deque.front());
         victim.deque.pop_front();
+        workers_[thief].steals += 1;
+        g_steals.increment();
+        telemetry::trace_instant("tree_exec.steal");
         return true;
       }
     }
@@ -201,6 +238,11 @@ class TreeExecutor {
   }
 
   void worker_loop(std::size_t w) {
+    if (num_workers_ > 1) {
+      // Dedicated pool threads get their own trace lane; the 1-thread path
+      // runs on the caller's thread and keeps its lane.
+      telemetry::set_thread_lane("tree_exec.worker-" + std::to_string(w));
+    }
     Task task;
     for (;;) {
       if (pop_local(w, task) || steal(w, task)) {
@@ -218,6 +260,8 @@ class TreeExecutor {
   }
 
   void run_task(std::size_t w, Task& task) {
+    RQSIM_SPAN("tree_exec.task");
+    g_tasks.increment();
     try {
       if (abort_.load(std::memory_order_relaxed)) {
         release_buffer(w, std::move(task.buffer));
@@ -238,6 +282,7 @@ class TreeExecutor {
     }
     if (task.reserved != 0) {
       release_tokens(task.reserved);
+      note_token_occupancy();
     }
     if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       idle_cv_.notify_all();
@@ -248,6 +293,7 @@ class TreeExecutor {
     if (num_workers_ > 1) {
       const std::size_t peak = tree_.nodes[child].peak_demand;
       if (try_reserve(peak)) {
+        note_token_occupancy();
         outstanding_.fetch_add(1, std::memory_order_acq_rel);
         {
           Task task;
@@ -260,6 +306,11 @@ class TreeExecutor {
         idle_cv_.notify_one();
         return;
       }
+      // Reservation failed: the MSV budget is exhausted, so the subtree
+      // runs inline instead of spawning (see below).
+      workers_[w].inline_fallbacks += 1;
+      g_inline_fallbacks.increment();
+      telemetry::trace_instant("tree_exec.inline_fallback");
     }
     // Inline under the parent's reservation: a parent's peak is
     // 1 + max(children peaks), so its slack always covers one child

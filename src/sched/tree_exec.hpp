@@ -90,6 +90,12 @@ struct TreeExecStats {
   /// Buffer-pool effectiveness across the run.
   std::uint64_t pool_reuses = 0;
   std::uint64_t pool_allocs = 0;
+
+  /// Scheduling dynamics: successful steals (a task moved to an idle
+  /// worker) and MSV-token reservation failures that fell back to inline
+  /// execution on the parent's thread.
+  std::uint64_t steals = 0;
+  std::uint64_t inline_fallbacks = 0;
 };
 
 /// Execute `tree` over `trials` with `config.num_threads` workers, feeding

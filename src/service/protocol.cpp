@@ -88,6 +88,26 @@ Json make_submit_request(const WorkloadSpec& workload, const SubmitParams& param
   return request;
 }
 
+Json metrics_snapshot_to_json(const telemetry::MetricsSnapshot& snapshot) {
+  Json json = Json::object();
+  for (const telemetry::MetricValue& metric : snapshot.metrics) {
+    if (metric.kind == telemetry::MetricKind::kHistogram) {
+      Json hist = Json::object();
+      hist.set("count", Json(metric.count));
+      hist.set("sum", Json(metric.sum));
+      Json buckets = Json::array();
+      for (const std::uint64_t bucket : metric.buckets) {
+        buckets.push_back(Json(bucket));
+      }
+      hist.set("buckets", std::move(buckets));
+      json.set(metric.name, std::move(hist));
+    } else {
+      json.set(metric.name, Json(metric.value));
+    }
+  }
+  return json;
+}
+
 Json job_result_to_json(const JobResult& result, std::size_t num_measured) {
   Json json = Json::object();
   json.set("ops", Json(result.run.ops));
@@ -100,6 +120,21 @@ Json job_result_to_json(const JobResult& result, std::size_t num_measured) {
   json.set("batch_size", Json(result.batch_size));
   json.set("batch_ops", Json(result.batch_ops));
   json.set("solo_ops", Json(result.solo_ops));
+  {
+    const TelemetrySummary& telem = result.run.telemetry;
+    Json summary = Json::object();
+    summary.set("measured", Json(telem.measured));
+    summary.set("measured_ops", Json(telem.measured_ops));
+    summary.set("ops_saved_vs_baseline", Json(telem.ops_saved_vs_baseline));
+    summary.set("prefix_cache_hit_ratio", Json(telem.prefix_cache_hit_ratio));
+    summary.set("wall_ms", Json(telem.wall_ms));
+    summary.set("steals", Json(telem.steals));
+    summary.set("inline_fallbacks", Json(telem.inline_fallbacks));
+    summary.set("pool_reuses", Json(telem.pool_reuses));
+    summary.set("pool_allocs", Json(telem.pool_allocs));
+    summary.set("peak_live_states", Json(telem.peak_live_states));
+    json.set("telemetry", std::move(summary));
+  }
   if (!result.run.histogram.empty()) {
     Json histogram = Json::object();
     for (const auto& [outcome, count] : result.run.histogram) {
@@ -175,6 +210,10 @@ Json ProtocolHandler::handle(const Json& request) {
       Json response = Json::object();
       response.set("ok", Json(true));
       response.set("stats", std::move(body));
+      // Full process-wide metrics snapshot (empty object when telemetry is
+      // compiled out or disabled): registry counters, gauges, histograms.
+      response.set("telemetry",
+                   metrics_snapshot_to_json(telemetry::snapshot_metrics()));
       return response;
     }
     if (op == "shutdown") {

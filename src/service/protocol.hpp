@@ -32,6 +32,7 @@
 #include "service/json.hpp"
 #include "service/service.hpp"
 #include "service/workload.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace rqsim {
 
@@ -56,6 +57,11 @@ Json make_submit_request(const WorkloadSpec& workload, const SubmitParams& param
 /// Serialize a terminal job result. `num_measured` formats histogram keys
 /// as bitstrings (0 = no histogram expected).
 Json job_result_to_json(const JobResult& result, std::size_t num_measured);
+
+/// Serialize a metrics snapshot: counters and gauges become numbers,
+/// histograms become {count, sum, buckets}. Used by the `stats` protocol
+/// response and the `rqsim stats` CLI verb.
+Json metrics_snapshot_to_json(const telemetry::MetricsSnapshot& snapshot);
 
 class ProtocolHandler {
  public:

@@ -5,14 +5,30 @@
 #include "common/error.hpp"
 #include "sched/parallel.hpp"
 #include "service/batch.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace rqsim {
 
 namespace {
 
-double elapsed_ms(std::chrono::steady_clock::time_point from,
-                  std::chrono::steady_clock::time_point to) {
-  return std::chrono::duration<double, std::milli>(to - from).count();
+using telemetry::clock_now;
+using telemetry::ms_between;
+
+// Queue/latency metrics. The histograms are log-scale over microseconds —
+// enough resolution to separate "served from cache in µs" from "waited out
+// a deep queue in seconds" without per-bucket configuration.
+telemetry::Counter g_submitted("service.jobs_submitted");
+telemetry::Counter g_rejected("service.jobs_rejected");
+telemetry::Counter g_completed("service.jobs_completed");
+telemetry::Counter g_failed("service.jobs_failed");
+telemetry::Histogram g_queue_depth("service.queue_depth");
+telemetry::Histogram g_queue_us("service.job_queue_us");
+telemetry::Histogram g_exec_us("service.job_exec_us");
+telemetry::Histogram g_batch_jobs("service.batch_jobs");
+
+std::uint64_t to_us(double ms) {
+  return ms <= 0.0 ? 0 : static_cast<std::uint64_t>(ms * 1000.0);
 }
 
 }  // namespace
@@ -67,12 +83,14 @@ SubmitOutcome SimService::try_submit(JobSpec spec) {
   }
   if (!invalid.empty()) {
     ++stats_.rejected;
+    g_rejected.increment();
     outcome.status = SubmitStatus::kInvalid;
     outcome.error = std::move(invalid);
     return outcome;
   }
   if (queue_.size() >= config_.queue_capacity) {
     ++stats_.rejected;
+    g_rejected.increment();
     outcome.status = SubmitStatus::kQueueFull;
     outcome.error = "queue full (capacity " + std::to_string(config_.queue_capacity) +
                     "); retry later";
@@ -83,10 +101,12 @@ SubmitOutcome SimService::try_submit(JobSpec spec) {
   job.id = id;
   job.fingerprint = batch_fingerprint(spec);
   job.spec = std::move(spec);
-  job.submitted_at = std::chrono::steady_clock::now();
+  job.submitted_at = clock_now();
   job.result.job_id = id;
   queue_.push_back(id);
   ++stats_.submitted;
+  g_submitted.increment();
+  g_queue_depth.record(queue_.size());
   outcome.job_id = id;
   work_cv_.notify_one();
   return outcome;
@@ -146,8 +166,7 @@ bool SimService::cancel(std::uint64_t job_id) {
   queue_.erase(queue_it);
   it->second.state = JobState::kCancelled;
   it->second.result.state = JobState::kCancelled;
-  it->second.result.queue_ms =
-      elapsed_ms(it->second.submitted_at, std::chrono::steady_clock::now());
+  it->second.result.queue_ms = ms_between(it->second.submitted_at, clock_now());
   ++stats_.cancelled;
   done_cv_.notify_all();
   return true;
@@ -203,7 +222,7 @@ std::vector<SimService::Job*> SimService::claim_batch_locked() {
       }
     }
   }
-  const auto now = std::chrono::steady_clock::now();
+  const auto now = clock_now();
   for (Job* job : group) {
     job->state = JobState::kRunning;
     job->started_at = now;
@@ -212,6 +231,8 @@ std::vector<SimService::Job*> SimService::claim_batch_locked() {
 }
 
 void SimService::execute_batch_group(const std::vector<Job*>& group) {
+  RQSIM_SPAN("service.execute_batch");
+  g_batch_jobs.record(group.size());
   // Runs without the lock: specs are immutable once queued and the jobs are
   // in kRunning, which no other path mutates.
   std::vector<NoisyRunResult> runs;
@@ -254,12 +275,14 @@ void SimService::execute_batch_group(const std::vector<Job*>& group) {
     error = e.what();
   }
 
-  const auto finished = std::chrono::steady_clock::now();
+  const auto finished = clock_now();
   std::lock_guard<std::mutex> lock(mu_);
   for (std::size_t j = 0; j < group.size(); ++j) {
     Job& job = *group[j];
-    job.result.queue_ms = elapsed_ms(job.submitted_at, job.started_at);
-    job.result.exec_ms = elapsed_ms(job.started_at, finished);
+    job.result.queue_ms = ms_between(job.submitted_at, job.started_at);
+    job.result.exec_ms = ms_between(job.started_at, finished);
+    g_queue_us.record(to_us(job.result.queue_ms));
+    g_exec_us.record(to_us(job.result.exec_ms));
     job.result.batch_size = group.size();
     if (error.empty()) {
       job.state = JobState::kDone;
@@ -268,11 +291,13 @@ void SimService::execute_batch_group(const std::vector<Job*>& group) {
       job.result.batch_ops = batch_ops;
       job.result.solo_ops = solo_ops[j];
       ++stats_.completed;
+      g_completed.increment();
     } else {
       job.state = JobState::kFailed;
       job.result.state = JobState::kFailed;
       job.result.error = error;
       ++stats_.failed;
+      g_failed.increment();
     }
   }
   if (error.empty() && group.size() > 1) {
@@ -287,6 +312,7 @@ void SimService::execute_batch_group(const std::vector<Job*>& group) {
 }
 
 void SimService::worker_loop() {
+  telemetry::set_thread_lane("service.worker");
   while (true) {
     std::vector<Job*> group;
     {

@@ -16,7 +16,6 @@
 // embeddings use this for deterministic scheduling.
 #pragma once
 
-#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -28,6 +27,7 @@
 #include <vector>
 
 #include "service/job.hpp"
+#include "telemetry/clock.hpp"
 
 namespace rqsim {
 
@@ -123,8 +123,8 @@ class SimService {
     JobSpec spec;
     JobState state = JobState::kQueued;
     std::uint64_t fingerprint = 0;
-    std::chrono::steady_clock::time_point submitted_at;
-    std::chrono::steady_clock::time_point started_at;
+    telemetry::TimePoint submitted_at;
+    telemetry::TimePoint started_at;
     JobResult result;
   };
 

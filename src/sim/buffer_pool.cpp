@@ -3,8 +3,22 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace rqsim {
+
+namespace {
+// Pool traffic split by path: shard hits are the lock-free fast path,
+// global hits paid one mutex, fresh allocs paged in new memory. The gauges
+// track the most buffers ever parked in one shard / the overflow list.
+telemetry::Counter g_acquires("buffer_pool.acquires");
+telemetry::Counter g_shard_hits("buffer_pool.shard_hits");
+telemetry::Counter g_global_hits("buffer_pool.global_hits");
+telemetry::Counter g_fresh_allocs("buffer_pool.fresh_allocs");
+telemetry::Counter g_releases("buffer_pool.releases");
+telemetry::MaxGauge g_shard_high_water("buffer_pool.shard_high_water");
+telemetry::MaxGauge g_global_high_water("buffer_pool.global_high_water");
+}  // namespace
 
 StateBufferPool::StateBufferPool(std::size_t max_pooled, std::size_t num_shards)
     : max_pooled_(max_pooled),
@@ -14,12 +28,14 @@ StateBufferPool::StateBufferPool(std::size_t max_pooled, std::size_t num_shards)
 
 StateVector StateBufferPool::acquire_copy(const StateVector& src, std::size_t shard) {
   RQSIM_CHECK(shard < shards_.size(), "StateBufferPool: shard index out of range");
+  g_acquires.increment();
   std::vector<std::vector<cplx>>& local = shards_[shard].free;
   if (!local.empty()) {
     // Hot path: owner-thread shard list, no synchronization of any kind.
     std::vector<cplx> buffer = std::move(local.back());
     local.pop_back();
     reuses_.fetch_add(1, std::memory_order_relaxed);
+    g_shard_hits.increment();
     // Vector assignment reuses the existing allocation when capacity
     // suffices (checkpoints of one run are all the same size).
     buffer = src.amplitudes();
@@ -31,11 +47,13 @@ StateVector StateBufferPool::acquire_copy(const StateVector& src, std::size_t sh
       std::vector<cplx> buffer = std::move(global_free_.back());
       global_free_.pop_back();
       reuses_.fetch_add(1, std::memory_order_relaxed);
+      g_global_hits.increment();
       buffer = src.amplitudes();
       return StateVector::from_buffer(src.num_qubits(), std::move(buffer));
     }
   }
   allocs_.fetch_add(1, std::memory_order_relaxed);
+  g_fresh_allocs.increment();
   return StateVector::from_buffer(src.num_qubits(), src.amplitudes());
 }
 
@@ -44,9 +62,11 @@ void StateBufferPool::release(StateVector&& state, std::size_t shard) {
   if (state.dim() == 0) {
     return;
   }
+  g_releases.increment();
   std::vector<std::vector<cplx>>& local = shards_[shard].free;
   if (local.size() < per_shard_cap_) {
     local.push_back(state.take_buffer());
+    g_shard_high_water.record(local.size());
     return;
   }
   std::lock_guard<std::mutex> lock(global_mutex_);
@@ -56,6 +76,7 @@ void StateBufferPool::release(StateVector&& state, std::size_t shard) {
   if (shard_budget < max_pooled_ &&
       global_free_.size() < max_pooled_ - shard_budget) {
     global_free_.push_back(state.take_buffer());
+    g_global_high_water.record(global_free_.size());
   }
 }
 

@@ -3,10 +3,63 @@
 #include "common/bits.hpp"
 #include "common/error.hpp"
 #include "sim/kernel_engine.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace rqsim {
 
 namespace {
+
+// Per-gate-class dispatch counters ("kernel.ops_<class>"): which kernel
+// families dominate a workload. Counted once per dispatch, independent of
+// register size, so a profile separates "many cheap phase gates" from "few
+// expensive generic mat2 applications".
+void count_gate_dispatch(GateKind kind) {
+  static telemetry::Counter pauli1q("kernel.ops_pauli1q");
+  static telemetry::Counter h1q("kernel.ops_h");
+  static telemetry::Counter phase1q("kernel.ops_phase1q");
+  static telemetry::Counter mat2("kernel.ops_mat2");
+  static telemetry::Counter cx("kernel.ops_cx");
+  static telemetry::Counter diag2q("kernel.ops_diag2q");
+  static telemetry::Counter swap2q("kernel.ops_swap");
+  static telemetry::Counter ccx("kernel.ops_ccx");
+  switch (kind) {
+    case GateKind::X:
+    case GateKind::Y:
+    case GateKind::Z:
+      pauli1q.increment();
+      return;
+    case GateKind::H:
+      h1q.increment();
+      return;
+    case GateKind::S:
+    case GateKind::Sdg:
+    case GateKind::T:
+    case GateKind::Tdg:
+    case GateKind::P:
+      phase1q.increment();
+      return;
+    case GateKind::RX:
+    case GateKind::RY:
+    case GateKind::RZ:
+    case GateKind::U2:
+    case GateKind::U3:
+      mat2.increment();
+      return;
+    case GateKind::CX:
+      cx.increment();
+      return;
+    case GateKind::CZ:
+    case GateKind::CP:
+      diag2q.increment();
+      return;
+    case GateKind::SWAP:
+      swap2q.increment();
+      return;
+    case GateKind::CCX:
+      ccx.increment();
+      return;
+  }
+}
 
 // The kernels operate on the amplitude array as interleaved doubles
 // (re, im, re, im, …) with hand-expanded complex arithmetic: std::complex
@@ -298,6 +351,7 @@ void apply_gate(StateVector& state, const Gate& gate) {
   static const cplx kSdgPhase(0.0, -1.0);
   static const cplx kTPhase = std::exp(cplx(0.0, kPi / 4.0));
   static const cplx kTdgPhase = std::exp(cplx(0.0, -kPi / 4.0));
+  count_gate_dispatch(gate.kind);
   switch (gate.kind) {
     case GateKind::X:
       apply_x(state, gate.qubits[0]);
@@ -354,15 +408,19 @@ void apply_gate(StateVector& state, const Gate& gate) {
 }
 
 void apply_fused(StateVector& state, const FusedProgram& program) {
+  static telemetry::Counter fused_mat2("kernel.ops_fused_mat2");
+  static telemetry::Counter fused_mat4("kernel.ops_fused_mat4");
   for (const FusedOp& op : program.ops) {
     switch (op.kind) {
       case FusedOp::Kind::kGate:
         apply_gate(state, op.gate);
         break;
       case FusedOp::Kind::kMat2:
+        fused_mat2.increment();
         apply_mat2(state, op.m2, op.q_lo);
         break;
       case FusedOp::Kind::kMat4:
+        fused_mat4.increment();
         apply_mat4(state, op.m4, op.q_hi, op.q_lo);
         break;
     }

@@ -1,0 +1,46 @@
+#pragma once
+
+// The project's single sanctioned home for monotonic wallclock timing.
+// Source rule 4 (scripts/check_source_rules.sh) bans std::chrono::steady_clock
+// and high_resolution_clock everywhere outside src/telemetry/ and src/common/,
+// so every layer that needs "how long did this take" goes through these
+// helpers (or through trace spans, which use the same clock). That keeps one
+// clock domain across metrics, traces and service latencies — mixing clocks
+// is how cross-subsystem timelines stop lining up.
+//
+// These helpers are always available, independent of the RQSIM_TELEMETRY
+// compile switch: timing a run is core functionality, recording it into the
+// registry is the optional part.
+
+#include <chrono>
+#include <cstdint>
+
+namespace rqsim::telemetry {
+
+using TimePoint = std::chrono::steady_clock::time_point;
+
+inline TimePoint clock_now() { return std::chrono::steady_clock::now(); }
+
+inline double ms_between(TimePoint from, TimePoint to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+/// Monotonic nanoseconds since an arbitrary epoch; trace timestamps use this.
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          clock_now().time_since_epoch())
+          .count());
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock_now()) {}
+  void reset() { start_ = clock_now(); }
+  double elapsed_ms() const { return ms_between(start_, clock_now()); }
+
+ private:
+  TimePoint start_;
+};
+
+}  // namespace rqsim::telemetry

@@ -1,0 +1,264 @@
+#include "telemetry/trace.hpp"
+
+#if !defined(RQSIM_TELEMETRY_OFF)
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "telemetry/clock.hpp"
+
+namespace rqsim::telemetry {
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  std::uint64_t ts_ns;
+  std::uint64_t value;  // 'C' events only
+  char phase;           // 'B', 'E', 'i', 'C'
+};
+
+struct TraceBuffer {
+  std::vector<TraceEvent> events;
+  std::string lane_name;
+  int tid = 0;
+  std::size_t open_spans = 0;  // admitted Bs awaiting their E
+  std::uint64_t dropped = 0;
+  bool retired = false;  // owning thread exited; safe to free on restart
+
+  explicit TraceBuffer(int id) : tid(id) { events.reserve(kMaxEventsPerThread); }
+
+  // Admission keeps one slot in reserve for every open span so an admitted
+  // B is always guaranteed its balancing E, even at the capacity cliff.
+  bool has_room() const {
+    return events.size() + open_spans < kMaxEventsPerThread;
+  }
+};
+
+struct TraceRegistry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<TraceBuffer>> buffers;
+  std::atomic<bool> active{false};
+  std::uint64_t epoch_ns = 0;
+  int next_tid = 1;
+};
+
+// Leaked for the same teardown-ordering reason as the metrics registry.
+TraceRegistry& trace_registry() {
+  static TraceRegistry* r = new TraceRegistry();
+  return *r;
+}
+
+struct BufferOwner {
+  TraceBuffer* buffer;
+
+  BufferOwner() {
+    TraceRegistry& r = trace_registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto owned = std::make_unique<TraceBuffer>(r.next_tid++);
+    buffer = owned.get();
+    r.buffers.push_back(std::move(owned));
+  }
+
+  ~BufferOwner() {
+    // The registry keeps the events for export; just mark the buffer as no
+    // longer owner-written so the next start_tracing may free it.
+    TraceRegistry& r = trace_registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    buffer->retired = true;
+  }
+};
+
+TraceBuffer& local_buffer() {
+  thread_local BufferOwner owner;
+  return *owner.buffer;
+}
+
+void append(char phase, const char* name, std::uint64_t value) {
+  TraceBuffer& buf = local_buffer();
+  if (!buf.has_room()) {
+    ++buf.dropped;
+    return;
+  }
+  buf.events.push_back(TraceEvent{name, now_ns(), value, phase});
+}
+
+void json_escape_into(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof hex, "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void start_tracing() {
+  TraceRegistry& r = trace_registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  // Free buffers whose threads are gone; reset the rest in place (their
+  // owners hold stable pointers).
+  r.buffers.erase(std::remove_if(r.buffers.begin(), r.buffers.end(),
+                                 [](const std::unique_ptr<TraceBuffer>& b) {
+                                   return b->retired;
+                                 }),
+                  r.buffers.end());
+  for (auto& buf : r.buffers) {
+    buf->events.clear();
+    buf->open_spans = 0;
+    buf->dropped = 0;
+  }
+  r.epoch_ns = now_ns();
+  r.active.store(true, std::memory_order_release);
+}
+
+void stop_tracing() {
+  trace_registry().active.store(false, std::memory_order_release);
+}
+
+bool tracing_active() {
+  return trace_registry().active.load(std::memory_order_acquire);
+}
+
+void set_thread_lane(const std::string& name) {
+  TraceBuffer& buf = local_buffer();
+  TraceRegistry& r = trace_registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  buf.lane_name = name;
+}
+
+void trace_instant(const char* name) {
+  if (!tracing_active()) return;
+  append('i', name, 0);
+}
+
+void trace_counter(const char* name, std::uint64_t value) {
+  if (!tracing_active()) return;
+  append('C', name, value);
+}
+
+TraceSpan::TraceSpan(const char* name) : name_(name), recorded_(false) {
+  if (!tracing_active()) return;
+  TraceBuffer& buf = local_buffer();
+  if (!buf.has_room()) {
+    ++buf.dropped;
+    return;
+  }
+  buf.events.push_back(TraceEvent{name, now_ns(), 0, 'B'});
+  ++buf.open_spans;
+  recorded_ = true;
+}
+
+TraceSpan::~TraceSpan() {
+  if (!recorded_) return;
+  // The matching E slot was reserved at admission; record it even if
+  // tracing was stopped mid-span so the export stays balanced.
+  TraceBuffer& buf = local_buffer();
+  buf.events.push_back(TraceEvent{name_, now_ns(), 0, 'E'});
+  --buf.open_spans;
+}
+
+std::string trace_to_json() {
+  TraceRegistry& r = trace_registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::string out;
+  out.reserve(1u << 16);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out +=
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"rqsim\"}}";
+  char line[256];
+  for (const auto& buf : r.buffers) {
+    std::string lane = buf->lane_name;
+    if (lane.empty()) lane = "thread-" + std::to_string(buf->tid);
+    out += ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(buf->tid);
+    out += ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    json_escape_into(out, lane);
+    out += "\"}}";
+    out += ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(buf->tid);
+    out += ",\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":";
+    out += std::to_string(buf->tid);
+    out += "}}";
+    for (const TraceEvent& ev : buf->events) {
+      // Timestamps are microseconds in this format; keep ns resolution with
+      // three decimals. Events recorded before start_tracing's epoch (stale
+      // lanes) clamp to 0.
+      const std::uint64_t rel =
+          ev.ts_ns > r.epoch_ns ? ev.ts_ns - r.epoch_ns : 0;
+      const unsigned long long us = rel / 1000;
+      const unsigned frac = static_cast<unsigned>(rel % 1000);
+      switch (ev.phase) {
+        case 'B':
+        case 'E':
+          std::snprintf(line, sizeof line,
+                        ",\n{\"ph\":\"%c\",\"pid\":1,\"tid\":%d,"
+                        "\"ts\":%llu.%03u,\"name\":\"%s\"}",
+                        ev.phase, buf->tid, us, frac, ev.name);
+          break;
+        case 'i':
+          std::snprintf(line, sizeof line,
+                        ",\n{\"ph\":\"i\",\"pid\":1,\"tid\":%d,"
+                        "\"ts\":%llu.%03u,\"s\":\"t\",\"name\":\"%s\"}",
+                        buf->tid, us, frac, ev.name);
+          break;
+        case 'C':
+          std::snprintf(line, sizeof line,
+                        ",\n{\"ph\":\"C\",\"pid\":1,\"tid\":%d,"
+                        "\"ts\":%llu.%03u,\"name\":\"%s\","
+                        "\"args\":{\"value\":%llu}}",
+                        buf->tid, us, frac, ev.name,
+                        static_cast<unsigned long long>(ev.value));
+          break;
+        default:
+          continue;
+      }
+      out += line;
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+long export_trace(const std::string& path) {
+  const std::string json = trace_to_json();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return -1;
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == json.size();
+  if (!ok) return -1;
+  TraceRegistry& r = trace_registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  long events = 0;
+  for (const auto& buf : r.buffers) {
+    events += static_cast<long>(buf->events.size());
+  }
+  return events;
+}
+
+std::uint64_t trace_dropped_events() {
+  TraceRegistry& r = trace_registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::uint64_t total = 0;
+  for (const auto& buf : r.buffers) total += buf->dropped;
+  return total;
+}
+
+}  // namespace rqsim::telemetry
+
+#endif  // !RQSIM_TELEMETRY_OFF

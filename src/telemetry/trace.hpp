@@ -1,0 +1,108 @@
+#pragma once
+
+// Scoped-span tracing with Chrome trace-event export.
+//
+// Each recording thread appends fixed-size events (name pointer, timestamp,
+// phase) to a private pre-reserved buffer — no lock, no allocation on the
+// record path. `RQSIM_SPAN("layer.what")` opens a RAII span (B event at
+// construction, E at destruction); `trace_instant` marks point events
+// (checkpoint fork/drop, steals); `trace_counter` records a value timeline
+// (MSV token occupancy). Buffers cap at kMaxEventsPerThread; overflow drops
+// new events but never unbalances B/E (a span whose B was dropped skips its
+// E, and admission always reserves room for the Es of already-open spans).
+//
+// Export (`export_trace`) writes the Chrome trace-event JSON array format —
+// loadable in Perfetto / chrome://tracing — with one lane per thread
+// (set_thread_lane names worker lanes) and timestamps relative to
+// start_tracing. Export expects quiescence: call it after worker threads
+// have joined or stopped recording.
+//
+// Span names are static string literals of the form "<layer>.<operation>"
+// (e.g. "tree_exec.task", "service.execute_batch"); the buffer stores the
+// pointer, not a copy.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace rqsim::telemetry {
+
+inline constexpr std::size_t kMaxEventsPerThread = 1u << 16;
+
+#if !defined(RQSIM_TELEMETRY_OFF)
+
+/// Begin a fresh trace: clears previously collected events, sets the time
+/// origin, and starts admitting records. Requires quiescence (no thread
+/// mid-record), same as export_trace.
+void start_tracing();
+
+/// Stop admitting records; collected events stay buffered for export.
+void stop_tracing();
+
+bool tracing_active();
+
+/// Name the calling thread's lane in the exported trace (e.g.
+/// "tree_exec.worker-3"). Safe to call whether or not tracing is active.
+void set_thread_lane(const std::string& name);
+
+/// Point event ("i" phase) on the calling thread's lane. `name` must be a
+/// string literal (the pointer is stored, not the contents).
+void trace_instant(const char* name);
+
+/// Counter sample ("C" phase): a stepped value-over-time track.
+void trace_counter(const char* name, std::uint64_t value);
+
+/// RAII scoped span; prefer the RQSIM_SPAN macro.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  bool recorded_;
+};
+
+/// Serialize all buffered events as a Chrome trace-event JSON object.
+std::string trace_to_json();
+
+/// Write trace_to_json() to `path`. Returns the number of span/instant/
+/// counter events written, or -1 on I/O failure.
+long export_trace(const std::string& path);
+
+/// Total events dropped to buffer overflow since start_tracing.
+std::uint64_t trace_dropped_events();
+
+#else  // RQSIM_TELEMETRY_OFF
+
+inline void start_tracing() {}
+inline void stop_tracing() {}
+inline bool tracing_active() { return false; }
+inline void set_thread_lane(const std::string&) {}
+inline void trace_instant(const char*) {}
+inline void trace_counter(const char*, std::uint64_t) {}
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char*) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+};
+
+inline std::string trace_to_json() { return "{\"traceEvents\":[]}"; }
+inline long export_trace(const std::string&) { return -1; }
+inline std::uint64_t trace_dropped_events() { return 0; }
+
+#endif  // RQSIM_TELEMETRY_OFF
+
+}  // namespace rqsim::telemetry
+
+#define RQSIM_TELEM_CONCAT2(a, b) a##b
+#define RQSIM_TELEM_CONCAT(a, b) RQSIM_TELEM_CONCAT2(a, b)
+
+/// Open a scoped trace span covering the rest of the enclosing block.
+#define RQSIM_SPAN(name)                                    \
+  [[maybe_unused]] ::rqsim::telemetry::TraceSpan RQSIM_TELEM_CONCAT( \
+      rqsim_span_, __LINE__)(name)

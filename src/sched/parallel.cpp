@@ -137,6 +137,7 @@ NoisyRunResult run_noisy_parallel(const Circuit& circuit, const NoiseModel& nois
                                   const ParallelRunConfig& config) {
   RQSIM_SPAN("runner.run_noisy_parallel");
   const telemetry::Stopwatch stopwatch;
+  const telemetry::MeasuredRunScope run_scope;
   const bool measured = telemetry::compiled() && telemetry::enabled();
   const std::uint64_t ops_before = measured ? g_matvec_ops.value() : 0;
   circuit.validate();
@@ -188,8 +189,11 @@ NoisyRunResult run_noisy_parallel(const Circuit& circuit, const NoiseModel& nois
       result.baseline_ops == 0
           ? 1.0
           : static_cast<double>(result.ops) / static_cast<double>(result.baseline_ops);
-  result.telemetry.measured = measured;
-  if (measured) {
+  // A concurrent run (service with multiple workers) would fold its ops
+  // into our counter delta; report measured=false rather than an inflated
+  // measured_ops that no longer equals result.ops.
+  result.telemetry.measured = measured && run_scope.exclusive();
+  if (result.telemetry.measured) {
     result.telemetry.measured_ops = g_matvec_ops.value() - ops_before;
   }
   result.telemetry.ops_saved_vs_baseline =

@@ -68,6 +68,7 @@ NoisyRunResult run_noisy(const Circuit& circuit, const NoiseModel& noise,
                          const NoisyRunConfig& config) {
   RQSIM_SPAN("runner.run_noisy");
   const telemetry::Stopwatch stopwatch;
+  const telemetry::MeasuredRunScope run_scope;
   const bool measured = telemetry::compiled() && telemetry::enabled();
   const std::uint64_t ops_before = measured ? g_matvec_ops.value() : 0;
   circuit.validate();
@@ -124,8 +125,11 @@ NoisyRunResult run_noisy(const Circuit& circuit, const NoiseModel& noise,
     mean /= static_cast<double>(std::max<std::size_t>(1, trials.size()));
   }
   fill_common(result, ctx, trials);
-  result.telemetry.measured = measured;
-  if (measured) {
+  // A concurrent run (service with multiple workers) would fold its ops
+  // into our counter delta; report measured=false rather than an inflated
+  // measured_ops that no longer equals result.ops.
+  result.telemetry.measured = measured && run_scope.exclusive();
+  if (result.telemetry.measured) {
     result.telemetry.measured_ops = g_matvec_ops.value() - ops_before;
   }
   result.telemetry.peak_live_states = result.max_live_states;

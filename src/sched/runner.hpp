@@ -107,9 +107,11 @@ struct TelemetrySummary {
   bool measured = false;
 
   /// Delta of the "sim.matvec_ops" registry counter across this run. When
-  /// measured (and no concurrent run shares the process), this equals
-  /// NoisyRunResult::ops bitwise — the runtime cross-check of the
-  /// PlanVerifier's static op-count proof.
+  /// measured, this equals NoisyRunResult::ops bitwise — the runtime
+  /// cross-check of the PlanVerifier's static op-count proof. Runs that
+  /// overlap another run in the same process (service with multiple
+  /// workers) detect it via telemetry::MeasuredRunScope and report
+  /// measured=false rather than a delta polluted by the other run's ops.
   opcount_t measured_ops = 0;
 
   /// baseline_ops - ops: work the prefix cache eliminated.

@@ -9,6 +9,7 @@
 #include "sched/order.hpp"
 #include "sched/tree.hpp"
 #include "sched/tree_exec.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trial/generator.hpp"
 #include "verify/plan_verifier.hpp"
 
@@ -104,6 +105,11 @@ class BatchSink : public TreeTrialSink {
 
 BatchExecution execute_batch(const std::vector<const JobSpec*>& jobs,
                              std::size_t num_threads) {
+  // Batches write the global "sim.matvec_ops" counter; holding the scope
+  // lets concurrently measured runs (run_noisy / run_noisy_parallel on
+  // other service workers) detect the overlap and drop their counter delta
+  // instead of absorbing this batch's ops.
+  const telemetry::MeasuredRunScope run_scope;
   RQSIM_CHECK(!jobs.empty(), "execute_batch: empty batch");
   for (const JobSpec* spec : jobs) {
     RQSIM_CHECK(spec != nullptr, "execute_batch: null job spec");

@@ -42,6 +42,9 @@ struct TraceRegistry {
   std::mutex mu;
   std::vector<std::unique_ptr<TraceBuffer>> buffers;
   std::atomic<bool> active{false};
+  // Bumped by every start_tracing; spans admitted under an older generation
+  // skip their E (their B was cleared out from under them).
+  std::atomic<std::uint64_t> generation{0};
   std::uint64_t epoch_ns = 0;
   int next_tid = 1;
 };
@@ -52,30 +55,55 @@ TraceRegistry& trace_registry() {
   return *r;
 }
 
+// Buffer creation is deferred to the first admitted event: short-lived
+// worker threads (the tree/chunked executors spawn a fresh pool per run)
+// call set_thread_lane unconditionally, and eagerly allocating the
+// kMaxEventsPerThread reservation for each would grow the registry by
+// ~2 MB per thread per run in processes that never trace (a long-running
+// service, for instance).
 struct BufferOwner {
-  TraceBuffer* buffer;
+  TraceBuffer* buffer = nullptr;
+  std::string pending_lane;
 
-  BufferOwner() {
-    TraceRegistry& r = trace_registry();
-    std::lock_guard<std::mutex> lock(r.mu);
-    auto owned = std::make_unique<TraceBuffer>(r.next_tid++);
-    buffer = owned.get();
-    r.buffers.push_back(std::move(owned));
+  TraceBuffer& get() {
+    if (buffer == nullptr) {
+      TraceRegistry& r = trace_registry();
+      std::lock_guard<std::mutex> lock(r.mu);
+      auto owned = std::make_unique<TraceBuffer>(r.next_tid++);
+      owned->lane_name = pending_lane;
+      buffer = owned.get();
+      r.buffers.push_back(std::move(owned));
+    }
+    return *buffer;
   }
 
   ~BufferOwner() {
-    // The registry keeps the events for export; just mark the buffer as no
-    // longer owner-written so the next start_tracing may free it.
+    if (buffer == nullptr) return;
     TraceRegistry& r = trace_registry();
     std::lock_guard<std::mutex> lock(r.mu);
-    buffer->retired = true;
+    if (buffer->events.empty()) {
+      // Nothing to export: free the reservation now instead of holding it
+      // until the next start_tracing (which may never come).
+      for (auto it = r.buffers.begin(); it != r.buffers.end(); ++it) {
+        if (it->get() == buffer) {
+          r.buffers.erase(it);
+          break;
+        }
+      }
+    } else {
+      // The registry keeps the events for export; just mark the buffer as
+      // no longer owner-written so the next start_tracing may free it.
+      buffer->retired = true;
+    }
   }
 };
 
-TraceBuffer& local_buffer() {
+BufferOwner& local_owner() {
   thread_local BufferOwner owner;
-  return *owner.buffer;
+  return owner;
 }
+
+TraceBuffer& local_buffer() { return local_owner().get(); }
 
 void append(char phase, const char* name, std::uint64_t value) {
   TraceBuffer& buf = local_buffer();
@@ -86,8 +114,9 @@ void append(char phase, const char* name, std::uint64_t value) {
   buf.events.push_back(TraceEvent{name, now_ns(), value, phase});
 }
 
-void json_escape_into(std::string& out, const std::string& s) {
-  for (char c : s) {
+void json_escape_into(std::string& out, const char* s) {
+  for (const char* p = s; *p != '\0'; ++p) {
+    const char c = *p;
     switch (c) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
@@ -123,6 +152,7 @@ void start_tracing() {
     buf->dropped = 0;
   }
   r.epoch_ns = now_ns();
+  r.generation.fetch_add(1, std::memory_order_release);
   r.active.store(true, std::memory_order_release);
 }
 
@@ -135,10 +165,16 @@ bool tracing_active() {
 }
 
 void set_thread_lane(const std::string& name) {
-  TraceBuffer& buf = local_buffer();
+  BufferOwner& owner = local_owner();
+  if (owner.buffer == nullptr) {
+    // No buffer yet — remember the name without allocating one; it is
+    // applied if this thread ever records an event.
+    owner.pending_lane = name;
+    return;
+  }
   TraceRegistry& r = trace_registry();
   std::lock_guard<std::mutex> lock(r.mu);
-  buf.lane_name = name;
+  owner.buffer->lane_name = name;
 }
 
 void trace_instant(const char* name) {
@@ -151,7 +187,7 @@ void trace_counter(const char* name, std::uint64_t value) {
   append('C', name, value);
 }
 
-TraceSpan::TraceSpan(const char* name) : name_(name), recorded_(false) {
+TraceSpan::TraceSpan(const char* name) : name_(name), gen_(0), recorded_(false) {
   if (!tracing_active()) return;
   TraceBuffer& buf = local_buffer();
   if (!buf.has_room()) {
@@ -160,16 +196,23 @@ TraceSpan::TraceSpan(const char* name) : name_(name), recorded_(false) {
   }
   buf.events.push_back(TraceEvent{name, now_ns(), 0, 'B'});
   ++buf.open_spans;
+  gen_ = trace_registry().generation.load(std::memory_order_acquire);
   recorded_ = true;
 }
 
 TraceSpan::~TraceSpan() {
   if (!recorded_) return;
+  // Quiescence at start_tracing is documented but not enforced: if a new
+  // trace began while this span was open, its B was cleared and open_spans
+  // reset, so recording the E would land a stray pre-epoch event and
+  // underflow the reservation count. Skip it instead.
+  TraceRegistry& r = trace_registry();
+  if (gen_ != r.generation.load(std::memory_order_acquire)) return;
   // The matching E slot was reserved at admission; record it even if
   // tracing was stopped mid-span so the export stays balanced.
   TraceBuffer& buf = local_buffer();
   buf.events.push_back(TraceEvent{name_, now_ns(), 0, 'E'});
-  --buf.open_spans;
+  if (buf.open_spans > 0) --buf.open_spans;
 }
 
 std::string trace_to_json() {
@@ -181,54 +224,53 @@ std::string trace_to_json() {
   out +=
       "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
       "\"args\":{\"name\":\"rqsim\"}}";
-  char line[256];
+  char ts[48];
   for (const auto& buf : r.buffers) {
     std::string lane = buf->lane_name;
     if (lane.empty()) lane = "thread-" + std::to_string(buf->tid);
+    const std::string tid = std::to_string(buf->tid);
     out += ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":";
-    out += std::to_string(buf->tid);
+    out += tid;
     out += ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
-    json_escape_into(out, lane);
+    json_escape_into(out, lane.c_str());
     out += "\"}}";
     out += ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":";
-    out += std::to_string(buf->tid);
+    out += tid;
     out += ",\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":";
-    out += std::to_string(buf->tid);
+    out += tid;
     out += "}}";
     for (const TraceEvent& ev : buf->events) {
+      if (ev.phase != 'B' && ev.phase != 'E' && ev.phase != 'i' &&
+          ev.phase != 'C') {
+        continue;
+      }
       // Timestamps are microseconds in this format; keep ns resolution with
       // three decimals. Events recorded before start_tracing's epoch (stale
       // lanes) clamp to 0.
       const std::uint64_t rel =
           ev.ts_ns > r.epoch_ns ? ev.ts_ns - r.epoch_ns : 0;
-      const unsigned long long us = rel / 1000;
-      const unsigned frac = static_cast<unsigned>(rel % 1000);
-      switch (ev.phase) {
-        case 'B':
-        case 'E':
-          std::snprintf(line, sizeof line,
-                        ",\n{\"ph\":\"%c\",\"pid\":1,\"tid\":%d,"
-                        "\"ts\":%llu.%03u,\"name\":\"%s\"}",
-                        ev.phase, buf->tid, us, frac, ev.name);
-          break;
-        case 'i':
-          std::snprintf(line, sizeof line,
-                        ",\n{\"ph\":\"i\",\"pid\":1,\"tid\":%d,"
-                        "\"ts\":%llu.%03u,\"s\":\"t\",\"name\":\"%s\"}",
-                        buf->tid, us, frac, ev.name);
-          break;
-        case 'C':
-          std::snprintf(line, sizeof line,
-                        ",\n{\"ph\":\"C\",\"pid\":1,\"tid\":%d,"
-                        "\"ts\":%llu.%03u,\"name\":\"%s\","
-                        "\"args\":{\"value\":%llu}}",
-                        buf->tid, us, frac, ev.name,
-                        static_cast<unsigned long long>(ev.value));
-          break;
-        default:
-          continue;
+      std::snprintf(ts, sizeof ts, "%llu.%03u",
+                    static_cast<unsigned long long>(rel / 1000),
+                    static_cast<unsigned>(rel % 1000));
+      // Names go through json_escape_into (no fixed-size formatting buffer)
+      // so arbitrarily long names or embedded quotes cannot truncate or
+      // break the JSON structure.
+      out += ",\n{\"ph\":\"";
+      out += ev.phase;
+      out += "\",\"pid\":1,\"tid\":";
+      out += tid;
+      out += ",\"ts\":";
+      out += ts;
+      if (ev.phase == 'i') out += ",\"s\":\"t\"";
+      out += ",\"name\":\"";
+      json_escape_into(out, ev.name);
+      out += "\"";
+      if (ev.phase == 'C') {
+        out += ",\"args\":{\"value\":";
+        out += std::to_string(ev.value);
+        out += "}";
       }
-      out += line;
+      out += "}";
     }
   }
   out += "\n]}\n";
@@ -257,6 +299,12 @@ std::uint64_t trace_dropped_events() {
   std::uint64_t total = 0;
   for (const auto& buf : r.buffers) total += buf->dropped;
   return total;
+}
+
+std::size_t trace_thread_buffers() {
+  TraceRegistry& r = trace_registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.buffers.size();
 }
 
 }  // namespace rqsim::telemetry

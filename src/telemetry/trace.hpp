@@ -3,8 +3,10 @@
 // Scoped-span tracing with Chrome trace-event export.
 //
 // Each recording thread appends fixed-size events (name pointer, timestamp,
-// phase) to a private pre-reserved buffer — no lock, no allocation on the
-// record path. `RQSIM_SPAN("layer.what")` opens a RAII span (B event at
+// phase) to a private buffer, created lazily on the thread's first admitted
+// event and pre-reserved from then on — no lock, no allocation on the
+// steady-state record path, and no memory held by threads that never
+// record. `RQSIM_SPAN("layer.what")` opens a RAII span (B event at
 // construction, E at destruction); `trace_instant` marks point events
 // (checkpoint fork/drop, steals); `trace_counter` records a value timeline
 // (MSV token occupancy). Buffers cap at kMaxEventsPerThread; overflow drops
@@ -42,7 +44,9 @@ void stop_tracing();
 bool tracing_active();
 
 /// Name the calling thread's lane in the exported trace (e.g.
-/// "tree_exec.worker-3"). Safe to call whether or not tracing is active.
+/// "tree_exec.worker-3"). Safe (and allocation-free) to call whether or not
+/// tracing is active: a thread's event buffer is created lazily on its
+/// first admitted event, so threads on untraced runs never reserve one.
 void set_thread_lane(const std::string& name);
 
 /// Point event ("i" phase) on the calling thread's lane. `name` must be a
@@ -62,6 +66,7 @@ class TraceSpan {
 
  private:
   const char* name_;
+  std::uint64_t gen_;  // tracing generation the B was admitted under
   bool recorded_;
 };
 
@@ -74,6 +79,12 @@ long export_trace(const std::string& path);
 
 /// Total events dropped to buffer overflow since start_tracing.
 std::uint64_t trace_dropped_events();
+
+/// Number of per-thread event buffers currently held by the registry
+/// (live + retired-with-events). Buffers are created lazily on a thread's
+/// first admitted event and freed at thread exit when empty, so this stays
+/// 0 in processes that never trace — exposed so tests can assert that.
+std::size_t trace_thread_buffers();
 
 #else  // RQSIM_TELEMETRY_OFF
 
@@ -94,6 +105,7 @@ class TraceSpan {
 inline std::string trace_to_json() { return "{\"traceEvents\":[]}"; }
 inline long export_trace(const std::string&) { return -1; }
 inline std::uint64_t trace_dropped_events() { return 0; }
+inline std::size_t trace_thread_buffers() { return 0; }
 
 #endif  // RQSIM_TELEMETRY_OFF
 

@@ -200,6 +200,91 @@ TEST(TelemetryTrace, InactiveRecordingIsDropped) {
   EXPECT_EQ(json.find("test.after_stop"), std::string::npos);
 }
 
+TEST(TelemetryTrace, UntracedWorkerThreadsDoNotGrowRegistry) {
+  if (!telem::compiled()) {
+    GTEST_SKIP() << "telemetry compiled out";
+  }
+  // Regression: the tree/chunked executors spawn fresh worker threads per
+  // run and name their lanes unconditionally; with tracing inactive that
+  // must not allocate (and strand) a per-thread event buffer per run, or a
+  // long-running service leaks ~2 MB x threads per job.
+  ASSERT_FALSE(telem::tracing_active());
+  const DeviceModel dev = yorktown_device();
+  const BenchmarkEntry entry = make_table1_suite(dev).front();
+  const std::size_t buffers_before = telem::trace_thread_buffers();
+  for (int rep = 0; rep < 3; ++rep) {
+    ParallelRunConfig config;
+    config.num_trials = 64;
+    config.seed = 3;
+    config.num_threads = 8;
+    const NoisyRunResult result =
+        run_noisy_parallel(entry.compiled, dev.noise, config);
+    EXPECT_GT(result.ops, 0u);
+  }
+  EXPECT_EQ(telem::trace_thread_buffers(), buffers_before);
+}
+
+TEST(TelemetryTrace, RestartWhileSpanOpenDoesNotPoisonLane) {
+  if (!telem::compiled()) {
+    GTEST_SKIP() << "telemetry compiled out";
+  }
+  telem::start_tracing();
+  {
+    telem::TraceSpan stale("test.preepoch");
+    // Restart mid-span (quiescence violated): the span's B is cleared, so
+    // its destructor must not emit a stray E or underflow the open-span
+    // reservation count (which would drop every later event on this lane).
+    telem::start_tracing();
+  }
+  {
+    RQSIM_SPAN("test.after_restart");
+    telem::trace_instant("test.after_restart_instant");
+  }
+  telem::stop_tracing();
+  const std::string json = telem::trace_to_json();
+  EXPECT_EQ(json.find("test.preepoch"), std::string::npos);
+  EXPECT_NE(json.find("test.after_restart"), std::string::npos);
+  EXPECT_NE(json.find("test.after_restart_instant"), std::string::npos);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"B\""),
+            count_occurrences(json, "\"ph\":\"E\""));
+}
+
+TEST(TelemetryTrace, ExportEscapesAndSurvivesLongEventNames) {
+  if (!telem::compiled()) {
+    GTEST_SKIP() << "telemetry compiled out";
+  }
+  // Convention says span names are plain literals, but export must stay
+  // well-formed JSON even when one isn't: quotes/backslashes escape, and a
+  // name longer than any internal formatting buffer survives untruncated.
+  static const std::string long_name(300, 'x');
+  telem::start_tracing();
+  telem::trace_instant("test.quote\"back\\slash");
+  telem::trace_instant(long_name.c_str());
+  telem::stop_tracing();
+  const std::string json = telem::trace_to_json();
+  EXPECT_NE(json.find("test.quote\\\"back\\\\slash"), std::string::npos);
+  EXPECT_NE(json.find(long_name), std::string::npos);
+}
+
+TEST(TelemetryRegistry, MeasuredRunScopeDetectsOverlap) {
+  if (!telem::compiled()) {
+    GTEST_SKIP() << "telemetry compiled out";
+  }
+  {
+    telem::MeasuredRunScope a;
+    EXPECT_TRUE(a.exclusive());
+    {
+      telem::MeasuredRunScope b;
+      EXPECT_FALSE(a.exclusive());
+      EXPECT_FALSE(b.exclusive());
+    }
+    // Overlap is sticky for the rest of a's lifetime.
+    EXPECT_FALSE(a.exclusive());
+  }
+  telem::MeasuredRunScope fresh;
+  EXPECT_TRUE(fresh.exclusive());
+}
+
 // ---------------------------------------------------------------------------
 // Reconciliation: registry counter == executed ops == PlanVerifier proof.
 

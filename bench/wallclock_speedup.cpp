@@ -9,35 +9,48 @@
 // parallelism (shared prefixes recomputed per chunk). Beyond the gbench
 // registrations, two driver flags make this file the parallel perf gate:
 //
-//   --parallel-json <path>   sweep both modes over thread counts 1/2/4/8
-//                            on three Table I circuits and write the
-//                            machine-readable comparison (ops, fork
-//                            copies, redundant prefix ops, wall ms), then
-//                            exit — this produces BENCH_parallel.json.
+//   --parallel-json <path>   sweep both modes over thread counts on three
+//                            Table I circuits plus 20–24 qubit bv / ghz /
+//                            grover instances, and write the machine-
+//                            readable comparison (ops, fork copies, CoW
+//                            materializations, redundant prefix ops, wall
+//                            ms, speedup_vs_1t), then exit — this produces
+//                            BENCH_parallel.json.
 //   --parallel-check         fast assertion mode for ctest (perf_smoke):
 //                            exits nonzero unless tree-mode op counts are
-//                            strictly below chunked at >= 2 threads and
-//                            bitwise-match the sequential scheduler.
+//                            strictly below chunked at >= 2 threads,
+//                            bitwise-match the sequential scheduler, and
+//                            the whole Table I suite materializes strictly
+//                            fewer CoW copies than it forks.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "bench_circuits/bv.hpp"
+#include "bench_circuits/ghz.hpp"
+#include "bench_circuits/grover.hpp"
 #include "bench_circuits/suite.hpp"
 #include "noise/devices.hpp"
 #include "sched/parallel.hpp"
 #include "sched/runner.hpp"
 #include "telemetry/clock.hpp"
+#include "transpile/decompose.hpp"
 
 namespace {
 
 using namespace rqsim;
 
-const BenchmarkEntry& suite_entry(std::size_t index) {
+const std::vector<BenchmarkEntry>& table1_suite() {
   static const auto suite = make_table1_suite(yorktown_device());
-  return suite[index];
+  return suite;
+}
+
+const BenchmarkEntry& suite_entry(std::size_t index) {
+  return table1_suite()[index];
 }
 
 void run_mode(benchmark::State& state, ExecutionMode mode, bool fuse_gates = false) {
@@ -112,34 +125,86 @@ BENCHMARK(BM_CachedParallel)
 struct SweepPoint {
   std::string circuit;
   std::string mode;
+  unsigned qubits = 0;
+  std::size_t trials = 0;
   std::size_t threads = 0;
   opcount_t ops = 0;
   std::uint64_t fork_copies = 0;
+  std::uint64_t cow_materializations = 0;
   opcount_t redundant_prefix_ops = 0;
   double wall_ms = 0.0;
+  /// wall_ms of the same circuit+mode at 1 thread divided by this point's
+  /// wall_ms — derived after the sweep; 1.0 for the 1-thread rows.
+  double speedup_vs_1t = 1.0;
   // Scheduling/occupancy telemetry (NoisyRunResult::telemetry).
   std::uint64_t steals = 0;
   std::uint64_t inline_fallbacks = 0;
   std::uint64_t pool_reuses = 0;
   std::uint64_t pool_allocs = 0;
+  std::uint64_t pool_prewarmed = 0;
   std::size_t peak_live_states = 0;
 };
 
+/// One circuit of the parallel sweep. The Table I entries run the paper's
+/// 512-trial configuration; the 20–24 qubit entries scale trials and
+/// repetitions down with the amplitude-vector size (one gate op sweeps 2^n
+/// amplitudes) so the sweep stays inside a CI budget.
+struct SweepCase {
+  std::string name;
+  unsigned qubits = 0;
+  Circuit compiled;
+  NoiseModel noise;
+  std::size_t trials = 512;
+  int reps = 3;
+  std::vector<std::size_t> threads;
+};
+
+std::vector<SweepCase> make_sweep_cases() {
+  std::vector<SweepCase> cases;
+  const DeviceModel dev = yorktown_device();
+  for (const std::size_t index : {std::size_t{1}, std::size_t{7}, std::size_t{11}}) {
+    const BenchmarkEntry& entry = suite_entry(index);
+    cases.push_back({entry.name, entry.compiled.num_qubits(), entry.compiled,
+                     dev.noise, 512, 3, {1, 2, 4, 8}});
+  }
+  // 20–24 qubit scale: uniform noise with per-circuit rates tuned so a
+  // trial carries ~1 injected error on average (deeper circuits get lower
+  // rates), which keeps the prefix trees realistically branchy without
+  // degenerating into per-trial replays.
+  const auto big = [&cases](std::string name, Circuit logical, double rate,
+                            std::size_t trials, int reps,
+                            std::vector<std::size_t> threads) {
+    Circuit compiled = decompose_to_cx_basis(logical);
+    const unsigned n = compiled.num_qubits();
+    cases.push_back({std::move(name), n, std::move(compiled),
+                     NoiseModel::uniform(n, rate, 4 * rate, 0.02), trials, reps,
+                     std::move(threads)});
+  };
+  big("bv20", make_bv(19, 0x5A5A5u), 0.01, 24, 2, {1, 2, 4});
+  big("ghz20", make_ghz(20), 0.02, 24, 2, {1, 2, 4});
+  big("grover20", make_grover(20, 0x2B5u), 0.001, 24, 2, {1, 2, 4});
+  big("bv24", make_bv(23, 0x35A5A5u), 0.008, 8, 1, {1, 4});
+  big("ghz24", make_ghz(24), 0.02, 8, 1, {1, 4});
+  big("grover24", make_grover(24, 0xAB5u), 0.001, 8, 1, {1, 4});
+  return cases;
+}
+
 NoisyRunResult timed_parallel(const Circuit& circuit, const NoiseModel& noise,
                               ParallelMode mode, std::size_t threads,
-                              double& best_ms) {
+                              double& best_ms, std::size_t trials = 512,
+                              int reps = 3) {
   ParallelRunConfig config;
-  config.num_trials = 512;
+  config.num_trials = trials;
   config.seed = 7;
   config.num_threads = threads;
   config.parallel_mode = mode;
   NoisyRunResult result;
   best_ms = 0.0;
-  // Best of three damps scheduler noise (the sweep runs on shared CI
+  // Best of `reps` damps scheduler noise (the sweep runs on shared CI
   // machines; op counts are deterministic, only the clock needs repeats).
   // Timing comes from the telemetry clock (telemetry/clock.hpp), the
   // project's single source of monotonic time (source rule 4).
-  for (int rep = 0; rep < 3; ++rep) {
+  for (int rep = 0; rep < reps; ++rep) {
     const telemetry::Stopwatch stopwatch;
     result = run_noisy_parallel(circuit, noise, config);
     const double ms = stopwatch.elapsed_ms();
@@ -151,38 +216,49 @@ NoisyRunResult timed_parallel(const Circuit& circuit, const NoiseModel& noise,
 }
 
 int run_parallel_sweep(const std::string& path) {
-  const DeviceModel dev = yorktown_device();
-  const std::size_t entries[] = {1, 7, 11};
-  const std::size_t thread_counts[] = {1, 2, 4, 8};
   std::vector<SweepPoint> points;
-  for (const std::size_t index : entries) {
-    const BenchmarkEntry& entry = suite_entry(index);
+  for (const SweepCase& c : make_sweep_cases()) {
     for (const ParallelMode mode : {ParallelMode::kTree, ParallelMode::kChunked}) {
-      for (const std::size_t threads : thread_counts) {
+      for (const std::size_t threads : c.threads) {
         SweepPoint point;
-        point.circuit = entry.name;
+        point.circuit = c.name;
         point.mode = mode == ParallelMode::kTree ? "tree" : "chunked";
+        point.qubits = c.qubits;
+        point.trials = c.trials;
         point.threads = threads;
         const NoisyRunResult result =
-            timed_parallel(entry.compiled, dev.noise, mode, threads, point.wall_ms);
+            timed_parallel(c.compiled, c.noise, mode, threads, point.wall_ms,
+                           c.trials, c.reps);
         point.ops = result.ops;
         point.fork_copies = result.fork_copies;
+        point.cow_materializations = result.telemetry.cow_materializations;
         point.redundant_prefix_ops = result.redundant_prefix_ops;
         point.steals = result.telemetry.steals;
         point.inline_fallbacks = result.telemetry.inline_fallbacks;
         point.pool_reuses = result.telemetry.pool_reuses;
         point.pool_allocs = result.telemetry.pool_allocs;
+        point.pool_prewarmed = result.telemetry.pool_prewarmed;
         point.peak_live_states = result.telemetry.peak_live_states;
         points.push_back(point);
-        std::printf("%-10s %-8s %zu threads: %llu ops, %llu fork copies, "
-                    "%llu redundant, %llu steals, %llu fallbacks, %.2f ms\n",
-                    point.circuit.c_str(), point.mode.c_str(), threads,
-                    static_cast<unsigned long long>(point.ops),
+        std::printf("%-10s %2uq %-8s %zu threads: %llu ops, %llu forks, "
+                    "%llu cow copies, %llu redundant, %llu fallbacks, %.2f ms\n",
+                    point.circuit.c_str(), point.qubits, point.mode.c_str(),
+                    threads, static_cast<unsigned long long>(point.ops),
                     static_cast<unsigned long long>(point.fork_copies),
+                    static_cast<unsigned long long>(point.cow_materializations),
                     static_cast<unsigned long long>(point.redundant_prefix_ops),
-                    static_cast<unsigned long long>(point.steals),
                     static_cast<unsigned long long>(point.inline_fallbacks),
                     point.wall_ms);
+      }
+    }
+  }
+  // Derive speedup_vs_1t against the same circuit+mode single-thread row.
+  for (SweepPoint& p : points) {
+    for (const SweepPoint& base : points) {
+      if (base.circuit == p.circuit && base.mode == p.mode &&
+          base.threads == 1 && p.wall_ms > 0.0) {
+        p.speedup_vs_1t = base.wall_ms / p.wall_ms;
+        break;
       }
     }
   }
@@ -191,20 +267,25 @@ int run_parallel_sweep(const std::string& path) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return 1;
   }
-  out << "{\n  \"benchmark\": \"parallel_modes\",\n  \"trials\": 512,\n"
+  out << "{\n  \"benchmark\": \"parallel_modes\",\n"
       << "  \"seed\": 7,\n  \"results\": [\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const SweepPoint& p = points[i];
-    out << "    {\"circuit\": \"" << p.circuit << "\", \"mode\": \"" << p.mode
-        << "\", \"threads\": " << p.threads << ", \"matvec_ops\": " << p.ops
+    out << "    {\"circuit\": \"" << p.circuit << "\", \"qubits\": " << p.qubits
+        << ", \"mode\": \"" << p.mode
+        << "\", \"trials\": " << p.trials
+        << ", \"threads\": " << p.threads << ", \"matvec_ops\": " << p.ops
         << ", \"fork_copies\": " << p.fork_copies
+        << ", \"cow_materializations\": " << p.cow_materializations
         << ", \"redundant_prefix_ops\": " << p.redundant_prefix_ops
         << ", \"steals\": " << p.steals
         << ", \"inline_fallbacks\": " << p.inline_fallbacks
         << ", \"pool_reuses\": " << p.pool_reuses
         << ", \"pool_allocs\": " << p.pool_allocs
+        << ", \"pool_prewarmed\": " << p.pool_prewarmed
         << ", \"peak_live_states\": " << p.peak_live_states
-        << ", \"wall_ms\": " << p.wall_ms << "}"
+        << ", \"wall_ms\": " << p.wall_ms
+        << ", \"speedup_vs_1t\": " << p.speedup_vs_1t << "}"
         << (i + 1 < points.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
@@ -253,6 +334,35 @@ int run_parallel_check() {
                 threads, static_cast<unsigned long long>(tree.ops),
                 static_cast<unsigned long long>(chunked.ops),
                 static_cast<unsigned long long>(chunked.redundant_prefix_ops));
+  }
+  // Suite-wide CoW effectiveness gate: across all 12 Table I circuits, the
+  // tree executor must materialize strictly fewer checkpoint copies than
+  // the schedule forks — i.e. at least one fork was served by a refcount
+  // bump whose buffer never got copied. If the copy-on-write path silently
+  // regressed to copy-per-fork, the two totals would be equal.
+  std::uint64_t suite_forks = 0;
+  std::uint64_t suite_materializations = 0;
+  for (const BenchmarkEntry& e : table1_suite()) {
+    ParallelRunConfig config;
+    config.num_trials = 512;
+    config.seed = 7;
+    config.num_threads = 4;
+    config.parallel_mode = ParallelMode::kTree;
+    const NoisyRunResult r = run_noisy_parallel(e.compiled, dev.noise, config);
+    suite_forks += r.fork_copies;
+    suite_materializations += r.telemetry.cow_materializations;
+  }
+  if (suite_materializations >= suite_forks) {
+    std::fprintf(stderr,
+                 "FAIL: Table I suite materialized %llu CoW copies for %llu "
+                 "forks (copy-on-write is not eliding any copies)\n",
+                 static_cast<unsigned long long>(suite_materializations),
+                 static_cast<unsigned long long>(suite_forks));
+    ++failures;
+  } else {
+    std::printf("Table I suite: %llu forks, %llu materialized copies\n",
+                static_cast<unsigned long long>(suite_forks),
+                static_cast<unsigned long long>(suite_materializations));
   }
   if (failures == 0) {
     std::printf("parallel check: OK\n");

@@ -21,6 +21,14 @@
 #         measurement must go through telemetry/clock.hpp (Stopwatch,
 #         clock_now) or trace spans, so timing is taken from one clock and
 #         shows up in the telemetry/trace output instead of ad-hoc prints.
+# Rule 5: no direct StateVector deep-copy construction (copy-init from an
+#         existing vector) outside sim/buffer_pool.* — a checkpoint copy is
+#         a 2^n memcpy plus a possible page-faulting allocation, so it must
+#         go through StateBufferPool::acquire_copy (recycled buffers) or,
+#         on the executor's fork path, CowState (copy deferred until first
+#         write). Exempt: obs/pauli_string.cpp and dm/density_matrix.cpp,
+#         whose scratch copies are per-call workspaces of observable /
+#         density-matrix math, not checkpoints of the scheduling layer.
 #
 # Usage: scripts/check_source_rules.sh [src-dir]   (default: src)
 set -u
@@ -76,6 +84,11 @@ scan '(^|[^[:alnum:]_])std::thread([^[:alnum:]_]|$)' \
 scan '(steady_clock|high_resolution_clock)' \
      "$src_dir/telemetry/* $src_dir/common/*" \
      'monotonic clock use outside telemetry/clock.hpp' \
+     "$bench_dir"
+
+scan 'StateVector[[:space:]]+[[:alnum:]_]+[[:space:]]*=[[:space:]]*[*]?[[:alnum:]_.]+(\[[^]]*\])?[[:space:]]*;' \
+     "$src_dir/sim/buffer_pool.* $src_dir/obs/pauli_string.cpp $src_dir/dm/density_matrix.cpp" \
+     'StateVector deep copy outside StateBufferPool/CowState' \
      "$bench_dir"
 
 if [ "$status" -eq 0 ]; then

@@ -25,6 +25,68 @@ void add_pattern_frame(Circuit& c, std::uint64_t pattern) {
 
 }  // namespace
 
+Circuit make_grover(unsigned num_qubits, std::uint64_t marked,
+                    unsigned iterations) {
+  RQSIM_CHECK(num_qubits >= 4 && num_qubits % 2 == 0,
+              "make_grover: num_qubits must be even and >= 4");
+  RQSIM_CHECK(iterations >= 1, "make_grover: need at least one iteration");
+  const unsigned d = (num_qubits + 2) / 2;  // data qubits; d - 2 ancillas
+  RQSIM_CHECK(marked < (std::uint64_t{1} << d),
+              "make_grover: marked state must fit the data register");
+  const auto anc0 = static_cast<qubit_t>(d);
+  Circuit c(num_qubits, "grover");
+
+  // Flip the zero-bits of `pattern` so the phase flip marks |pattern⟩.
+  const auto pattern_frame = [&c, d](std::uint64_t pattern) {
+    for (qubit_t q = 0; q < static_cast<qubit_t>(d); ++q) {
+      if (!get_bit(pattern, q)) {
+        c.x(q);
+      }
+    }
+  };
+
+  // Phase flip of |1...1⟩ on the data register: Toffoli AND-chain of the
+  // first d - 1 data qubits into the ancillas, CZ (= H·CX·H) against the
+  // last data qubit, then uncompute the chain back to |0⟩.
+  const auto mcz = [&c, d, anc0] {
+    c.ccx(0, 1, anc0);
+    for (unsigned i = 1; i + 2 < d; ++i) {
+      c.ccx(static_cast<qubit_t>(i + 1), static_cast<qubit_t>(anc0 + i - 1),
+            static_cast<qubit_t>(anc0 + i));
+    }
+    const auto last = static_cast<qubit_t>(anc0 + d - 3);
+    const auto target = static_cast<qubit_t>(d - 1);
+    c.h(target);
+    c.cx(last, target);
+    c.h(target);
+    for (unsigned i = d - 3; i >= 1; --i) {
+      c.ccx(static_cast<qubit_t>(i + 1), static_cast<qubit_t>(anc0 + i - 1),
+            static_cast<qubit_t>(anc0 + i));
+    }
+    c.ccx(0, 1, anc0);
+  };
+
+  for (qubit_t q = 0; q < static_cast<qubit_t>(d); ++q) {
+    c.h(q);
+  }
+  for (unsigned it = 0; it < iterations; ++it) {
+    pattern_frame(marked);
+    mcz();
+    pattern_frame(marked);
+    for (qubit_t q = 0; q < static_cast<qubit_t>(d); ++q) {
+      c.h(q);
+    }
+    pattern_frame(0);
+    mcz();
+    pattern_frame(0);
+    for (qubit_t q = 0; q < static_cast<qubit_t>(d); ++q) {
+      c.h(q);
+    }
+  }
+  c.measure_all();
+  return c;
+}
+
 Circuit make_grover3(std::uint64_t marked, unsigned iterations) {
   RQSIM_CHECK(marked < 8, "make_grover3: marked state must be in [0, 8)");
   RQSIM_CHECK(iterations >= 1, "make_grover3: need at least one iteration");

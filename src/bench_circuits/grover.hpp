@@ -1,6 +1,9 @@
-// Grover search on 3 qubits: phase oracle marking one basis state plus the
-// standard diffusion operator, iterated (2 iterations are optimal for 8
-// entries, matching the paper's grover benchmark scale).
+// Grover search: phase oracle marking one basis state plus the standard
+// diffusion operator, iterated. make_grover3 is the paper's 3-qubit
+// benchmark scale (2 iterations are optimal for 8 entries); make_grover
+// generalizes to wider registers for the 20–28 qubit parallel sweep, with
+// the multi-controlled phase flip lowered to a Toffoli AND-chain over
+// clean ancillas.
 #pragma once
 
 #include <cstdint>
@@ -11,5 +14,13 @@ namespace rqsim {
 
 /// 3-qubit Grover searching for `marked` (0..7) with `iterations` rounds.
 Circuit make_grover3(std::uint64_t marked, unsigned iterations = 2);
+
+/// Grover over d = (num_qubits + 2) / 2 data qubits searching for `marked`
+/// (< 2^d), with the remaining d - 2 qubits as clean ancillas holding the
+/// oracle's Toffoli AND-chain. `num_qubits` must be even and >= 4 (n = 20
+/// gives d = 11, n = 24 gives d = 13). All qubits are measured; the
+/// ancillas are uncomputed to |0⟩ before each measurement.
+Circuit make_grover(unsigned num_qubits, std::uint64_t marked,
+                    unsigned iterations = 1);
 
 }  // namespace rqsim

@@ -119,8 +119,10 @@ void run_tree(const CircuitContext& ctx, const std::vector<Trial>& trials,
   result.fork_copies = stats.fork_copies;
   result.telemetry.steals = stats.steals;
   result.telemetry.inline_fallbacks = stats.inline_fallbacks;
+  result.telemetry.cow_materializations = stats.cow_materializations;
   result.telemetry.pool_reuses = stats.pool_reuses;
   result.telemetry.pool_allocs = stats.pool_allocs;
+  result.telemetry.pool_prewarmed = stats.prewarmed;
   result.telemetry.peak_live_states = stats.max_live_states;
   // Report the schedule's MSV — the deterministic bound admission control
   // enforces — rather than the timing-dependent transient peak.

@@ -129,9 +129,17 @@ struct TelemetrySummary {
   std::uint64_t steals = 0;
   std::uint64_t inline_fallbacks = 0;
 
-  /// Checkpoint buffer-pool effectiveness for this run's pool.
+  /// Copy-on-write checkpoint traffic (parallel tree runs): 2^n copies
+  /// actually materialized by first-writes to shared buffers. The deficit
+  /// against NoisyRunResult::fork_copies is the copies CoW eliminated.
+  std::uint64_t cow_materializations = 0;
+
+  /// Checkpoint buffer-pool effectiveness for this run's pool. Prewarmed
+  /// buffers are paged in before the workers start and surface as reuses,
+  /// never allocs.
   std::uint64_t pool_reuses = 0;
   std::uint64_t pool_allocs = 0;
+  std::uint64_t pool_prewarmed = 0;
 
   /// Peak concurrently live statevectors actually observed at run time.
   std::size_t peak_live_states = 0;

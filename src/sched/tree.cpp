@@ -66,8 +66,9 @@ class TreeBuilder {
     node.entry_frontier = frontier;
     node.trial = t;
     node.peak_demand = 1;
+    node.subtree_ops = replay_ops(trials_[t], event_depth, frontier);
+    tree_->planned_ops += node.subtree_ops;
     tree_->nodes.push_back(std::move(node));
-    tree_->planned_ops += replay_ops(trials_[t], event_depth, frontier);
     return idx;
   }
 
@@ -78,6 +79,7 @@ class TreeBuilder {
                            std::size_t begin, std::size_t end, std::size_t event_depth,
                            std::size_t depth, layer_index_t entry_frontier) {
     const std::size_t idx = tree_->nodes.size();
+    const opcount_t ops_before = tree_->planned_ops;
     {
       TreeNode node;
       node.kind = TreeNode::Kind::kBranch;
@@ -137,6 +139,7 @@ class TreeBuilder {
     node.tail_end = end;
     node.children = std::move(children);
     node.peak_demand = peak;
+    node.subtree_ops = tree_->planned_ops - ops_before;
     return idx;
   }
 

@@ -85,6 +85,12 @@ struct TreeNode {
   /// letting a subtree run concurrently, which is what makes the MSV
   /// budget a *global* bound rather than a per-chunk one.
   std::size_t peak_demand = 1;
+
+  /// Gate + error ops of the whole subtree rooted here (excluding the
+  /// node's own entry-error injection, which the parent's stream pays).
+  /// The executor's chunk batcher uses this as the work estimate when
+  /// grouping sibling subtrees into one steal-able task.
+  opcount_t subtree_ops = 0;
 };
 
 struct ExecTree {

@@ -29,6 +29,11 @@ namespace {
 /// SvBackend pool uses).
 constexpr std::size_t kMaxPooledBuffers = 64;
 
+/// Total bytes of zero-filled buffers prewarm may page in before workers
+/// start; beyond this, first-touch faulting on the workers is cheaper than
+/// serializing startup behind a giant memset.
+constexpr std::size_t kPrewarmByteCap = std::size_t{512} << 20;
+
 // "sim.matvec_ops" mirrors the per-worker ops accumulation (same logical
 // metric as SvBackend/baseline, interned by name) so the runtime total
 // reconciles bitwise with TreeExecStats::ops and the PlanVerifier proof.
@@ -37,11 +42,18 @@ telemetry::Counter g_steals("tree_exec.steals");
 telemetry::Counter g_inline_fallbacks("tree_exec.inline_fallbacks");
 telemetry::Counter g_forks("tree_exec.forks");
 telemetry::Counter g_tasks("tree_exec.tasks");
+telemetry::Counter g_chunk_tasks("tree_exec.chunk_tasks");
 telemetry::Histogram g_worker_ops("tree_exec.worker_ops");
 
 struct Task {
+  /// Node task (chunk_end == 0): execute the subtree rooted at `node` on
+  /// `handle` (only the root is ever a node task). Chunk task: execute
+  /// children [chunk_begin, chunk_end) of `node` — a same-frontier sibling
+  /// run — forking each child's entry handle from `handle`.
   std::size_t node = 0;
-  StateVector buffer;
+  std::size_t chunk_begin = 0;
+  std::size_t chunk_end = 0;
+  CowState handle;
   /// MSV-budget tokens held by this task's subtree (0 when the budget is
   /// unlimited or the subtree runs inline under its parent's reservation).
   std::size_t reserved = 0;
@@ -74,29 +86,39 @@ class TreeExecutor {
     if (tree_.nodes.empty()) {
       return stats;
     }
-    // Admission tokens: the root task takes the whole sequential peak (the
-    // tree's replay lowering guarantees it fits any budget the tree was
-    // built with); spawned subtrees reserve their own peaks from what is
-    // left. With no user budget, a soft internal cap keeps eagerly forked
-    // child buffers from accumulating far beyond the sequential MSV —
-    // subtrees that cannot reserve simply run inline, so the cap trades
-    // concurrency, never correctness.
-    effective_budget_ =
-        budget_ != 0 ? budget_ : tree_.peak_demand + 2 * num_workers_;
-    RQSIM_CHECK(tree_.peak_demand <= effective_budget_,
-                "execute_tree: tree peak demand exceeds the MSV budget (tree "
-                "built with a different budget?)");
-    tokens_left_.store(effective_budget_ - tree_.peak_demand,
-                       std::memory_order_relaxed);
+    // Admission tokens cover *materialized* buffers only. A CoW fork is a
+    // refcount bump — a queued, unmaterialized handle occupies no memory —
+    // so with no user budget there is nothing to ration: every chunk
+    // queues, reservations are skipped entirely, and inline_fallbacks
+    // stays zero. With a budget, the banker scheme reserves each subtree's
+    // sequential peak before it may run concurrently; the root takes the
+    // whole tree peak (the replay lowering guarantees it fits).
+    if (budget_ != 0) {
+      RQSIM_CHECK(tree_.peak_demand <= budget_,
+                  "execute_tree: tree peak demand exceeds the MSV budget (tree "
+                  "built with a different budget?)");
+      effective_budget_ = budget_;
+      tokens_left_.store(budget_ - tree_.peak_demand, std::memory_order_relaxed);
+    } else {
+      effective_budget_ = static_cast<std::size_t>(-1);
+      tokens_left_.store(0, std::memory_order_relaxed);
+    }
+
+    // Work granularity: a chunk of sibling subtrees is sized so each worker
+    // sees a handful of coarse steals instead of one deque entry per fork.
+    chunk_target_ = std::max<opcount_t>(
+        1, tree_.planned_ops / static_cast<opcount_t>(num_workers_ * 4));
+
+    prewarm_pool();
 
     StateVector root_state(ctx_.circuit.num_qubits());
-    note_acquire();
+    note_materialize();
     outstanding_.store(1, std::memory_order_relaxed);
     {
       Task root;
       root.node = 0;
-      root.buffer = std::move(root_state);
-      root.reserved = tree_.peak_demand;
+      root.handle = CowState::adopt(std::move(root_state));
+      root.reserved = budget_ != 0 ? tree_.peak_demand : 0;
       std::lock_guard<std::mutex> lock(workers_[0].mutex);
       workers_[0].deque.push_back(std::move(root));
     }
@@ -123,6 +145,8 @@ class TreeExecutor {
     for (const Worker& w : workers_) {
       stats.ops += w.ops;
       stats.fork_copies += w.fork_copies;
+      stats.cow_materializations += w.cow_materializations;
+      stats.chunk_tasks += w.chunk_tasks;
       stats.steals += w.steals;
       stats.inline_fallbacks += w.inline_fallbacks;
       g_worker_ops.record(w.ops);
@@ -132,6 +156,7 @@ class TreeExecutor {
     stats.max_live_states = max_live_.load(std::memory_order_relaxed);
     stats.pool_reuses = pool_.reuse_count();
     stats.pool_allocs = pool_.alloc_count();
+    stats.prewarmed = pool_.prewarm_count();
     return stats;
   }
 
@@ -142,13 +167,40 @@ class TreeExecutor {
     std::unique_ptr<FusionCache> fusion;
     opcount_t ops = 0;
     std::uint64_t fork_copies = 0;
+    std::uint64_t cow_materializations = 0;
+    std::uint64_t chunk_tasks = 0;
     std::uint64_t steals = 0;
     std::uint64_t inline_fallbacks = 0;
   };
 
+  // ---- pool pre-warm ----------------------------------------------------
+
+  void prewarm_pool() {
+    if (tree_.planned_forks == 0) {
+      return;
+    }
+    const unsigned n = ctx_.circuit.num_qubits();
+    const std::size_t buffer_bytes = sizeof(cplx) << n;
+    // A worker's steady-state shard traffic is its share of the live-state
+    // peak plus slack for the chunks it runs back to back.
+    std::size_t per_shard =
+        std::min<std::size_t>(8, tree_.peak_demand / num_workers_ + 3);
+    // Byte cap: at large qubit counts faulting the pages lazily on the
+    // workers beats a serial up-front memset of GiBs.
+    const std::size_t cap_buffers =
+        kPrewarmByteCap / std::max<std::size_t>(1, buffer_bytes * num_workers_);
+    per_shard = std::min(per_shard, cap_buffers);
+    if (per_shard > 0) {
+      pool_.prewarm(n, per_shard);
+    }
+  }
+
   // ---- live-state accounting -------------------------------------------
 
-  void note_acquire() {
+  /// One more *materialized* statevector exists (root adoption, or a CoW
+  /// copy). Unmaterialized forks never pass through here — that is the
+  /// whole point of the reformed accounting.
+  void note_materialize() {
     const std::size_t live = live_.fetch_add(1, std::memory_order_acq_rel) + 1;
     std::size_t seen = max_live_.load(std::memory_order_relaxed);
     while (live > seen &&
@@ -162,21 +214,52 @@ class TreeExecutor {
                 "execute_tree: live statevectors exceed the MSV budget");
   }
 
-  StateVector fork_buffer(std::size_t w, const StateVector& src) {
-    telemetry::trace_instant("tree_exec.fork");
-    StateVector copy = pool_.acquire_copy(src, w);
-    note_acquire();
-    workers_[w].fork_copies += 1;
-    return copy;
+  /// Mutable access to the handle's buffer, materializing (and accounting)
+  /// a private copy when the buffer is shared.
+  StateVector& writable(std::size_t w, CowState& handle) {
+    bool copied = false;
+    bool released_peer = false;
+    StateVector& state = handle.mutate(pool_, w, &copied, &released_peer);
+    if (copied) {
+      telemetry::trace_instant("tree_exec.materialize");
+      workers_[w].cow_materializations += 1;
+      // released_peer: every other handle dropped between the shared check
+      // and the detach, so the old buffer went back to the pool — the copy
+      // replaced it one-for-one and the live count is unchanged.
+      if (!released_peer) {
+        note_materialize();
+      }
+    }
+    return state;
   }
 
-  void release_buffer(std::size_t w, StateVector&& state) {
-    if (state.dim() == 0) {
+  /// A child subtree's entry handle: the schedule fork (counted as a fork
+  /// copy so stats.fork_copies == planned_forks at every thread count,
+  /// exactly as when forks were eager copies), realized as a refcount bump.
+  CowState fork_entry(std::size_t w, const CowState& src) {
+    telemetry::trace_instant("tree_exec.fork");
+    workers_[w].fork_copies += 1;
+    return src.fork();
+  }
+
+  /// The schedule fork for the *last* consumer of a dead handle: the parent
+  /// buffer moves instead of forking, so the child's first write is
+  /// guaranteed in-place — a materialization the CoW scheme can prove
+  /// eliminated regardless of scheduling timing.
+  CowState move_entry(std::size_t w, CowState& src) {
+    telemetry::trace_instant("tree_exec.fork");
+    workers_[w].fork_copies += 1;
+    return std::move(src);
+  }
+
+  void drop_handle(std::size_t w, CowState& handle) {
+    if (!handle.valid()) {
       return;
     }
     telemetry::trace_instant("tree_exec.drop");
-    pool_.release(std::move(state), w);
-    live_.fetch_sub(1, std::memory_order_acq_rel);
+    if (handle.drop(pool_, w)) {
+      live_.fetch_sub(1, std::memory_order_acq_rel);
+    }
   }
 
   bool try_reserve(std::size_t tokens) {
@@ -224,8 +307,8 @@ class TreeExecutor {
       Worker& victim = workers_[(thief + k) % num_workers_];
       std::lock_guard<std::mutex> lock(victim.mutex);
       if (!victim.deque.empty()) {
-        // Front of the deque = oldest pending subtree = the largest chunk
-        // of work; stealing coarse keeps steals rare.
+        // Front of the deque = oldest pending chunk = the largest batch of
+        // work; stealing coarse keeps steals rare.
         out = std::move(victim.deque.front());
         victim.deque.pop_front();
         workers_[thief].steals += 1;
@@ -264,9 +347,11 @@ class TreeExecutor {
     g_tasks.increment();
     try {
       if (abort_.load(std::memory_order_relaxed)) {
-        release_buffer(w, std::move(task.buffer));
+        drop_handle(w, task.handle);
+      } else if (task.chunk_end != 0) {
+        exec_chunk(w, task.node, task.chunk_begin, task.chunk_end, task.handle);
       } else {
-        exec_node(w, task.node, task.buffer);
+        exec_node(w, task.node, task.handle);
       }
     } catch (...) {
       {
@@ -289,33 +374,62 @@ class TreeExecutor {
     }
   }
 
-  void dispatch_child(std::size_t w, std::size_t child, StateVector buffer) {
+  /// Hand children [begin, end) of `parent` — a same-frontier sibling run
+  /// sized against chunk_target_ — to the scheduler as one unit. `handle`
+  /// shares the parent buffer at the run's entry frontier (or *is* the
+  /// parent buffer, moved, for the final chunk of a tail-less node).
+  void dispatch_chunk(std::size_t w, std::size_t parent, std::size_t begin,
+                      std::size_t end, CowState handle) {
+    if (end - begin > 1) {
+      workers_[w].chunk_tasks += 1;
+      g_chunk_tasks.increment();
+    }
     if (num_workers_ > 1) {
-      const std::size_t peak = tree_.nodes[child].peak_demand;
-      if (try_reserve(peak)) {
-        note_token_occupancy();
+      bool admit = true;
+      std::size_t need = 0;
+      if (budget_ != 0) {
+        // Banker reservation: one token pins the chunk's snapshot buffer
+        // (the parent materializes past it), plus the widest child
+        // subtree's sequential peak — the chunk runs its children one at a
+        // time. need <= 1 + (parent.peak - 1) = parent.peak, so any chunk
+        // fits the budget the tree was built for.
+        std::size_t child_peak = 0;
+        const std::vector<std::size_t>& children = tree_.nodes[parent].children;
+        for (std::size_t i = begin; i < end; ++i) {
+          child_peak = std::max(child_peak, tree_.nodes[children[i]].peak_demand);
+        }
+        need = 1 + child_peak;
+        admit = try_reserve(need);
+        if (admit) {
+          note_token_occupancy();
+        }
+      }
+      if (admit) {
         outstanding_.fetch_add(1, std::memory_order_acq_rel);
         {
           Task task;
-          task.node = child;
-          task.buffer = std::move(buffer);
-          task.reserved = peak;
+          task.node = parent;
+          task.chunk_begin = begin;
+          task.chunk_end = end;
+          task.handle = std::move(handle);
+          task.reserved = need;
           std::lock_guard<std::mutex> lock(workers_[w].mutex);
           workers_[w].deque.push_back(std::move(task));
         }
         idle_cv_.notify_one();
         return;
       }
-      // Reservation failed: the MSV budget is exhausted, so the subtree
-      // runs inline instead of spawning (see below).
+      // Reservation failed: the MSV budget is exhausted, so the chunk runs
+      // inline instead of spawning. Inline execution stays within the
+      // parent's own reservation — the chunk shares the parent's current
+      // buffer (no extra pin) and a parent's peak is 1 + max(children
+      // peaks), so its slack always covers one child subtree at a time.
+      // Progress is guaranteed, never a deadlock.
       workers_[w].inline_fallbacks += 1;
       g_inline_fallbacks.increment();
       telemetry::trace_instant("tree_exec.inline_fallback");
     }
-    // Inline under the parent's reservation: a parent's peak is
-    // 1 + max(children peaks), so its slack always covers one child
-    // subtree at a time — progress is guaranteed, never a deadlock.
-    exec_node(w, child, buffer);
+    exec_chunk(w, parent, begin, end, handle);
   }
 
   // ---- node execution ---------------------------------------------------
@@ -331,44 +445,87 @@ class TreeExecutor {
     worker.ops += ctx_.ops_in_layers(from, to);
   }
 
-  void exec_node(std::size_t w, std::size_t idx, StateVector& buffer) {
+  void exec_node(std::size_t w, std::size_t idx, CowState& handle) {
     if (tree_.nodes[idx].kind == TreeNode::Kind::kReplay) {
-      exec_replay(w, idx, buffer);
+      exec_replay(w, idx, handle);
     } else {
-      exec_branch(w, idx, buffer);
+      exec_branch(w, idx, handle);
     }
   }
 
-  void exec_branch(std::size_t w, std::size_t idx, StateVector& state) {
-    const TreeNode& node = tree_.nodes[idx];
-    layer_index_t frontier = node.entry_frontier;
-    if (node.parent != kNoNode) {
-      apply_error_event(ctx_, state, node.entry_event);
-      workers_[w].ops += 1;
-    }
-    for (const std::size_t ci : node.children) {
+  /// Execute children [begin, end) of `parent` sequentially. Every child's
+  /// entry handle forks from the chunk handle except the last, which takes
+  /// the handle itself — the chunk's final fork never leaves a peer behind.
+  void exec_chunk(std::size_t w, std::size_t parent, std::size_t begin,
+                  std::size_t end, CowState& handle) {
+    const std::vector<std::size_t>& children = tree_.nodes[parent].children;
+    for (std::size_t i = begin; i < end; ++i) {
       if (abort_.load(std::memory_order_relaxed)) {
         break;
       }
-      const TreeNode& child = tree_.nodes[ci];
-      if (child.entry_frontier > frontier) {
-        advance(w, state, frontier, child.entry_frontier);
-        frontier = child.entry_frontier;
-      }
-      dispatch_child(w, ci, fork_buffer(w, state));
+      CowState entry =
+          i + 1 == end ? move_entry(w, handle) : fork_entry(w, handle);
+      exec_node(w, children[i], entry);
     }
-    if (!abort_.load(std::memory_order_relaxed) && node.tail_begin != node.tail_end) {
-      const auto total = static_cast<layer_index_t>(ctx_.num_layers());
-      if (total > frontier) {
-        advance(w, state, frontier, total);
-        frontier = total;
-      }
-      finish_group(idx, node.tail_begin, node.tail_end - node.tail_begin, state);
-    }
-    release_buffer(w, std::move(state));
+    drop_handle(w, handle);
   }
 
-  void exec_replay(std::size_t w, std::size_t idx, StateVector& state) {
+  void exec_branch(std::size_t w, std::size_t idx, CowState& handle) {
+    const TreeNode& node = tree_.nodes[idx];
+    layer_index_t frontier = node.entry_frontier;
+    if (node.parent != kNoNode) {
+      apply_error_event(ctx_, writable(w, handle), node.entry_event);
+      workers_[w].ops += 1;
+    }
+    const bool has_tail = node.tail_begin != node.tail_end;
+    const std::vector<std::size_t>& children = node.children;
+    std::size_t i = 0;
+    while (i < children.size() && !abort_.load(std::memory_order_relaxed)) {
+      // Maximal run of children forked at the same frontier: one parent
+      // advance feeds them all, so the whole run shares one buffer
+      // snapshot and can be chunked without duplicating any advance.
+      const layer_index_t run_frontier = tree_.nodes[children[i]].entry_frontier;
+      std::size_t run_end = i + 1;
+      while (run_end < children.size() &&
+             tree_.nodes[children[run_end]].entry_frontier == run_frontier) {
+        ++run_end;
+      }
+      if (run_frontier > frontier) {
+        advance(w, writable(w, handle), frontier, run_frontier);
+        frontier = run_frontier;
+      }
+      while (i < run_end) {
+        std::size_t chunk_end = i + 1;
+        opcount_t acc = tree_.nodes[children[i]].subtree_ops;
+        while (chunk_end < run_end && acc < chunk_target_) {
+          acc += tree_.nodes[children[chunk_end]].subtree_ops;
+          ++chunk_end;
+        }
+        if (!has_tail && chunk_end == children.size()) {
+          // The node's buffer has no consumer after its last fork: move it
+          // into the final chunk so the last child's first write is
+          // in-place — one materialization provably saved per tail-less
+          // node, independent of scheduling timing.
+          dispatch_chunk(w, idx, i, chunk_end, std::move(handle));
+        } else {
+          dispatch_chunk(w, idx, i, chunk_end, handle.fork());
+        }
+        i = chunk_end;
+      }
+    }
+    if (!abort_.load(std::memory_order_relaxed) && has_tail) {
+      const auto total = static_cast<layer_index_t>(ctx_.num_layers());
+      if (total > frontier) {
+        advance(w, writable(w, handle), frontier, total);
+        frontier = total;
+      }
+      finish_group(idx, node.tail_begin, node.tail_end - node.tail_begin,
+                   handle.read());
+    }
+    drop_handle(w, handle);
+  }
+
+  void exec_replay(std::size_t w, std::size_t idx, CowState& handle) {
     const TreeNode& node = tree_.nodes[idx];
     const Trial& trial = trials_[node.trial];
     layer_index_t frontier = node.entry_frontier;
@@ -376,18 +533,18 @@ class TreeExecutor {
       const ErrorEvent& event = trial.events[k];
       const layer_index_t target = event.layer + 1;
       if (target > frontier) {
-        advance(w, state, frontier, target);
+        advance(w, writable(w, handle), frontier, target);
         frontier = target;
       }
-      apply_error_event(ctx_, state, event);
+      apply_error_event(ctx_, writable(w, handle), event);
       workers_[w].ops += 1;
     }
     const auto total = static_cast<layer_index_t>(ctx_.num_layers());
     if (total > frontier) {
-      advance(w, state, frontier, total);
+      advance(w, writable(w, handle), frontier, total);
     }
-    finish_group(idx, node.trial, 1, state);
-    release_buffer(w, std::move(state));
+    finish_group(idx, node.trial, 1, handle.read());
+    drop_handle(w, handle);
   }
 
   void finish_group(std::size_t node, std::size_t first, std::size_t count,
@@ -409,6 +566,7 @@ class TreeExecutor {
   const bool fuse_gates_;
   const std::size_t budget_;
   std::size_t effective_budget_ = 0;
+  opcount_t chunk_target_ = 1;
 
   StateBufferPool pool_;
   std::vector<Worker> workers_;

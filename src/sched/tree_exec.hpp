@@ -1,13 +1,24 @@
-// Work-stealing parallel executor for the prefix-tree schedule.
+// Work-stealing parallel executor for the prefix-tree schedule, built on
+// copy-on-write checkpoint forks (sim/buffer_pool.hpp, CowState).
 //
-// Each ready subtree of the ExecTree (sched/tree.hpp) is one task: a worker
-// advances its node's statevector layer-by-layer, forks one checkpoint from
-// the shared StateBufferPool per branch point (the only duplicated work of
-// the whole schedule, counted as fork_copies), pushes child subtrees onto
-// its own deque, and drops the buffer back to the pool the moment its last
-// consumer — the tail finishes — is done. Idle workers steal from the
-// *front* of a victim's deque, taking the oldest (largest) pending subtree,
-// which keeps stolen work coarse and steals rare.
+// A schedule fork is a refcount bump on the parent's buffer, not a 2^n
+// copy: the copy is deferred until some gate actually *writes* a shared
+// buffer (a materialization, counted as cow_materializations). Forks whose
+// subtree never coexists with a writing peer — the last child of every
+// tail-less node gets the parent's buffer *moved*, and the last writer of
+// any shared snapshot finds itself sole owner — skip the copy entirely.
+// fork_copies still counts schedule forks (== planned_forks at every
+// thread count); the materialization deficit against it is the work CoW
+// eliminated.
+//
+// Tasks are subtree *chunks*: a parent advances its buffer to a branch
+// frontier once, then hands out maximal same-frontier runs of child
+// subtrees — split against a target of planned_ops / (4 × workers) — as
+// single steal-able units sharing one CoW snapshot. Chunking keeps the
+// deques coarse (steals rare, one snapshot per run instead of one eager
+// copy per fork); same-frontier grouping is what makes it redundancy-free,
+// since one parent advance feeds the whole run. Idle workers steal from
+// the *front* of a victim's deque, taking the oldest (largest) chunk.
 //
 // Zero redundancy: every advance/error of the tree schedule is executed by
 // exactly one worker exactly once, so the multi-threaded op count equals
@@ -16,17 +27,20 @@
 // (verify/plan_verifier.hpp) proves the schedule-level equality statically;
 // the executor's own counters confirm it at run time.
 //
-// Global MSV accounting (max_states): admission control is a banker-style
-// reservation against one shared token pool. Every node carries its
-// peak_demand — the buffers its subtree needs when run sequentially — and a
-// subtree runs *concurrently* only if its full peak can be reserved; when
-// the reservation fails the child runs inline on the parent's thread,
-// inside the parent's own reservation (whose slack always covers one child
-// subtree, since a parent's peak is 1 + max over children). Inline
-// execution always makes progress, so the budget can never deadlock, and
-// the number of live statevectors is globally bounded by max_states — the
-// same bound the sequential scheduler guarantees, not a per-chunk copy of
-// it.
+// Global MSV accounting (max_states): tokens ration *materialized* buffers
+// only — an unmaterialized CoW fork occupies no memory, so it needs no
+// token to wait in a deque. With max_states == 0 there is consequently
+// nothing to ration: every chunk queues, and inline_fallbacks stays zero.
+// With a budget, admission control is a banker-style reservation against
+// one shared token pool: a chunk runs *concurrently* only if it can
+// reserve one token for its pinned snapshot plus the widest child
+// subtree's sequential peak_demand; when the reservation fails the chunk
+// runs inline on the parent's thread, inside the parent's own reservation
+// (whose slack always covers one child subtree, since a parent's peak is
+// 1 + max over children). Inline execution always makes progress, so the
+// budget can never deadlock, and the number of live materialized
+// statevectors is globally bounded by max_states — the same bound the
+// sequential scheduler guarantees, not a per-chunk copy of it.
 //
 // Determinism: results are bitwise identical to the sequential scheduler
 // for any thread count and any interleaving. Outcome sampling draws from
@@ -80,20 +94,31 @@ struct TreeExecConfig {
 /// Execution counters (results flow through the sink).
 struct TreeExecStats {
   opcount_t ops = 0;
-  std::uint64_t fork_copies = 0;
 
-  /// Peak concurrently live statevectors actually observed; <= max_states
-  /// whenever a budget is set (checked), and can exceed the *sequential*
-  /// MSV only when the budget is unlimited and subtrees run concurrently.
+  /// Schedule forks (CoW refcount bumps or moves), == ExecTree::
+  /// planned_forks at every thread count. The 2^n copies actually paid are
+  /// cow_materializations — strictly fewer whenever CoW saved anything.
+  std::uint64_t fork_copies = 0;
+  std::uint64_t cow_materializations = 0;
+
+  /// Peak concurrently live *materialized* statevectors actually observed;
+  /// <= max_states whenever a budget is set (checked), and can exceed the
+  /// *sequential* MSV only when the budget is unlimited and subtrees run
+  /// concurrently.
   std::size_t max_live_states = 1;
 
-  /// Buffer-pool effectiveness across the run.
+  /// Buffer-pool effectiveness across the run. Prewarmed buffers are
+  /// paged in on the setup thread before workers start and count as
+  /// reuses when acquired, never as allocs.
   std::uint64_t pool_reuses = 0;
   std::uint64_t pool_allocs = 0;
+  std::uint64_t prewarmed = 0;
 
-  /// Scheduling dynamics: successful steals (a task moved to an idle
-  /// worker) and MSV-token reservation failures that fell back to inline
-  /// execution on the parent's thread.
+  /// Scheduling dynamics: multi-child chunk tasks created, successful
+  /// steals (a task moved to an idle worker), and MSV-token reservation
+  /// failures that fell back to inline execution on the parent's thread
+  /// (always 0 when max_states == 0: unmaterialized forks need no token).
+  std::uint64_t chunk_tasks = 0;
   std::uint64_t steals = 0;
   std::uint64_t inline_fallbacks = 0;
 };

@@ -18,6 +18,14 @@ telemetry::Counter g_fresh_allocs("buffer_pool.fresh_allocs");
 telemetry::Counter g_releases("buffer_pool.releases");
 telemetry::MaxGauge g_shard_high_water("buffer_pool.shard_high_water");
 telemetry::MaxGauge g_global_high_water("buffer_pool.global_high_water");
+telemetry::Counter g_prewarmed("buffer_pool.prewarmed");
+// CoW checkpoint traffic: forks are refcount bumps, materializations are
+// the deferred 2^n copies actually paid, in-place writes are sole-owner
+// mutations that skipped the copy entirely. cow_forks - cow_materializations
+// is the number of full state copies the CoW scheme eliminated.
+telemetry::Counter g_cow_forks("buffer_pool.cow_forks");
+telemetry::Counter g_cow_materializations("buffer_pool.cow_materializations");
+telemetry::Counter g_cow_inplace("buffer_pool.cow_inplace");
 }  // namespace
 
 StateBufferPool::StateBufferPool(std::size_t max_pooled, std::size_t num_shards)
@@ -80,6 +88,20 @@ void StateBufferPool::release(StateVector&& state, std::size_t shard) {
   }
 }
 
+void StateBufferPool::prewarm(unsigned num_qubits, std::size_t per_shard) {
+  const std::size_t dim = std::size_t{1} << num_qubits;
+  const std::size_t target = std::min(per_shard, per_shard_cap_);
+  for (Shard& shard : shards_) {
+    while (shard.free.size() < target) {
+      // Zero-filling touches every page now, on the setup thread, which is
+      // the point: the workers' first acquires find mapped memory.
+      shard.free.emplace_back(dim);
+      prewarmed_.fetch_add(1, std::memory_order_relaxed);
+      g_prewarmed.increment();
+    }
+  }
+}
+
 void StateBufferPool::clear() {
   for (Shard& shard : shards_) {
     shard.free.clear();
@@ -95,6 +117,111 @@ std::size_t StateBufferPool::pooled() const {
   }
   std::lock_guard<std::mutex> lock(global_mutex_);
   return total + global_free_.size();
+}
+
+// --------------------------------------------------------------------------
+// CowState
+
+struct CowState::Block {
+  StateVector state;
+  std::atomic<std::size_t> refs{1};
+};
+
+CowState& CowState::operator=(CowState&& other) noexcept {
+  if (this != &other) {
+    // Assigning over an engaged handle has no pool to recycle into; free
+    // outright, exactly like the destructor's abandonment path.
+    if (block_ != nullptr &&
+        block_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      delete block_;
+    }
+    block_ = other.block_;
+    other.block_ = nullptr;
+  }
+  return *this;
+}
+
+CowState::~CowState() {
+  if (block_ != nullptr &&
+      block_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    delete block_;
+  }
+}
+
+CowState CowState::adopt(StateVector&& state) {
+  Block* block = new Block;
+  block->state = std::move(state);
+  return CowState(block);
+}
+
+CowState CowState::fork() const {
+  RQSIM_CHECK(block_ != nullptr, "CowState::fork: empty handle");
+  block_->refs.fetch_add(1, std::memory_order_relaxed);
+  g_cow_forks.increment();
+  return CowState(block_);
+}
+
+bool CowState::unique() const {
+  return block_ != nullptr &&
+         block_->refs.load(std::memory_order_acquire) == 1;
+}
+
+const StateVector& CowState::read() const {
+  RQSIM_CHECK(block_ != nullptr, "CowState::read: empty handle");
+  return block_->state;
+}
+
+StateVector& CowState::mutate(StateBufferPool& pool, std::size_t shard,
+                              bool* copied, bool* released_peer) {
+  RQSIM_CHECK(block_ != nullptr, "CowState::mutate: empty handle");
+  if (copied != nullptr) {
+    *copied = false;
+  }
+  if (released_peer != nullptr) {
+    *released_peer = false;
+  }
+  // Sole owner: in-place. The acquire load pairs with the release half of
+  // peers' detaching fetch_sub, so a buffer observed unshared is fully
+  // synchronized (peers never write a shared buffer, but their detach must
+  // be ordered before our write).
+  if (block_->refs.load(std::memory_order_acquire) == 1) {
+    g_cow_inplace.increment();
+    return block_->state;
+  }
+  // Shared: materialize a private copy through the pool, then detach from
+  // the shared buffer.
+  Block* fresh = new Block;
+  fresh->state = pool.acquire_copy(block_->state, shard);
+  g_cow_materializations.increment();
+  if (copied != nullptr) {
+    *copied = true;
+  }
+  Block* old = block_;
+  block_ = fresh;
+  if (old->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Every peer dropped between the shared check and this detach: the copy
+    // was redundant but safe, and the old buffer is ours to recycle.
+    pool.release(std::move(old->state), shard);
+    delete old;
+    if (released_peer != nullptr) {
+      *released_peer = true;
+    }
+  }
+  return block_->state;
+}
+
+bool CowState::drop(StateBufferPool& pool, std::size_t shard) {
+  if (block_ == nullptr) {
+    return false;
+  }
+  Block* block = block_;
+  block_ = nullptr;
+  if (block->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    pool.release(std::move(block->state), shard);
+    delete block;
+    return true;
+  }
+  return false;
 }
 
 }  // namespace rqsim

@@ -1,4 +1,5 @@
-// Checkpoint buffer pool: recycles freed StateVector allocations.
+// Checkpoint buffer pool: recycles freed StateVector allocations, plus the
+// copy-on-write checkpoint handle (CowState) built on top of it.
 //
 // The prefix-caching executor forks a checkpoint on every branch of the
 // trial tree and drops it when the branch is exhausted — thousands of
@@ -6,6 +7,14 @@
 // costs a page-faulting malloc of up to hundreds of MiB; the pool instead
 // keeps dropped buffers on a free list and turns a fork into one memcpy
 // into already-mapped memory.
+//
+// CowState goes one step further: a fork becomes a refcount bump on the
+// parent's buffer, and the 2^n copy is deferred until someone actually
+// *writes* a shared buffer (materialization). Forks whose subtree diverges
+// immediately and drops the shared prefix without touching it never pay
+// the copy at all, and — critically for the parallel executor's admission
+// control — an unmaterialized fork occupies no memory, so it needs no MSV
+// token while it waits in a work deque.
 //
 // Sharding (the multi-threaded tree executor's fork/drop path): the pool
 // can be constructed with one shard per worker thread. A shard's free list
@@ -48,6 +57,15 @@ class StateBufferPool {
   /// Return a dead StateVector's buffer to the free list.
   void release(StateVector&& state, std::size_t shard = 0);
 
+  /// Park up to `per_shard` zero-filled 2^num_qubits buffers on every
+  /// shard's free list (bounded by the shard cap), before any worker
+  /// starts. Pre-warmed buffers are page-faulted here, on the setup
+  /// thread, so the workers' first materializations hit the lock-free
+  /// shard path instead of racing into fresh allocations; they count as
+  /// reuses when acquired, never as allocs (see prewarm_count). Requires
+  /// quiescence.
+  void prewarm(unsigned num_qubits, std::size_t per_shard);
+
   /// Drop all pooled buffers (requires quiescence).
   void clear();
 
@@ -62,6 +80,9 @@ class StateBufferPool {
   std::uint64_t alloc_count() const {
     return allocs_.load(std::memory_order_relaxed);
   }
+  std::uint64_t prewarm_count() const {
+    return prewarmed_.load(std::memory_order_relaxed);
+  }
 
  private:
   // Padded so two workers' shard headers never share a cache line.
@@ -74,9 +95,83 @@ class StateBufferPool {
   std::vector<Shard> shards_;
   std::atomic<std::uint64_t> reuses_{0};
   std::atomic<std::uint64_t> allocs_{0};
+  std::atomic<std::uint64_t> prewarmed_{0};
 
   mutable std::mutex global_mutex_;
   std::vector<std::vector<cplx>> global_free_;
+};
+
+/// Copy-on-write checkpoint handle: a move-only reference to a shared,
+/// atomically refcounted StateVector.
+///
+///   fork()   — a new handle on the same buffer; one relaxed fetch_add, no
+///              copy, no allocation. O(1) regardless of 2^n.
+///   mutate() — mutable access. Sole owner: writes in place. Shared: first
+///              materializes a private copy through the StateBufferPool
+///              (the deferred "fork copy") and detaches from the shared
+///              buffer. This is the ONLY point a CoW fork costs memory.
+///   drop()   — detach; the last handle releases the buffer to the pool.
+///
+/// Thread contract: one handle is owned by one thread at a time (handles
+/// move between threads through the executor's mutex-guarded deques, which
+/// publish the buffer contents). Distinct handles to the same buffer may be
+/// used concurrently: reads are safe because a shared buffer is never
+/// written — any writer copies first, and the sole-owner in-place fast path
+/// cannot race because a lone handle has no peers. The refcount uses the
+/// shared_ptr protocol (relaxed increments, acq_rel decrement, acquire load
+/// on the unique() fast path).
+///
+/// Telemetry: buffer_pool.cow_forks / cow_materializations / cow_inplace
+/// count the three paths; the materialization deficit versus forks is the
+/// work the CoW scheme eliminated.
+class CowState {
+ public:
+  CowState() = default;
+  CowState(const CowState&) = delete;
+  CowState& operator=(const CowState&) = delete;
+  CowState(CowState&& other) noexcept : block_(other.block_) {
+    other.block_ = nullptr;
+  }
+  CowState& operator=(CowState&& other) noexcept;
+
+  /// Fallback teardown for abandoned handles (exception unwinding): frees
+  /// the buffer outright when last, without pooling it. Normal paths call
+  /// drop() so the buffer is recycled.
+  ~CowState();
+
+  /// Take ownership of `state` as a fresh, sole-owner buffer.
+  static CowState adopt(StateVector&& state);
+
+  /// A new handle sharing this buffer (refcount bump, no copy).
+  CowState fork() const;
+
+  bool valid() const { return block_ != nullptr; }
+
+  /// True when this handle is the buffer's only owner (a write would be
+  /// in-place). Answer is exact for the owner: peers can only disappear
+  /// concurrently, never appear.
+  bool unique() const;
+
+  const StateVector& read() const;
+
+  /// Mutable access, materializing a private copy via `pool`/`shard` when
+  /// the buffer is shared. `copied` reports whether a new buffer was
+  /// materialized; `released_peer` reports the rare race where every other
+  /// handle dropped between the shared check and the detach, making this
+  /// handle the old buffer's last owner (the old buffer went back to the
+  /// pool — callers tracking live buffers must count it as a release).
+  StateVector& mutate(StateBufferPool& pool, std::size_t shard,
+                      bool* copied = nullptr, bool* released_peer = nullptr);
+
+  /// Detach from the buffer; returns true when this was the last handle
+  /// and the buffer was released to `pool`.
+  bool drop(StateBufferPool& pool, std::size_t shard);
+
+ private:
+  struct Block;
+  explicit CowState(Block* block) : block_(block) {}
+
+  Block* block_ = nullptr;
 };
 
 }  // namespace rqsim

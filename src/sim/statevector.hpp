@@ -2,6 +2,13 @@
 //
 // Amplitude order: basis state |b_{n-1} … b_1 b_0⟩ lives at index
 // Σ b_k 2^k (qubit 0 is the least-significant bit).
+//
+// Copying: a StateVector copy is a 2^n memcpy plus a possible
+// page-faulting allocation, so checkpoint copies never use the copy
+// constructor directly — they go through StateBufferPool::acquire_copy
+// (recycled buffers) or CowState (sim/buffer_pool.hpp), which defers the
+// copy until the buffer is first written. check_source_rules.sh rule 5
+// enforces this outside sim/buffer_pool.*.
 #pragma once
 
 #include <cstdint>

@@ -166,10 +166,13 @@ std::size_t next_finished_trial(const std::vector<PlanOp>& plan, std::size_t k) 
 /// number of error events on this checkpoint's ancestry (a prefix of the
 /// shared `path` vector — forks copy by prefix, so one vector serves every
 /// depth), `finishes` counts trials finished in this checkpoint's subtree.
+/// `materialized` models the CoW executor's memory: a fork shares its
+/// parent's buffer until the first write (advance or error) pays the copy.
 struct DepthState {
   layer_index_t frontier = 0;
   std::size_t path_len = 0;
   std::uint64_t finishes = 0;
+  bool materialized = false;
 };
 
 }  // namespace
@@ -228,10 +231,32 @@ PlanProof PlanVerifier::verify(const std::vector<Trial>& trials,
 
   // ---- Invariants 2 & 3: checkpoint stack discipline and the MSV bound,
   // walked over the recorded stream with per-trial path reconstruction.
+  // The MSV budget is checked against *materialized* checkpoints: a fork
+  // is free (CoW refcount bump) until its first write pays the copy, which
+  // is exactly when the executor's banker accounting charges a token.
   std::vector<DepthState> stack(1);
+  stack.front().materialized = true;  // the root state is allocated up front
+  proof.materializations = 1;
+  std::size_t materialized_live = 1;
   std::vector<ErrorEvent> path;  // shared by all depths; see DepthState
   std::vector<bool> finished(trials.size(), false);
   std::size_t finished_count = 0;
+
+  // First write to an unmaterialized checkpoint: charge the copy against
+  // the budget and record the high-water witness.
+  const auto materialize_top = [&](std::size_t k) -> bool {
+    if (stack.back().materialized) {
+      return true;
+    }
+    stack.back().materialized = true;
+    ++proof.materializations;
+    ++materialized_live;
+    if (materialized_live > proof.max_materialized_states) {
+      proof.max_materialized_states = materialized_live;
+      proof.materialization_witness_op = k;
+    }
+    return options_.max_states == 0 || materialized_live <= options_.max_states;
+  };
 
   for (std::size_t k = 0; k < plan.size(); ++k) {
     const PlanOp& op = plan[k];
@@ -263,11 +288,22 @@ PlanProof PlanVerifier::verify(const std::vector<Trial>& trials,
                           ") for a circuit with " + std::to_string(total_layers) +
                           " layers");
         }
+        if (!materialize_top(k)) {
+          return fail(k, next_finished_trial(plan, k),
+                      "advance at plan op " + std::to_string(k) +
+                          " materializes checkpoint depth " + std::to_string(op.depth) +
+                          ", raising the live materialized count to " +
+                          std::to_string(materialized_live) +
+                          ", exceeding the MSV budget of " +
+                          std::to_string(options_.max_states));
+        }
         proof.cached_ops += ctx_.ops_in_layers(op.from, op.to);
         state.frontier = op.to;
         break;
       }
       case PlanOpKind::kFork: {
+        // Forks are free under CoW — no copy, no token — so the budget is
+        // not checked here; it is charged at the child's first write.
         DepthState child;
         child.frontier = stack.back().frontier;
         child.path_len = stack.back().path_len;
@@ -276,14 +312,6 @@ PlanProof PlanVerifier::verify(const std::vector<Trial>& trials,
         if (stack.size() > proof.max_live_states) {
           proof.max_live_states = stack.size();
           proof.msv_witness_op = k;
-        }
-        if (options_.max_states != 0 && stack.size() > options_.max_states) {
-          return fail(k, next_finished_trial(plan, k),
-                      "fork at plan op " + std::to_string(k) + " raises the live " +
-                          "checkpoint count to " + std::to_string(stack.size()) +
-                          ", exceeding the MSV budget of " +
-                          std::to_string(options_.max_states) + " (witness depth " +
-                          std::to_string(stack.size()) + ")");
         }
         break;
       }
@@ -302,6 +330,15 @@ PlanProof PlanVerifier::verify(const std::vector<Trial>& trials,
                           " but checkpoint depth " + std::to_string(op.depth) +
                           " is advanced through layer " + std::to_string(state.frontier) +
                           " (errors must be injected at their layer boundary)");
+        }
+        if (!materialize_top(k)) {
+          return fail(k, next_finished_trial(plan, k),
+                      "error at plan op " + std::to_string(k) +
+                          " materializes checkpoint depth " + std::to_string(op.depth) +
+                          ", raising the live materialized count to " +
+                          std::to_string(materialized_live) +
+                          ", exceeding the MSV budget of " +
+                          std::to_string(options_.max_states));
         }
         path.resize(state.path_len);
         path.push_back(op.event);
@@ -362,6 +399,9 @@ PlanProof PlanVerifier::verify(const std::vector<Trial>& trials,
                           "advances are wasted computation)");
         }
         const std::uint64_t finishes = stack.back().finishes;
+        if (stack.back().materialized) {
+          --materialized_live;
+        }
         stack.pop_back();
         stack.back().finishes += finishes;
         ++proof.drops;
@@ -554,13 +594,19 @@ std::string format_proof(const PlanProof& proof) {
     out << " (witness at plan op " << proof.msv_witness_op << ")";
   }
   out << "\n";
+  out << "  max materialized  : " << proof.max_materialized_states;
+  if (proof.materialization_witness_op != kNoIndex) {
+    out << " (witness at plan op " << proof.materialization_witness_op << ")";
+  }
+  out << "\n";
   out << "  msv budget        : ";
   if (proof.msv_budget == 0) {
     out << "unlimited\n";
   } else {
-    out << proof.msv_budget << "\n";
+    out << proof.msv_budget << " (checked against materialized states)\n";
   }
   out << "  forks / drops     : " << proof.forks << " / " << proof.drops << "\n";
+  out << "  materializations  : " << proof.materializations << "\n";
   return out.str();
 }
 

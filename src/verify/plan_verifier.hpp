@@ -4,8 +4,9 @@
 // maintains *by construction* but that nothing re-checks: the trial list
 // must be in reorder order (Algorithm 1's lexicographic order with
 // "no-further-error" last), the checkpoint stream must form a valid stack
-// discipline (no use-after-drop, no leak), the number of live checkpoints
-// must stay within the MSV budget, and the op count implied by the stream
+// discipline (no use-after-drop, no leak), the number of live *materialized*
+// checkpoints must stay within the MSV budget (a CoW fork occupies no
+// memory until its first write), and the op count implied by the stream
 // must telescope exactly against both an independent prediction and the
 // baseline. This module makes those invariants checkable before any
 // amplitude is touched:
@@ -137,11 +138,25 @@ struct PlanProof {
   std::size_t max_live_states = 1;
   std::size_t msv_witness_op = kNoIndex;
 
+  /// Witness for the CoW memory bound: the maximum number of live
+  /// *materialized* checkpoints — a fork only materializes at its first
+  /// write (advance or error), so this is what the MSV budget is checked
+  /// against — and the write op at which that maximum is first reached.
+  /// For any schedule the sequential walker emits, every fork's next op
+  /// writes the child, so max_materialized_states == max_live_states; the
+  /// two can differ only for hand-built plans with never-written forks.
+  std::size_t max_materialized_states = 1;
+  std::size_t materialization_witness_op = kNoIndex;
+
   /// The budget the plan was checked against (0 = unlimited).
   std::size_t msv_budget = 0;
 
   std::uint64_t forks = 0;
   std::uint64_t drops = 0;
+
+  /// Checkpoints that were ever written (materializations the CoW executor
+  /// would pay as 2^n copies; <= forks + 1 counting the root).
+  std::uint64_t materializations = 0;
 };
 
 /// Pure verification pass over a trial list and a recorded plan.

@@ -1,0 +1,154 @@
+// ThreadSanitizer smoke test for the copy-on-write checkpoint handle
+// (plain main, no gtest).
+//
+// CowState's risk surface is the shared_ptr-style refcount protocol plus
+// the sharded buffer pool underneath it: relaxed fork increments, the
+// acquire unique() fast path, the acq_rel detach in mutate()/drop(), and
+// the rare last-peer race where a mutate's detach must recycle the old
+// buffer exactly once. This binary hammers those paths directly from many
+// threads — fork storms over one shared root, unanchored handle groups
+// racing mutate against drop — and cross-checks the invariants a race
+// would break even when TSan's interleaving misses it: the shared buffer
+// is bitwise-frozen, the copy / in-place split is deterministic, and every
+// group round produces exactly one last-owner event.
+//
+// In the tier-1 flow sim/buffer_pool.cpp is recompiled into this target
+// with -fsanitize=thread (tests/CMakeLists.txt); under the `tsan` preset
+// the whole tree is instrumented.
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/buffer_pool.hpp"
+#include "sim/statevector.hpp"
+
+namespace {
+
+int failures = 0;
+
+#define SMOKE_CHECK(cond)                                                   \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "FAIL %s:%d: %s\n", __FILE__, __LINE__, #cond);  \
+      ++failures;                                                           \
+    }                                                                       \
+  } while (0)
+
+rqsim::StateVector random_state(unsigned n, std::uint64_t seed) {
+  rqsim::Rng rng(seed);
+  rqsim::StateVector s(n);
+  for (std::size_t i = 0; i < s.dim(); ++i) {
+    s[i] = rqsim::cplx(rng.normal(), rng.normal());
+  }
+  return s;
+}
+
+// Every thread forks/writes/drops lineages of one shared root buffer.
+// Writers must always detach into private copies: the root stays bitwise
+// identical to `golden` under maximal fork contention.
+void stress_shared_root() {
+  constexpr std::size_t kThreads = 8;
+  constexpr int kRounds = 300;
+  rqsim::StateBufferPool pool(/*max_pooled=*/64, /*num_shards=*/kThreads);
+  const rqsim::StateVector golden = random_state(6, 42);
+  rqsim::CowState root = rqsim::CowState::adopt(pool.acquire_copy(golden));
+
+  std::vector<rqsim::CowState> handles;
+  handles.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    handles.push_back(root.fork());
+  }
+
+  std::atomic<std::uint64_t> copies{0};
+  std::atomic<std::uint64_t> corruptions{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      rqsim::CowState mine = std::move(handles[t]);
+      for (int round = 0; round < kRounds; ++round) {
+        rqsim::CowState child = mine.fork();
+        bool copied = false;
+        rqsim::StateVector& v = child.mutate(pool, t, &copied);
+        v[0] = rqsim::cplx(static_cast<double>(t), static_cast<double>(round));
+        if (copied) {
+          copies.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (!mine.read().bitwise_equal(golden)) {
+          corruptions.fetch_add(1, std::memory_order_relaxed);
+        }
+        child.drop(pool, t);
+      }
+      mine.drop(pool, t);
+    });
+  }
+  for (std::thread& th : threads) {
+    th.join();
+  }
+
+  SMOKE_CHECK(corruptions.load() == 0);
+  // Shared with root throughout, so every write materialized a copy.
+  SMOKE_CHECK(copies.load() ==
+              static_cast<std::uint64_t>(kThreads) * kRounds);
+  SMOKE_CHECK(root.unique());
+  SMOKE_CHECK(root.read().bitwise_equal(golden));
+  SMOKE_CHECK(root.drop(pool, 0));
+}
+
+// Unanchored handle groups: all members mutate concurrently, then drop.
+// Exactly one mutate per group ends up owning the original buffer — in
+// place because it saw itself unique, or via the released_peer race where
+// its detach was the buffer's last reference. Anything else is a leak or
+// a double release.
+void stress_last_owner_race() {
+  constexpr std::size_t kThreads = 8;
+  constexpr int kRounds = 200;
+  rqsim::StateBufferPool pool(/*max_pooled=*/64, /*num_shards=*/kThreads);
+  const rqsim::StateVector golden = random_state(5, 43);
+  for (int round = 0; round < kRounds; ++round) {
+    rqsim::CowState seed = rqsim::CowState::adopt(pool.acquire_copy(golden));
+    std::vector<rqsim::CowState> group;
+    group.reserve(kThreads);
+    for (std::size_t t = 0; t + 1 < kThreads; ++t) {
+      group.push_back(seed.fork());
+    }
+    group.push_back(std::move(seed));
+
+    std::atomic<int> last_owner_events{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        bool copied = false;
+        bool released_peer = false;
+        rqsim::StateVector& v =
+            group[t].mutate(pool, t, &copied, &released_peer);
+        v[0] = rqsim::cplx(static_cast<double>(t), 0.0);
+        if (!copied || released_peer) {
+          last_owner_events.fetch_add(1, std::memory_order_relaxed);
+        }
+        group[t].drop(pool, t);
+      });
+    }
+    for (std::thread& th : threads) {
+      th.join();
+    }
+    SMOKE_CHECK(last_owner_events.load() == 1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  stress_shared_root();
+  stress_last_owner_race();
+  if (failures != 0) {
+    std::fprintf(stderr, "cow_tsan_smoke: %d failure(s)\n", failures);
+    return 1;
+  }
+  std::printf("cow_tsan_smoke: OK\n");
+  return 0;
+}

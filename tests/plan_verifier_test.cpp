@@ -183,16 +183,59 @@ TEST(PlanVerifier, RejectsMsvBudgetExceededByOne) {
   const PlanProof unlimited = PlanVerifier(w.ctx).verify_schedule(w.trials);
   ASSERT_TRUE(unlimited.ok) << unlimited.diagnostic;
   ASSERT_GE(unlimited.max_live_states, 3u);  // budget below must stay >= 2
-  // Same plan, budget one below the witness depth: the witness fork fails.
+  // In every sequential schedule a fork's next op writes the child, so the
+  // materialized peak equals the live peak and its witness is the write
+  // that realizes the deepest fork.
+  ASSERT_EQ(unlimited.max_materialized_states, unlimited.max_live_states);
+  // Same plan, budget one below the witness depth: the adversarial
+  // over-budget fixture — the witness write's materialization must fail.
   ScheduleOptions tight;
   tight.max_states = unlimited.max_live_states - 1;
   const std::vector<PlanOp> plan = record_plan(w.ctx, w.trials);
   const PlanProof proof = PlanVerifier(w.ctx, tight).verify(w.trials, plan);
   ASSERT_FALSE(proof.ok);
-  EXPECT_EQ(proof.violating_op, unlimited.msv_witness_op);
+  EXPECT_EQ(proof.violating_op, unlimited.materialization_witness_op);
   EXPECT_NE(proof.diagnostic.find("exceeding the MSV budget"), std::string::npos)
       << proof.diagnostic;
   EXPECT_NE(proof.violating_trial, kNoIndex);
+}
+
+TEST(PlanVerifier, AcceptsUnmaterializedForksBeyondBudget) {
+  // The CoW relaxation: a fork that is never written occupies no memory,
+  // so a plan may hold more live checkpoint *handles* than the MSV budget
+  // as long as the materialized count stays within it. Three zero-error
+  // trials finish on CoW forks of the fully-advanced root — three live
+  // handles at the peak, one materialized buffer throughout.
+  const Circuit circuit = decompose_to_cx_basis(make_qft(4));
+  const CircuitContext ctx(circuit);
+  const auto total = static_cast<layer_index_t>(ctx.num_layers());
+  std::vector<Trial> trials(3);
+  std::vector<PlanOp> plan;
+  const auto push = [&plan](PlanOpKind kind, std::uint32_t depth,
+                            trial_index_t trial = 0) {
+    PlanOp op;
+    op.kind = kind;
+    op.depth = depth;
+    op.trial = trial;
+    plan.push_back(op);
+  };
+  push(PlanOpKind::kAdvance, 0);
+  plan.back().from = 0;
+  plan.back().to = total;
+  push(PlanOpKind::kFinish, 0, 0);
+  push(PlanOpKind::kFork, 0);
+  push(PlanOpKind::kFinish, 1, 1);
+  push(PlanOpKind::kFork, 1);
+  push(PlanOpKind::kFinish, 2, 2);
+  push(PlanOpKind::kDrop, 2);
+  push(PlanOpKind::kDrop, 1);
+  ScheduleOptions budget;
+  budget.max_states = 2;
+  const PlanProof proof = PlanVerifier(ctx, budget).verify(trials, plan);
+  ASSERT_TRUE(proof.ok) << proof.diagnostic;
+  EXPECT_EQ(proof.max_live_states, 3u);
+  EXPECT_EQ(proof.max_materialized_states, 1u);
+  EXPECT_EQ(proof.materializations, 1u);
 }
 
 TEST(PlanVerifier, RejectsDeadBranchInsertion) {

@@ -176,6 +176,33 @@ TEST(TreeExec, VerifierRejectsCorruptedTree) {
       Error);
 }
 
+TEST(TreeExec, VerifierRejectsOverBudgetMaterialization) {
+  const Circuit c = decompose_to_cx_basis(make_qft(3));
+  const NoiseModel noise = NoiseModel::uniform(3, 0.05, 0.15, 0.0);
+  const CircuitContext ctx(c);
+  Rng rng(5);
+  std::vector<Trial> trials = generate_trials(c, ctx.layering, noise, 500, rng);
+  assign_measurement_seeds(trials, rng);
+  reorder_trials(trials);
+  // Built unbudgeted, the tree's checkpoint stack runs deeper than two.
+  const ScheduleOptions unbounded;
+  const ExecTree tree = build_exec_tree(ctx, trials, unbounded);
+  ASSERT_GT(tree.peak_demand, 2u);
+  ASSERT_TRUE(PlanVerifier(ctx, unbounded).verify_tree_plan(trials, tree).ok);
+
+  // Adversarial fixture: the same tree presented against a 2-state MSV
+  // budget. Every fork in the linearization is written immediately after
+  // it is pushed, so the materialized count tracks the stack depth and
+  // the proof must reject at the materializing op — forks being free
+  // under CoW must not let an over-budget schedule through.
+  ScheduleOptions tight;
+  tight.max_states = 2;
+  const PlanProof proof = PlanVerifier(ctx, tight).verify_tree_plan(trials, tree);
+  EXPECT_FALSE(proof.ok);
+  EXPECT_NE(proof.diagnostic.find("materialize"), std::string::npos)
+      << proof.diagnostic;
+}
+
 TEST(TreeExec, ExecutorStatsMatchPlannedCounters) {
   // The executor's runtime counters must land exactly on the tree's
   // planned (and verified) values: every op executed once, every branch

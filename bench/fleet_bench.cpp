@@ -1,0 +1,277 @@
+// Fleet routing benchmark: spin up 1/2/4 in-process SimServer backends
+// behind a FleetRouter and drive them with several tenants submitting
+// batch-compatible workloads. Reports, per fleet size, the headline metric
+// of the router subsystem — the cross-tenant batch-merge hit rate — plus
+// per-backend routing counts, the queue depth right after the submit burst,
+// and end-to-end (submit -> terminal wait) p50/p99 job latency.
+//
+//   fleet_bench                      # table to stdout
+//   fleet_bench --fleet-json out.json  # plus machine-readable sweep results
+//
+// Knobs: RQSIM_FLEET_JOBS (jobs per tenant, default 6),
+//        RQSIM_FLEET_TRIALS (trials per job, default 200).
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/error.hpp"
+#include "router/router.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "telemetry/clock.hpp"
+
+namespace rqsim::bench {
+namespace {
+
+struct JobTicket {
+  std::uint64_t job = 0;
+  telemetry::TimePoint submitted;
+  double latency_ms = 0.0;
+};
+
+struct BackendRow {
+  std::string endpoint;
+  std::uint64_t jobs_routed = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t queued_after_submit = 0;
+};
+
+struct SweepRow {
+  std::size_t backends = 0;
+  std::size_t tenants = 0;
+  std::size_t jobs = 0;
+  std::size_t trials = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double cross_tenant_merge_hit_rate = 0.0;
+  std::uint64_t merged_cross_tenant_jobs = 0;
+  std::uint64_t resubmits = 0;
+  std::vector<BackendRow> per_backend;
+};
+
+Json submit_request(const std::string& circuit, std::uint64_t seed,
+                    const std::string& tenant, std::size_t trials) {
+  WorkloadSpec workload;
+  workload.circuit_spec = circuit;
+  workload.device = "yorktown";
+  SubmitParams params;
+  params.trials = trials;
+  params.seed = seed;
+  params.tenant = tenant;
+  return make_submit_request(workload, params);
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+SweepRow run_fleet(std::size_t num_backends, std::size_t jobs_per_tenant,
+                   std::size_t trials) {
+  const std::vector<std::string> tenants = {"alice", "bob", "carol"};
+  // Two batch-compatible workload classes: every tenant submits both, so
+  // each class converges (via affinity) on one backend and the per-backend
+  // batch planner sees trial-compatible jobs from distinct tenants.
+  const std::vector<std::string> circuits = {"qft:5", "ghz:5"};
+
+  std::vector<std::unique_ptr<SimServer>> backends;
+  std::vector<std::thread> backend_threads;
+  std::vector<std::string> endpoints;
+  for (std::size_t i = 0; i < num_backends; ++i) {
+    ServerConfig config;
+    config.tcp_port = 0;
+    config.service.num_workers = 1;
+    config.service.queue_capacity = 256;
+    config.service.max_batch_jobs = 8;
+    backends.push_back(std::make_unique<SimServer>(std::move(config)));
+    backend_threads.emplace_back([srv = backends.back().get()] { srv->run(); });
+    endpoints.push_back("127.0.0.1:" + std::to_string(backends.back()->tcp_port()));
+  }
+
+  RouterConfig config;
+  config.tcp_port = 0;
+  config.backends = endpoints;
+  config.health.interval_ms = 200;
+  FleetRouter router(std::move(config));
+  std::thread router_thread([&router] { router.run(); });
+  ServiceClient client = ServiceClient::connect_tcp("127.0.0.1", router.tcp_port());
+
+  // Burst-submit everything, then snapshot queue depth while workers drain.
+  std::vector<JobTicket> tickets;
+  std::uint64_t seed = 1;
+  for (std::size_t j = 0; j < jobs_per_tenant; ++j) {
+    for (const std::string& tenant : tenants) {
+      for (const std::string& circuit : circuits) {
+        JobTicket ticket;
+        ticket.submitted = telemetry::clock_now();
+        const Json accepted =
+            client.request(submit_request(circuit, seed++, tenant, trials));
+        RQSIM_CHECK(accepted.get_bool("ok", false),
+                    "fleet_bench: submit rejected: " + accepted.dump());
+        ticket.job = accepted.at("job").as_u64();
+        tickets.push_back(ticket);
+      }
+    }
+  }
+
+  const Json mid_stats = client.request(Json::parse("{\"op\":\"stats\"}"));
+  std::map<std::string, std::uint64_t> queued_after_submit;
+  for (const Json& backend : mid_stats.at("fleet").at("backends").as_array()) {
+    queued_after_submit[backend.get_string("endpoint", "")] =
+        backend.get_u64("queued_now", 0);
+  }
+
+  for (JobTicket& ticket : tickets) {
+    Json wait_request = Json::object();
+    wait_request.set("op", Json(std::string("wait")));
+    wait_request.set("job", Json(ticket.job));
+    const Json finished = client.request(wait_request);
+    RQSIM_CHECK(finished.get_string("state", "") == "done",
+                "fleet_bench: job did not finish: " + finished.dump());
+    ticket.latency_ms =
+        telemetry::ms_between(ticket.submitted, telemetry::clock_now());
+  }
+
+  const Json stats = client.request(Json::parse("{\"op\":\"stats\"}"));
+  const Json& fleet = stats.at("fleet");
+
+  SweepRow row;
+  row.backends = num_backends;
+  row.tenants = tenants.size();
+  row.jobs = tickets.size();
+  row.trials = trials;
+  row.cross_tenant_merge_hit_rate =
+      fleet.get_number("cross_tenant_merge_hit_rate", 0.0);
+  row.merged_cross_tenant_jobs =
+      stats.at("stats").get_u64("merged_cross_tenant_jobs", 0);
+  row.resubmits = fleet.at("router").get_u64("resubmits", 0);
+  for (const Json& backend : fleet.at("backends").as_array()) {
+    BackendRow b;
+    b.endpoint = backend.get_string("endpoint", "");
+    b.jobs_routed = backend.get_u64("jobs_routed", 0);
+    b.completed = backend.get_u64("completed", 0);
+    b.queued_after_submit = queued_after_submit[b.endpoint];
+    row.per_backend.push_back(b);
+  }
+
+  std::vector<double> latencies;
+  for (const JobTicket& ticket : tickets) {
+    latencies.push_back(ticket.latency_ms);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  row.p50_ms = percentile(latencies, 0.50);
+  row.p99_ms = percentile(latencies, 0.99);
+
+  client.request(Json::parse("{\"op\":\"shutdown\"}"));
+  router_thread.join();
+  for (std::size_t i = 0; i < backends.size(); ++i) {
+    backends[i]->stop();
+    backend_threads[i].join();
+  }
+  return row;
+}
+
+Json to_json(const SweepRow& row) {
+  Json out = Json::object();
+  out.set("backends", Json(static_cast<std::uint64_t>(row.backends)));
+  out.set("tenants", Json(static_cast<std::uint64_t>(row.tenants)));
+  out.set("jobs", Json(static_cast<std::uint64_t>(row.jobs)));
+  out.set("trials", Json(static_cast<std::uint64_t>(row.trials)));
+  out.set("p50_ms", Json(row.p50_ms));
+  out.set("p99_ms", Json(row.p99_ms));
+  out.set("cross_tenant_merge_hit_rate", Json(row.cross_tenant_merge_hit_rate));
+  out.set("merged_cross_tenant_jobs", Json(row.merged_cross_tenant_jobs));
+  out.set("resubmits", Json(row.resubmits));
+  Json per_backend = Json::array();
+  for (const BackendRow& b : row.per_backend) {
+    Json backend = Json::object();
+    backend.set("endpoint", Json(b.endpoint));
+    backend.set("jobs_routed", Json(b.jobs_routed));
+    backend.set("completed", Json(b.completed));
+    backend.set("queued_after_submit", Json(b.queued_after_submit));
+    per_backend.push_back(std::move(backend));
+  }
+  out.set("per_backend", std::move(per_backend));
+  return out;
+}
+
+int run(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fleet-json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: fleet_bench [--fleet-json <path>]\n");
+      return 2;
+    }
+  }
+
+  const std::size_t jobs_per_tenant = env_size("RQSIM_FLEET_JOBS", 6);
+  const std::size_t trials = env_size("RQSIM_FLEET_TRIALS", 200);
+
+  std::printf("fleet_bench: 3 tenants x 2 workload classes x %zu jobs, %zu trials each\n",
+              jobs_per_tenant, trials);
+  std::printf("%8s %8s %10s %10s %22s %10s\n", "backends", "jobs", "p50_ms",
+              "p99_ms", "xtenant_merge_rate", "resubmits");
+
+  std::vector<SweepRow> rows;
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    const SweepRow row = run_fleet(n, jobs_per_tenant, trials);
+    std::printf("%8zu %8zu %10.2f %10.2f %22.3f %10llu\n", row.backends,
+                row.jobs, row.p50_ms, row.p99_ms,
+                row.cross_tenant_merge_hit_rate,
+                static_cast<unsigned long long>(row.resubmits));
+    for (const BackendRow& b : row.per_backend) {
+      std::printf("         backend %-21s routed=%-4llu completed=%-4llu queued_after_submit=%llu\n",
+                  b.endpoint.c_str(),
+                  static_cast<unsigned long long>(b.jobs_routed),
+                  static_cast<unsigned long long>(b.completed),
+                  static_cast<unsigned long long>(b.queued_after_submit));
+    }
+    rows.push_back(row);
+  }
+
+  if (!json_path.empty()) {
+    Json doc = Json::object();
+    doc.set("benchmark", Json(std::string("fleet_router")));
+    doc.set("tenants", Json(std::uint64_t{3}));
+    doc.set("workload_classes", Json(std::uint64_t{2}));
+    doc.set("jobs_per_tenant", Json(static_cast<std::uint64_t>(jobs_per_tenant)));
+    doc.set("trials", Json(static_cast<std::uint64_t>(trials)));
+    Json results = Json::array();
+    for (const SweepRow& row : rows) {
+      results.push_back(to_json(row));
+    }
+    doc.set("results", std::move(results));
+    std::ofstream out(json_path);
+    RQSIM_CHECK(out.good(), "fleet_bench: cannot open " + json_path);
+    out << doc.dump() << "\n";
+    std::fprintf(stderr, "fleet json written: %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace rqsim::bench
+
+int main(int argc, char** argv) {
+  try {
+    return rqsim::bench::run(argc, argv);
+  } catch (const rqsim::Error& e) {
+    std::fprintf(stderr, "fleet_bench: %s\n", e.what());
+    return 1;
+  }
+}

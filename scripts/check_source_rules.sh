@@ -29,6 +29,11 @@
 #         write). Exempt: obs/pauli_string.cpp and dm/density_matrix.cpp,
 #         whose scratch copies are per-call workspaces of observable /
 #         density-matrix math, not checkpoints of the scheduling layer.
+# Rule 6: no raw socket syscalls (::socket, ::connect, ::accept, ::bind,
+#         ::listen) outside src/service/ and src/router/ — all transport
+#         goes through service/socket_util.hpp so every connection gets the
+#         same bounded-line framing, timeouts, and retry policy, and the
+#         rest of the tree stays transport-free.
 #
 # Usage: scripts/check_source_rules.sh [src-dir]   (default: src)
 set -u
@@ -78,7 +83,7 @@ scan '(^|[^[:alnum:]_])(std::mt19937|std::minstd_rand|std::random_device|std::ra
      'RNG construction outside common/rng'
 
 scan '(^|[^[:alnum:]_])std::thread([^[:alnum:]_]|$)' \
-     "$src_dir/sched/tree_exec.cpp $src_dir/sched/parallel.cpp $src_dir/service/* $src_dir/sim/kernel_engine.cpp" \
+     "$src_dir/sched/tree_exec.cpp $src_dir/sched/parallel.cpp $src_dir/service/* $src_dir/router/* $src_dir/sim/kernel_engine.cpp" \
      'std::thread outside the designated execution engines'
 
 scan '(steady_clock|high_resolution_clock)' \
@@ -89,6 +94,11 @@ scan '(steady_clock|high_resolution_clock)' \
 scan 'StateVector[[:space:]]+[[:alnum:]_]+[[:space:]]*=[[:space:]]*[*]?[[:alnum:]_.]+(\[[^]]*\])?[[:space:]]*;' \
      "$src_dir/sim/buffer_pool.* $src_dir/obs/pauli_string.cpp $src_dir/dm/density_matrix.cpp" \
      'StateVector deep copy outside StateBufferPool/CowState' \
+     "$bench_dir"
+
+scan '(^|[^[:alnum:]_>:])::(socket|connect|accept|bind|listen)[[:space:]]*\(' \
+     "$src_dir/service/* $src_dir/router/*" \
+     'raw socket syscall outside service/socket_util and router/' \
      "$bench_dir"
 
 if [ "$status" -eq 0 ]; then

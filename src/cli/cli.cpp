@@ -16,6 +16,7 @@
 #include "noise/devices.hpp"
 #include "report/csv.hpp"
 #include "report/table.hpp"
+#include "router/router.hpp"
 #include "sched/enumerate.hpp"
 #include "sched/parallel.hpp"
 #include "sched/runner.hpp"
@@ -63,6 +64,14 @@ struct CliOptions {
   bool wait = false;              // --wait (submit/status: block until done)
   bool analyze = false;           // --analyze (submit: accounting-only job)
   std::string priority = "normal";  // --priority low|normal|high (submit)
+
+  // Fleet router verbs (route / drain / undrain) and submit --tenant.
+  std::string tenant;                  // --tenant (submit: fair-share identity)
+  std::vector<std::string> backends;   // --backend, repeatable (route; drain target)
+  std::size_t capacity = 0;            // --capacity (route: fleet in-flight cap)
+  std::size_t quota = 0;               // --quota (route: per-tenant in-flight cap)
+  std::vector<std::string> weights;    // --weight tenant=w, repeatable (route)
+  int health_interval_ms = 500;        // --health-interval (route)
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -157,6 +166,18 @@ CliOptions parse_options(const std::vector<std::string>& args, std::size_t begin
       options.analyze = true;
     } else if (flag == "--priority") {
       options.priority = value();
+    } else if (flag == "--tenant") {
+      options.tenant = value();
+    } else if (flag == "--backend") {
+      options.backends.push_back(value());
+    } else if (flag == "--capacity") {
+      options.capacity = parse_u64_flag(value(), flag);
+    } else if (flag == "--quota") {
+      options.quota = parse_u64_flag(value(), flag);
+    } else if (flag == "--weight") {
+      options.weights.push_back(value());
+    } else if (flag == "--health-interval") {
+      options.health_interval_ms = static_cast<int>(parse_u64_flag(value(), flag));
     } else {
       usage_error("unknown flag '" + flag + "'");
     }
@@ -567,6 +588,7 @@ int cmd_submit(const std::vector<std::string>& args, std::ostream& out) {
   params.threads = options.threads;
   params.priority = options.priority;
   params.analyze = options.analyze;
+  params.tenant = options.tenant;
 
   ServiceClient client = ServiceClient::connect(service_endpoint(options));
   const Json response = client.request(make_submit_request(workload, params));
@@ -629,7 +651,77 @@ int cmd_stats(const std::vector<std::string>& args, std::ostream& out) {
   if (response.has("telemetry")) {
     snapshot.set("telemetry", response.at("telemetry"));
   }
+  if (response.has("fleet")) {
+    // The endpoint is a fleet router: include the per-backend / per-tenant
+    // breakdown and the cross-tenant merge hit rate.
+    snapshot.set("fleet", response.at("fleet"));
+  }
   out << snapshot.dump() << "\n";
+  return 0;
+}
+
+// --------------------------------------------------------------------------
+// Fleet router verbs (router/router.hpp documents the semantics).
+
+int cmd_route(const std::vector<std::string>& args, std::ostream& out) {
+  const CliOptions options = parse_options(args, 2);
+  if (options.socket_path.empty() && options.port < 0) {
+    usage_error("route needs --socket <path> or --port <n> for the front");
+  }
+  if (options.backends.empty()) {
+    usage_error("route needs at least one --backend <endpoint>");
+  }
+  RouterConfig config;
+  config.unix_path = options.socket_path;
+  config.tcp_port = options.port >= 0 ? options.port : 0;
+  config.backends = options.backends;
+  config.health.interval_ms = options.health_interval_ms;
+  config.admission.fleet_capacity = options.capacity;
+  config.admission.tenant_quota = options.quota;
+  for (const std::string& entry : options.weights) {
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      usage_error("--weight expects tenant=weight, got '" + entry + "'");
+    }
+    config.admission.weights[entry.substr(0, eq)] =
+        parse_double_flag(entry.substr(eq + 1), "--weight");
+  }
+  FleetRouter router(std::move(config));
+  out << "rqsim fleet router listening on " << router.endpoint() << " ("
+      << options.backends.size() << " backends";
+  if (options.capacity > 0) {
+    out << ", capacity " << options.capacity;
+  }
+  if (options.quota > 0) {
+    out << ", quota " << options.quota;
+  }
+  out << ")\n";
+  out.flush();
+  router.run();
+  out << "rqsim fleet router stopped\n";
+  return 0;
+}
+
+int cmd_drain(const std::vector<std::string>& args, std::ostream& out,
+              bool draining) {
+  const CliOptions options = parse_options(args, 2);
+  if (options.backends.size() != 1) {
+    usage_error("drain/undrain needs exactly one --backend <endpoint>");
+  }
+  ServiceClient client = ServiceClient::connect(service_endpoint(options));
+  Json request = Json::object();
+  request.set("op", Json(draining ? "drain" : "undrain"));
+  request.set("backend", Json(options.backends.front()));
+  const Json response = client.request(request);
+  if (!response.get_bool("ok", false)) {
+    remote_error(response);
+  }
+  out << "backend " << options.backends.front()
+      << (draining ? " draining" : " undrained");
+  if (response.has("inflight")) {
+    out << " (" << response.get_u64("inflight", 0) << " in flight)";
+  }
+  out << "\n";
   return 0;
 }
 
@@ -660,7 +752,9 @@ void print_usage(std::ostream& out) {
          "  submit     send a job to a running service\n"
          "  status     poll (or --wait for) a job; without --job, service stats\n"
          "  stats      metrics snapshot of a running service as one JSON line\n"
-         "  shutdown   stop a running service\n"
+         "  shutdown   stop a running service (or fleet router)\n"
+         "  route      run the fleet router in front of N backend services\n"
+         "  drain      stop routing new jobs to a backend (undrain reverses)\n"
          "  help       this text\n\n"
          "flags:\n"
          "  --circuit <spec>      named circuit (see below)\n"
@@ -691,7 +785,15 @@ void print_usage(std::ostream& out) {
          "  --job <id>            status: job to query\n"
          "  --wait                submit/status: block until the job is done\n"
          "  --analyze             submit: accounting-only job (any qubit count)\n"
-         "  --priority <p>        submit: low | normal | high (default normal)\n\n"
+         "  --priority <p>        submit: low | normal | high (default normal)\n"
+         "  --tenant <name>       submit: fair-share identity at the router\n\n"
+         "fleet router flags (route / drain / undrain):\n"
+         "  --backend <ep>        backend endpoint (unix:/path or host:port);\n"
+         "                        repeat for each backend. drain: the target\n"
+         "  --capacity <n>        fleet-wide in-flight job cap (0 = unlimited)\n"
+         "  --quota <n>           per-tenant in-flight job cap (0 = none)\n"
+         "  --weight <t=w>        fair-share weight for tenant t (default 1.0)\n"
+         "  --health-interval <ms> backend health-check period (default 500)\n\n"
          "circuits:\n";
   for (const std::string& line : named_circuit_help()) {
     out << "  " << line << "\n";
@@ -739,6 +841,15 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
     }
     if (command == "shutdown") {
       return cmd_shutdown(args, out);
+    }
+    if (command == "route") {
+      return cmd_route(args, out);
+    }
+    if (command == "drain") {
+      return cmd_drain(args, out, /*draining=*/true);
+    }
+    if (command == "undrain") {
+      return cmd_drain(args, out, /*draining=*/false);
     }
     err << "rqsim: unknown command '" << command << "' (see 'rqsim help')\n";
     return 1;

@@ -1,0 +1,108 @@
+#include "router/admission.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rqsim {
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(std::move(config)) {}
+
+double AdmissionController::weight_of(const std::string& tenant) const {
+  const auto it = config_.weights.find(tenant);
+  if (it == config_.weights.end() || !(it->second > 0.0)) {
+    return 1.0;
+  }
+  return it->second;
+}
+
+AdmissionDecision AdmissionController::try_admit(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState& state = tenants_[tenant];
+  AdmissionDecision decision;
+
+  auto reject = [&](const std::string& reason) {
+    ++state.rejected;
+    const double factor =
+        std::pow(2.0, static_cast<double>(
+                          state.consecutive_rejections > 10
+                              ? 10
+                              : state.consecutive_rejections));
+    ++state.consecutive_rejections;
+    decision.admitted = false;
+    decision.reason = reason;
+    decision.retry_after_ms =
+        std::min(config_.retry_after_base_ms * factor, config_.retry_after_max_ms);
+    return decision;
+  };
+
+  if (config_.fleet_capacity > 0 && total_inflight_ >= config_.fleet_capacity) {
+    return reject("fleet at capacity (" + std::to_string(config_.fleet_capacity) +
+                  " jobs in flight)");
+  }
+  if (config_.tenant_quota > 0 && state.inflight >= config_.tenant_quota) {
+    return reject("tenant '" + tenant + "' at quota (" +
+                  std::to_string(config_.tenant_quota) + " jobs in flight)");
+  }
+  if (config_.fleet_capacity > 0) {
+    // Weighted fair share over tenants currently holding capacity, plus the
+    // requester: an idle tenant's unused share is available to others, and
+    // shrinks back as soon as it returns.
+    double active_weight = weight_of(tenant);
+    for (const auto& [name, other] : tenants_) {
+      if (name != tenant && other.inflight > 0) {
+        active_weight += weight_of(name);
+      }
+    }
+    const double share_f = static_cast<double>(config_.fleet_capacity) *
+                           weight_of(tenant) / active_weight;
+    const std::size_t share = static_cast<std::size_t>(
+        std::ceil(share_f) < 1.0 ? 1.0 : std::ceil(share_f));
+    if (state.inflight >= share) {
+      return reject("tenant '" + tenant + "' over fair share (" +
+                    std::to_string(share) + " of " +
+                    std::to_string(config_.fleet_capacity) + " slots)");
+    }
+  }
+
+  ++state.inflight;
+  ++total_inflight_;
+  ++state.admitted;
+  state.consecutive_rejections = 0;
+  decision.admitted = true;
+  return decision;
+}
+
+void AdmissionController::release(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end() || it->second.inflight == 0) {
+    return;  // release without admit: tolerated, never underflows
+  }
+  --it->second.inflight;
+  it->second.consecutive_rejections = 0;
+  if (total_inflight_ > 0) {
+    --total_inflight_;
+  }
+}
+
+std::map<std::string, TenantAdmissionStats> AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, TenantAdmissionStats> out;
+  for (const auto& [name, state] : tenants_) {
+    TenantAdmissionStats s;
+    s.admitted = state.admitted;
+    s.rejected = state.rejected;
+    s.inflight = state.inflight;
+    s.weight = weight_of(name);
+    out.emplace(name, s);
+  }
+  return out;
+}
+
+std::size_t AdmissionController::total_inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_inflight_;
+}
+
+}  // namespace rqsim

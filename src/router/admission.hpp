@@ -1,0 +1,100 @@
+// Tenant quotas and weighted fair-share admission for the fleet router.
+//
+// The backends already have a backpressure signal — the bounded queue's
+// kQueueFull — but it is first-come-first-served: one tenant submitting in
+// a tight loop can own every queue slot in the fleet. The router therefore
+// admits submits *per tenant* before routing, so capacity under contention
+// divides by configured weight instead of by arrival rate.
+//
+// Admission math (DESIGN.md §11): the router tracks jobs in flight (routed,
+// not yet observed terminal) per tenant. A submit from tenant t is admitted
+// iff all of:
+//
+//   1. inflight_total < fleet_capacity                  (fleet not saturated)
+//   2. inflight_t     < tenant_quota                    (hard per-tenant cap)
+//   3. inflight_t     < share_t                         (weighted fair share)
+//
+//      share_t = max(1, ceil(fleet_capacity · w_t / Σ w_a))
+//
+// where the sum runs over *active* tenants (in flight > 0, plus t itself)
+// — an idle fleet lets one tenant use its whole fair share immediately, and
+// shares rebalance as tenants come and go. Checks 1 and 3 are skipped when
+// fleet_capacity is 0 (unlimited), check 2 when tenant_quota is 0. Weights
+// default to 1.0, so with no configuration at all admission degrades to
+// equal shares.
+//
+// Rejections carry a retry-after hint: base_ms · 2^(consecutive rejections
+// of this tenant), capped — a cheap server-steered exponential backoff that
+// spreads thundering-herd retries without per-client state. The hint resets
+// on the next admit or release.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace rqsim {
+
+struct AdmissionConfig {
+  /// Total routed-and-unfinished jobs across all tenants; 0 = unlimited.
+  std::size_t fleet_capacity = 0;
+
+  /// Hard in-flight cap per tenant, applied before fair share; 0 = none.
+  std::size_t tenant_quota = 0;
+
+  /// Fair-share weights by tenant name; unlisted tenants weigh 1.0.
+  std::map<std::string, double> weights;
+
+  /// Base of the exponential retry-after hint.
+  double retry_after_base_ms = 25.0;
+
+  /// Cap on the retry-after hint.
+  double retry_after_max_ms = 2000.0;
+};
+
+struct AdmissionDecision {
+  bool admitted = false;
+  std::string reason;          // human detail when rejected
+  double retry_after_ms = 0.0; // backoff hint when rejected
+};
+
+struct TenantAdmissionStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::size_t inflight = 0;
+  double weight = 1.0;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config = {});
+
+  /// Decide and, when admitted, account one in-flight job for the tenant.
+  AdmissionDecision try_admit(const std::string& tenant);
+
+  /// Return one in-flight slot (job observed terminal or routing failed).
+  void release(const std::string& tenant);
+
+  std::map<std::string, TenantAdmissionStats> stats() const;
+  std::size_t total_inflight() const;
+
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  double weight_of(const std::string& tenant) const;
+
+  struct TenantState {
+    std::size_t inflight = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint32_t consecutive_rejections = 0;
+  };
+
+  AdmissionConfig config_;
+  mutable std::mutex mu_;
+  std::map<std::string, TenantState> tenants_;
+  std::size_t total_inflight_ = 0;
+};
+
+}  // namespace rqsim

@@ -1,0 +1,232 @@
+#include "router/health.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "service/json.hpp"
+#include "service/server.hpp"
+
+namespace rqsim {
+
+const char* backend_state_name(BackendState state) {
+  switch (state) {
+    case BackendState::kHealthy:
+      return "healthy";
+    case BackendState::kEjected:
+      return "ejected";
+  }
+  return "unknown";
+}
+
+BackendPool::BackendPool(std::vector<std::string> endpoints, HealthConfig config,
+                         std::size_t ring_vnodes)
+    : config_(config), ring_(ring_vnodes) {
+  backends_.reserve(endpoints.size());
+  for (auto& endpoint : endpoints) {
+    if (find_locked(endpoint) != nullptr) {
+      continue;  // duplicate endpoint in config
+    }
+    BackendInfo info;
+    info.endpoint = endpoint;
+    ring_.add(endpoint);
+    backends_.push_back(std::move(info));
+  }
+}
+
+BackendPool::~BackendPool() { stop_health_checks(); }
+
+void BackendPool::start_health_checks() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    if (started_) {
+      return;
+    }
+    started_ = true;
+    stopping_ = false;
+  }
+  health_thread_ = std::thread([this] {
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(stop_mu_);
+        stop_cv_.wait_for(lock, std::chrono::milliseconds(config_.interval_ms),
+                          [this] { return stopping_; });
+        if (stopping_) {
+          return;
+        }
+      }
+      probe_once();
+    }
+  });
+}
+
+void BackendPool::stop_health_checks() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    if (!started_) {
+      return;
+    }
+    started_ = false;
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (health_thread_.joinable()) {
+    health_thread_.join();
+  }
+}
+
+void BackendPool::probe_once() {
+  // Snapshot endpoints without holding the lock over network I/O.
+  std::vector<std::string> endpoints = this->endpoints();
+  for (const auto& endpoint : endpoints) {
+    bool ok = false;
+    try {
+      ClientOptions probe;
+      probe.connect_timeout_ms = config_.timeout_ms;
+      probe.io_timeout_ms = config_.timeout_ms;
+      probe.max_attempts = 1;
+      ServiceClient client = ServiceClient::connect(endpoint, probe);
+      Json ping = Json::object();
+      ping.set("op", Json(std::string("ping")));
+      const Json response = client.request(ping);
+      ok = response.get_bool("ok", false);
+    } catch (const std::exception&) {
+      ok = false;
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    BackendInfo* backend = find_locked(endpoint);
+    if (backend == nullptr) {
+      continue;
+    }
+    if (ok) {
+      ++backend->pings_ok;
+      backend->consecutive_failures = 0;
+      backend->state = BackendState::kHealthy;  // re-admission
+    } else {
+      ++backend->pings_failed;
+      record_failure_locked(*backend);
+    }
+  }
+}
+
+std::vector<std::string> BackendPool::route_preference(std::uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> order = ring_.preference(key, backends_.size());
+  std::vector<std::string> routable;
+  routable.reserve(order.size());
+  for (const auto& endpoint : order) {
+    const BackendInfo* backend = find_locked(endpoint);
+    if (backend != nullptr && backend->state == BackendState::kHealthy &&
+        !backend->draining) {
+      routable.push_back(endpoint);
+    }
+  }
+  return routable;
+}
+
+std::vector<std::string> BackendPool::endpoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(backends_.size());
+  for (const auto& backend : backends_) {
+    out.push_back(backend.endpoint);
+  }
+  return out;
+}
+
+void BackendPool::report_success(const std::string& endpoint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BackendInfo* backend = find_locked(endpoint);
+  if (backend == nullptr) {
+    return;
+  }
+  backend->consecutive_failures = 0;
+  backend->state = BackendState::kHealthy;
+}
+
+void BackendPool::report_failure(const std::string& endpoint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BackendInfo* backend = find_locked(endpoint);
+  if (backend == nullptr) {
+    return;
+  }
+  record_failure_locked(*backend);
+}
+
+void BackendPool::note_routed(const std::string& endpoint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BackendInfo* backend = find_locked(endpoint);
+  if (backend == nullptr) {
+    return;
+  }
+  ++backend->jobs_routed;
+  ++backend->inflight;
+}
+
+void BackendPool::note_finished(const std::string& endpoint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BackendInfo* backend = find_locked(endpoint);
+  if (backend == nullptr || backend->inflight == 0) {
+    return;
+  }
+  ++backend->jobs_finished;
+  --backend->inflight;
+}
+
+void BackendPool::note_rerouted(const std::string& endpoint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BackendInfo* backend = find_locked(endpoint);
+  if (backend == nullptr || backend->inflight == 0) {
+    return;
+  }
+  --backend->inflight;
+}
+
+bool BackendPool::set_draining(const std::string& endpoint, bool draining) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BackendInfo* backend = find_locked(endpoint);
+  if (backend == nullptr) {
+    return false;
+  }
+  backend->draining = draining;
+  return true;
+}
+
+std::vector<BackendInfo> BackendPool::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return backends_;
+}
+
+std::optional<BackendInfo> BackendPool::info(const std::string& endpoint) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const BackendInfo* backend = find_locked(endpoint);
+  if (backend == nullptr) {
+    return std::nullopt;
+  }
+  return *backend;
+}
+
+BackendInfo* BackendPool::find_locked(const std::string& endpoint) {
+  for (auto& backend : backends_) {
+    if (backend.endpoint == endpoint) {
+      return &backend;
+    }
+  }
+  return nullptr;
+}
+
+const BackendInfo* BackendPool::find_locked(const std::string& endpoint) const {
+  return const_cast<BackendPool*>(this)->find_locked(endpoint);
+}
+
+void BackendPool::record_failure_locked(BackendInfo& backend) {
+  ++backend.consecutive_failures;
+  if (backend.state == BackendState::kHealthy &&
+      backend.consecutive_failures >=
+          static_cast<std::uint32_t>(config_.eject_after)) {
+    backend.state = BackendState::kEjected;
+    ++backend.ejections;
+  }
+}
+
+}  // namespace rqsim

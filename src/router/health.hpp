@@ -1,0 +1,117 @@
+// Backend lifecycle management for the fleet router: health checks,
+// automatic ejection / re-admission, and graceful drain.
+//
+// BackendPool owns the fleet membership view. Every configured backend
+// stays on the consistent-hash ring permanently (ring.hpp explains why);
+// what changes with health is *routability*:
+//
+//   kHealthy  — routable; receives new jobs.
+//   kEjected  — failed `eject_after` consecutive health checks (or a live
+//               request); skipped at routing time. A later successful ping
+//               re-admits it automatically, and its arcs of the keyspace
+//               return to it with no operator action.
+//   draining  — operator flag orthogonal to health ({"op":"drain"}): no
+//               new jobs are routed to it, but in-flight jobs keep running
+//               and remain reachable for status/wait, so a drain completes
+//               without losing work. Undrain restores routing.
+//
+// A background thread pings every backend each `interval_ms` with a short
+// connect/IO timeout; live request failures reported by the router
+// (report_failure) count against the same consecutive-failure threshold so
+// a dead backend is ejected by traffic even between probe rounds.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+#include <condition_variable>
+
+#include "router/ring.hpp"
+
+namespace rqsim {
+
+enum class BackendState : std::uint8_t { kHealthy, kEjected };
+
+const char* backend_state_name(BackendState state);
+
+struct HealthConfig {
+  int interval_ms = 500;    // probe period
+  int timeout_ms = 1000;    // per-probe connect + IO bound
+  int eject_after = 2;      // consecutive failures before ejection
+};
+
+/// Mutable per-backend record (snapshot copy for stats).
+struct BackendInfo {
+  std::string endpoint;
+  BackendState state = BackendState::kHealthy;
+  bool draining = false;
+  std::uint32_t consecutive_failures = 0;
+  std::uint64_t pings_ok = 0;
+  std::uint64_t pings_failed = 0;
+  std::uint64_t ejections = 0;
+  std::uint64_t jobs_routed = 0;      // submits acked by this backend
+  std::uint64_t jobs_finished = 0;    // observed terminal through the router
+  std::size_t inflight = 0;           // routed - finished (router's view)
+};
+
+class BackendPool {
+ public:
+  BackendPool(std::vector<std::string> endpoints, HealthConfig config,
+              std::size_t ring_vnodes);
+  ~BackendPool();
+
+  BackendPool(const BackendPool&) = delete;
+  BackendPool& operator=(const BackendPool&) = delete;
+
+  /// Start / stop the background health-check thread (idempotent).
+  void start_health_checks();
+  void stop_health_checks();
+
+  /// Failover preference for a workload key: every *routable* backend
+  /// (healthy and not draining) in ring order from the key's owner.
+  std::vector<std::string> route_preference(std::uint64_t key) const;
+
+  /// All configured endpoints (for stats fan-out), ring-independent order.
+  std::vector<std::string> endpoints() const;
+
+  /// Live-traffic outcomes feed the same failure accounting as probes.
+  void report_success(const std::string& endpoint);
+  void report_failure(const std::string& endpoint);
+
+  /// Router-side job accounting (drives BackendInfo::inflight for drain).
+  /// note_rerouted returns the in-flight slot of a job moved *off* a failed
+  /// backend without counting it finished.
+  void note_routed(const std::string& endpoint);
+  void note_finished(const std::string& endpoint);
+  void note_rerouted(const std::string& endpoint);
+
+  /// Drain control; returns false for an unknown endpoint.
+  bool set_draining(const std::string& endpoint, bool draining);
+
+  std::vector<BackendInfo> snapshot() const;
+  std::optional<BackendInfo> info(const std::string& endpoint) const;
+
+  /// One probe round over all backends (the health thread's body; exposed
+  /// so tests and num_workers==0-style embeddings can step it manually).
+  void probe_once();
+
+ private:
+  HealthConfig config_;
+  HashRing ring_;
+  mutable std::mutex mu_;
+  std::vector<BackendInfo> backends_;  // stable order = configured order
+  std::thread health_thread_;
+  std::condition_variable stop_cv_;
+  std::mutex stop_mu_;
+  bool stopping_ = false;
+  bool started_ = false;
+
+  BackendInfo* find_locked(const std::string& endpoint);
+  const BackendInfo* find_locked(const std::string& endpoint) const;
+  void record_failure_locked(BackendInfo& backend);
+};
+
+}  // namespace rqsim

@@ -44,6 +44,14 @@ struct JobSpec {
   bool analyze_only = false;
 
   JobPriority priority = JobPriority::kNormal;
+
+  /// Submitting tenant (empty = anonymous). Deliberately excluded from
+  /// batch_fingerprint/batch_compatible: jobs from *different* tenants with
+  /// the same workload are exactly what the cross-job planner should merge
+  /// — the service counts such cross-tenant merges separately
+  /// (ServiceStats::merged_cross_tenant_*), and the fleet router reports
+  /// their hit rate as the headline sharding metric.
+  std::string tenant;
 };
 
 /// Terminal outcome of a job (valid once the state is kDone / kFailed /

@@ -43,6 +43,12 @@ JobPriority priority_from_string(const std::string& priority) {
 
 }  // namespace
 
+Json oversized_line_error() {
+  return error_response("oversized_line",
+                        "request line exceeds " + std::to_string(kMaxLineBytes) +
+                            " bytes; frame discarded");
+}
+
 Json workload_to_json(const WorkloadSpec& spec) {
   Json json = Json::object();
   if (!spec.circuit_spec.empty()) {
@@ -85,6 +91,9 @@ Json make_submit_request(const WorkloadSpec& workload, const SubmitParams& param
   request.set("priority", Json(params.priority));
   request.set("analyze", Json(params.analyze));
   request.set("fuse", Json(params.fuse));
+  if (!params.tenant.empty()) {
+    request.set("tenant", Json(params.tenant));
+  }
   return request;
 }
 
@@ -101,11 +110,44 @@ Json metrics_snapshot_to_json(const telemetry::MetricsSnapshot& snapshot) {
       }
       hist.set("buckets", std::move(buckets));
       json.set(metric.name, std::move(hist));
+    } else if (metric.kind == telemetry::MetricKind::kMaxGauge) {
+      Json gauge = Json::object();
+      gauge.set("max", Json(metric.value));
+      json.set(metric.name, std::move(gauge));
     } else {
       json.set(metric.name, Json(metric.value));
     }
   }
   return json;
+}
+
+telemetry::MetricsSnapshot metrics_snapshot_from_json(const Json& json) {
+  telemetry::MetricsSnapshot snapshot;
+  if (!json.is_object()) {
+    return snapshot;
+  }
+  for (const auto& [name, value] : json.as_object()) {
+    telemetry::MetricValue metric;
+    metric.name = name;
+    if (value.is_number()) {
+      metric.kind = telemetry::MetricKind::kCounter;
+      metric.value = value.as_u64();
+    } else if (value.is_object() && value.has("max")) {
+      metric.kind = telemetry::MetricKind::kMaxGauge;
+      metric.value = value.at("max").as_u64();
+    } else if (value.is_object() && value.has("buckets")) {
+      metric.kind = telemetry::MetricKind::kHistogram;
+      metric.count = value.get_u64("count", 0);
+      metric.sum = value.get_u64("sum", 0);
+      for (const Json& bucket : value.at("buckets").as_array()) {
+        metric.buckets.push_back(bucket.as_u64());
+      }
+    } else {
+      continue;  // unknown shape from a newer/older peer: skip, don't fail
+    }
+    snapshot.metrics.push_back(std::move(metric));
+  }
+  return snapshot;
 }
 
 Json job_result_to_json(const JobResult& result, std::size_t num_measured) {
@@ -205,6 +247,8 @@ Json ProtocolHandler::handle(const Json& request) {
       body.set("merged_jobs", Json(stats.merged_jobs));
       body.set("merged_batch_ops", Json(stats.merged_batch_ops));
       body.set("merged_solo_ops", Json(stats.merged_solo_ops));
+      body.set("merged_cross_tenant_batches", Json(stats.merged_cross_tenant_batches));
+      body.set("merged_cross_tenant_jobs", Json(stats.merged_cross_tenant_jobs));
       body.set("queued_now", Json(stats.queued_now));
       body.set("running_now", Json(stats.running_now));
       Json response = Json::object();
@@ -255,6 +299,7 @@ Json ProtocolHandler::handle_submit(const Json& request) {
     spec.num_threads = static_cast<std::size_t>(request.get_u64("threads", 1));
     spec.analyze_only = request.get_bool("analyze", false);
     spec.priority = priority_from_string(request.get_string("priority", "normal"));
+    spec.tenant = request.get_string("tenant", "");
   } catch (const Error& e) {
     return error_response("invalid", e.what());
   }

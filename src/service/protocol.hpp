@@ -16,7 +16,15 @@
 // Error codes: "bad_request" (malformed JSON / unknown op / bad field),
 // "invalid" (spec failed validation), "queue_full" (backpressure — the
 // bounded queue rejected the submit; retry later), "unknown_job",
-// "shutdown" (service no longer accepts work).
+// "shutdown" (service no longer accepts work), "oversized_line" (a request
+// frame exceeded kMaxLineBytes and was discarded; the connection stays
+// framed). The fleet router (router/router.hpp) speaks the same protocol
+// and adds "quota_exceeded" (tenant admission) and "no_backend" (no
+// routable backend); its rejections carry a "retry_after_ms" hint.
+//
+// Submit requests may carry a "tenant" string: a client identity used for
+// fair-share admission at the router and cross-tenant batch-merge
+// accounting in the service. Absent or empty means the anonymous tenant.
 //
 // ProtocolHandler is transport-free: it turns one request Json into one
 // response Json against a SimService. The socket server (service/server.hpp)
@@ -36,6 +44,13 @@
 
 namespace rqsim {
 
+/// Hard bound on one JSONL frame, shared by SimServer, the fleet router and
+/// ServiceClient. Large enough for any submit the service accepts (inline
+/// QASM included); a line past this is a protocol violation, answered with
+/// an "oversized_line" error while the reader resynchronizes on the next
+/// newline (service/socket_util.hpp).
+inline constexpr std::size_t kMaxLineBytes = 1 << 20;  // 1 MiB
+
 /// Per-submit run parameters carried next to the workload description.
 struct SubmitParams {
   std::size_t trials = 1024;
@@ -46,6 +61,7 @@ struct SubmitParams {
   std::string priority = "normal";  // low | normal | high
   bool analyze = false;
   bool fuse = false;
+  std::string tenant;  // fair-share identity; empty = anonymous
 };
 
 Json workload_to_json(const WorkloadSpec& spec);
@@ -62,6 +78,17 @@ Json job_result_to_json(const JobResult& result, std::size_t num_measured);
 /// histograms become {count, sum, buckets}. Used by the `stats` protocol
 /// response and the `rqsim stats` CLI verb.
 Json metrics_snapshot_to_json(const telemetry::MetricsSnapshot& snapshot);
+
+/// Inverse of metrics_snapshot_to_json: rebuild a snapshot from a `stats`
+/// response's telemetry block so per-backend snapshots can be merged into
+/// one fleet view (telemetry::merge_snapshot). Counters serialize as plain
+/// numbers, max-gauges as {"max": v}, histograms as {count, sum, buckets},
+/// so every kind folds with its own rule after the round trip.
+telemetry::MetricsSnapshot metrics_snapshot_from_json(const Json& json);
+
+/// The response for a frame the handler never saw because it exceeded
+/// kMaxLineBytes. Shared by SimServer and the fleet router.
+Json oversized_line_error();
 
 class ProtocolHandler {
  public:

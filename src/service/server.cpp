@@ -1,107 +1,42 @@
 #include "service/server.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/error.hpp"
+#include "service/socket_util.hpp"
 
 namespace rqsim {
 
 namespace {
 
-[[noreturn]] void socket_error(const std::string& what) {
-  throw Error("server: " + what + ": " + std::strerror(errno));
-}
-
-void write_all(int fd, const std::string& data) {
-  std::size_t written = 0;
-  while (written < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + written, data.size() - written,
-                             MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
+/// Retry-with-backoff wrapper around one connect primitive.
+template <typename ConnectFn>
+int connect_with_retry(const ClientOptions& options, ConnectFn&& try_connect) {
+  const int attempts = options.max_attempts > 0 ? options.max_attempts : 1;
+  int delay_ms = options.backoff_initial_ms > 0 ? options.backoff_initial_ms : 1;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return try_connect();
+    } catch (const Error&) {
+      if (attempt >= attempts) {
+        throw;
       }
-      throw Error("server: send failed: " + std::string(std::strerror(errno)));
     }
-    written += static_cast<std::size_t>(n);
-  }
-}
-
-/// Read until '\n' (not included in the result). Returns false on EOF with
-/// nothing buffered.
-bool read_line(int fd, std::string& buffer, std::string& line) {
-  while (true) {
-    const std::size_t newline = buffer.find('\n');
-    if (newline != std::string::npos) {
-      line = buffer.substr(0, newline);
-      buffer.erase(0, newline + 1);
-      if (!line.empty() && line.back() == '\r') {
-        line.pop_back();
-      }
-      return true;
-    }
-    char chunk[4096];
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return false;  // connection reset / closed under us
-    }
-    if (n == 0) {
-      if (buffer.empty()) {
-        return false;
-      }
-      line = std::move(buffer);  // final unterminated line
-      buffer.clear();
-      return true;
-    }
-    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    delay_ms = std::min(delay_ms * 2, std::max(options.backoff_max_ms, 1));
   }
 }
 
-int connect_unix_fd(const std::string& path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  RQSIM_CHECK(path.size() < sizeof(addr.sun_path),
-              "server: unix socket path too long");
-  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    socket_error("socket(AF_UNIX)");
-  }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const int saved = errno;
-    ::close(fd);
-    errno = saved;
-    socket_error("connect('" + path + "')");
-  }
-  return fd;
-}
-
-int connect_tcp_fd(const std::string& host, int port) {
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    throw Error("server: bad IPv4 address '" + host + "'");
-  }
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    socket_error("socket(AF_INET)");
-  }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const int saved = errno;
-    ::close(fd);
-    errno = saved;
-    socket_error("connect(" + host + ":" + std::to_string(port) + ")");
+int finish_client_fd(int fd, const ClientOptions& options) {
+  if (options.io_timeout_ms > 0) {
+    set_io_timeout(fd, options.io_timeout_ms);
   }
   return fd;
 }
@@ -112,42 +47,9 @@ SimServer::SimServer(ServerConfig config)
     : config_(std::move(config)), service_(config_.service), handler_(service_) {
   int listen_fd = -1;
   if (!config_.unix_path.empty()) {
-    ::unlink(config_.unix_path.c_str());  // stale socket from a crashed server
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    RQSIM_CHECK(config_.unix_path.size() < sizeof(addr.sun_path),
-                "server: unix socket path too long");
-    std::strncpy(addr.sun_path, config_.unix_path.c_str(), sizeof(addr.sun_path) - 1);
-    listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (listen_fd < 0) {
-      socket_error("socket(AF_UNIX)");
-    }
-    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-      socket_error("bind('" + config_.unix_path + "')");
-    }
+    listen_fd = listen_unix(config_.unix_path);
   } else {
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(static_cast<std::uint16_t>(config_.tcp_port));
-    listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (listen_fd < 0) {
-      socket_error("socket(AF_INET)");
-    }
-    const int one = 1;
-    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-      socket_error("bind(127.0.0.1:" + std::to_string(config_.tcp_port) + ")");
-    }
-    sockaddr_in bound{};
-    socklen_t len = sizeof(bound);
-    if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
-      socket_error("getsockname");
-    }
-    tcp_port_ = ntohs(bound.sin_port);
-  }
-  if (::listen(listen_fd, 64) != 0) {
-    socket_error("listen");
+    listen_fd = listen_tcp(config_.tcp_port, tcp_port_);
   }
   listen_fd_.store(listen_fd);
 }
@@ -189,11 +91,21 @@ void SimServer::run() {
 void SimServer::handle_connection(int fd) {
   std::string buffer;
   std::string line;
-  while (!stopping_.load() && read_line(fd, buffer, line)) {
-    if (line.empty()) {
-      continue;
+  while (!stopping_.load()) {
+    const ReadLineStatus status = read_line_bounded(fd, buffer, line, kMaxLineBytes);
+    if (status == ReadLineStatus::kEof || status == ReadLineStatus::kError ||
+        status == ReadLineStatus::kTimeout) {
+      break;
     }
-    std::string response = handler_.handle_line(line);
+    std::string response;
+    if (status == ReadLineStatus::kOversized) {
+      response = oversized_line_error().dump();
+    } else {
+      if (line.empty()) {
+        continue;
+      }
+      response = handler_.handle_line(line);
+    }
     response.push_back('\n');
     try {
       write_all(fd, response);
@@ -247,23 +159,32 @@ void SimServer::stop() {
   service_.shutdown();
 }
 
-ServiceClient ServiceClient::connect_unix(const std::string& path) {
-  return ServiceClient(connect_unix_fd(path));
+ServiceClient ServiceClient::connect_unix(const std::string& path,
+                                          const ClientOptions& options) {
+  const int fd = connect_with_retry(options, [&] {
+    return connect_unix_fd(path, options.connect_timeout_ms);
+  });
+  return ServiceClient(finish_client_fd(fd, options));
 }
 
-ServiceClient ServiceClient::connect_tcp(const std::string& host, int port) {
-  return ServiceClient(connect_tcp_fd(host, port));
+ServiceClient ServiceClient::connect_tcp(const std::string& host, int port,
+                                         const ClientOptions& options) {
+  const int fd = connect_with_retry(options, [&] {
+    return connect_tcp_fd(host, port, options.connect_timeout_ms);
+  });
+  return ServiceClient(finish_client_fd(fd, options));
 }
 
-ServiceClient ServiceClient::connect(const std::string& endpoint) {
+ServiceClient ServiceClient::connect(const std::string& endpoint,
+                                     const ClientOptions& options) {
   if (endpoint.rfind("unix:", 0) == 0) {
-    return connect_unix(endpoint.substr(5));
+    return connect_unix(endpoint.substr(5), options);
   }
   if (endpoint.rfind("tcp:", 0) == 0) {
-    return connect(endpoint.substr(4));
+    return connect(endpoint.substr(4), options);
   }
   if (!endpoint.empty() && endpoint.front() == '/') {
-    return connect_unix(endpoint);
+    return connect_unix(endpoint, options);
   }
   const std::size_t colon = endpoint.rfind(':');
   RQSIM_CHECK(colon != std::string::npos,
@@ -271,7 +192,7 @@ ServiceClient ServiceClient::connect(const std::string& endpoint) {
   const std::string host =
       colon == 0 ? std::string("127.0.0.1") : endpoint.substr(0, colon);
   const int port = std::stoi(endpoint.substr(colon + 1));
-  return connect_tcp(host, port);
+  return connect_tcp(host, port, options);
 }
 
 ServiceClient::ServiceClient(ServiceClient&& other) noexcept
@@ -301,7 +222,11 @@ Json ServiceClient::request(const Json& request_json) {
   RQSIM_CHECK(fd_ >= 0, "client: not connected");
   write_all(fd_, request_json.dump() + "\n");
   std::string line;
-  RQSIM_CHECK(read_line(fd_, read_buffer_, line),
+  const ReadLineStatus status =
+      read_line_bounded(fd_, read_buffer_, line, kMaxLineBytes);
+  RQSIM_CHECK(status != ReadLineStatus::kTimeout,
+              "client: response timed out");
+  RQSIM_CHECK(status == ReadLineStatus::kLine,
               "client: connection closed before a response arrived");
   return Json::parse(line);
 }

@@ -1,11 +1,15 @@
 // Socket transport for the JSONL protocol: a listening server wrapping a
-// SimService, and a line-oriented client used by the CLI verbs and tests.
+// SimService, and a line-oriented client used by the CLI verbs, the fleet
+// router (router/router.hpp) and tests.
 //
 // The server listens on a Unix-domain socket or a TCP port (pass port 0 to
 // bind an ephemeral port and read it back with tcp_port()). Each accepted
 // connection gets its own thread that reads '\n'-delimited requests and
 // writes one response line per request; a {"op":"shutdown"} request stops
 // the accept loop, drains open connections, and returns from run().
+// Request lines longer than kMaxLineBytes (service/protocol.hpp) are
+// discarded and answered with an "oversized_line" error — the connection
+// stays usable because the reader re-synchronizes on the next newline.
 #pragma once
 
 #include <atomic>
@@ -67,15 +71,41 @@ class SimServer {
   std::vector<std::thread> conn_threads_;
 };
 
+/// Connection/request robustness policy of a ServiceClient. Transient
+/// connect failures (refused / reset / timed out — a backend restarting or
+/// briefly overloaded) are retried with bounded exponential backoff; a slow
+/// or wedged peer is bounded by the I/O timeout instead of hanging the
+/// caller forever. The fleet router reuses this policy for backend calls.
+struct ClientOptions {
+  /// Bound on each connect() attempt; 0 = block indefinitely.
+  int connect_timeout_ms = 5000;
+
+  /// Bound on each request/response round trip once connected; 0 = none.
+  /// Leave 0 when issuing blocking `wait` requests — a long simulation is
+  /// not a dead peer.
+  int io_timeout_ms = 0;
+
+  /// Total connect attempts (>= 1).
+  int max_attempts = 3;
+
+  /// Exponential backoff between connect attempts: initial delay doubles
+  /// per retry up to the cap.
+  int backoff_initial_ms = 20;
+  int backoff_max_ms = 500;
+};
+
 /// Blocking request/response client over one connection.
 class ServiceClient {
  public:
-  static ServiceClient connect_unix(const std::string& path);
-  static ServiceClient connect_tcp(const std::string& host, int port);
+  static ServiceClient connect_unix(const std::string& path,
+                                    const ClientOptions& options = {});
+  static ServiceClient connect_tcp(const std::string& host, int port,
+                                   const ClientOptions& options = {});
 
   /// Parse an endpoint of the form "unix:/path", "/path" (unix), or
   /// "host:port" / ":port" (tcp) and connect.
-  static ServiceClient connect(const std::string& endpoint);
+  static ServiceClient connect(const std::string& endpoint,
+                               const ClientOptions& options = {});
 
   ServiceClient(ServiceClient&& other) noexcept;
   ServiceClient& operator=(ServiceClient&& other) noexcept;
@@ -83,7 +113,8 @@ class ServiceClient {
   ServiceClient& operator=(const ServiceClient&) = delete;
   ~ServiceClient();
 
-  /// Send one request line, block for the response line.
+  /// Send one request line, block for the response line. Throws
+  /// rqsim::Error on transport failure (peer closed, reset, I/O timeout).
   Json request(const Json& request_json);
 
  private:

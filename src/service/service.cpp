@@ -307,6 +307,17 @@ void SimService::execute_batch_group(const std::vector<Job*>& group) {
     for (const opcount_t s : solo_ops) {
       stats_.merged_solo_ops += s;
     }
+    bool cross_tenant = false;
+    for (const Job* job : group) {
+      if (job->spec.tenant != group.front()->spec.tenant) {
+        cross_tenant = true;
+        break;
+      }
+    }
+    if (cross_tenant) {
+      ++stats_.merged_cross_tenant_batches;
+      stats_.merged_cross_tenant_jobs += group.size();
+    }
   }
   done_cv_.notify_all();
 }

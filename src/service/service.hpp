@@ -74,6 +74,13 @@ struct ServiceStats {
   opcount_t merged_batch_ops = 0;
   opcount_t merged_solo_ops = 0;
 
+  /// Subset of the merged batches whose jobs came from more than one
+  /// distinct tenant (JobSpec::tenant) — the cross-tenant reuse the fleet
+  /// router's workload-affinity sharding arranges. merged_cross_tenant_jobs
+  /// / completed is the fleet's cross-tenant batch-merge hit rate.
+  std::uint64_t merged_cross_tenant_batches = 0;
+  std::uint64_t merged_cross_tenant_jobs = 0;
+
   std::size_t queued_now = 0;
   std::size_t running_now = 0;
 };

@@ -1,0 +1,275 @@
+#include "service/socket_util.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace rqsim {
+
+namespace {
+
+[[noreturn]] void socket_error(const std::string& what) {
+  throw Error("socket: " + what + ": " + std::strerror(errno));
+}
+
+/// Finish a non-blocking connect within timeout_ms; returns false on
+/// timeout or a failed connection (errno set).
+bool await_connect(int fd, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLOUT;
+  while (true) {
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    if (ready == 0) {
+      errno = ETIMEDOUT;
+      return false;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      return false;
+    }
+    if (err != 0) {
+      errno = err;
+      return false;
+    }
+    return true;
+  }
+}
+
+int set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) {
+    return -1;
+  }
+  return ::fcntl(fd, F_SETFL, on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK));
+}
+
+/// connect() with an optional bound; on failure closes the fd, restores
+/// errno and returns -1.
+int connect_with_timeout(int fd, const sockaddr* addr, socklen_t addr_len,
+                         int timeout_ms) {
+  if (timeout_ms <= 0) {
+    if (::connect(fd, addr, addr_len) != 0) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      return -1;
+    }
+    return fd;
+  }
+  if (set_nonblocking(fd, true) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return -1;
+  }
+  if (::connect(fd, addr, addr_len) != 0 && errno != EINPROGRESS) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return -1;
+  }
+  if (!await_connect(fd, timeout_ms)) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return -1;
+  }
+  if (set_nonblocking(fd, false) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+void write_all(int fd, const std::string& data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + written, data.size() - written,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw Error("socket: send failed: " + std::string(std::strerror(errno)));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+ReadLineStatus read_line_bounded(int fd, std::string& buffer, std::string& line,
+                                 std::size_t max_line) {
+  // When a frame outgrows max_line before its newline arrives, flip into
+  // discard mode: drop buffered bytes but keep scanning for the newline so
+  // memory stays bounded and the stream re-synchronizes on the next frame.
+  bool discarding = false;
+  while (true) {
+    const std::size_t newline = buffer.find('\n');
+    if (newline != std::string::npos) {
+      if (discarding || newline > max_line) {
+        buffer.erase(0, newline + 1);
+        return ReadLineStatus::kOversized;
+      }
+      line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') {
+        line.pop_back();
+      }
+      return ReadLineStatus::kLine;
+    }
+    if (buffer.size() > max_line) {
+      buffer.clear();
+      discarding = true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return ReadLineStatus::kTimeout;  // SO_RCVTIMEO expired
+      }
+      return ReadLineStatus::kError;
+    }
+    if (n == 0) {
+      if (discarding) {
+        buffer.clear();
+        return ReadLineStatus::kOversized;
+      }
+      if (buffer.empty()) {
+        return ReadLineStatus::kEof;
+      }
+      line = std::move(buffer);  // final unterminated line
+      buffer.clear();
+      return ReadLineStatus::kLine;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+int connect_unix_fd(const std::string& path, int timeout_ms) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  RQSIM_CHECK(path.size() < sizeof(addr.sun_path),
+              "socket: unix socket path too long");
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    socket_error("socket(AF_UNIX)");
+  }
+  if (connect_with_timeout(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr),
+                           timeout_ms) < 0) {
+    socket_error("connect('" + path + "')");
+  }
+  return fd;
+}
+
+int connect_tcp_fd(const std::string& host, int port, int timeout_ms) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw Error("socket: bad IPv4 address '" + host + "'");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    socket_error("socket(AF_INET)");
+  }
+  if (connect_with_timeout(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr),
+                           timeout_ms) < 0) {
+    socket_error("connect(" + host + ":" + std::to_string(port) + ")");
+  }
+  return fd;
+}
+
+void set_io_timeout(int fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+int listen_unix(const std::string& path) {
+  ::unlink(path.c_str());  // stale socket from a crashed server
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  RQSIM_CHECK(path.size() < sizeof(addr.sun_path),
+              "socket: unix socket path too long");
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    socket_error("socket(AF_UNIX)");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    socket_error("bind('" + path + "')");
+  }
+  if (::listen(fd, 64) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    socket_error("listen");
+  }
+  return fd;
+}
+
+int listen_tcp(int port, int& bound_port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    socket_error("socket(AF_INET)");
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    socket_error("bind(127.0.0.1:" + std::to_string(port) + ")");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    socket_error("getsockname");
+  }
+  bound_port = ntohs(bound.sin_port);
+  if (::listen(fd, 64) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    socket_error("listen");
+  }
+  return fd;
+}
+
+}  // namespace rqsim

@@ -1,8 +1,9 @@
 #include "telemetry/telemetry.hpp"
 
+#include <algorithm>
+
 #if !defined(RQSIM_TELEMETRY_OFF)
 
-#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <cstdlib>
@@ -310,3 +311,53 @@ void reset_metrics_for_test() {
 }  // namespace rqsim::telemetry
 
 #endif  // !RQSIM_TELEMETRY_OFF
+
+// Snapshot folding is pure data math on MetricValue records — available
+// regardless of whether the registry itself is compiled in, since a router
+// built with RQSIM_TELEMETRY=OFF still merges snapshots that *backends*
+// produced.
+namespace rqsim::telemetry {
+
+void merge_snapshot(MetricsSnapshot& dst, const MetricsSnapshot& src) {
+  for (const MetricValue& incoming : src.metrics) {
+    MetricValue* existing = nullptr;
+    for (MetricValue& m : dst.metrics) {
+      if (m.name == incoming.name) {
+        existing = &m;
+        break;
+      }
+    }
+    if (existing == nullptr) {
+      dst.metrics.push_back(incoming);
+      continue;
+    }
+    if (existing->kind != incoming.kind) {
+      continue;  // name collision across kinds: keep dst's view
+    }
+    switch (incoming.kind) {
+      case MetricKind::kCounter:
+        existing->value += incoming.value;
+        break;
+      case MetricKind::kMaxGauge:
+        existing->value = existing->value > incoming.value ? existing->value
+                                                           : incoming.value;
+        break;
+      case MetricKind::kHistogram:
+        existing->count += incoming.count;
+        existing->sum += incoming.sum;
+        if (existing->buckets.size() < incoming.buckets.size()) {
+          existing->buckets.resize(incoming.buckets.size(), 0);
+        }
+        for (std::size_t b = 0; b < incoming.buckets.size(); ++b) {
+          existing->buckets[b] += incoming.buckets[b];
+        }
+        break;
+    }
+  }
+  std::sort(dst.metrics.begin(), dst.metrics.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              return a.name < b.name;
+            });
+}
+
+}  // namespace rqsim::telemetry

@@ -61,6 +61,14 @@ struct MetricsSnapshot {
   }
 };
 
+/// Fold `src` into `dst` by metric name, each kind with its own rule:
+/// counters and histograms (count, sum, per-bucket) add, max-gauges take
+/// the max. Metrics unknown to `dst` are appended; `dst` stays sorted by
+/// name. This is how the fleet router aggregates per-backend registry
+/// snapshots into one fleet view — pure data folding, so it works the same
+/// whether this process compiled telemetry in or out.
+void merge_snapshot(MetricsSnapshot& dst, const MetricsSnapshot& src);
+
 /// True when the registry is compiled in (RQSIM_TELEMETRY=ON).
 constexpr bool compiled() {
 #if defined(RQSIM_TELEMETRY_OFF)

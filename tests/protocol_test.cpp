@@ -12,6 +12,7 @@
 #include "service/protocol.hpp"
 #include "service/server.hpp"
 #include "service/service.hpp"
+#include "service/socket_util.hpp"
 
 namespace rqsim {
 namespace {
@@ -339,6 +340,86 @@ TEST(ProtocolE2E, ShutdownStopsTheServer) {
   EXPECT_TRUE(stopping.at("ok").as_bool());
   EXPECT_TRUE(stopping.at("stopping").as_bool());
   runner.join();  // run() returns after the shutdown request
+}
+
+// ---------------------------------------------------------------------------
+// Protocol error paths over the socket: malformed frames, oversized lines,
+// mid-frame disconnects, unreachable endpoints. The framing invariant under
+// test: a bad frame produces one structured error response and the
+// connection stays usable for the next request.
+// ---------------------------------------------------------------------------
+
+// Raw-fd helper: send one already-framed blob, read one response line.
+Json raw_round_trip(int fd, const std::string& frame) {
+  write_all(fd, frame);
+  std::string buffer;
+  std::string line;
+  const ReadLineStatus status = read_line_bounded(fd, buffer, line, kMaxLineBytes);
+  EXPECT_EQ(status, ReadLineStatus::kLine);
+  return Json::parse(line);
+}
+
+TEST(ProtocolErrors, MalformedJsonLineGetsBadRequestAndConnectionSurvives) {
+  RunningServer running(ServiceConfig{0, 8, 8});
+  const int fd = connect_tcp_fd("127.0.0.1", running.server->tcp_port(), 1000);
+  ASSERT_GE(fd, 0);
+
+  const Json error = raw_round_trip(fd, "{\"op\": \"ping\"  oops}\n");
+  EXPECT_FALSE(error.at("ok").as_bool());
+  EXPECT_EQ(error.at("error").as_string(), "bad_request");
+
+  // Same connection, next frame parses and is served normally.
+  const Json pong = raw_round_trip(fd, "{\"op\":\"ping\"}\n");
+  EXPECT_TRUE(pong.at("ok").as_bool());
+  ::close(fd);
+}
+
+TEST(ProtocolErrors, OversizedLineIsRejectedAndStreamResynchronizes) {
+  RunningServer running(ServiceConfig{0, 8, 8});
+  const int fd = connect_tcp_fd("127.0.0.1", running.server->tcp_port(), 1000);
+  ASSERT_GE(fd, 0);
+
+  // One frame just past the bound: discarded, answered with a structured
+  // error, and the reader re-synchronizes on its trailing newline.
+  std::string huge(kMaxLineBytes + 64, 'x');
+  huge.push_back('\n');
+  const Json error = raw_round_trip(fd, huge);
+  EXPECT_FALSE(error.at("ok").as_bool());
+  EXPECT_EQ(error.at("error").as_string(), "oversized_line");
+
+  const Json pong = raw_round_trip(fd, "{\"op\":\"ping\"}\n");
+  EXPECT_TRUE(pong.at("ok").as_bool());
+  EXPECT_TRUE(pong.at("pong").as_bool());
+  ::close(fd);
+}
+
+TEST(ProtocolErrors, MidFrameDisconnectLeavesServerServingOthers) {
+  RunningServer running(ServiceConfig{0, 8, 8});
+  const int fd = connect_tcp_fd("127.0.0.1", running.server->tcp_port(), 1000);
+  ASSERT_GE(fd, 0);
+  // Half a frame, no newline, then gone: the server must drop the
+  // connection without producing a response or disturbing other clients.
+  write_all(fd, "{\"op\":\"pi");
+  ::close(fd);
+
+  ServiceClient client = running.client();
+  const Json pong = client.request(Json::parse("{\"op\":\"ping\"}"));
+  EXPECT_TRUE(pong.at("ok").as_bool());
+}
+
+TEST(ProtocolErrors, ClientConnectRetriesAreBoundedOnDeadEndpoint) {
+  // Grab an ephemeral port, then close the listener so connecting to it is
+  // refused deterministically.
+  int dead_port = 0;
+  const int listener = listen_tcp(0, dead_port);
+  ::close(listener);
+
+  ClientOptions options;
+  options.max_attempts = 3;
+  options.connect_timeout_ms = 200;
+  options.backoff_initial_ms = 1;
+  options.backoff_max_ms = 4;
+  EXPECT_THROW(ServiceClient::connect_tcp("127.0.0.1", dead_port, options), Error);
 }
 
 TEST(ProtocolE2E, UnixSocketTransport) {

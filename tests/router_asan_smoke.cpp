@@ -1,0 +1,146 @@
+// ASan+UBSan smoke of the fleet router: the full socket path (front accept
+// loop, bounded line reader, backend clients), failover resubmission after
+// a backend dies mid-run, oversized-frame recovery, and the fan-out stats
+// merge. Exercises the memory-ownership hot spots: RoutedJob map mutation
+// under failover, per-connection buffers, response caching.
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "router/router.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "service/socket_util.hpp"
+
+namespace rqsim {
+namespace {
+
+Json submit(std::uint64_t seed, const std::string& tenant) {
+  WorkloadSpec workload;
+  workload.circuit_spec = "ghz:4";
+  workload.device = "ideal";
+  SubmitParams params;
+  params.trials = 150;
+  params.seed = seed;
+  params.tenant = tenant;
+  return make_submit_request(workload, params);
+}
+
+int run() {
+  // Three backends with real worker threads.
+  std::vector<std::unique_ptr<SimServer>> backends;
+  std::vector<std::thread> backend_threads;
+  std::vector<std::string> endpoints;
+  for (int i = 0; i < 3; ++i) {
+    ServerConfig config;
+    config.tcp_port = 0;
+    config.service.num_workers = 1;
+    backends.push_back(std::make_unique<SimServer>(std::move(config)));
+    backend_threads.emplace_back([srv = backends.back().get()] { srv->run(); });
+    endpoints.push_back("127.0.0.1:" + std::to_string(backends.back()->tcp_port()));
+  }
+
+  RouterConfig config;
+  config.tcp_port = 0;
+  config.backends = endpoints;
+  config.health.interval_ms = 100;
+  config.health.eject_after = 1;
+  config.backend_client.max_attempts = 1;
+  FleetRouter router(std::move(config));
+  std::thread router_thread([&router] { router.run(); });
+
+  ServiceClient client = ServiceClient::connect_tcp("127.0.0.1", router.tcp_port());
+
+  // An oversized frame first: the connection must survive it.
+  {
+    const int fd = connect_tcp_fd("127.0.0.1", router.tcp_port(), 2000);
+    std::string huge(kMaxLineBytes + 32, 'y');
+    huge.push_back('\n');
+    write_all(fd, huge);
+    std::string buffer;
+    std::string line;
+    if (read_line_bounded(fd, buffer, line, kMaxLineBytes) != ReadLineStatus::kLine ||
+        Json::parse(line).get_string("error", "") != "oversized_line") {
+      std::fprintf(stderr, "oversized frame not rejected: %s\n", line.c_str());
+      return 1;
+    }
+    write_all(fd, "{\"op\":\"ping\"}\n");
+    if (read_line_bounded(fd, buffer, line, kMaxLineBytes) != ReadLineStatus::kLine ||
+        !Json::parse(line).get_bool("ok", false)) {
+      std::fprintf(stderr, "connection did not survive oversized frame\n");
+      return 1;
+    }
+    ::close(fd);
+  }
+
+  // Submit compatible jobs from two tenants; they share one backend.
+  std::vector<std::uint64_t> jobs;
+  std::string owner;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Json accepted =
+        client.request(submit(seed, seed % 2 ? "alice" : "bob"));
+    if (!accepted.get_bool("ok", false)) {
+      std::fprintf(stderr, "submit failed: %s\n", accepted.dump().c_str());
+      return 1;
+    }
+    jobs.push_back(accepted.at("job").as_u64());
+    owner = accepted.get_string("backend", "");
+  }
+
+  // Kill the owning backend while jobs are in flight; waits after this must
+  // heal every unfinished job onto another backend.
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    if (endpoints[i] == owner) {
+      backends[i]->stop();
+      backend_threads[i].join();
+    }
+  }
+
+  for (const std::uint64_t job : jobs) {
+    Json wait_request = Json::object();
+    wait_request.set("op", Json(std::string("wait")));
+    wait_request.set("job", Json(job));
+    const Json done = client.request(wait_request);
+    if (done.get_string("state", "") != "done") {
+      std::fprintf(stderr, "job %llu not done: %s\n",
+                   static_cast<unsigned long long>(job), done.dump().c_str());
+      return 1;
+    }
+  }
+
+  const Json stats = client.request(Json::parse("{\"op\":\"stats\"}"));
+  if (!stats.get_bool("ok", false) ||
+      stats.at("stats").get_u64("completed", 0) < jobs.size()) {
+    std::fprintf(stderr, "fleet stats missing completions: %s\n",
+                 stats.dump().c_str());
+    return 1;
+  }
+
+  client.request(Json::parse("{\"op\":\"shutdown\"}"));
+  router_thread.join();
+  for (std::size_t i = 0; i < backends.size(); ++i) {
+    backends[i]->stop();
+    if (backend_threads[i].joinable()) {
+      backend_threads[i].join();
+    }
+  }
+  std::printf("router_asan_smoke: ok (%zu jobs, failover healed)\n", jobs.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace rqsim
+
+int main() {
+  try {
+    return rqsim::run();
+  } catch (const rqsim::Error& e) {
+    std::fprintf(stderr, "router_asan_smoke: %s\n", e.what());
+    return 1;
+  }
+}

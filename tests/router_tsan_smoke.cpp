@@ -1,0 +1,155 @@
+// TSan smoke of the fleet router's cross-thread state: concurrent client
+// connections submitting/waiting through the front, the RoutedJob map and
+// admission accounting mutated from several connection threads at once, the
+// health-check thread probing backends while traffic flows, and drain
+// toggling racing submits. Any lock-protocol violation in router/, the
+// backend pool, or the shared socket utilities shows up here.
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "router/router.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+
+namespace rqsim {
+namespace {
+
+Json submit(std::uint64_t seed, const std::string& tenant) {
+  WorkloadSpec workload;
+  workload.circuit_spec = "ghz:4";
+  workload.device = "ideal";
+  SubmitParams params;
+  params.trials = 100;
+  params.seed = seed;
+  params.tenant = tenant;
+  return make_submit_request(workload, params);
+}
+
+int run() {
+  std::vector<std::unique_ptr<SimServer>> backends;
+  std::vector<std::thread> backend_threads;
+  std::vector<std::string> endpoints;
+  for (int i = 0; i < 2; ++i) {
+    ServerConfig config;
+    config.tcp_port = 0;
+    config.service.num_workers = 2;
+    backends.push_back(std::make_unique<SimServer>(std::move(config)));
+    backend_threads.emplace_back([srv = backends.back().get()] { srv->run(); });
+    endpoints.push_back("127.0.0.1:" + std::to_string(backends.back()->tcp_port()));
+  }
+
+  RouterConfig config;
+  config.tcp_port = 0;
+  config.backends = endpoints;
+  config.health.interval_ms = 20;  // probe aggressively while traffic flows
+  config.admission.fleet_capacity = 64;
+  FleetRouter router(std::move(config));
+  std::thread router_thread([&router] { router.run(); });
+  const int port = router.tcp_port();
+
+  std::atomic<int> failures{0};
+  std::atomic<bool> done{false};
+
+  // Client threads: submit + wait, distinct tenants, shared workload class
+  // so the jobs contend for the same affinity backend.
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 3; ++t) {
+    clients.emplace_back([t, port, &failures] {
+      try {
+        ServiceClient client = ServiceClient::connect_tcp("127.0.0.1", port);
+        const std::string tenant = "tenant" + std::to_string(t);
+        for (std::uint64_t i = 0; i < 4; ++i) {
+          const Json accepted =
+              client.request(submit(t * 100 + i + 1, tenant));
+          if (!accepted.get_bool("ok", false)) {
+            continue;  // quota/no_backend race is fine; not a data race
+          }
+          Json wait_request = Json::object();
+          wait_request.set("op", Json(std::string("wait")));
+          wait_request.set("job", accepted.at("job"));
+          const Json finished = client.request(wait_request);
+          if (finished.get_string("state", "") != "done") {
+            ++failures;
+          }
+        }
+      } catch (const Error&) {
+        ++failures;
+      }
+    });
+  }
+
+  // Stats reader racing the mutators.
+  std::thread stats_thread([port, &done, &failures] {
+    try {
+      ServiceClient client = ServiceClient::connect_tcp("127.0.0.1", port);
+      while (!done.load()) {
+        const Json stats = client.request(Json::parse("{\"op\":\"stats\"}"));
+        if (!stats.get_bool("ok", false)) {
+          ++failures;
+        }
+      }
+    } catch (const Error&) {
+      ++failures;
+    }
+  });
+
+  // Drain toggler racing routing decisions.
+  std::thread drain_thread([port, &done, &endpoints] {
+    try {
+      ServiceClient client = ServiceClient::connect_tcp("127.0.0.1", port);
+      bool draining = true;
+      while (!done.load()) {
+        Json request = Json::object();
+        request.set("op", Json(std::string(draining ? "drain" : "undrain")));
+        request.set("backend", Json(endpoints.front()));
+        client.request(request);
+        draining = !draining;
+      }
+      Json request = Json::object();
+      request.set("op", Json(std::string("undrain")));
+      request.set("backend", Json(endpoints.front()));
+      client.request(request);
+    } catch (const Error&) {
+      // Connection churn during shutdown is acceptable here.
+    }
+  });
+
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  done.store(true);
+  stats_thread.join();
+  drain_thread.join();
+
+  ServiceClient client = ServiceClient::connect_tcp("127.0.0.1", port);
+  client.request(Json::parse("{\"op\":\"shutdown\"}"));
+  router_thread.join();
+  for (std::size_t i = 0; i < backends.size(); ++i) {
+    backends[i]->stop();
+    backend_threads[i].join();
+  }
+
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "router_tsan_smoke: %d failures\n", failures.load());
+    return 1;
+  }
+  std::printf("router_tsan_smoke: ok\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rqsim
+
+int main() {
+  try {
+    return rqsim::run();
+  } catch (const rqsim::Error& e) {
+    std::fprintf(stderr, "router_tsan_smoke: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,8 +1,15 @@
 #!/bin/sh
 # Lint entry point: clang-tidy over src/ (configuration in .clang-tidy)
-# plus the grep-based project source rules (check_source_rules.sh).
+# plus the project source rules.
 #
 # Usage: scripts/lint.sh [build-dir]
+#
+# Source-rule layer: when the build tree has the in-tree static analyzer
+# (tools/analyze → <build>/tools/analyze/rqsim-analyze), that binary is the
+# enforced gate — token-level lexing, lock-order and protocol passes,
+# inline `rqsim-analyze: allow(...)` suppressions. Without a built
+# analyzer the portable grep fallback (check_source_rules.sh) runs instead,
+# covering the six source rules only.
 #
 # The build dir must contain compile_commands.json (exported by the tier-1
 # configure; CMAKE_EXPORT_COMPILE_COMMANDS is ON in CMakeLists.txt).
@@ -16,7 +23,13 @@ set -u
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir="${1:-$repo_root/build}"
 
-sh "$repo_root/scripts/check_source_rules.sh" "$repo_root/src" || exit 1
+analyzer="$build_dir/tools/analyze/rqsim-analyze"
+if [ -x "$analyzer" ]; then
+  "$analyzer" --root "$repo_root" || exit 1
+else
+  echo "lint: rqsim-analyze not built; using grep fallback" >&2
+  sh "$repo_root/scripts/check_source_rules.sh" "$repo_root/src" || exit 1
+fi
 
 if ! command -v clang-tidy >/dev/null 2>&1; then
   echo "lint: clang-tidy not found; source rules passed, tidy skipped" >&2

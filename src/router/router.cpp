@@ -282,6 +282,9 @@ Json FleetRouter::handle_submit(const Json& request) {
 }
 
 Json FleetRouter::handle_job_op(const Json& request, const std::string& op) {
+  if (!request.has("job")) {
+    return error_response("bad_request", op + " requires a \"job\" id");
+  }
   const std::uint64_t router_job = request.at("job").as_u64();
   // Each failed attempt either heals the job onto another backend or gives
   // up with no_backend, so the loop is bounded by the fleet size (+1 for a
@@ -405,6 +408,7 @@ bool FleetRouter::failover(std::uint64_t router_job, std::uint64_t failed_genera
     try {
       ServiceClient client =
           ServiceClient::connect(candidate, config_.backend_client);
+      // rqsim-analyze: allow(RQS102) failover_mu_ deliberately serializes resubmissions fleet-wide, network round-trip included (see router.hpp)
       response = client.request(submit_request);
     } catch (const Error&) {
       pool_.report_failure(candidate);

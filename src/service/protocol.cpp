@@ -227,6 +227,9 @@ Json ProtocolHandler::handle(const Json& request) {
       return handle_status(request, /*wait=*/true);
     }
     if (op == "cancel") {
+      if (!request.has("job")) {
+        return error_response("bad_request", "cancel requires a \"job\" id");
+      }
       const std::uint64_t job_id = request.at("job").as_u64();
       const bool cancelled = service_.cancel(job_id);
       Json response = Json::object();
@@ -328,6 +331,11 @@ Json ProtocolHandler::handle_submit(const Json& request) {
 }
 
 Json ProtocolHandler::handle_status(const Json& request, bool wait) {
+  if (!request.has("job")) {
+    return error_response("bad_request",
+                          (wait ? std::string("wait") : std::string("status")) +
+                              " requires a \"job\" id");
+  }
   const std::uint64_t job_id = request.at("job").as_u64();
   if (!service_.poll(job_id)) {
     return error_response("unknown_job", "no job with id " + std::to_string(job_id));

@@ -51,6 +51,18 @@ namespace rqsim {
 /// newline (service/socket_util.hpp).
 inline constexpr std::size_t kMaxLineBytes = 1 << 20;  // 1 MiB
 
+/// Canonical verb lists of the wire protocol. These are the source of truth
+/// the rqsim-analyze protocol-exhaustiveness pass checks dispatch against:
+/// every verb here must have an `op == "<verb>"` comparison in
+/// ProtocolHandler::handle (kServiceVerbs) and in the fleet router's
+/// dispatcher (kRouterVerbs, which speaks the same protocol plus the
+/// drain/undrain fleet controls).
+inline constexpr const char* kServiceVerbs[] = {
+    "ping", "submit", "status", "wait", "cancel", "stats", "shutdown"};
+inline constexpr const char* kRouterVerbs[] = {
+    "ping",  "submit",   "status", "wait",  "cancel",
+    "stats", "shutdown", "drain",  "undrain"};
+
 /// Per-submit run parameters carried next to the workload description.
 struct SubmitParams {
   std::size_t trials = 1024;

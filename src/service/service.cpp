@@ -370,6 +370,7 @@ void SimService::shutdown() {
   std::lock_guard<std::mutex> join_lock(join_mu_);
   for (std::thread& worker : workers_) {
     if (worker.joinable()) {
+      // rqsim-analyze: allow(RQS102) join_mu_ exists precisely to serialize this join phase; no other lock is held here
       worker.join();
     }
   }

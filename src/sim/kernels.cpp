@@ -70,6 +70,31 @@ inline double* amp_data(StateVector& state) {
   return reinterpret_cast<double*>(state.amplitudes().data());
 }
 
+// a*b ± c with the floating-point contraction written out explicitly.
+//
+// The engine promises bitwise-neutral chunking (kernel_engine.hpp): a
+// worker's sub-range must produce the same bits as the serial sweep. With
+// implicit contraction (`-ffp-contract=fast`, and GCC's complex-multiply
+// vector pattern, which emits vfmaddsub even under `-ffp-contract=off`)
+// the compiler fuses mul+add differently in the vectorized loop body than
+// in its scalar tail, so an amplitude's rounding depends on where the
+// chunk boundary falls and threaded results drift from serial by an ulp.
+// Spelling the fma in source pins one rounding per amplitude in every code
+// path. On targets without hardware FMA nothing is contracted anywhere, so
+// the plain two-rounding form is equally chunk-invariant (and avoids the
+// libm software-fma call).
+#if defined(__FMA__) || defined(__ARM_FEATURE_FMA)
+inline double mul_add(double a, double b, double c) {
+  return __builtin_fma(a, b, c);
+}
+inline double mul_sub(double a, double b, double c) {
+  return __builtin_fma(a, b, -c);
+}
+#else
+inline double mul_add(double a, double b, double c) { return a * b + c; }
+inline double mul_sub(double a, double b, double c) { return a * b - c; }
+#endif
+
 }  // namespace
 
 void apply_mat2(StateVector& state, const Mat2& m, qubit_t target) {
@@ -92,10 +117,14 @@ void apply_mat2(StateVector& state, const Mat2& m, qubit_t target) {
       for (std::uint64_t j = 0; j < run; ++j) {
         const double a0r = p0[s * j], a0i = p0[s * j + 1];
         const double a1r = p1[s * j], a1i = p1[s * j + 1];
-        p0[s * j] = m00r * a0r - m00i * a0i + m01r * a1r - m01i * a1i;
-        p0[s * j + 1] = m00r * a0i + m00i * a0r + m01r * a1i + m01i * a1r;
-        p1[s * j] = m10r * a0r - m10i * a0i + m11r * a1r - m11i * a1i;
-        p1[s * j + 1] = m10r * a0i + m10i * a0r + m11r * a1i + m11i * a1r;
+        p0[s * j] = mul_sub(m00r, a0r, m00i * a0i) +
+                    mul_sub(m01r, a1r, m01i * a1i);
+        p0[s * j + 1] = mul_add(m00r, a0i, m00i * a0r) +
+                        mul_add(m01r, a1i, m01i * a1r);
+        p1[s * j] = mul_sub(m10r, a0r, m10i * a0i) +
+                    mul_sub(m11r, a1r, m11i * a1i);
+        p1[s * j + 1] = mul_add(m10r, a0i, m10i * a0r) +
+                        mul_add(m11r, a1i, m11i * a1r);
       }
     });
   });
@@ -132,22 +161,38 @@ void apply_mat4(StateVector& state, const Mat4& m, qubit_t q1, qubit_t q0) {
         const double a1r = b1[s * j], a1i = b1[s * j + 1];
         const double a2r = b2[s * j], a2i = b2[s * j + 1];
         const double a3r = b3[s * j], a3i = b3[s * j + 1];
-        b0[s * j] = mr[0] * a0r - mi[0] * a0i + mr[1] * a1r - mi[1] * a1i +
-                    mr[2] * a2r - mi[2] * a2i + mr[3] * a3r - mi[3] * a3i;
-        b0[s * j + 1] = mr[0] * a0i + mi[0] * a0r + mr[1] * a1i + mi[1] * a1r +
-                        mr[2] * a2i + mi[2] * a2r + mr[3] * a3i + mi[3] * a3r;
-        b1[s * j] = mr[4] * a0r - mi[4] * a0i + mr[5] * a1r - mi[5] * a1i +
-                    mr[6] * a2r - mi[6] * a2i + mr[7] * a3r - mi[7] * a3i;
-        b1[s * j + 1] = mr[4] * a0i + mi[4] * a0r + mr[5] * a1i + mi[5] * a1r +
-                        mr[6] * a2i + mi[6] * a2r + mr[7] * a3i + mi[7] * a3r;
-        b2[s * j] = mr[8] * a0r - mi[8] * a0i + mr[9] * a1r - mi[9] * a1i +
-                    mr[10] * a2r - mi[10] * a2i + mr[11] * a3r - mi[11] * a3i;
-        b2[s * j + 1] = mr[8] * a0i + mi[8] * a0r + mr[9] * a1i + mi[9] * a1r +
-                        mr[10] * a2i + mi[10] * a2r + mr[11] * a3i + mi[11] * a3r;
-        b3[s * j] = mr[12] * a0r - mi[12] * a0i + mr[13] * a1r - mi[13] * a1i +
-                    mr[14] * a2r - mi[14] * a2i + mr[15] * a3r - mi[15] * a3i;
-        b3[s * j + 1] = mr[12] * a0i + mi[12] * a0r + mr[13] * a1i + mi[13] * a1r +
-                        mr[14] * a2i + mi[14] * a2r + mr[15] * a3i + mi[15] * a3r;
+        b0[s * j] = (mul_sub(mr[0], a0r, mi[0] * a0i) +
+                     mul_sub(mr[1], a1r, mi[1] * a1i)) +
+                    (mul_sub(mr[2], a2r, mi[2] * a2i) +
+                     mul_sub(mr[3], a3r, mi[3] * a3i));
+        b0[s * j + 1] = (mul_add(mr[0], a0i, mi[0] * a0r) +
+                         mul_add(mr[1], a1i, mi[1] * a1r)) +
+                        (mul_add(mr[2], a2i, mi[2] * a2r) +
+                         mul_add(mr[3], a3i, mi[3] * a3r));
+        b1[s * j] = (mul_sub(mr[4], a0r, mi[4] * a0i) +
+                     mul_sub(mr[5], a1r, mi[5] * a1i)) +
+                    (mul_sub(mr[6], a2r, mi[6] * a2i) +
+                     mul_sub(mr[7], a3r, mi[7] * a3i));
+        b1[s * j + 1] = (mul_add(mr[4], a0i, mi[4] * a0r) +
+                         mul_add(mr[5], a1i, mi[5] * a1r)) +
+                        (mul_add(mr[6], a2i, mi[6] * a2r) +
+                         mul_add(mr[7], a3i, mi[7] * a3r));
+        b2[s * j] = (mul_sub(mr[8], a0r, mi[8] * a0i) +
+                     mul_sub(mr[9], a1r, mi[9] * a1i)) +
+                    (mul_sub(mr[10], a2r, mi[10] * a2i) +
+                     mul_sub(mr[11], a3r, mi[11] * a3i));
+        b2[s * j + 1] = (mul_add(mr[8], a0i, mi[8] * a0r) +
+                         mul_add(mr[9], a1i, mi[9] * a1r)) +
+                        (mul_add(mr[10], a2i, mi[10] * a2r) +
+                         mul_add(mr[11], a3i, mi[11] * a3r));
+        b3[s * j] = (mul_sub(mr[12], a0r, mi[12] * a0i) +
+                     mul_sub(mr[13], a1r, mi[13] * a1i)) +
+                    (mul_sub(mr[14], a2r, mi[14] * a2i) +
+                     mul_sub(mr[15], a3r, mi[15] * a3i));
+        b3[s * j + 1] = (mul_add(mr[12], a0i, mi[12] * a0r) +
+                         mul_add(mr[13], a1i, mi[13] * a1r)) +
+                        (mul_add(mr[14], a2i, mi[14] * a2r) +
+                         mul_add(mr[15], a3i, mi[15] * a3r));
       }
     });
   });
@@ -232,8 +277,8 @@ void apply_phase(StateVector& state, qubit_t target, cplx phase) {
       for (std::uint64_t j = 0; j < run; ++j) {
         double* q1 = p1 + j * s;
         const double ar = q1[0], ai = q1[1];
-        q1[0] = pr * ar - pi * ai;
-        q1[1] = pr * ai + pi * ar;
+        q1[0] = mul_sub(pr, ar, pi * ai);
+        q1[1] = mul_add(pr, ai, pi * ar);
       }
     });
   });
@@ -289,8 +334,8 @@ void apply_cphase(StateVector& state, qubit_t a, qubit_t b, cplx phase) {
       for (std::uint64_t j = 0; j < run; ++j) {
         double* q = p + j * s;
         const double ar = q[0], ai = q[1];
-        q[0] = pr * ar - pi * ai;
-        q[1] = pr * ai + pi * ar;
+        q[0] = mul_sub(pr, ar, pi * ai);
+        q[1] = mul_add(pr, ai, pi * ar);
       }
     });
   });

@@ -1,0 +1,92 @@
+#include "analyzer.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+
+namespace rqsim::analyze {
+
+namespace fs = std::filesystem;
+
+std::string render(const Diagnostic& diag) {
+  std::string out = diag.file + ":" + std::to_string(diag.line) + ": [" +
+                    diag.rule + "] " + diag.message;
+  if (!diag.hint.empty()) out += "\n    hint: " + diag.hint;
+  return out;
+}
+
+namespace {
+
+bool is_source(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp";
+}
+
+std::vector<std::string> collect_sources(const fs::path& dir) {
+  std::vector<std::string> files;
+  if (!fs::exists(dir)) return files;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (entry.is_regular_file() && is_source(entry.path())) {
+      files.push_back(entry.path().generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace
+
+AnalysisResult run_analysis(const AnalyzerConfig& config) {
+  const fs::path root(config.root);
+  if (!fs::exists(root / "src" / "service" / "protocol.hpp")) {
+    throw std::runtime_error(
+        "rqsim-analyze: " + config.root +
+        " does not look like the rqsim repo (missing src/service/protocol.hpp)");
+  }
+
+  AnalysisResult result;
+
+  // Source rules over src/ and the bench drivers.
+  std::vector<std::string> rule_files = collect_sources(root / "src");
+  for (const std::string& f : collect_sources(root / "bench")) {
+    rule_files.push_back(f);
+  }
+  for (const std::string& path : rule_files) {
+    LexedFile lexed = lex_file(path);
+    run_source_rules(lexed, result.diagnostics);
+    ++result.files_scanned;
+  }
+
+  // Concurrency pass over the mutex-holding subsystems.
+  std::vector<LexedFile> concurrency_files;
+  for (const char* dir : {"service", "router", "sched", "telemetry"}) {
+    for (const std::string& path : collect_sources(root / "src" / dir)) {
+      concurrency_files.push_back(lex_file(path));
+    }
+  }
+  run_concurrency_pass(concurrency_files, result.diagnostics,
+                       config.want_inventory ? &result.inventory : nullptr);
+
+  // Protocol exhaustiveness.
+  const LexedFile protocol_hpp =
+      lex_file((root / "src" / "service" / "protocol.hpp").generic_string());
+  const LexedFile protocol_cpp =
+      lex_file((root / "src" / "service" / "protocol.cpp").generic_string());
+  const LexedFile router_cpp =
+      lex_file((root / "src" / "router" / "router.cpp").generic_string());
+  const LexedFile server_cpp =
+      lex_file((root / "src" / "service" / "server.cpp").generic_string());
+  run_protocol_pass(protocol_hpp, protocol_cpp, router_cpp,
+                    {protocol_cpp, router_cpp, server_cpp},
+                    result.diagnostics);
+
+  std::sort(result.diagnostics.begin(), result.diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return result;
+}
+
+}  // namespace rqsim::analyze

@@ -1,0 +1,829 @@
+// Concurrency pass: RQS101 (lock-order inversion cycles), RQS102 (blocking
+// call while holding a mutex), RQS103 (condition_variable::wait guarded by
+// a foreign mutex while other locks are held).
+//
+// Pipeline per translation unit (= one file; headers contribute mutex
+// declarations only):
+//   1. scope walk — track namespace/class nesting so in-class definitions
+//      get a class prefix, and recognize function definitions by the
+//      `name(...) ... {` shape;
+//   2. body walk — track RAII guard lifetimes (lock_guard / unique_lock /
+//      scoped_lock over named members; try_to_lock / defer_lock guards are
+//      mapped but not counted as held), record every acquisition made
+//      while other locks are held, every call site with its held set, and
+//      every blocking call;
+//   3. propagation — an approximate intra-TU call graph (callees matched
+//      by name) closes acquisitions and blocking behavior transitively, so
+//      `f` holding A and calling `g` that locks B yields the edge A→B;
+//   4. the union of all TUs' edges forms one lock-order graph over
+//      canonical mutex names (Class::member where resolvable, else
+//      file:member); strongly connected components of size > 1 and
+//      self-edges are reported as RQS101.
+//
+// Known approximations (documented in DESIGN.md §12): mutexes are
+// identified per class/file, not per instance; lambdas count into their
+// enclosing function; calls resolve intra-TU by last name component;
+// manual mutex.lock()/unlock() outside an RAII guard is not modeled.
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "analyzer.hpp"
+
+namespace rqsim::analyze {
+
+namespace {
+
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == Tok::kIdent && t.text == text;
+}
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == Tok::kPunct && t.text == text;
+}
+
+const std::set<std::string>& keyword_set() {
+  static const std::set<std::string> kKeywords = {
+      "if",      "for",      "while",   "switch",       "catch",
+      "return",  "sizeof",   "alignof", "new",          "delete",
+      "throw",   "do",       "else",    "case",         "default",
+      "co_await", "co_return", "alignas", "decltype",   "noexcept",
+      "static_assert", "typeid", "requires", "__attribute__"};
+  return kKeywords;
+}
+
+// Calls that can block the calling thread. Holding any mutex across one of
+// these serializes unrelated work behind the lock (and, for join/wait/
+// acquire, risks deadlock against the thread being waited on). Tuned to
+// this codebase: the socket layer (service/socket_util.hpp), the service
+// client, SimService's terminal-state waits, buffer-pool acquisition, and
+// thread joins.
+const std::set<std::string>& blocking_names() {
+  static const std::set<std::string> kBlocking = {
+      // socket_util / transport
+      "read_line_bounded", "write_all", "send_line", "connect_with_timeout",
+      "connect_unix", "connect_tcp", "accept_connection",
+      // libc-level socket ops (when called as methods/functions)
+      "recv", "send", "poll", "select",
+      // service blocking entry points
+      "wait_terminal", "request", "submit_request",
+      // state-buffer pool (takes the pool's global mutex, may allocate
+      // hundreds of MiB)
+      "acquire", "acquire_copy",
+      // thread lifetime
+      "join", "sleep_for", "sleep_until"};
+  return kBlocking;
+}
+
+std::string file_stem(const std::string& path) {
+  std::size_t slash = path.find_last_of('/');
+  std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
+  std::size_t dot = base.find_last_of('.');
+  return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+struct Acquisition {
+  std::string mutex;
+  int line = 0;
+};
+
+struct CallSite {
+  std::string callee;
+  int line = 0;
+  std::vector<std::string> held;
+};
+
+struct BlockingCall {
+  std::string what;
+  int line = 0;
+  std::vector<std::string> held;
+};
+
+struct OrderEdge {
+  std::string from;
+  std::string to;
+  std::string file;
+  int line = 0;
+  std::string via;  // callee name when the edge came from propagation
+};
+
+struct FunctionInfo {
+  std::string name;          // last component
+  std::string qualified;     // Class::name when known
+  std::string file;
+  std::vector<Acquisition> acquires;
+  std::vector<CallSite> calls;
+  std::vector<BlockingCall> blocking;
+};
+
+struct TuResult {
+  std::vector<FunctionInfo> functions;
+  std::vector<OrderEdge> edges;        // direct nesting edges
+  std::vector<Diagnostic> diags;       // RQS103 + direct re-lock RQS101
+  std::map<std::string, std::pair<std::string, int>> declared;  // canonical -> (file,line)
+};
+
+// ------------------------------------------------------------ TU scanner
+
+class TuScanner {
+ public:
+  TuScanner(const LexedFile& file) : file_(file), stem_(file_stem(file.path)) {}
+
+  TuResult run() {
+    const auto& toks = file_.tokens;
+    std::vector<std::string> class_stack;  // parallel to brace_kinds_
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (is_punct(t, "{")) {
+        brace_kinds_.push_back(classify_brace(toks, i, class_stack));
+        continue;
+      }
+      if (is_punct(t, "}")) {
+        if (!brace_kinds_.empty()) {
+          if (brace_kinds_.back() == BraceKind::kClass && !class_stack.empty()) {
+            class_stack.pop_back();
+          }
+          brace_kinds_.pop_back();
+        }
+        continue;
+      }
+      // Mutex member / global declaration: std :: mutex NAME ;
+      if (is_ident(t, "std") && i + 3 < toks.size() && is_punct(toks[i + 1], "::") &&
+          is_ident(toks[i + 2], "mutex") && toks[i + 3].kind == Tok::kIdent &&
+          i + 4 < toks.size() && is_punct(toks[i + 4], ";")) {
+        const std::string owner =
+            class_stack.empty() ? stem_ : class_stack.back();
+        out_.declared[owner + "::" + toks[i + 3].text] = {file_.path,
+                                                          toks[i + 3].line};
+        i += 4;
+        continue;
+      }
+      // Function definition?
+      if (t.kind == Tok::kIdent && i + 1 < toks.size() &&
+          is_punct(toks[i + 1], "(") && !keyword_set().count(t.text)) {
+        std::size_t body = find_body(toks, i + 1);
+        if (body != 0) {
+          FunctionInfo fn;
+          fn.name = t.text;
+          fn.file = file_.path;
+          std::string prefix = name_prefix(toks, i);
+          if (prefix.empty() && !class_stack.empty()) prefix = class_stack.back();
+          fn.qualified = prefix.empty() ? fn.name : prefix + "::" + fn.name;
+          class_prefix_ = prefix;
+          i = parse_body(toks, body, fn);
+          out_.functions.push_back(std::move(fn));
+          continue;
+        }
+      }
+    }
+    return std::move(out_);
+  }
+
+ private:
+  enum class BraceKind { kClass, kOther };
+
+  BraceKind classify_brace(const std::vector<Token>& toks, std::size_t i,
+                           std::vector<std::string>& class_stack) {
+    // Walk back over base-class clauses to find `class|struct NAME ... {`.
+    std::size_t j = i;
+    int steps = 0;
+    while (j > 0 && steps < 16) {
+      --j;
+      ++steps;
+      const Token& t = toks[j];
+      if (is_punct(t, ";") || is_punct(t, "}") || is_punct(t, "{")) break;
+      if ((is_ident(t, "class") || is_ident(t, "struct")) && j + 1 < toks.size()) {
+        // Skip alignas(...) / attribute junk between the keyword and name.
+        std::size_t k = j + 1;
+        if (is_ident(toks[k], "alignas") && k + 1 < toks.size() &&
+            is_punct(toks[k + 1], "(")) {
+          int pdepth = 0;
+          for (k = k + 1; k < toks.size(); ++k) {
+            if (is_punct(toks[k], "(")) ++pdepth;
+            else if (is_punct(toks[k], ")") && --pdepth == 0) { ++k; break; }
+          }
+        }
+        if (k < toks.size() && toks[k].kind == Tok::kIdent) {
+          class_stack.push_back(toks[k].text);
+          return BraceKind::kClass;
+        }
+        break;
+      }
+    }
+    return BraceKind::kOther;
+  }
+
+  // Qualified-name prefix of the identifier at `i` (A::B for `A::B::f`).
+  std::string name_prefix(const std::vector<Token>& toks, std::size_t i) {
+    std::vector<std::string> parts;
+    std::size_t j = i;
+    while (j >= 2 && is_punct(toks[j - 1], "::") && toks[j - 2].kind == Tok::kIdent) {
+      parts.insert(parts.begin(), toks[j - 2].text);
+      j -= 2;
+    }
+    std::string prefix;
+    for (const std::string& p : parts) {
+      if (!prefix.empty()) prefix += "::";
+      prefix += p;
+    }
+    return prefix;
+  }
+
+  // From the '(' at `open`, decide whether this is a function definition;
+  // return the index of the body '{' (0 if not a definition).
+  std::size_t find_body(const std::vector<Token>& toks, std::size_t open) {
+    std::size_t close = match_paren(toks, open);
+    if (close == 0) return 0;
+    std::size_t j = close + 1;
+    // Skip cv-qualifiers, ref-qualifiers, noexcept(...), attributes,
+    // trailing return types; stop at `{` (definition), `;`/`=`/`,` (not).
+    int angle = 0;
+    while (j < toks.size()) {
+      const Token& t = toks[j];
+      if (t.kind == Tok::kPunct) {
+        if (t.text == "{" && angle == 0) return j;
+        if ((t.text == ";" || t.text == "=" || t.text == ",") && angle == 0) return 0;
+        if (t.text == ":" && angle == 0) return scan_ctor_init(toks, j + 1);
+        if (t.text == "(") {
+          std::size_t c = match_paren(toks, j);
+          if (c == 0) return 0;
+          j = c + 1;
+          continue;
+        }
+        if (t.text == "<") ++angle;
+        if (t.text == ">") angle = std::max(0, angle - 1);
+      }
+      ++j;
+    }
+    return 0;
+  }
+
+  // After a ctor `:`, skip `member(args)` / `member{args}` initializers;
+  // the next top-level '{' not directly after a member name is the body.
+  std::size_t scan_ctor_init(const std::vector<Token>& toks, std::size_t j) {
+    while (j < toks.size()) {
+      if (toks[j].kind != Tok::kIdent) return 0;
+      ++j;
+      if (j >= toks.size()) return 0;
+      if (is_punct(toks[j], "(")) {
+        std::size_t c = match_paren(toks, j);
+        if (c == 0) return 0;
+        j = c + 1;
+      } else if (is_punct(toks[j], "{")) {
+        std::size_t c = match_brace(toks, j);
+        if (c == 0) return 0;
+        j = c + 1;
+      } else {
+        return 0;
+      }
+      if (j < toks.size() && is_punct(toks[j], ",")) {
+        ++j;
+        continue;
+      }
+      if (j < toks.size() && is_punct(toks[j], "{")) return j;
+      return 0;
+    }
+    return 0;
+  }
+
+  std::size_t match_paren(const std::vector<Token>& toks, std::size_t open) {
+    int depth = 0;
+    for (std::size_t j = open; j < toks.size(); ++j) {
+      if (is_punct(toks[j], "(")) ++depth;
+      else if (is_punct(toks[j], ")")) {
+        if (--depth == 0) return j;
+      }
+    }
+    return 0;
+  }
+
+  std::size_t match_brace(const std::vector<Token>& toks, std::size_t open) {
+    int depth = 0;
+    for (std::size_t j = open; j < toks.size(); ++j) {
+      if (is_punct(toks[j], "{")) ++depth;
+      else if (is_punct(toks[j], "}")) {
+        if (--depth == 0) return j;
+      }
+    }
+    return 0;
+  }
+
+  struct Guard {
+    std::vector<std::string> mutexes;
+    std::string var;
+    int depth = 0;
+    bool held = true;  // false for try_to_lock / defer_lock
+  };
+
+  // A lambda body does not necessarily run under the guards live at its
+  // definition site (it may be handed to a thread or stored), so guards
+  // below `guard_floor` are masked while scanning it. This trades the
+  // inline-invoked-lambda case (kernel_parallel_for bodies) for zero false
+  // positives on thread-spawn sites — the dominant pattern here.
+  struct LambdaFrame {
+    std::size_t guard_floor = 0;
+    int depth = 0;  // brace depth of the lambda body
+  };
+
+  std::vector<std::string> held_set(const std::vector<Guard>& guards) {
+    const std::size_t floor =
+        lambda_frames_.empty() ? 0 : lambda_frames_.back().guard_floor;
+    std::vector<std::string> held;
+    for (std::size_t g = floor; g < guards.size(); ++g) {
+      if (!guards[g].held) continue;
+      for (const std::string& m : guards[g].mutexes) held.push_back(m);
+    }
+    return held;
+  }
+
+  // If the token at `i` opens a lambda introducer in expression position,
+  // return the index of the lambda's body '{' (0 otherwise).
+  std::size_t lambda_body_open(const std::vector<Token>& toks, std::size_t i) {
+    if (!is_punct(toks[i], "[")) return 0;
+    if (i == 0) return 0;
+    const Token& prev = toks[i - 1];
+    const bool expr_pos =
+        (prev.kind == Tok::kPunct &&
+         (prev.text == "(" || prev.text == "," || prev.text == "=" ||
+          prev.text == "{" || prev.text == ";" || prev.text == "&&" ||
+          prev.text == "||" || prev.text == "<<" || prev.text == ":")) ||
+        is_ident(prev, "return");
+    if (!expr_pos) return 0;
+    // Matching ']' (capture lists do not nest brackets except defaults).
+    int bdepth = 0;
+    std::size_t j = i;
+    for (; j < toks.size(); ++j) {
+      if (is_punct(toks[j], "[")) ++bdepth;
+      else if (is_punct(toks[j], "]")) {
+        if (--bdepth == 0) break;
+      }
+    }
+    if (j >= toks.size()) return 0;
+    ++j;
+    if (j < toks.size() && is_punct(toks[j], "(")) {
+      const std::size_t close = match_paren(toks, j);
+      if (close == 0) return 0;
+      j = close + 1;
+    }
+    // mutable / noexcept / -> ret
+    int angle = 0;
+    while (j < toks.size()) {
+      const Token& t = toks[j];
+      if (t.kind == Tok::kPunct) {
+        if (t.text == "{" && angle == 0) return j;
+        if ((t.text == ";" || t.text == ")" || t.text == ",") && angle == 0) return 0;
+        if (t.text == "<") ++angle;
+        if (t.text == ">") angle = std::max(0, angle - 1);
+      }
+      ++j;
+    }
+    return 0;
+  }
+
+  // Canonical mutex name from the argument token range [b, e).
+  std::string canonical_mutex(const std::vector<Token>& toks, std::size_t b,
+                              std::size_t e) {
+    std::vector<std::string> chain;
+    int bracket = 0;
+    for (std::size_t j = b; j < e; ++j) {
+      const Token& t = toks[j];
+      if (is_punct(t, "[")) { ++bracket; continue; }
+      if (is_punct(t, "]")) { --bracket; continue; }
+      if (bracket > 0) continue;
+      if (t.kind == Tok::kIdent && t.text != "this") chain.push_back(t.text);
+    }
+    if (chain.empty()) return "";
+    const std::string& last = chain.back();
+    if (chain.size() == 1 && !class_prefix_.empty()) {
+      return class_prefix_ + "::" + last;  // bare member in a class method
+    }
+    if (chain.size() == 1) return stem_ + "::" + last;  // global / local
+    return stem_ + "::" + last;  // obj.member — owner type unknown
+  }
+
+  std::size_t parse_body(const std::vector<Token>& toks, std::size_t body_open,
+                         FunctionInfo& fn) {
+    std::vector<Guard> guards;
+    std::set<std::size_t> lambda_opens;
+    lambda_frames_.clear();
+    int depth = 0;
+    std::size_t i = body_open;
+    for (; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (is_punct(t, "[")) {
+        const std::size_t body = lambda_body_open(toks, i);
+        if (body != 0) lambda_opens.insert(body);
+        continue;
+      }
+      if (is_punct(t, "{")) {
+        ++depth;
+        if (lambda_opens.count(i)) {
+          lambda_frames_.push_back(LambdaFrame{guards.size(), depth});
+        }
+        continue;
+      }
+      if (is_punct(t, "}")) {
+        --depth;
+        while (!guards.empty() && guards.back().depth > depth) guards.pop_back();
+        while (!lambda_frames_.empty() && lambda_frames_.back().depth > depth) {
+          lambda_frames_.pop_back();
+        }
+        if (depth == 0) break;
+        continue;
+      }
+      if (t.kind != Tok::kIdent) continue;
+
+      if (t.text == "lock_guard" || t.text == "unique_lock" ||
+          t.text == "scoped_lock") {
+        i = parse_guard(toks, i, depth, guards);
+        continue;
+      }
+
+      const bool member_call =
+          i > 0 && (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"));
+      if ((t.text == "wait" || t.text == "wait_for" || t.text == "wait_until") &&
+          member_call && i + 2 < toks.size() && is_punct(toks[i + 1], "(") &&
+          toks[i + 2].kind == Tok::kIdent) {
+        // cv.wait(lk): look the guard variable up; any *other* held mutex
+        // stays locked for the whole wait.
+        const std::string& lockvar = toks[i + 2].text;
+        const Guard* own = nullptr;
+        for (const Guard& g : guards) {
+          if (g.var == lockvar) own = &g;
+        }
+        if (own != nullptr) {
+          std::vector<std::string> others;
+          for (const std::string& h : held_set(guards)) {
+            if (std::find(own->mutexes.begin(), own->mutexes.end(), h) ==
+                own->mutexes.end()) {
+              others.push_back(h);
+            }
+          }
+          if (!others.empty() &&
+              !file_.suppressions.allows(t.line, "RQS103")) {
+            out_.diags.push_back(Diagnostic{
+                file_.path, t.line, "RQS103",
+                "condition_variable::" + t.text + " while still holding " +
+                    join(others),
+                "the wait only releases its own mutex — every other held "
+                "lock blocks all contenders until the wakeup"});
+          }
+          continue;  // handled; do not double-count as a blocking call
+        }
+      }
+
+      if (i + 1 < toks.size() && is_punct(toks[i + 1], "(") &&
+          !keyword_set().count(t.text)) {
+        const std::vector<std::string> held = held_set(guards);
+        if (blocking_names().count(t.text)) {
+          fn.blocking.push_back(BlockingCall{t.text, t.line, held});
+        } else if (!member_call &&
+                   !(i > 0 && is_punct(toks[i - 1], "::"))) {
+          fn.calls.push_back(CallSite{t.text, t.line, held});
+        } else {
+          // Qualified / member call: still useful as an intra-TU edge
+          // (methods of the same class live in this TU).
+          fn.calls.push_back(CallSite{t.text, t.line, held});
+        }
+      }
+    }
+    fn.acquires = acquires_buffer_;
+    acquires_buffer_.clear();
+    return i;
+  }
+
+  // Parse one guard declaration starting at the lock_guard/unique_lock/
+  // scoped_lock identifier; returns the index to resume from.
+  std::size_t parse_guard(const std::vector<Token>& toks, std::size_t i,
+                          int depth, std::vector<Guard>& guards) {
+    const int line = toks[i].line;
+    std::size_t j = i + 1;
+    // Template argument list.
+    if (j < toks.size() && is_punct(toks[j], "<")) {
+      int angle = 0;
+      for (; j < toks.size(); ++j) {
+        if (is_punct(toks[j], "<")) ++angle;
+        else if (is_punct(toks[j], ">")) {
+          if (--angle == 0) { ++j; break; }
+        } else if (is_punct(toks[j], ">>")) {
+          angle -= 2;
+          if (angle <= 0) { ++j; break; }
+        }
+      }
+    }
+    if (j >= toks.size() || toks[j].kind != Tok::kIdent) return i;
+    Guard guard;
+    guard.var = toks[j].text;
+    guard.depth = depth;
+    ++j;
+    if (j >= toks.size() || !is_punct(toks[j], "(")) {
+      // `unique_lock<mutex> lk;` — deferred, no mutex yet.
+      return j - 1;
+    }
+    const std::size_t close = match_paren(toks, j);
+    if (close == 0) return j;
+    // Split the argument list at top-level commas.
+    std::size_t arg_start = j + 1;
+    int pdepth = 0;
+    std::vector<std::pair<std::size_t, std::size_t>> args;
+    for (std::size_t k = j + 1; k <= close; ++k) {
+      if (is_punct(toks[k], "(")) ++pdepth;
+      else if (is_punct(toks[k], ")")) {
+        if (pdepth == 0 && k == close) {
+          if (k > arg_start) args.emplace_back(arg_start, k);
+          break;
+        }
+        --pdepth;
+      } else if (is_punct(toks[k], ",") && pdepth == 0) {
+        args.emplace_back(arg_start, k);
+        arg_start = k + 1;
+      }
+    }
+    bool acquiring = true;
+    for (const auto& [b, e] : args) {
+      bool is_tag = false;
+      for (std::size_t k = b; k < e; ++k) {
+        if (toks[k].kind == Tok::kIdent &&
+            (toks[k].text == "try_to_lock" || toks[k].text == "defer_lock")) {
+          acquiring = false;
+          is_tag = true;
+        }
+        if (toks[k].kind == Tok::kIdent && toks[k].text == "adopt_lock") {
+          is_tag = true;  // adopted: already held, but no new order edge
+        }
+      }
+      if (is_tag) continue;
+      const std::string m = canonical_mutex(toks, b, e);
+      if (!m.empty()) guard.mutexes.push_back(m);
+    }
+    guard.held = acquiring;
+    if (acquiring) {
+      const std::vector<std::string> held = held_set(guards);
+      for (const std::string& m : guard.mutexes) {
+        if (std::find(held.begin(), held.end(), m) != held.end()) {
+          if (!file_.suppressions.allows(line, "RQS101")) {
+            out_.diags.push_back(Diagnostic{
+                file_.path, line, "RQS101",
+                "re-lock of " + m + " which is already held here",
+                "std::mutex is non-recursive — this deadlocks at runtime"});
+          }
+          continue;
+        }
+        for (const std::string& h : held) {
+          out_.edges.push_back(OrderEdge{h, m, file_.path, line, ""});
+        }
+        acquires_buffer_.push_back(Acquisition{m, line});
+      }
+      // scoped_lock over several mutexes uses std::lock's deadlock-free
+      // ordering, so no edges among its own members.
+    }
+    guards.push_back(std::move(guard));
+    return close;
+  }
+
+  std::string join(const std::vector<std::string>& items) {
+    std::string out;
+    for (const std::string& s : items) {
+      if (!out.empty()) out += ", ";
+      out += s;
+    }
+    return out;
+  }
+
+  const LexedFile& file_;
+  std::string stem_;
+  std::string class_prefix_;
+  std::vector<BraceKind> brace_kinds_;
+  std::vector<Acquisition> acquires_buffer_;
+  std::vector<LambdaFrame> lambda_frames_;
+  TuResult out_;
+};
+
+// ----------------------------------------------------- transitive closure
+
+struct TuGraph {
+  std::map<std::string, std::vector<const FunctionInfo*>> by_name;
+
+  // Transitive mutex acquisitions of `name` (memoized).
+  const std::set<std::string>& acquires(const std::string& name) {
+    auto it = acq_memo_.find(name);
+    if (it != acq_memo_.end()) return it->second;
+    auto& slot = acq_memo_[name];  // insert first to cut recursion cycles
+    auto fns = by_name.find(name);
+    if (fns == by_name.end()) return slot;
+    std::set<std::string> result;
+    for (const FunctionInfo* fn : fns->second) {
+      for (const Acquisition& a : fn->acquires) result.insert(a.mutex);
+      for (const CallSite& c : fn->calls) {
+        if (c.callee == name) continue;
+        const std::set<std::string>& sub = acquires(c.callee);
+        result.insert(sub.begin(), sub.end());
+      }
+    }
+    acq_memo_[name] = result;
+    return acq_memo_[name];
+  }
+
+  // First blocking call reachable from `name` ("" if none); memoized.
+  const std::string& blocking_via(const std::string& name) {
+    auto it = blk_memo_.find(name);
+    if (it != blk_memo_.end()) return it->second;
+    auto& slot = blk_memo_[name];
+    auto fns = by_name.find(name);
+    if (fns == by_name.end()) return slot;
+    for (const FunctionInfo* fn : fns->second) {
+      if (!fn->blocking.empty()) {
+        slot = fn->blocking.front().what;
+        return slot;
+      }
+    }
+    for (const FunctionInfo* fn : fns->second) {
+      for (const CallSite& c : fn->calls) {
+        if (c.callee == name) continue;
+        const std::string& sub = blocking_via(c.callee);
+        if (!sub.empty()) {
+          slot = c.callee + " -> " + sub;
+          return slot;
+        }
+      }
+    }
+    return slot;
+  }
+
+ private:
+  std::map<std::string, std::set<std::string>> acq_memo_;
+  std::map<std::string, std::string> blk_memo_;
+};
+
+std::string join_names(const std::vector<std::string>& items) {
+  std::string out;
+  for (const std::string& s : items) {
+    if (!out.empty()) out += ", ";
+    out += s;
+  }
+  return out;
+}
+
+// Tarjan SCC over the mutex order graph.
+struct Scc {
+  const std::map<std::string, std::set<std::string>>& adj;
+  std::map<std::string, int> index, low;
+  std::map<std::string, bool> on_stack;
+  std::vector<std::string> stack;
+  std::vector<std::vector<std::string>> components;
+  int counter = 0;
+
+  void run() {
+    for (const auto& [node, _] : adj) {
+      if (!index.count(node)) strongconnect(node);
+    }
+  }
+
+  void strongconnect(const std::string& v) {
+    index[v] = low[v] = counter++;
+    stack.push_back(v);
+    on_stack[v] = true;
+    auto it = adj.find(v);
+    if (it != adj.end()) {
+      for (const std::string& w : it->second) {
+        if (!index.count(w)) {
+          strongconnect(w);
+          low[v] = std::min(low[v], low[w]);
+        } else if (on_stack[w]) {
+          low[v] = std::min(low[v], index[w]);
+        }
+      }
+    }
+    if (low[v] == index[v]) {
+      std::vector<std::string> comp;
+      while (true) {
+        std::string w = stack.back();
+        stack.pop_back();
+        on_stack[w] = false;
+        comp.push_back(w);
+        if (w == v) break;
+      }
+      if (comp.size() > 1) components.push_back(std::move(comp));
+    }
+  }
+};
+
+}  // namespace
+
+void run_concurrency_pass(const std::vector<LexedFile>& files,
+                          std::vector<Diagnostic>& out,
+                          std::vector<MutexInfo>* inventory) {
+  std::vector<OrderEdge> edges;
+  std::vector<Diagnostic> diags;
+  std::map<std::string, std::pair<std::string, int>> declared;
+  std::map<std::string, int> acquisition_counts;
+
+  for (const LexedFile& file : files) {
+    TuScanner scanner(file);
+    TuResult tu = scanner.run();
+    for (auto& d : tu.declared) declared.insert(d);
+    edges.insert(edges.end(), tu.edges.begin(), tu.edges.end());
+    diags.insert(diags.end(), tu.diags.begin(), tu.diags.end());
+
+    TuGraph graph;
+    for (const FunctionInfo& fn : tu.functions) {
+      graph.by_name[fn.name].push_back(&fn);
+    }
+    for (const FunctionInfo& fn : tu.functions) {
+      for (const Acquisition& a : fn.acquires) ++acquisition_counts[a.mutex];
+      // Direct blocking calls under a lock.
+      for (const BlockingCall& b : fn.blocking) {
+        if (b.held.empty()) continue;
+        if (file.suppressions.allows(b.line, "RQS102")) continue;
+        diags.push_back(Diagnostic{
+            fn.file, b.line, "RQS102",
+            "blocking call `" + b.what + "` while holding " + join_names(b.held),
+            "release the lock first (copy what you need out of the critical "
+            "section), or move the blocking work outside it"});
+      }
+      // Propagated: calls made while holding locks.
+      for (const CallSite& c : fn.calls) {
+        if (c.held.empty()) continue;
+        const std::set<std::string>& sub = graph.acquires(c.callee);
+        for (const std::string& m : sub) {
+          for (const std::string& h : c.held) {
+            if (h == m) continue;  // instance-blind; direct re-locks are
+                                   // reported by the TU scanner instead
+            edges.push_back(OrderEdge{h, m, fn.file, c.line, c.callee});
+          }
+        }
+        const std::string& via = graph.blocking_via(c.callee);
+        if (!via.empty() && !file.suppressions.allows(c.line, "RQS102")) {
+          diags.push_back(Diagnostic{
+              fn.file, c.line, "RQS102",
+              "call to `" + c.callee + "` (blocks via " + via +
+                  ") while holding " + join_names(c.held),
+              "release the lock before calling into blocking code"});
+        }
+      }
+    }
+  }
+
+  // Build the order graph and hunt for cycles.
+  std::map<std::string, std::set<std::string>> adj;
+  std::map<std::string, OrderEdge> witness;  // "from->to" -> first edge
+  for (const OrderEdge& e : edges) {
+    if (e.from.empty() || e.to.empty()) continue;
+    adj[e.from].insert(e.to);
+    adj[e.to];  // ensure node exists
+    witness.emplace(e.from + "->" + e.to, e);
+  }
+  Scc scc{adj, {}, {}, {}, {}, {}, 0};
+  scc.run();
+  for (const std::vector<std::string>& comp : scc.components) {
+    // Report at the witness of the first edge inside the component.
+    std::string detail;
+    const OrderEdge* site = nullptr;
+    for (const std::string& a : comp) {
+      for (const std::string& b : comp) {
+        auto w = witness.find(a + "->" + b);
+        if (w == witness.end()) continue;
+        if (site == nullptr) site = &w->second;
+        if (!detail.empty()) detail += ", ";
+        detail += a + " -> " + b + " (" + w->second.file + ":" +
+                  std::to_string(w->second.line) + ")";
+      }
+    }
+    diags.push_back(Diagnostic{
+        site ? site->file : "<graph>", site ? site->line : 0, "RQS101",
+        "lock-order inversion cycle: " + detail,
+        "pick one global acquisition order for these mutexes and make every "
+        "path follow it"});
+  }
+
+  // De-duplicate (propagation can visit a call site once per held mutex).
+  std::set<std::string> seen;
+  for (const Diagnostic& d : diags) {
+    const std::string key =
+        d.rule + "|" + d.file + "|" + std::to_string(d.line) + "|" + d.message;
+    if (!seen.insert(key).second) continue;
+    out.push_back(d);
+  }
+
+  if (inventory != nullptr) {
+    for (const auto& [name, where] : declared) {
+      MutexInfo info;
+      info.name = name;
+      info.declared_at = where.first + ":" + std::to_string(where.second);
+      // Exact canonical match, or same member name observed anywhere (the
+      // scanner cannot always recover the owning class of `obj.member`).
+      auto exact = acquisition_counts.find(name);
+      if (exact != acquisition_counts.end()) {
+        info.acquisitions = exact->second;
+      } else {
+        const std::string member = name.substr(name.rfind("::") + 2);
+        for (const auto& [acq, count] : acquisition_counts) {
+          if (acq.substr(acq.rfind("::") + 2) == member) info.acquisitions += count;
+        }
+      }
+      inventory->push_back(std::move(info));
+    }
+  }
+}
+
+}  // namespace rqsim::analyze

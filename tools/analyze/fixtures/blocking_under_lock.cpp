@@ -1,0 +1,23 @@
+// Fixture: RQS102 — a blocking call made while holding a mutex, both
+// directly and one call-graph hop away.
+#include <mutex>
+
+void write_all(int fd, const char* line);
+
+class Store {
+ public:
+  void flush() {
+    std::lock_guard<std::mutex> lock(mu_);
+    write_all(0, "flush");
+  }
+
+  void save() {
+    std::lock_guard<std::mutex> lock(mu_);
+    persist();
+  }
+
+  void persist() { write_all(1, "save"); }
+
+ private:
+  std::mutex mu_;
+};

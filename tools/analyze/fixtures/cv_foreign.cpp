@@ -1,0 +1,18 @@
+// Fixture: RQS103 — condition_variable::wait releases only its own mutex;
+// the other held lock stays locked for the whole wait.
+#include <condition_variable>
+#include <mutex>
+
+class Queue {
+ public:
+  void drain() {
+    std::unique_lock<std::mutex> state_lock(state_mu_);
+    std::unique_lock<std::mutex> lk(wait_mu_);
+    cv_.wait(lk);
+  }
+
+ private:
+  std::condition_variable cv_;
+  std::mutex state_mu_;
+  std::mutex wait_mu_;
+};

@@ -1,0 +1,30 @@
+// Fixture: RQS101 — an a_→b_ / b_→a_ lock-order inversion cycle, plus a
+// direct re-lock of a mutex the function already holds.
+#include <mutex>
+
+class Pair {
+ public:
+  void forward() {
+    std::lock_guard<std::mutex> la(a_);
+    std::lock_guard<std::mutex> lb(b_);
+  }
+  void backward() {
+    std::lock_guard<std::mutex> lb(b_);
+    std::lock_guard<std::mutex> la(a_);
+  }
+
+ private:
+  std::mutex a_;
+  std::mutex b_;
+};
+
+class Recursive {
+ public:
+  void lock_twice() {
+    std::lock_guard<std::mutex> first(m_);
+    std::lock_guard<std::mutex> second(m_);
+  }
+
+ private:
+  std::mutex m_;
+};

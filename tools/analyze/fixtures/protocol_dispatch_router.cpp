@@ -1,0 +1,12 @@
+// Fixture: router dispatcher covering its whole verb table → no RQS201.
+#include <string>
+
+const char* dispatch_router(const std::string& op) {
+  if (op == "ping") {
+    return "pong";
+  }
+  if ("submit" == op) {
+    return "queued";
+  }
+  return "bad_request";
+}

@@ -1,0 +1,12 @@
+// Fixture: service dispatcher that forgot the "reap" verb → RQS201.
+#include <string>
+
+const char* dispatch_service(const std::string& op) {
+  if (op == "ping") {
+    return "pong";
+  }
+  if (op == "submit") {
+    return "queued";
+  }
+  return "bad_request";
+}

@@ -1,0 +1,4 @@
+// Fixture header: canonical verb tables for the protocol-exhaustiveness
+// pass. "reap" is deliberately missing from the service dispatcher fixture.
+inline constexpr const char* kServiceVerbs[] = {"ping", "submit", "reap"};
+inline constexpr const char* kRouterVerbs[] = {"ping", "submit"};

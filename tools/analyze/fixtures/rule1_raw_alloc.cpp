@@ -1,0 +1,12 @@
+// Fixture: RQS001 — raw state-buffer allocation outside StateBufferPool.
+#include <complex>
+#include <cstdlib>
+
+void* grab_with_new(unsigned num_qubits) {
+  auto* amps = new std::complex<double>[1ull << num_qubits];
+  return amps;
+}
+
+void* grab_with_malloc(unsigned num_qubits) {
+  return std::malloc((1ull << num_qubits) * sizeof(std::complex<double>));
+}

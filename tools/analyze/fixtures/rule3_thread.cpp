@@ -1,0 +1,7 @@
+// Fixture: RQS003 — ad-hoc std::thread outside the execution engines.
+#include <thread>
+
+void spawn_detached_worker() {
+  std::thread worker([] {});
+  worker.detach();
+}

@@ -1,0 +1,7 @@
+// Fixture: RQS004 — monotonic clock read outside telemetry/ and common/.
+#include <chrono>
+
+long long stamp_nanos() {
+  const auto t0 = std::chrono::steady_clock::now();
+  return t0.time_since_epoch().count();
+}

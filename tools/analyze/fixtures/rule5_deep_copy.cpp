@@ -1,0 +1,13 @@
+// Fixture: RQS005 — full statevector copy-init outside the buffer pool.
+struct StateVector {
+  unsigned num_qubits = 0;
+};
+
+struct Trial {
+  StateVector state;
+};
+
+StateVector checkpoint(const Trial& trial) {
+  StateVector snapshot = trial.state;
+  return snapshot;
+}

@@ -1,0 +1,8 @@
+// Fixture: RQS006 — raw socket syscall outside service/ and router/.
+int open_raw_socket() {
+  const int fd = ::socket(2, 1, 0);
+  if (fd >= 0 && ::listen(fd, 8) != 0) {
+    return -1;
+  }
+  return fd;
+}

@@ -1,0 +1,15 @@
+// Fixture: the inline suppression annotation silences a rule on the next
+// line, with a reason; the same violation without the annotation is still
+// reported.
+#include <random>
+
+int seeded_roll() {
+  // rqsim-analyze: allow(RQS002) fixture exercises the suppression grammar
+  std::mt19937 gen(1);
+  return static_cast<int>(gen());
+}
+
+int unsuppressed_roll() {
+  std::mt19937 gen(2);
+  return static_cast<int>(gen());
+}

@@ -1,0 +1,18 @@
+// Fixture: RQS202 — at() throws on a missing key; the guarded function is
+// fine, the unguarded one is flagged.
+struct Json {
+  bool has(const char* key) const;
+  const Json& at(const char* key) const;
+  int as_int() const;
+};
+
+int read_checked(const Json& request) {
+  if (!request.has("job")) {
+    return -1;
+  }
+  return request.at("job").as_int();
+}
+
+int read_unchecked(const Json& request) {
+  return request.at("tenant").as_int();
+}

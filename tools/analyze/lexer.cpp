@@ -1,0 +1,329 @@
+#include "lexer.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rqsim::analyze {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Parse a `rqsim-analyze: allow(RQS001,RQS102) reason` annotation out of a
+// comment body. Returns the rule set (empty if the comment is not an
+// annotation).
+std::set<std::string> parse_allow(const std::string& comment) {
+  std::set<std::string> rules;
+  const std::string key = "rqsim-analyze:";
+  std::size_t pos = comment.find(key);
+  if (pos == std::string::npos) return rules;
+  pos += key.size();
+  while (pos < comment.size() && std::isspace(static_cast<unsigned char>(comment[pos]))) ++pos;
+  const std::string verb = "allow(";
+  if (comment.compare(pos, verb.size(), verb) != 0) return rules;
+  pos += verb.size();
+  const std::size_t close = comment.find(')', pos);
+  if (close == std::string::npos) return rules;
+  std::string list = comment.substr(pos, close - pos);
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    std::string rule = list.substr(start, comma - start);
+    // Trim surrounding whitespace.
+    while (!rule.empty() && std::isspace(static_cast<unsigned char>(rule.front()))) rule.erase(rule.begin());
+    while (!rule.empty() && std::isspace(static_cast<unsigned char>(rule.back()))) rule.pop_back();
+    if (!rule.empty()) rules.insert(rule);
+    if (comma == list.size()) break;
+    start = comma + 1;
+  }
+  return rules;
+}
+
+class Lexer {
+ public:
+  Lexer(std::string path, const std::string& text)
+      : text_(text) {
+    out_.path = std::move(path);
+  }
+
+  LexedFile run() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        lex_preproc();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '/' && peek(1) == '/') {
+        lex_line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        lex_block_comment();
+        continue;
+      }
+      if (c == '"') {
+        lex_string(0);
+        continue;
+      }
+      if (c == '\'') {
+        lex_char();
+        continue;
+      }
+      if (ident_start(c)) {
+        lex_ident_or_prefixed_literal();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        lex_number();
+        continue;
+      }
+      lex_punct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+
+  void emit(Tok kind, std::string text, int line) {
+    out_.tokens.push_back(Token{kind, std::move(text), line});
+  }
+
+  void lex_preproc() {
+    const int start_line = line_;
+    std::string body;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        if (!body.empty() && body.back() == '\\') {
+          body.pop_back();
+          body.push_back(' ');
+          ++line_;
+          ++pos_;
+          continue;  // logical line continues
+        }
+        break;
+      }
+      // Comments may trail a directive; a // comment ends the logical line
+      // for our purposes (continuations after // are pathological).
+      if (c == '/' && peek(1) == '/') {
+        lex_line_comment();
+        break;
+      }
+      if (c == '/' && peek(1) == '*') {
+        lex_block_comment();
+        body.push_back(' ');
+        continue;
+      }
+      body.push_back(c);
+      ++pos_;
+    }
+    emit(Tok::kPreproc, body, start_line);
+    at_line_start_ = false;
+  }
+
+  void lex_line_comment() {
+    const int start_line = line_;
+    std::size_t start = pos_ + 2;
+    while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+    note_comment(text_.substr(start, pos_ - start), start_line);
+  }
+
+  void lex_block_comment() {
+    const int start_line = line_;
+    pos_ += 2;
+    std::string body;
+    while (pos_ < text_.size()) {
+      if (text_[pos_] == '*' && peek(1) == '/') {
+        pos_ += 2;
+        note_comment(body, start_line);
+        return;
+      }
+      if (text_[pos_] == '\n') ++line_;
+      body.push_back(text_[pos_]);
+      ++pos_;
+    }
+    note_comment(body, start_line);  // unterminated: still record
+  }
+
+  void note_comment(const std::string& body, int line) {
+    const std::set<std::string> rules = parse_allow(body);
+    if (!rules.empty()) out_.suppressions.add(line, rules);
+  }
+
+  // `prefix_len` is how many identifier chars preceded the opening quote
+  // (encoding prefixes like u8, L, and the R of raw strings).
+  void lex_string(std::size_t prefix_len) {
+    const int start_line = line_;
+    const bool raw = prefix_len > 0 && text_[pos_ - 1] == 'R';
+    ++pos_;  // consume the opening quote
+    std::string body;
+    if (raw) {
+      // R"delim( ... )delim"
+      std::string delim;
+      while (pos_ < text_.size() && text_[pos_] != '(') {
+        delim.push_back(text_[pos_]);
+        ++pos_;
+      }
+      ++pos_;  // '('
+      const std::string closer = ")" + delim + "\"";
+      while (pos_ < text_.size()) {
+        if (text_.compare(pos_, closer.size(), closer) == 0) {
+          pos_ += closer.size();
+          break;
+        }
+        if (text_[pos_] == '\n') ++line_;
+        body.push_back(text_[pos_]);
+        ++pos_;
+      }
+    } else {
+      while (pos_ < text_.size()) {
+        const char c = text_[pos_];
+        if (c == '\\') {
+          body.push_back(c);
+          if (pos_ + 1 < text_.size()) body.push_back(text_[pos_ + 1]);
+          pos_ += 2;
+          continue;
+        }
+        if (c == '"') {
+          ++pos_;
+          break;
+        }
+        if (c == '\n') {  // unterminated literal: bail at line end
+          break;
+        }
+        body.push_back(c);
+        ++pos_;
+      }
+    }
+    emit(Tok::kString, body, start_line);
+  }
+
+  void lex_char() {
+    const int start_line = line_;
+    ++pos_;  // opening '
+    std::string body;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\\') {
+        body.push_back(c);
+        if (pos_ + 1 < text_.size()) body.push_back(text_[pos_ + 1]);
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\'' || c == '\n') {
+        if (c == '\'') ++pos_;
+        break;
+      }
+      body.push_back(c);
+      ++pos_;
+    }
+    emit(Tok::kChar, body, start_line);
+  }
+
+  void lex_ident_or_prefixed_literal() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && ident_char(text_[pos_])) ++pos_;
+    const std::string word = text_.substr(start, pos_ - start);
+    // Encoding / raw-string prefixes glued to a quote: u8"", L"", R"()",
+    // u8R"()" etc. The prefix is part of the literal, not an identifier.
+    if (pos_ < text_.size() && (text_[pos_] == '"' || text_[pos_] == '\'')) {
+      static const std::set<std::string> kPrefixes = {"u8", "u",  "U",  "L",
+                                                      "R",  "u8R", "uR", "UR",
+                                                      "LR"};
+      if (kPrefixes.count(word)) {
+        if (text_[pos_] == '"') {
+          lex_string(word.size());
+        } else {
+          lex_char();
+        }
+        return;
+      }
+    }
+    emit(Tok::kIdent, word, line_);
+  }
+
+  void lex_number() {
+    const std::size_t start = pos_;
+    // pp-number: digits, idents, ', and exponent signs. Coarse but correct
+    // for skipping purposes.
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (ident_char(c) || c == '\'' || c == '.') {
+        ++pos_;
+        continue;
+      }
+      if ((c == '+' || c == '-') && pos_ > start) {
+        const char prev = text_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++pos_;
+          continue;
+        }
+      }
+      break;
+    }
+    emit(Tok::kNumber, text_.substr(start, pos_ - start), line_);
+  }
+
+  void lex_punct() {
+    // Fuse the multi-char operators the passes care about; everything else
+    // is emitted one char at a time.
+    static const char* kFused[] = {"::", "->", "==", "!=", "<=", ">=",
+                                   "&&", "||", "<<", ">>"};
+    for (const char* op : kFused) {
+      const std::size_t len = op[2] ? 3 : 2;
+      (void)len;
+      if (text_.compare(pos_, 2, op) == 0) {
+        emit(Tok::kPunct, op, line_);
+        pos_ += 2;
+        return;
+      }
+    }
+    emit(Tok::kPunct, std::string(1, text_[pos_]), line_);
+    ++pos_;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  LexedFile out_;
+};
+
+}  // namespace
+
+LexedFile lex_source(const std::string& path, const std::string& text) {
+  return Lexer(path, text).run();
+}
+
+LexedFile lex_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("rqsim-analyze: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return lex_source(path, buf.str());
+}
+
+}  // namespace rqsim::analyze

@@ -1,0 +1,166 @@
+// Protocol-exhaustiveness pass.
+//
+// RQS201 — every verb in the canonical tables kServiceVerbs / kRouterVerbs
+// (service/protocol.hpp) must be dispatched: the pass collects every
+// `op == "<literal>"` comparison in the service dispatcher
+// (service/protocol.cpp) and the fleet router (router/router.cpp) and
+// reports table entries missing from either. Adding a verb to the protocol
+// without teaching both dispatchers now fails tier-1 instead of surfacing
+// as a runtime "bad_request" against one of them.
+//
+// RQS202 — inside the handler files, `json.at("key")` (which throws on a
+// missing key) must be preceded by a `has("key")` presence check earlier
+// in the same function. `get_*` lookups carry their own fallback and are
+// always fine. The function boundary is recovered heuristically (a `{`
+// following `)` at top level opens a function); a `has` anywhere earlier
+// in the same function satisfies the check regardless of which object it
+// was called on — a documented approximation.
+#include <map>
+#include <set>
+
+#include "analyzer.hpp"
+
+namespace rqsim::analyze {
+
+namespace {
+
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == Tok::kIdent && t.text == text;
+}
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == Tok::kPunct && t.text == text;
+}
+
+struct VerbTable {
+  std::vector<std::string> verbs;
+  int line = 0;  // of the table declaration
+  bool found = false;
+};
+
+VerbTable extract_verb_table(const LexedFile& header, const std::string& name) {
+  VerbTable table;
+  const auto& toks = header.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent || toks[i].text != name) continue;
+    table.line = toks[i].line;
+    // Walk to the initializer brace and collect the string literals.
+    std::size_t j = i + 1;
+    while (j < toks.size() && !is_punct(toks[j], "{") && !is_punct(toks[j], ";")) ++j;
+    if (j >= toks.size() || !is_punct(toks[j], "{")) return table;
+    for (++j; j < toks.size() && !is_punct(toks[j], "}"); ++j) {
+      if (toks[j].kind == Tok::kString) table.verbs.push_back(toks[j].text);
+    }
+    table.found = true;
+    return table;
+  }
+  return table;
+}
+
+// Every string literal compared against an identifier named `op`.
+std::set<std::string> collect_op_comparisons(const LexedFile& file) {
+  std::set<std::string> verbs;
+  const auto& toks = file.tokens;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!is_punct(toks[i + 1], "==")) continue;
+    if (is_ident(toks[i], "op") && toks[i + 2].kind == Tok::kString) {
+      verbs.insert(toks[i + 2].text);
+    } else if (toks[i].kind == Tok::kString && is_ident(toks[i + 2], "op")) {
+      verbs.insert(toks[i].text);
+    }
+  }
+  return verbs;
+}
+
+void check_table(const VerbTable& table, const std::string& table_name,
+                 const LexedFile& header, const LexedFile& dispatch,
+                 const std::string& dispatcher_label,
+                 std::vector<Diagnostic>& out) {
+  if (!table.found) {
+    out.push_back(Diagnostic{
+        header.path, 1, "RQS201",
+        "verb table " + table_name + " not found in " + header.path,
+        "declare the canonical verb list so the dispatch check can prove "
+        "exhaustiveness"});
+    return;
+  }
+  const std::set<std::string> dispatched = collect_op_comparisons(dispatch);
+  for (const std::string& verb : table.verbs) {
+    if (dispatched.count(verb)) continue;
+    if (header.suppressions.allows(table.line, "RQS201")) continue;
+    out.push_back(Diagnostic{
+        dispatch.path, 1, "RQS201",
+        "protocol verb \"" + verb + "\" (declared in " + table_name +
+            ") is never dispatched by " + dispatcher_label,
+        "add an `op == \"" + verb + "\"` branch (or drop the verb from the "
+        "table if it was retired)"});
+  }
+}
+
+void check_json_presence(const LexedFile& file, std::vector<Diagnostic>& out) {
+  const auto& toks = file.tokens;
+  std::set<std::string> checked;  // keys has()-checked in current function
+  bool inside_function = false;
+  int depth = 0;
+  int function_depth = 0;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (is_punct(t, "{")) {
+      ++depth;
+      if (!inside_function && i > 0 &&
+          (is_punct(toks[i - 1], ")") || is_punct(toks[i - 1], "}"))) {
+        inside_function = true;
+        function_depth = depth;
+      }
+      continue;
+    }
+    if (is_punct(t, "}")) {
+      --depth;
+      if (inside_function && depth < function_depth) {
+        inside_function = false;
+        checked.clear();
+      }
+      continue;
+    }
+    if (t.kind != Tok::kIdent) continue;
+    if (t.text == "has" && i + 2 < toks.size() && is_punct(toks[i + 1], "(") &&
+        toks[i + 2].kind == Tok::kString) {
+      checked.insert(toks[i + 2].text);
+      continue;
+    }
+    if (t.text == "at" && i > 0 &&
+        (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->")) &&
+        i + 2 < toks.size() && is_punct(toks[i + 1], "(") &&
+        toks[i + 2].kind == Tok::kString) {
+      const std::string& key = toks[i + 2].text;
+      if (checked.count(key)) continue;
+      if (file.suppressions.allows(t.line, "RQS202")) continue;
+      out.push_back(Diagnostic{
+          file.path, t.line, "RQS202",
+          "Json::at(\"" + key + "\") without a prior has(\"" + key +
+              "\") presence check in this function",
+          "at() throws on a missing key — guard with has() and answer "
+          "bad_request so the client sees the real problem"});
+    }
+  }
+}
+
+}  // namespace
+
+void run_protocol_pass(const LexedFile& verbs_header,
+                       const LexedFile& service_dispatch,
+                       const LexedFile& router_dispatch,
+                       const std::vector<LexedFile>& handler_files,
+                       std::vector<Diagnostic>& out) {
+  check_table(extract_verb_table(verbs_header, "kServiceVerbs"),
+              "kServiceVerbs", verbs_header, service_dispatch,
+              "the service ProtocolHandler", out);
+  check_table(extract_verb_table(verbs_header, "kRouterVerbs"),
+              "kRouterVerbs", verbs_header, router_dispatch, "the fleet router",
+              out);
+  for (const LexedFile& file : handler_files) {
+    check_json_presence(file, out);
+  }
+}
+
+}  // namespace rqsim::analyze

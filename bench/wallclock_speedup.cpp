@@ -9,19 +9,27 @@
 // parallelism (shared prefixes recomputed per chunk). Beyond the gbench
 // registrations, two driver flags make this file the parallel perf gate:
 //
-//   --parallel-json <path>   sweep both modes over thread counts on three
+//   --parallel-json <path>   sweep tree / chunked / frames (Pauli-frame
+//                            collapse) modes over thread counts on three
 //                            Table I circuits plus 20–24 qubit bv / ghz /
-//                            grover instances, and write the machine-
-//                            readable comparison (ops, fork copies, CoW
-//                            materializations, redundant prefix ops, wall
-//                            ms, speedup_vs_1t), then exit — this produces
+//                            grover instances — ghz additionally at a
+//                            tight MSV budget to record uncompute routing
+//                            — and write the machine-readable comparison
+//                            (ops, fork copies, CoW materializations,
+//                            redundant prefix ops, frame_collapsed_trials,
+//                            frame_ops, uncomputations, wall ms,
+//                            speedup_vs_1t), then exit — this produces
 //                            BENCH_parallel.json.
 //   --parallel-check         fast assertion mode for ctest (perf_smoke):
 //                            exits nonzero unless tree-mode op counts are
 //                            strictly below chunked at >= 2 threads,
-//                            bitwise-match the sequential scheduler, and
-//                            the whole Table I suite materializes strictly
-//                            fewer CoW copies than it forks.
+//                            bitwise-match the sequential scheduler, the
+//                            whole Table I suite materializes strictly
+//                            fewer CoW copies than it forks, frame-mode
+//                            matvec_ops never exceed tree-mode's (>= 25%
+//                            below on ghz / bv / rb), and a budgeted ghz
+//                            run routes every refused fork through
+//                            uncomputation with zero inline fallbacks.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -143,6 +151,10 @@ struct SweepPoint {
   std::uint64_t pool_allocs = 0;
   std::uint64_t pool_prewarmed = 0;
   std::size_t peak_live_states = 0;
+  // Pauli-frame collapse + uncompute routing (frames / budget rows).
+  std::uint64_t frame_collapsed_trials = 0;
+  std::uint64_t frame_ops = 0;
+  std::uint64_t uncomputations = 0;
 };
 
 /// One circuit of the parallel sweep. The Table I entries run the paper's
@@ -192,12 +204,15 @@ std::vector<SweepCase> make_sweep_cases() {
 NoisyRunResult timed_parallel(const Circuit& circuit, const NoiseModel& noise,
                               ParallelMode mode, std::size_t threads,
                               double& best_ms, std::size_t trials = 512,
-                              int reps = 3) {
+                              int reps = 3, bool frames = false,
+                              std::size_t max_states = 0) {
   ParallelRunConfig config;
   config.num_trials = trials;
   config.seed = 7;
   config.num_threads = threads;
   config.parallel_mode = mode;
+  config.frame_collapse = frames;
+  config.max_states = max_states;
   NoisyRunResult result;
   best_ms = 0.0;
   // Best of `reps` damps scheduler noise (the sweep runs on shared CI
@@ -215,40 +230,73 @@ NoisyRunResult timed_parallel(const Circuit& circuit, const NoiseModel& noise,
   return result;
 }
 
+struct SweepMode {
+  const char* name;
+  ParallelMode mode;
+  bool frames;
+  std::size_t max_states;  // 0 = unlimited
+};
+
+SweepPoint run_sweep_point(const SweepCase& c, const SweepMode& m,
+                           std::size_t threads) {
+  SweepPoint point;
+  point.circuit = c.name;
+  point.mode = m.name;
+  point.qubits = c.qubits;
+  point.trials = c.trials;
+  point.threads = threads;
+  const NoisyRunResult result =
+      timed_parallel(c.compiled, c.noise, m.mode, threads, point.wall_ms,
+                     c.trials, c.reps, m.frames, m.max_states);
+  point.ops = result.ops;
+  point.fork_copies = result.fork_copies;
+  point.cow_materializations = result.telemetry.cow_materializations;
+  point.redundant_prefix_ops = result.redundant_prefix_ops;
+  point.steals = result.telemetry.steals;
+  point.inline_fallbacks = result.telemetry.inline_fallbacks;
+  point.pool_reuses = result.telemetry.pool_reuses;
+  point.pool_allocs = result.telemetry.pool_allocs;
+  point.pool_prewarmed = result.telemetry.pool_prewarmed;
+  point.peak_live_states = result.telemetry.peak_live_states;
+  point.frame_collapsed_trials = result.telemetry.frame_collapsed_trials;
+  point.frame_ops = result.telemetry.frame_ops;
+  point.uncomputations = result.telemetry.uncomputations;
+  std::printf("%-10s %2uq %-12s %zu threads: %llu ops, %llu forks, "
+              "%llu cow copies, %llu redundant, %llu fallbacks, %llu framed, "
+              "%llu uncomputed, %.2f ms\n",
+              point.circuit.c_str(), point.qubits, point.mode.c_str(), threads,
+              static_cast<unsigned long long>(point.ops),
+              static_cast<unsigned long long>(point.fork_copies),
+              static_cast<unsigned long long>(point.cow_materializations),
+              static_cast<unsigned long long>(point.redundant_prefix_ops),
+              static_cast<unsigned long long>(point.inline_fallbacks),
+              static_cast<unsigned long long>(point.frame_collapsed_trials),
+              static_cast<unsigned long long>(point.uncomputations),
+              point.wall_ms);
+  return point;
+}
+
 int run_parallel_sweep(const std::string& path) {
+  const SweepMode modes[] = {
+      {"tree", ParallelMode::kTree, /*frames=*/false, 0},
+      {"chunked", ParallelMode::kChunked, /*frames=*/false, 0},
+      {"frames", ParallelMode::kTree, /*frames=*/true, 0},
+  };
+  // Budget rows: a tight MSV budget on the Clifford-only ghz instances,
+  // where every refused fork must route through uncomputation instead of
+  // an inline fallback (the uncomputations column records the routing).
+  const SweepMode budget_mode = {"tree_budget2", ParallelMode::kTree,
+                                 /*frames=*/false, 2};
   std::vector<SweepPoint> points;
   for (const SweepCase& c : make_sweep_cases()) {
-    for (const ParallelMode mode : {ParallelMode::kTree, ParallelMode::kChunked}) {
+    for (const SweepMode& m : modes) {
       for (const std::size_t threads : c.threads) {
-        SweepPoint point;
-        point.circuit = c.name;
-        point.mode = mode == ParallelMode::kTree ? "tree" : "chunked";
-        point.qubits = c.qubits;
-        point.trials = c.trials;
-        point.threads = threads;
-        const NoisyRunResult result =
-            timed_parallel(c.compiled, c.noise, mode, threads, point.wall_ms,
-                           c.trials, c.reps);
-        point.ops = result.ops;
-        point.fork_copies = result.fork_copies;
-        point.cow_materializations = result.telemetry.cow_materializations;
-        point.redundant_prefix_ops = result.redundant_prefix_ops;
-        point.steals = result.telemetry.steals;
-        point.inline_fallbacks = result.telemetry.inline_fallbacks;
-        point.pool_reuses = result.telemetry.pool_reuses;
-        point.pool_allocs = result.telemetry.pool_allocs;
-        point.pool_prewarmed = result.telemetry.pool_prewarmed;
-        point.peak_live_states = result.telemetry.peak_live_states;
-        points.push_back(point);
-        std::printf("%-10s %2uq %-8s %zu threads: %llu ops, %llu forks, "
-                    "%llu cow copies, %llu redundant, %llu fallbacks, %.2f ms\n",
-                    point.circuit.c_str(), point.qubits, point.mode.c_str(),
-                    threads, static_cast<unsigned long long>(point.ops),
-                    static_cast<unsigned long long>(point.fork_copies),
-                    static_cast<unsigned long long>(point.cow_materializations),
-                    static_cast<unsigned long long>(point.redundant_prefix_ops),
-                    static_cast<unsigned long long>(point.inline_fallbacks),
-                    point.wall_ms);
+        points.push_back(run_sweep_point(c, m, threads));
+      }
+    }
+    if (c.name.rfind("ghz", 0) == 0) {
+      for (const std::size_t threads : c.threads) {
+        points.push_back(run_sweep_point(c, budget_mode, threads));
       }
     }
   }
@@ -284,6 +332,9 @@ int run_parallel_sweep(const std::string& path) {
         << ", \"pool_allocs\": " << p.pool_allocs
         << ", \"pool_prewarmed\": " << p.pool_prewarmed
         << ", \"peak_live_states\": " << p.peak_live_states
+        << ", \"frame_collapsed_trials\": " << p.frame_collapsed_trials
+        << ", \"frame_ops\": " << p.frame_ops
+        << ", \"uncomputations\": " << p.uncomputations
         << ", \"wall_ms\": " << p.wall_ms
         << ", \"speedup_vs_1t\": " << p.speedup_vs_1t << "}"
         << (i + 1 < points.size() ? "," : "") << "\n";
@@ -351,6 +402,34 @@ int run_parallel_check() {
     const NoisyRunResult r = run_noisy_parallel(e.compiled, dev.noise, config);
     suite_forks += r.fork_copies;
     suite_materializations += r.telemetry.cow_materializations;
+
+    // Pauli-frame gate, per Table I entry: frame mode never does more
+    // matvec work than the tree executor, stays bitwise, and cuts >= 25%
+    // on the Clifford-dominated entries (rb, bv4, bv5).
+    ParallelRunConfig framed_config = config;
+    framed_config.frame_collapse = true;
+    const NoisyRunResult framed =
+        run_noisy_parallel(e.compiled, dev.noise, framed_config);
+    if (framed.ops > r.ops) {
+      std::fprintf(stderr, "FAIL: %s frame ops %llu above tree ops %llu\n",
+                   e.name.c_str(), static_cast<unsigned long long>(framed.ops),
+                   static_cast<unsigned long long>(r.ops));
+      ++failures;
+    }
+    if (framed.histogram != r.histogram) {
+      std::fprintf(stderr, "FAIL: %s frame histogram diverges from tree mode\n",
+                   e.name.c_str());
+      ++failures;
+    }
+    const bool clifford_dominated =
+        e.name == "rb" || e.name == "bv4" || e.name == "bv5";
+    if (clifford_dominated && framed.ops * 4 > r.ops * 3) {
+      std::fprintf(stderr,
+                   "FAIL: %s frame ops %llu not >=25%% below tree ops %llu\n",
+                   e.name.c_str(), static_cast<unsigned long long>(framed.ops),
+                   static_cast<unsigned long long>(r.ops));
+      ++failures;
+    }
   }
   if (suite_materializations >= suite_forks) {
     std::fprintf(stderr,
@@ -363,6 +442,49 @@ int run_parallel_check() {
     std::printf("Table I suite: %llu forks, %llu materialized copies\n",
                 static_cast<unsigned long long>(suite_forks),
                 static_cast<unsigned long long>(suite_materializations));
+  }
+  // GHZ gate (Clifford-only downstream paths): frame mode must cut >= 25%
+  // of the tree executor's matvec ops bitwise-identically, and under a
+  // tight MSV budget every refused fork must route through uncomputation —
+  // inline_fallbacks stays 0.
+  {
+    const Circuit ghz = decompose_to_cx_basis(make_ghz(10));
+    const NoiseModel ghz_noise = NoiseModel::uniform(10, 0.02, 0.08, 0.02);
+    ParallelRunConfig config;
+    config.num_trials = 512;
+    config.seed = 7;
+    config.num_threads = 4;
+    const NoisyRunResult tree = run_noisy_parallel(ghz, ghz_noise, config);
+    ParallelRunConfig framed_config = config;
+    framed_config.frame_collapse = true;
+    const NoisyRunResult framed = run_noisy_parallel(ghz, ghz_noise, framed_config);
+    if (framed.histogram != tree.histogram || framed.ops * 4 > tree.ops * 3) {
+      std::fprintf(stderr,
+                   "FAIL: ghz frame mode not bitwise or not >=25%% below tree "
+                   "(%llu vs %llu ops)\n",
+                   static_cast<unsigned long long>(framed.ops),
+                   static_cast<unsigned long long>(tree.ops));
+      ++failures;
+    }
+    ParallelRunConfig budget_config = config;
+    budget_config.max_states = 2;
+    const NoisyRunResult budget = run_noisy_parallel(ghz, ghz_noise, budget_config);
+    if (budget.histogram != tree.histogram ||
+        budget.telemetry.uncomputations == 0 ||
+        budget.telemetry.inline_fallbacks != 0) {
+      std::fprintf(stderr,
+                   "FAIL: ghz budget run not routed through uncomputation "
+                   "(%llu uncomputations, %llu inline fallbacks)\n",
+                   static_cast<unsigned long long>(budget.telemetry.uncomputations),
+                   static_cast<unsigned long long>(budget.telemetry.inline_fallbacks));
+      ++failures;
+    } else {
+      std::printf("ghz: frame ops %llu vs tree %llu; budget run uncomputed %llu "
+                  "refusals, 0 inline fallbacks\n",
+                  static_cast<unsigned long long>(framed.ops),
+                  static_cast<unsigned long long>(tree.ops),
+                  static_cast<unsigned long long>(budget.telemetry.uncomputations));
+    }
   }
   if (failures == 0) {
     std::printf("parallel check: OK\n");

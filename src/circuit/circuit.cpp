@@ -19,6 +19,11 @@ void Circuit::add(const Gate& gate) {
                 "Circuit::add: operand out of range for " + gate_name(gate.kind));
   }
   gates_.push_back(gate);
+  // Normalize the cached Clifford classification regardless of how the
+  // caller built the Gate (the QASM front end fills fields directly).
+  Gate& stored = gates_.back();
+  stored.clifford = gate_kind_is_clifford(stored.kind);
+  stored.conj = stored.clifford ? &pauli_conjugation_table(stored.kind) : nullptr;
 }
 
 std::size_t Circuit::measure(qubit_t q) {

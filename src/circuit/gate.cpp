@@ -1,6 +1,7 @@
 #include "circuit/gate.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -95,12 +96,115 @@ std::string gate_name(GateKind kind) {
   return "?";
 }
 
+bool gate_kind_is_clifford(GateKind kind) {
+  switch (kind) {
+    case GateKind::X:
+    case GateKind::Y:
+    case GateKind::Z:
+    case GateKind::H:
+    case GateKind::S:
+    case GateKind::Sdg:
+    case GateKind::CX:
+    case GateKind::CZ:
+    case GateKind::SWAP:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+// Per-qubit symplectic bit rules; index = x | z<<1. Tables are generated
+// once from these rules so the 1q and 2q encodings can't drift apart.
+struct BitRule {
+  // Applies the gate's conjugation to (xa, za, xb, zb); 1q gates ignore b.
+  void (*apply)(unsigned& xa, unsigned& za, unsigned& xb, unsigned& zb);
+};
+
+void rule_identity(unsigned&, unsigned&, unsigned&, unsigned&) {}
+// H: X ↔ Z (Y stays Y up to sign).
+void rule_h(unsigned& xa, unsigned& za, unsigned&, unsigned&) { std::swap(xa, za); }
+// S / Sdg: X → ±Y, Y → ∓X, Z → Z: the z bit picks up the x bit.
+void rule_s(unsigned& xa, unsigned& za, unsigned&, unsigned&) { za ^= xa; }
+// CX (control a, target b): X_a → X_a X_b, Z_b → Z_a Z_b.
+void rule_cx(unsigned& xa, unsigned& za, unsigned& xb, unsigned& zb) {
+  xb ^= xa;
+  za ^= zb;
+}
+// CZ: X_a → X_a Z_b, X_b → Z_a X_b.
+void rule_cz(unsigned& xa, unsigned& za, unsigned& xb, unsigned& zb) {
+  zb ^= xa;
+  za ^= xb;
+}
+void rule_swap(unsigned& xa, unsigned& za, unsigned& xb, unsigned& zb) {
+  std::swap(xa, xb);
+  std::swap(za, zb);
+}
+
+PauliConjugation build_conjugation(const BitRule& rule) {
+  PauliConjugation table;
+  for (unsigned in = 0; in < 16; ++in) {
+    unsigned xa = in & 1u, za = (in >> 1) & 1u;
+    unsigned xb = (in >> 2) & 1u, zb = (in >> 3) & 1u;
+    rule.apply(xa, za, xb, zb);
+    const unsigned out = xa | za << 1 | xb << 2 | zb << 3;
+    table.two[in] = static_cast<std::uint8_t>(out);
+    if (in < 4) {
+      table.one[in] = static_cast<std::uint8_t>(out & 3u);
+    }
+  }
+  return table;
+}
+
+}  // namespace
+
+const PauliConjugation& pauli_conjugation_table(GateKind kind) {
+  static const PauliConjugation kIdentity = build_conjugation({rule_identity});
+  static const PauliConjugation kH = build_conjugation({rule_h});
+  static const PauliConjugation kS = build_conjugation({rule_s});
+  static const PauliConjugation kCx = build_conjugation({rule_cx});
+  static const PauliConjugation kCz = build_conjugation({rule_cz});
+  static const PauliConjugation kSwap = build_conjugation({rule_swap});
+  switch (kind) {
+    case GateKind::X:
+    case GateKind::Y:
+    case GateKind::Z:
+      return kIdentity;  // Paulis commute with Paulis up to sign
+    case GateKind::H:
+      return kH;
+    case GateKind::S:
+    case GateKind::Sdg:
+      return kS;  // same bit map; only the dropped sign differs
+    case GateKind::CX:
+      return kCx;
+    case GateKind::CZ:
+      return kCz;
+    case GateKind::SWAP:
+      return kSwap;
+    default:
+      break;
+  }
+  RQSIM_CHECK(false, "pauli_conjugation_table: gate kind is not Clifford");
+  return kIdentity;
+}
+
+namespace {
+
+void cache_clifford(Gate& g) {
+  g.clifford = gate_kind_is_clifford(g.kind);
+  g.conj = g.clifford ? &pauli_conjugation_table(g.kind) : nullptr;
+}
+
+}  // namespace
+
 Gate Gate::make1(GateKind kind, qubit_t q, double p0, double p1, double p2) {
   RQSIM_CHECK(gate_arity(kind) == 1, "Gate::make1: kind is not single-qubit");
   Gate g;
   g.kind = kind;
   g.qubits = {q, 0, 0};
   g.params = {p0, p1, p2};
+  cache_clifford(g);
   return g;
 }
 
@@ -111,6 +215,7 @@ Gate Gate::make2(GateKind kind, qubit_t a, qubit_t b, double p0) {
   g.kind = kind;
   g.qubits = {a, b, 0};
   g.params = {p0, 0.0, 0.0};
+  cache_clifford(g);
   return g;
 }
 
@@ -120,7 +225,69 @@ Gate Gate::make3(GateKind kind, qubit_t a, qubit_t b, qubit_t c) {
   Gate g;
   g.kind = kind;
   g.qubits = {a, b, c};
+  cache_clifford(g);
   return g;
+}
+
+Gate gate_inverse(const Gate& gate) {
+  Gate inv = gate;
+  switch (gate.kind) {
+    case GateKind::X:
+    case GateKind::Y:
+    case GateKind::Z:
+    case GateKind::H:
+    case GateKind::CX:
+    case GateKind::CZ:
+    case GateKind::SWAP:
+    case GateKind::CCX:
+      return inv;  // self-inverse
+    case GateKind::S:
+      inv.kind = GateKind::Sdg;
+      break;
+    case GateKind::Sdg:
+      inv.kind = GateKind::S;
+      break;
+    case GateKind::T:
+      inv.kind = GateKind::Tdg;
+      break;
+    case GateKind::Tdg:
+      inv.kind = GateKind::T;
+      break;
+    case GateKind::RX:
+    case GateKind::RY:
+    case GateKind::RZ:
+    case GateKind::P:
+    case GateKind::CP:
+      inv.params[0] = -gate.params[0];
+      break;
+    case GateKind::U2:
+      // u2(φ,λ) = u3(π/2, φ, λ); u3(θ,φ,λ)† = u3(-θ, -λ, -φ).
+      inv.kind = GateKind::U3;
+      inv.params = {-kPi / 2.0, -gate.params[1], -gate.params[0]};
+      break;
+    case GateKind::U3:
+      inv.params = {-gate.params[0], -gate.params[2], -gate.params[1]};
+      break;
+  }
+  cache_clifford(inv);
+  return inv;
+}
+
+bool gate_fp_exact_invertible(GateKind kind) {
+  switch (kind) {
+    case GateKind::X:
+    case GateKind::Y:
+    case GateKind::Z:
+    case GateKind::S:
+    case GateKind::Sdg:
+    case GateKind::CX:
+    case GateKind::CZ:
+    case GateKind::SWAP:
+    case GateKind::CCX:
+      return true;
+    default:
+      return false;
+  }
 }
 
 namespace {

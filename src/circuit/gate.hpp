@@ -47,19 +47,64 @@ int gate_num_params(GateKind kind);
 /// Lower-case mnemonic as used in OpenQASM ("cx", "u3", ...).
 std::string gate_name(GateKind kind);
 
+/// Symplectic conjugation rule of a Clifford gate: how G maps each Pauli
+/// P to G·P·G† up to a global ±1/±i phase (the phase never survives into
+/// |amplitude|² or an expectation value, so frames drop it). Paulis are
+/// the 2-bit (x | z << 1) code per operand: I=0, X=1, Z=2, Y=3.
+///
+/// `one` is the arity-1 map over that 2-bit code. `two` maps the 4-bit
+/// code (bits 0-1 = qubits[0]'s Pauli, bits 2-3 = qubits[1]'s) for the
+/// two-qubit Cliffords, where a Pauli on one operand may spread to both
+/// (CX: X on the control becomes X⊗X).
+struct PauliConjugation {
+  std::array<std::uint8_t, 4> one{};
+  std::array<std::uint8_t, 16> two{};
+};
+
+/// True for the Clifford kinds: X, Y, Z, H, S, Sdg, CX, CZ, SWAP.
+/// Parameterized kinds (RZ, P, ...) are never classified Clifford, even at
+/// angles where their unitary happens to be one — classification must not
+/// depend on floating-point parameter values.
+bool gate_kind_is_clifford(GateKind kind);
+
+/// Conjugation table for a Clifford kind; RQSIM_CHECK-fails otherwise.
+const PauliConjugation& pauli_conjugation_table(GateKind kind);
+
 /// A gate instance: kind + operands + parameters.
 struct Gate {
   GateKind kind = GateKind::X;
   std::array<qubit_t, 3> qubits{};
   std::array<double, 3> params{};
 
+  /// Cached at construction by the factories (gate_kind_is_clifford /
+  /// pauli_conjugation_table are table lookups, but the hot frame-
+  /// propagation loop in sched/ asks per gate per trial — caching here
+  /// keeps that loop branch-and-load only).
+  bool clifford = false;
+  const PauliConjugation* conj = nullptr;  // non-null iff clifford
+
   int arity() const { return gate_arity(kind); }
+  bool is_clifford() const { return clifford; }
+  const PauliConjugation* pauli_conjugation() const { return conj; }
 
   static Gate make1(GateKind kind, qubit_t q, double p0 = 0.0, double p1 = 0.0,
                     double p2 = 0.0);
   static Gate make2(GateKind kind, qubit_t a, qubit_t b, double p0 = 0.0);
   static Gate make3(GateKind kind, qubit_t a, qubit_t b, qubit_t c);
 };
+
+/// Exact inverse of `gate` on the same operands: self-inverse kinds map to
+/// themselves, S↔Sdg, T↔Tdg, rotations negate their angle, and
+/// U2(φ,λ)† = U3(-π/2, -λ, -φ), U3(θ,φ,λ)† = U3(-θ, -λ, -φ).
+Gate gate_inverse(const Gate& gate);
+
+/// True when applying the gate and then its inverse restores every
+/// amplitude *bitwise*: the kind's kernel and its inverse's are pure
+/// permutation / ±1 / ±i operations (X, Y, Z, S, Sdg, CX, CZ, SWAP, CCX).
+/// H is unitary but 1/√2 rounds, so H·H drifts in the last ulp; same for
+/// the rotation family. The uncompute path may only rewind through kinds
+/// that pass this test.
+bool gate_fp_exact_invertible(GateKind kind);
 
 /// 2x2 matrix of a single-qubit gate (requires arity 1).
 Mat2 gate_matrix1(const Gate& gate);

@@ -53,6 +53,7 @@ struct CliOptions {
   std::string csv_path;           // --csv
   std::string trace_out;          // --trace-out (Chrome trace JSON)
   bool no_transpile = false;      // --no-transpile
+  bool frames = false;            // --frames (Pauli-frame subtree collapse)
 
   // Service verbs (serve / submit / status / shutdown).
   std::string socket_path;        // --socket (unix-domain endpoint)
@@ -148,6 +149,8 @@ CliOptions parse_options(const std::vector<std::string>& args, std::size_t begin
       options.trace_out = value();
     } else if (flag == "--no-transpile") {
       options.no_transpile = true;
+    } else if (flag == "--frames") {
+      options.frames = true;
     } else if (flag == "--socket") {
       options.socket_path = value();
     } else if (flag == "--port") {
@@ -309,6 +312,11 @@ void print_result(const NoisyRunResult& result, std::size_t num_measured,
       out << "  steals/fallbacks  : " << telem.steals << " / "
           << telem.inline_fallbacks << "\n";
     }
+    if (telem.frame_collapsed_trials > 0 || telem.uncomputations > 0) {
+      out << "  frame trials      : " << telem.frame_collapsed_trials << "  ("
+          << telem.frame_ops << " frame ops)\n";
+      out << "  uncomputations    : " << telem.uncomputations << "\n";
+    }
   }
 }
 
@@ -342,6 +350,7 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out, bool analyz
     config.max_states = options.max_states;
     config.num_threads = options.threads;
     config.parallel_mode = parse_parallel_mode(options.parallel_mode);
+    config.frame_collapse = options.frames;
     result = run_noisy_parallel(circuit, dev.noise, config);
   } else {
     NoisyRunConfig config;
@@ -588,6 +597,7 @@ int cmd_submit(const std::vector<std::string>& args, std::ostream& out) {
   params.threads = options.threads;
   params.priority = options.priority;
   params.analyze = options.analyze;
+  params.frames = options.frames;
   params.tenant = options.tenant;
 
   ServiceClient client = ServiceClient::connect(service_endpoint(options));
@@ -771,6 +781,9 @@ void print_usage(std::ostream& out) {
          "  --parallel-mode <m>   tree | chunked (default tree: work-stealing\n"
          "                        prefix-tree executor, zero redundant prefix ops)\n"
          "  --max-states <n>      MSV budget (0 = unlimited)\n"
+         "  --frames              Pauli-frame subtree collapse (tree-mode runs:\n"
+         "                        Clifford-propagatable trials finish as tracked\n"
+         "                        frames, bitwise-identical, fewer matvec ops)\n"
          "  --top <k>             histogram rows to print (default 16)\n"
          "  --max-errors <k>      enumeration truncation order (default 2)\n"
          "  --csv <file>          write the outcome histogram as CSV\n"

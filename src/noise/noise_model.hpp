@@ -80,6 +80,16 @@ class NoiseModel {
   /// True when all rates are zero (noise disabled).
   bool is_noiseless() const;
 
+  /// True when every error operator this model can inject into the
+  /// simulation is a Pauli (measurement flips are classical and don't
+  /// count). All channels above — depolarizing, biased-Pauli, idle Pauli —
+  /// qualify, so today this is unconditionally true; it is the contract
+  /// the Pauli-frame collapse pass (trial/frame.hpp, ScheduleOptions::
+  /// frame_collapse) relies on, and the gate a future non-Pauli channel
+  /// (amplitude damping as Kraus operators, coherent overrotation) must
+  /// turn off.
+  bool all_channels_pauli() const { return true; }
+
  private:
   static void check_rate(double rate);
 

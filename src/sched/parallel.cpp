@@ -124,6 +124,9 @@ void run_tree(const CircuitContext& ctx, const std::vector<Trial>& trials,
   result.telemetry.pool_allocs = stats.pool_allocs;
   result.telemetry.pool_prewarmed = stats.prewarmed;
   result.telemetry.peak_live_states = stats.max_live_states;
+  result.telemetry.frame_collapsed_trials = stats.frame_collapsed_trials;
+  result.telemetry.frame_ops = stats.frame_ops;
+  result.telemetry.uncomputations = stats.uncomputations;
   // Report the schedule's MSV — the deterministic bound admission control
   // enforces — rather than the timing-dependent transient peak.
   result.max_live_states = tree.peak_demand;
@@ -167,6 +170,13 @@ NoisyRunResult run_noisy_parallel(const Circuit& circuit, const NoiseModel& nois
 
   ScheduleOptions options;
   options.max_states = config.max_states;
+  // Frame collapse is a tree-schedule transformation: it needs the
+  // per-gate Clifford structure (hidden by fused segments) and Pauli error
+  // injections (guaranteed by the noise model's channel set).
+  options.frame_collapse = config.frame_collapse &&
+                           config.parallel_mode == ParallelMode::kTree &&
+                           !config.fuse_gates && noise.all_channels_pauli();
+  options.frame_observables = !config.observables.empty();
 
   NoisyRunResult result;
   result.observable_means.assign(config.observables.size(), 0.0);

@@ -69,6 +69,21 @@ struct ScheduleOptions {
   /// checkpoint — correctness is unchanged, computation sharing below the
   /// cap is given up.
   std::size_t max_states = 0;
+
+  /// Pauli-frame subtree collapse (tree builder only — the sequential
+  /// walker ignores it). A group of trials whose remaining errors all
+  /// propagate to the end of the circuit as pure Pauli frames (Clifford-
+  /// only downstream path, X part confined to measured qubits) is not
+  /// forked: the trials finish on the parent's buffer with a recorded
+  /// frame applied as a basis permutation at sampling time. Bitwise
+  /// results are unchanged; requires NoiseModel::all_channels_pauli().
+  bool frame_collapse = false;
+
+  /// Observables will be evaluated on the finishing buffers: restrict
+  /// collapse to trials whose final frame is Z-only (a pure sign on each
+  /// Pauli-string expectation; an X component would permute the
+  /// floating-point summation order instead).
+  bool frame_observables = false;
 };
 
 /// Walk `trials` (which must already be in reorder order) and emit the

@@ -83,6 +83,17 @@ struct NoisyRunConfig {
   /// ParallelRunConfig so service job configs carry it through batching.
   ParallelMode parallel_mode = ParallelMode::kTree;
 
+  /// Pauli-frame subtree collapse (tree-mode parallel runs only). Groups
+  /// of trials whose injected errors propagate to the end of the circuit
+  /// as pure Pauli frames (Clifford-only downstream path) never fork a
+  /// statevector: they finish on their node's shared buffer, the frame
+  /// applied at sampling time as an outcome-bit permutation (and a sign on
+  /// Z-only observables). Histograms and observable means stay bitwise
+  /// identical to the uncollapsed schedule; matvec ops drop. Requires an
+  /// all-Pauli noise model and is skipped under fuse_gates (fused segments
+  /// hide the per-gate Clifford structure).
+  bool frame_collapse = false;
+
   /// Statically verify the reorder schedule before executing it (cached
   /// modes): lexicographic trial order, checkpoint stack discipline, the
   /// MSV bound, and exact op-count telescoping (verify/plan_verifier.hpp).
@@ -143,6 +154,18 @@ struct TelemetrySummary {
 
   /// Peak concurrently live statevectors actually observed at run time.
   std::size_t peak_live_states = 0;
+
+  /// Pauli-frame collapse (tree-mode parallel runs with frame_collapse):
+  /// trials finished as tracked frames on a shared buffer instead of
+  /// forked statevectors, and the conjugation-table lookups their
+  /// propagation cost (integer bookkeeping, never matvec ops).
+  std::uint64_t frame_collapsed_trials = 0;
+  std::uint64_t frame_ops = 0;
+
+  /// In-place buffer restores by inverse replay: refused forks routed
+  /// through uncomputation instead of inline execution under a tight MSV
+  /// budget.
+  std::uint64_t uncomputations = 0;
 };
 
 struct NoisyRunResult {

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "sched/order.hpp"
+#include "trial/frame.hpp"
 
 namespace rqsim {
 
@@ -18,7 +19,23 @@ class TreeBuilder {
  public:
   TreeBuilder(const CircuitContext& ctx, const std::vector<Trial>& trials,
               const ScheduleOptions& options)
-      : ctx_(ctx), trials_(trials), options_(options) {}
+      : ctx_(ctx), trials_(trials), options_(options) {
+    for (const qubit_t q : ctx.circuit.measured_qubits()) {
+      measured_mask_ |= std::uint64_t{1} << q;
+    }
+    // exact_suffix_[l]: every gate in layers [l, num_layers) applies and
+    // inverts bitwise (the uncompute whitelist). Error injections are
+    // Paulis — always exact — so this suffix alone decides uncompute_ok.
+    const std::size_t num_layers = ctx.num_layers();
+    exact_suffix_.assign(num_layers + 1, true);
+    for (std::size_t l = num_layers; l-- > 0;) {
+      bool ok = exact_suffix_[l + 1];
+      for (const gate_index_t g : ctx.layering.layers[l]) {
+        ok = ok && gate_fp_exact_invertible(ctx.circuit.gates()[g].kind);
+      }
+      exact_suffix_[l] = ok;
+    }
+  }
 
   ExecTree build() {
     ExecTree tree;
@@ -66,10 +83,40 @@ class TreeBuilder {
     node.entry_frontier = frontier;
     node.trial = t;
     node.peak_demand = 1;
+    node.uncompute_ok = exact_suffix_[frontier];
     node.subtree_ops = replay_ops(trials_[t], event_depth, frontier);
     tree_->planned_ops += node.subtree_ops;
     tree_->nodes.push_back(std::move(node));
     return idx;
+  }
+
+  /// All-or-nothing frame collapse of the group [begin, end) branching at
+  /// `event_depth`: succeeds iff *every* trial's remaining errors propagate
+  /// to the end of the circuit as a pure Pauli frame (Clifford-only
+  /// downstream conjugation, X part confined to measured qubits, Z-only if
+  /// observables will be evaluated). On success the group's FrameTrials are
+  /// appended to `frames` and the caller skips building the subtree; on
+  /// failure `frames` is left untouched and the group forks as usual.
+  bool try_collapse_group(std::size_t begin, std::size_t end,
+                          std::size_t event_depth,
+                          std::vector<FrameTrial>& frames) {
+    const std::size_t before = frames.size();
+    for (std::size_t t = begin; t != end; ++t) {
+      const FramePropagation p = propagate_frame_to_end(
+          ctx_.circuit, ctx_.layering, trials_[t], event_depth);
+      if (!p.ok || !frame_x_confined_to(p.frame, measured_mask_) ||
+          (options_.frame_observables && p.frame.x != 0)) {
+        frames.resize(before);
+        return false;
+      }
+      FrameTrial ft;
+      ft.trial = t;
+      ft.frame_x = p.frame.x;
+      ft.frame_z = p.frame.z;
+      ft.frame_ops = p.frame_ops;
+      frames.push_back(ft);
+    }
+    return true;
   }
 
   /// Build the kBranch node for trials [begin, end) sharing `event_depth`
@@ -97,6 +144,7 @@ class TreeBuilder {
     // reference to nodes[idx] across a child build; collect locally and
     // write back at the end.
     std::vector<std::size_t> children;
+    std::vector<FrameTrial> frame_trials;
     layer_index_t frontier = entry_frontier;
     std::size_t i = begin;
     while (i != end && trials_[i].events.size() > event_depth) {
@@ -105,6 +153,17 @@ class TreeBuilder {
       while (j != end && trials_[j].events.size() > event_depth &&
              trials_[j].events[event_depth] == event) {
         ++j;
+      }
+      if (options_.frame_collapse &&
+          try_collapse_group(i, j, event_depth, frame_trials)) {
+        // The whole subtree is frame bookkeeping: no advance to the branch
+        // point, no fork, no child ops. The trials finish on this node's
+        // buffer after the final advance below. Skipping the intermediate
+        // advance changes nothing downstream — ops_in_layers is a prefix
+        // sum, so a later child (or the final advance) pays the same
+        // layers exactly once.
+        i = j;
+        continue;
       }
       const layer_index_t target = event.layer + 1;
       if (target > frontier) {
@@ -124,7 +183,9 @@ class TreeBuilder {
       }
       i = j;
     }
-    if (i != end) {
+    if (i != end || !frame_trials.empty()) {
+      // Tail trials and frame-collapsed trials both finish on this node's
+      // buffer advanced to the end of the circuit.
       const auto total = static_cast<layer_index_t>(ctx_.num_layers());
       if (total > frontier) {
         tree_->planned_ops += ctx_.ops_in_layers(frontier, total);
@@ -134,10 +195,15 @@ class TreeBuilder {
     for (const std::size_t ci : children) {
       peak = std::max(peak, 1 + tree_->nodes[ci].peak_demand);
     }
+    tree_->frame_collapsed_trials += frame_trials.size();
+    for (const FrameTrial& ft : frame_trials) {
+      tree_->planned_frame_ops += ft.frame_ops;
+    }
     TreeNode& node = tree_->nodes[idx];
     node.tail_begin = i;
     node.tail_end = end;
     node.children = std::move(children);
+    node.frame_trials = std::move(frame_trials);
     node.peak_demand = peak;
     node.subtree_ops = tree_->planned_ops - ops_before;
     return idx;
@@ -147,6 +213,8 @@ class TreeBuilder {
   const std::vector<Trial>& trials_;
   const ScheduleOptions& options_;
   ExecTree* tree_ = nullptr;
+  std::uint64_t measured_mask_ = 0;
+  std::vector<bool> exact_suffix_;
 };
 
 // Re-emit the depth-first schedule of a subtree. The emission order is the
@@ -188,7 +256,7 @@ class TreeEmitter {
       }
       visitor_.on_drop(depth + 1);
     }
-    if (node.tail_begin != node.tail_end) {
+    if (node.tail_begin != node.tail_end || !node.frame_trials.empty()) {
       const auto total = static_cast<layer_index_t>(ctx_.num_layers());
       if (total > frontier) {
         visitor_.on_advance(depth, frontier, total);
@@ -196,6 +264,14 @@ class TreeEmitter {
       }
       for (std::size_t t = node.tail_begin; t != node.tail_end; ++t) {
         visitor_.on_finish(depth, static_cast<trial_index_t>(t), trials_[t]);
+      }
+      // Frame-collapsed trials finish on the same buffer; their remaining
+      // events are virtual (carried by the recorded frame), so the stream
+      // shows a finish with only the node's event_depth-long prefix applied
+      // — the verifier's frame-algebra pass proves the rest.
+      for (const FrameTrial& ft : node.frame_trials) {
+        visitor_.on_finish(depth, static_cast<trial_index_t>(ft.trial),
+                           trials_[ft.trial]);
       }
     }
   }

@@ -42,6 +42,24 @@ namespace rqsim {
 
 inline constexpr std::size_t kNoNode = static_cast<std::size_t>(-1);
 
+/// A trial finished by Pauli-frame collapse (ScheduleOptions::
+/// frame_collapse): instead of forking a statevector for its remaining
+/// error events, the trial finishes on its node's end-of-circuit buffer
+/// carrying this frame, applied at sampling time as an outcome-bit
+/// permutation (and a sign on Z-only observables). The masks are the
+/// symplectic representation of trial/frame.hpp's PauliFrame, already
+/// conjugated through every downstream Clifford gate.
+struct FrameTrial {
+  std::size_t trial = 0;
+  std::uint64_t frame_x = 0;
+  std::uint64_t frame_z = 0;
+
+  /// Conjugation table lookups the propagation performed — the integer
+  /// bookkeeping that replaced this trial's matvec ops (telemetry
+  /// "sim.frame_ops"; never counted in planned_ops).
+  opcount_t frame_ops = 0;
+};
+
 struct TreeNode {
   enum class Kind : std::uint8_t { kBranch, kReplay };
 
@@ -79,6 +97,20 @@ struct TreeNode {
   /// order, each either a kBranch subtree or one kReplay leaf per trial).
   std::vector<std::size_t> children;
 
+  /// kBranch: trials of [begin, end) whose subtrees the frame-collapse
+  /// pass eliminated. They share this node's event_depth-long prefix and
+  /// finish on this node's own buffer after the final advance; their
+  /// remaining events live only in the recorded frames. Empty unless the
+  /// tree was built with ScheduleOptions::frame_collapse.
+  std::vector<FrameTrial> frame_trials;
+
+  /// kReplay: every gate in layers [entry_frontier, num_layers) is
+  /// fp-exact-invertible (circuit/gate.hpp) — error injections are Paulis
+  /// and always are — so the executor may run this leaf *in place* on a
+  /// shared buffer and restore it bitwise by applying the inverse sequence,
+  /// instead of falling back inline when the MSV token bank refuses a fork.
+  bool uncompute_ok = false;
+
   /// Buffers needed to execute this subtree sequentially, including the
   /// node's own (= the sequential walker's stack growth below this point).
   /// The executor's admission control reserves this many states before
@@ -109,6 +141,17 @@ struct ExecTree {
   /// Sequential MSV of the schedule (root peak demand); the executor's
   /// global live-state bound when max_states is set.
   std::size_t peak_demand = 1;
+
+  /// Trials finished by Pauli-frame collapse across the whole tree, and
+  /// the conjugation-table lookups their propagation cost. When collapse
+  /// is off (or nothing collapsed) both are 0 and the tree is op-for-op
+  /// the sequential cached schedule; otherwise planned_ops is *smaller*
+  /// than the sequential schedule's — the saving the PlanVerifier's
+  /// frame-algebra pass proves exactly.
+  std::uint64_t frame_collapsed_trials = 0;
+  opcount_t planned_frame_ops = 0;
+
+  bool has_frames() const { return frame_collapsed_trials != 0; }
 };
 
 /// Build the execution tree for `trials` (which must already be in reorder

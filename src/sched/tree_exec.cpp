@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -20,6 +21,7 @@
 #include "sim/kernels.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace.hpp"
+#include "trial/frame.hpp"
 
 namespace rqsim {
 
@@ -43,6 +45,9 @@ telemetry::Counter g_inline_fallbacks("tree_exec.inline_fallbacks");
 telemetry::Counter g_forks("tree_exec.forks");
 telemetry::Counter g_tasks("tree_exec.tasks");
 telemetry::Counter g_chunk_tasks("tree_exec.chunk_tasks");
+telemetry::Counter g_frame_collapsed_trials("sim.frame_collapsed_trials");
+telemetry::Counter g_frame_ops("sim.frame_ops");
+telemetry::Counter g_uncomputations("sim.uncomputations");
 telemetry::Histogram g_worker_ops("tree_exec.worker_ops");
 
 struct Task {
@@ -57,6 +62,11 @@ struct Task {
   /// MSV-budget tokens held by this task's subtree (0 when the budget is
   /// unlimited or the subtree runs inline under its parent's reservation).
   std::size_t reserved = 0;
+  /// Uncompute mode: the chunk's replay leaves run in place on one
+  /// materialized buffer (reserved == 1), restored bitwise by inverse
+  /// gates between trials. Taken when the full banker reservation was
+  /// refused but every leaf in the chunk is uncompute_ok.
+  bool uncompute = false;
 };
 
 class TreeExecutor {
@@ -70,6 +80,10 @@ class TreeExecutor {
         sink_(sink),
         num_workers_(std::max<std::size_t>(1, config.num_threads)),
         fuse_gates_(config.fuse_gates),
+        // Uncompute rewinds gate-by-gate with synthesized inverses; fused
+        // forward segments would not be restored bitwise, so fusion
+        // disables the path.
+        allow_uncompute_(config.allow_uncompute && !config.fuse_gates),
         budget_(config.max_states),
         pool_(kMaxPooledBuffers, num_workers_),
         workers_(num_workers_) {
@@ -149,10 +163,17 @@ class TreeExecutor {
       stats.chunk_tasks += w.chunk_tasks;
       stats.steals += w.steals;
       stats.inline_fallbacks += w.inline_fallbacks;
+      stats.frame_collapsed_trials += w.frame_trials;
+      stats.frame_ops += w.frame_ops;
+      stats.uncomputations += w.uncomputations;
+      stats.uncompute_ops += w.uncompute_ops;
       g_worker_ops.record(w.ops);
     }
     g_matvec_ops.add(stats.ops);
     g_forks.add(stats.fork_copies);
+    g_frame_collapsed_trials.add(stats.frame_collapsed_trials);
+    g_frame_ops.add(stats.frame_ops);
+    g_uncomputations.add(stats.uncomputations);
     stats.max_live_states = max_live_.load(std::memory_order_relaxed);
     stats.pool_reuses = pool_.reuse_count();
     stats.pool_allocs = pool_.alloc_count();
@@ -171,6 +192,10 @@ class TreeExecutor {
     std::uint64_t chunk_tasks = 0;
     std::uint64_t steals = 0;
     std::uint64_t inline_fallbacks = 0;
+    std::uint64_t frame_trials = 0;
+    std::uint64_t frame_ops = 0;
+    std::uint64_t uncomputations = 0;
+    opcount_t uncompute_ops = 0;
   };
 
   // ---- pool pre-warm ----------------------------------------------------
@@ -349,7 +374,12 @@ class TreeExecutor {
       if (abort_.load(std::memory_order_relaxed)) {
         drop_handle(w, task.handle);
       } else if (task.chunk_end != 0) {
-        exec_chunk(w, task.node, task.chunk_begin, task.chunk_end, task.handle);
+        if (task.uncompute) {
+          exec_chunk_uncompute(w, task.node, task.chunk_begin, task.chunk_end,
+                               task.handle);
+        } else {
+          exec_chunk(w, task.node, task.chunk_begin, task.chunk_end, task.handle);
+        }
       } else {
         exec_node(w, task.node, task.handle);
       }
@@ -419,17 +449,67 @@ class TreeExecutor {
         idle_cv_.notify_one();
         return;
       }
-      // Reservation failed: the MSV budget is exhausted, so the chunk runs
-      // inline instead of spawning. Inline execution stays within the
-      // parent's own reservation — the chunk shares the parent's current
-      // buffer (no extra pin) and a parent's peak is 1 + max(children
-      // peaks), so its slack always covers one child subtree at a time.
-      // Progress is guaranteed, never a deadlock.
+      // Reservation failed: the MSV budget is exhausted. Route the
+      // refusal through uncomputation when the chunk allows it — every
+      // child an uncompute-capable replay leaf, so the whole chunk runs on
+      // one materialized buffer, each leaf restored bitwise by inverse
+      // gates before the next starts, instead of each pinning its own
+      // fork.
+      if (allow_uncompute_ && chunk_uncompute_ok(parent, begin, end)) {
+        // Concurrent when a single token is free (the chunk's snapshot is
+        // its only materialization)...
+        if (try_reserve(1)) {
+          note_token_occupancy();
+          telemetry::trace_instant("tree_exec.uncompute_dispatch");
+          outstanding_.fetch_add(1, std::memory_order_acq_rel);
+          {
+            Task task;
+            task.node = parent;
+            task.chunk_begin = begin;
+            task.chunk_end = end;
+            task.handle = std::move(handle);
+            task.reserved = 1;
+            task.uncompute = true;
+            std::lock_guard<std::mutex> lock(workers_[w].mutex);
+            workers_[w].deque.push_back(std::move(task));
+          }
+          idle_cv_.notify_one();
+          return;
+        }
+        // ...otherwise on the parent's thread, inside the parent's own
+        // reservation: the materialized snapshot fits the same slack the
+        // inline fallback would use (a parent's peak is 1 + max child
+        // peak), but replay-then-rewind needs no per-leaf CoW copy, so
+        // this is never counted as an inline fallback.
+        telemetry::trace_instant("tree_exec.uncompute_inline");
+        exec_chunk_uncompute(w, parent, begin, end, handle);
+        return;
+      }
+      // Last resort: the chunk runs inline instead of spawning. Inline
+      // execution stays within the parent's own reservation — the chunk
+      // shares the parent's current buffer (no extra pin) and a parent's
+      // peak is 1 + max(children peaks), so its slack always covers one
+      // child subtree at a time. Progress is guaranteed, never a deadlock.
       workers_[w].inline_fallbacks += 1;
       g_inline_fallbacks.increment();
       telemetry::trace_instant("tree_exec.inline_fallback");
     }
     exec_chunk(w, parent, begin, end, handle);
+  }
+
+  /// True when children [begin, end) of `parent` are all replay leaves
+  /// whose remaining path is fp-exact-invertible — the precondition for
+  /// running the chunk in uncompute mode on a single token.
+  bool chunk_uncompute_ok(std::size_t parent, std::size_t begin,
+                          std::size_t end) const {
+    const std::vector<std::size_t>& children = tree_.nodes[parent].children;
+    for (std::size_t i = begin; i < end; ++i) {
+      const TreeNode& child = tree_.nodes[children[i]];
+      if (child.kind != TreeNode::Kind::kReplay || !child.uncompute_ok) {
+        return false;
+      }
+    }
+    return true;
   }
 
   // ---- node execution ---------------------------------------------------
@@ -477,7 +557,10 @@ class TreeExecutor {
       apply_error_event(ctx_, writable(w, handle), node.entry_event);
       workers_[w].ops += 1;
     }
-    const bool has_tail = node.tail_begin != node.tail_end;
+    // Tail trials and frame-collapsed trials both finish on this node's
+    // own buffer after the final advance.
+    const bool has_tail =
+        node.tail_begin != node.tail_end || !node.frame_trials.empty();
     const std::vector<std::size_t>& children = node.children;
     std::size_t i = 0;
     while (i < children.size() && !abort_.load(std::memory_order_relaxed)) {
@@ -519,8 +602,7 @@ class TreeExecutor {
         advance(w, writable(w, handle), frontier, total);
         frontier = total;
       }
-      finish_group(idx, node.tail_begin, node.tail_end - node.tail_begin,
-                   handle.read());
+      finish_node_outputs(w, idx, node, handle.read());
     }
     drop_handle(w, handle);
   }
@@ -547,6 +629,115 @@ class TreeExecutor {
     drop_handle(w, handle);
   }
 
+  // ---- uncompute fallback ------------------------------------------------
+
+  /// Uncompute-mode chunk: every child is an uncompute_ok replay leaf. The
+  /// chunk's snapshot materializes once (the single reserved token); each
+  /// non-final leaf replays forward *in place*, finishes, then rewinds the
+  /// buffer bitwise with inverse gates so the next leaf starts from the
+  /// identical entry state a fork would have given it. The final leaf
+  /// consumes the buffer like the normal move path. Results are therefore
+  /// bitwise identical to the forking schedule — uncompute trades extra
+  /// (inverse) ops for concurrency under a tight MSV budget, and those
+  /// ops are billed to uncompute_ops, never to `ops`.
+  void exec_chunk_uncompute(std::size_t w, std::size_t parent, std::size_t begin,
+                            std::size_t end, CowState& handle) {
+    const std::vector<std::size_t>& children = tree_.nodes[parent].children;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (abort_.load(std::memory_order_relaxed)) {
+        break;
+      }
+      if (i + 1 == end) {
+        CowState entry = move_entry(w, handle);
+        exec_node(w, children[i], entry);
+        break;
+      }
+      // The schedule fork this leaf was planned with is realized as
+      // replay-then-rewind on the shared buffer; it still counts as a fork
+      // so fork_copies == planned_forks holds at every thread count.
+      telemetry::trace_instant("tree_exec.fork");
+      workers_[w].fork_copies += 1;
+      StateVector& state = writable(w, handle);
+      exec_replay_in_place(w, children[i], state);
+      uncompute_replay(w, children[i], state);
+      workers_[w].uncomputations += 1;
+      telemetry::trace_instant("tree_exec.uncompute");
+    }
+    drop_handle(w, handle);
+  }
+
+  /// Forward body of exec_replay on an already-materialized buffer (no
+  /// handle lifecycle): replays the trial's remaining events, finishes it.
+  void exec_replay_in_place(std::size_t w, std::size_t idx, StateVector& state) {
+    const TreeNode& node = tree_.nodes[idx];
+    const Trial& trial = trials_[node.trial];
+    layer_index_t frontier = node.entry_frontier;
+    for (std::size_t k = node.event_depth; k < trial.events.size(); ++k) {
+      const ErrorEvent& event = trial.events[k];
+      const layer_index_t target = event.layer + 1;
+      if (target > frontier) {
+        advance(w, state, frontier, target);
+        frontier = target;
+      }
+      apply_error_event(ctx_, state, event);
+      workers_[w].ops += 1;
+    }
+    const auto total = static_cast<layer_index_t>(ctx_.num_layers());
+    if (total > frontier) {
+      advance(w, state, frontier, total);
+    }
+    finish_group(idx, node.trial, 1, state);
+  }
+
+  /// Rewind exec_replay_in_place bitwise: apply the inverse of every
+  /// forward step in reverse order. Valid only for uncompute_ok leaves —
+  /// every gate kind on the path is fp-exact-invertible and every error is
+  /// a self-inverse Pauli, so the buffer lands on the exact amplitudes it
+  /// entered with.
+  void uncompute_replay(std::size_t w, std::size_t idx, StateVector& state) {
+    const TreeNode& node = tree_.nodes[idx];
+    const Trial& trial = trials_[node.trial];
+    // Recompute the forward segment boundaries.
+    struct Segment {
+      layer_index_t from = 0;
+      layer_index_t to = 0;         // advance over [from, to) when to > from
+      const ErrorEvent* event = nullptr;  // error applied after the advance
+    };
+    std::vector<Segment> segments;
+    layer_index_t frontier = node.entry_frontier;
+    for (std::size_t k = node.event_depth; k < trial.events.size(); ++k) {
+      const ErrorEvent& event = trial.events[k];
+      Segment seg;
+      seg.from = frontier;
+      seg.to = std::max(frontier, static_cast<layer_index_t>(event.layer + 1));
+      seg.event = &event;
+      frontier = seg.to;
+      segments.push_back(seg);
+    }
+    const auto total = static_cast<layer_index_t>(ctx_.num_layers());
+    if (total > frontier) {
+      segments.push_back({frontier, total, nullptr});
+    }
+    Worker& worker = workers_[w];
+    for (std::size_t s = segments.size(); s-- > 0;) {
+      const Segment& seg = segments[s];
+      if (seg.event != nullptr) {
+        // Pauli errors are their own bitwise inverse.
+        apply_error_event(ctx_, state, *seg.event);
+        worker.uncompute_ops += 1;
+      }
+      for (layer_index_t l = seg.to; l-- > seg.from;) {
+        const std::vector<gate_index_t>& layer = ctx_.layering.layers[l];
+        for (std::size_t g = layer.size(); g-- > 0;) {
+          apply_gate(state, gate_inverse(ctx_.circuit.gates()[layer[g]]));
+        }
+      }
+      worker.uncompute_ops += ctx_.ops_in_layers(seg.from, seg.to);
+    }
+  }
+
+  // ---- trial finishing ---------------------------------------------------
+
   void finish_group(std::size_t node, std::size_t first, std::size_t count,
                     const StateVector& state) {
     const std::vector<qubit_t>& measured = ctx_.circuit.measured_qubits();
@@ -558,12 +749,38 @@ class TreeExecutor {
     sink_.on_finish_group(node, first, count, state, &probs);
   }
 
+  /// Deliver a branch node's tail group and frame-collapsed trials off one
+  /// shared distribution evaluation.
+  void finish_node_outputs(std::size_t w, std::size_t idx, const TreeNode& node,
+                           const StateVector& state) {
+    const std::vector<qubit_t>& measured = ctx_.circuit.measured_qubits();
+    std::vector<double> probs;
+    const std::vector<double>* probs_ptr = nullptr;
+    if (!measured.empty()) {
+      probs = measurement_probabilities(state, measured);
+      probs_ptr = &probs;
+    }
+    if (node.tail_begin != node.tail_end) {
+      sink_.on_finish_group(idx, node.tail_begin, node.tail_end - node.tail_begin,
+                            state, probs_ptr);
+    }
+    if (!node.frame_trials.empty()) {
+      sink_.on_finish_frames(idx, node.frame_trials, state, probs_ptr);
+      Worker& worker = workers_[w];
+      worker.frame_trials += node.frame_trials.size();
+      for (const FrameTrial& ft : node.frame_trials) {
+        worker.frame_ops += ft.frame_ops;
+      }
+    }
+  }
+
   const CircuitContext& ctx_;
   const ExecTree& tree_;
   const std::vector<Trial>& trials_;
   TreeTrialSink& sink_;
   const std::size_t num_workers_;
   const bool fuse_gates_;
+  const bool allow_uncompute_;
   const std::size_t budget_;
   std::size_t effective_budget_ = 0;
   opcount_t chunk_target_ = 1;
@@ -586,6 +803,19 @@ class TreeExecutor {
 
 }  // namespace
 
+void TreeTrialSink::on_finish_frames(std::size_t node,
+                                     const std::vector<FrameTrial>& frames,
+                                     const StateVector& state,
+                                     const std::vector<double>* probs) {
+  (void)node;
+  (void)frames;
+  (void)state;
+  (void)probs;
+  // Losing trials silently would corrupt results: a sink fed a framed tree
+  // must implement frame finishing explicitly.
+  RQSIM_CHECK(false, "TreeTrialSink: sink does not support frame-collapsed trees");
+}
+
 TreeExecStats execute_tree(const CircuitContext& ctx, const ExecTree& tree,
                            const std::vector<Trial>& trials,
                            const TreeExecConfig& config, TreeTrialSink& sink) {
@@ -607,6 +837,16 @@ SampledTrialSink::SampledTrialSink(const CircuitContext& ctx,
   }
   if (observables_ != nullptr && !observables_->empty()) {
     expectations_.assign(trials.size() * observables_->size(), 0.0);
+    obs_xmask_.reserve(observables_->size());
+    for (const PauliString& p : *observables_) {
+      std::uint64_t mask = 0;
+      for (const auto& [q, pauli] : p.factors()) {
+        if (pauli == Pauli::X || pauli == Pauli::Y) {
+          mask |= std::uint64_t{1} << q;
+        }
+      }
+      obs_xmask_.push_back(mask);
+    }
   }
 }
 
@@ -633,6 +873,43 @@ void SampledTrialSink::on_finish_group(std::size_t node, std::size_t first_trial
     for (std::size_t t = first_trial; t < first_trial + count; ++t) {
       std::copy(values.begin(), values.end(),
                 expectations_.begin() + static_cast<std::ptrdiff_t>(t * k_count));
+    }
+  }
+}
+
+void SampledTrialSink::on_finish_frames(std::size_t node,
+                                        const std::vector<FrameTrial>& frames,
+                                        const StateVector& state,
+                                        const std::vector<double>* probs) {
+  (void)node;
+  std::vector<double> values;
+  if (!expectations_.empty()) {
+    // One evaluation per finishing buffer; each frame trial then signs the
+    // shared value by its Z mask's anticommutation parity — bitwise what
+    // the trial's own forked (sign-flipped) statevector evaluates to.
+    values.resize(observables_->size());
+    for (std::size_t k = 0; k < observables_->size(); ++k) {
+      values[k] = expectation(state, (*observables_)[k]);
+    }
+  }
+  const std::vector<qubit_t>& measured = ctx_.circuit.measured_qubits();
+  for (const FrameTrial& ft : frames) {
+    const std::size_t t = ft.trial;
+    if (sampled_) {
+      RQSIM_CHECK(probs != nullptr, "SampledTrialSink: missing distribution");
+      const PauliFrame frame{ft.frame_x, ft.frame_z};
+      const std::uint64_t flip = frame_outcome_flip(frame, measured);
+      Rng trial_rng(trials_[t].meas_seed);
+      outcomes_[t] = sample_outcome_permuted(*probs, flip, trial_rng) ^
+                     trials_[t].meas_flip_mask;
+    }
+    if (!expectations_.empty()) {
+      const std::size_t k_count = observables_->size();
+      for (std::size_t k = 0; k < k_count; ++k) {
+        const bool negate =
+            (std::popcount(ft.frame_z & obs_xmask_[k]) & 1) != 0;
+        expectations_[t * k_count + k] = negate ? -values[k] : values[k];
+      }
     }
   }
 }

@@ -75,6 +75,19 @@ class TreeTrialSink {
   virtual void on_finish_group(std::size_t node, std::size_t first_trial,
                                std::size_t count, const StateVector& state,
                                const std::vector<double>* probs) = 0;
+
+  /// Frame-collapsed trials finishing on node's buffer (trees built with
+  /// ScheduleOptions::frame_collapse only): each trial's outcome must be
+  /// drawn from the *frame-permuted* distribution (sample_outcome_permuted
+  /// with the frame's measured-bit flip) and each observable value signed
+  /// by the frame's Z mask. `state`/`probs` are shared with the same
+  /// node's on_finish_group call. The default implementation throws —
+  /// sinks that never execute framed trees (service batching) need not
+  /// override.
+  virtual void on_finish_frames(std::size_t node,
+                                const std::vector<FrameTrial>& frames,
+                                const StateVector& state,
+                                const std::vector<double>* probs);
 };
 
 struct TreeExecConfig {
@@ -89,6 +102,15 @@ struct TreeExecConfig {
   /// Advance through the gate-fusion engine (one FusionCache per worker —
   /// the cache memoizes lazily and is not thread-safe).
   bool fuse_gates = false;
+
+  /// When the MSV token bank refuses a chunk's reservation, try running it
+  /// as an *uncompute* task first (1 token: the chunk's replay leaves run
+  /// in place on one buffer, restored bitwise between trials by inverse
+  /// gates) before falling back to inline execution. Requires the leaves'
+  /// paths to be fp-exact-invertible (TreeNode::uncompute_ok) and is
+  /// skipped under fuse_gates (fused forward segments are not inverted
+  /// gate-by-gate).
+  bool allow_uncompute = true;
 };
 
 /// Execution counters (results flow through the sink).
@@ -121,6 +143,21 @@ struct TreeExecStats {
   std::uint64_t chunk_tasks = 0;
   std::uint64_t steals = 0;
   std::uint64_t inline_fallbacks = 0;
+
+  /// Pauli-frame collapse: trials finished as frames on a shared buffer
+  /// (== ExecTree::frame_collapsed_trials) and the conjugation-table
+  /// lookups their build-time propagation performed. frame_ops is integer
+  /// bookkeeping, never part of `ops`.
+  std::uint64_t frame_collapsed_trials = 0;
+  std::uint64_t frame_ops = 0;
+
+  /// Uncompute fallback: in-place buffer restores performed when a refused
+  /// fork was routed through inverse replay instead of inline execution,
+  /// and the inverse-gate ops those restores applied. uncompute_ops is
+  /// *extra* work (not part of `ops`, which stays == planned_ops), traded
+  /// for concurrency under tight MSV budgets.
+  std::uint64_t uncomputations = 0;
+  opcount_t uncompute_ops = 0;
 };
 
 /// Execute `tree` over `trials` with `config.num_threads` workers, feeding
@@ -143,6 +180,10 @@ class SampledTrialSink : public TreeTrialSink {
                        const StateVector& state,
                        const std::vector<double>* probs) override;
 
+  void on_finish_frames(std::size_t node, const std::vector<FrameTrial>& frames,
+                        const StateVector& state,
+                        const std::vector<double>* probs) override;
+
   /// Reduce per-trial slots into the final histogram / observable sums.
   /// Call once, after execute_tree returns.
   OutcomeHistogram take_histogram();
@@ -155,6 +196,11 @@ class SampledTrialSink : public TreeTrialSink {
   bool sampled_ = false;
   std::vector<std::uint64_t> outcomes_;      // per trial, valid iff sampled_
   std::vector<double> expectations_;          // trials × observables, flat
+  /// X-support mask (X and Y factors) of each observable: a Z-only frame
+  /// flips observable k's sign iff popcount(frame_z & obs_xmask_[k]) is
+  /// odd — Z P Z† = -P exactly for anticommuting P, so signing the shared
+  /// buffer's expectation value is bitwise what the forked state yields.
+  std::vector<std::uint64_t> obs_xmask_;
 };
 
 }  // namespace rqsim

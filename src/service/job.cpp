@@ -118,6 +118,7 @@ std::uint64_t batch_fingerprint(const JobSpec& spec) {
   fnv.mix(static_cast<std::uint64_t>(spec.config.mode));
   fnv.mix(static_cast<std::uint64_t>(spec.config.max_states));
   fnv.mix(static_cast<std::uint64_t>(spec.config.fuse_gates));
+  fnv.mix(static_cast<std::uint64_t>(spec.config.frame_collapse));
   fnv.mix(static_cast<std::uint64_t>(spec.analyze_only));
   fnv.mix(static_cast<std::uint64_t>(spec.num_threads > 1));
   return fnv.h;
@@ -135,7 +136,8 @@ bool batch_compatible(const JobSpec& a, const JobSpec& b) {
     return false;
   }
   if (a.config.max_states != b.config.max_states ||
-      a.config.fuse_gates != b.config.fuse_gates) {
+      a.config.fuse_gates != b.config.fuse_gates ||
+      a.config.frame_collapse != b.config.frame_collapse) {
     return false;
   }
   return same_circuit(a.circuit, b.circuit) &&

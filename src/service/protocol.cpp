@@ -91,6 +91,7 @@ Json make_submit_request(const WorkloadSpec& workload, const SubmitParams& param
   request.set("priority", Json(params.priority));
   request.set("analyze", Json(params.analyze));
   request.set("fuse", Json(params.fuse));
+  request.set("frames", Json(params.frames));
   if (!params.tenant.empty()) {
     request.set("tenant", Json(params.tenant));
   }
@@ -175,6 +176,9 @@ Json job_result_to_json(const JobResult& result, std::size_t num_measured) {
     summary.set("pool_reuses", Json(telem.pool_reuses));
     summary.set("pool_allocs", Json(telem.pool_allocs));
     summary.set("peak_live_states", Json(telem.peak_live_states));
+    summary.set("frame_collapsed_trials", Json(telem.frame_collapsed_trials));
+    summary.set("frame_ops", Json(telem.frame_ops));
+    summary.set("uncomputations", Json(telem.uncomputations));
     json.set("telemetry", std::move(summary));
   }
   if (!result.run.histogram.empty()) {
@@ -299,6 +303,7 @@ Json ProtocolHandler::handle_submit(const Json& request) {
     spec.config.max_states =
         static_cast<std::size_t>(request.get_u64("max_states", 0));
     spec.config.fuse_gates = request.get_bool("fuse", false);
+    spec.config.frame_collapse = request.get_bool("frames", false);
     spec.num_threads = static_cast<std::size_t>(request.get_u64("threads", 1));
     spec.analyze_only = request.get_bool("analyze", false);
     spec.priority = priority_from_string(request.get_string("priority", "normal"));

@@ -12,16 +12,22 @@ namespace {
 // Per-gate-class dispatch counters ("kernel.ops_<class>"): which kernel
 // families dominate a workload. Counted once per dispatch, independent of
 // register size, so a profile separates "many cheap phase gates" from "few
-// expensive generic mat2 applications".
+// expensive generic mat2 applications". Namespace scope, not function-local
+// statics: the first apply_gate call can come from several pool workers at
+// once, and the guarded lazy initialization races with a concurrent
+// Counter::add under TSan — before main() it is single-threaded.
+telemetry::Counter pauli1q("kernel.ops_pauli1q");
+telemetry::Counter h1q("kernel.ops_h");
+telemetry::Counter phase1q("kernel.ops_phase1q");
+telemetry::Counter mat2("kernel.ops_mat2");
+telemetry::Counter cx("kernel.ops_cx");
+telemetry::Counter diag2q("kernel.ops_diag2q");
+telemetry::Counter swap2q("kernel.ops_swap");
+telemetry::Counter ccx("kernel.ops_ccx");
+telemetry::Counter fused_mat2("kernel.ops_fused_mat2");
+telemetry::Counter fused_mat4("kernel.ops_fused_mat4");
+
 void count_gate_dispatch(GateKind kind) {
-  static telemetry::Counter pauli1q("kernel.ops_pauli1q");
-  static telemetry::Counter h1q("kernel.ops_h");
-  static telemetry::Counter phase1q("kernel.ops_phase1q");
-  static telemetry::Counter mat2("kernel.ops_mat2");
-  static telemetry::Counter cx("kernel.ops_cx");
-  static telemetry::Counter diag2q("kernel.ops_diag2q");
-  static telemetry::Counter swap2q("kernel.ops_swap");
-  static telemetry::Counter ccx("kernel.ops_ccx");
   switch (kind) {
     case GateKind::X:
     case GateKind::Y:
@@ -453,8 +459,6 @@ void apply_gate(StateVector& state, const Gate& gate) {
 }
 
 void apply_fused(StateVector& state, const FusedProgram& program) {
-  static telemetry::Counter fused_mat2("kernel.ops_fused_mat2");
-  static telemetry::Counter fused_mat4("kernel.ops_fused_mat4");
   for (const FusedOp& op : program.ops) {
     switch (op.kind) {
       case FusedOp::Kind::kGate:

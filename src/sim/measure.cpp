@@ -42,6 +42,21 @@ std::uint64_t sample_outcome(const std::vector<double>& probs, Rng& rng) {
   return probs.size() - 1;
 }
 
+std::uint64_t sample_outcome_permuted(const std::vector<double>& probs,
+                                      std::uint64_t flip, Rng& rng) {
+  RQSIM_CHECK(!probs.empty(), "sample_outcome_permuted: empty distribution");
+  RQSIM_CHECK(flip < probs.size(), "sample_outcome_permuted: flip out of range");
+  double r = rng.uniform();
+  for (std::size_t i = 0; i + 1 < probs.size(); ++i) {
+    const double p = probs[i ^ flip];
+    if (r < p) {
+      return i;
+    }
+    r -= p;
+  }
+  return probs.size() - 1;
+}
+
 std::uint64_t sample_state(const StateVector& state,
                            const std::vector<qubit_t>& measured_qubits, Rng& rng) {
   return sample_outcome(measurement_probabilities(state, measured_qubits), rng);

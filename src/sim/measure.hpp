@@ -24,6 +24,16 @@ std::vector<double> measurement_probabilities(const StateVector& state,
 /// returned by measurement_probabilities.
 std::uint64_t sample_outcome(const std::vector<double>& probs, Rng& rng);
 
+/// Sample from the permuted distribution probs'[i] = probs[i ^ flip]
+/// without materializing it: the scan visits outcome indices in the same
+/// ascending order sample_outcome would on the permuted vector, consuming
+/// the Rng identically — so a Pauli-frame-collapsed trial draws the
+/// bitwise-identical outcome its own forked statevector would have drawn.
+/// `flip` is the frame's measured-bit flip mask (trial/frame.hpp,
+/// frame_outcome_flip) and must be < probs.size().
+std::uint64_t sample_outcome_permuted(const std::vector<double>& probs,
+                                      std::uint64_t flip, Rng& rng);
+
 /// Sample directly from a state (convenience for examples).
 std::uint64_t sample_state(const StateVector& state,
                            const std::vector<qubit_t>& measured_qubits, Rng& rng);

@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <sstream>
 
+#include "circuit/gate.hpp"
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/pauli.hpp"
 #include "sched/order.hpp"
 #include "sched/tree.hpp"
+#include "trial/frame.hpp"
 
 namespace rqsim {
 
@@ -81,21 +85,53 @@ opcount_t replay_ops(const CircuitContext& ctx, const Trial& trial,
   return ops;
 }
 
+/// Mirror of TreeBuilder::try_collapse_group's decision: the group
+/// [begin, end) branching at `event_depth` collapses iff every trial's
+/// remaining errors push to the end of the circuit as a pure Pauli frame
+/// satisfying the purity rules. The *decision* intentionally reuses the
+/// builder's propagation (the model must predict the builder's op count
+/// exactly); the *soundness* of each recorded frame is established
+/// separately by verify_tree_plan's numeric frame-algebra pass.
+bool model_group_collapses(const CircuitContext& ctx, const std::vector<Trial>& trials,
+                           const ScheduleOptions& options, std::size_t begin,
+                           std::size_t end, std::size_t event_depth,
+                           std::uint64_t measured_mask) {
+  for (std::size_t t = begin; t != end; ++t) {
+    const FramePropagation p =
+        propagate_frame_to_end(ctx.circuit, ctx.layering, trials[t], event_depth);
+    if (!p.ok || !frame_x_confined_to(p.frame, measured_mask) ||
+        (options.frame_observables && p.frame.x != 0)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 /// Counting model of the reorder+cache recursion over the group
 /// [begin, end) of trials sharing their first `event_depth` events, with
 /// the shared checkpoint advanced through `frontier` layers.
 opcount_t model_group_ops(const CircuitContext& ctx, const std::vector<Trial>& trials,
                           const ScheduleOptions& options, std::size_t begin,
                           std::size_t end, std::size_t event_depth, std::size_t depth,
-                          layer_index_t frontier) {
+                          layer_index_t frontier, std::uint64_t measured_mask) {
   opcount_t ops = 0;
   std::size_t i = begin;
+  bool collapsed_any = false;
   while (i != end && trials[i].events.size() > event_depth) {
     const ErrorEvent event = trials[i].events[event_depth];
     std::size_t j = i + 1;
     while (j != end && trials[j].events.size() > event_depth &&
            trials[j].events[event_depth] == event) {
       ++j;
+    }
+    if (options.frame_collapse &&
+        model_group_collapses(ctx, trials, options, i, j, event_depth,
+                              measured_mask)) {
+      // No advance to the branch point, no injection, no subtree ops; the
+      // group's trials finish on this node's final advance below.
+      collapsed_any = true;
+      i = j;
+      continue;
     }
     const layer_index_t target = event.layer + 1;
     if (target > frontier) {
@@ -107,7 +143,7 @@ opcount_t model_group_ops(const CircuitContext& ctx, const std::vector<Trial>& t
     } else if (options.max_states == 0 || depth + 2 < options.max_states) {
       ops += 1;  // the shared error injection
       ops += model_group_ops(ctx, trials, options, i, j, event_depth + 1, depth + 1,
-                             frontier);
+                             frontier, measured_mask);
     } else {
       for (std::size_t t = i; t != j; ++t) {
         ops += replay_ops(ctx, trials[t], event_depth, frontier);
@@ -115,13 +151,21 @@ opcount_t model_group_ops(const CircuitContext& ctx, const std::vector<Trial>& t
     }
     i = j;
   }
-  if (i != end) {
+  if (i != end || collapsed_any) {
     const auto total = static_cast<layer_index_t>(ctx.num_layers());
     if (total > frontier) {
       ops += ctx.ops_in_layers(frontier, total);
     }
   }
   return ops;
+}
+
+std::uint64_t circuit_measured_mask(const Circuit& circuit) {
+  std::uint64_t mask = 0;
+  for (const qubit_t q : circuit.measured_qubits()) {
+    mask |= std::uint64_t{1} << q;
+  }
+  return mask;
 }
 
 }  // namespace
@@ -131,8 +175,10 @@ opcount_t predict_cached_ops(const CircuitContext& ctx, const std::vector<Trial>
   if (trials.empty()) {
     return 0;
   }
+  const std::uint64_t measured_mask =
+      options.frame_collapse ? circuit_measured_mask(ctx.circuit) : 0;
   return model_group_ops(ctx, trials, options, 0, trials.size(), /*event_depth=*/0,
-                         /*depth=*/0, /*frontier=*/0);
+                         /*depth=*/0, /*frontier=*/0, measured_mask);
 }
 
 // --------------------------------------------------------------------------
@@ -162,6 +208,172 @@ std::size_t next_finished_trial(const std::vector<PlanOp>& plan, std::size_t k) 
   return kNoIndex;
 }
 
+// ---- Numeric frame algebra ----
+//
+// Re-derives every recorded Pauli frame by explicit matrix conjugation:
+// a gate G rewrites the frame's restriction P to G·P·G†, which must equal
+// some Pauli P' up to a unit phase or the gate *blocks* the frame. This
+// shares nothing with the PauliConjugation lookup tables the tree builder
+// used (circuit/gate.cpp), so a corrupted table — or a frame forced past a
+// non-Clifford gate — cannot vouch for itself.
+
+/// 2-bit frame code (x | z<<1) to its Pauli matrix.
+Mat2 pauli_code_matrix(unsigned code) {
+  switch (code & 3u) {
+    case 0: return pauli_matrix(Pauli::I);
+    case 1: return pauli_matrix(Pauli::X);
+    case 2: return pauli_matrix(Pauli::Z);
+    default: return pauli_matrix(Pauli::Y);
+  }
+}
+
+/// c == phase · p for some unit-modulus phase, within tolerance? Pauli
+/// matrix entries are 0 or unit modulus, so any entry with |p| > 0.5
+/// determines the candidate phase.
+template <typename Mat>
+bool equals_pauli_up_to_phase(const Mat& c, const Mat& p) {
+  cplx phase(0.0, 0.0);
+  for (std::size_t k = 0; k < p.m.size(); ++k) {
+    if (std::abs(p.m[k]) > 0.5) {
+      phase = c.m[k] / p.m[k];
+      break;
+    }
+  }
+  if (std::abs(std::abs(phase) - 1.0) > 1e-9) {
+    return false;
+  }
+  return frobenius_distance(c, p * phase) < 1e-9;
+}
+
+/// G·P·G† for a single-qubit gate: output code, or -1 if the result is not
+/// a Pauli up to phase (the gate blocks the frame).
+int conjugate1_numeric(const Gate& gate, unsigned in_code) {
+  const Mat2 u = gate_matrix1(gate);
+  const Mat2 c = u * pauli_code_matrix(in_code) * u.dagger();
+  for (unsigned out = 0; out < 4; ++out) {
+    if (equals_pauli_up_to_phase(c, pauli_code_matrix(out))) {
+      return static_cast<int>(out);
+    }
+  }
+  return -1;
+}
+
+/// Two-qubit version. `in_code` layout matches trial/frame.cpp: bits 0-1
+/// are qubits[0]'s (x, z), bits 2-3 qubits[1]'s. gate_matrix2 indexes
+/// qubits[0] as the high-order bit, so kron's first factor is qubits[0]'s
+/// Pauli.
+int conjugate2_numeric(const Gate& gate, unsigned in_code) {
+  const Mat4 u = gate_matrix2(gate);
+  const Mat4 p = kron(pauli_code_matrix(in_code & 3u),
+                      pauli_code_matrix((in_code >> 2) & 3u));
+  const Mat4 c = u * p * u.dagger();
+  for (unsigned a = 0; a < 4; ++a) {
+    for (unsigned b = 0; b < 4; ++b) {
+      if (equals_pauli_up_to_phase(
+              c, kron(pauli_code_matrix(a), pauli_code_matrix(b)))) {
+        return static_cast<int>(a | (b << 2));
+      }
+    }
+  }
+  return -1;
+}
+
+struct NumericFrame {
+  bool ok = true;
+  std::string diagnostic;  // set when !ok
+  PauliFrame frame;
+  opcount_t frame_ops = 0;
+};
+
+/// Re-propagate trial.events[event_depth..] to the end of the circuit with
+/// numeric conjugation. The walk order (gates of layer L, then the errors
+/// hosted at layer L's boundary) matches the scheduler's event semantics;
+/// the per-gate algebra is the independent part.
+NumericFrame derive_frame_numeric(const CircuitContext& ctx, const Trial& trial,
+                                  std::size_t event_depth) {
+  NumericFrame r;
+  const std::size_t num_events = trial.events.size();
+  if (event_depth >= num_events) {
+    return r;
+  }
+  std::size_t ei = event_depth;
+  const std::size_t num_layers = ctx.num_layers();
+  for (std::size_t layer = trial.events[ei].layer; layer < num_layers; ++layer) {
+    for (const gate_index_t g : ctx.layering.layers[layer]) {
+      const Gate& gate = ctx.circuit.gates()[g];
+      const int arity = gate.arity();
+      std::uint64_t support = 0;
+      for (int q = 0; q < arity; ++q) {
+        support |= std::uint64_t{1} << gate.qubits[static_cast<std::size_t>(q)];
+      }
+      if ((r.frame.support() & support) == 0) {
+        continue;  // disjoint tensor factors commute; not billed
+      }
+      ++r.frame_ops;
+      if (arity == 1) {
+        const qubit_t q = gate.qubits[0];
+        const unsigned in = static_cast<unsigned>((r.frame.x >> q) & 1u) |
+                            static_cast<unsigned>((r.frame.z >> q) & 1u) << 1;
+        const int out = conjugate1_numeric(gate, in);
+        if (out < 0) {
+          r.ok = false;
+          r.diagnostic = "gate '" + gate_name(gate.kind) + "' at layer " +
+                         std::to_string(layer) +
+                         " blocks the frame (G·P·G† is not a Pauli)";
+          return r;
+        }
+        const auto u = static_cast<unsigned>(out);
+        r.frame.x = (r.frame.x & ~(std::uint64_t{1} << q)) |
+                    static_cast<std::uint64_t>(u & 1u) << q;
+        r.frame.z = (r.frame.z & ~(std::uint64_t{1} << q)) |
+                    static_cast<std::uint64_t>(u >> 1) << q;
+      } else if (arity == 2) {
+        const qubit_t a = gate.qubits[0];
+        const qubit_t b = gate.qubits[1];
+        const unsigned in = static_cast<unsigned>((r.frame.x >> a) & 1u) |
+                            static_cast<unsigned>((r.frame.z >> a) & 1u) << 1 |
+                            static_cast<unsigned>((r.frame.x >> b) & 1u) << 2 |
+                            static_cast<unsigned>((r.frame.z >> b) & 1u) << 3;
+        const int out = conjugate2_numeric(gate, in);
+        if (out < 0) {
+          r.ok = false;
+          r.diagnostic = "gate '" + gate_name(gate.kind) + "' at layer " +
+                         std::to_string(layer) +
+                         " blocks the frame (G·P·G† is not a Pauli)";
+          return r;
+        }
+        const auto u = static_cast<unsigned>(out);
+        const std::uint64_t clear =
+            ~((std::uint64_t{1} << a) | (std::uint64_t{1} << b));
+        r.frame.x = (r.frame.x & clear) |
+                    static_cast<std::uint64_t>(u & 1u) << a |
+                    static_cast<std::uint64_t>((u >> 2) & 1u) << b;
+        r.frame.z = (r.frame.z & clear) |
+                    static_cast<std::uint64_t>((u >> 1) & 1u) << a |
+                    static_cast<std::uint64_t>((u >> 3) & 1u) << b;
+      } else {
+        r.ok = false;
+        r.diagnostic = "gate '" + gate_name(gate.kind) + "' at layer " +
+                       std::to_string(layer) +
+                       " blocks the frame (frames do not cross 3-qubit gates)";
+        return r;
+      }
+    }
+    while (ei < num_events && trial.events[ei].layer == layer) {
+      const PauliFrame ef = frame_from_event(ctx.circuit, trial.events[ei]);
+      r.frame.x ^= ef.x;
+      r.frame.z ^= ef.z;
+      ++ei;
+    }
+  }
+  if (ei != num_events) {
+    r.ok = false;
+    r.diagnostic = "event " + std::to_string(ei) +
+                   " names a layer beyond the circuit's last layer";
+  }
+  return r;
+}
+
 /// Live checkpoint bookkeeping during the stream walk. `path_len` is the
 /// number of error events on this checkpoint's ancestry (a prefix of the
 /// shared `path` vector — forks copy by prefix, so one vector serves every
@@ -185,6 +397,12 @@ PlanVerifier::PlanVerifier(const CircuitContext& ctx, const ScheduleOptions& opt
 
 PlanProof PlanVerifier::verify(const std::vector<Trial>& trials,
                                const std::vector<PlanOp>& plan) const {
+  return verify_impl(trials, plan, /*frame_prefix=*/nullptr);
+}
+
+PlanProof PlanVerifier::verify_impl(
+    const std::vector<Trial>& trials, const std::vector<PlanOp>& plan,
+    const std::vector<std::size_t>* frame_prefix) const {
   PlanProof proof;
   proof.num_trials = trials.size();
   proof.num_plan_ops = plan.size();
@@ -368,17 +586,41 @@ PlanProof PlanVerifier::verify(const std::vector<Trial>& trials,
                           std::to_string(total_layers));
         }
         const std::vector<ErrorEvent>& expected = trials[t].events;
-        bool match = state.path_len == expected.size();
-        for (std::size_t e = 0; match && e < expected.size(); ++e) {
-          match = path[e] == expected[e];
-        }
-        if (!match) {
-          return fail(k, t,
-                      "trial " + std::to_string(t) + " finishes at plan op " +
-                          std::to_string(k) + " on a checkpoint whose injected error " +
-                          "path (" + std::to_string(state.path_len) +
-                          " events) diverges from the trial's defined events (" +
-                          std::to_string(expected.size()) + ")");
+        const std::size_t prefix =
+            frame_prefix != nullptr ? (*frame_prefix)[t] : kNoIndex;
+        if (prefix != kNoIndex) {
+          // Frame-collapsed trial: only the node's shared prefix is
+          // injected; the remaining events (there must be some — otherwise
+          // it is a tail trial) are carried by the frame the numeric
+          // frame-algebra pass already proved.
+          bool match = state.path_len == prefix && expected.size() > prefix;
+          for (std::size_t e = 0; match && e < prefix; ++e) {
+            match = path[e] == expected[e];
+          }
+          if (!match) {
+            return fail(k, t,
+                        "frame-collapsed trial " + std::to_string(t) +
+                            " finishes at plan op " + std::to_string(k) +
+                            " on a checkpoint whose injected error path (" +
+                            std::to_string(state.path_len) +
+                            " events) is not the trial's " + std::to_string(prefix) +
+                            "-event collapse prefix");
+          }
+          ++proof.frame_trials;
+        } else {
+          bool match = state.path_len == expected.size();
+          for (std::size_t e = 0; match && e < expected.size(); ++e) {
+            match = path[e] == expected[e];
+          }
+          if (!match) {
+            return fail(k, t,
+                        "trial " + std::to_string(t) + " finishes at plan op " +
+                            std::to_string(k) +
+                            " on a checkpoint whose injected error " + "path (" +
+                            std::to_string(state.path_len) +
+                            " events) diverges from the trial's defined events (" +
+                            std::to_string(expected.size()) + ")");
+          }
         }
         finished[t] = true;
         ++finished_count;
@@ -427,8 +669,13 @@ PlanProof PlanVerifier::verify(const std::vector<Trial>& trials,
 
   // ---- Invariant 4: exact telescoping of the op counts. The plan's
   // actual cost must equal the model prediction, and never exceed the
-  // baseline (full circuit + own errors, per trial, nothing shared).
-  proof.predicted_ops = predict_cached_ops(ctx_, trials, options_);
+  // baseline (full circuit + own errors, per trial, nothing shared). The
+  // framed model applies only when a frame map was supplied — the
+  // sequential walker never collapses, so plain verify()/verify_schedule()
+  // always predict against the unframed recursion.
+  ScheduleOptions model_options = options_;
+  model_options.frame_collapse = frame_prefix != nullptr && options_.frame_collapse;
+  proof.predicted_ops = predict_cached_ops(ctx_, trials, model_options);
   proof.baseline_ops = baseline_op_count(ctx_, trials);
   if (proof.cached_ops != proof.predicted_ops) {
     const bool over = proof.cached_ops > proof.predicted_ops;
@@ -445,6 +692,15 @@ PlanProof PlanVerifier::verify(const std::vector<Trial>& trials,
                 "plan executes " + std::to_string(proof.cached_ops) +
                     " ops, more than the unshared baseline of " +
                     std::to_string(proof.baseline_ops));
+  }
+  if (model_options.frame_collapse) {
+    // The certified saving: what the same trials would cost without frame
+    // collapse, minus what the framed plan actually executes.
+    ScheduleOptions unframed = options_;
+    unframed.frame_collapse = false;
+    const opcount_t unframed_ops = predict_cached_ops(ctx_, trials, unframed);
+    proof.frame_saved_ops =
+        unframed_ops > proof.cached_ops ? unframed_ops - proof.cached_ops : 0;
   }
   return proof;
 }
@@ -470,26 +726,160 @@ PlanProof PlanVerifier::verify_tree_plan(const std::vector<Trial>& trials,
     return proof;
   };
 
+  const auto fail_trial = [&fail](std::size_t trial_index, const std::string& message) {
+    PlanProof bad = fail({}, message);
+    bad.violating_trial = trial_index;
+    return bad;
+  };
+
   if (tree.num_trials != trials.size()) {
     return fail({}, "tree was built for " + std::to_string(tree.num_trials) +
                         " trials but " + std::to_string(trials.size()) +
                         " were supplied");
   }
 
+  // Pass 0a: replay leaves' uncompute_ok flags, re-derived from the gate
+  // whitelist. The executor restores buffers *bitwise* on the strength of
+  // this flag, so a corrupted flag is a correctness bug, not a perf one.
+  const auto total_layers = static_cast<layer_index_t>(ctx_.num_layers());
+  for (std::size_t ni = 0; ni < tree.nodes.size(); ++ni) {
+    const TreeNode& node = tree.nodes[ni];
+    if (node.kind != TreeNode::Kind::kReplay) {
+      continue;
+    }
+    bool exact = true;
+    for (layer_index_t l = node.entry_frontier; exact && l < total_layers; ++l) {
+      for (const gate_index_t g : ctx_.layering.layers[l]) {
+        if (!gate_fp_exact_invertible(ctx_.circuit.gates()[g].kind)) {
+          exact = false;
+          break;
+        }
+      }
+    }
+    if (node.uncompute_ok != exact) {
+      return fail_trial(node.trial,
+                        "replay node " + std::to_string(ni) + " (trial " +
+                            std::to_string(node.trial) + ") claims uncompute_ok=" +
+                            (node.uncompute_ok ? "true" : "false") +
+                            " but layers [" + std::to_string(node.entry_frontier) +
+                            ", " + std::to_string(total_layers) + ") are " +
+                            (exact ? "entirely" : "not all") +
+                            " fp-exact-invertible");
+    }
+  }
+
+  // Pass 0b: frame algebra. Every recorded FrameTrial is re-proved by
+  // numeric matrix conjugation (nothing shared with the builder's lookup
+  // tables) and must satisfy the purity rules. This runs before the stream
+  // passes so a wrongly propagated frame is named precisely.
+  std::vector<std::size_t> frame_prefix(trials.size(), kNoIndex);
+  std::uint64_t frame_count = 0;
+  std::uint64_t frame_ops_total = 0;
+  const std::uint64_t measured_mask = circuit_measured_mask(ctx_.circuit);
+  for (std::size_t ni = 0; ni < tree.nodes.size(); ++ni) {
+    const TreeNode& node = tree.nodes[ni];
+    for (const FrameTrial& ft : node.frame_trials) {
+      if (!options_.frame_collapse) {
+        return fail_trial(ft.trial,
+                          "tree records frame-collapsed trials but the schedule "
+                          "options do not enable frame_collapse");
+      }
+      if (ft.trial >= trials.size()) {
+        return fail({}, "node " + std::to_string(ni) + " records a frame for trial " +
+                            std::to_string(ft.trial) + " but only " +
+                            std::to_string(trials.size()) + " trials exist");
+      }
+      if (frame_prefix[ft.trial] != kNoIndex) {
+        return fail_trial(ft.trial, "trial " + std::to_string(ft.trial) +
+                                        " is frame-collapsed twice");
+      }
+      if (ft.trial < node.begin || ft.trial >= node.end) {
+        return fail_trial(ft.trial,
+                          "node " + std::to_string(ni) + " records a frame for trial " +
+                              std::to_string(ft.trial) +
+                              " outside its own group [" + std::to_string(node.begin) +
+                              ", " + std::to_string(node.end) + ")");
+      }
+      const Trial& trial = trials[ft.trial];
+      if (trial.events.size() <= node.event_depth) {
+        return fail_trial(ft.trial,
+                          "trial " + std::to_string(ft.trial) +
+                              " has no error events past the node's " +
+                              std::to_string(node.event_depth) +
+                              "-event prefix — it is a tail trial, not a frame");
+      }
+      const NumericFrame nf = derive_frame_numeric(ctx_, trial, node.event_depth);
+      if (!nf.ok) {
+        return fail_trial(ft.trial, "frame algebra violation for trial " +
+                                        std::to_string(ft.trial) + ": " +
+                                        nf.diagnostic);
+      }
+      if (nf.frame.x != ft.frame_x || nf.frame.z != ft.frame_z) {
+        return fail_trial(
+            ft.trial,
+            "trial " + std::to_string(ft.trial) + "'s recorded frame (x=" +
+                std::to_string(ft.frame_x) + ", z=" + std::to_string(ft.frame_z) +
+                ") does not match the numerically derived frame (x=" +
+                std::to_string(nf.frame.x) + ", z=" + std::to_string(nf.frame.z) +
+                ")");
+      }
+      if (nf.frame_ops != ft.frame_ops) {
+        return fail_trial(ft.trial,
+                          "trial " + std::to_string(ft.trial) + " records " +
+                              std::to_string(ft.frame_ops) +
+                              " frame ops but the numeric propagation performs " +
+                              std::to_string(nf.frame_ops));
+      }
+      if (!frame_x_confined_to(nf.frame, measured_mask)) {
+        return fail_trial(ft.trial,
+                          "trial " + std::to_string(ft.trial) +
+                              "'s frame has an X component on an unmeasured qubit "
+                              "(collapse would perturb the marginalization bitwise)");
+      }
+      if (options_.frame_observables && nf.frame.x != 0) {
+        return fail_trial(ft.trial,
+                          "trial " + std::to_string(ft.trial) +
+                              "'s frame has an X component but observables are "
+                              "evaluated (Z-only frames required)");
+      }
+      frame_prefix[ft.trial] = node.event_depth;
+      ++frame_count;
+      frame_ops_total += ft.frame_ops;
+    }
+  }
+  if (frame_count != tree.frame_collapsed_trials) {
+    return fail({}, "tree.frame_collapsed_trials " +
+                        std::to_string(tree.frame_collapsed_trials) + " != " +
+                        std::to_string(frame_count) + " recorded frame trials");
+  }
+  if (frame_ops_total != tree.planned_frame_ops) {
+    return fail({}, "tree.planned_frame_ops " + std::to_string(tree.planned_frame_ops) +
+                        " != " + std::to_string(frame_ops_total) +
+                        " proven frame ops");
+  }
+  const bool framed = frame_count != 0;
+
   // Pass 1: the linearized tree must satisfy every sequential invariant on
-  // its own merits.
+  // its own merits (framed trials carry a prefix-only finish obligation —
+  // their remaining events were proved above).
   PlanRecorder tree_recorder;
   linearize_tree(ctx_, tree, trials, tree_recorder);
-  PlanProof proof = verify(trials, tree_recorder.plan());
+  PlanProof proof = verify_impl(trials, tree_recorder.plan(),
+                                framed ? &frame_prefix : nullptr);
   if (!proof.ok) {
     return proof;
   }
+  proof.frame_ops = frame_ops_total;
 
   // Pass 2: op-for-op equality with the sequential walker's stream. This
   // is stronger than passing the invariants independently — it pins the
   // tree to the *same* schedule, so op counts, fork counts and MSV all
-  // telescope to the sequential values exactly.
-  if (!trials.empty()) {
+  // telescope to the sequential values exactly. A framed tree is
+  // deliberately *cheaper* than the sequential stream (collapsed subtrees
+  // emit no ops at all), so the comparison is skipped; its op count is
+  // instead pinned by the framed model in pass 1 and the saving recorded
+  // in frame_saved_ops.
+  if (!trials.empty() && !framed) {
     PlanRecorder seq_recorder;
     schedule_trials(ctx_, trials, seq_recorder, options_);
     const std::vector<PlanOp>& tree_plan = tree_recorder.plan();
@@ -531,6 +921,12 @@ PlanProof PlanVerifier::verify_tree_plan(const std::vector<Trial>& trials,
     return fail(proof, "tree.peak_demand " + std::to_string(tree.peak_demand) +
                            " != proven sequential MSV " +
                            std::to_string(proof.max_live_states));
+  }
+  if (tree.frame_collapsed_trials != proof.frame_trials) {
+    return fail(proof, "tree.frame_collapsed_trials " +
+                           std::to_string(tree.frame_collapsed_trials) +
+                           " != " + std::to_string(proof.frame_trials) +
+                           " frame finishes proven in the stream");
   }
   return proof;
 }
@@ -607,6 +1003,11 @@ std::string format_proof(const PlanProof& proof) {
   }
   out << "  forks / drops     : " << proof.forks << " / " << proof.drops << "\n";
   out << "  materializations  : " << proof.materializations << "\n";
+  if (proof.frame_trials != 0) {
+    out << "  frame trials      : " << proof.frame_trials << "\n";
+    out << "  frame ops         : " << proof.frame_ops << "\n";
+    out << "  frame saved ops   : " << proof.frame_saved_ops << "\n";
+  }
   return out.str();
 }
 

@@ -157,6 +157,21 @@ struct PlanProof {
   /// Checkpoints that were ever written (materializations the CoW executor
   /// would pay as 2^n copies; <= forks + 1 counting the root).
   std::uint64_t materializations = 0;
+
+  // ---- Pauli-frame artifacts (framed trees only; all 0 otherwise) ----
+
+  /// Trials finished by frame collapse, each proved by the numeric
+  /// frame-algebra pass (matrix conjugation, independent of the builder's
+  /// lookup tables).
+  std::uint64_t frame_trials = 0;
+
+  /// Conjugation steps the proven frames cost — integer bookkeeping that
+  /// replaced statevector ops, never part of cached_ops.
+  std::uint64_t frame_ops = 0;
+
+  /// Matvec ops frame collapse eliminated: the unframed model prediction
+  /// minus cached_ops. This is the saving the proof certifies.
+  opcount_t frame_saved_ops = 0;
 };
 
 /// Pure verification pass over a trial list and a recorded plan.
@@ -184,10 +199,34 @@ class PlanVerifier {
   /// workers execute exactly the tree's nodes. Finally cross-checks the
   /// tree's own planned counters (planned_ops, planned_forks, peak_demand)
   /// against the proof artifacts.
+  ///
+  /// Frame-collapsed trees (ExecTree::has_frames) get a *frame-algebra*
+  /// pass first: every recorded FrameTrial is re-propagated numerically —
+  /// each gate's action on the frame is computed as the matrix conjugation
+  /// G·P·G† and matched against a pure Pauli up to a unit phase, entirely
+  /// independent of the conjugation tables the builder used — and must
+  /// reproduce the recorded masks and op counts, satisfy the purity rules
+  /// (X part confined to measured qubits; Z-only under frame_observables),
+  /// and never pass a blocking non-Clifford gate. A violation names the
+  /// first offending trial. The invariant pass then treats each framed
+  /// trial's finish as a *prefix* obligation (only event_depth events
+  /// injected; the remainder is carried by the proven frame), the op-count
+  /// model mirrors the builder's collapse decisions, and the op-for-op
+  /// stream comparison is skipped — a collapsed tree is deliberately
+  /// *cheaper* than the sequential stream, which is the saving recorded in
+  /// PlanProof::frame_saved_ops. Replay leaves additionally get their
+  /// uncompute_ok flag re-derived from the gate whitelist.
   PlanProof verify_tree_plan(const std::vector<Trial>& trials,
                              const ExecTree& tree) const;
 
  private:
+  /// Shared invariant pass. `frame_prefix`, when non-null, maps each trial
+  /// index to the injected-event prefix length its finish must carry
+  /// (kNoIndex = normal trial, full path required).
+  PlanProof verify_impl(const std::vector<Trial>& trials,
+                        const std::vector<PlanOp>& plan,
+                        const std::vector<std::size_t>* frame_prefix) const;
+
   const CircuitContext& ctx_;
   ScheduleOptions options_;
 };
@@ -195,7 +234,9 @@ class PlanVerifier {
 /// Independent model of the reorder+prefix-cache op count: computed from
 /// the trial list alone, never from the scheduler or a recorded plan. The
 /// verifier (and tests) require the scheduler's actual count to match this
-/// prediction exactly.
+/// prediction exactly. With options.frame_collapse set the model mirrors
+/// the tree builder's collapse decisions (collapsed groups cost no forks
+/// and no subtree ops), predicting the *framed* tree's planned_ops.
 opcount_t predict_cached_ops(const CircuitContext& ctx,
                              const std::vector<Trial>& trials,
                              const ScheduleOptions& options = {});

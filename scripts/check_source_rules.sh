@@ -34,6 +34,11 @@
 #         goes through service/socket_util.hpp so every connection gets the
 #         same bounded-line framing, timeouts, and retry policy, and the
 #         rest of the tree stays transport-free.
+# Rule 7: no direct terminal output (printf family, std::cout/cerr/clog)
+#         outside src/cli/ and src/report/ (bench/ drivers print their own
+#         tables and are exempt) — services and the simulation core surface
+#         information through telemetry, trace spans, or returned results,
+#         never stdio. snprintf formats into a caller buffer and is allowed.
 #
 # Usage: scripts/check_source_rules.sh [src-dir]   (default: src)
 #        scripts/check_source_rules.sh --self-test
@@ -56,6 +61,7 @@ P3='(^|[^[:alnum:]_])std::thread([^[:alnum:]_]|$)'
 P4='(steady_clock|high_resolution_clock)'
 P5='StateVector[[:space:]]+[[:alnum:]_]+[[:space:]]*=[[:space:]]*[*]?[[:alnum:]_.]+(\[[^]]*\])?[[:space:]]*;'
 P6='(^|[^[:alnum:]_>:])::(socket|connect|accept|bind|listen)[[:space:]]*\('
+P7='(^|[^[:alnum:]_.>])(printf|fprintf|puts|fputs|vprintf|vfprintf)[[:space:]]*\(|std::(cout|cerr|clog)'
 
 if [ "${1:-}" = "--self-test" ]; then
   fixtures="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)/tools/analyze/fixtures"
@@ -82,6 +88,7 @@ if [ "${1:-}" = "--self-test" ]; then
   expect_hit   rule4_clock.cpp      "$P4" 'rule 4: monotonic clock'
   expect_hit   rule5_deep_copy.cpp  "$P5" 'rule 5: StateVector deep copy'
   expect_hit   rule6_socket.cpp     "$P6" 'rule 6: raw socket syscall'
+  expect_hit   rule7_print.cpp      "$P7" 'rule 7: direct terminal output'
   # Documented grep blind spot: the aliased spelling (`using namespace std;
   # mt19937 gen;`) never writes `std::`, so the fallback must NOT claim it —
   # only the token-level analyzer flags it (RngAliasFixture in
@@ -157,6 +164,10 @@ scan "$P6" \
      "$src_dir/service/* $src_dir/router/*" \
      'raw socket syscall outside service/socket_util and router/' \
      "$bench_dir"
+
+scan "$P7" \
+     "$src_dir/cli/* $src_dir/report/*" \
+     'direct terminal output outside cli/ and report/'
 
 if [ "$status" -eq 0 ]; then
   echo "check_source_rules: OK ($src_dir)"

@@ -1,0 +1,78 @@
+#!/bin/sh
+# prom_schema ctest driver: scrape a live service with `rqsim stats --prom`
+# and validate the output against the Prometheus text exposition grammar
+# (scripts/validate_prom.py): HELP/TYPE pairs, sample-line syntax, cumulative
+# histogram buckets ending in +Inf == _count, and non-decreasing summary
+# quantiles. A job is executed first so the SLO summaries and exemplar
+# gauges are populated, then the scrape is asserted to carry them.
+#
+# Usage: scripts/run_prom_schema.sh <rqsim-binary> [work-dir]
+# Exits 77 (ctest SKIP) when python3 is unavailable.
+set -u
+
+if [ $# -lt 1 ]; then
+  echo "usage: run_prom_schema.sh <rqsim-binary> [work-dir]" >&2
+  exit 2
+fi
+rqsim="$1"
+work_dir="${2:-.}"
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "prom_schema: python3 not found; skipping" >&2
+  exit 77
+fi
+
+sock_dir="$work_dir/prom_schema"
+rm -rf "$sock_dir"
+mkdir -p "$sock_dir"
+sock="$sock_dir/service.sock"
+scrape="$sock_dir/exposition.txt"
+
+"$rqsim" serve --socket "$sock" --workers 1 >"$sock_dir/serve.log" 2>&1 &
+server_pid=$!
+cleanup() {
+  kill "$server_pid" 2>/dev/null || true
+  wait "$server_pid" 2>/dev/null || true
+}
+trap cleanup EXIT INT TERM
+
+i=0
+while [ ! -S "$sock" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "prom_schema: service socket never appeared" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+"$rqsim" submit --socket "$sock" --circuit ghz:4 --trials 256 --seed 11 \
+  --tenant alice --wait >/dev/null || exit 1
+"$rqsim" stats --socket "$sock" --prom >"$scrape" || exit 1
+"$rqsim" shutdown --socket "$sock" >/dev/null || exit 1
+trap - EXIT INT TERM
+cleanup
+
+python3 "$repo_root/scripts/validate_prom.py" "$scrape" || exit 1
+
+# Beyond the grammar: the scrape must carry the build gauge, at least one
+# registry histogram, and the per-tenant SLO summary with its exemplar.
+failures=0
+for needle in \
+  'rqsim_build_info{version="' \
+  '# TYPE rqsim_slo_e2e_us summary' \
+  'rqsim_slo_e2e_us{tenant="alice",quantile="0.99"}' \
+  'rqsim_slo_exemplar_e2e_us{tenant="alice",job="' \
+  'trace_id="'; do
+  if ! grep -Fq "$needle" "$scrape"; then
+    echo "prom_schema: missing $needle" >&2
+    failures=1
+  fi
+done
+if ! grep -Eq '^# TYPE rqsim_[a-z0-9_]+ histogram$' "$scrape"; then
+  echo "prom_schema: no registry histogram in scrape" >&2
+  failures=1
+fi
+[ "$failures" -eq 0 ] && echo "prom_schema: OK"
+exit "$failures"

@@ -1,11 +1,19 @@
 #!/bin/sh
-# trace_schema ctest driver: produce a trace with the CLI and validate it.
+# trace_schema ctest driver: produce traces with the CLI and validate them.
 #
-# Runs `rqsim run --trace-out` on a Table I circuit with the parallel tree
-# executor (so the trace has per-worker lanes and fork/drop/steal instants),
-# then checks the file against the Chrome trace-event subset the exporter
-# promises (scripts/validate_trace.py). Exits 77 (ctest SKIP) when python3
-# is unavailable.
+# Part 1 runs `rqsim run --trace-out` on a Table I circuit with the parallel
+# tree executor (so the trace has per-worker lanes and fork/drop/steal
+# instants) and checks the file against the Chrome trace-event subset the
+# exporter promises (scripts/validate_trace.py).
+#
+# Part 2 exercises the distributed path: two `rqsim serve` backends behind
+# an `rqsim route` fleet router, `trace-start` over the whole fleet, two
+# submits from different tenants, then `trace-merge` stitching the three
+# per-process buffers (clock-skew corrected) into one file. The merged
+# trace must have three named pid lanes, balanced spans per lane, and the
+# router-admission / queue-wait spans joined by a shared trace_id.
+#
+# Exits 77 (ctest SKIP) when python3 is unavailable.
 #
 # Usage: scripts/run_trace_schema.sh <rqsim-binary> [work-dir]
 set -u
@@ -55,3 +63,103 @@ if not failures:
     print("trace_schema: %d worker lanes, instants %s" % (len(workers), sorted(instants)))
 sys.exit(1 if failures else 0)
 EOF
+[ $? -eq 0 ] || exit 1
+
+# ---------------------------------------------------------------------------
+# Part 2: merged multi-process trace through a 2-backend fleet.
+# ---------------------------------------------------------------------------
+
+sock_dir="$work_dir/trace_schema_fleet"
+rm -rf "$sock_dir"
+mkdir -p "$sock_dir"
+merged="$work_dir/trace_schema_merged.json"
+pids=""
+
+cleanup() {
+  for pid in $pids; do
+    kill "$pid" 2>/dev/null || true
+  done
+  for pid in $pids; do
+    wait "$pid" 2>/dev/null || true
+  done
+}
+trap cleanup EXIT INT TERM
+
+"$rqsim" serve --socket "$sock_dir/b1.sock" --workers 1 >"$sock_dir/b1.log" 2>&1 &
+pids="$pids $!"
+"$rqsim" serve --socket "$sock_dir/b2.sock" --workers 1 >"$sock_dir/b2.log" 2>&1 &
+pids="$pids $!"
+
+wait_socket() {
+  i=0
+  while [ ! -S "$1" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+      echo "trace_schema: $1 never appeared" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+}
+wait_socket "$sock_dir/b1.sock"
+wait_socket "$sock_dir/b2.sock"
+
+"$rqsim" route --socket "$sock_dir/front.sock" \
+  --backend "unix:$sock_dir/b1.sock" --backend "unix:$sock_dir/b2.sock" \
+  >"$sock_dir/router.log" 2>&1 &
+pids="$pids $!"
+wait_socket "$sock_dir/front.sock"
+
+"$rqsim" trace-start --socket "$sock_dir/front.sock" || exit 1
+"$rqsim" submit --socket "$sock_dir/front.sock" --circuit ghz:4 \
+  --trials 256 --seed 7 --tenant alice --wait >/dev/null || exit 1
+"$rqsim" submit --socket "$sock_dir/front.sock" --circuit ghz:4 \
+  --trials 256 --seed 7 --tenant bob --wait >/dev/null || exit 1
+"$rqsim" trace-merge --socket "$sock_dir/front.sock" \
+  --trace-out "$merged" || exit 1
+"$rqsim" shutdown --socket "$sock_dir/front.sock" >/dev/null || exit 1
+"$rqsim" shutdown --socket "$sock_dir/b1.sock" >/dev/null || exit 1
+"$rqsim" shutdown --socket "$sock_dir/b2.sock" >/dev/null || exit 1
+
+# Well-formedness plus the merged-trace contract: 3 contiguous named pids
+# (router + 2 backends), balanced B/E per lane, X events with durations.
+python3 "$repo_root/scripts/validate_trace.py" "$merged" --expect-pids 3 \
+  || exit 1
+
+# Causal linkage: the router-admission span and a backend queue-wait event
+# must share a trace_id, and they must sit in different pid lanes (the
+# router process vs the executing backend).
+python3 - "$merged" <<'EOF'
+import json, sys
+
+events = json.load(open(sys.argv[1]))["traceEvents"]
+admit = {}   # trace_id -> pid of router.admit span
+queued = {}  # trace_id -> pid of service.queue_wait complete event
+for e in events:
+    tid = (e.get("args") or {}).get("trace_id")
+    if not tid:
+        continue
+    if e.get("name") == "router.admit" and e.get("ph") == "B":
+        admit[tid] = e["pid"]
+    if e.get("name") == "service.queue_wait" and e.get("ph") == "X":
+        queued[tid] = e["pid"]
+linked = sorted(set(admit) & set(queued))
+failures = []
+if not linked:
+    failures.append(
+        "no trace_id links router.admit (%s) to service.queue_wait (%s)"
+        % (sorted(admit), sorted(queued))
+    )
+elif all(admit[t] == queued[t] for t in linked):
+    failures.append("linked spans never cross a process boundary")
+for failure in failures:
+    print("trace_schema: %s" % failure, file=sys.stderr)
+if not failures:
+    print("trace_schema: merged trace links %d trace_id(s) across processes"
+          % len(linked))
+sys.exit(1 if failures else 0)
+EOF
+[ $? -eq 0 ] || exit 1
+trap - EXIT INT TERM
+cleanup
+exit 0

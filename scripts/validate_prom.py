@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text exposition format 0.0.4 (stdlib only).
+
+Checks the subset `rqsim stats --prom` emits (src/report/prom.cpp):
+
+  * every line is a `# HELP <name> <text>`, a `# TYPE <name> <type>`
+    (counter | gauge | histogram | summary), or a sample
+    `<name>[{label="value",...}] <number>`;
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]*, label names match
+    [a-zA-Z_][a-zA-Z0-9_]*, label values use \\\\ \\" \\n escapes only;
+  * every sample's base name (with histogram/summary _bucket/_sum/_count
+    suffixes stripped) was announced by a preceding # TYPE;
+  * each HELP/TYPE pair appears at most once per metric;
+  * histograms: `le` bucket bounds strictly increase, cumulative bucket
+    counts never decrease, the +Inf bucket equals _count, and _sum/_count
+    are present;
+  * summaries: `quantile` labels are in [0, 1] and quantile values are
+    non-decreasing as the quantile increases (per label set).
+
+Exit codes: 0 = valid, 1 = invalid (details on stderr), 2 = usage/IO error.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s+(\S+)$"
+)
+TYPES = {"counter", "gauge", "histogram", "summary"}
+SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def fail(message):
+    print("validate_prom: %s" % message, file=sys.stderr)
+    return 1
+
+
+def parse_value(text):
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def parse_labels(text):
+    """Return {name: value} or None if the label block is malformed."""
+    if text is None or text == "":
+        return {}
+    labels = {}
+    rest = text
+    while rest:
+        match = LABEL_RE.match(rest)
+        if not match:
+            return None
+        labels[match.group(1)] = match.group(2)
+        rest = rest[match.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            return None
+    return labels
+
+
+def base_name(name, types):
+    for suffix in SUFFIXES:
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return name
+
+
+def validate(text):
+    errors = 0
+    types = {}
+    helps = set()
+    # (metric, frozen non-le labels) -> [(le, cumulative count)]
+    buckets = {}
+    counts = {}
+    sums = set()
+    # (metric, frozen non-quantile labels) -> [(quantile, value)]
+    quantiles = {}
+
+    for number, line in enumerate(text.splitlines(), 1):
+        where = "line %d" % number
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                errors += fail("%s: malformed comment %r" % (where, line))
+                continue
+            name = parts[2]
+            if not NAME_RE.match(name):
+                errors += fail("%s: bad metric name %r" % (where, name))
+                continue
+            if parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in TYPES:
+                    errors += fail("%s: bad TYPE %r" % (where, line))
+                elif name in types:
+                    errors += fail("%s: duplicate TYPE for %r" % (where, name))
+                else:
+                    types[name] = parts[3]
+            else:
+                if name in helps:
+                    errors += fail("%s: duplicate HELP for %r" % (where, name))
+                helps.add(name)
+            continue
+
+        match = SAMPLE_RE.match(line)
+        if not match:
+            errors += fail("%s: not a sample line: %r" % (where, line))
+            continue
+        name = match.group(1)
+        labels = parse_labels(match.group(3))
+        if labels is None:
+            errors += fail("%s: malformed labels: %r" % (where, line))
+            continue
+        value = parse_value(match.group(4))
+        if value is None:
+            errors += fail("%s: bad sample value %r" % (where, match.group(4)))
+            continue
+        metric = base_name(name, types)
+        if metric not in types:
+            errors += fail("%s: sample %r has no preceding # TYPE" % (where, name))
+            continue
+
+        kind = types[metric]
+        if kind == "histogram" and name == metric + "_bucket":
+            if "le" not in labels:
+                errors += fail("%s: histogram bucket without 'le'" % where)
+                continue
+            le = parse_value(labels["le"])
+            if le is None:
+                errors += fail("%s: bad le value %r" % (where, labels["le"]))
+                continue
+            key = (metric, frozenset(
+                (k, v) for k, v in labels.items() if k != "le"))
+            buckets.setdefault(key, []).append((le, value, number))
+        elif name == metric + "_count":
+            key = (metric, frozenset(labels.items()))
+            counts[key] = (value, number)
+        elif name == metric + "_sum":
+            sums.add((metric, frozenset(labels.items())))
+        elif kind == "summary" and "quantile" in labels:
+            q = parse_value(labels["quantile"])
+            if q is None or not 0.0 <= q <= 1.0:
+                errors += fail(
+                    "%s: quantile %r outside [0, 1]" % (where, labels["quantile"])
+                )
+                continue
+            key = (metric, frozenset(
+                (k, v) for k, v in labels.items() if k != "quantile"))
+            quantiles.setdefault(key, []).append((q, value, number))
+
+    for (metric, labelset), rows in buckets.items():
+        prev_le = None
+        prev_cum = None
+        for le, cumulative, number in rows:
+            if prev_le is not None and le <= prev_le:
+                errors += fail(
+                    "line %d: %s bucket le=%s not increasing" % (number, metric, le)
+                )
+            if prev_cum is not None and cumulative < prev_cum:
+                errors += fail(
+                    "line %d: %s cumulative bucket count decreases" % (number, metric)
+                )
+            prev_le, prev_cum = le, cumulative
+        if rows and rows[-1][0] != float("inf"):
+            errors += fail("%s: histogram missing +Inf bucket" % metric)
+        count = counts.get((metric, labelset))
+        if count is None:
+            errors += fail("%s: histogram missing _count" % metric)
+        elif rows and rows[-1][1] != count[0]:
+            errors += fail(
+                "%s: +Inf bucket %s != _count %s" % (metric, rows[-1][1], count[0])
+            )
+        if (metric, labelset) not in sums:
+            errors += fail("%s: histogram missing _sum" % metric)
+
+    for (metric, _), rows in quantiles.items():
+        rows.sort(key=lambda row: row[0])
+        for previous, current in zip(rows, rows[1:]):
+            if current[1] < previous[1]:
+                errors += fail(
+                    "line %d: %s q=%s value %s below q=%s value %s"
+                    % (current[2], metric, current[0], current[1],
+                       previous[0], previous[1])
+                )
+
+    if not types:
+        errors += fail("no metrics found")
+    return (1 if errors else 0), len(types)
+
+
+def main(argv):
+    if len(argv) != 2:
+        print("usage: validate_prom.py <exposition.txt>", file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1], "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as error:
+        print("validate_prom: cannot read %s: %s" % (argv[1], error), file=sys.stderr)
+        return 2
+    status, metrics = validate(text)
+    if status == 0:
+        print("validate_prom: OK — %d metric(s)" % metrics)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -8,12 +8,21 @@ load a file:
   * top level is an object with a "traceEvents" array;
   * every event is an object with string "name", string "ph", and numeric
     "pid"/"tid"; non-metadata events also need a numeric, non-negative "ts";
-  * phases are limited to the exporter's set: B, E, i, C, M;
+  * phases are limited to the exporter's set: B, E, X, i, C, M;
   * per (pid, tid) lane, B/E events are balanced and properly nested
     (every E closes the most recent open B — a stack, never negative);
-  * "i" events carry scope "s", "C" events carry args.value,
-    "M" metadata events are thread_name / process_name / thread_sort_index;
-  * within a lane, timestamps are non-decreasing.
+  * "X" complete events carry a non-negative numeric "dur"; they are exempt
+    from the lane timestamp-order check because the exporter records them
+    retroactively (e.g. service.queue_wait is emitted when the job starts
+    executing, with a ts at enqueue time);
+  * "i" events carry scope "s", "C" events carry args.value, "M" metadata
+    events are thread_name / process_name / thread_sort_index /
+    process_sort_index;
+  * within a lane, B/E/i/C timestamps are non-decreasing.
+
+With --expect-pids N (merged multi-process traces from `rqsim trace-merge`):
+exactly N distinct pids appear, every pid that carries events has a
+process_name metadata record, and pids are contiguous 1..N.
 
 Exit codes: 0 = valid, 1 = invalid (details on stderr), 2 = usage/IO error.
 """
@@ -21,8 +30,13 @@ Exit codes: 0 = valid, 1 = invalid (details on stderr), 2 = usage/IO error.
 import json
 import sys
 
-ALLOWED_PHASES = {"B", "E", "i", "C", "M"}
-ALLOWED_METADATA = {"thread_name", "process_name", "thread_sort_index"}
+ALLOWED_PHASES = {"B", "E", "X", "i", "C", "M"}
+ALLOWED_METADATA = {
+    "thread_name",
+    "process_name",
+    "thread_sort_index",
+    "process_sort_index",
+}
 
 
 def fail(message):
@@ -30,7 +44,7 @@ def fail(message):
     return 1
 
 
-def validate(trace):
+def validate(trace, expect_pids=None):
     if not isinstance(trace, dict):
         return fail("top level must be a JSON object")
     events = trace.get("traceEvents")
@@ -40,6 +54,8 @@ def validate(trace):
     # Per-lane open-B stack and last timestamp.
     stacks = {}
     last_ts = {}
+    named_pids = set()
+    event_pids = set()
     errors = 0
     for index, event in enumerate(events):
         where = "event %d" % index
@@ -65,11 +81,21 @@ def validate(trace):
         if phase == "M":
             if name not in ALLOWED_METADATA:
                 errors += fail("%s: unknown metadata record" % where)
+            elif name == "process_name":
+                named_pids.add(event["pid"])
             continue
+        event_pids.add(event["pid"])
 
         ts = event.get("ts")
         if not isinstance(ts, (int, float)) or ts < 0:
             errors += fail("%s: missing non-negative numeric 'ts'" % where)
+            continue
+        if phase == "X":
+            # Retroactive complete event: its ts points back to when the
+            # measured interval began, so it is exempt from lane ordering.
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors += fail("%s: X event missing non-negative 'dur'" % where)
             continue
         if ts < last_ts.get(lane, 0):
             errors += fail(
@@ -101,34 +127,67 @@ def validate(trace):
                 "lane %s: %d unclosed span(s), innermost %r"
                 % (lane, len(stack), stack[-1])
             )
+
+    if expect_pids is not None:
+        if len(named_pids) != expect_pids:
+            errors += fail(
+                "expected %d process_name pids, got %s"
+                % (expect_pids, sorted(named_pids))
+            )
+        unnamed = event_pids - named_pids
+        if unnamed:
+            errors += fail(
+                "pids with events but no process_name metadata: %s"
+                % sorted(unnamed)
+            )
+        if named_pids and sorted(named_pids) != list(
+            range(1, len(named_pids) + 1)
+        ):
+            errors += fail(
+                "merged pids not contiguous from 1: %s" % sorted(named_pids)
+            )
     return 1 if errors else 0
 
 
 def main(argv):
-    if len(argv) != 2:
-        print("usage: validate_trace.py <trace.json>", file=sys.stderr)
+    args = list(argv[1:])
+    expect_pids = None
+    if "--expect-pids" in args:
+        at = args.index("--expect-pids")
+        try:
+            expect_pids = int(args[at + 1])
+        except (IndexError, ValueError):
+            print("validate_trace: --expect-pids needs an integer", file=sys.stderr)
+            return 2
+        del args[at : at + 2]
+    if len(args) != 1:
+        print(
+            "usage: validate_trace.py <trace.json> [--expect-pids N]",
+            file=sys.stderr,
+        )
         return 2
     try:
-        with open(argv[1], "r", encoding="utf-8") as handle:
+        with open(args[0], "r", encoding="utf-8") as handle:
             trace = json.load(handle)
     except OSError as error:
-        print("validate_trace: cannot read %s: %s" % (argv[1], error), file=sys.stderr)
+        print("validate_trace: cannot read %s: %s" % (args[0], error), file=sys.stderr)
         return 2
     except ValueError as error:
-        print("validate_trace: %s is not JSON: %s" % (argv[1], error), file=sys.stderr)
+        print("validate_trace: %s is not JSON: %s" % (args[0], error), file=sys.stderr)
         return 1
-    status = validate(trace)
+    status = validate(trace, expect_pids)
     if status == 0:
         events = trace["traceEvents"]
         spans = sum(1 for e in events if e.get("ph") == "B")
+        completes = sum(1 for e in events if e.get("ph") == "X")
         lanes = {
             (e.get("pid"), e.get("tid"))
             for e in events
             if e.get("ph") not in (None, "M")
         }
         print(
-            "validate_trace: OK — %d events, %d spans, %d lane(s)"
-            % (len(events), spans, len(lanes))
+            "validate_trace: OK — %d events, %d spans, %d complete(s), %d lane(s)"
+            % (len(events), spans, completes, len(lanes))
         )
     return status
 

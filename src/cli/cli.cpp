@@ -1,10 +1,12 @@
 #include "cli/cli.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <map>
 #include <ostream>
 #include <sstream>
+#include <thread>
 
 #include "bench_circuits/factory.hpp"
 #include "bench_circuits/suite.hpp"
@@ -15,7 +17,9 @@
 #include "noise/calibration.hpp"
 #include "noise/devices.hpp"
 #include "report/csv.hpp"
+#include "report/prom.hpp"
 #include "report/table.hpp"
+#include "report/trace_merge.hpp"
 #include "router/router.hpp"
 #include "sched/enumerate.hpp"
 #include "sched/parallel.hpp"
@@ -23,6 +27,7 @@
 #include "service/protocol.hpp"
 #include "service/server.hpp"
 #include "sched/order.hpp"
+#include "telemetry/clock.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace.hpp"
 #include "transpile/decompose.hpp"
@@ -73,6 +78,11 @@ struct CliOptions {
   std::size_t quota = 0;               // --quota (route: per-tenant in-flight cap)
   std::vector<std::string> weights;    // --weight tenant=w, repeatable (route)
   int health_interval_ms = 500;        // --health-interval (route)
+
+  // Observability verbs (stats --prom / top / trace-merge).
+  bool prom = false;           // --prom (stats: Prometheus text exposition)
+  int interval_ms = 1000;      // --interval (top: refresh period, ms)
+  std::size_t iterations = 0;  // --iterations (top: frame count, 0 = forever)
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -181,6 +191,12 @@ CliOptions parse_options(const std::vector<std::string>& args, std::size_t begin
       options.weights.push_back(value());
     } else if (flag == "--health-interval") {
       options.health_interval_ms = static_cast<int>(parse_u64_flag(value(), flag));
+    } else if (flag == "--prom") {
+      options.prom = true;
+    } else if (flag == "--interval") {
+      options.interval_ms = static_cast<int>(parse_u64_flag(value(), flag));
+    } else if (flag == "--iterations") {
+      options.iterations = parse_u64_flag(value(), flag);
     } else {
       usage_error("unknown flag '" + flag + "'");
     }
@@ -606,7 +622,11 @@ int cmd_submit(const std::vector<std::string>& args, std::ostream& out) {
     remote_error(response);
   }
   const std::uint64_t job = response.at("job").as_u64();
-  out << "submitted job " << job << "\n";
+  out << "submitted job " << job;
+  if (response.has("trace_id")) {
+    out << " (trace " << response.get_string("trace_id", "") << ")";
+  }
+  out << "\n";
   if (options.wait) {
     Json wait_request = Json::object();
     wait_request.set("op", Json("wait"));
@@ -620,6 +640,51 @@ int cmd_submit(const std::vector<std::string>& args, std::ostream& out) {
   return 0;
 }
 
+// One "p50/p90/p99" cell from a latency-histogram json (µs values).
+std::string quantile_cell(const Json& hist) {
+  return format_double(hist.get_number("p50", 0.0), 0) + "/" +
+         format_double(hist.get_number("p90", 0.0), 0) + "/" +
+         format_double(hist.get_number("p99", 0.0), 0);
+}
+
+// Human-readable SLO rendering: per-tenant latency quantiles and the
+// slowest jobs with their trace ids (joinable against a merged trace).
+void print_slo(const Json& slo, std::ostream& out) {
+  const auto print_tenant = [&out](const std::string& label, const Json& t) {
+    if (!t.is_object() || !t.has("e2e_us")) {
+      return;
+    }
+    out << "  " << label << ": e2e " << quantile_cell(t.at("e2e_us"));
+    if (t.has("queue_us")) {
+      out << "  queue " << quantile_cell(t.at("queue_us"));
+    }
+    if (t.has("exec_us")) {
+      out << "  exec " << quantile_cell(t.at("exec_us"));
+    }
+    out << "  (n=" << t.at("e2e_us").get_u64("count", 0) << ")\n";
+  };
+  out << "slo latency us (p50/p90/p99):\n";
+  if (slo.has("tenants") && slo.at("tenants").is_object()) {
+    for (const auto& [tenant, t] : slo.at("tenants").as_object()) {
+      print_tenant("tenant " + (tenant.empty() ? "(anonymous)" : tenant), t);
+    }
+  }
+  if (slo.has("total")) {
+    print_tenant("total", slo.at("total"));
+    const Json& total = slo.at("total");
+    if (total.is_object() && total.has("exemplars") &&
+        total.at("exemplars").is_array() &&
+        !total.at("exemplars").as_array().empty()) {
+      out << "slowest jobs:\n";
+      for (const Json& ex : total.at("exemplars").as_array()) {
+        out << "  job " << ex.get_u64("job", 0) << "  trace "
+            << ex.get_string("trace_id", "-") << "  e2e "
+            << ex.get_u64("e2e_us", 0) << " us\n";
+      }
+    }
+  }
+}
+
 int cmd_status(const std::vector<std::string>& args, std::ostream& out) {
   const CliOptions options = parse_options(args, 2);
   ServiceClient client = ServiceClient::connect(service_endpoint(options));
@@ -629,10 +694,19 @@ int cmd_status(const std::vector<std::string>& args, std::ostream& out) {
     if (!response.get_bool("ok", false)) {
       remote_error(response);
     }
+    if (response.has("build")) {
+      const Json& build = response.at("build");
+      out << "build " << build.get_string("version", "?") << ", up "
+          << format_double(build.get_number("uptime_ms", 0.0) / 1000.0, 1)
+          << " s\n";
+    }
     const Json& stats = response.at("stats");
     out << "service stats:\n";
     for (const auto& [key, value] : stats.as_object()) {
       out << "  " << key << ": " << value.dump() << "\n";
+    }
+    if (response.has("slo")) {
+      print_slo(response.at("slo"), out);
     }
     return 0;
   }
@@ -648,7 +722,9 @@ int cmd_status(const std::vector<std::string>& args, std::ostream& out) {
 }
 
 // Live metrics snapshot from a running service, as one JSON line: the
-// service counters plus the full telemetry registry (protocol `stats` op).
+// service counters plus the full telemetry registry (protocol `stats` op),
+// the SLO quantile layer, and build identity. --prom renders the same
+// response as Prometheus text exposition instead.
 int cmd_stats(const std::vector<std::string>& args, std::ostream& out) {
   const CliOptions options = parse_options(args, 2);
   ServiceClient client = ServiceClient::connect(service_endpoint(options));
@@ -656,10 +732,20 @@ int cmd_stats(const std::vector<std::string>& args, std::ostream& out) {
   if (!response.get_bool("ok", false)) {
     remote_error(response);
   }
+  if (options.prom) {
+    out << stats_to_prometheus(response);
+    return 0;
+  }
   Json snapshot = Json::object();
   snapshot.set("stats", response.at("stats"));
   if (response.has("telemetry")) {
     snapshot.set("telemetry", response.at("telemetry"));
+  }
+  if (response.has("slo")) {
+    snapshot.set("slo", response.at("slo"));
+  }
+  if (response.has("build")) {
+    snapshot.set("build", response.at("build"));
   }
   if (response.has("fleet")) {
     // The endpoint is a fleet router: include the per-backend / per-tenant
@@ -667,6 +753,194 @@ int cmd_stats(const std::vector<std::string>& args, std::ostream& out) {
     snapshot.set("fleet", response.at("fleet"));
   }
   out << snapshot.dump() << "\n";
+  return 0;
+}
+
+// Render one `rqsim top` frame from a stats response. `jobs_per_s` is the
+// completed-job rate measured between refreshes (0 on the first frame).
+void print_top_frame(const Json& response, double jobs_per_s,
+                     std::ostream& out) {
+  out << "rqsim top";
+  if (response.has("build")) {
+    const Json& build = response.at("build");
+    out << " — " << build.get_string("version", "?") << ", up "
+        << format_double(build.get_number("uptime_ms", 0.0) / 1000.0, 1)
+        << " s";
+  }
+  out << "    " << format_double(jobs_per_s, 1) << " jobs/s\n";
+
+  const Json& stats = response.at("stats");
+  out << "jobs: " << stats.get_u64("completed", 0) << " done, "
+      << stats.get_u64("failed", 0) << " failed, "
+      << stats.get_u64("queued_now", 0) << " queued, "
+      << stats.get_u64("running_now", 0) << " running"
+      << "    batches: " << stats.get_u64("merged_batches", 0) << " merged ("
+      << stats.get_u64("merged_jobs", 0) << " jobs)\n";
+
+  if (response.has("telemetry") && response.at("telemetry").is_object()) {
+    const Json& telemetry = response.at("telemetry");
+    const double acquires = telemetry.get_number("buffer_pool.acquires", 0.0);
+    const double hits = telemetry.get_number("buffer_pool.shard_hits", 0.0) +
+                        telemetry.get_number("buffer_pool.global_hits", 0.0);
+    const double tasks = telemetry.get_number("tree_exec.tasks", 0.0);
+    const double collapsed =
+        telemetry.get_number("sim.frame_collapsed_trials", 0.0);
+    out << "cache: buffer-pool hit "
+        << format_double(acquires > 0 ? 100.0 * hits / acquires : 0.0, 1)
+        << "%    frames: " << format_double(collapsed, 0)
+        << " trials collapsed"
+        << (tasks > 0 ? " (" + format_double(100.0 * collapsed /
+                                                 (collapsed + tasks), 1) +
+                            "% of tree work)"
+                      : "")
+        << "\n";
+  }
+
+  if (response.has("fleet") && response.at("fleet").is_object()) {
+    const Json& fleet = response.at("fleet");
+    if (fleet.has("backends") && fleet.at("backends").is_array()) {
+      out << "backends:\n";
+      out << "  endpoint                        state     queue  inflight"
+             "  e2e p99 us  version\n";
+      for (const Json& backend : fleet.at("backends").as_array()) {
+        std::string endpoint = backend.get_string("endpoint", "?");
+        endpoint.resize(30, ' ');
+        std::string state = backend.get_string("state", "?");
+        if (backend.get_bool("draining", false)) {
+          state += "*";
+        }
+        state.resize(8, ' ');
+        out << "  " << endpoint << "  " << state << "  "
+            << backend.get_u64("queued_now", 0) << "      "
+            << backend.get_u64("inflight", 0) << "         "
+            << format_double(backend.get_number("e2e_p99_us", 0.0), 0)
+            << "        " << backend.get_string("version", "-") << "\n";
+      }
+    }
+    if (fleet.has("tenants") && fleet.at("tenants").is_object() &&
+        !fleet.at("tenants").as_object().empty()) {
+      out << "tenants (fair-share occupancy):\n";
+      for (const auto& [tenant, entry] : fleet.at("tenants").as_object()) {
+        out << "  " << tenant << ": " << entry.get_u64("inflight", 0)
+            << " in flight, " << entry.get_u64("admitted", 0) << " admitted, "
+            << entry.get_u64("rejected", 0) << " rejected (weight "
+            << format_double(entry.get_number("weight", 1.0), 1) << ")\n";
+      }
+    }
+    out << "cross-tenant merge hit rate: "
+        << format_double(
+               100.0 * fleet.get_number("cross_tenant_merge_hit_rate", 0.0), 1)
+        << "%\n";
+  }
+
+  if (response.has("slo")) {
+    print_slo(response.at("slo"), out);
+  }
+}
+
+// Refreshing terminal view over the stats fan-out: throughput, queue
+// depths, cache-hit / frame-collapse rates, tenant occupancy and tail
+// latency. --interval sets the refresh period; --iterations bounds the
+// frame count (0 = run until interrupted; each frame repaints in place).
+int cmd_top(const std::vector<std::string>& args, std::ostream& out) {
+  const CliOptions options = parse_options(args, 2);
+  ServiceClient client = ServiceClient::connect(service_endpoint(options));
+  std::uint64_t prev_completed = 0;
+  telemetry::TimePoint prev_time = telemetry::clock_now();
+  for (std::size_t frame = 0;
+       options.iterations == 0 || frame < options.iterations; ++frame) {
+    if (frame > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(std::max(1, options.interval_ms)));
+    }
+    const Json response = client.request(Json::parse("{\"op\":\"stats\"}"));
+    if (!response.get_bool("ok", false)) {
+      remote_error(response);
+    }
+    const std::uint64_t completed =
+        response.at("stats").get_u64("completed", 0);
+    const telemetry::TimePoint now = telemetry::clock_now();
+    const double elapsed_s = telemetry::ms_between(prev_time, now) / 1000.0;
+    const double jobs_per_s =
+        frame > 0 && elapsed_s > 0 && completed >= prev_completed
+            ? static_cast<double>(completed - prev_completed) / elapsed_s
+            : 0.0;
+    prev_completed = completed;
+    prev_time = now;
+    if (frame > 0) {
+      out << "\x1b[H\x1b[2J";  // cursor home + clear screen: repaint in place
+    }
+    print_top_frame(response, jobs_per_s, out);
+    out.flush();
+  }
+  return 0;
+}
+
+// --------------------------------------------------------------------------
+// Distributed-trace verbs (telemetry/trace.hpp, report/trace_merge.hpp).
+
+// Send a `trace` start/stop to a service or router; the router fans the
+// action out to every backend so the whole fleet records one trace window.
+int cmd_trace_toggle(const std::vector<std::string>& args, std::ostream& out,
+                     const char* action) {
+  const CliOptions options = parse_options(args, 2);
+  ServiceClient client = ServiceClient::connect(service_endpoint(options));
+  Json request = Json::object();
+  request.set("op", Json("trace"));
+  request.set("action", Json(std::string(action)));
+  const Json response = client.request(request);
+  if (!response.get_bool("ok", false)) {
+    remote_error(response);
+  }
+  out << "tracing " << (response.get_bool("tracing", false) ? "started"
+                                                            : "stopped");
+  if (response.has("backends")) {
+    out << " on router + " << response.get_u64("backends", 0) << " backend(s)";
+  }
+  out << "\n";
+  return 0;
+}
+
+// Collect per-process trace buffers (router: every backend plus itself,
+// skew-corrected; single service: its own buffer) and stitch them into one
+// Chrome-trace file with a lane per process.
+int cmd_trace_merge(const std::vector<std::string>& args, std::ostream& out) {
+  const CliOptions options = parse_options(args, 2);
+  ServiceClient client = ServiceClient::connect(service_endpoint(options));
+  Json request = Json::object();
+  request.set("op", Json("trace"));
+  request.set("action", Json("collect"));
+  const Json response = client.request(request);
+  if (!response.get_bool("ok", false)) {
+    remote_error(response);
+  }
+  Json merged;
+  if (response.has("processes")) {
+    merged = merge_collect_response(response);
+  } else {
+    // Single-service endpoint: wrap its lone buffer as a one-process doc so
+    // the output is the same merged shape either way.
+    TraceProcessDoc doc;
+    doc.name = "service";
+    if (response.has("trace")) {
+      doc.trace = response.at("trace");
+    }
+    doc.epoch_us = response.get_number("epoch_us", 0.0);
+    merged = merge_traces({doc});
+  }
+  const std::size_t events =
+      merged.at("traceEvents").as_array().size();
+  if (options.trace_out.empty()) {
+    out << merged.dump() << "\n";
+    return 0;
+  }
+  std::ofstream file(options.trace_out);
+  if (!file) {
+    usage_error("cannot open trace output file '" + options.trace_out + "'");
+  }
+  file << merged.dump() << "\n";
+  out << "merged trace: " << events << " events written to "
+      << options.trace_out << "\n";
   return 0;
 }
 
@@ -762,9 +1036,15 @@ void print_usage(std::ostream& out) {
          "  submit     send a job to a running service\n"
          "  status     poll (or --wait for) a job; without --job, service stats\n"
          "  stats      metrics snapshot of a running service as one JSON line\n"
+         "             (--prom: Prometheus text exposition instead)\n"
+         "  top        refreshing terminal view over the stats fan-out\n"
          "  shutdown   stop a running service (or fleet router)\n"
          "  route      run the fleet router in front of N backend services\n"
          "  drain      stop routing new jobs to a backend (undrain reverses)\n"
+         "  trace-start  start distributed tracing (router: whole fleet)\n"
+         "  trace-stop   stop distributed tracing\n"
+         "  trace-merge  collect per-process buffers, stitch one Chrome trace\n"
+         "               (clock-skew corrected; --trace-out <file>, else stdout)\n"
          "  help       this text\n\n"
          "flags:\n"
          "  --circuit <spec>      named circuit (see below)\n"
@@ -799,7 +1079,10 @@ void print_usage(std::ostream& out) {
          "  --wait                submit/status: block until the job is done\n"
          "  --analyze             submit: accounting-only job (any qubit count)\n"
          "  --priority <p>        submit: low | normal | high (default normal)\n"
-         "  --tenant <name>       submit: fair-share identity at the router\n\n"
+         "  --tenant <name>       submit: fair-share identity at the router\n"
+         "  --prom                stats: Prometheus text format (scrapable)\n"
+         "  --interval <ms>       top: refresh period (default 1000)\n"
+         "  --iterations <n>      top: frames to draw (default 0 = forever)\n\n"
          "fleet router flags (route / drain / undrain):\n"
          "  --backend <ep>        backend endpoint (unix:/path or host:port);\n"
          "                        repeat for each backend. drain: the target\n"
@@ -851,6 +1134,18 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
     }
     if (command == "stats") {
       return cmd_stats(args, out);
+    }
+    if (command == "top") {
+      return cmd_top(args, out);
+    }
+    if (command == "trace-start") {
+      return cmd_trace_toggle(args, out, "start");
+    }
+    if (command == "trace-stop") {
+      return cmd_trace_toggle(args, out, "stop");
+    }
+    if (command == "trace-merge") {
+      return cmd_trace_merge(args, out);
     }
     if (command == "shutdown") {
       return cmd_shutdown(args, out);

@@ -1,0 +1,11 @@
+#pragma once
+
+// Build identity reported by the `stats` verb and the router's fleet view.
+// A plain constant (not a configure-time stamp) so builds stay reproducible
+// and tests can assert an exact value.
+
+namespace rqsim {
+
+inline constexpr const char* kVersion = "0.10.0";
+
+}  // namespace rqsim

@@ -1,0 +1,248 @@
+#include "report/prom.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace rqsim {
+
+namespace {
+
+/// Metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Registry names use dots
+/// ("service.job_exec_us"); dots and anything else invalid become '_'.
+std::string sanitize_metric(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    out += (alpha || (digit && i > 0)) ? c : '_';
+  }
+  return out;
+}
+
+/// Label values: backslash, double-quote and newline are escaped.
+std::string escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Integral values print without an exponent or trailing zeros so counter
+/// samples stay exact; everything else gets shortest-round-trip-ish %.10g.
+std::string format_number(double value) {
+  char buf[40];
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.10g", value);
+  }
+  return std::string(buf);
+}
+
+void emit_header(std::string& out, const std::string& name,
+                 const std::string& type, const std::string& help) {
+  out += "# HELP " + name + " " + help + "\n";
+  out += "# TYPE " + name + " " + type + "\n";
+}
+
+/// Upper bound of log2 bucket i as a Prometheus `le` value: bucket 0 holds
+/// exactly the zeros (le=0); bucket i>0 holds [2^(i-1), 2^i), whose
+/// integer samples are all <= 2^i - 1.
+double bucket_le(std::size_t i) {
+  return i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i)) - 1.0;
+}
+
+/// Cumulative-bucket rendering of a {count, sum, buckets} histogram json.
+void emit_histogram(std::string& out, const std::string& name,
+                    const std::string& labels, const Json& hist) {
+  std::vector<std::uint64_t> buckets;
+  if (hist.has("buckets") && hist.at("buckets").is_array()) {
+    for (const Json& b : hist.at("buckets").as_array()) {
+      buckets.push_back(b.as_u64());
+    }
+  }
+  while (!buckets.empty() && buckets.back() == 0) {
+    buckets.pop_back();
+  }
+  const std::string label_prefix = labels.empty() ? "{" : "{" + labels + ",";
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    out += name + "_bucket" + label_prefix + "le=\"" +
+           format_number(bucket_le(i)) + "\"} " + std::to_string(cumulative) +
+           "\n";
+  }
+  out += name + "_bucket" + label_prefix + "le=\"+Inf\"} " +
+         std::to_string(hist.get_u64("count", 0)) + "\n";
+  const std::string suffix = labels.empty() ? " " : "{" + labels + "} ";
+  out += name + "_sum" + suffix + std::to_string(hist.get_u64("sum", 0)) + "\n";
+  out += name + "_count" + suffix + std::to_string(hist.get_u64("count", 0)) +
+         "\n";
+}
+
+/// Summary rendering (quantile labels) of a latency histogram json that
+/// carries p50/p90/p99 snapshots.
+void emit_summary_samples(std::string& out, const std::string& name,
+                          const std::string& tenant, const Json& hist) {
+  const std::string tenant_label = "tenant=\"" + escape_label(tenant) + "\"";
+  constexpr const char* kQuantiles[][2] = {
+      {"0.5", "p50"}, {"0.9", "p90"}, {"0.99", "p99"}};
+  for (const auto& [quantile, field] : kQuantiles) {
+    out += name + "{" + tenant_label + ",quantile=\"" + quantile + "\"} " +
+           format_number(hist.get_number(field, 0.0)) + "\n";
+  }
+  out += name + "_sum{" + tenant_label + "} " +
+         std::to_string(hist.get_u64("sum", 0)) + "\n";
+  out += name + "_count{" + tenant_label + "} " +
+         std::to_string(hist.get_u64("count", 0)) + "\n";
+}
+
+}  // namespace
+
+std::string stats_to_prometheus(const Json& stats_response) {
+  std::string out;
+  out.reserve(1u << 14);
+
+  if (stats_response.has("build")) {
+    const Json& build = stats_response.at("build");
+    emit_header(out, "rqsim_build_info", "gauge",
+                "Build identity; constant 1 with a version label.");
+    out += "rqsim_build_info{version=\"" +
+           escape_label(build.get_string("version", "unknown")) + "\"} 1\n";
+    emit_header(out, "rqsim_uptime_ms", "gauge",
+                "Milliseconds since this process's service started.");
+    out += "rqsim_uptime_ms " +
+           format_number(build.get_number("uptime_ms", 0.0)) + "\n";
+  }
+
+  if (stats_response.has("stats") && stats_response.at("stats").is_object()) {
+    for (const auto& [field, value] : stats_response.at("stats").as_object()) {
+      if (!value.is_number()) {
+        continue;
+      }
+      const std::string name = "rqsim_service_" + sanitize_metric(field);
+      emit_header(out, name, "gauge", "Service counter '" + field + "'.");
+      out += name + " " + format_number(value.as_number()) + "\n";
+    }
+  }
+
+  if (stats_response.has("telemetry") &&
+      stats_response.at("telemetry").is_object()) {
+    for (const auto& [metric, value] :
+         stats_response.at("telemetry").as_object()) {
+      const std::string name = "rqsim_" + sanitize_metric(metric);
+      if (value.is_number()) {
+        emit_header(out, name, "counter", "Registry counter '" + metric + "'.");
+        out += name + " " + format_number(value.as_number()) + "\n";
+      } else if (value.is_object() && value.has("max")) {
+        emit_header(out, name, "gauge",
+                    "Registry max-gauge '" + metric + "' (max ever seen).");
+        out += name + " " + format_number(value.at("max").as_number()) + "\n";
+      } else if (value.is_object() && value.has("buckets")) {
+        emit_header(out, name, "histogram",
+                    "Registry log2 histogram '" + metric + "'.");
+        emit_histogram(out, name, "", value);
+      }
+    }
+  }
+
+  if (stats_response.has("slo") && stats_response.at("slo").is_object()) {
+    const Json& slo = stats_response.at("slo");
+    constexpr const char* kKinds[] = {"queue_us", "exec_us", "e2e_us"};
+    for (const char* kind : kKinds) {
+      const std::string name = "rqsim_slo_" + std::string(kind);
+      emit_header(out, name, "summary",
+                  "Per-tenant " + std::string(kind) +
+                      " latency quantiles; tenant \"_total\" aggregates "
+                      "all tenants.");
+      if (slo.has("tenants") && slo.at("tenants").is_object()) {
+        for (const auto& [tenant, tenant_slo] : slo.at("tenants").as_object()) {
+          if (tenant_slo.is_object() && tenant_slo.has(kind)) {
+            emit_summary_samples(out, name, tenant, tenant_slo.at(kind));
+          }
+        }
+      }
+      if (slo.has("total") && slo.at("total").is_object() &&
+          slo.at("total").has(kind)) {
+        emit_summary_samples(out, name, "_total", slo.at("total").at(kind));
+      }
+    }
+
+    emit_header(out, "rqsim_slo_exemplar_e2e_us", "gauge",
+                "Slowest jobs per tenant: end-to-end latency with job and "
+                "trace_id labels (join with the distributed trace).");
+    const auto emit_exemplars = [&out](const std::string& tenant,
+                                       const Json& tenant_slo) {
+      if (!tenant_slo.is_object() || !tenant_slo.has("exemplars") ||
+          !tenant_slo.at("exemplars").is_array()) {
+        return;
+      }
+      for (const Json& ex : tenant_slo.at("exemplars").as_array()) {
+        if (!ex.is_object()) {
+          continue;
+        }
+        out += "rqsim_slo_exemplar_e2e_us{tenant=\"" + escape_label(tenant) +
+               "\",job=\"" + std::to_string(ex.get_u64("job", 0)) +
+               "\",trace_id=\"" + escape_label(ex.get_string("trace_id", "")) +
+               "\"} " + std::to_string(ex.get_u64("e2e_us", 0)) + "\n";
+      }
+    };
+    if (slo.has("tenants") && slo.at("tenants").is_object()) {
+      for (const auto& [tenant, tenant_slo] : slo.at("tenants").as_object()) {
+        emit_exemplars(tenant, tenant_slo);
+      }
+    }
+    if (slo.has("total")) {
+      emit_exemplars("_total", slo.at("total"));
+    }
+  }
+
+  if (stats_response.has("fleet") && stats_response.at("fleet").is_object()) {
+    const Json& fleet = stats_response.at("fleet");
+    if (fleet.has("backends") && fleet.at("backends").is_array()) {
+      emit_header(out, "rqsim_backend_up", "gauge",
+                  "1 when the backend answered the stats fan-out.");
+      emit_header(out, "rqsim_backend_queued_now", "gauge",
+                  "Jobs queued on the backend right now.");
+      emit_header(out, "rqsim_backend_inflight", "gauge",
+                  "Router-tracked jobs in flight on the backend.");
+      for (const Json& backend : fleet.at("backends").as_array()) {
+        if (!backend.is_object()) {
+          continue;
+        }
+        const std::string label =
+            "{backend=\"" + escape_label(backend.get_string("endpoint", "")) +
+            "\"} ";
+        out += "rqsim_backend_up" + label +
+               (backend.get_bool("reachable", false) ? "1" : "0") + "\n";
+        out += "rqsim_backend_queued_now" + label +
+               std::to_string(backend.get_u64("queued_now", 0)) + "\n";
+        out += "rqsim_backend_inflight" + label +
+               std::to_string(backend.get_u64("inflight", 0)) + "\n";
+      }
+    }
+    if (fleet.has("tenants") && fleet.at("tenants").is_object()) {
+      emit_header(out, "rqsim_tenant_inflight", "gauge",
+                  "Fair-share occupancy: jobs in flight per tenant.");
+      for (const auto& [tenant, entry] : fleet.at("tenants").as_object()) {
+        out += "rqsim_tenant_inflight{tenant=\"" + escape_label(tenant) +
+               "\"} " + std::to_string(entry.get_u64("inflight", 0)) + "\n";
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace rqsim

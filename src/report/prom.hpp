@@ -1,0 +1,21 @@
+#pragma once
+
+// Prometheus text-format exposition of a `stats` response (single service
+// or router fleet view). Renders build info, service counters, every
+// registry metric (log2 histograms as cumulative `_bucket{le=...}` series),
+// and the per-tenant SLO layer as summaries with quantile labels plus
+// slow-job exemplar gauges carrying trace ids — everything a scraper needs
+// to alert on tail latency and jump to the offending trace. Pure JSON-to-
+// text; the CLI's `stats --prom` is a thin wrapper.
+
+#include <string>
+
+#include "service/json.hpp"
+
+namespace rqsim {
+
+/// Render a `stats` response as Prometheus text exposition format
+/// (version 0.0.4: `# HELP` / `# TYPE` comments, one sample per line).
+std::string stats_to_prometheus(const Json& stats_response);
+
+}  // namespace rqsim

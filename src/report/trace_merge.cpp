@@ -1,0 +1,91 @@
+#include "report/trace_merge.hpp"
+
+namespace rqsim {
+
+Json merge_traces(const std::vector<TraceProcessDoc>& docs) {
+  double origin_us = 0.0;
+  bool have_origin = false;
+  for (const TraceProcessDoc& doc : docs) {
+    if (!have_origin || doc.epoch_us < origin_us) {
+      origin_us = doc.epoch_us;
+      have_origin = true;
+    }
+  }
+
+  Json events = Json::array();
+  std::uint64_t pid = 0;
+  for (const TraceProcessDoc& doc : docs) {
+    ++pid;
+    {
+      Json meta = Json::object();
+      meta.set("ph", Json(std::string("M")));
+      meta.set("pid", Json(pid));
+      meta.set("tid", Json(std::uint64_t{0}));
+      meta.set("name", Json(std::string("process_name")));
+      Json args = Json::object();
+      args.set("name", Json(doc.name));
+      meta.set("args", std::move(args));
+      events.push_back(std::move(meta));
+    }
+    // Keep backends sorted in input order when Perfetto sorts by pid.
+    {
+      Json meta = Json::object();
+      meta.set("ph", Json(std::string("M")));
+      meta.set("pid", Json(pid));
+      meta.set("tid", Json(std::uint64_t{0}));
+      meta.set("name", Json(std::string("process_sort_index")));
+      Json args = Json::object();
+      args.set("sort_index", Json(pid));
+      meta.set("args", std::move(args));
+      events.push_back(std::move(meta));
+    }
+
+    if (!doc.trace.is_object() || !doc.trace.has("traceEvents") ||
+        !doc.trace.at("traceEvents").is_array()) {
+      continue;
+    }
+    const double shift_us = doc.epoch_us - origin_us;
+    for (const Json& event : doc.trace.at("traceEvents").as_array()) {
+      if (!event.is_object()) {
+        continue;
+      }
+      const std::string phase = event.get_string("ph", "");
+      if (phase == "M" && event.get_string("name", "") == "process_name") {
+        continue;  // regenerated above from doc.name
+      }
+      Json copy = event;
+      copy.set("pid", Json(pid));
+      if (phase != "M") {
+        copy.set("ts", Json(event.get_number("ts", 0.0) + shift_us));
+      }
+      events.push_back(std::move(copy));
+    }
+  }
+
+  Json merged = Json::object();
+  merged.set("displayTimeUnit", Json(std::string("ms")));
+  merged.set("traceEvents", std::move(events));
+  return merged;
+}
+
+Json merge_collect_response(const Json& collect_response) {
+  std::vector<TraceProcessDoc> docs;
+  if (collect_response.is_object() && collect_response.has("processes") &&
+      collect_response.at("processes").is_array()) {
+    for (const Json& process : collect_response.at("processes").as_array()) {
+      if (!process.is_object()) {
+        continue;
+      }
+      TraceProcessDoc doc;
+      doc.name = process.get_string("name", "process");
+      if (process.has("trace")) {
+        doc.trace = process.at("trace");
+      }
+      doc.epoch_us = process.get_number("epoch_us", 0.0);
+      docs.push_back(std::move(doc));
+    }
+  }
+  return merge_traces(docs);
+}
+
+}  // namespace rqsim

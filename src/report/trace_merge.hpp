@@ -1,0 +1,46 @@
+#pragma once
+
+// Stitch per-process Chrome-trace documents (the `trace collect` verb's
+// output) into one viewable trace: each process becomes its own pid with a
+// process_name metadata record (one lane group per backend in Perfetto),
+// and every event timestamp is shifted from "µs since that process's trace
+// epoch" onto a shared timeline using the per-process epochs the router
+// already expressed in its own clock domain (ping-measured skew,
+// router/router.cpp handle_trace). Pure Json-to-Json data transformation —
+// usable by the CLI, tests, and offline tooling alike.
+
+#include <string>
+#include <vector>
+
+#include "service/json.hpp"
+
+namespace rqsim {
+
+/// One process's contribution to a merged trace.
+struct TraceProcessDoc {
+  /// Process lane name ("router", "backend tcp:127.0.0.1:7101", ...).
+  std::string name;
+
+  /// Chrome-trace document ({"traceEvents":[...]}), timestamps relative to
+  /// this process's trace epoch.
+  Json trace;
+
+  /// This process's trace epoch on the *shared* clock (the collector's),
+  /// microseconds. Differences between epochs place the processes
+  /// relative to each other; the earliest epoch becomes merged time 0.
+  double epoch_us = 0.0;
+};
+
+/// Merge per-process documents into one Chrome-trace document. Processes
+/// are assigned pids 1..N in input order; per-process process_name
+/// metadata is regenerated from `name` (any incoming process_name records
+/// are dropped), other metadata (thread_name, thread_sort_index) is kept,
+/// and non-metadata event timestamps are shifted by the process's epoch
+/// offset from the earliest epoch.
+Json merge_traces(const std::vector<TraceProcessDoc>& docs);
+
+/// Convenience: build the doc list from a router `trace collect` response
+/// ({"processes":[{"name":...,"trace":...,"epoch_us":...},...]}) and merge.
+Json merge_collect_response(const Json& collect_response);
+
+}  // namespace rqsim

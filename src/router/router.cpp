@@ -7,10 +7,14 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/version.hpp"
 #include "router/ring.hpp"
 #include "service/protocol.hpp"
 #include "service/socket_util.hpp"
+#include "telemetry/clock.hpp"
+#include "telemetry/slo.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace rqsim {
 
@@ -177,6 +181,7 @@ Json FleetRouter::handle(const Json& request) {
       response.set("ok", Json(true));
       response.set("pong", Json(true));
       response.set("router", Json(true));
+      response.set("clock_us", Json(telemetry::now_ns() / 1000));
       return response;
     }
     if (op == "submit") {
@@ -187,6 +192,9 @@ Json FleetRouter::handle(const Json& request) {
     }
     if (op == "stats") {
       return handle_stats();
+    }
+    if (op == "trace") {
+      return handle_trace(request);
     }
     if (op == "drain") {
       return handle_drain(request, /*draining=*/true);
@@ -210,6 +218,20 @@ Json FleetRouter::handle(const Json& request) {
 }
 
 Json FleetRouter::handle_submit(const Json& request) {
+  // Admission is where a job's fleet journey begins, so the trace id is
+  // minted here (unless the client brought one) and every hop after this —
+  // the forwarded submit, the backend's queue wait, batch planning, tree
+  // execution — carries the same id.
+  std::uint64_t trace_id =
+      telemetry::trace_id_from_hex(request.get_string("trace_id", ""));
+  if (trace_id == 0) {
+    trace_id = telemetry::mint_trace_id();
+  }
+  telemetry::TraceContext trace_ctx(trace_id);
+  RQSIM_SPAN("router.admit");
+  Json traced_request = request;
+  traced_request.set("trace_id", Json(telemetry::trace_id_to_hex(trace_id)));
+
   const std::string tenant = request.get_string("tenant", "");
   const AdmissionDecision decision = admission_.try_admit(tenant);
   if (!decision.admitted) {
@@ -236,7 +258,7 @@ Json FleetRouter::handle_submit(const Json& request) {
     try {
       ServiceClient client =
           ServiceClient::connect(backend, config_.backend_client);
-      response = client.request(request);
+      response = client.request(traced_request);
     } catch (const Error&) {
       pool_.report_failure(backend);
       continue;  // next backend in ring preference inherits the key
@@ -262,7 +284,9 @@ Json FleetRouter::handle_submit(const Json& request) {
       job.backend_job = backend_job;
       job.key = key;
       job.tenant = tenant;
-      job.submit_request = request;
+      // Failover resubmits reuse the traced form, so a re-homed job keeps
+      // its original trace id.
+      job.submit_request = traced_request;
       jobs_.emplace(router_job, std::move(job));
     }
     pool_.note_routed(backend);
@@ -472,7 +496,8 @@ Json FleetRouter::handle_stats() {
     totals.set(field, Json(std::uint64_t{0}));
   }
   telemetry::MetricsSnapshot fleet_metrics;
-  std::map<std::string, Json> backend_stats;
+  telemetry::SloTracker fleet_slo;
+  std::map<std::string, Json> backend_responses;
 
   for (const std::string& endpoint : pool_.endpoints()) {
     Json response;
@@ -498,7 +523,13 @@ Json FleetRouter::handle_stats() {
       telemetry::merge_snapshot(
           fleet_metrics, metrics_snapshot_from_json(response.at("telemetry")));
     }
-    backend_stats.emplace(endpoint, body);
+    // Per-tenant SLO state folds the same way the metrics registry does:
+    // raw log2 buckets add, quantiles are recomputed over the merged
+    // buckets (a p99 of p99s would be meaningless).
+    if (response.has("slo")) {
+      fleet_slo.merge(slo_from_json(response.at("slo")));
+    }
+    backend_responses.emplace(endpoint, std::move(response));
   }
 
   Json backends = Json::array();
@@ -514,12 +545,26 @@ Json FleetRouter::handle_stats() {
     entry.set("jobs_routed", Json(info.jobs_routed));
     entry.set("jobs_finished", Json(info.jobs_finished));
     entry.set("inflight", Json(static_cast<std::uint64_t>(info.inflight)));
-    const auto it = backend_stats.find(info.endpoint);
-    entry.set("reachable", Json(it != backend_stats.end()));
-    if (it != backend_stats.end()) {
-      entry.set("queued_now", Json(it->second.get_u64("queued_now", 0)));
-      entry.set("running_now", Json(it->second.get_u64("running_now", 0)));
-      entry.set("completed", Json(it->second.get_u64("completed", 0)));
+    const auto it = backend_responses.find(info.endpoint);
+    entry.set("reachable", Json(it != backend_responses.end()));
+    if (it != backend_responses.end()) {
+      const Json& body = it->second.at("stats");
+      entry.set("queued_now", Json(body.get_u64("queued_now", 0)));
+      entry.set("running_now", Json(body.get_u64("running_now", 0)));
+      entry.set("completed", Json(body.get_u64("completed", 0)));
+      if (it->second.has("build")) {
+        const Json& build = it->second.at("build");
+        entry.set("version", Json(build.get_string("version", "")));
+        entry.set("uptime_ms", Json(build.get_number("uptime_ms", 0.0)));
+      }
+      // Headline tail latency per backend: the total (all-tenant) e2e p99
+      // as this backend reported it.
+      if (it->second.has("slo") && it->second.at("slo").has("total")) {
+        const Json& total = it->second.at("slo").at("total");
+        if (total.has("e2e_us")) {
+          entry.set("e2e_p99_us", Json(total.at("e2e_us").get_number("p99", 0.0)));
+        }
+      }
     }
     backends.push_back(std::move(entry));
   }
@@ -563,7 +608,100 @@ Json FleetRouter::handle_stats() {
   response.set("ok", Json(true));
   response.set("stats", std::move(totals));
   response.set("telemetry", metrics_snapshot_to_json(fleet_metrics));
+  response.set("slo", slo_to_json(fleet_slo));
+  Json build = Json::object();
+  build.set("version", Json(kVersion));
+  build.set("uptime_ms", Json(telemetry::process_uptime_ms()));
+  response.set("build", std::move(build));
   response.set("fleet", std::move(fleet));
+  return response;
+}
+
+Json FleetRouter::handle_trace(const Json& request) {
+  const std::string action = request.get_string("action", "collect");
+  if (action != "start" && action != "stop" && action != "collect") {
+    return error_response("bad_request", "unknown trace action '" + action +
+                                             "' (start | stop | collect)");
+  }
+
+  if (action == "start" || action == "stop") {
+    if (action == "start") {
+      telemetry::start_tracing();
+    } else {
+      telemetry::stop_tracing();
+    }
+    Json forward = Json::object();
+    forward.set("op", Json(std::string("trace")));
+    forward.set("action", Json(action));
+    std::uint64_t backends_ok = 0;
+    for (const std::string& endpoint : pool_.endpoints()) {
+      try {
+        ServiceClient client =
+            ServiceClient::connect(endpoint, config_.backend_client);
+        if (client.request(forward).get_bool("ok", false)) {
+          ++backends_ok;
+        }
+      } catch (const Error&) {
+        pool_.report_failure(endpoint);
+      }
+    }
+    Json response = Json::object();
+    response.set("ok", Json(true));
+    response.set("tracing", Json(action == "start"));
+    response.set("backends", Json(backends_ok));
+    return response;
+  }
+
+  // collect: pull every process's buffers and express each epoch in the
+  // router's clock domain so trace-merge can put them on one timeline.
+  telemetry::stop_tracing();
+  Json processes = Json::array();
+  {
+    Json own = Json::object();
+    own.set("name", Json(std::string("router")));
+    own.set("trace", Json::parse(telemetry::trace_to_json()));
+    own.set("epoch_us", Json(telemetry::trace_epoch_ns() / 1000));
+    own.set("skew_us", Json(0.0));
+    processes.push_back(std::move(own));
+  }
+  Json collect = Json::object();
+  collect.set("op", Json(std::string("trace")));
+  collect.set("action", Json(std::string("collect")));
+  Json ping = Json::object();
+  ping.set("op", Json(std::string("ping")));
+  for (const std::string& endpoint : pool_.endpoints()) {
+    try {
+      ServiceClient client =
+          ServiceClient::connect(endpoint, config_.backend_client);
+      // Clock-offset estimate: the backend's clock sample sits (on average)
+      // at the midpoint of the ping round trip on the router's clock, so
+      // skew = remote_sample - midpoint. Monotonic clocks of different
+      // processes have unrelated epochs; this is what lines them up.
+      const double t0 = static_cast<double>(telemetry::now_ns()) / 1000.0;
+      const Json pong = client.request(ping);
+      const double t1 = static_cast<double>(telemetry::now_ns()) / 1000.0;
+      const double remote = pong.get_number("clock_us", 0.0);
+      const double skew_us = remote - (t0 + t1) / 2.0;
+      Json collected = client.request(collect);
+      if (!collected.get_bool("ok", false) || !collected.has("trace")) {
+        continue;
+      }
+      Json entry = Json::object();
+      entry.set("name", Json("backend " + endpoint));
+      entry.set("trace", collected.at("trace"));
+      entry.set("epoch_us",
+                Json(collected.get_number("epoch_us", 0.0) - skew_us));
+      entry.set("skew_us", Json(skew_us));
+      entry.set("dropped_events", Json(collected.get_u64("dropped_events", 0)));
+      processes.push_back(std::move(entry));
+    } catch (const Error&) {
+      pool_.report_failure(endpoint);
+    }
+  }
+  Json response = Json::object();
+  response.set("ok", Json(true));
+  response.set("tracing", Json(false));
+  response.set("processes", std::move(processes));
   return response;
 }
 

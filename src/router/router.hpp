@@ -110,6 +110,11 @@ class FleetRouter {
   Json handle_job_op(const Json& request, const std::string& op);
   Json handle_stats();
   Json handle_drain(const Json& request, bool draining);
+  /// Fan out trace start/stop to every backend; `collect` additionally
+  /// pulls each backend's Chrome-trace buffer, measures its clock offset
+  /// with a bracketed ping, and returns a "processes" array whose epochs
+  /// are corrected into the router's clock domain (trace-merge input).
+  Json handle_trace(const Json& request);
 
   /// Re-home a job whose backend failed at `failed_generation`. Returns
   /// true when the job is routed again (or was concurrently healed).

@@ -140,10 +140,17 @@ class TreeExecutor {
     if (num_workers_ == 1) {
       worker_loop(0);
     } else {
+      // Fresh pool threads have an empty trace context; hand them the
+      // spawning thread's (the service worker's, carrying the batch's
+      // trace id) so their spans join the job's distributed trace.
+      const std::uint64_t trace_id = telemetry::current_trace_id();
       std::vector<std::thread> threads;
       threads.reserve(num_workers_);
       for (std::size_t w = 0; w < num_workers_; ++w) {
-        threads.emplace_back(&TreeExecutor::worker_loop, this, w);
+        threads.emplace_back([this, w, trace_id] {
+          telemetry::set_trace_context(trace_id);
+          worker_loop(w);
+        });
       }
       for (std::thread& t : threads) {
         t.join();

@@ -1,6 +1,7 @@
 #include "service/batch.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "common/error.hpp"
@@ -10,6 +11,7 @@
 #include "sched/tree.hpp"
 #include "sched/tree_exec.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 #include "trial/generator.hpp"
 #include "verify/plan_verifier.hpp"
 
@@ -126,6 +128,13 @@ BatchExecution execute_batch(const std::vector<const JobSpec*>& jobs,
   ScheduleOptions options;
   options.max_states = lead.config.max_states;
 
+  // Planning span: trial generation, per-job reorder, cross-job merge, tree
+  // build and proof — everything before amplitudes move. An optional<> so
+  // the span can close exactly where execution starts without a scope block
+  // around variables the execution phase still needs.
+  std::optional<telemetry::TraceSpan> plan_span;
+  plan_span.emplace("service.batch_plan");
+
   // Per job, replicate run_noisy's setup exactly: seed the Rng, generate
   // the trial set, assign the per-trial measurement seeds, reorder. The
   // seeds travel with the trials through the merge, so sampling is
@@ -197,6 +206,7 @@ BatchExecution execute_batch(const std::vector<const JobSpec*>& jobs,
     verify_tree_plan_or_throw(ctx, merged, tree, options, "execute_batch");
   }
 
+  plan_span.reset();
   TreeExecConfig exec_config;
   exec_config.num_threads = num_threads;
   exec_config.max_states = options.max_states;

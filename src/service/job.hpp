@@ -52,6 +52,13 @@ struct JobSpec {
   /// (ServiceStats::merged_cross_tenant_*), and the fleet router reports
   /// their hit rate as the headline sharding metric.
   std::string tenant;
+
+  /// Distributed-trace id (0 = untraced). Minted by the router at admission
+  /// (or by the client) and carried over the JSONL protocol; spans recorded
+  /// while this job executes are tagged with it. Excluded from
+  /// batch_fingerprint/batch_compatible like tenant: tracing identity never
+  /// affects batchability.
+  std::uint64_t trace_id = 0;
 };
 
 /// Terminal outcome of a job (valid once the state is kDone / kFailed /
@@ -70,6 +77,9 @@ struct JobResult {
   /// Wall-clock milliseconds spent waiting in the queue / executing.
   double queue_ms = 0.0;
   double exec_ms = 0.0;
+
+  /// Trace id the job ran under (copied from JobSpec; 0 = untraced).
+  std::uint64_t trace_id = 0;
 
   /// Batch attribution. batch_size == 1 means the job ran standalone and
   /// batch_ops == solo_ops == run.ops. In a merged batch, batch_ops is the

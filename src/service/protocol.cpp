@@ -2,6 +2,10 @@
 
 #include "common/bits.hpp"
 #include "common/error.hpp"
+#include "common/version.hpp"
+#include "telemetry/clock.hpp"
+#include "telemetry/slo.hpp"
+#include "telemetry/trace.hpp"
 
 namespace rqsim {
 
@@ -41,7 +45,114 @@ JobPriority priority_from_string(const std::string& priority) {
   throw Error("unknown priority '" + priority + "' (low | normal | high)");
 }
 
+/// The process's monotonic clock in microseconds. Wire clocks are µs (not
+/// ns) because Json numbers are doubles: µs stay exactly representable for
+/// centuries of uptime, ns only for ~104 days.
+std::uint64_t clock_us_now() { return telemetry::now_ns() / 1000; }
+
+void set_quantiles(Json& hist, const std::vector<std::uint64_t>& buckets,
+                   std::uint64_t count) {
+  hist.set("p50", Json(telemetry::histogram_quantile(buckets, count, 0.50)));
+  hist.set("p90", Json(telemetry::histogram_quantile(buckets, count, 0.90)));
+  hist.set("p99", Json(telemetry::histogram_quantile(buckets, count, 0.99)));
+}
+
+Json latency_hist_to_json(const telemetry::LatencyHistogram& hist) {
+  Json json = Json::object();
+  json.set("count", Json(hist.count));
+  json.set("sum", Json(hist.sum));
+  Json buckets = Json::array();
+  for (const std::uint64_t bucket : hist.buckets) {
+    buckets.push_back(Json(bucket));
+  }
+  json.set("buckets", std::move(buckets));
+  set_quantiles(json, hist.buckets, hist.count);
+  return json;
+}
+
+telemetry::LatencyHistogram latency_hist_from_json(const Json& json) {
+  telemetry::LatencyHistogram hist;
+  if (!json.is_object()) {
+    return hist;
+  }
+  hist.count = json.get_u64("count", 0);
+  hist.sum = json.get_u64("sum", 0);
+  hist.buckets.clear();
+  if (json.has("buckets")) {
+    for (const Json& bucket : json.at("buckets").as_array()) {
+      hist.buckets.push_back(bucket.as_u64());
+    }
+  }
+  hist.buckets.resize(telemetry::kHistogramBuckets, 0);
+  return hist;
+}
+
+Json tenant_slo_to_json(const telemetry::TenantSlo& slo) {
+  Json json = Json::object();
+  json.set("queue_us", latency_hist_to_json(slo.queue_us));
+  json.set("exec_us", latency_hist_to_json(slo.exec_us));
+  json.set("e2e_us", latency_hist_to_json(slo.e2e_us));
+  Json exemplars = Json::array();
+  for (const telemetry::SloExemplar& ex : slo.exemplars) {
+    Json entry = Json::object();
+    entry.set("job", Json(ex.job_id));
+    entry.set("trace_id", Json(telemetry::trace_id_to_hex(ex.trace_id)));
+    entry.set("e2e_us", Json(ex.e2e_us));
+    exemplars.push_back(std::move(entry));
+  }
+  json.set("exemplars", std::move(exemplars));
+  return json;
+}
+
+telemetry::TenantSlo tenant_slo_from_json(const Json& json) {
+  telemetry::TenantSlo slo;
+  if (!json.is_object()) {
+    return slo;
+  }
+  if (json.has("queue_us")) slo.queue_us = latency_hist_from_json(json.at("queue_us"));
+  if (json.has("exec_us")) slo.exec_us = latency_hist_from_json(json.at("exec_us"));
+  if (json.has("e2e_us")) slo.e2e_us = latency_hist_from_json(json.at("e2e_us"));
+  if (json.has("exemplars") && json.at("exemplars").is_array()) {
+    for (const Json& entry : json.at("exemplars").as_array()) {
+      if (!entry.is_object()) continue;
+      telemetry::SloExemplar ex;
+      ex.job_id = entry.get_u64("job", 0);
+      ex.trace_id = telemetry::trace_id_from_hex(entry.get_string("trace_id", ""));
+      ex.e2e_us = entry.get_u64("e2e_us", 0);
+      slo.exemplars.push_back(ex);
+    }
+  }
+  return slo;
+}
+
 }  // namespace
+
+Json slo_to_json(const telemetry::SloTracker& slo) {
+  Json json = Json::object();
+  Json tenants = Json::object();
+  for (const auto& [name, tenant_slo] : slo.tenants) {
+    tenants.set(name, tenant_slo_to_json(tenant_slo));
+  }
+  json.set("tenants", std::move(tenants));
+  json.set("total", tenant_slo_to_json(slo.total));
+  return json;
+}
+
+telemetry::SloTracker slo_from_json(const Json& json) {
+  telemetry::SloTracker slo;
+  if (!json.is_object()) {
+    return slo;
+  }
+  if (json.has("tenants") && json.at("tenants").is_object()) {
+    for (const auto& [name, tenant_json] : json.at("tenants").as_object()) {
+      slo.tenants[name] = tenant_slo_from_json(tenant_json);
+    }
+  }
+  if (json.has("total")) {
+    slo.total = tenant_slo_from_json(json.at("total"));
+  }
+  return slo;
+}
 
 Json oversized_line_error() {
   return error_response("oversized_line",
@@ -95,6 +206,9 @@ Json make_submit_request(const WorkloadSpec& workload, const SubmitParams& param
   if (!params.tenant.empty()) {
     request.set("tenant", Json(params.tenant));
   }
+  if (!params.trace_id.empty()) {
+    request.set("trace_id", Json(params.trace_id));
+  }
   return request;
 }
 
@@ -110,6 +224,7 @@ Json metrics_snapshot_to_json(const telemetry::MetricsSnapshot& snapshot) {
         buckets.push_back(Json(bucket));
       }
       hist.set("buckets", std::move(buckets));
+      set_quantiles(hist, metric.buckets, metric.count);
       json.set(metric.name, std::move(hist));
     } else if (metric.kind == telemetry::MetricKind::kMaxGauge) {
       Json gauge = Json::object();
@@ -160,6 +275,9 @@ Json job_result_to_json(const JobResult& result, std::size_t num_measured) {
   json.set("mean_errors_per_trial", Json(result.run.trial_stats.mean_errors));
   json.set("queue_ms", Json(result.queue_ms));
   json.set("exec_ms", Json(result.exec_ms));
+  if (result.trace_id != 0) {
+    json.set("trace_id", Json(telemetry::trace_id_to_hex(result.trace_id)));
+  }
   json.set("batch_size", Json(result.batch_size));
   json.set("batch_ops", Json(result.batch_ops));
   json.set("solo_ops", Json(result.solo_ops));
@@ -219,6 +337,10 @@ Json ProtocolHandler::handle(const Json& request) {
       Json response = Json::object();
       response.set("ok", Json(true));
       response.set("pong", Json(true));
+      // Monotonic clock sample: callers bracket the ping with their own
+      // clock reads to estimate this process's clock offset (trace-merge
+      // skew correction).
+      response.set("clock_us", Json(clock_us_now()));
       return response;
     }
     if (op == "submit") {
@@ -265,7 +387,40 @@ Json ProtocolHandler::handle(const Json& request) {
       // compiled out or disabled): registry counters, gauges, histograms.
       response.set("telemetry",
                    metrics_snapshot_to_json(telemetry::snapshot_metrics()));
+      response.set("slo", slo_to_json(service_.slo_snapshot()));
+      Json build = Json::object();
+      build.set("version", Json(kVersion));
+      build.set("uptime_ms", Json(telemetry::process_uptime_ms()));
+      response.set("build", std::move(build));
       return response;
+    }
+    if (op == "trace") {
+      const std::string action = request.get_string("action", "collect");
+      Json response = Json::object();
+      response.set("ok", Json(true));
+      if (action == "start") {
+        telemetry::start_tracing();
+        response.set("tracing", Json(true));
+        return response;
+      }
+      if (action == "stop") {
+        telemetry::stop_tracing();
+        response.set("tracing", Json(false));
+        return response;
+      }
+      if (action == "collect") {
+        // Collect implies stop: export expects quiescent buffers, and a
+        // registry still admitting events would race the serialization.
+        telemetry::stop_tracing();
+        response.set("tracing", Json(false));
+        response.set("trace", Json::parse(telemetry::trace_to_json()));
+        response.set("epoch_us", Json(telemetry::trace_epoch_ns() / 1000));
+        response.set("clock_us", Json(clock_us_now()));
+        response.set("dropped_events", Json(telemetry::trace_dropped_events()));
+        return response;
+      }
+      return error_response("bad_request", "unknown trace action '" + action +
+                                               "' (start | stop | collect)");
     }
     if (op == "shutdown") {
       {
@@ -308,10 +463,18 @@ Json ProtocolHandler::handle_submit(const Json& request) {
     spec.analyze_only = request.get_bool("analyze", false);
     spec.priority = priority_from_string(request.get_string("priority", "normal"));
     spec.tenant = request.get_string("tenant", "");
+    // Propagated id (router / client) or minted here: every accepted job
+    // has a trace identity, whether or not anyone is recording spans.
+    spec.trace_id =
+        telemetry::trace_id_from_hex(request.get_string("trace_id", ""));
+    if (spec.trace_id == 0) {
+      spec.trace_id = telemetry::mint_trace_id();
+    }
   } catch (const Error& e) {
     return error_response("invalid", e.what());
   }
 
+  const std::uint64_t trace_id = spec.trace_id;
   const SubmitOutcome outcome = service_.try_submit(std::move(spec));
   switch (outcome.status) {
     case SubmitStatus::kAccepted: {
@@ -323,6 +486,7 @@ Json ProtocolHandler::handle_submit(const Json& request) {
       response.set("ok", Json(true));
       response.set("job", Json(outcome.job_id));
       response.set("state", Json("queued"));
+      response.set("trace_id", Json(telemetry::trace_id_to_hex(trace_id)));
       return response;
     }
     case SubmitStatus::kQueueFull:

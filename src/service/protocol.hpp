@@ -11,7 +11,16 @@
 //   {"op":"wait","job":7}                          (status, but blocks until terminal)
 //   {"op":"cancel","job":7}                        {"ok":true,"cancelled":true}
 //   {"op":"stats"}                                 {"ok":true,"stats":{...}}
+//   {"op":"trace","action":"start|stop|collect"}   {"ok":true,"tracing":...}
 //   {"op":"shutdown"}                              {"ok":true,"stopping":true}
+//
+// Observability: ping responses carry "clock_us" (this process's monotonic
+// clock) so a caller can measure clock skew; submit responses echo the
+// job's "trace_id"; `trace collect` stops tracing and returns the buffered
+// Chrome-trace document plus the trace epoch, for `rqsim trace-merge` to
+// stitch into one fleet-wide file. `stats` responses add "build"
+// (version + uptime) and "slo" (per-tenant latency histograms with
+// p50/p90/p99 and slow-job exemplars).
 //
 // Error codes: "bad_request" (malformed JSON / unknown op / bad field),
 // "invalid" (spec failed validation), "queue_full" (backpressure — the
@@ -51,6 +60,13 @@ namespace rqsim {
 /// newline (service/socket_util.hpp).
 inline constexpr std::size_t kMaxLineBytes = 1 << 20;  // 1 MiB
 
+/// Response-side bound used by ServiceClient. Responses are trusted (we
+/// asked this peer) and can legitimately dwarf any request: a `trace
+/// collect` reply embeds a whole Chrome-trace document (up to 64k events
+/// per recording thread). Bounded anyway so a corrupt peer cannot balloon
+/// memory without limit.
+inline constexpr std::size_t kMaxResponseLineBytes = 256u << 20;  // 256 MiB
+
 /// Canonical verb lists of the wire protocol. These are the source of truth
 /// the rqsim-analyze protocol-exhaustiveness pass checks dispatch against:
 /// every verb here must have an `op == "<verb>"` comparison in
@@ -58,10 +74,10 @@ inline constexpr std::size_t kMaxLineBytes = 1 << 20;  // 1 MiB
 /// dispatcher (kRouterVerbs, which speaks the same protocol plus the
 /// drain/undrain fleet controls).
 inline constexpr const char* kServiceVerbs[] = {
-    "ping", "submit", "status", "wait", "cancel", "stats", "shutdown"};
+    "ping", "submit", "status", "wait", "cancel", "stats", "trace", "shutdown"};
 inline constexpr const char* kRouterVerbs[] = {
-    "ping",  "submit",   "status", "wait",  "cancel",
-    "stats", "shutdown", "drain",  "undrain"};
+    "ping",  "submit", "status",   "wait",  "cancel",
+    "stats", "trace",  "shutdown", "drain", "undrain"};
 
 /// Per-submit run parameters carried next to the workload description.
 struct SubmitParams {
@@ -79,6 +95,11 @@ struct SubmitParams {
   /// results, fewer matvec ops.
   bool frames = false;
   std::string tenant;  // fair-share identity; empty = anonymous
+
+  /// Distributed-trace id in lower-case hex; empty = let the receiving
+  /// process mint one. The router mints at admission and forwards the same
+  /// id to the backend so both processes' spans share it.
+  std::string trace_id;
 };
 
 Json workload_to_json(const WorkloadSpec& spec);
@@ -102,6 +123,17 @@ Json metrics_snapshot_to_json(const telemetry::MetricsSnapshot& snapshot);
 /// numbers, max-gauges as {"max": v}, histograms as {count, sum, buckets},
 /// so every kind folds with its own rule after the round trip.
 telemetry::MetricsSnapshot metrics_snapshot_from_json(const Json& json);
+
+/// Serialize per-tenant SLO state: each tenant (plus the "total" aggregate)
+/// as {queue_us, exec_us, e2e_us} latency histograms — raw log2 buckets so
+/// the router can re-merge across backends, plus p50/p90/p99 snapshots —
+/// and a slow-job "exemplars" list carrying job ids and hex trace ids.
+Json slo_to_json(const telemetry::SloTracker& slo);
+
+/// Inverse of slo_to_json (quantile fields are recomputed, not parsed);
+/// tolerates missing/unknown fields the same way metrics_snapshot_from_json
+/// does so fleets can mix protocol versions.
+telemetry::SloTracker slo_from_json(const Json& json);
 
 /// The response for a frame the handler never saw because it exceeded
 /// kMaxLineBytes. Shared by SimServer and the fleet router.

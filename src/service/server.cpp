@@ -223,7 +223,7 @@ Json ServiceClient::request(const Json& request_json) {
   write_all(fd_, request_json.dump() + "\n");
   std::string line;
   const ReadLineStatus status =
-      read_line_bounded(fd_, read_buffer_, line, kMaxLineBytes);
+      read_line_bounded(fd_, read_buffer_, line, kMaxResponseLineBytes);
   RQSIM_CHECK(status != ReadLineStatus::kTimeout,
               "client: response timed out");
   RQSIM_CHECK(status == ReadLineStatus::kLine,

@@ -36,6 +36,9 @@ std::uint64_t to_us(double ms) {
 SimService::SimService(ServiceConfig config) : config_(config) {
   RQSIM_CHECK(config_.queue_capacity > 0, "SimService: queue_capacity must be > 0");
   RQSIM_CHECK(config_.max_batch_jobs > 0, "SimService: max_batch_jobs must be > 0");
+  // Pin the process-uptime origin no later than service birth, so the
+  // `stats` verb's uptime reflects how long the service has been up.
+  telemetry::process_start_time();
   workers_.reserve(config_.num_workers);
   for (std::size_t w = 0; w < config_.num_workers; ++w) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -187,6 +190,11 @@ ServiceStats SimService::stats() const {
   return snapshot;
 }
 
+telemetry::SloTracker SimService::slo_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slo_;
+}
+
 std::vector<SimService::Job*> SimService::claim_batch_locked() {
   std::vector<Job*> group;
   if (queue_.empty()) {
@@ -231,6 +239,10 @@ std::vector<SimService::Job*> SimService::claim_batch_locked() {
 }
 
 void SimService::execute_batch_group(const std::vector<Job*>& group) {
+  // The whole merged group runs as one unit of work, so its spans carry the
+  // lead job's trace id (the job the planner formed the batch around).
+  // Followers keep their own ids on their queue-wait events below.
+  telemetry::TraceContext trace_ctx(group.front()->spec.trace_id);
   RQSIM_SPAN("service.execute_batch");
   g_batch_jobs.record(group.size());
   // Runs without the lock: specs are immutable once queued and the jobs are
@@ -283,6 +295,15 @@ void SimService::execute_batch_group(const std::vector<Job*>& group) {
     job.result.exec_ms = ms_between(job.started_at, finished);
     g_queue_us.record(to_us(job.result.queue_ms));
     g_exec_us.record(to_us(job.result.exec_ms));
+    // Queue wait as a retroactive complete event: the endpoints were
+    // captured as TimePoints before anyone knew the job would be traced.
+    telemetry::trace_complete("service.queue_wait",
+                              telemetry::to_ns(job.submitted_at),
+                              telemetry::to_ns(job.started_at),
+                              job.spec.trace_id);
+    job.result.trace_id = job.spec.trace_id;
+    slo_.record(job.spec.tenant, job.id, job.spec.trace_id,
+                to_us(job.result.queue_ms), to_us(job.result.exec_ms));
     job.result.batch_size = group.size();
     if (error.empty()) {
       job.state = JobState::kDone;

@@ -28,6 +28,7 @@
 
 #include "service/job.hpp"
 #include "telemetry/clock.hpp"
+#include "telemetry/slo.hpp"
 
 namespace rqsim {
 
@@ -114,6 +115,10 @@ class SimService {
 
   ServiceStats stats() const;
 
+  /// Copy of the per-tenant latency SLO state (histograms + slow-job
+  /// exemplars with trace ids), recorded at job completion.
+  telemetry::SloTracker slo_snapshot() const;
+
   /// Drain up to `max_batches` batches on the caller's thread (intended
   /// for num_workers == 0). Returns the number of jobs executed.
   std::size_t run_pending(std::size_t max_batches = static_cast<std::size_t>(-1));
@@ -152,6 +157,7 @@ class SimService {
   std::uint64_t next_id_ = 1;
   bool stopping_ = false;
   ServiceStats stats_;
+  telemetry::SloTracker slo_;
   std::vector<std::thread> workers_;
 };
 

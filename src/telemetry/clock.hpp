@@ -33,6 +33,26 @@ inline std::uint64_t now_ns() {
           .count());
 }
 
+/// A TimePoint in the same ns domain as now_ns(); lets code that stores
+/// TimePoints (job submit/start times) emit retroactive trace events.
+inline std::uint64_t to_ns(TimePoint tp) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          tp.time_since_epoch())
+          .count());
+}
+
+/// First call pins the process start; the service constructor calls this so
+/// uptime counts from service birth, not from the first stats request.
+inline TimePoint process_start_time() {
+  static const TimePoint start = clock_now();
+  return start;
+}
+
+inline double process_uptime_ms() {
+  return ms_between(process_start_time(), clock_now());
+}
+
 class Stopwatch {
  public:
   Stopwatch() : start_(clock_now()) {}

@@ -1,0 +1,72 @@
+#include "telemetry/slo.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace rqsim::telemetry {
+
+void LatencyHistogram::record(std::uint64_t us) {
+  ++count;
+  sum += us;
+  const std::size_t bucket = static_cast<std::size_t>(std::bit_width(us));
+  if (buckets.size() < kHistogramBuckets) buckets.resize(kHistogramBuckets, 0);
+  ++buckets[bucket];
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  count += other.count;
+  sum += other.sum;
+  if (buckets.size() < other.buckets.size()) {
+    buckets.resize(other.buckets.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+}
+
+namespace {
+
+void keep_top_exemplars(std::vector<SloExemplar>& exemplars) {
+  std::sort(exemplars.begin(), exemplars.end(),
+            [](const SloExemplar& a, const SloExemplar& b) {
+              return a.e2e_us > b.e2e_us;
+            });
+  if (exemplars.size() > kSloExemplars) exemplars.resize(kSloExemplars);
+}
+
+}  // namespace
+
+void TenantSlo::record(std::uint64_t job_id, std::uint64_t trace_id,
+                       std::uint64_t queue, std::uint64_t exec) {
+  queue_us.record(queue);
+  exec_us.record(exec);
+  const std::uint64_t e2e = queue + exec;
+  e2e_us.record(e2e);
+  exemplars.push_back(SloExemplar{job_id, trace_id, e2e});
+  keep_top_exemplars(exemplars);
+}
+
+void TenantSlo::merge(const TenantSlo& other) {
+  queue_us.merge(other.queue_us);
+  exec_us.merge(other.exec_us);
+  e2e_us.merge(other.e2e_us);
+  exemplars.insert(exemplars.end(), other.exemplars.begin(),
+                   other.exemplars.end());
+  keep_top_exemplars(exemplars);
+}
+
+void SloTracker::record(const std::string& tenant, std::uint64_t job_id,
+                        std::uint64_t trace_id, std::uint64_t queue_us,
+                        std::uint64_t exec_us) {
+  tenants[tenant].record(job_id, trace_id, queue_us, exec_us);
+  total.record(job_id, trace_id, queue_us, exec_us);
+}
+
+void SloTracker::merge(const SloTracker& other) {
+  for (const auto& [name, slo] : other.tenants) {
+    tenants[name].merge(slo);
+  }
+  total.merge(other.total);
+}
+
+}  // namespace rqsim::telemetry

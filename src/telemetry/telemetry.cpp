@@ -318,6 +318,30 @@ void reset_metrics_for_test() {
 // produced.
 namespace rqsim::telemetry {
 
+double histogram_quantile(const std::vector<std::uint64_t>& buckets,
+                          std::uint64_t count, double q) {
+  if (count == 0 || buckets.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample, 1-based; q=0 → first sample, q=1 → last.
+  const double rank = 1.0 + q * static_cast<double>(count - 1);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const double before = static_cast<double>(seen);
+    seen += buckets[i];
+    if (static_cast<double>(seen) < rank) continue;
+    if (i == 0) return 0.0;  // bucket 0 holds exactly the zeros
+    // Interpolate the rank's position within this bucket's value range.
+    const double lo = static_cast<double>(std::uint64_t{1} << (i - 1));
+    const double hi = i >= 64 ? lo * 2.0
+                              : static_cast<double>(std::uint64_t{1} << i);
+    const double frac = (rank - before) / static_cast<double>(buckets[i]);
+    return lo + (hi - lo) * (frac < 0.0 ? 0.0 : frac > 1.0 ? 1.0 : frac);
+  }
+  return 0.0;
+}
+
 void merge_snapshot(MetricsSnapshot& dst, const MetricsSnapshot& src) {
   for (const MetricValue& incoming : src.metrics) {
     MetricValue* existing = nullptr;

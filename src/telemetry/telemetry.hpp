@@ -61,6 +61,16 @@ struct MetricsSnapshot {
   }
 };
 
+/// Estimate the q-quantile (q in [0,1]) of a log2-bucketed histogram with
+/// `count` total samples: walk the cumulative bucket counts to the bucket
+/// holding the q-th sample and interpolate linearly inside its value range
+/// [2^(i-1), 2^i) (bucket 0 is exactly {0}). Pure data math — always
+/// compiled, so the router can compute fleet quantiles over merged
+/// snapshots regardless of either side's RQSIM_TELEMETRY setting. Returns
+/// 0 for empty histograms.
+double histogram_quantile(const std::vector<std::uint64_t>& buckets,
+                          std::uint64_t count, double q);
+
 /// Fold `src` into `dst` by metric name, each kind with its own rule:
 /// counters and histograms (count, sum, per-bucket) add, max-gauges take
 /// the max. Metrics unknown to `dst` are appended; `dst` stays sorted by

@@ -1,15 +1,51 @@
 #include "telemetry/trace.hpp"
 
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "telemetry/clock.hpp"
+
+namespace rqsim::telemetry {
+
+// Compiled even with RQSIM_TELEMETRY_OFF: trace ids ride the JSONL protocol
+// regardless of whether this process records spans.
+std::uint64_t mint_trace_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  // splitmix64 finalizer over clock ⊕ sequence: distinct per call in one
+  // process (the counter) and collision-resistant across processes (the ns
+  // clock), with the avalanche spreading both into all 64 bits.
+  std::uint64_t x =
+      now_ns() + (counter.fetch_add(1, std::memory_order_relaxed) << 48);
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e9b5ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x == 0 ? 1 : x;
+}
+
+std::string trace_id_to_hex(std::uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llx", static_cast<unsigned long long>(id));
+  return std::string(buf);
+}
+
+std::uint64_t trace_id_from_hex(const std::string& hex) {
+  if (hex.empty() || hex.size() > 16) return 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(hex.c_str(), &end, 16);
+  if (end == nullptr || *end != '\0') return 0;
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace rqsim::telemetry
+
 #if !defined(RQSIM_TELEMETRY_OFF)
 
 #include <algorithm>
-#include <atomic>
-#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <vector>
-
-#include "telemetry/clock.hpp"
 
 namespace rqsim::telemetry {
 namespace {
@@ -17,16 +53,32 @@ namespace {
 struct TraceEvent {
   const char* name;
   std::uint64_t ts_ns;
-  std::uint64_t value;  // 'C' events only
-  char phase;           // 'B', 'E', 'i', 'C'
+  std::uint64_t value;     // 'C' events only
+  std::uint64_t trace_id;  // 'B'/'X' events; 0 = untagged
+  std::uint64_t dur_ns;    // 'X' events only
+  char phase;              // 'B', 'E', 'i', 'C', 'X'
 };
 
 struct TraceBuffer {
+  // Guards events/open_spans/dropped. The owning thread is the only writer
+  // of events, but trace start/collect now arrive over the wire while jobs
+  // execute (the router's `trace` verb), so the clear in start_tracing and
+  // the read in trace_to_json can no longer assume quiescence. The owner
+  // takes this uncontended mutex only while a trace window is active (the
+  // record paths bail on tracing_active() first), so untraced runs still
+  // record nothing and pay nothing.
+  std::mutex events_mu;
   std::vector<TraceEvent> events;
   std::string lane_name;
   int tid = 0;
   std::size_t open_spans = 0;  // admitted Bs awaiting their E
   std::uint64_t dropped = 0;
+  // Trace-window stamp, written under events_mu by the start_tracing clear loop
+  // (or at creation). A span whose B was admitted under an older stamp
+  // skips its E — the B was cleared out from under it — and the decision
+  // is made entirely inside this buffer's critical sections, so no global
+  // ordering between start_tracing and in-flight spans can unbalance B/E.
+  std::uint64_t generation = 0;
   bool retired = false;  // owning thread exited; safe to free on restart
 
   explicit TraceBuffer(int id) : tid(id) { events.reserve(kMaxEventsPerThread); }
@@ -71,6 +123,7 @@ struct BufferOwner {
       std::lock_guard<std::mutex> lock(r.mu);
       auto owned = std::make_unique<TraceBuffer>(r.next_tid++);
       owned->lane_name = pending_lane;
+      owned->generation = r.generation.load(std::memory_order_relaxed);
       buffer = owned.get();
       r.buffers.push_back(std::move(owned));
     }
@@ -105,13 +158,16 @@ BufferOwner& local_owner() {
 
 TraceBuffer& local_buffer() { return local_owner().get(); }
 
+thread_local std::uint64_t t_trace_id = 0;
+
 void append(char phase, const char* name, std::uint64_t value) {
   TraceBuffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lock(buf.events_mu);
   if (!buf.has_room()) {
     ++buf.dropped;
     return;
   }
-  buf.events.push_back(TraceEvent{name, now_ns(), value, phase});
+  buf.events.push_back(TraceEvent{name, now_ns(), value, 0, 0, phase});
 }
 
 void json_escape_into(std::string& out, const char* s) {
@@ -139,20 +195,24 @@ void json_escape_into(std::string& out, const char* s) {
 void start_tracing() {
   TraceRegistry& r = trace_registry();
   std::lock_guard<std::mutex> lock(r.mu);
+  const std::uint64_t gen =
+      r.generation.fetch_add(1, std::memory_order_relaxed) + 1;
   // Free buffers whose threads are gone; reset the rest in place (their
-  // owners hold stable pointers).
+  // owners hold stable pointers). Each clear + restamp happens under the
+  // buffer's own mutex, pairing with the record paths.
   r.buffers.erase(std::remove_if(r.buffers.begin(), r.buffers.end(),
                                  [](const std::unique_ptr<TraceBuffer>& b) {
                                    return b->retired;
                                  }),
                   r.buffers.end());
   for (auto& buf : r.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->events_mu);
     buf->events.clear();
     buf->open_spans = 0;
     buf->dropped = 0;
+    buf->generation = gen;
   }
   r.epoch_ns = now_ns();
-  r.generation.fetch_add(1, std::memory_order_release);
   r.active.store(true, std::memory_order_release);
 }
 
@@ -187,31 +247,64 @@ void trace_counter(const char* name, std::uint64_t value) {
   append('C', name, value);
 }
 
-TraceSpan::TraceSpan(const char* name) : name_(name), gen_(0), recorded_(false) {
+void trace_complete(const char* name, std::uint64_t start_ns,
+                    std::uint64_t end_ns, std::uint64_t trace_id) {
   if (!tracing_active()) return;
   TraceBuffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lock(buf.events_mu);
   if (!buf.has_room()) {
     ++buf.dropped;
     return;
   }
-  buf.events.push_back(TraceEvent{name, now_ns(), 0, 'B'});
+  const std::uint64_t dur = end_ns > start_ns ? end_ns - start_ns : 0;
+  buf.events.push_back(TraceEvent{name, start_ns, 0, trace_id, dur, 'X'});
+}
+
+std::uint64_t current_trace_id() { return t_trace_id; }
+
+void set_trace_context(std::uint64_t trace_id) { t_trace_id = trace_id; }
+
+TraceContext::TraceContext(std::uint64_t trace_id) : saved_(t_trace_id) {
+  t_trace_id = trace_id;
+}
+
+TraceContext::~TraceContext() { t_trace_id = saved_; }
+
+std::uint64_t trace_epoch_ns() {
+  TraceRegistry& r = trace_registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.epoch_ns;
+}
+
+TraceSpan::TraceSpan(const char* name) : name_(name), gen_(0), recorded_(false) {
+  if (!tracing_active()) return;
+  TraceBuffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lock(buf.events_mu);
+  if (!buf.has_room()) {
+    ++buf.dropped;
+    return;
+  }
+  buf.events.push_back(TraceEvent{name, now_ns(), 0, t_trace_id, 0, 'B'});
   ++buf.open_spans;
-  gen_ = trace_registry().generation.load(std::memory_order_acquire);
+  gen_ = buf.generation;
   recorded_ = true;
 }
 
 TraceSpan::~TraceSpan() {
   if (!recorded_) return;
-  // Quiescence at start_tracing is documented but not enforced: if a new
-  // trace began while this span was open, its B was cleared and open_spans
-  // reset, so recording the E would land a stray pre-epoch event and
-  // underflow the reservation count. Skip it instead.
-  TraceRegistry& r = trace_registry();
-  if (gen_ != r.generation.load(std::memory_order_acquire)) return;
+  // If a new trace began while this span was open, its B was cleared and
+  // open_spans reset, so recording the E would land a stray pre-epoch event
+  // and underflow the reservation count. Skip it instead. The stamp is
+  // checked under the buffer mutex: a start_tracing clear either ran before
+  // this E (restamped the buffer — mismatch, E skipped) or will run after
+  // it (E appended, then wiped with its B), so B/E stay balanced under any
+  // interleaving.
+  TraceBuffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lock(buf.events_mu);
+  if (gen_ != buf.generation) return;
   // The matching E slot was reserved at admission; record it even if
   // tracing was stopped mid-span so the export stays balanced.
-  TraceBuffer& buf = local_buffer();
-  buf.events.push_back(TraceEvent{name_, now_ns(), 0, 'E'});
+  buf.events.push_back(TraceEvent{name_, now_ns(), 0, 0, 0, 'E'});
   if (buf.open_spans > 0) --buf.open_spans;
 }
 
@@ -226,6 +319,7 @@ std::string trace_to_json() {
       "\"args\":{\"name\":\"rqsim\"}}";
   char ts[48];
   for (const auto& buf : r.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->events_mu);
     std::string lane = buf->lane_name;
     if (lane.empty()) lane = "thread-" + std::to_string(buf->tid);
     const std::string tid = std::to_string(buf->tid);
@@ -241,12 +335,12 @@ std::string trace_to_json() {
     out += "}}";
     for (const TraceEvent& ev : buf->events) {
       if (ev.phase != 'B' && ev.phase != 'E' && ev.phase != 'i' &&
-          ev.phase != 'C') {
+          ev.phase != 'C' && ev.phase != 'X') {
         continue;
       }
       // Timestamps are microseconds in this format; keep ns resolution with
       // three decimals. Events recorded before start_tracing's epoch (stale
-      // lanes) clamp to 0.
+      // lanes, or an X span whose start predates the epoch) clamp to 0.
       const std::uint64_t rel =
           ev.ts_ns > r.epoch_ns ? ev.ts_ns - r.epoch_ns : 0;
       std::snprintf(ts, sizeof ts, "%llu.%03u",
@@ -261,6 +355,13 @@ std::string trace_to_json() {
       out += tid;
       out += ",\"ts\":";
       out += ts;
+      if (ev.phase == 'X') {
+        std::snprintf(ts, sizeof ts, "%llu.%03u",
+                      static_cast<unsigned long long>(ev.dur_ns / 1000),
+                      static_cast<unsigned>(ev.dur_ns % 1000));
+        out += ",\"dur\":";
+        out += ts;
+      }
       if (ev.phase == 'i') out += ",\"s\":\"t\"";
       out += ",\"name\":\"";
       json_escape_into(out, ev.name);
@@ -269,6 +370,10 @@ std::string trace_to_json() {
         out += ",\"args\":{\"value\":";
         out += std::to_string(ev.value);
         out += "}";
+      } else if (ev.trace_id != 0) {
+        out += ",\"args\":{\"trace_id\":\"";
+        out += trace_id_to_hex(ev.trace_id);
+        out += "\"}";
       }
       out += "}";
     }
@@ -288,6 +393,7 @@ long export_trace(const std::string& path) {
   std::lock_guard<std::mutex> lock(r.mu);
   long events = 0;
   for (const auto& buf : r.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->events_mu);
     events += static_cast<long>(buf->events.size());
   }
   return events;
@@ -297,7 +403,10 @@ std::uint64_t trace_dropped_events() {
   TraceRegistry& r = trace_registry();
   std::lock_guard<std::mutex> lock(r.mu);
   std::uint64_t total = 0;
-  for (const auto& buf : r.buffers) total += buf->dropped;
+  for (const auto& buf : r.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->events_mu);
+    total += buf->dropped;
+  }
   return total;
 }
 

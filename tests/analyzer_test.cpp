@@ -102,6 +102,13 @@ TEST(AnalyzerSourceRules, SocketFixtureMatchesGolden) {
   expect_golden(run_source_fixture("rule6_socket.cpp"), "rule6_socket.cpp");
 }
 
+TEST(AnalyzerSourceRules, PrintFixtureMatchesGolden) {
+  // RQS007: terminal output outside cli/ report/ tools/ — including the
+  // aliased stream spelling; snprintf and member functions that share a
+  // libc name stay clean.
+  expect_golden(run_source_fixture("rule7_print.cpp"), "rule7_print.cpp");
+}
+
 TEST(AnalyzerSourceRules, CommentsAndStringsAreNotViolations) {
   expect_golden(run_source_fixture("clean_comments.cpp"), "clean_comments.cpp");
 }

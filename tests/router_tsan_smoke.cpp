@@ -4,6 +4,14 @@
 // health-check thread probing backends while traffic flows, and drain
 // toggling racing submits. Any lock-protocol violation in router/, the
 // backend pool, or the shared socket utilities shows up here.
+//
+// Two observability-specific races are provoked on top of the traffic:
+//   - short-lived threads record telemetry and retire (shard fold into the
+//     retired accumulator) while the router's stats fan-out snapshots the
+//     registry from its connection threads;
+//   - distributed tracing is started/collected through the router while
+//     jobs execute, and the collected per-process buffers (clock offsets
+//     measured over live connections) are merged into one trace.
 #include <atomic>
 #include <cstdio>
 #include <memory>
@@ -12,9 +20,11 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "report/trace_merge.hpp"
 #include "router/router.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace rqsim {
 namespace {
@@ -98,6 +108,58 @@ int run() {
     }
   });
 
+  // Registry churn: keep spawning short-lived threads that record metrics
+  // and immediately retire, so shard retirement (the fold into the retired
+  // accumulator) races the snapshot_metrics calls the stats fan-out above
+  // keeps triggering on every backend.
+  std::thread churn_thread([&done] {
+    while (!done.load()) {
+      std::thread worker([] {
+        telemetry::Counter counter("tsan_smoke.churn");
+        telemetry::Histogram hist("tsan_smoke.churn_hist");
+        for (int i = 0; i < 64; ++i) {
+          counter.increment();
+          hist.record(static_cast<std::uint64_t>(i));
+        }
+      });
+      worker.join();
+    }
+  });
+
+  // Distributed tracing through the router while traffic flows: start,
+  // let spans accumulate, collect (which pings every backend over live
+  // connections to measure clock offsets) and merge the per-process
+  // buffers. Runs concurrently with the span writers in the executors.
+  std::thread trace_thread([port, &done, &failures] {
+    try {
+      ServiceClient client = ServiceClient::connect_tcp("127.0.0.1", port);
+      while (!done.load()) {
+        Json start = Json::object();
+        start.set("op", Json(std::string("trace")));
+        start.set("action", Json(std::string("start")));
+        if (!client.request(start).get_bool("ok", false)) {
+          ++failures;
+          break;
+        }
+        Json collect = Json::object();
+        collect.set("op", Json(std::string("trace")));
+        collect.set("action", Json(std::string("collect")));
+        const Json collected = client.request(collect);
+        if (!collected.get_bool("ok", false) || !collected.has("processes")) {
+          ++failures;
+          break;
+        }
+        const Json merged = merge_collect_response(collected);
+        if (!merged.has("traceEvents")) {
+          ++failures;
+          break;
+        }
+      }
+    } catch (const Error&) {
+      ++failures;
+    }
+  });
+
   // Drain toggler racing routing decisions.
   std::thread drain_thread([port, &done, &endpoints] {
     try {
@@ -124,6 +186,8 @@ int run() {
   }
   done.store(true);
   stats_thread.join();
+  churn_thread.join();
+  trace_thread.join();
   drain_thread.join();
 
   ServiceClient client = ServiceClient::connect_tcp("127.0.0.1", port);

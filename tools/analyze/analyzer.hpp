@@ -2,7 +2,7 @@
 //
 // Three analysis families (rule catalog in DESIGN.md §12):
 //
-//   Source rules (token-level re-implementation of the six grep rules in
+//   Source rules (token-level re-implementation of the grep rules in
 //   scripts/check_source_rules.sh, minus its false-negative classes):
 //     RQS001  raw state-buffer allocation outside sim/buffer_pool
 //     RQS002  RNG construction outside common/rng (incl. using-aliases)
@@ -10,6 +10,8 @@
 //     RQS004  monotonic clock use outside telemetry/ and common/
 //     RQS005  StateVector deep copy outside StateBufferPool/CowState
 //     RQS006  raw socket syscall outside service/ and router/
+//     RQS007  direct terminal output (printf family, std::cout/cerr/clog)
+//             outside cli/, report/, and tools/ (bench/ is exempt too)
 //
 //   Concurrency pass (mutex acquisition sites + approximate intra-TU call
 //   graph over src/service, src/router, src/sched, src/telemetry):
@@ -55,7 +57,7 @@ struct MutexInfo {
 
 // ---------------------------------------------------------------- passes
 
-/// Token-level source rules RQS001–RQS006 over one file. The rule→exempt-
+/// Token-level source rules RQS001–RQS007 over one file. The rule→exempt-
 /// path table lives in source_rules.cpp and mirrors check_source_rules.sh.
 void run_source_rules(const LexedFile& file, std::vector<Diagnostic>& out);
 

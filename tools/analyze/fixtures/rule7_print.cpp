@@ -1,0 +1,38 @@
+// Fixture: RQS007 — direct terminal output outside cli/, report/, tools/.
+// snprintf (formats into a caller buffer, prints nothing) and member
+// functions that merely share a libc name must not be flagged.
+#include <cstdio>
+#include <iostream>
+
+void log_progress(int pct) {
+  std::printf("progress: %d%%\n", pct);
+  printf("again: %d\n", pct);
+  std::cout << "done\n";
+}
+
+void log_error(const char* what) {
+  std::fprintf(stderr, "error: %s\n", what);
+  fputs(what, stderr);
+  std::cerr << what << "\n";
+}
+
+using std::clog;
+
+void aliased_stream() {
+  clog << "aliased stream is still terminal output\n";
+}
+
+void format_into(char* buf, int n, int value) {
+  std::snprintf(buf, static_cast<unsigned long>(n), "%d", value);  // allowed
+}
+
+struct Sink {
+  void printf(const char*) {}
+  void puts(const char*) {}
+};
+
+void member_spellings(Sink& sink) {
+  sink.printf("a member, not libc");
+  Sink* p = &sink;
+  p->puts("same");
+}

@@ -348,6 +348,67 @@ void rule_socket(Ctx& ctx) {
   }
 }
 
+// ------------------------------------------------------------------ RQS007
+
+void rule_print(Ctx& ctx) {
+  // Direct terminal output belongs to the CLI, report, and bench layers
+  // (tools/ sits outside the scanned tree entirely); everything else must
+  // surface information through telemetry counters, trace spans, or
+  // returned results so the service and router stay silent on stdio.
+  // snprintf/vsnprintf format into a caller buffer without printing and
+  // stay allowed everywhere.
+  static const std::vector<std::string> kExempt = {"cli/", "report/", "bench/"};
+  if (is_exempt(ctx.file.path, kExempt)) return;
+  static const std::set<std::string> kPrintCalls = {
+      "printf", "fprintf", "puts", "fputs", "vprintf", "vfprintf"};
+  static const std::set<std::string> kStreams = {"cout", "cerr", "clog"};
+  AliasScanner aliases;
+  aliases.banned = kStreams;
+  aliases.scan(ctx.file.tokens);
+  const auto& toks = ctx.file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Tok::kIdent) continue;
+    const bool member =
+        i > 0 && (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"));
+    const bool qualified_std =
+        i >= 2 && is_ident(toks[i - 2], "std") && is_punct(toks[i - 1], "::");
+    // `Sink::printf` / `sink.printf(...)` is someone's member, not libc;
+    // `::printf` and the unqualified spelling are.
+    const bool foreign_qualified = !qualified_std && i >= 2 &&
+                                   is_punct(toks[i - 1], "::") &&
+                                   toks[i - 2].kind == Tok::kIdent;
+    // `void printf(const char*)` — a preceding type name means this is a
+    // declaration of someone's own function, not a call (`return printf(`
+    // is still a call).
+    const bool declaration = !qualified_std && i > 0 &&
+                             toks[i - 1].kind == Tok::kIdent &&
+                             toks[i - 1].text != "return";
+    if (kPrintCalls.count(t.text) && i + 1 < toks.size() &&
+        is_punct(toks[i + 1], "(") && !member && !foreign_qualified &&
+        !declaration) {
+      ctx.report("RQS007", t.line,
+                 "direct terminal output (`" + t.text +
+                     "`) outside cli/, report/, and tools/",
+                 "record the value in telemetry (Counter/Histogram), a trace "
+                 "span, or return it to the caller — services must stay "
+                 "silent on stdio");
+      continue;
+    }
+    if (kStreams.count(t.text) &&
+        (qualified_std ||
+         (aliases.names_banned(t.text) && !member &&
+          (i == 0 || !is_punct(toks[i - 1], "::"))))) {
+      ctx.report("RQS007", t.line,
+                 "direct terminal output (`std::" + t.text +
+                     "`) outside cli/, report/, and tools/",
+                 "record the value in telemetry (Counter/Histogram), a trace "
+                 "span, or return it to the caller — services must stay "
+                 "silent on stdio");
+    }
+  }
+}
+
 }  // namespace
 
 void run_source_rules(const LexedFile& file, std::vector<Diagnostic>& out) {
@@ -358,6 +419,7 @@ void run_source_rules(const LexedFile& file, std::vector<Diagnostic>& out) {
   rule_clock(ctx);
   rule_deep_copy(ctx);
   rule_socket(ctx);
+  rule_print(ctx);
 }
 
 }  // namespace rqsim::analyze
